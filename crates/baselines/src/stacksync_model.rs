@@ -1,0 +1,178 @@
+//! Closed-form twin of the real StackSync stack: 512 KB fixed chunking,
+//! per-user dedup, LZSS chunk compression, lean commit metadata. The
+//! benches cross-validate this model against the live stack in the
+//! `stacksync` crate.
+
+use crate::{OpTraffic, SyncProvider};
+use content::chunker::{Chunker, FixedChunker};
+use content::compress::Algorithm;
+use content::ChunkId;
+use std::collections::{HashMap, HashSet};
+
+/// Commit-request metadata: fixed part per item.
+pub const ITEM_METADATA_BYTES: u64 = 220;
+/// Metadata bytes per chunk fingerprint (20 B hash + framing).
+pub const PER_CHUNK_METADATA: u64 = 40;
+/// Fixed control bytes per commit exchange (AMQP framing + notification).
+pub const BATCH_FIXED_CONTROL: u64 = 2_000;
+
+/// The StackSync protocol model.
+#[derive(Debug)]
+pub struct StackSyncModel {
+    chunker: FixedChunker,
+    compression: Algorithm,
+    known_chunks: HashSet<ChunkId>,
+    /// Current chunk list per path (to count notification sizes).
+    files: HashMap<String, usize>,
+}
+
+impl StackSyncModel {
+    /// The paper's configuration: 512 KB chunks, compression on.
+    pub fn new() -> Self {
+        Self::with_chunk_size(content::DEFAULT_CHUNK_SIZE)
+    }
+
+    /// Custom chunk size (the chunking ablation uses this).
+    pub fn with_chunk_size(chunk_size: usize) -> Self {
+        StackSyncModel {
+            chunker: FixedChunker::new(chunk_size),
+            compression: Algorithm::Lzss,
+            known_chunks: HashSet::new(),
+            files: HashMap::new(),
+        }
+    }
+
+    fn upload_new_chunks(&mut self, content: &[u8]) -> (u64, usize) {
+        let spans = self.chunker.chunk(content);
+        let total = spans.len();
+        let mut bytes = 0u64;
+        for span in &spans {
+            let slice = &content[span.range()];
+            let id = ChunkId::of(slice);
+            if self.known_chunks.insert(id) {
+                bytes += self.compression.compress(slice).len() as u64;
+            }
+        }
+        (bytes, total)
+    }
+}
+
+impl Default for StackSyncModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SyncProvider for StackSyncModel {
+    fn name(&self) -> &'static str {
+        "StackSync"
+    }
+
+    fn on_add(&mut self, path: &str, content: &[u8]) -> OpTraffic {
+        let (storage, chunks) = self.upload_new_chunks(content);
+        self.files.insert(path.to_string(), chunks);
+        OpTraffic {
+            // Commit request + fanned-out notification carry the metadata.
+            control: 2 * (ITEM_METADATA_BYTES + PER_CHUNK_METADATA * chunks as u64),
+            storage,
+        }
+    }
+
+    fn on_update(&mut self, path: &str, _old: &[u8], new: &[u8]) -> OpTraffic {
+        // Fixed chunking: any chunk whose bytes changed is re-uploaded in
+        // full — a beginning-of-file insert shifts every boundary and
+        // re-ships the whole file (the boundary-shifting problem the paper
+        // pays for on UPDATEs).
+        let (storage, chunks) = self.upload_new_chunks(new);
+        self.files.insert(path.to_string(), chunks);
+        OpTraffic {
+            control: 2 * (ITEM_METADATA_BYTES + PER_CHUNK_METADATA * chunks as u64),
+            storage,
+        }
+    }
+
+    fn on_remove(&mut self, path: &str) -> OpTraffic {
+        self.files.remove(path);
+        OpTraffic {
+            control: 2 * ITEM_METADATA_BYTES,
+            storage: 0,
+        }
+    }
+
+    fn batch_fixed_control(&self) -> u64 {
+        BATCH_FIXED_CONTROL
+    }
+
+    fn reset(&mut self) {
+        self.known_chunks.clear();
+        self.files.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::content_gen;
+
+    #[test]
+    fn compression_shrinks_compressible_uploads() {
+        let mut m = StackSyncModel::new();
+        let content = content_gen::generate(300_000, 1, 1.0); // text-like
+        let t = m.on_add("a.txt", &content);
+        assert!(
+            t.storage < 150_000,
+            "compressible content must shrink, got {}",
+            t.storage
+        );
+    }
+
+    #[test]
+    fn dedup_skips_known_chunks() {
+        let mut m = StackSyncModel::new();
+        let content = content_gen::generate(600_000, 2, 0.0);
+        let a = m.on_add("a.bin", &content);
+        let b = m.on_add("copy.bin", &content);
+        assert!(a.storage > 0);
+        assert_eq!(b.storage, 0);
+        assert!(b.control > 0, "metadata still flows for dedup'd files");
+    }
+
+    #[test]
+    fn prepend_update_reships_file_boundary_shift() {
+        let mut m = StackSyncModel::with_chunk_size(4096);
+        let old = content_gen::generate(100_000, 3, 0.0);
+        let mut new = vec![0xAB; 100];
+        new.extend_from_slice(&old);
+        m.on_add("f.bin", &old);
+        let t = m.on_update("f.bin", &old, &new);
+        assert!(
+            t.storage as f64 > 0.9 * old.len() as f64,
+            "boundary shift must re-ship nearly everything, got {}",
+            t.storage
+        );
+    }
+
+    #[test]
+    fn append_update_only_ships_tail_chunks() {
+        let mut m = StackSyncModel::with_chunk_size(4096);
+        let old = content_gen::generate(102_400, 4, 0.0); // 25 chunks
+        let mut new = old.clone();
+        new.extend_from_slice(&content_gen::generate(100, 5, 0.0));
+        m.on_add("f.bin", &old);
+        let t = m.on_update("f.bin", &old, &new);
+        assert!(
+            t.storage < 3 * 4096 * 2,
+            "append must only re-ship the last chunk, got {}",
+            t.storage
+        );
+    }
+
+    #[test]
+    fn control_scales_with_chunk_count() {
+        let mut m = StackSyncModel::with_chunk_size(1024);
+        let small = m.on_add("s", &content_gen::generate(1024, 6, 0.0));
+        m.reset();
+        let big = m.on_add("b", &content_gen::generate(10 * 1024, 7, 0.0));
+        assert!(big.control > small.control);
+    }
+}

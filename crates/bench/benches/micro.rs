@@ -1,0 +1,104 @@
+//! Micro-benchmarks of the content substrate and wire codecs.
+
+use content::chunker::{Chunker, ContentDefinedChunker, FixedChunker};
+use content::compress::{compress, decompress};
+use content::delta::{apply, diff, Signature};
+use content::sha1::sha1;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use wire::{BinaryCodec, Codec, JsonCodec, Value};
+use workload::content_gen;
+
+fn bench_sha1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha1");
+    for size in [4 * 1024, 512 * 1024] {
+        let data = content_gen::generate(size, 1, 0.0);
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| sha1(data));
+        });
+    }
+    group.finish();
+}
+
+fn bench_chunking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chunking");
+    let data = content_gen::generate(4 * 1024 * 1024, 2, 0.5);
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    let fixed = FixedChunker::new(512 * 1024);
+    group.bench_function("fixed_512k", |b| b.iter(|| fixed.chunk(&data)));
+    let cdc = ContentDefinedChunker::paper_scale();
+    group.bench_function("cdc_paper_scale", |b| b.iter(|| cdc.chunk(&data)));
+    group.finish();
+}
+
+fn bench_compression(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compress");
+    for (label, compressibility) in [("text", 1.0), ("binary", 0.0)] {
+        let data = content_gen::generate(512 * 1024, 3, compressibility);
+        group.throughput(Throughput::Bytes(data.len() as u64));
+        group.bench_function(format!("lzss_{label}"), |b| b.iter(|| compress(&data)));
+        let packed = compress(&data);
+        group.bench_function(format!("unlzss_{label}"), |b| {
+            b.iter(|| decompress(&packed).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_delta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delta");
+    let base = content_gen::generate(1024 * 1024, 4, 0.0);
+    let mut target = base.clone();
+    target[512 * 1024] ^= 0xff;
+    group.throughput(Throughput::Bytes(base.len() as u64));
+    group.bench_function("signature_1m", |b| {
+        b.iter(|| Signature::of(&base, 16 * 1024))
+    });
+    let sig = Signature::of(&base, 16 * 1024);
+    group.bench_function("diff_small_edit", |b| b.iter(|| diff(&sig, &target)));
+    let delta = diff(&sig, &target);
+    group.bench_function("apply", |b| b.iter(|| apply(&base, &delta).unwrap()));
+    group.finish();
+}
+
+fn sample_value() -> Value {
+    Value::Map(vec![
+        ("item".into(), Value::U64(42)),
+        ("ws".into(), Value::from("ws-1")),
+        ("path".into(), Value::from("docs/report.txt")),
+        ("version".into(), Value::U64(3)),
+        (
+            "chunks".into(),
+            Value::List(
+                (0..8)
+                    .map(|i| Value::Bytes(vec![i as u8; 20]))
+                    .collect(),
+            ),
+        ),
+        ("deleted".into(), Value::Bool(false)),
+    ])
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    let value = sample_value();
+    // Transport ablation: the Kryo-like binary codec vs JSON.
+    group.bench_function("binary_encode", |b| b.iter(|| BinaryCodec.encode(&value)));
+    group.bench_function("json_encode", |b| b.iter(|| JsonCodec.encode(&value)));
+    let binary = BinaryCodec.encode(&value);
+    let json = JsonCodec.encode(&value);
+    group.bench_function("binary_decode", |b| {
+        b.iter(|| BinaryCodec.decode(&binary).unwrap())
+    });
+    group.bench_function("json_decode", |b| {
+        b.iter(|| JsonCodec.decode(&json).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_sha1, bench_chunking, bench_compression, bench_delta, bench_codecs
+}
+criterion_main!(benches);

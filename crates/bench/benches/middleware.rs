@@ -1,0 +1,101 @@
+//! Middleware benchmarks: broker throughput, ObjectMQ invocation latency,
+//! and the unicast-loop vs fanout-multicast notification ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mqsim::{ExchangeKind, Message, MessageBroker, QueueOptions};
+use objectmq::{Broker, RemoteObject};
+use std::time::Duration;
+use wire::Value;
+
+fn bench_broker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broker");
+    group.throughput(Throughput::Elements(1));
+
+    let broker = MessageBroker::new();
+    broker.declare_queue("q", QueueOptions::default()).unwrap();
+    let consumer = broker.subscribe("q").unwrap();
+    group.bench_function("publish_consume_ack", |b| {
+        b.iter(|| {
+            broker
+                .publish_to_queue("q", Message::from_bytes(b"payload".to_vec()))
+                .unwrap();
+            let d = consumer.recv_timeout(Duration::from_secs(1)).unwrap();
+            d.ack();
+        })
+    });
+    group.finish();
+}
+
+struct Echo;
+impl RemoteObject for Echo {
+    fn dispatch(&self, _method: &str, args: &[Value]) -> Result<Value, String> {
+        Ok(args.first().cloned().unwrap_or(Value::Null))
+    }
+}
+
+fn bench_rpc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("objectmq");
+    group.throughput(Throughput::Elements(1));
+    group.sample_size(20);
+
+    let broker = Broker::in_process();
+    let _server = broker.bind("echo", Echo).unwrap();
+    let proxy = broker.lookup("echo").unwrap();
+    group.bench_function("sync_call", |b| {
+        b.iter(|| {
+            proxy
+                .call_sync("m", vec![Value::I64(1)], Duration::from_secs(2), 0)
+                .unwrap()
+        })
+    });
+    group.bench_function("async_call_publish", |b| {
+        b.iter(|| proxy.call_async("m", vec![Value::I64(1)]).unwrap())
+    });
+    group.finish();
+}
+
+/// Ablation: notifying N listeners by publishing one fanout message vs N
+/// separate unicast messages (why the paper's per-workspace fanout
+/// exchange matters for change notification).
+fn bench_notify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("notify_16_listeners");
+    group.throughput(Throughput::Elements(16));
+
+    let broker = MessageBroker::new();
+    broker.declare_exchange("ws", ExchangeKind::Fanout).unwrap();
+    let queues: Vec<String> = (0..16).map(|i| format!("dev-{i}")).collect();
+    for q in &queues {
+        broker.declare_queue(q, QueueOptions::default()).unwrap();
+        broker.bind_queue("ws", "", q).unwrap();
+    }
+    let payload = vec![0u8; 256];
+
+    group.bench_function("multicast_fanout", |b| {
+        b.iter(|| {
+            broker
+                .publish("ws", "", Message::from_bytes(payload.clone()))
+                .unwrap();
+        })
+    });
+    group.bench_function("unicast_loop", |b| {
+        b.iter(|| {
+            for q in &queues {
+                broker
+                    .publish_to_queue(q, Message::from_bytes(payload.clone()))
+                    .unwrap();
+            }
+        })
+    });
+    // Drain so queues do not grow unboundedly across iterations.
+    for q in &queues {
+        broker.purge_queue(q).unwrap();
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_broker, bench_rpc, bench_notify
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Fig. 7(a): CDF of file sizes in the generated benchmark trace, plus the
+//! trace statistics reported in §5.2.1 (940 ADDs / 72 UPDATEs / 228
+//! REMOVEs, 535.41 MB added, 583 KB average file size).
+
+use bench::{bar, header};
+use workload::{GeneratorConfig, Trace};
+
+fn main() {
+    let config = GeneratorConfig::default();
+    let trace = Trace::generate(&config);
+    let stats = trace.stats();
+
+    header("Fig 7(a): CDF of file size in the generated trace");
+    println!(
+        "trace: {} ADDs, {} UPDATEs, {} REMOVEs  (paper: 940 / 72 / 228)",
+        stats.adds, stats.updates, stats.removes
+    );
+    println!(
+        "ADD volume: {:.2} MB (paper: 535.41 MB), avg file size {:.0} KB (paper: 583 KB)",
+        stats.add_volume as f64 / 1e6,
+        stats.avg_file_size as f64 / 1e3
+    );
+
+    let sizes = trace.add_sizes();
+    println!("\n{:>12} {:>8}  cdf", "size ≤", "CDF");
+    let thresholds: [(u64, &str); 10] = [
+        (1 << 10, "1 KB"),
+        (8 << 10, "8 KB"),
+        (32 << 10, "32 KB"),
+        (128 << 10, "128 KB"),
+        (512 << 10, "512 KB"),
+        (1 << 20, "1 MB"),
+        (4 << 20, "4 MB"),
+        (16 << 20, "16 MB"),
+        (64 << 20, "64 MB"),
+        (100 << 20, "100 MB"),
+    ];
+    for (threshold, label) in thresholds {
+        let frac = workload::FileSizeDist::cdf_at(&sizes, threshold);
+        println!("{label:>12} {frac:>8.3}  {}", bar(frac, 1.0, 50));
+    }
+    let at_4mb = workload::FileSizeDist::cdf_at(&sizes, 4 << 20);
+    println!(
+        "\npaper check: {:.1}% of files < 4 MB (paper: ≥90%)",
+        at_4mb * 100.0
+    );
+}

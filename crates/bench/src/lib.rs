@@ -1,0 +1,68 @@
+//! Shared plumbing for the figure/table harness binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper's evaluation (run them with `cargo run --release -p bench --bin
+//! fig7a` etc.); the Criterion benches under `benches/` cover micro
+//! performance and the design-choice ablations called out in DESIGN.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use baselines::{run_trace, ProviderReport, SyncProvider};
+use workload::Trace;
+
+/// Formats a byte count as MB with two decimals.
+pub fn mb(bytes: u64) -> String {
+    format!("{:.2} MB", bytes as f64 / 1_000_000.0)
+}
+
+/// Prints a crude console header.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Runs one provider over the trace and returns its report (convenience
+/// used by several binaries).
+pub fn replay(provider: &mut dyn SyncProvider, trace: &Trace, batch: usize) -> ProviderReport {
+    run_trace(provider, trace, batch)
+}
+
+/// Renders an ASCII bar scaled to `max`.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 {
+        return String::new();
+    }
+    let n = ((value / max) * width as f64).round() as usize;
+    "#".repeat(n.min(width))
+}
+
+/// Command-line flag helper: `--flag value`.
+pub fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Whether a bare flag is present.
+pub fn has_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mb_formats() {
+        assert_eq!(mb(535_410_000), "535.41 MB");
+        assert_eq!(mb(0), "0.00 MB");
+    }
+
+    #[test]
+    fn bar_scales() {
+        assert_eq!(bar(5.0, 10.0, 10), "#####");
+        assert_eq!(bar(20.0, 10.0, 10), "##########");
+        assert_eq!(bar(1.0, 0.0, 10), "");
+    }
+}

@@ -1,0 +1,348 @@
+//! Chunking strategies: fixed-size (the paper's default) and
+//! content-defined (the alternative the paper discusses, §4.1).
+//!
+//! Fixed chunking is cheap but suffers from the *boundary-shifting
+//! problem*: inserting one byte at the start of a file shifts every chunk
+//! boundary, so every chunk changes and dedup fails — the paper calls this
+//! out as the cause of the skewed UPDATE sync times in Fig. 7(e). The
+//! content-defined chunker places boundaries where a rolling hash matches a
+//! mask, so boundaries move with the content and a prefix insertion only
+//! disturbs the first chunk(s).
+
+use crate::rolling::Buzhash;
+use std::ops::Range;
+
+/// A chunk boundary decision: `offset..offset+len` of the original buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkSpan {
+    /// Byte offset of the chunk within the file.
+    pub offset: usize,
+    /// Chunk length in bytes.
+    pub len: usize,
+}
+
+impl ChunkSpan {
+    /// The span as a range usable for slicing.
+    pub fn range(&self) -> Range<usize> {
+        self.offset..self.offset + self.len
+    }
+}
+
+/// A strategy for splitting a file into chunks.
+///
+/// Invariant: the returned spans partition `data` exactly (contiguous,
+/// in order, covering every byte); empty input yields no chunks.
+pub trait Chunker {
+    /// Splits `data` into chunk spans.
+    fn chunk(&self, data: &[u8]) -> Vec<ChunkSpan>;
+
+    /// Strategy name for diagnostics.
+    fn name(&self) -> &'static str;
+}
+
+/// Static chunking with a fixed size — StackSync's default (512 KB).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedChunker {
+    size: usize,
+}
+
+impl FixedChunker {
+    /// Creates a fixed chunker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "chunk size must be positive");
+        FixedChunker { size }
+    }
+
+    /// The configured chunk size.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+}
+
+impl Default for FixedChunker {
+    fn default() -> Self {
+        FixedChunker::new(crate::DEFAULT_CHUNK_SIZE)
+    }
+}
+
+impl Chunker for FixedChunker {
+    fn chunk(&self, data: &[u8]) -> Vec<ChunkSpan> {
+        let mut spans = Vec::with_capacity(data.len() / self.size + 1);
+        let mut offset = 0;
+        while offset < data.len() {
+            let len = self.size.min(data.len() - offset);
+            spans.push(ChunkSpan { offset, len });
+            offset += len;
+        }
+        spans
+    }
+
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+}
+
+/// Content-defined chunking driven by a Buzhash rolling hash.
+///
+/// A boundary is declared when the low `mask_bits` of the rolling hash are
+/// all ones, giving an expected chunk size of `2^mask_bits` bytes, clamped
+/// to `[min, max]`.
+#[derive(Debug, Clone)]
+pub struct ContentDefinedChunker {
+    min: usize,
+    max: usize,
+    mask: u64,
+    window: usize,
+}
+
+impl ContentDefinedChunker {
+    /// Creates a CDC chunker with expected size `2^mask_bits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < min <= max` and the window is smaller than `min`.
+    pub fn new(min: usize, max: usize, mask_bits: u32, window: usize) -> Self {
+        assert!(min > 0 && min <= max, "need 0 < min <= max");
+        assert!(window > 0 && window <= min, "window must fit in min chunk");
+        assert!(mask_bits > 0 && mask_bits < 64, "mask_bits in 1..64");
+        ContentDefinedChunker {
+            min,
+            max,
+            mask: (1u64 << mask_bits) - 1,
+            window,
+        }
+    }
+
+    /// A configuration comparable to the paper's 512 KB average: expected
+    /// 512 KB chunks, bounded in [128 KB, 2 MB].
+    pub fn paper_scale() -> Self {
+        ContentDefinedChunker::new(128 * 1024, 2 * 1024 * 1024, 19, 48)
+    }
+
+    /// A small-scale configuration convenient for tests (avg 4 KB).
+    pub fn test_scale() -> Self {
+        ContentDefinedChunker::new(1024, 16 * 1024, 12, 48)
+    }
+}
+
+impl Chunker for ContentDefinedChunker {
+    fn chunk(&self, data: &[u8]) -> Vec<ChunkSpan> {
+        let mut spans = Vec::new();
+        let mut start = 0;
+        while start < data.len() {
+            let remaining = data.len() - start;
+            if remaining <= self.min {
+                spans.push(ChunkSpan {
+                    offset: start,
+                    len: remaining,
+                });
+                break;
+            }
+            let limit = remaining.min(self.max);
+            let mut hash = Buzhash::new(self.window);
+            // Warm the window over the bytes just before the earliest
+            // possible boundary so the decision at `min` has full context.
+            let warm_from = self.min - self.window;
+            for &b in &data[start + warm_from..start + self.min] {
+                hash.push(b);
+            }
+            let mut cut = limit;
+            for pos in self.min..limit {
+                if hash.value() & self.mask == self.mask {
+                    cut = pos;
+                    break;
+                }
+                hash.roll(
+                    data[start + pos - self.window],
+                    data[start + pos],
+                );
+            }
+            spans.push(ChunkSpan {
+                offset: start,
+                len: cut,
+            });
+            start += cut;
+        }
+        spans
+    }
+
+    fn name(&self) -> &'static str {
+        "cdc"
+    }
+}
+
+/// Checks the partition invariant; useful in tests and debug assertions.
+pub fn is_exact_partition(spans: &[ChunkSpan], total_len: usize) -> bool {
+    let mut expected = 0;
+    for s in spans {
+        if s.offset != expected || s.len == 0 {
+            return false;
+        }
+        expected += s.len;
+    }
+    expected == total_len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Deterministic pseudo-random content.
+    fn random_bytes(len: usize, seed: u64) -> Vec<u8> {
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(1);
+        (0..len)
+            .map(|_| {
+                state ^= state >> 12;
+                state ^= state << 25;
+                state ^= state >> 27;
+                (state.wrapping_mul(0x2545F4914F6CDD1D) >> 56) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fixed_chunker_exact_sizes() {
+        let data = vec![1u8; 1000];
+        let spans = FixedChunker::new(300).chunk(&data);
+        assert_eq!(spans.len(), 4);
+        assert_eq!(spans[0], ChunkSpan { offset: 0, len: 300 });
+        assert_eq!(spans[3], ChunkSpan { offset: 900, len: 100 });
+        assert!(is_exact_partition(&spans, 1000));
+    }
+
+    #[test]
+    fn fixed_chunker_empty_input() {
+        assert!(FixedChunker::new(10).chunk(&[]).is_empty());
+    }
+
+    #[test]
+    fn fixed_chunker_input_smaller_than_chunk() {
+        let spans = FixedChunker::new(1000).chunk(&[1, 2, 3]);
+        assert_eq!(spans, vec![ChunkSpan { offset: 0, len: 3 }]);
+    }
+
+    #[test]
+    fn default_fixed_chunker_uses_512k() {
+        assert_eq!(FixedChunker::default().size(), crate::DEFAULT_CHUNK_SIZE);
+    }
+
+    #[test]
+    fn cdc_respects_min_max() {
+        let chunker = ContentDefinedChunker::test_scale();
+        let data = random_bytes(200_000, 7);
+        let spans = chunker.chunk(&data);
+        assert!(is_exact_partition(&spans, data.len()));
+        for (i, s) in spans.iter().enumerate() {
+            assert!(s.len <= 16 * 1024, "chunk {i} too large: {}", s.len);
+            if i + 1 != spans.len() {
+                assert!(s.len >= 1024, "chunk {i} too small: {}", s.len);
+            }
+        }
+    }
+
+    #[test]
+    fn cdc_average_is_near_expected() {
+        let chunker = ContentDefinedChunker::test_scale();
+        let data = random_bytes(2_000_000, 99);
+        let spans = chunker.chunk(&data);
+        let avg = data.len() / spans.len();
+        // Expected 2^12 = 4096 plus the min offset; allow generous slack.
+        assert!(
+            (2_000..14_000).contains(&avg),
+            "average chunk size {avg} out of expected band"
+        );
+    }
+
+    #[test]
+    fn fixed_chunking_suffers_boundary_shift() {
+        // The motivating defect: prepend one byte and every fixed chunk
+        // changes.
+        let chunker = FixedChunker::new(4096);
+        let data = random_bytes(100_000, 3);
+        let mut shifted = vec![0xaa];
+        shifted.extend_from_slice(&data);
+        let ids_a: Vec<crate::ChunkId> = chunker
+            .chunk(&data)
+            .iter()
+            .map(|s| crate::ChunkId::of(&data[s.range()]))
+            .collect();
+        let ids_b: Vec<crate::ChunkId> = chunker
+            .chunk(&shifted)
+            .iter()
+            .map(|s| crate::ChunkId::of(&shifted[s.range()]))
+            .collect();
+        let shared = ids_a.iter().filter(|id| ids_b.contains(id)).count();
+        assert_eq!(shared, 0, "fixed chunking must share nothing after a prepend");
+    }
+
+    #[test]
+    fn cdc_survives_boundary_shift() {
+        // CDC boundaries are content-derived: after the insertion point the
+        // same cut points reappear, so most chunks dedup.
+        let chunker = ContentDefinedChunker::test_scale();
+        let data = random_bytes(200_000, 3);
+        let mut shifted = vec![0xaa];
+        shifted.extend_from_slice(&data);
+        let ids_a: Vec<crate::ChunkId> = chunker
+            .chunk(&data)
+            .iter()
+            .map(|s| crate::ChunkId::of(&data[s.range()]))
+            .collect();
+        let ids_b: Vec<crate::ChunkId> = chunker
+            .chunk(&shifted)
+            .iter()
+            .map(|s| crate::ChunkId::of(&shifted[s.range()]))
+            .collect();
+        let shared = ids_a.iter().filter(|id| ids_b.contains(id)).count();
+        assert!(
+            shared * 2 > ids_a.len(),
+            "CDC must preserve most chunks after a prepend ({shared}/{})",
+            ids_a.len()
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_fixed_partitions_exactly(
+            len in 0usize..50_000,
+            size in 1usize..10_000,
+            seed in any::<u64>(),
+        ) {
+            let data = random_bytes(len, seed);
+            let spans = FixedChunker::new(size).chunk(&data);
+            prop_assert!(is_exact_partition(&spans, len));
+        }
+
+        #[test]
+        fn prop_cdc_partitions_exactly(len in 0usize..100_000, seed in any::<u64>()) {
+            let data = random_bytes(len, seed);
+            let spans = ContentDefinedChunker::test_scale().chunk(&data);
+            prop_assert!(is_exact_partition(&spans, len));
+        }
+
+        #[test]
+        fn prop_reassembly_is_identity(len in 0usize..60_000, seed in any::<u64>()) {
+            let data = random_bytes(len, seed);
+            for chunker in [&FixedChunker::new(4096) as &dyn Chunker,
+                            &ContentDefinedChunker::test_scale()] {
+                let mut rebuilt = Vec::with_capacity(len);
+                for s in chunker.chunk(&data) {
+                    rebuilt.extend_from_slice(&data[s.range()]);
+                }
+                prop_assert_eq!(&rebuilt, &data, "chunker {}", chunker.name());
+            }
+        }
+
+        #[test]
+        fn prop_cdc_deterministic(len in 0usize..30_000, seed in any::<u64>()) {
+            let data = random_bytes(len, seed);
+            let c = ContentDefinedChunker::test_scale();
+            prop_assert_eq!(c.chunk(&data), c.chunk(&data));
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Rolling hashes: the weak adler-style checksum used by the delta encoder
+//! and the polynomial hash driving content-defined chunking.
+
+/// rsync's weak rolling checksum (Adler-32 variant): cheap to slide one
+/// byte at a time across a window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Adler {
+    a: u32,
+    b: u32,
+    len: u32,
+}
+
+const ADLER_MOD: u32 = 1 << 16;
+
+impl Adler {
+    /// Hashes an initial window.
+    pub fn new(window: &[u8]) -> Self {
+        let mut a: u32 = 0;
+        let mut b: u32 = 0;
+        let len = window.len() as u32;
+        for (i, &x) in window.iter().enumerate() {
+            a = (a + x as u32) % ADLER_MOD;
+            b = (b + (len - i as u32) * x as u32) % ADLER_MOD;
+        }
+        Adler { a, b, len }
+    }
+
+    /// Slides the window one byte: removes `out` (the oldest byte) and
+    /// appends `inp`.
+    pub fn roll(&mut self, out: u8, inp: u8) {
+        // Standard rsync recurrences:
+        //   a' = a - out + in            (mod M)
+        //   b' = b - len·out + a'        (mod M)
+        let m = ADLER_MOD as u64;
+        let len = self.len as u64;
+        let out = out as u64;
+        let inp = inp as u64;
+        let a_new = (self.a as u64 + m + inp - out) % m;
+        self.a = a_new as u32;
+        self.b = ((self.b as u64 + m * len - len * out + a_new) % m) as u32;
+    }
+
+    /// The 32-bit digest.
+    pub fn digest(&self) -> u32 {
+        (self.b << 16) | self.a
+    }
+}
+
+/// Buzhash-style rolling hash over a fixed window, used by the
+/// content-defined chunker. A table of 256 pseudo-random 64-bit values is
+/// combined with rotations, so sliding is a couple of xors.
+#[derive(Debug, Clone)]
+pub struct Buzhash {
+    table: [u64; 256],
+    window: usize,
+    hash: u64,
+}
+
+impl Buzhash {
+    /// Creates a hash with the given window length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        Buzhash {
+            table: buz_table(),
+            window,
+            hash: 0,
+        }
+    }
+
+    /// The window length.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Current hash value.
+    pub fn value(&self) -> u64 {
+        self.hash
+    }
+
+    /// Resets to the empty state.
+    pub fn reset(&mut self) {
+        self.hash = 0;
+    }
+
+    /// Pushes a byte without removing one (used to fill the first window).
+    pub fn push(&mut self, inp: u8) {
+        self.hash = self.hash.rotate_left(1) ^ self.table[inp as usize];
+    }
+
+    /// Slides the full window one byte.
+    pub fn roll(&mut self, out: u8, inp: u8) {
+        let shifted_out = self.table[out as usize].rotate_left((self.window % 64) as u32);
+        self.hash = self.hash.rotate_left(1) ^ shifted_out ^ self.table[inp as usize];
+    }
+}
+
+/// Deterministic pseudo-random substitution table (xorshift64*).
+fn buz_table() -> [u64; 256] {
+    let mut table = [0u64; 256];
+    let mut state: u64 = 0x9E3779B97F4A7C15;
+    for slot in table.iter_mut() {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        *slot = state.wrapping_mul(0x2545F4914F6CDD1D);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adler_roll_matches_fresh_hash() {
+        let data: Vec<u8> = (0..200u8).collect();
+        let w = 16;
+        let mut rolling = Adler::new(&data[0..w]);
+        for start in 1..(data.len() - w) {
+            rolling.roll(data[start - 1], data[start + w - 1]);
+            let fresh = Adler::new(&data[start..start + w]);
+            assert_eq!(rolling.digest(), fresh.digest(), "window at {start}");
+        }
+    }
+
+    #[test]
+    fn adler_differs_for_different_windows() {
+        assert_ne!(
+            Adler::new(b"hello world 1234").digest(),
+            Adler::new(b"hello world 1235").digest()
+        );
+    }
+
+    #[test]
+    fn buzhash_roll_matches_fresh_hash() {
+        let data: Vec<u8> = (0..250u8).map(|i| i.wrapping_mul(31)).collect();
+        let w = 48;
+        let mut rolling = Buzhash::new(w);
+        for &b in &data[..w] {
+            rolling.push(b);
+        }
+        for start in 1..(data.len() - w) {
+            rolling.roll(data[start - 1], data[start + w - 1]);
+            let mut fresh = Buzhash::new(w);
+            for &b in &data[start..start + w] {
+                fresh.push(b);
+            }
+            assert_eq!(rolling.value(), fresh.value(), "window at {start}");
+        }
+    }
+
+    #[test]
+    fn buzhash_window_of_64_rolls_correctly() {
+        // window % 64 == 0 exercises the rotate_left(0) edge case.
+        let data: Vec<u8> = (0..255u8).collect();
+        let w = 64;
+        let mut rolling = Buzhash::new(w);
+        for &b in &data[..w] {
+            rolling.push(b);
+        }
+        rolling.roll(data[0], data[w]);
+        let mut fresh = Buzhash::new(w);
+        for &b in &data[1..=w] {
+            fresh.push(b);
+        }
+        assert_eq!(rolling.value(), fresh.value());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_window_panics() {
+        let _ = Buzhash::new(0);
+    }
+
+    #[test]
+    fn table_is_deterministic_and_diverse() {
+        let t1 = buz_table();
+        let t2 = buz_table();
+        assert_eq!(t1, t2);
+        let mut sorted = t1.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 256, "table entries must be distinct");
+    }
+}

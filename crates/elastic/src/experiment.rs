@@ -1,0 +1,524 @@
+//! Drivers for the paper's auto-scaling experiments (Fig. 8).
+
+use crate::sim::{poisson_arrivals, Completion, PoolSim, PoolSimConfig, ServiceTimeDist};
+use crate::stats::BoxplotStats;
+use objectmq::provision::{
+    AutoScaler, GgOneModel, PredictiveProvisioner, ReactiveProvisioner, ScalingPolicy,
+};
+use std::time::Duration;
+use workload::{Ub1Config, Ub1Trace};
+
+/// Configuration of a day-8 auto-scaling run (Fig. 8(a)–(e)).
+#[derive(Debug, Clone)]
+pub struct Day8Config {
+    /// The UB1 synthesizer parameters.
+    pub ub1: Ub1Config,
+    /// Which provisioning policies run (the ablation knob).
+    pub policy: ScalingPolicy,
+    /// Response-time SLA `d`, seconds (paper: 450 ms).
+    pub sla: f64,
+    /// Predictive period (paper: 15 minutes).
+    pub predictive_period: Duration,
+    /// Reactive period (paper: 5 minutes).
+    pub reactive_period: Duration,
+    /// Percentile of the history used as the slot prediction.
+    pub percentile: f64,
+    /// Fig. 8(c)–(e): shift (hours) applied to the slot the predictive
+    /// provisioner *thinks* it is provisioning for. `None` = accurate.
+    pub mispredict_shift_hours: Option<f64>,
+    /// First minute of day 8 to simulate.
+    pub start_minute: usize,
+    /// How many minutes of day 8 to simulate.
+    pub duration_minutes: usize,
+    /// Simulation seed (arrival sampling, service times).
+    pub seed: u64,
+}
+
+impl Default for Day8Config {
+    fn default() -> Self {
+        Day8Config {
+            ub1: Ub1Config::default(),
+            policy: ScalingPolicy::Both,
+            sla: 0.450,
+            predictive_period: Duration::from_secs(900),
+            reactive_period: Duration::from_secs(300),
+            percentile: 0.95,
+            mispredict_shift_hours: None,
+            start_minute: 0,
+            duration_minutes: 24 * 60,
+            seed: 8,
+        }
+    }
+}
+
+/// Per-minute series point (the x-axis of every Fig. 8 panel).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MinutePoint {
+    /// Minute index within the experiment.
+    pub minute: usize,
+    /// Offered arrivals in this minute (requests).
+    pub arrivals: u64,
+    /// Pool size at the end of the minute.
+    pub instances: usize,
+    /// Rate the predictor believed for this minute (req/min), if any.
+    pub predicted: f64,
+    /// Mean response time of requests arriving this minute, seconds.
+    pub mean_rt: f64,
+    /// 95th-percentile response time, seconds.
+    pub p95_rt: f64,
+    /// Max response time, seconds.
+    pub max_rt: f64,
+}
+
+/// Aggregate result of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimSummary {
+    /// Per-minute series.
+    pub points: Vec<MinutePoint>,
+    /// Completed requests.
+    pub completed: usize,
+    /// The SLA used, seconds.
+    pub sla: f64,
+    /// Fraction of completions violating the SLA.
+    pub sla_violation_fraction: f64,
+    /// Response-time summary over all completions.
+    pub overall: BoxplotStats,
+    /// Peak pool size reached.
+    pub peak_instances: usize,
+    /// Capacity actually provisioned, in instance-minutes.
+    pub instance_minutes: u64,
+}
+
+impl SimSummary {
+    /// Instance-minutes a static deployment provisioned for the observed
+    /// peak would have consumed.
+    pub fn static_peak_instance_minutes(&self) -> u64 {
+        (self.peak_instances * self.points.len()) as u64
+    }
+
+    /// Fraction of capacity saved versus static peak provisioning — the
+    /// economic argument of the paper's introduction ("provisioning for
+    /// the peak demand will result in excess of resources during off-peak
+    /// phases").
+    pub fn elasticity_savings(&self) -> f64 {
+        let static_cost = self.static_peak_instance_minutes();
+        if static_cost == 0 {
+            return 0.0;
+        }
+        1.0 - self.instance_minutes as f64 / static_cost as f64
+    }
+}
+
+struct MinuteAgg {
+    arrivals: u64,
+    rts: Vec<f64>,
+    instances: usize,
+    predicted: f64,
+}
+
+/// Runs the Fig. 8(a)/(b) experiment (or the 8(c)–(e) variant when
+/// `mispredict_shift_hours` is set): trains the predictive provisioner on
+/// a week of synthesized UB1 history, then replays (a window of) day 8
+/// under the configured policies.
+pub fn run_day8(config: &Day8Config) -> SimSummary {
+    let trace = Ub1Trace::synthesize(&config.ub1, 8);
+    let slot_minutes = (config.predictive_period.as_secs() / 60) as usize;
+
+    // Train on days 1..7 (indices 0..7).
+    let model = GgOneModel {
+        target_response: config.sla,
+        mean_service: ServiceTimeDist::paper().mean,
+        var_interarrival: ServiceTimeDist::paper().variance(),
+        var_service: ServiceTimeDist::paper().variance(),
+    };
+    let mut predictive =
+        PredictiveProvisioner::new(model.clone(), config.predictive_period, config.percentile);
+    predictive.observe_series(&trace.slot_rates(0..7, slot_minutes));
+    let reactive = ReactiveProvisioner::paper_defaults(model.clone());
+    let mut scaler = AutoScaler::new(predictive, reactive, config.policy);
+
+    // Day-8 arrival process over the experiment window.
+    let day8 = trace.day(7);
+    let window: Vec<f64> = day8
+        .iter()
+        .skip(config.start_minute)
+        .take(config.duration_minutes)
+        .cloned()
+        .collect();
+    let arrivals = poisson_arrivals(&window, config.seed);
+    let end_time = window.len() as f64 * 60.0;
+
+    // Initial pool: what the predictor wants for the starting slot (with
+    // the misprediction shift applied, the wrong slot).
+    let shift_secs = config.mispredict_shift_hours.unwrap_or(0.0) * 3600.0;
+    let wall_offset = config.start_minute as f64 * 60.0;
+    let slot_time = |now: f64| Duration::from_secs_f64((now + wall_offset + shift_secs).max(0.0));
+    let initial = scaler
+        .predictive_tick(slot_time(0.0))
+        .unwrap_or(scaler.target());
+
+    // Per-minute aggregation.
+    let minutes = window.len();
+    let mut aggs: Vec<MinuteAgg> = (0..minutes)
+        .map(|_| MinuteAgg {
+            arrivals: 0,
+            rts: Vec::new(),
+            instances: initial,
+            predicted: scaler.predictive().last_prediction().unwrap_or(0.0) * 60.0,
+        })
+        .collect();
+    for &a in &arrivals {
+        let m = ((a / 60.0) as usize).min(minutes - 1);
+        aggs[m].arrivals += 1;
+    }
+
+    let mut sim = PoolSim::new(PoolSimConfig {
+        service: ServiceTimeDist::paper(),
+        spawn_delay: 1.0,
+        seed: config.seed ^ 0xA5A5,
+    });
+
+    let reactive_every = config.reactive_period.as_secs_f64();
+    let predictive_every = config.predictive_period.as_secs_f64();
+    let mut last_arrivals_total = 0u64;
+    let mut last_reactive = 0.0f64;
+    let mut last_predictive = 0.0f64;
+    let mut completions: Vec<Completion> = Vec::with_capacity(arrivals.len());
+
+    sim.run(
+        &arrivals,
+        end_time,
+        initial,
+        60.0, // bookkeeping tick every simulated minute
+        |ctx| {
+            let now = ctx.now();
+            // Predictive re-provisioning every 15 minutes, preceded by
+            // the paper's online σ²_a refresh from queue observations.
+            if now - last_predictive >= predictive_every - 1e-6 {
+                last_predictive = now;
+                if let Some(var) = ctx.interarrival_variance() {
+                    // The queue-side measurement sees the *aggregate*
+                    // stream; eq. (1) wants the per-server interarrival
+                    // variance. Splitting a renewal stream over eta servers
+                    // scales gaps by eta and variance by eta^2.
+                    let eta = ctx.live().max(1) as f64;
+                    scaler.observe_interarrival_variance(var * eta * eta);
+                    ctx.reset_interarrival_stats();
+                }
+                if let Some(n) = scaler.predictive_tick(slot_time(now)) {
+                    ctx.set_target(n);
+                }
+            }
+            // Reactive correction every 5 minutes.
+            if now - last_reactive >= reactive_every - 1e-6 {
+                let observed =
+                    (ctx.total_arrivals() - last_arrivals_total) as f64 / (now - last_reactive);
+                last_reactive = now;
+                last_arrivals_total = ctx.total_arrivals();
+                if let Some(n) = scaler.reactive_tick(observed) {
+                    ctx.set_target(n);
+                }
+            }
+            // Record the pool size and live prediction for this minute.
+            let minute = ((now / 60.0) as usize).saturating_sub(1).min(minutes - 1);
+            aggs[minute].instances = ctx.live().max(ctx.target());
+            aggs[minute].predicted =
+                scaler.predictive().last_prediction().unwrap_or(0.0) * 60.0;
+        },
+        &[],
+        |c| completions.push(c),
+    );
+
+    summarize(config.sla, aggs, completions)
+}
+
+/// Configuration of the Fig. 8(f) fault-tolerance experiment.
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    /// Experiment length (paper: the first 10 minutes of day 8).
+    pub duration_minutes: usize,
+    /// Crash period (paper: every 30 seconds).
+    pub crash_period: f64,
+    /// Outage length per crash: supervisor detection (≤1 s) + respawn.
+    pub downtime: f64,
+    /// Arrival rate cap so one instance suffices (the paper chose a window
+    /// that "requires a single instance").
+    pub max_rate_per_min: f64,
+    /// SLA for reporting, seconds.
+    pub sla: f64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            duration_minutes: 10,
+            crash_period: 30.0,
+            downtime: 1.5,
+            max_rate_per_min: 300.0,
+            sla: 0.450,
+            seed: 86,
+        }
+    }
+}
+
+/// Result of the fault-tolerance experiment: response-time distributions
+/// with the instance up vs down (the two boxplots of Fig. 8(f)).
+#[derive(Debug, Clone)]
+pub struct FaultSummary {
+    /// Requests arriving while the instance was running.
+    pub while_up: BoxplotStats,
+    /// Requests arriving during an outage window.
+    pub while_down: BoxplotStats,
+    /// Total completions (nothing may be lost).
+    pub completed: usize,
+    /// Offered requests.
+    pub offered: usize,
+}
+
+/// Runs the Fig. 8(f) experiment: a single SyncService instance crashing
+/// every `crash_period` seconds while serving the (rate-capped) start of
+/// day 8; the supervisor restores it after `downtime`.
+pub fn run_fault_tolerance(config: &FaultConfig) -> FaultSummary {
+    let trace = Ub1Trace::synthesize(&Ub1Config::default(), 8);
+    let day8 = trace.day(7);
+    // Cap the rate so a single instance suffices, as in the paper's chosen
+    // window.
+    let peak = day8
+        .iter()
+        .take(config.duration_minutes)
+        .cloned()
+        .fold(0.0, f64::max);
+    let scale = if peak > config.max_rate_per_min {
+        config.max_rate_per_min / peak
+    } else {
+        1.0
+    };
+    let window: Vec<f64> = day8
+        .iter()
+        .take(config.duration_minutes)
+        .map(|r| r * scale)
+        .collect();
+    let arrivals = poisson_arrivals(&window, config.seed);
+    let end_time = window.len() as f64 * 60.0 + 120.0;
+
+    // Crash schedule: every crash_period seconds.
+    let mut crashes = Vec::new();
+    let mut t = config.crash_period;
+    while t < window.len() as f64 * 60.0 {
+        crashes.push((t, t + config.downtime));
+        t += config.crash_period;
+    }
+
+    let mut sim = PoolSim::new(PoolSimConfig {
+        service: ServiceTimeDist::paper(),
+        spawn_delay: 0.5,
+        seed: config.seed ^ 0x5A5A,
+    });
+    let mut completions = Vec::new();
+    sim.run(
+        &arrivals,
+        end_time,
+        1,
+        0.0,
+        |_| {},
+        &crashes,
+        |c| completions.push(c),
+    );
+
+    let in_outage = |t: f64| {
+        crashes
+            .iter()
+            .any(|&(down, up)| (down..up + config.downtime).contains(&t))
+    };
+    let (down_pairs, up_pairs): (Vec<(f64, f64)>, Vec<(f64, f64)>) = completions
+        .iter()
+        .map(|c| (c.arrival, c.response_time()))
+        .partition(|(a, _)| in_outage(*a));
+    let down: Vec<f64> = down_pairs.into_iter().map(|(_, rt)| rt).collect();
+    let up: Vec<f64> = up_pairs.into_iter().map(|(_, rt)| rt).collect();
+
+    FaultSummary {
+        while_up: BoxplotStats::of(&up),
+        while_down: BoxplotStats::of(&down),
+        completed: completions.len(),
+        offered: arrivals.len(),
+    }
+}
+
+fn summarize(sla: f64, aggs: Vec<MinuteAgg>, completions: Vec<Completion>) -> SimSummary {
+    let mut aggs = aggs;
+    for c in &completions {
+        let m = ((c.arrival / 60.0) as usize).min(aggs.len() - 1);
+        aggs[m].rts.push(c.response_time());
+    }
+    let points: Vec<MinutePoint> = aggs
+        .iter()
+        .enumerate()
+        .map(|(minute, agg)| {
+            let b = BoxplotStats::of(&agg.rts);
+            MinutePoint {
+                minute,
+                arrivals: agg.arrivals,
+                instances: agg.instances,
+                predicted: agg.predicted,
+                mean_rt: b.mean,
+                p95_rt: crate::stats::percentile(&agg.rts, 0.95),
+                max_rt: b.max,
+            }
+        })
+        .collect();
+    let rts: Vec<f64> = completions.iter().map(|c| c.response_time()).collect();
+    let violations = rts.iter().filter(|&&rt| rt > sla).count();
+    SimSummary {
+        completed: completions.len(),
+        sla,
+        sla_violation_fraction: if rts.is_empty() {
+            0.0
+        } else {
+            violations as f64 / rts.len() as f64
+        },
+        overall: BoxplotStats::of(&rts),
+        peak_instances: points.iter().map(|p| p.instances).max().unwrap_or(0),
+        instance_minutes: points.iter().map(|p| p.instances as u64).sum(),
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A fast, downscaled day-8 configuration for tests.
+    fn quick_config() -> Day8Config {
+        Day8Config {
+            ub1: Ub1Config {
+                peak_per_min: 1200.0,
+                ..Ub1Config::default()
+            },
+            start_minute: 10 * 60, // mid-morning ramp
+            duration_minutes: 90,
+            ..Day8Config::default()
+        }
+    }
+
+    #[test]
+    fn elasticity_saves_capacity_vs_static_peak() {
+        // Run a window spanning trough and ramp so the saving is visible.
+        let summary = run_day8(&Day8Config {
+            start_minute: 3 * 60,
+            duration_minutes: 9 * 60,
+            ..Day8Config::default()
+        });
+        assert!(summary.instance_minutes > 0);
+        assert!(
+            summary.elasticity_savings() > 0.15,
+            "elastic provisioning must beat static peak by >15%, got {:.3}",
+            summary.elasticity_savings()
+        );
+    }
+
+    #[test]
+    fn autoscaling_meets_the_sla() {
+        let summary = run_day8(&quick_config());
+        assert!(summary.completed > 10_000, "workload must be substantial");
+        assert!(
+            summary.sla_violation_fraction < 0.05,
+            "with accurate prediction ≥95% of requests must meet the 450 ms \
+             SLA, violations: {:.3}",
+            summary.sla_violation_fraction
+        );
+        assert!(summary.peak_instances > 1, "the pool must actually scale");
+    }
+
+    #[test]
+    fn instances_track_the_workload_shape() {
+        // Fig. 8(a): pool size must rise with the morning ramp. Use the
+        // 06:00→12:00 climb at a higher peak so the required η crosses
+        // several integer boundaries.
+        let summary = run_day8(&Day8Config {
+            ub1: Ub1Config {
+                peak_per_min: 3000.0,
+                ..Ub1Config::default()
+            },
+            start_minute: 6 * 60,
+            duration_minutes: 6 * 60,
+            ..Day8Config::default()
+        });
+        let first = summary.points[10].instances;
+        let last = summary.points[summary.points.len() - 10].instances;
+        assert!(
+            last > first,
+            "instances must grow with the ramp: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn misprediction_hurts_until_reactive_corrects() {
+        // Fig. 8(c)-(e): with the predictor fooled (quiet-hour pattern for
+        // a busy hour), early response times degrade; the reactive policy
+        // then corrects and the tail of the run is healthy again.
+        let accurate = run_day8(&quick_config());
+        let fooled = run_day8(&Day8Config {
+            // Predict for the middle of the night instead.
+            mispredict_shift_hours: Some(16.0),
+            ..quick_config()
+        });
+        assert!(
+            fooled.sla_violation_fraction > accurate.sla_violation_fraction,
+            "misprediction must hurt: {:.4} vs {:.4}",
+            fooled.sla_violation_fraction,
+            accurate.sla_violation_fraction
+        );
+        // Late-run health: after the reactive policy had time to act, the
+        // per-minute p95 must come back under control.
+        let tail_ok = fooled
+            .points
+            .iter()
+            .rev()
+            .take(20)
+            .all(|p| p.p95_rt < 2.0 * fooled.sla);
+        assert!(tail_ok, "reactive must repair the pool by the end of the run");
+    }
+
+    #[test]
+    fn predictive_only_cannot_absorb_mispredictions() {
+        let fooled_both = run_day8(&Day8Config {
+            mispredict_shift_hours: Some(16.0),
+            policy: ScalingPolicy::Both,
+            ..quick_config()
+        });
+        let fooled_pred_only = run_day8(&Day8Config {
+            mispredict_shift_hours: Some(16.0),
+            policy: ScalingPolicy::Predictive,
+            ..quick_config()
+        });
+        assert!(
+            fooled_pred_only.sla_violation_fraction > fooled_both.sla_violation_fraction,
+            "without the reactive corrector things must stay bad: {:.4} vs {:.4}",
+            fooled_pred_only.sla_violation_fraction,
+            fooled_both.sla_violation_fraction
+        );
+    }
+
+    #[test]
+    fn fault_tolerance_loses_nothing_and_stays_subsecond() {
+        let summary = run_fault_tolerance(&FaultConfig::default());
+        assert_eq!(
+            summary.completed, summary.offered,
+            "queue redelivery must not lose a single request"
+        );
+        assert!(summary.while_down.count > 0, "some requests hit outages");
+        assert!(
+            summary.while_down.median > summary.while_up.median,
+            "outage requests must be slower"
+        );
+        // Paper: "it does not introduce delays greater than 1 sec".
+        assert!(
+            summary.while_down.median < 2.5,
+            "outage medians must stay bounded, got {:.3}",
+            summary.while_down.median
+        );
+    }
+}

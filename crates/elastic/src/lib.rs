@@ -1,0 +1,34 @@
+//! # elastic — virtual-time simulation of the elastic SyncService
+//!
+//! The paper's auto-scaling experiments (§5.3, Fig. 8) replay a full *day*
+//! of Ubuntu One commit arrivals against a dynamically-provisioned pool of
+//! SyncService instances. Replaying a day in real time is infeasible, and
+//! the paper itself models each server as a G/G/1 queue — so this crate
+//! simulates exactly that model under a virtual clock:
+//!
+//! * [`sim`] — an event-driven simulation of a single FIFO request queue
+//!   feeding a pool of servers whose size the provisioning policies adjust
+//!   at runtime; supports instance crash/recovery injection.
+//! * [`experiment`] — drivers reproducing each panel of Fig. 8: combined
+//!   predictive+reactive provisioning (8a/8b), misprediction corrected by
+//!   the reactive policy (8c–8e), and fault tolerance under a crash loop
+//!   (8f).
+//! * [`stats`] — percentile and boxplot summaries used by the bench
+//!   binaries.
+//!
+//! The provisioning policies themselves live in `objectmq::provision` and
+//! are *shared* with the live middleware — the simulator exercises the
+//! same code the Supervisor runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod sim;
+pub mod stats;
+
+pub use experiment::{
+    run_day8, run_fault_tolerance, Day8Config, FaultConfig, MinutePoint, SimSummary,
+};
+pub use sim::{PoolSim, PoolSimConfig, ServiceTimeDist};
+pub use stats::{percentile, BoxplotStats};

@@ -1,0 +1,61 @@
+//! Metadata-tier errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Result alias for metadata operations.
+pub type MetadataResult<T> = Result<T, MetadataError>;
+
+/// Errors from the metadata back-end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MetadataError {
+    /// The user does not exist.
+    UnknownUser(String),
+    /// The user already exists.
+    UserExists(String),
+    /// The workspace does not exist.
+    UnknownWorkspace(String),
+    /// A commit proposed an item that belongs to a different workspace.
+    WrongWorkspace {
+        /// The item in question.
+        item: u64,
+        /// The workspace it actually belongs to.
+        belongs_to: String,
+    },
+}
+
+impl fmt::Display for MetadataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetadataError::UnknownUser(u) => write!(f, "unknown user: {u}"),
+            MetadataError::UserExists(u) => write!(f, "user already exists: {u}"),
+            MetadataError::UnknownWorkspace(w) => write!(f, "unknown workspace: {w}"),
+            MetadataError::WrongWorkspace { item, belongs_to } => {
+                write!(f, "item {item} belongs to workspace {belongs_to}")
+            }
+        }
+    }
+}
+
+impl Error for MetadataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_nonempty() {
+        for e in [
+            MetadataError::UnknownUser("u".into()),
+            MetadataError::UserExists("u".into()),
+            MetadataError::UnknownWorkspace("w".into()),
+            MetadataError::WrongWorkspace {
+                item: 3,
+                belongs_to: "w".into(),
+            },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # metadata — the Metadata back-end (PostgreSQL stand-in)
+//!
+//! StackSync keeps all file-sync metadata — workspaces, item versions,
+//! chunk lists — in an ACID store, deliberately choosing a relational
+//! database over an eventually-consistent KV store "to benefit from the
+//! ACID semantics, and this way simplify the maintenance of consistency"
+//! (paper §4). The SyncService talks to it through an extensible DAO so the
+//! back-end can be replaced.
+//!
+//! This crate reproduces that tier as a serializable in-memory store:
+//!
+//! * [`MetadataStore`] is the DAO trait (the paper's extension hook);
+//! * [`InMemoryStore`] implements it with one big serialization lock —
+//!   every commit is atomic and totally ordered, which is exactly the
+//!   property Algorithm 1 relies on to declare winners;
+//! * [`ItemMetadata`]/[`CommitOutcome`] model versioned items and the
+//!   commit results piggybacked in `CommitNotification`s.
+//!
+//! ## Example
+//!
+//! ```
+//! use metadata::{InMemoryStore, MetadataStore, ItemMetadata, CommitResult};
+//!
+//! let store = InMemoryStore::new();
+//! store.create_user("alice").unwrap();
+//! let ws = store.create_workspace("alice", "Documents").unwrap();
+//! let item = ItemMetadata::new_file(1, &ws, "report.txt", vec![], 0, "device-1");
+//! let outcomes = store.commit(&ws, vec![item]).unwrap();
+//! assert!(matches!(outcomes[0].result, CommitResult::Committed { version: 1 }));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod model;
+mod snapshot;
+mod store;
+
+pub use error::{MetadataError, MetadataResult};
+pub use model::{CommitOutcome, CommitResult, ItemMetadata, Workspace, WorkspaceId};
+pub use store::{InMemoryStore, MetadataStore};

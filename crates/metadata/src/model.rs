@@ -1,0 +1,190 @@
+//! Metadata model: workspaces, versioned items, commit outcomes.
+
+use content::ChunkId;
+use std::fmt;
+
+/// Identifier of a workspace (a synced folder, paper §4.1).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WorkspaceId(pub String);
+
+impl fmt::Display for WorkspaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for WorkspaceId {
+    fn from(s: &str) -> Self {
+        WorkspaceId(s.to_string())
+    }
+}
+
+/// A workspace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Workspace {
+    /// Unique workspace id.
+    pub id: WorkspaceId,
+    /// Owning user.
+    pub owner: String,
+    /// Human-readable name ("Documents").
+    pub name: String,
+    /// Users the workspace is shared with (owner excluded).
+    pub members: Vec<String>,
+}
+
+/// One version of one item (file) — the `ObjectMetadata` of the paper's
+/// SyncService interface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ItemMetadata {
+    /// Stable item identifier (survives renames and versions).
+    pub item_id: u64,
+    /// Workspace the item lives in.
+    pub workspace: WorkspaceId,
+    /// Path within the workspace.
+    pub path: String,
+    /// Version number; the first committed version is 1.
+    pub version: u64,
+    /// Ordered fingerprints of the item's chunks.
+    pub chunks: Vec<ChunkId>,
+    /// File size in bytes.
+    pub size: u64,
+    /// Tombstone flag for deletions.
+    pub is_deleted: bool,
+    /// Device that produced this version.
+    pub modified_by: String,
+}
+
+impl ItemMetadata {
+    /// Convenience constructor for a new (version-1 proposal) file.
+    pub fn new_file(
+        item_id: u64,
+        workspace: &WorkspaceId,
+        path: &str,
+        chunks: Vec<ChunkId>,
+        size: u64,
+        device: &str,
+    ) -> Self {
+        ItemMetadata {
+            item_id,
+            workspace: workspace.clone(),
+            path: path.to_string(),
+            version: 1,
+            chunks,
+            size,
+            is_deleted: false,
+            modified_by: device.to_string(),
+        }
+    }
+
+    /// Builds the next-version proposal derived from this version.
+    pub fn next_version(&self, chunks: Vec<ChunkId>, size: u64, device: &str) -> Self {
+        ItemMetadata {
+            version: self.version + 1,
+            chunks,
+            size,
+            is_deleted: false,
+            modified_by: device.to_string(),
+            ..self.clone()
+        }
+    }
+
+    /// Builds a deletion tombstone as the next version.
+    pub fn tombstone(&self, device: &str) -> Self {
+        ItemMetadata {
+            version: self.version + 1,
+            chunks: Vec::new(),
+            size: 0,
+            is_deleted: true,
+            modified_by: device.to_string(),
+            ..self.clone()
+        }
+    }
+}
+
+/// Per-item result of a commit (Algorithm 1 lines 8, 12, 15).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommitResult {
+    /// The proposed version was persisted.
+    Committed {
+        /// The version that was stored.
+        version: u64,
+    },
+    /// Version conflict: the current server-side metadata is piggybacked so
+    /// the losing client can reconstruct the winning version.
+    Conflict {
+        /// The current (winning) version on the server.
+        current: ItemMetadata,
+    },
+}
+
+/// Outcome of one proposed change inside a commit request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitOutcome {
+    /// The item the proposal was about.
+    pub item_id: u64,
+    /// What happened.
+    pub result: CommitResult,
+    /// The metadata as proposed (echoed for the notification).
+    pub proposed: ItemMetadata,
+}
+
+impl CommitOutcome {
+    /// Whether the proposal was accepted.
+    pub fn is_committed(&self) -> bool {
+        matches!(self.result, CommitResult::Committed { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws() -> WorkspaceId {
+        WorkspaceId::from("ws-1")
+    }
+
+    #[test]
+    fn new_file_starts_at_version_one() {
+        let m = ItemMetadata::new_file(7, &ws(), "a.txt", vec![], 10, "dev");
+        assert_eq!(m.version, 1);
+        assert!(!m.is_deleted);
+    }
+
+    #[test]
+    fn next_version_increments_and_replaces_content() {
+        let v1 = ItemMetadata::new_file(7, &ws(), "a.txt", vec![], 10, "dev");
+        let id = ChunkId::of(b"chunk");
+        let v2 = v1.next_version(vec![id], 99, "dev2");
+        assert_eq!(v2.version, 2);
+        assert_eq!(v2.chunks, vec![id]);
+        assert_eq!(v2.size, 99);
+        assert_eq!(v2.modified_by, "dev2");
+        assert_eq!(v2.path, "a.txt");
+    }
+
+    #[test]
+    fn tombstone_marks_deleted() {
+        let v1 = ItemMetadata::new_file(7, &ws(), "a.txt", vec![ChunkId::of(b"x")], 10, "d");
+        let t = v1.tombstone("d");
+        assert!(t.is_deleted);
+        assert_eq!(t.version, 2);
+        assert!(t.chunks.is_empty());
+    }
+
+    #[test]
+    fn outcome_predicates() {
+        let m = ItemMetadata::new_file(1, &ws(), "p", vec![], 0, "d");
+        let committed = CommitOutcome {
+            item_id: 1,
+            result: CommitResult::Committed { version: 1 },
+            proposed: m.clone(),
+        };
+        let conflicted = CommitOutcome {
+            item_id: 1,
+            result: CommitResult::Conflict { current: m.clone() },
+            proposed: m,
+        };
+        assert!(committed.is_committed());
+        assert!(!conflicted.is_committed());
+    }
+}

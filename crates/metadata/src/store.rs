@@ -1,0 +1,518 @@
+//! The DAO trait and the serializable in-memory implementation.
+
+use crate::error::{MetadataError, MetadataResult};
+use crate::model::{CommitOutcome, CommitResult, ItemMetadata, Workspace, WorkspaceId};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// The Data Access Object the SyncService talks through (paper §4.2.1:
+/// "The SyncService interacts with the Metadata back-end using an
+/// extensible Data Access Object").
+pub trait MetadataStore: Send + Sync {
+    /// Registers a user.
+    ///
+    /// # Errors
+    ///
+    /// [`MetadataError::UserExists`] when the name is taken.
+    fn create_user(&self, user: &str) -> MetadataResult<()>;
+
+    /// Creates a workspace owned by `user` and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// [`MetadataError::UnknownUser`] when the owner does not exist.
+    fn create_workspace(&self, user: &str, name: &str) -> MetadataResult<WorkspaceId>;
+
+    /// Workspaces accessible to `user` — owned or shared with them (the
+    /// `getWorkspaces` RPC).
+    ///
+    /// # Errors
+    ///
+    /// [`MetadataError::UnknownUser`] when the user does not exist.
+    fn workspaces_of(&self, user: &str) -> MetadataResult<Vec<Workspace>>;
+
+    /// Shares a workspace with another user, who then sees it in
+    /// [`MetadataStore::workspaces_of`] and may commit to it. Idempotent.
+    ///
+    /// # Errors
+    ///
+    /// [`MetadataError::UnknownWorkspace`] / [`MetadataError::UnknownUser`].
+    fn share_workspace(&self, workspace: &WorkspaceId, user: &str) -> MetadataResult<()>;
+
+    /// Looks up one workspace record.
+    fn get_workspace(&self, workspace: &WorkspaceId) -> Option<Workspace>;
+
+    /// Atomically applies a list of proposed changes (Algorithm 1). For
+    /// each proposal: first version of a new item → committed; version ==
+    /// current + 1 → committed; anything else → conflict carrying the
+    /// current metadata. There is never a rollback: winners are decided by
+    /// processing order.
+    ///
+    /// # Errors
+    ///
+    /// [`MetadataError::UnknownWorkspace`] or
+    /// [`MetadataError::WrongWorkspace`]; per-item conflicts are *not*
+    /// errors, they are [`CommitResult::Conflict`] outcomes.
+    fn commit(
+        &self,
+        workspace: &WorkspaceId,
+        proposals: Vec<ItemMetadata>,
+    ) -> MetadataResult<Vec<CommitOutcome>>;
+
+    /// Latest version of every item in a workspace (the `getChanges` RPC),
+    /// tombstones included.
+    ///
+    /// # Errors
+    ///
+    /// [`MetadataError::UnknownWorkspace`].
+    fn current_items(&self, workspace: &WorkspaceId) -> MetadataResult<Vec<ItemMetadata>>;
+
+    /// Latest version of one item.
+    fn get_current(&self, item_id: u64) -> Option<ItemMetadata>;
+
+    /// Full version history of one item, oldest first.
+    fn history(&self, item_id: u64) -> Vec<ItemMetadata>;
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    users: BTreeSet<String>,
+    workspaces: BTreeMap<String, Workspace>,
+    /// item id -> all versions, oldest first.
+    items: HashMap<u64, Vec<ItemMetadata>>,
+    /// workspace -> item ids.
+    by_workspace: HashMap<String, BTreeSet<u64>>,
+    next_workspace: u64,
+}
+
+/// Serializable in-memory metadata store.
+///
+/// One mutex serializes every transaction — the moral equivalent of
+/// `SERIALIZABLE` isolation, and the strongest form of the ACID semantics
+/// the paper leans on. Clones share state.
+#[derive(Debug, Default)]
+pub struct InMemoryStore {
+    inner: Mutex<Inner>,
+}
+
+impl InMemoryStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Dumps the full state for snapshotting: users, workspaces, and every
+    /// item's version history (oldest first).
+    pub(crate) fn dump(&self) -> (Vec<String>, Vec<Workspace>, Vec<Vec<ItemMetadata>>) {
+        let inner = self.inner.lock();
+        let users = inner.users.iter().cloned().collect();
+        let workspaces = inner.workspaces.values().cloned().collect();
+        let mut histories: Vec<Vec<ItemMetadata>> = inner.items.values().cloned().collect();
+        histories.sort_by_key(|v| v[0].item_id);
+        (users, workspaces, histories)
+    }
+
+    /// Rebuilds a store from dumped state (inverse of
+    /// [`InMemoryStore::dump`]). Workspace id allocation resumes past the
+    /// highest restored id.
+    pub(crate) fn from_dump(
+        users: Vec<String>,
+        workspaces: Vec<Workspace>,
+        histories: Vec<Vec<ItemMetadata>>,
+    ) -> InMemoryStore {
+        let mut inner = Inner::default();
+        inner.users = users.into_iter().collect();
+        for ws in workspaces {
+            inner.next_workspace = inner.next_workspace.max(
+                ws.id
+                    .0
+                    .strip_prefix("ws-")
+                    .and_then(|n| n.parse::<u64>().ok())
+                    .unwrap_or(0),
+            );
+            inner.by_workspace.entry(ws.id.0.clone()).or_default();
+            inner.workspaces.insert(ws.id.0.clone(), ws);
+        }
+        for versions in histories {
+            if let Some(first) = versions.first() {
+                inner
+                    .by_workspace
+                    .entry(first.workspace.0.clone())
+                    .or_default()
+                    .insert(first.item_id);
+                inner.items.insert(first.item_id, versions);
+            }
+        }
+        InMemoryStore {
+            inner: Mutex::new(inner),
+        }
+    }
+}
+
+impl MetadataStore for InMemoryStore {
+    fn create_user(&self, user: &str) -> MetadataResult<()> {
+        let mut inner = self.inner.lock();
+        if !inner.users.insert(user.to_string()) {
+            return Err(MetadataError::UserExists(user.to_string()));
+        }
+        Ok(())
+    }
+
+    fn create_workspace(&self, user: &str, name: &str) -> MetadataResult<WorkspaceId> {
+        let mut inner = self.inner.lock();
+        if !inner.users.contains(user) {
+            return Err(MetadataError::UnknownUser(user.to_string()));
+        }
+        inner.next_workspace += 1;
+        let id = WorkspaceId(format!("ws-{}", inner.next_workspace));
+        inner.workspaces.insert(
+            id.0.clone(),
+            Workspace {
+                id: id.clone(),
+                owner: user.to_string(),
+                name: name.to_string(),
+                members: Vec::new(),
+            },
+        );
+        inner.by_workspace.insert(id.0.clone(), BTreeSet::new());
+        Ok(id)
+    }
+
+    fn workspaces_of(&self, user: &str) -> MetadataResult<Vec<Workspace>> {
+        let inner = self.inner.lock();
+        if !inner.users.contains(user) {
+            return Err(MetadataError::UnknownUser(user.to_string()));
+        }
+        Ok(inner
+            .workspaces
+            .values()
+            .filter(|w| w.owner == user || w.members.iter().any(|m| m == user))
+            .cloned()
+            .collect())
+    }
+
+    fn share_workspace(&self, workspace: &WorkspaceId, user: &str) -> MetadataResult<()> {
+        let mut inner = self.inner.lock();
+        if !inner.users.contains(user) {
+            return Err(MetadataError::UnknownUser(user.to_string()));
+        }
+        let ws = inner
+            .workspaces
+            .get_mut(&workspace.0)
+            .ok_or_else(|| MetadataError::UnknownWorkspace(workspace.0.clone()))?;
+        if ws.owner != user && !ws.members.iter().any(|m| m == user) {
+            ws.members.push(user.to_string());
+        }
+        Ok(())
+    }
+
+    fn get_workspace(&self, workspace: &WorkspaceId) -> Option<Workspace> {
+        self.inner.lock().workspaces.get(&workspace.0).cloned()
+    }
+
+    fn commit(
+        &self,
+        workspace: &WorkspaceId,
+        proposals: Vec<ItemMetadata>,
+    ) -> MetadataResult<Vec<CommitOutcome>> {
+        let mut inner = self.inner.lock();
+        if !inner.workspaces.contains_key(&workspace.0) {
+            return Err(MetadataError::UnknownWorkspace(workspace.0.clone()));
+        }
+        let mut outcomes = Vec::with_capacity(proposals.len());
+        for proposed in proposals {
+            // An item is pinned to the workspace of its first version.
+            if let Some(versions) = inner.items.get(&proposed.item_id) {
+                let owner_ws = &versions[0].workspace;
+                if owner_ws != workspace {
+                    return Err(MetadataError::WrongWorkspace {
+                        item: proposed.item_id,
+                        belongs_to: owner_ws.0.clone(),
+                    });
+                }
+            }
+            let current = inner
+                .items
+                .get(&proposed.item_id)
+                .and_then(|v| v.last())
+                .cloned();
+            let result = match current {
+                None => {
+                    // First version of a new object.
+                    let mut stored = proposed.clone();
+                    stored.version = 1;
+                    stored.workspace = workspace.clone();
+                    inner.items.insert(proposed.item_id, vec![stored]);
+                    inner
+                        .by_workspace
+                        .get_mut(&workspace.0)
+                        .expect("workspace checked above")
+                        .insert(proposed.item_id);
+                    CommitResult::Committed { version: 1 }
+                }
+                Some(cur) if proposed.version == cur.version + 1 => {
+                    let mut stored = proposed.clone();
+                    stored.workspace = workspace.clone();
+                    inner
+                        .items
+                        .get_mut(&proposed.item_id)
+                        .expect("item present")
+                        .push(stored);
+                    CommitResult::Committed {
+                        version: proposed.version,
+                    }
+                }
+                Some(cur) => CommitResult::Conflict { current: cur },
+            };
+            outcomes.push(CommitOutcome {
+                item_id: proposed.item_id,
+                result,
+                proposed,
+            });
+        }
+        Ok(outcomes)
+    }
+
+    fn current_items(&self, workspace: &WorkspaceId) -> MetadataResult<Vec<ItemMetadata>> {
+        let inner = self.inner.lock();
+        let ids = inner
+            .by_workspace
+            .get(&workspace.0)
+            .ok_or_else(|| MetadataError::UnknownWorkspace(workspace.0.clone()))?;
+        Ok(ids
+            .iter()
+            .filter_map(|id| inner.items.get(id).and_then(|v| v.last()).cloned())
+            .collect())
+    }
+
+    fn get_current(&self, item_id: u64) -> Option<ItemMetadata> {
+        self.inner
+            .lock()
+            .items
+            .get(&item_id)
+            .and_then(|v| v.last())
+            .cloned()
+    }
+
+    fn history(&self, item_id: u64) -> Vec<ItemMetadata> {
+        self.inner
+            .lock()
+            .items
+            .get(&item_id)
+            .cloned()
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use content::ChunkId;
+    use std::sync::Arc;
+
+    fn setup() -> (InMemoryStore, WorkspaceId) {
+        let s = InMemoryStore::new();
+        s.create_user("alice").unwrap();
+        let ws = s.create_workspace("alice", "Documents").unwrap();
+        (s, ws)
+    }
+
+    fn file(id: u64, ws: &WorkspaceId, version: u64) -> ItemMetadata {
+        ItemMetadata {
+            version,
+            ..ItemMetadata::new_file(id, ws, &format!("f{id}.txt"), vec![], 1, "dev")
+        }
+    }
+
+    #[test]
+    fn duplicate_user_rejected() {
+        let s = InMemoryStore::new();
+        s.create_user("u").unwrap();
+        assert!(matches!(
+            s.create_user("u"),
+            Err(MetadataError::UserExists(_))
+        ));
+    }
+
+    #[test]
+    fn workspace_requires_user() {
+        let s = InMemoryStore::new();
+        assert!(matches!(
+            s.create_workspace("ghost", "x"),
+            Err(MetadataError::UnknownUser(_))
+        ));
+    }
+
+    #[test]
+    fn workspaces_of_lists_only_own() {
+        let s = InMemoryStore::new();
+        s.create_user("a").unwrap();
+        s.create_user("b").unwrap();
+        let wa = s.create_workspace("a", "A").unwrap();
+        let _wb = s.create_workspace("b", "B").unwrap();
+        let list = s.workspaces_of("a").unwrap();
+        assert_eq!(list.len(), 1);
+        assert_eq!(list[0].id, wa);
+    }
+
+    #[test]
+    fn first_commit_creates_version_one() {
+        let (s, ws) = setup();
+        let outcomes = s.commit(&ws, vec![file(1, &ws, 1)]).unwrap();
+        assert!(matches!(
+            outcomes[0].result,
+            CommitResult::Committed { version: 1 }
+        ));
+        assert_eq!(s.get_current(1).unwrap().version, 1);
+    }
+
+    #[test]
+    fn sequential_versions_commit() {
+        let (s, ws) = setup();
+        s.commit(&ws, vec![file(1, &ws, 1)]).unwrap();
+        let out = s.commit(&ws, vec![file(1, &ws, 2)]).unwrap();
+        assert!(out[0].is_committed());
+        assert_eq!(s.get_current(1).unwrap().version, 2);
+        assert_eq!(s.history(1).len(), 2);
+    }
+
+    #[test]
+    fn stale_version_conflicts_and_carries_current() {
+        let (s, ws) = setup();
+        s.commit(&ws, vec![file(1, &ws, 1)]).unwrap();
+        s.commit(&ws, vec![file(1, &ws, 2)]).unwrap();
+        // A second client still at version 1 proposes version 2 again.
+        let out = s.commit(&ws, vec![file(1, &ws, 2)]).unwrap();
+        match &out[0].result {
+            CommitResult::Conflict { current } => assert_eq!(current.version, 2),
+            other => panic!("expected conflict, got {other:?}"),
+        }
+        // No rollback: current stays at version 2.
+        assert_eq!(s.get_current(1).unwrap().version, 2);
+    }
+
+    #[test]
+    fn skipping_versions_conflicts() {
+        let (s, ws) = setup();
+        s.commit(&ws, vec![file(1, &ws, 1)]).unwrap();
+        let out = s.commit(&ws, vec![file(1, &ws, 5)]).unwrap();
+        assert!(!out[0].is_committed());
+    }
+
+    #[test]
+    fn mixed_batch_gets_per_item_outcomes() {
+        let (s, ws) = setup();
+        s.commit(&ws, vec![file(1, &ws, 1)]).unwrap();
+        let out = s
+            .commit(&ws, vec![file(1, &ws, 2), file(2, &ws, 1), file(1, &ws, 9)])
+            .unwrap();
+        assert!(out[0].is_committed());
+        assert!(out[1].is_committed());
+        assert!(!out[2].is_committed(), "stale proposal in same batch conflicts");
+    }
+
+    #[test]
+    fn tombstone_flow() {
+        let (s, ws) = setup();
+        s.commit(&ws, vec![file(1, &ws, 1)]).unwrap();
+        let cur = s.get_current(1).unwrap();
+        let out = s.commit(&ws, vec![cur.tombstone("dev")]).unwrap();
+        assert!(out[0].is_committed());
+        let current = s.get_current(1).unwrap();
+        assert!(current.is_deleted);
+        // Tombstones still appear in the workspace listing (clients need
+        // them to delete local copies).
+        let items = s.current_items(&ws).unwrap();
+        assert_eq!(items.len(), 1);
+        assert!(items[0].is_deleted);
+    }
+
+    #[test]
+    fn unknown_workspace_errors() {
+        let (s, _) = setup();
+        let bogus = WorkspaceId::from("nope");
+        assert!(matches!(
+            s.commit(&bogus, vec![]),
+            Err(MetadataError::UnknownWorkspace(_))
+        ));
+        assert!(matches!(
+            s.current_items(&bogus),
+            Err(MetadataError::UnknownWorkspace(_))
+        ));
+    }
+
+    #[test]
+    fn items_are_pinned_to_their_workspace() {
+        let s = InMemoryStore::new();
+        s.create_user("alice").unwrap();
+        let ws1 = s.create_workspace("alice", "A").unwrap();
+        let ws2 = s.create_workspace("alice", "B").unwrap();
+        s.commit(&ws1, vec![file(1, &ws1, 1)]).unwrap();
+        assert!(matches!(
+            s.commit(&ws2, vec![file(1, &ws2, 2)]),
+            Err(MetadataError::WrongWorkspace { item: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn concurrent_commits_have_exactly_one_winner() {
+        let (s, ws) = setup();
+        s.commit(&ws, vec![file(1, &ws, 1)]).unwrap();
+        let s = Arc::new(s);
+        // 8 devices race to commit version 2 of the same item — the paper's
+        // conflict scenario. Exactly one must win.
+        let mut handles = Vec::new();
+        for d in 0..8 {
+            let s = s.clone();
+            let ws = ws.clone();
+            handles.push(std::thread::spawn(move || {
+                let proposal = ItemMetadata {
+                    modified_by: format!("device-{d}"),
+                    ..ItemMetadata {
+                        version: 2,
+                        ..ItemMetadata::new_file(1, &ws, "f1.txt", vec![], 1, "x")
+                    }
+                };
+                s.commit(&ws, vec![proposal]).unwrap()[0].is_committed()
+            }));
+        }
+        let wins: usize = handles
+            .into_iter()
+            .map(|h| h.join().unwrap() as usize)
+            .sum();
+        assert_eq!(wins, 1, "exactly one concurrent committer wins");
+        assert_eq!(s.get_current(1).unwrap().version, 2);
+    }
+
+    #[test]
+    fn chunks_are_stored_with_versions() {
+        let (s, ws) = setup();
+        let c1 = ChunkId::of(b"one");
+        let c2 = ChunkId::of(b"two");
+        let mut f = file(1, &ws, 1);
+        f.chunks = vec![c1, c2];
+        s.commit(&ws, vec![f]).unwrap();
+        assert_eq!(s.get_current(1).unwrap().chunks, vec![c1, c2]);
+    }
+
+    #[test]
+    fn version_monotonicity_property() {
+        // Drive a pseudo-random schedule of valid/stale commits and check
+        // the history is strictly monotonically versioned.
+        let (s, ws) = setup();
+        s.commit(&ws, vec![file(1, &ws, 1)]).unwrap();
+        let mut state = 0x2545F4914F6CDD1Du64;
+        for _ in 0..200 {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let cur = s.get_current(1).unwrap().version;
+            let proposed = if state % 3 == 0 { cur + 1 } else { state % 7 };
+            let _ = s.commit(&ws, vec![file(1, &ws, proposed)]);
+        }
+        let history = s.history(1);
+        for (i, v) in history.iter().enumerate() {
+            assert_eq!(v.version, i as u64 + 1, "history must be gapless");
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Property tests of the metadata store against a simple oracle model:
+//! commits are exactly "accept iff version == current + 1 (or first
+//! version)", histories stay gapless, and the store agrees with the oracle
+//! under arbitrary schedules.
+
+use metadata::{CommitResult, InMemoryStore, ItemMetadata, MetadataStore, WorkspaceId};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+struct Proposal {
+    item: u64,
+    version: u64,
+    deleted: bool,
+}
+
+fn arb_proposal() -> impl Strategy<Value = Proposal> {
+    (0u64..6, 1u64..8, any::<bool>()).prop_map(|(item, version, deleted)| Proposal {
+        item,
+        version,
+        deleted,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn store_agrees_with_version_oracle(
+        proposals in proptest::collection::vec(arb_proposal(), 1..80),
+    ) {
+        let store = InMemoryStore::new();
+        store.create_user("u").unwrap();
+        let ws = store.create_workspace("u", "w").unwrap();
+        // Oracle: item -> current version.
+        let mut oracle: HashMap<u64, u64> = HashMap::new();
+
+        for p in &proposals {
+            let meta = ItemMetadata {
+                version: p.version,
+                is_deleted: p.deleted,
+                ..ItemMetadata::new_file(p.item, &ws, &format!("f{}", p.item), vec![], 1, "d")
+            };
+            let out = store.commit(&ws, vec![meta]).unwrap();
+            let expected_accept = match oracle.get(&p.item) {
+                None => true, // first version always accepted (stored as 1)
+                Some(cur) => p.version == cur + 1,
+            };
+            prop_assert_eq!(
+                out[0].is_committed(),
+                expected_accept,
+                "item {} v{} against oracle {:?}",
+                p.item,
+                p.version,
+                oracle.get(&p.item)
+            );
+            if expected_accept {
+                let stored = match oracle.get(&p.item) {
+                    None => 1,
+                    Some(_) => p.version,
+                };
+                oracle.insert(p.item, stored);
+            } else if let CommitResult::Conflict { current } = &out[0].result {
+                prop_assert_eq!(Some(&current.version), oracle.get(&p.item));
+            }
+        }
+
+        // Final agreement + gapless histories.
+        for (item, version) in &oracle {
+            let current = store.get_current(*item).unwrap();
+            prop_assert_eq!(current.version, *version);
+            let history = store.history(*item);
+            for (i, v) in history.iter().enumerate() {
+                prop_assert_eq!(v.version, i as u64 + 1, "gapless history");
+            }
+        }
+        // Everything the oracle knows is listed in the workspace.
+        let listed = store.current_items(&ws).unwrap();
+        prop_assert_eq!(listed.len(), oracle.len());
+    }
+
+    #[test]
+    fn batch_commit_equals_sequential_commits(
+        proposals in proptest::collection::vec(arb_proposal(), 1..40),
+    ) {
+        // Committing a batch must produce exactly the same outcomes as
+        // committing its elements one by one (Algorithm 1 processes the
+        // list in order with no rollback).
+        let mk = |p: &Proposal, ws: &WorkspaceId| ItemMetadata {
+            version: p.version,
+            is_deleted: p.deleted,
+            ..ItemMetadata::new_file(p.item, ws, &format!("f{}", p.item), vec![], 1, "d")
+        };
+
+        let batched = InMemoryStore::new();
+        batched.create_user("u").unwrap();
+        let ws_b = batched.create_workspace("u", "w").unwrap();
+        let outcomes_batched = batched
+            .commit(&ws_b, proposals.iter().map(|p| mk(p, &ws_b)).collect())
+            .unwrap();
+
+        let sequential = InMemoryStore::new();
+        sequential.create_user("u").unwrap();
+        let ws_s = sequential.create_workspace("u", "w").unwrap();
+        let mut outcomes_sequential = Vec::new();
+        for p in &proposals {
+            outcomes_sequential.extend(sequential.commit(&ws_s, vec![mk(p, &ws_s)]).unwrap());
+        }
+
+        let accepts_a: Vec<bool> = outcomes_batched.iter().map(|o| o.is_committed()).collect();
+        let accepts_b: Vec<bool> = outcomes_sequential.iter().map(|o| o.is_committed()).collect();
+        prop_assert_eq!(accepts_a, accepts_b);
+    }
+
+    #[test]
+    fn snapshot_restore_is_lossless(
+        proposals in proptest::collection::vec(arb_proposal(), 1..40),
+    ) {
+        let store = InMemoryStore::new();
+        store.create_user("u").unwrap();
+        let ws = store.create_workspace("u", "w").unwrap();
+        for p in &proposals {
+            let meta = ItemMetadata {
+                version: p.version,
+                is_deleted: p.deleted,
+                ..ItemMetadata::new_file(p.item, &ws, &format!("f{}", p.item), vec![], 1, "d")
+            };
+            let _ = store.commit(&ws, vec![meta]);
+        }
+        let restored = InMemoryStore::restore(&store.snapshot()).unwrap();
+        prop_assert_eq!(
+            restored.current_items(&ws).unwrap(),
+            store.current_items(&ws).unwrap()
+        );
+        for item in 0u64..6 {
+            prop_assert_eq!(restored.history(item), store.history(item));
+        }
+    }
+}

@@ -1,0 +1,572 @@
+//! The broker: queue/exchange registry and publish paths, plus a mirrored
+//! cluster for high availability (paper §3.4: "high availability can be
+//! achieved by using clusters of messaging brokers").
+
+use crate::consumer::Consumer;
+use crate::error::{MqError, MqResult};
+use crate::exchange::{Exchange, ExchangeKind};
+use crate::message::Message;
+use crate::queue::QueueCore;
+use crate::stats::QueueStats;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Options for queue declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueueOptions {
+    /// Delete the queue automatically when its last consumer unsubscribes.
+    /// Used for per-client response queues.
+    pub auto_delete: bool,
+    /// Window of the per-queue arrival-rate estimator.
+    pub rate_window: Duration,
+}
+
+impl Default for QueueOptions {
+    fn default() -> Self {
+        QueueOptions {
+            auto_delete: false,
+            rate_window: Duration::from_secs(60),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct BrokerInner {
+    queues: RwLock<HashMap<String, Arc<QueueCore>>>,
+    exchanges: RwLock<HashMap<String, Exchange>>,
+    down: AtomicBool,
+}
+
+/// An in-process message broker node.
+///
+/// Cheap to clone: clones share the same underlying broker state, like
+/// multiple AMQP connections to one RabbitMQ node.
+#[derive(Debug, Clone, Default)]
+pub struct MessageBroker {
+    inner: Arc<BrokerInner>,
+}
+
+impl MessageBroker {
+    /// Creates an empty broker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn check_up(&self) -> MqResult<()> {
+        if self.inner.down.load(Ordering::Acquire) {
+            Err(MqError::BrokerDown)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Declares a queue. Redeclaring an existing queue with the same options
+    /// is a no-op; differing options are an error.
+    ///
+    /// # Errors
+    ///
+    /// [`MqError::IncompatibleDeclaration`] if the queue exists with other
+    /// options, [`MqError::BrokerDown`] if the node was killed.
+    pub fn declare_queue(&self, name: &str, options: QueueOptions) -> MqResult<()> {
+        self.check_up()?;
+        let mut queues = self.inner.queues.write();
+        if let Some(existing) = queues.get(name) {
+            if existing.auto_delete != options.auto_delete {
+                return Err(MqError::IncompatibleDeclaration(name.to_string()));
+            }
+            return Ok(());
+        }
+        queues.insert(
+            name.to_string(),
+            Arc::new(QueueCore::new(name, options.auto_delete, options.rate_window)),
+        );
+        Ok(())
+    }
+
+    /// Whether the queue exists.
+    pub fn queue_exists(&self, name: &str) -> bool {
+        self.inner.queues.read().contains_key(name)
+    }
+
+    /// Deletes a queue, waking blocked consumers with `Closed`, and removes
+    /// its bindings from every exchange.
+    pub fn delete_queue(&self, name: &str) -> MqResult<()> {
+        self.check_up()?;
+        let queue = self
+            .inner
+            .queues
+            .write()
+            .remove(name)
+            .ok_or_else(|| MqError::QueueNotFound(name.to_string()))?;
+        queue.close();
+        let mut exchanges = self.inner.exchanges.write();
+        for exchange in exchanges.values_mut() {
+            exchange.unbind_queue_everywhere(name);
+        }
+        Ok(())
+    }
+
+    /// Drops all ready messages of a queue. Returns how many were purged.
+    pub fn purge_queue(&self, name: &str) -> MqResult<usize> {
+        self.check_up()?;
+        Ok(self.queue(name)?.purge())
+    }
+
+    /// Subscribes a new consumer to the queue.
+    pub fn subscribe(&self, queue: &str) -> MqResult<Consumer> {
+        self.check_up()?;
+        let core = self.queue(queue)?;
+        let id = core.register_consumer()?;
+        Ok(Consumer::new(core, id))
+    }
+
+    /// Publishes a message directly to a named queue (the AMQP *default
+    /// exchange* path).
+    pub fn publish_to_queue(&self, queue: &str, message: Message) -> MqResult<()> {
+        self.check_up()?;
+        self.publish_internal(queue, message, None)
+    }
+
+    pub(crate) fn publish_internal(
+        &self,
+        queue: &str,
+        message: Message,
+        cluster_id: Option<u64>,
+    ) -> MqResult<()> {
+        self.queue(queue)?.push(message, cluster_id)
+    }
+
+    /// Declares an exchange of the given kind. Redeclaration with the same
+    /// kind is a no-op.
+    pub fn declare_exchange(&self, name: &str, kind: ExchangeKind) -> MqResult<()> {
+        self.check_up()?;
+        let mut exchanges = self.inner.exchanges.write();
+        if let Some(existing) = exchanges.get(name) {
+            if existing.kind != kind {
+                return Err(MqError::IncompatibleDeclaration(name.to_string()));
+            }
+            return Ok(());
+        }
+        exchanges.insert(name.to_string(), Exchange::new(kind));
+        Ok(())
+    }
+
+    /// Whether the exchange exists.
+    pub fn exchange_exists(&self, name: &str) -> bool {
+        self.inner.exchanges.read().contains_key(name)
+    }
+
+    /// Binds a queue to an exchange under a routing key.
+    pub fn bind_queue(&self, exchange: &str, routing_key: &str, queue: &str) -> MqResult<()> {
+        self.check_up()?;
+        if !self.queue_exists(queue) {
+            return Err(MqError::QueueNotFound(queue.to_string()));
+        }
+        let mut exchanges = self.inner.exchanges.write();
+        let ex = exchanges
+            .get_mut(exchange)
+            .ok_or_else(|| MqError::ExchangeNotFound(exchange.to_string()))?;
+        ex.bind(routing_key, queue);
+        Ok(())
+    }
+
+    /// Removes a binding. Returns whether it existed.
+    pub fn unbind_queue(&self, exchange: &str, routing_key: &str, queue: &str) -> MqResult<bool> {
+        self.check_up()?;
+        let mut exchanges = self.inner.exchanges.write();
+        let ex = exchanges
+            .get_mut(exchange)
+            .ok_or_else(|| MqError::ExchangeNotFound(exchange.to_string()))?;
+        Ok(ex.unbind(routing_key, queue))
+    }
+
+    /// Publishes through an exchange. Returns the number of queues that
+    /// received a copy (0 if no binding matched, like an unroutable AMQP
+    /// message).
+    pub fn publish(&self, exchange: &str, routing_key: &str, message: Message) -> MqResult<usize> {
+        self.check_up()?;
+        let targets = {
+            let exchanges = self.inner.exchanges.read();
+            let ex = exchanges
+                .get(exchange)
+                .ok_or_else(|| MqError::ExchangeNotFound(exchange.to_string()))?;
+            ex.route(routing_key)
+        };
+        let mut delivered = 0;
+        for queue in &targets {
+            // A queue may have been deleted concurrently; skip it then.
+            if let Ok(core) = self.queue(queue) {
+                core.push(message.clone(), None)?;
+                delivered += 1;
+            }
+        }
+        Ok(delivered)
+    }
+
+    /// Number of distinct queues bound to an exchange.
+    pub fn exchange_fanout_width(&self, exchange: &str) -> MqResult<usize> {
+        let exchanges = self.inner.exchanges.read();
+        exchanges
+            .get(exchange)
+            .map(|e| e.bound_queue_count())
+            .ok_or_else(|| MqError::ExchangeNotFound(exchange.to_string()))
+    }
+
+    /// Counter snapshot of a queue.
+    pub fn queue_stats(&self, name: &str) -> MqResult<QueueStats> {
+        Ok(self.queue(name)?.stats())
+    }
+
+    /// Ready-message count of a queue.
+    pub fn queue_depth(&self, name: &str) -> MqResult<usize> {
+        Ok(self.queue(name)?.depth())
+    }
+
+    /// Windowed arrival rate (messages/sec) observed on a queue.
+    pub fn queue_arrival_rate(&self, name: &str) -> MqResult<f64> {
+        Ok(self.queue(name)?.arrivals.rate_per_sec())
+    }
+
+    /// All queue names, sorted.
+    pub fn queue_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.inner.queues.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Simulates a node crash: all operations fail until [`Self::restart`].
+    /// Queue contents are preserved (RabbitMQ with persistent messages).
+    pub fn kill(&self) {
+        self.inner.down.store(true, Ordering::Release);
+    }
+
+    /// Brings a killed node back up.
+    pub fn restart(&self) {
+        self.inner.down.store(false, Ordering::Release);
+    }
+
+    /// Whether the node is up.
+    pub fn is_up(&self) -> bool {
+        !self.inner.down.load(Ordering::Acquire)
+    }
+
+    fn queue(&self, name: &str) -> MqResult<Arc<QueueCore>> {
+        self.inner
+            .queues
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| MqError::QueueNotFound(name.to_string()))
+    }
+
+    pub(crate) fn remove_cluster_copy(&self, queue: &str, cluster_id: u64) {
+        if let Ok(core) = self.queue(queue) {
+            core.remove_cluster_id(cluster_id);
+        }
+    }
+}
+
+/// A primary/mirror broker cluster.
+///
+/// Publishes are mirrored to every node; consumers attach to the primary.
+/// When the primary is killed, the next node is promoted and messages that
+/// were never acknowledged on the failed primary are still present on the
+/// mirrors — so the "no invocation is ever lost" property survives broker
+/// failure, with at-least-once delivery.
+#[derive(Debug, Clone)]
+pub struct BrokerCluster {
+    nodes: Arc<Vec<MessageBroker>>,
+    active: Arc<AtomicU64>,
+    next_cluster_id: Arc<AtomicU64>,
+}
+
+impl BrokerCluster {
+    /// Creates a cluster of `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "cluster needs at least one node");
+        BrokerCluster {
+            nodes: Arc::new((0..n).map(|_| MessageBroker::new()).collect()),
+            active: Arc::new(AtomicU64::new(0)),
+            next_cluster_id: Arc::new(AtomicU64::new(1)),
+        }
+    }
+
+    /// The currently active (primary) node.
+    pub fn primary(&self) -> &MessageBroker {
+        let idx = self.active.load(Ordering::Acquire) as usize;
+        &self.nodes[idx % self.nodes.len()]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the cluster has no nodes (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Declares a queue on all nodes.
+    pub fn declare_queue(&self, name: &str, options: QueueOptions) -> MqResult<()> {
+        for node in self.nodes.iter() {
+            node.declare_queue(name, options.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Publishes a message to the queue on all live nodes, tagged with a
+    /// cluster-wide id so mirrored copies can be dropped on ack.
+    pub fn publish_to_queue(&self, queue: &str, message: Message) -> MqResult<()> {
+        let id = self.next_cluster_id.fetch_add(1, Ordering::Relaxed);
+        let mut published_somewhere = false;
+        for node in self.nodes.iter() {
+            match node.publish_internal(queue, message.clone(), Some(id)) {
+                Ok(()) => published_somewhere = true,
+                Err(MqError::BrokerDown) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if published_somewhere {
+            Ok(())
+        } else {
+            Err(MqError::BrokerDown)
+        }
+    }
+
+    /// Subscribes to the queue on the primary node.
+    pub fn subscribe(&self, queue: &str) -> MqResult<ClusterConsumer> {
+        let consumer = self.primary().subscribe(queue)?;
+        Ok(ClusterConsumer {
+            cluster: self.clone(),
+            consumer,
+            queue: queue.to_string(),
+        })
+    }
+
+    /// Kills the primary and promotes the next live node. Returns the index
+    /// of the new primary.
+    ///
+    /// # Errors
+    ///
+    /// [`MqError::BrokerDown`] if every node is dead after the kill.
+    pub fn fail_primary(&self) -> MqResult<usize> {
+        self.primary().kill();
+        for step in 1..=self.nodes.len() {
+            let idx = (self.active.load(Ordering::Acquire) as usize + step) % self.nodes.len();
+            if self.nodes[idx].is_up() {
+                self.active.store(idx as u64, Ordering::Release);
+                return Ok(idx);
+            }
+        }
+        Err(MqError::BrokerDown)
+    }
+
+    fn ack_everywhere(&self, queue: &str, cluster_id: u64) {
+        for node in self.nodes.iter() {
+            node.remove_cluster_copy(queue, cluster_id);
+        }
+    }
+}
+
+/// Consumer attached to the cluster's primary node. Acks propagate to the
+/// mirrors so they drop their copies.
+#[derive(Debug)]
+pub struct ClusterConsumer {
+    cluster: BrokerCluster,
+    consumer: Consumer,
+    queue: String,
+}
+
+impl ClusterConsumer {
+    /// Blocking receive from the primary. Returns `(payload, ack)` where
+    /// calling `ack` removes the message cluster-wide.
+    pub fn recv_timeout(&self, timeout: Duration) -> MqResult<(Message, impl FnOnce() + '_)> {
+        let (tag, message, _redelivered, cluster_id) =
+            self.consumer.queue.recv(self.consumer.id, timeout)?;
+        let queue = self.queue.clone();
+        let cluster = self.cluster.clone();
+        let core = self.consumer.queue.clone();
+        let ack = move || {
+            let _ = core.ack(tag);
+            if let Some(id) = cluster_id {
+                cluster.ack_everywhere(&queue, id);
+            }
+        };
+        Ok((message, ack))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: Duration = Duration::from_millis(200);
+
+    #[test]
+    fn declare_is_idempotent_with_same_options() {
+        let b = MessageBroker::new();
+        b.declare_queue("q", QueueOptions::default()).unwrap();
+        b.declare_queue("q", QueueOptions::default()).unwrap();
+        assert!(b.queue_exists("q"));
+    }
+
+    #[test]
+    fn incompatible_redeclaration_rejected() {
+        let b = MessageBroker::new();
+        b.declare_queue("q", QueueOptions::default()).unwrap();
+        let opts = QueueOptions {
+            auto_delete: true,
+            ..QueueOptions::default()
+        };
+        assert!(matches!(
+            b.declare_queue("q", opts),
+            Err(MqError::IncompatibleDeclaration(_))
+        ));
+    }
+
+    #[test]
+    fn publish_to_missing_queue_fails() {
+        let b = MessageBroker::new();
+        assert!(matches!(
+            b.publish_to_queue("nope", Message::from_bytes(b"x".to_vec())),
+            Err(MqError::QueueNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn fanout_exchange_broadcasts() {
+        let b = MessageBroker::new();
+        b.declare_exchange("ws", ExchangeKind::Fanout).unwrap();
+        for q in ["c1", "c2", "c3"] {
+            b.declare_queue(q, QueueOptions::default()).unwrap();
+            b.bind_queue("ws", "", q).unwrap();
+        }
+        let n = b
+            .publish("ws", "", Message::from_bytes(b"notify".to_vec()))
+            .unwrap();
+        assert_eq!(n, 3);
+        for q in ["c1", "c2", "c3"] {
+            assert_eq!(b.queue_depth(q).unwrap(), 1);
+        }
+    }
+
+    #[test]
+    fn direct_exchange_routes_by_key() {
+        let b = MessageBroker::new();
+        b.declare_exchange("ex", ExchangeKind::Direct).unwrap();
+        b.declare_queue("qa", QueueOptions::default()).unwrap();
+        b.declare_queue("qb", QueueOptions::default()).unwrap();
+        b.bind_queue("ex", "a", "qa").unwrap();
+        b.bind_queue("ex", "b", "qb").unwrap();
+        b.publish("ex", "a", Message::from_bytes(b"m".to_vec()))
+            .unwrap();
+        assert_eq!(b.queue_depth("qa").unwrap(), 1);
+        assert_eq!(b.queue_depth("qb").unwrap(), 0);
+    }
+
+    #[test]
+    fn unroutable_message_is_dropped() {
+        let b = MessageBroker::new();
+        b.declare_exchange("ex", ExchangeKind::Direct).unwrap();
+        let n = b
+            .publish("ex", "nokey", Message::from_bytes(b"m".to_vec()))
+            .unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn delete_queue_wakes_consumers_and_unbinds() {
+        let b = MessageBroker::new();
+        b.declare_exchange("ex", ExchangeKind::Fanout).unwrap();
+        b.declare_queue("q", QueueOptions::default()).unwrap();
+        b.bind_queue("ex", "", "q").unwrap();
+        let c = b.subscribe("q").unwrap();
+        let b2 = b.clone();
+        let h = std::thread::spawn(move || c.recv_timeout(Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        b2.delete_queue("q").unwrap();
+        assert!(matches!(h.join().unwrap(), Err(MqError::Closed)));
+        assert_eq!(b.exchange_fanout_width("ex").unwrap(), 0);
+    }
+
+    #[test]
+    fn killed_broker_refuses_operations() {
+        let b = MessageBroker::new();
+        b.declare_queue("q", QueueOptions::default()).unwrap();
+        b.kill();
+        assert!(matches!(
+            b.publish_to_queue("q", Message::from_bytes(b"x".to_vec())),
+            Err(MqError::BrokerDown)
+        ));
+        b.restart();
+        b.publish_to_queue("q", Message::from_bytes(b"x".to_vec()))
+            .unwrap();
+        assert_eq!(b.queue_depth("q").unwrap(), 1, "state preserved over crash");
+    }
+
+    #[test]
+    fn cluster_survives_primary_failure_without_losing_messages() {
+        let cluster = BrokerCluster::new(3);
+        cluster.declare_queue("q", QueueOptions::default()).unwrap();
+        for i in 0..5u8 {
+            cluster
+                .publish_to_queue("q", Message::from_bytes(vec![i]))
+                .unwrap();
+        }
+        // Consume and ack two on the primary.
+        {
+            let consumer = cluster.subscribe("q").unwrap();
+            for _ in 0..2 {
+                let (_m, ack) = consumer.recv_timeout(T).unwrap();
+                ack();
+            }
+        }
+        // Primary dies; promote a mirror. The 3 unconsumed messages survive.
+        cluster.fail_primary().unwrap();
+        let consumer = cluster.subscribe("q").unwrap();
+        let mut remaining = Vec::new();
+        while let Ok((m, ack)) = consumer.recv_timeout(T) {
+            remaining.push(m.payload()[0]);
+            ack();
+        }
+        remaining.sort_unstable();
+        assert_eq!(remaining, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn cluster_ack_removes_mirror_copies() {
+        let cluster = BrokerCluster::new(2);
+        cluster.declare_queue("q", QueueOptions::default()).unwrap();
+        cluster
+            .publish_to_queue("q", Message::from_bytes(b"only".to_vec()))
+            .unwrap();
+        {
+            let consumer = cluster.subscribe("q").unwrap();
+            let (_m, ack) = consumer.recv_timeout(T).unwrap();
+            ack();
+        }
+        cluster.fail_primary().unwrap();
+        let consumer = cluster.subscribe("q").unwrap();
+        assert!(
+            consumer.recv_timeout(Duration::from_millis(50)).is_err(),
+            "acked message must not reappear on the mirror"
+        );
+    }
+
+    #[test]
+    fn queue_names_sorted() {
+        let b = MessageBroker::new();
+        for q in ["zeta", "alpha", "mid"] {
+            b.declare_queue(q, QueueOptions::default()).unwrap();
+        }
+        assert_eq!(b.queue_names(), vec!["alpha", "mid", "zeta"]);
+    }
+}

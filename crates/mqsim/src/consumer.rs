@@ -1,0 +1,215 @@
+//! Consumer handles and deliveries.
+
+use crate::error::MqResult;
+use crate::message::{DeliveryTag, Message};
+use crate::queue::{ConsumerId, QueueCore};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A subscription to a queue.
+///
+/// Many consumers can subscribe to the same queue; each message is delivered
+/// to exactly one of them (competing consumers). Dropping a `Consumer`
+/// requeues all of its unacknowledged deliveries, which is how a crashed
+/// server object's in-flight invocations get redispatched (paper §3.4).
+#[derive(Debug)]
+pub struct Consumer {
+    pub(crate) queue: Arc<QueueCore>,
+    pub(crate) id: ConsumerId,
+    cancelled: bool,
+}
+
+impl Consumer {
+    pub(crate) fn new(queue: Arc<QueueCore>, id: ConsumerId) -> Self {
+        Consumer {
+            queue,
+            id,
+            cancelled: false,
+        }
+    }
+
+    /// Name of the queue this consumer is attached to.
+    pub fn queue_name(&self) -> &str {
+        self.queue.name()
+    }
+
+    /// Blocks until a message is available or the timeout elapses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::MqError::RecvTimeout`] on timeout and
+    /// [`crate::MqError::Closed`] if the queue was deleted.
+    pub fn recv_timeout(&self, timeout: Duration) -> MqResult<Delivery> {
+        let (tag, message, redelivered, _cluster) = self.queue.recv(self.id, timeout)?;
+        Ok(Delivery {
+            message,
+            tag,
+            redelivered,
+            queue: self.queue.clone(),
+            acked: false,
+        })
+    }
+
+    /// Returns a message immediately if one is ready.
+    pub fn try_recv(&self) -> Option<Delivery> {
+        let (tag, message, redelivered, _cluster) = self.queue.try_recv(self.id)?;
+        Some(Delivery {
+            message,
+            tag,
+            redelivered,
+            queue: self.queue.clone(),
+            acked: false,
+        })
+    }
+
+    /// Cancels the subscription, requeueing any unacked deliveries.
+    ///
+    /// Equivalent to dropping the consumer, but explicit.
+    pub fn cancel(mut self) {
+        self.do_cancel();
+    }
+
+    fn do_cancel(&mut self) {
+        if !self.cancelled {
+            self.cancelled = true;
+            self.queue.unregister_consumer(self.id);
+        }
+    }
+}
+
+impl Drop for Consumer {
+    fn drop(&mut self) {
+        self.do_cancel();
+    }
+}
+
+/// A message handed to a consumer, pending acknowledgement.
+///
+/// If a `Delivery` is dropped without [`Delivery::ack`], the message is
+/// returned to the *front* of its queue flagged as redelivered — modelling a
+/// worker that crashed mid-operation.
+#[derive(Debug)]
+pub struct Delivery {
+    /// The message content.
+    pub message: Message,
+    /// Broker tag for this delivery attempt.
+    pub tag: DeliveryTag,
+    /// Whether this message was delivered before and requeued.
+    pub redelivered: bool,
+    queue: Arc<QueueCore>,
+    acked: bool,
+}
+
+impl Delivery {
+    /// Acknowledges the delivery, removing the message from the broker.
+    pub fn ack(mut self) {
+        // The tag is guaranteed in-flight for an un-acked Delivery.
+        let _ = self.queue.ack(self.tag);
+        self.acked = true;
+    }
+
+    /// Explicitly rejects the delivery, requeueing it at the front.
+    pub fn requeue(mut self) {
+        let _ = self.queue.requeue(self.tag);
+        self.acked = true; // consumed: Drop must not requeue again
+    }
+}
+
+impl Drop for Delivery {
+    fn drop(&mut self) {
+        if !self.acked {
+            let _ = self.queue.requeue(self.tag);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Message, MessageBroker, QueueOptions};
+    use std::time::Duration;
+
+    const T: Duration = Duration::from_millis(200);
+
+    #[test]
+    fn dropped_delivery_is_redelivered() {
+        let broker = MessageBroker::new();
+        broker.declare_queue("q", QueueOptions::default()).unwrap();
+        let c = broker.subscribe("q").unwrap();
+        broker
+            .publish_to_queue("q", Message::from_bytes(b"m".to_vec()))
+            .unwrap();
+        {
+            let d = c.recv_timeout(T).unwrap();
+            assert!(!d.redelivered);
+            // dropped without ack
+            drop(d);
+        }
+        let d2 = c.recv_timeout(T).unwrap();
+        assert!(d2.redelivered);
+        d2.ack();
+        assert!(c.try_recv().is_none());
+    }
+
+    #[test]
+    fn competing_consumers_each_message_once() {
+        let broker = MessageBroker::new();
+        broker.declare_queue("q", QueueOptions::default()).unwrap();
+        let c1 = broker.subscribe("q").unwrap();
+        let c2 = broker.subscribe("q").unwrap();
+        for i in 0..10u8 {
+            broker
+                .publish_to_queue("q", Message::from_bytes(vec![i]))
+                .unwrap();
+        }
+        let mut seen = Vec::new();
+        loop {
+            let got1 = c1.try_recv();
+            let got2 = c2.try_recv();
+            if got1.is_none() && got2.is_none() {
+                break;
+            }
+            for d in [got1, got2].into_iter().flatten() {
+                seen.push(d.message.payload()[0]);
+                d.ack();
+            }
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10u8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn consumer_cancel_requeues_inflight() {
+        let broker = MessageBroker::new();
+        broker.declare_queue("q", QueueOptions::default()).unwrap();
+        let c1 = broker.subscribe("q").unwrap();
+        broker
+            .publish_to_queue("q", Message::from_bytes(b"x".to_vec()))
+            .unwrap();
+        let d = c1.recv_timeout(T).unwrap();
+        // Simulate a crash: forget the delivery's ack by leaking through
+        // cancel while in flight. Delivery must go back to the queue.
+        std::mem::drop(d); // delivery dropped unacked -> requeue
+        c1.cancel();
+        let c2 = broker.subscribe("q").unwrap();
+        let d2 = c2.recv_timeout(T).unwrap();
+        assert_eq!(d2.message.payload(), b"x");
+        d2.ack();
+    }
+
+    #[test]
+    fn blocking_recv_wakes_on_publish() {
+        let broker = MessageBroker::new();
+        broker.declare_queue("q", QueueOptions::default()).unwrap();
+        let c = broker.subscribe("q").unwrap();
+        let b2 = broker.clone();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            b2.publish_to_queue("q", Message::from_bytes(b"late".to_vec()))
+                .unwrap();
+        });
+        let d = c.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(d.message.payload(), b"late");
+        d.ack();
+        h.join().unwrap();
+    }
+}

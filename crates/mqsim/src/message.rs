@@ -1,0 +1,167 @@
+//! Message and message-property types.
+
+use bytes::Bytes;
+use std::fmt;
+use std::time::Instant;
+
+/// Broker-assigned identifier of a single delivery attempt.
+///
+/// A [`DeliveryTag`] is unique within a queue for the lifetime of the broker
+/// and is what a consumer acknowledges. Redelivering a message produces a new
+/// tag, mirroring AMQP delivery tags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DeliveryTag(pub(crate) u64);
+
+impl fmt::Display for DeliveryTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tag:{}", self.0)
+    }
+}
+
+/// AMQP-style message properties used by the RPC layer on top.
+///
+/// `correlation_id` ties a response to its request and `reply_to` names the
+/// queue where the response must be published — exactly the two properties
+/// ObjectMQ proxies rely on for `@SyncMethod` calls.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MessageProperties {
+    /// Correlates a response with the request that produced it.
+    pub correlation_id: Option<String>,
+    /// Name of the queue where replies should be published.
+    pub reply_to: Option<String>,
+    /// Free-form content type marker (e.g. `"wire/binary"`).
+    pub content_type: Option<String>,
+    /// Whether the broker must keep the message across restarts. The
+    /// in-process broker keeps everything in memory, but the flag is tracked
+    /// so tests can assert that ObjectMQ marks invocations persistent.
+    pub persistent: bool,
+}
+
+/// An immutable message travelling through the broker.
+#[derive(Debug, Clone)]
+pub struct Message {
+    payload: Bytes,
+    properties: MessageProperties,
+    enqueued_at: Option<Instant>,
+}
+
+impl Message {
+    /// Creates a message from a payload with default properties.
+    pub fn from_bytes(payload: impl Into<Bytes>) -> Self {
+        Message {
+            payload: payload.into(),
+            properties: MessageProperties::default(),
+            enqueued_at: None,
+        }
+    }
+
+    /// Creates a message with explicit properties.
+    pub fn with_properties(payload: impl Into<Bytes>, properties: MessageProperties) -> Self {
+        Message {
+            payload: payload.into(),
+            properties,
+            enqueued_at: None,
+        }
+    }
+
+    /// The message body.
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// The message body as shared bytes (cheap clone).
+    pub fn payload_bytes(&self) -> Bytes {
+        self.payload.clone()
+    }
+
+    /// Size of the payload in bytes.
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+
+    /// Message properties.
+    pub fn properties(&self) -> &MessageProperties {
+        &self.properties
+    }
+
+    /// Mutable access to properties (used by publishers before sending).
+    pub fn properties_mut(&mut self) -> &mut MessageProperties {
+        &mut self.properties
+    }
+
+    /// Instant at which the broker accepted the message, if it has been
+    /// published. Used to measure queueing delay.
+    pub fn enqueued_at(&self) -> Option<Instant> {
+        self.enqueued_at
+    }
+
+    pub(crate) fn mark_enqueued(&mut self) {
+        if self.enqueued_at.is_none() {
+            self.enqueued_at = Some(Instant::now());
+        }
+    }
+}
+
+impl From<Vec<u8>> for Message {
+    fn from(payload: Vec<u8>) -> Self {
+        Message::from_bytes(payload)
+    }
+}
+
+impl From<&[u8]> for Message {
+    fn from(payload: &[u8]) -> Self {
+        Message::from_bytes(payload.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_roundtrips_payload() {
+        let m = Message::from_bytes(b"hello".to_vec());
+        assert_eq!(m.payload(), b"hello");
+        assert_eq!(m.len(), 5);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn empty_message() {
+        let m = Message::from_bytes(Vec::new());
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+    }
+
+    #[test]
+    fn properties_are_attached() {
+        let props = MessageProperties {
+            correlation_id: Some("c1".into()),
+            reply_to: Some("q.reply".into()),
+            content_type: None,
+            persistent: true,
+        };
+        let m = Message::with_properties(b"x".as_slice(), props.clone());
+        assert_eq!(m.properties(), &props);
+    }
+
+    #[test]
+    fn enqueued_at_is_set_once() {
+        let mut m = Message::from_bytes(b"x".to_vec());
+        assert!(m.enqueued_at().is_none());
+        m.mark_enqueued();
+        let first = m.enqueued_at().unwrap();
+        m.mark_enqueued();
+        assert_eq!(m.enqueued_at().unwrap(), first);
+    }
+
+    #[test]
+    fn delivery_tag_display() {
+        assert_eq!(DeliveryTag(7).to_string(), "tag:7");
+    }
+}

@@ -1,0 +1,410 @@
+//! The queue core: ready list, unacked set, blocking consumers.
+
+use crate::error::{MqError, MqResult};
+use crate::message::{DeliveryTag, Message};
+use crate::stats::{QueueStats, RateEstimator};
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Identifier of a consumer subscribed to a queue.
+pub(crate) type ConsumerId = u64;
+
+/// A ready-to-deliver entry.
+#[derive(Debug)]
+struct ReadyEntry {
+    message: Message,
+    redelivered: bool,
+    /// Cluster-wide message id, used by `BrokerCluster` mirroring.
+    cluster_id: Option<u64>,
+}
+
+/// An unacked (in-flight) entry, owned by a consumer.
+#[derive(Debug)]
+struct InFlight {
+    message: Message,
+    consumer: ConsumerId,
+    cluster_id: Option<u64>,
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    ready: VecDeque<(DeliveryTag, ReadyEntry)>,
+    unacked: HashMap<u64, InFlight>,
+    consumers: Vec<ConsumerId>,
+    waiting: usize,
+    closed: bool,
+    published: u64,
+    delivered: u64,
+    acked: u64,
+    redelivered: u64,
+}
+
+/// Shared queue internals. `Consumer` handles hold an `Arc<QueueCore>`.
+#[derive(Debug)]
+pub(crate) struct QueueCore {
+    name: String,
+    state: Mutex<QueueState>,
+    available: Condvar,
+    next_tag: AtomicU64,
+    next_consumer: AtomicU64,
+    pub(crate) arrivals: RateEstimator,
+    pub(crate) auto_delete: bool,
+}
+
+impl QueueCore {
+    pub(crate) fn new(name: &str, auto_delete: bool, rate_window: Duration) -> Self {
+        QueueCore {
+            name: name.to_string(),
+            state: Mutex::new(QueueState::default()),
+            available: Condvar::new(),
+            next_tag: AtomicU64::new(1),
+            next_consumer: AtomicU64::new(1),
+            arrivals: RateEstimator::new(rate_window),
+            auto_delete,
+        }
+    }
+
+    pub(crate) fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn fresh_tag(&self) -> DeliveryTag {
+        DeliveryTag(self.next_tag.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Publishes a message at the back of the ready list.
+    pub(crate) fn push(&self, mut message: Message, cluster_id: Option<u64>) -> MqResult<()> {
+        message.mark_enqueued();
+        let mut state = self.state.lock();
+        if state.closed {
+            return Err(MqError::Closed);
+        }
+        state.published += 1;
+        let tag = self.fresh_tag();
+        state.ready.push_back((
+            tag,
+            ReadyEntry {
+                message,
+                redelivered: false,
+                cluster_id,
+            },
+        ));
+        drop(state);
+        self.arrivals.record();
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Registers a new consumer and returns its id.
+    pub(crate) fn register_consumer(&self) -> MqResult<ConsumerId> {
+        let id = self.next_consumer.fetch_add(1, Ordering::Relaxed);
+        let mut state = self.state.lock();
+        if state.closed {
+            return Err(MqError::Closed);
+        }
+        state.consumers.push(id);
+        Ok(id)
+    }
+
+    /// Removes a consumer; its unacked deliveries are requeued at the front.
+    /// Returns `true` if the queue became consumer-less (for auto-delete).
+    pub(crate) fn unregister_consumer(&self, id: ConsumerId) -> bool {
+        let mut state = self.state.lock();
+        state.consumers.retain(|c| *c != id);
+        let orphaned: Vec<u64> = state
+            .unacked
+            .iter()
+            .filter(|(_, f)| f.consumer == id)
+            .map(|(t, _)| *t)
+            .collect();
+        for tag in orphaned {
+            let inflight = state.unacked.remove(&tag).expect("tag just listed");
+            state.redelivered += 1;
+            state.ready.push_front((
+                DeliveryTag(tag),
+                ReadyEntry {
+                    message: inflight.message,
+                    redelivered: true,
+                    cluster_id: inflight.cluster_id,
+                },
+            ));
+        }
+        let empty = state.consumers.is_empty();
+        drop(state);
+        self.available.notify_all();
+        empty
+    }
+
+    /// Blocking receive with timeout. Returns the message, its tag, the
+    /// redelivered flag and the cluster id.
+    pub(crate) fn recv(
+        &self,
+        consumer: ConsumerId,
+        timeout: Duration,
+    ) -> MqResult<(DeliveryTag, Message, bool, Option<u64>)> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.state.lock();
+        loop {
+            if state.closed {
+                return Err(MqError::Closed);
+            }
+            if let Some((tag, entry)) = state.ready.pop_front() {
+                state.delivered += 1;
+                state.unacked.insert(
+                    tag.0,
+                    InFlight {
+                        message: entry.message.clone(),
+                        consumer,
+                        cluster_id: entry.cluster_id,
+                    },
+                );
+                return Ok((tag, entry.message, entry.redelivered, entry.cluster_id));
+            }
+            state.waiting += 1;
+            let timed_out = self
+                .available
+                .wait_until(&mut state, deadline)
+                .timed_out();
+            state.waiting -= 1;
+            if timed_out && state.ready.is_empty() {
+                return if state.closed {
+                    Err(MqError::Closed)
+                } else {
+                    Err(MqError::RecvTimeout)
+                };
+            }
+        }
+    }
+
+    /// Non-blocking receive.
+    pub(crate) fn try_recv(
+        &self,
+        consumer: ConsumerId,
+    ) -> Option<(DeliveryTag, Message, bool, Option<u64>)> {
+        let mut state = self.state.lock();
+        if state.closed {
+            return None;
+        }
+        let (tag, entry) = state.ready.pop_front()?;
+        state.delivered += 1;
+        state.unacked.insert(
+            tag.0,
+            InFlight {
+                message: entry.message.clone(),
+                consumer,
+                cluster_id: entry.cluster_id,
+            },
+        );
+        Some((tag, entry.message, entry.redelivered, entry.cluster_id))
+    }
+
+    /// Acknowledges a delivery, removing it from the broker. Returns the
+    /// cluster id so mirrored nodes can drop their copy.
+    pub(crate) fn ack(&self, tag: DeliveryTag) -> MqResult<Option<u64>> {
+        let mut state = self.state.lock();
+        match state.unacked.remove(&tag.0) {
+            Some(f) => {
+                state.acked += 1;
+                Ok(f.cluster_id)
+            }
+            None => Err(MqError::UnknownDeliveryTag(tag.0)),
+        }
+    }
+
+    /// Returns a delivery to the front of the queue (basic.reject requeue).
+    pub(crate) fn requeue(&self, tag: DeliveryTag) -> MqResult<()> {
+        let mut state = self.state.lock();
+        match state.unacked.remove(&tag.0) {
+            Some(f) => {
+                state.redelivered += 1;
+                state.ready.push_front((
+                    tag,
+                    ReadyEntry {
+                        message: f.message,
+                        redelivered: true,
+                        cluster_id: f.cluster_id,
+                    },
+                ));
+                drop(state);
+                self.available.notify_one();
+                Ok(())
+            }
+            None => Err(MqError::UnknownDeliveryTag(tag.0)),
+        }
+    }
+
+    /// Removes a *ready* message carrying the given cluster id. Used by
+    /// mirror nodes when the primary acknowledges.
+    pub(crate) fn remove_cluster_id(&self, cluster_id: u64) -> bool {
+        let mut state = self.state.lock();
+        let before = state.ready.len();
+        state
+            .ready
+            .retain(|(_, e)| e.cluster_id != Some(cluster_id));
+        state.ready.len() != before
+    }
+
+    /// Drops all ready messages; returns how many were purged.
+    pub(crate) fn purge(&self) -> usize {
+        let mut state = self.state.lock();
+        let n = state.ready.len();
+        state.ready.clear();
+        n
+    }
+
+    /// Closes the queue, waking all blocked consumers with `Closed`.
+    pub(crate) fn close(&self) {
+        let mut state = self.state.lock();
+        state.closed = true;
+        drop(state);
+        self.available.notify_all();
+    }
+
+    /// Number of ready messages.
+    pub(crate) fn depth(&self) -> usize {
+        self.state.lock().ready.len()
+    }
+
+    /// Counter snapshot.
+    pub(crate) fn stats(&self) -> QueueStats {
+        let state = self.state.lock();
+        QueueStats {
+            depth: state.ready.len(),
+            unacked: state.unacked.len(),
+            published: state.published,
+            delivered: state.delivered,
+            acked: state.acked,
+            redelivered: state.redelivered,
+            consumers: state.consumers.len(),
+            idle_consumers: state.waiting,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q() -> QueueCore {
+        QueueCore::new("q", false, Duration::from_secs(10))
+    }
+
+    #[test]
+    fn fifo_order() {
+        let queue = q();
+        let c = queue.register_consumer().unwrap();
+        for i in 0..5u8 {
+            queue.push(Message::from_bytes(vec![i]), None).unwrap();
+        }
+        for i in 0..5u8 {
+            let (tag, m, redelivered, _) = queue.recv(c, Duration::from_millis(10)).unwrap();
+            assert_eq!(m.payload(), &[i]);
+            assert!(!redelivered);
+            queue.ack(tag).unwrap();
+        }
+        assert_eq!(queue.depth(), 0);
+    }
+
+    #[test]
+    fn recv_times_out_when_empty() {
+        let queue = q();
+        let c = queue.register_consumer().unwrap();
+        let err = queue.recv(c, Duration::from_millis(5)).unwrap_err();
+        assert_eq!(err, MqError::RecvTimeout);
+    }
+
+    #[test]
+    fn unacked_requeued_on_consumer_unregister() {
+        let queue = q();
+        let c = queue.register_consumer().unwrap();
+        queue.push(Message::from_bytes(b"a".to_vec()), None).unwrap();
+        let (_tag, _m, _, _) = queue.recv(c, Duration::from_millis(10)).unwrap();
+        assert_eq!(queue.depth(), 0);
+        queue.unregister_consumer(c);
+        assert_eq!(queue.depth(), 1);
+        let c2 = queue.register_consumer().unwrap();
+        let (_, m, redelivered, _) = queue.recv(c2, Duration::from_millis(10)).unwrap();
+        assert_eq!(m.payload(), b"a");
+        assert!(redelivered, "requeued message must be flagged redelivered");
+    }
+
+    #[test]
+    fn double_ack_is_an_error() {
+        let queue = q();
+        let c = queue.register_consumer().unwrap();
+        queue.push(Message::from_bytes(b"a".to_vec()), None).unwrap();
+        let (tag, ..) = queue.recv(c, Duration::from_millis(10)).unwrap();
+        queue.ack(tag).unwrap();
+        assert!(matches!(
+            queue.ack(tag),
+            Err(MqError::UnknownDeliveryTag(_))
+        ));
+    }
+
+    #[test]
+    fn requeue_puts_message_at_front() {
+        let queue = q();
+        let c = queue.register_consumer().unwrap();
+        queue.push(Message::from_bytes(b"first".to_vec()), None).unwrap();
+        queue.push(Message::from_bytes(b"second".to_vec()), None).unwrap();
+        let (tag, m, ..) = queue.recv(c, Duration::from_millis(10)).unwrap();
+        assert_eq!(m.payload(), b"first");
+        queue.requeue(tag).unwrap();
+        let (_, m2, redelivered, _) = queue.recv(c, Duration::from_millis(10)).unwrap();
+        assert_eq!(m2.payload(), b"first", "requeued message redelivered first");
+        assert!(redelivered);
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumer() {
+        let queue = std::sync::Arc::new(q());
+        let c = queue.register_consumer().unwrap();
+        let q2 = queue.clone();
+        let h = std::thread::spawn(move || q2.recv(c, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        queue.close();
+        assert_eq!(h.join().unwrap().unwrap_err(), MqError::Closed);
+    }
+
+    #[test]
+    fn stats_track_counts() {
+        let queue = q();
+        let c = queue.register_consumer().unwrap();
+        queue.push(Message::from_bytes(b"a".to_vec()), None).unwrap();
+        queue.push(Message::from_bytes(b"b".to_vec()), None).unwrap();
+        let (tag, ..) = queue.recv(c, Duration::from_millis(10)).unwrap();
+        queue.ack(tag).unwrap();
+        let s = queue.stats();
+        assert_eq!(s.published, 2);
+        assert_eq!(s.delivered, 1);
+        assert_eq!(s.acked, 1);
+        assert_eq!(s.depth, 1);
+        assert_eq!(s.unacked, 0);
+        assert_eq!(s.consumers, 1);
+    }
+
+    #[test]
+    fn purge_drops_ready_only() {
+        let queue = q();
+        let c = queue.register_consumer().unwrap();
+        queue.push(Message::from_bytes(b"a".to_vec()), None).unwrap();
+        queue.push(Message::from_bytes(b"b".to_vec()), None).unwrap();
+        let (_tag, ..) = queue.recv(c, Duration::from_millis(10)).unwrap();
+        assert_eq!(queue.purge(), 1);
+        let s = queue.stats();
+        assert_eq!(s.depth, 0);
+        assert_eq!(s.unacked, 1, "in-flight survives purge");
+    }
+
+    #[test]
+    fn remove_cluster_id_removes_only_matching() {
+        let queue = q();
+        queue.push(Message::from_bytes(b"a".to_vec()), Some(1)).unwrap();
+        queue.push(Message::from_bytes(b"b".to_vec()), Some(2)).unwrap();
+        assert!(queue.remove_cluster_id(1));
+        assert!(!queue.remove_cluster_id(1));
+        assert_eq!(queue.depth(), 1);
+    }
+}

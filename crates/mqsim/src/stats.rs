@@ -1,0 +1,157 @@
+//! Per-queue introspection counters and the windowed arrival-rate estimator.
+//!
+//! These are the "fine-grained metrics" of the paper (§1, §4.3): traditional
+//! CPU/RAM metrics are misleading for an I/O-bound sync service, so the
+//! provisioners observe queue arrival rates and depths instead.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// Snapshot of a queue's counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Messages currently ready for delivery.
+    pub depth: usize,
+    /// Messages delivered but not yet acknowledged.
+    pub unacked: usize,
+    /// Total messages ever published to the queue.
+    pub published: u64,
+    /// Total deliveries handed to consumers (includes redeliveries).
+    pub delivered: u64,
+    /// Total acknowledgements received.
+    pub acked: u64,
+    /// Total redeliveries (consumer crashed or requeued explicitly).
+    pub redelivered: u64,
+    /// Consumers currently subscribed.
+    pub consumers: usize,
+    /// Consumers currently blocked waiting for a message (idle workers).
+    pub idle_consumers: usize,
+}
+
+/// Sliding-window arrival-rate estimator.
+///
+/// Events are recorded into one-second buckets; the rate is the number of
+/// events in the window divided by the window length. This is how the
+/// `ReactiveProvisioner` observes `λ_obs(t)` on the global request queue.
+#[derive(Debug)]
+pub struct RateEstimator {
+    inner: Mutex<RateInner>,
+    window: Duration,
+}
+
+#[derive(Debug)]
+struct RateInner {
+    /// (bucket start, events in bucket), oldest first.
+    buckets: VecDeque<(Instant, u64)>,
+    start: Instant,
+}
+
+impl RateEstimator {
+    /// Creates an estimator with the given averaging window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: Duration) -> Self {
+        assert!(!window.is_zero(), "rate window must be non-zero");
+        RateEstimator {
+            inner: Mutex::new(RateInner {
+                buckets: VecDeque::new(),
+                start: Instant::now(),
+            }),
+            window,
+        }
+    }
+
+    /// Records one event at the current time.
+    pub fn record(&self) {
+        self.record_many(1);
+    }
+
+    /// Records `n` events at the current time.
+    pub fn record_many(&self, n: u64) {
+        let now = Instant::now();
+        let mut inner = self.inner.lock();
+        match inner.buckets.back_mut() {
+            Some((start, count)) if now.duration_since(*start) < Duration::from_secs(1) => {
+                *count += n;
+            }
+            _ => inner.buckets.push_back((now, n)),
+        }
+        let window = self.window;
+        while let Some((start, _)) = inner.buckets.front() {
+            if now.duration_since(*start) > window {
+                inner.buckets.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Events per second over the window.
+    ///
+    /// While the estimator is younger than the window, the elapsed lifetime is
+    /// used as the divisor so early rates are not underestimated.
+    pub fn rate_per_sec(&self) -> f64 {
+        let now = Instant::now();
+        let mut inner = self.inner.lock();
+        let window = self.window;
+        while let Some((start, _)) = inner.buckets.front() {
+            if now.duration_since(*start) > window {
+                inner.buckets.pop_front();
+            } else {
+                break;
+            }
+        }
+        let total: u64 = inner.buckets.iter().map(|(_, c)| *c).sum();
+        let elapsed = now.duration_since(inner.start).min(window);
+        let secs = elapsed.as_secs_f64().max(0.001);
+        total as f64 / secs
+    }
+
+    /// The configured window.
+    pub fn window(&self) -> Duration {
+        self.window
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_counts_recent_events() {
+        let est = RateEstimator::new(Duration::from_secs(10));
+        for _ in 0..50 {
+            est.record();
+        }
+        let r = est.rate_per_sec();
+        // 50 events within far less than a second; elapsed divisor ≥ 1 ms.
+        assert!(r > 0.0, "rate should be positive, got {r}");
+    }
+
+    #[test]
+    fn record_many_equivalent_to_loop() {
+        let a = RateEstimator::new(Duration::from_secs(5));
+        let b = RateEstimator::new(Duration::from_secs(5));
+        a.record_many(10);
+        for _ in 0..10 {
+            b.record();
+        }
+        let (ra, rb) = (a.rate_per_sec(), b.rate_per_sec());
+        assert!((ra - rb).abs() / ra.max(rb) < 0.5, "{ra} vs {rb}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_window_panics() {
+        let _ = RateEstimator::new(Duration::ZERO);
+    }
+
+    #[test]
+    fn empty_estimator_rate_is_zero() {
+        let est = RateEstimator::new(Duration::from_secs(1));
+        assert_eq!(est.rate_per_sec(), 0.0);
+    }
+}

@@ -1,0 +1,288 @@
+//! The live elasticity control loop: wires queue-side observations into
+//! the provisioning policies and enforces their proposals through the
+//! [`Supervisor`] — the complete "programmatic elasticity" pipeline of the
+//! paper running against real server objects (not the simulator).
+//!
+//! ```text
+//! queue arrival rate ──► AutoScaler (predictive + reactive, G/G/1) ──► Supervisor.set_target
+//!        ▲                                                                  │
+//!        └───────────────── RemoteBrokers spawn/retire instances ◄──────────┘
+//! ```
+
+use crate::broker::Broker;
+use crate::error::{OmqError, OmqResult};
+use crate::provision::AutoScaler;
+use crate::supervisor::Supervisor;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Controller timing configuration.
+#[derive(Debug, Clone)]
+pub struct ControllerConfig {
+    /// The service oid whose global request queue is observed.
+    pub oid: String,
+    /// Reactive period (paper: 5 minutes; tests compress it).
+    pub reactive_period: Duration,
+    /// Predictive period (paper: 15 minutes). The slot clock starts when
+    /// the controller starts.
+    pub predictive_period: Duration,
+}
+
+impl ControllerConfig {
+    /// Paper cadence for a service oid.
+    pub fn paper(oid: &str) -> Self {
+        ControllerConfig {
+            oid: oid.to_string(),
+            reactive_period: Duration::from_secs(300),
+            predictive_period: Duration::from_secs(900),
+        }
+    }
+}
+
+/// Drives an [`AutoScaler`] from live queue observations and enforces its
+/// targets through a [`Supervisor`].
+pub struct ElasticController {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+    last_target: Arc<AtomicUsize>,
+    decisions: Arc<Mutex<Vec<(Duration, usize)>>>,
+}
+
+impl std::fmt::Debug for ElasticController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ElasticController")
+            .field("last_target", &self.last_target.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl ElasticController {
+    /// Starts the control loop. The supervisor is owned by the controller
+    /// for its lifetime; targets flow exclusively through the policies.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the observed queue does not exist.
+    pub fn start(
+        broker: Broker,
+        supervisor: Supervisor,
+        mut scaler: AutoScaler,
+        config: ControllerConfig,
+    ) -> OmqResult<Self> {
+        if !broker.object_exists(&config.oid) {
+            return Err(OmqError::UnknownObject(config.oid));
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let last_target = Arc::new(AtomicUsize::new(supervisor.target()));
+        let decisions: Arc<Mutex<Vec<(Duration, usize)>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let t_stop = stop.clone();
+        let t_target = last_target.clone();
+        let t_decisions = decisions.clone();
+        let thread = std::thread::spawn(move || {
+            let started = Instant::now();
+            let mut last_reactive = Instant::now();
+            let mut last_predictive = Instant::now();
+            let tick = config
+                .reactive_period
+                .min(config.predictive_period)
+                .min(Duration::from_millis(50));
+            loop {
+                if t_stop.load(Ordering::Acquire) {
+                    supervisor.stop();
+                    return;
+                }
+                let mut proposed: Option<usize> = None;
+                if last_predictive.elapsed() >= config.predictive_period {
+                    last_predictive = Instant::now();
+                    if let Some(n) = scaler.predictive_tick(started.elapsed()) {
+                        proposed = Some(n);
+                    }
+                }
+                if last_reactive.elapsed() >= config.reactive_period {
+                    last_reactive = Instant::now();
+                    if let Ok(observed) = broker.messaging().queue_arrival_rate(&config.oid) {
+                        if let Some(n) = scaler.reactive_tick(observed) {
+                            proposed = Some(n);
+                        }
+                    }
+                }
+                if let Some(n) = proposed {
+                    supervisor.set_target(n);
+                    t_target.store(n, Ordering::Release);
+                    t_decisions.lock().push((started.elapsed(), n));
+                }
+                std::thread::sleep(tick);
+            }
+        });
+
+        Ok(ElasticController {
+            stop,
+            thread: Some(thread),
+            last_target,
+            decisions,
+        })
+    }
+
+    /// The most recent target the policies proposed.
+    pub fn last_target(&self) -> usize {
+        self.last_target.load(Ordering::Acquire)
+    }
+
+    /// The decision log: (time since start, proposed target).
+    pub fn decisions(&self) -> Vec<(Duration, usize)> {
+        self.decisions.lock().clone()
+    }
+
+    /// Stops the loop (and the supervisor it owns).
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ElasticController {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provision::{
+        GgOneModel, PredictiveProvisioner, ReactiveProvisioner, ScalingPolicy,
+    };
+    use crate::supervisor::{RemoteBroker, SupervisorConfig};
+    use crate::RemoteObject;
+    use wire::Value;
+
+    struct Sleepy;
+    impl RemoteObject for Sleepy {
+        fn dispatch(&self, _m: &str, _a: &[Value]) -> Result<Value, String> {
+            std::thread::sleep(Duration::from_millis(10));
+            Ok(Value::Null)
+        }
+    }
+
+    fn wait_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        cond()
+    }
+
+    #[test]
+    fn controller_scales_live_pool_with_load() {
+        // Short rate window so the post-burst decay (and hence the test)
+        // is fast.
+        let broker = Broker::new(
+            mqsim::MessageBroker::new(),
+            crate::BrokerConfig {
+                rate_window: Duration::from_secs(4),
+                ..crate::BrokerConfig::default()
+            },
+        );
+        let node = RemoteBroker::start(broker.clone(), 1).unwrap();
+        node.register_factory("svc", Arc::new(|| Arc::new(Sleepy) as Arc<dyn RemoteObject>));
+
+        let supervisor = Supervisor::start(
+            broker.clone(),
+            SupervisorConfig {
+                oid: "svc".to_string(),
+                check_interval: Duration::from_millis(60),
+                command_timeout: Duration::from_millis(800),
+            },
+        )
+        .unwrap();
+        supervisor.set_target(1);
+        assert!(wait_until(Duration::from_secs(5), || node.local_count("svc") == 1));
+
+        // Model matched to the 10 ms service: with a 40 ms SLA, one
+        // instance sustains ~25 req/s.
+        let model = GgOneModel {
+            target_response: 0.040,
+            mean_service: 0.010,
+            var_interarrival: 0.0001,
+            var_service: 0.0001,
+        };
+        let predictive =
+            PredictiveProvisioner::new(model.clone(), Duration::from_secs(900), 0.95);
+        let reactive = ReactiveProvisioner::paper_defaults(model);
+        let scaler = AutoScaler::new(predictive, reactive, ScalingPolicy::Reactive);
+
+        let controller = ElasticController::start(
+            broker.clone(),
+            supervisor,
+            scaler,
+            ControllerConfig {
+                oid: "svc".to_string(),
+                reactive_period: Duration::from_millis(200),
+                predictive_period: Duration::from_secs(900),
+            },
+        )
+        .unwrap();
+
+        // Offer ~100 req/s for a second: the controller must scale out.
+        let proxy = broker.lookup("svc").unwrap();
+        let burst_until = Instant::now() + Duration::from_millis(1200);
+        while Instant::now() < burst_until {
+            proxy.call_async("work", vec![]).unwrap();
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(
+            wait_until(Duration::from_secs(10), || node.local_count("svc") >= 2),
+            "controller must grow the pool under load, got {}",
+            node.local_count("svc")
+        );
+        assert!(controller.last_target() >= 2);
+        assert!(!controller.decisions().is_empty());
+
+        // Load stops: the rate estimator decays and the pool shrinks back.
+        assert!(
+            wait_until(Duration::from_secs(20), || node.local_count("svc") == 1),
+            "controller must shrink the idle pool, got {}",
+            node.local_count("svc")
+        );
+        controller.stop();
+        node.stop();
+    }
+
+    #[test]
+    fn controller_requires_existing_queue() {
+        let broker = Broker::in_process();
+        let node = RemoteBroker::start(broker.clone(), 1).unwrap();
+        let supervisor = Supervisor::start(
+            broker.clone(),
+            SupervisorConfig {
+                oid: "ghost".to_string(),
+                check_interval: Duration::from_millis(100),
+                command_timeout: Duration::from_millis(500),
+            },
+        )
+        .unwrap();
+        let model = GgOneModel::paper_defaults();
+        let scaler = AutoScaler::new(
+            PredictiveProvisioner::new(model.clone(), Duration::from_secs(900), 0.95),
+            ReactiveProvisioner::paper_defaults(model),
+            ScalingPolicy::Both,
+        );
+        let result = ElasticController::start(
+            broker,
+            supervisor,
+            scaler,
+            ControllerConfig::paper("ghost"),
+        );
+        assert!(matches!(result, Err(OmqError::UnknownObject(_))));
+        node.stop();
+    }
+}

@@ -1,0 +1,137 @@
+//! ObjectMQ error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Result alias for middleware-level operations (bind, lookup, …).
+pub type OmqResult<T> = Result<T, OmqError>;
+
+/// Result alias for remote invocations.
+pub type CallResult<T> = Result<T, CallError>;
+
+/// Errors from middleware plumbing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum OmqError {
+    /// The underlying message broker failed.
+    Broker(mqsim::MqError),
+    /// A payload could not be decoded.
+    Wire(wire::WireError),
+    /// The object id is not bound anywhere.
+    UnknownObject(String),
+}
+
+impl fmt::Display for OmqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OmqError::Broker(e) => write!(f, "message broker error: {e}"),
+            OmqError::Wire(e) => write!(f, "wire error: {e}"),
+            OmqError::UnknownObject(oid) => write!(f, "no object bound to `{oid}`"),
+        }
+    }
+}
+
+impl Error for OmqError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            OmqError::Broker(e) => Some(e),
+            OmqError::Wire(e) => Some(e),
+            OmqError::UnknownObject(_) => None,
+        }
+    }
+}
+
+impl From<mqsim::MqError> for OmqError {
+    fn from(e: mqsim::MqError) -> Self {
+        OmqError::Broker(e)
+    }
+}
+
+impl From<wire::WireError> for OmqError {
+    fn from(e: wire::WireError) -> Self {
+        OmqError::Wire(e)
+    }
+}
+
+/// Errors from a remote invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CallError {
+    /// No response arrived within the timeout after all retries
+    /// (`@SyncMethod(retry, timeout)` exhausted).
+    Timeout {
+        /// Number of attempts made.
+        attempts: u32,
+    },
+    /// The remote object raised an application error.
+    Remote(String),
+    /// Middleware failure underneath the call.
+    Middleware(OmqError),
+}
+
+impl fmt::Display for CallError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CallError::Timeout { attempts } => {
+                write!(f, "remote call timed out after {attempts} attempts")
+            }
+            CallError::Remote(m) => write!(f, "remote object error: {m}"),
+            CallError::Middleware(e) => write!(f, "middleware error: {e}"),
+        }
+    }
+}
+
+impl Error for CallError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CallError::Middleware(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<OmqError> for CallError {
+    fn from(e: OmqError) -> Self {
+        CallError::Middleware(e)
+    }
+}
+
+impl From<mqsim::MqError> for CallError {
+    fn from(e: mqsim::MqError) -> Self {
+        CallError::Middleware(OmqError::Broker(e))
+    }
+}
+
+impl From<wire::WireError> for CallError {
+    fn from(e: wire::WireError) -> Self {
+        CallError::Middleware(OmqError::Wire(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = OmqError::Broker(mqsim::MqError::RecvTimeout);
+        assert!(e.to_string().contains("broker"));
+        assert!(e.source().is_some());
+
+        let c = CallError::Timeout { attempts: 5 };
+        assert!(c.to_string().contains('5'));
+        assert!(c.source().is_none());
+
+        let c = CallError::Middleware(OmqError::UnknownObject("x".into()));
+        assert!(c.source().is_some());
+    }
+
+    #[test]
+    fn conversions() {
+        let _: OmqError = mqsim::MqError::Closed.into();
+        let _: OmqError = wire::WireError::UnexpectedEof.into();
+        let _: CallError = OmqError::UnknownObject("a".into()).into();
+        let _: CallError = mqsim::MqError::Closed.into();
+        let _: CallError = wire::WireError::InvalidUtf8.into();
+    }
+}

@@ -1,0 +1,201 @@
+//! Introspection: the `HasObjectInfo` hook of the paper's provisioning
+//! framework. Provisioners read these snapshots to decide pool sizes.
+
+use parking_lot::Mutex;
+use std::time::Duration;
+
+/// Online mean/variance of service and response times (Welford's algorithm),
+/// plus a processed-message counter. One per server instance.
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    inner: Mutex<StatsInner>,
+}
+
+#[derive(Debug, Default, Clone)]
+struct StatsInner {
+    count: u64,
+    service_mean: f64,
+    service_m2: f64,
+    response_mean: f64,
+    response_m2: f64,
+    busy: bool,
+}
+
+impl ServiceStats {
+    /// Creates empty stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one completed invocation.
+    ///
+    /// `service` is time spent executing the method; `response` additionally
+    /// includes the queueing delay before the instance picked the message up.
+    pub fn record(&self, service: Duration, response: Duration) {
+        let mut inner = self.inner.lock();
+        inner.count += 1;
+        let n = inner.count as f64;
+        let s = service.as_secs_f64();
+        let delta = s - inner.service_mean;
+        inner.service_mean += delta / n;
+        inner.service_m2 += delta * (s - inner.service_mean);
+        let r = response.as_secs_f64();
+        let delta_r = r - inner.response_mean;
+        inner.response_mean += delta_r / n;
+        inner.response_m2 += delta_r * (r - inner.response_mean);
+    }
+
+    /// Marks whether the instance is currently executing a method.
+    pub fn set_busy(&self, busy: bool) {
+        self.inner.lock().busy = busy;
+    }
+
+    /// Snapshot of the counters.
+    pub fn snapshot(&self) -> ObjectInfo {
+        let inner = self.inner.lock().clone();
+        let var = |m2: f64, n: u64| if n > 1 { m2 / (n as f64 - 1.0) } else { 0.0 };
+        ObjectInfo {
+            processed: inner.count,
+            mean_service_time: Duration::from_secs_f64(inner.service_mean.max(0.0)),
+            service_time_variance: var(inner.service_m2, inner.count),
+            mean_response_time: Duration::from_secs_f64(inner.response_mean.max(0.0)),
+            response_time_variance: var(inner.response_m2, inner.count),
+            busy: inner.busy,
+        }
+    }
+}
+
+/// Snapshot of a single server object instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectInfo {
+    /// Invocations completed by this instance.
+    pub processed: u64,
+    /// Mean method execution time.
+    pub mean_service_time: Duration,
+    /// Sample variance of the service time, in seconds².
+    pub service_time_variance: f64,
+    /// Mean end-to-end (queueing + service) time.
+    pub mean_response_time: Duration,
+    /// Sample variance of the response time, in seconds².
+    pub response_time_variance: f64,
+    /// Whether a method is executing right now.
+    pub busy: bool,
+}
+
+/// Aggregated view over the pool of instances bound to one `oid`, combined
+/// with queue-side observations. This is what a `Provisioner` sees.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolInfo {
+    /// The object identifier (also the request queue name).
+    pub oid: String,
+    /// Number of live instances.
+    pub instances: usize,
+    /// Ready messages waiting in the request queue.
+    pub queue_depth: usize,
+    /// Observed arrival rate on the request queue, req/s.
+    pub arrival_rate: f64,
+    /// Mean service time across instances.
+    pub mean_service_time: Duration,
+    /// Pooled service-time variance, seconds².
+    pub service_time_variance: f64,
+}
+
+impl PoolInfo {
+    /// Combines per-instance snapshots with queue observations.
+    pub fn aggregate(
+        oid: &str,
+        infos: &[ObjectInfo],
+        queue_depth: usize,
+        arrival_rate: f64,
+    ) -> Self {
+        let n = infos.len().max(1) as f64;
+        let mean_service =
+            infos.iter().map(|i| i.mean_service_time.as_secs_f64()).sum::<f64>() / n;
+        let var_service = infos.iter().map(|i| i.service_time_variance).sum::<f64>() / n;
+        PoolInfo {
+            oid: oid.to_string(),
+            instances: infos.len(),
+            queue_depth,
+            arrival_rate,
+            mean_service_time: Duration::from_secs_f64(mean_service.max(0.0)),
+            service_time_variance: var_service,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive_mean_and_variance() {
+        let stats = ServiceStats::new();
+        let samples = [0.010, 0.020, 0.030, 0.040, 0.050];
+        for s in samples {
+            stats.record(
+                Duration::from_secs_f64(s),
+                Duration::from_secs_f64(s + 0.005),
+            );
+        }
+        let snap = stats.snapshot();
+        assert_eq!(snap.processed, 5);
+        assert!((snap.mean_service_time.as_secs_f64() - 0.030).abs() < 1e-9);
+        // naive sample variance of the values
+        let mean = 0.030;
+        let var: f64 =
+            samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (samples.len() as f64 - 1.0);
+        assert!((snap.service_time_variance - var).abs() < 1e-12);
+        assert!((snap.mean_response_time.as_secs_f64() - 0.035).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_sample_variance_is_zero() {
+        let stats = ServiceStats::new();
+        stats.record(Duration::from_millis(10), Duration::from_millis(12));
+        let snap = stats.snapshot();
+        assert_eq!(snap.service_time_variance, 0.0);
+    }
+
+    #[test]
+    fn busy_flag_toggles() {
+        let stats = ServiceStats::new();
+        assert!(!stats.snapshot().busy);
+        stats.set_busy(true);
+        assert!(stats.snapshot().busy);
+        stats.set_busy(false);
+        assert!(!stats.snapshot().busy);
+    }
+
+    #[test]
+    fn pool_aggregation_averages() {
+        let a = ObjectInfo {
+            processed: 10,
+            mean_service_time: Duration::from_millis(10),
+            service_time_variance: 1.0,
+            mean_response_time: Duration::from_millis(20),
+            response_time_variance: 2.0,
+            busy: false,
+        };
+        let b = ObjectInfo {
+            processed: 20,
+            mean_service_time: Duration::from_millis(30),
+            service_time_variance: 3.0,
+            mean_response_time: Duration::from_millis(40),
+            response_time_variance: 4.0,
+            busy: true,
+        };
+        let pool = PoolInfo::aggregate("svc", &[a, b], 7, 42.0);
+        assert_eq!(pool.instances, 2);
+        assert_eq!(pool.queue_depth, 7);
+        assert_eq!(pool.arrival_rate, 42.0);
+        assert!((pool.mean_service_time.as_secs_f64() - 0.020).abs() < 1e-9);
+        assert!((pool.service_time_variance - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_pool_aggregate_is_sane() {
+        let pool = PoolInfo::aggregate("svc", &[], 0, 0.0);
+        assert_eq!(pool.instances, 0);
+        assert_eq!(pool.mean_service_time, Duration::ZERO);
+    }
+}

@@ -1,0 +1,595 @@
+//! Programmatic elasticity: the provisioning framework of paper §3.3/§4.3.
+//!
+//! The paper adopts Urgaonkar et al.'s dual-timescale model: a *predictive*
+//! provisioner allocates capacity from the workload history (time-of-day
+//! seasonality), and a *reactive* provisioner corrects mispredictions on a
+//! minutes timescale. Both are built on a G/G/1 bound for the request rate a
+//! single server sustains under a response-time SLA (paper eq. 1 and 2).
+//!
+//! Everything here is deliberately clock-free: callers pass observation
+//! timestamps/slots explicitly, so the same policies drive both the live
+//! [`crate::Supervisor`] and the virtual-time simulator in the `elastic`
+//! crate.
+
+use crate::info::PoolInfo;
+use std::time::Duration;
+
+/// G/G/1 capacity model for one synchronization server (paper eq. 1–2).
+///
+/// Units are seconds; variances are in seconds². Table 3 of the paper lists
+/// `σ_b = 200 msec`, which we interpret as the service-time *standard
+/// deviation* (0.2 s ⇒ σ²_b = 0.04 s²).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GgOneModel {
+    /// Response-time SLA `d` (a high percentile target), seconds.
+    pub target_response: f64,
+    /// Mean service time `s`, seconds.
+    pub mean_service: f64,
+    /// Variance of request interarrival time `σ²_a`, seconds².
+    pub var_interarrival: f64,
+    /// Variance of service time `σ²_b`, seconds².
+    pub var_service: f64,
+}
+
+impl GgOneModel {
+    /// The paper's Table 3 parameters: d = 450 ms, s = 50 ms,
+    /// σ_b = 200 ms, with σ_a initialized equal to σ_b until measured.
+    pub fn paper_defaults() -> Self {
+        GgOneModel {
+            target_response: 0.450,
+            mean_service: 0.050,
+            var_interarrival: 0.04,
+            var_service: 0.04,
+        }
+    }
+
+    /// Lower bound on the request rate `δ` (req/s) one server can sustain
+    /// while meeting the SLA (eq. 1):
+    ///
+    /// `δ ≥ [ s + (σ²_a + σ²_b) / (2 (d − s)) ]⁻¹`
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_response <= mean_service` (the SLA is infeasible).
+    pub fn capacity_per_server(&self) -> f64 {
+        assert!(
+            self.target_response > self.mean_service,
+            "SLA d must exceed mean service time s"
+        );
+        let queueing = (self.var_interarrival + self.var_service)
+            / (2.0 * (self.target_response - self.mean_service));
+        1.0 / (self.mean_service + queueing)
+    }
+
+    /// Number of instances `η = ⌈λ/δ⌉` needed for arrival rate `lambda`
+    /// (req/s), never below 1 (eq. 2).
+    pub fn required_instances(&self, lambda: f64) -> usize {
+        let delta = self.capacity_per_server();
+        let eta = (lambda / delta).ceil();
+        (eta.max(1.0)) as usize
+    }
+
+    /// Updates the measured service-time statistics (monitored online in
+    /// the paper).
+    pub fn observe_service(&mut self, mean: Duration, variance: f64) {
+        self.mean_service = mean.as_secs_f64();
+        self.var_service = variance;
+    }
+
+    /// Updates the measured interarrival-time variance.
+    pub fn observe_interarrival_variance(&mut self, variance: f64) {
+        self.var_interarrival = variance;
+    }
+}
+
+/// The extensible hook of the provisioning framework (paper Fig. 3): a
+/// policy proposes how many server objects are needed; the Supervisor
+/// enforces the proposal.
+pub trait Provisioner: Send {
+    /// Proposes a pool size given the current introspection snapshot, or
+    /// `None` when the policy has no opinion this tick.
+    fn propose(&mut self, info: &PoolInfo) -> Option<usize>;
+
+    /// Policy name for logs.
+    fn name(&self) -> &'static str {
+        "custom"
+    }
+}
+
+/// Workload predictor: keeps, for each period-of-day slot, the history of
+/// arrival rates seen in that slot over past days, and predicts a high
+/// percentile of that distribution (paper §4.3.1).
+#[derive(Debug, Clone)]
+pub struct PredictiveProvisioner {
+    model: GgOneModel,
+    /// History per slot: `history[slot]` are the rates (req/s) observed in
+    /// that slot on previous days.
+    history: Vec<Vec<f64>>,
+    slot_len: Duration,
+    percentile: f64,
+    /// The most recent prediction, exposed so the reactive policy can
+    /// compare against it.
+    last_prediction: Option<f64>,
+    last_slot: Option<usize>,
+}
+
+impl PredictiveProvisioner {
+    /// Creates a predictor with `slot_len` periods (paper: 15 minutes) and
+    /// the given percentile in `(0, 1]` (we default to 0.95 elsewhere).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot_len` is zero, does not divide a day, or the
+    /// percentile is out of `(0, 1]`.
+    pub fn new(model: GgOneModel, slot_len: Duration, percentile: f64) -> Self {
+        assert!(!slot_len.is_zero(), "slot length must be positive");
+        let secs = slot_len.as_secs();
+        assert!(secs > 0 && 86_400 % secs == 0, "slot must divide a day");
+        assert!(
+            percentile > 0.0 && percentile <= 1.0,
+            "percentile must be in (0, 1]"
+        );
+        let slots = (86_400 / secs) as usize;
+        PredictiveProvisioner {
+            model,
+            history: vec![Vec::new(); slots],
+            slot_len,
+            percentile,
+            last_prediction: None,
+            last_slot: None,
+        }
+    }
+
+    /// Number of slots in a day.
+    pub fn slots_per_day(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Maps a time-of-experiment offset to its slot index.
+    pub fn slot_of(&self, time: Duration) -> usize {
+        ((time.as_secs() % 86_400) / self.slot_len.as_secs()) as usize
+    }
+
+    /// Feeds one historical observation: the arrival rate (req/s) seen
+    /// during `slot` on some past day.
+    pub fn observe(&mut self, slot: usize, rate: f64) {
+        let slots = self.slots_per_day();
+        self.history[slot % slots].push(rate);
+    }
+
+    /// Convenience: ingest a whole multi-day history of per-slot rates
+    /// (e.g. the previous week of the UB1 trace).
+    pub fn observe_series(&mut self, rates_per_slot: &[f64]) {
+        for (i, rate) in rates_per_slot.iter().enumerate() {
+            self.observe(i % self.slots_per_day(), *rate);
+        }
+    }
+
+    /// Predicted peak rate (req/s) for `slot`: a high percentile of the
+    /// slot's history. Returns `None` with no history.
+    pub fn predict(&self, slot: usize) -> Option<f64> {
+        let h = &self.history[slot % self.slots_per_day()];
+        if h.is_empty() {
+            return None;
+        }
+        let mut sorted = h.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+        let idx = ((self.percentile * sorted.len() as f64).ceil() as usize)
+            .clamp(1, sorted.len())
+            - 1;
+        Some(sorted[idx])
+    }
+
+    /// Runs the predictive step for `slot`: predicts the peak rate and maps
+    /// it to an instance count. Records the prediction for the reactive
+    /// policy. Returns `None` when there is no history for the slot.
+    pub fn provision_for_slot(&mut self, slot: usize) -> Option<usize> {
+        let rate = self.predict(slot)?;
+        self.last_prediction = Some(rate);
+        self.last_slot = Some(slot);
+        Some(self.model.required_instances(rate))
+    }
+
+    /// The most recent prediction (λ_pred), if any.
+    pub fn last_prediction(&self) -> Option<f64> {
+        self.last_prediction
+    }
+
+    /// Overrides the current prediction — used by the misprediction
+    /// experiment (paper §5.3.3) to "fool" the predictor.
+    pub fn force_prediction(&mut self, rate: f64) {
+        self.last_prediction = Some(rate);
+    }
+
+    /// The capacity model (shared with the reactive policy).
+    pub fn model(&self) -> &GgOneModel {
+        &self.model
+    }
+
+    /// Mutable access to the capacity model for online re-estimation.
+    pub fn model_mut(&mut self) -> &mut GgOneModel {
+        &mut self.model
+    }
+}
+
+impl Provisioner for PredictiveProvisioner {
+    fn propose(&mut self, _info: &PoolInfo) -> Option<usize> {
+        let slot = self.last_slot?;
+        self.provision_for_slot(slot)
+    }
+
+    fn name(&self) -> &'static str {
+        "predictive"
+    }
+}
+
+/// Reactive corrector (paper §4.3.2): compares the observed arrival rate
+/// against the prediction and recomputes the pool size when they diverge by
+/// more than the configured thresholds.
+#[derive(Debug, Clone)]
+pub struct ReactiveProvisioner {
+    model: GgOneModel,
+    /// Upward divergence threshold τ₁ (0.2 = react when observed exceeds
+    /// predicted by >20%).
+    pub tau_increase: f64,
+    /// Downward divergence threshold τ₂.
+    pub tau_decrease: f64,
+}
+
+impl ReactiveProvisioner {
+    /// Creates a reactive policy with the paper's τ₁ = τ₂ = 20%.
+    pub fn paper_defaults(model: GgOneModel) -> Self {
+        ReactiveProvisioner {
+            model,
+            tau_increase: 0.20,
+            tau_decrease: 0.20,
+        }
+    }
+
+    /// Checks observed vs predicted rate. Returns the corrected instance
+    /// count if corrective action is necessary, `None` otherwise.
+    ///
+    /// With no prediction available the observation alone drives the
+    /// correction.
+    pub fn check(&self, observed: f64, predicted: Option<f64>) -> Option<usize> {
+        match predicted {
+            Some(pred) if pred > 0.0 => {
+                let ratio = observed / pred;
+                if ratio > 1.0 + self.tau_increase || ratio < 1.0 - self.tau_decrease {
+                    Some(self.model.required_instances(observed))
+                } else {
+                    None
+                }
+            }
+            _ => Some(self.model.required_instances(observed)),
+        }
+    }
+
+    /// The capacity model.
+    pub fn model(&self) -> &GgOneModel {
+        &self.model
+    }
+
+    /// Mutable access to the capacity model for online re-estimation.
+    pub fn model_mut(&mut self) -> &mut GgOneModel {
+        &mut self.model
+    }
+}
+
+impl Provisioner for ReactiveProvisioner {
+    fn propose(&mut self, info: &PoolInfo) -> Option<usize> {
+        // Standalone reactive policy: no prediction to compare against.
+        Some(self.model.required_instances(info.arrival_rate))
+    }
+
+    fn name(&self) -> &'static str {
+        "reactive"
+    }
+}
+
+/// Which policies an [`AutoScaler`] runs — the ablation knob for the
+/// Fig. 8 experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalingPolicy {
+    /// Predictive only.
+    Predictive,
+    /// Reactive only.
+    Reactive,
+    /// Both, as in the paper's main experiment.
+    Both,
+}
+
+impl std::str::FromStr for ScalingPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "predictive" => Ok(ScalingPolicy::Predictive),
+            "reactive" => Ok(ScalingPolicy::Reactive),
+            "both" => Ok(ScalingPolicy::Both),
+            other => Err(format!("unknown policy `{other}` (predictive|reactive|both)")),
+        }
+    }
+}
+
+/// Combines the predictive and reactive policies on their two timescales.
+///
+/// Call [`AutoScaler::predictive_tick`] every predictive period (paper: 15
+/// minutes) and [`AutoScaler::reactive_tick`] every reactive period (5
+/// minutes); each returns the new target pool size when action is needed.
+#[derive(Debug, Clone)]
+pub struct AutoScaler {
+    predictive: PredictiveProvisioner,
+    reactive: ReactiveProvisioner,
+    policy: ScalingPolicy,
+    target: usize,
+}
+
+impl AutoScaler {
+    /// Builds an auto-scaler; `target` starts at 1 instance.
+    pub fn new(
+        predictive: PredictiveProvisioner,
+        reactive: ReactiveProvisioner,
+        policy: ScalingPolicy,
+    ) -> Self {
+        AutoScaler {
+            predictive,
+            reactive,
+            policy,
+            target: 1,
+        }
+    }
+
+    /// Current target pool size.
+    pub fn target(&self) -> usize {
+        self.target
+    }
+
+    /// The predictive sub-policy.
+    pub fn predictive(&self) -> &PredictiveProvisioner {
+        &self.predictive
+    }
+
+    /// Mutable access (for history feeding / misprediction injection).
+    pub fn predictive_mut(&mut self) -> &mut PredictiveProvisioner {
+        &mut self.predictive
+    }
+
+    /// Feeds an online measurement of the interarrival-time variance σ²_a
+    /// into both policies' capacity models (the paper updates σ²_a "once
+    /// every 15 minutes based on online measurements of the global request
+    /// queue").
+    pub fn observe_interarrival_variance(&mut self, variance: f64) {
+        self.predictive
+            .model_mut()
+            .observe_interarrival_variance(variance);
+        self.reactive
+            .model_mut()
+            .observe_interarrival_variance(variance);
+    }
+
+    /// Runs the predictive step for the slot containing `now` (offset from
+    /// experiment start). Returns the new target if it changed.
+    pub fn predictive_tick(&mut self, now: Duration) -> Option<usize> {
+        if self.policy == ScalingPolicy::Reactive {
+            return None;
+        }
+        let slot = self.predictive.slot_of(now);
+        let proposed = self.predictive.provision_for_slot(slot)?;
+        if proposed != self.target {
+            self.target = proposed;
+            Some(proposed)
+        } else {
+            None
+        }
+    }
+
+    /// Runs the reactive step with the arrival rate observed over the past
+    /// reactive period. Returns the new target if corrective action fired.
+    pub fn reactive_tick(&mut self, observed_rate: f64) -> Option<usize> {
+        if self.policy == ScalingPolicy::Predictive {
+            return None;
+        }
+        let predicted = self.predictive.last_prediction();
+        let proposed = self.reactive.check(observed_rate, predicted)?;
+        // After correcting, treat the observation as the working prediction
+        // so we do not flap every reactive tick.
+        self.predictive.force_prediction(observed_rate);
+        if proposed != self.target {
+            self.target = proposed;
+            Some(proposed)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn capacity_formula_matches_hand_computation() {
+        let m = GgOneModel::paper_defaults();
+        // δ = 1 / (0.05 + (0.04 + 0.04) / (2 · 0.4)) = 1 / 0.15
+        assert!(close(m.capacity_per_server(), 1.0 / 0.15));
+    }
+
+    #[test]
+    fn eta_is_ceiling_of_lambda_over_delta() {
+        let m = GgOneModel::paper_defaults();
+        let delta = m.capacity_per_server();
+        assert_eq!(m.required_instances(0.0), 1, "never below one instance");
+        assert_eq!(m.required_instances(delta * 0.5), 1);
+        assert_eq!(m.required_instances(delta * 1.01), 2);
+        assert_eq!(m.required_instances(delta * 7.2), 8);
+    }
+
+    #[test]
+    fn paper_peak_requires_a_sane_pool() {
+        // Peak demand of the day-8 UB1 trace: 8,514 commits/minute.
+        let m = GgOneModel::paper_defaults();
+        let eta = m.required_instances(8514.0 / 60.0);
+        assert!(
+            (10..60).contains(&eta),
+            "peak pool should be tens of instances, got {eta}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "SLA")]
+    fn infeasible_sla_panics() {
+        let m = GgOneModel {
+            target_response: 0.01,
+            mean_service: 0.05,
+            var_interarrival: 0.0,
+            var_service: 0.0,
+        };
+        let _ = m.capacity_per_server();
+    }
+
+    #[test]
+    fn predictor_returns_high_percentile() {
+        let mut p = PredictiveProvisioner::new(
+            GgOneModel::paper_defaults(),
+            Duration::from_secs(900),
+            0.95,
+        );
+        // 20 observations 1..=20 in slot 3: the 95th percentile is 19.
+        for v in 1..=20 {
+            p.observe(3, v as f64);
+        }
+        assert!(close(p.predict(3).unwrap(), 19.0));
+        assert_eq!(p.predict(4), None);
+    }
+
+    #[test]
+    fn predictor_slot_arithmetic() {
+        let p = PredictiveProvisioner::new(
+            GgOneModel::paper_defaults(),
+            Duration::from_secs(900),
+            0.95,
+        );
+        assert_eq!(p.slots_per_day(), 96);
+        assert_eq!(p.slot_of(Duration::from_secs(0)), 0);
+        assert_eq!(p.slot_of(Duration::from_secs(899)), 0);
+        assert_eq!(p.slot_of(Duration::from_secs(900)), 1);
+        // Wraps at day boundaries.
+        assert_eq!(p.slot_of(Duration::from_secs(86_400 + 950)), 1);
+    }
+
+    #[test]
+    fn observe_series_wraps_days() {
+        let mut p = PredictiveProvisioner::new(
+            GgOneModel::paper_defaults(),
+            Duration::from_secs(900),
+            0.95,
+        );
+        let two_days: Vec<f64> = (0..192).map(|i| i as f64).collect();
+        p.observe_series(&two_days);
+        // Slot 0 saw rates 0.0 and 96.0; the 95th percentile is 96.
+        assert!(close(p.predict(0).unwrap(), 96.0));
+    }
+
+    #[test]
+    fn reactive_fires_only_outside_band() {
+        let r = ReactiveProvisioner::paper_defaults(GgOneModel::paper_defaults());
+        // Within ±20% of prediction: no action.
+        assert_eq!(r.check(110.0, Some(100.0)), None);
+        assert_eq!(r.check(81.0, Some(100.0)), None);
+        // Outside the band: recompute.
+        assert!(r.check(121.0, Some(100.0)).is_some());
+        assert!(r.check(79.0, Some(100.0)).is_some());
+        // No prediction: always act on the observation.
+        assert!(r.check(50.0, None).is_some());
+    }
+
+    #[test]
+    fn autoscaler_reactive_corrects_misprediction() {
+        let model = GgOneModel::paper_defaults();
+        let mut predictive = PredictiveProvisioner::new(
+            model.clone(),
+            Duration::from_secs(900),
+            0.95,
+        );
+        // History says slot 0 is quiet.
+        predictive.observe(0, 1.0);
+        let reactive = ReactiveProvisioner::paper_defaults(model.clone());
+        let mut scaler = AutoScaler::new(predictive, reactive, ScalingPolicy::Both);
+
+        let t0 = scaler.predictive_tick(Duration::ZERO);
+        assert_eq!(t0, None, "1 instance predicted, same as initial target");
+        assert_eq!(scaler.target(), 1);
+
+        // Reality: a storm of 100 req/s. The reactive tick must fix it.
+        let corrected = scaler.reactive_tick(100.0).expect("must react");
+        assert_eq!(corrected, model.required_instances(100.0));
+        assert_eq!(scaler.target(), corrected);
+
+        // Same observation again: prediction was updated, no flapping.
+        assert_eq!(scaler.reactive_tick(100.0), None);
+    }
+
+    #[test]
+    fn policy_gating() {
+        let model = GgOneModel::paper_defaults();
+        let mut predictive = PredictiveProvisioner::new(
+            model.clone(),
+            Duration::from_secs(900),
+            0.95,
+        );
+        predictive.observe(0, 100.0);
+        let reactive = ReactiveProvisioner::paper_defaults(model);
+
+        let mut pred_only = AutoScaler::new(
+            predictive.clone(),
+            reactive.clone(),
+            ScalingPolicy::Predictive,
+        );
+        assert!(pred_only.predictive_tick(Duration::ZERO).is_some());
+        assert_eq!(pred_only.reactive_tick(1000.0), None, "reactive disabled");
+
+        let mut react_only = AutoScaler::new(predictive, reactive, ScalingPolicy::Reactive);
+        assert_eq!(
+            react_only.predictive_tick(Duration::ZERO),
+            None,
+            "predictive disabled"
+        );
+        assert!(react_only.reactive_tick(1000.0).is_some());
+    }
+
+    #[test]
+    fn scaling_policy_parses() {
+        assert_eq!("both".parse::<ScalingPolicy>().unwrap(), ScalingPolicy::Both);
+        assert!("nope".parse::<ScalingPolicy>().is_err());
+    }
+
+    #[test]
+    fn provisioner_trait_objects() {
+        let model = GgOneModel::paper_defaults();
+        let mut policies: Vec<Box<dyn Provisioner>> = vec![
+            Box::new(ReactiveProvisioner::paper_defaults(model.clone())),
+            Box::new(PredictiveProvisioner::new(
+                model,
+                Duration::from_secs(900),
+                0.95,
+            )),
+        ];
+        let info = PoolInfo {
+            oid: "svc".into(),
+            instances: 1,
+            queue_depth: 10,
+            arrival_rate: 50.0,
+            mean_service_time: Duration::from_millis(50),
+            service_time_variance: 0.04,
+        };
+        assert_eq!(policies[0].name(), "reactive");
+        assert!(policies[0].propose(&info).is_some());
+        assert_eq!(policies[1].name(), "predictive");
+        assert_eq!(policies[1].propose(&info), None, "no history, no slot");
+    }
+}

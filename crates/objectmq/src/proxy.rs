@@ -1,0 +1,438 @@
+//! Client side: dynamic stubs (proxies) and the invocation primitives.
+
+use crate::error::{CallError, CallResult, OmqError};
+use crate::rpc::{decode_response, fresh_id, Request, Response};
+use mqsim::{Consumer, Message, MessageBroker, MessageProperties, MqError};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use wire::{Codec, Value};
+
+/// A dynamic client stub for a remote object bound to an `oid`.
+///
+/// The proxy owns a private response queue, mirroring Fig. 1 of the paper
+/// ("every stub has its own queue to receive responses"). It is obtained
+/// through [`crate::Broker::lookup`]; no stub compilation or preprocessing
+/// is involved, and the stub never needs to know how many server instances
+/// exist or where they run.
+pub struct Proxy {
+    mq: MessageBroker,
+    codec: Arc<dyn Codec>,
+    oid: String,
+    multi_exchange: String,
+    response_queue: String,
+    response_consumer: Consumer,
+    /// Responses that arrived while waiting for a different correlation id.
+    pending: Mutex<HashMap<String, Response>>,
+}
+
+impl std::fmt::Debug for Proxy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Proxy")
+            .field("oid", &self.oid)
+            .field("response_queue", &self.response_queue)
+            .finish()
+    }
+}
+
+impl Proxy {
+    pub(crate) fn new(
+        mq: MessageBroker,
+        codec: Arc<dyn Codec>,
+        oid: String,
+        multi_exchange: String,
+        response_queue: String,
+        response_consumer: Consumer,
+    ) -> Self {
+        Proxy {
+            mq,
+            codec,
+            oid,
+            multi_exchange,
+            response_queue,
+            response_consumer,
+            pending: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The object id this proxy talks to.
+    pub fn oid(&self) -> &str {
+        &self.oid
+    }
+
+    fn request_message(&self, request: &Request, expect_reply: bool) -> Message {
+        let payload = self.codec.encode(&request.to_value());
+        let props = MessageProperties {
+            correlation_id: Some(request.id.clone()),
+            reply_to: expect_reply.then(|| self.response_queue.clone()),
+            content_type: Some(format!("omq/{}", self.codec.name())),
+            persistent: true,
+        };
+        Message::with_properties(payload, props)
+    }
+
+    /// `@AsyncMethod`: fire-and-forget unicast invocation. The message is
+    /// queued persistently; one idle server instance will process it. The
+    /// client gets no confirmation (paper §3.2).
+    ///
+    /// # Errors
+    ///
+    /// Only middleware errors (e.g. the `oid` queue disappeared) are
+    /// reported; remote failures are invisible by design.
+    pub fn call_async(&self, method: &str, args: Vec<Value>) -> CallResult<()> {
+        let request = Request {
+            id: fresh_id(),
+            method: method.to_string(),
+            args,
+        };
+        let message = self.request_message(&request, false);
+        self.mq
+            .publish_to_queue(&self.oid, message)
+            .map_err(CallError::from)
+    }
+
+    /// `@SyncMethod(retry, timeout)`: blocking unicast invocation. Publishes
+    /// the request and waits for the correlated response on the proxy's
+    /// private queue; on timeout the request is republished up to `retries`
+    /// additional times.
+    ///
+    /// # Errors
+    ///
+    /// [`CallError::Timeout`] after all attempts, [`CallError::Remote`] if
+    /// the server object returned an error.
+    pub fn call_sync(
+        &self,
+        method: &str,
+        args: Vec<Value>,
+        timeout: Duration,
+        retries: u32,
+    ) -> CallResult<Value> {
+        let request = Request {
+            id: fresh_id(),
+            method: method.to_string(),
+            args,
+        };
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            let message = self.request_message(&request, true);
+            self.mq.publish_to_queue(&self.oid, message)?;
+            match self.await_response(&request.id, timeout) {
+                Some(response) => {
+                    return response.outcome.map_err(CallError::Remote);
+                }
+                None if attempts > retries => {
+                    return Err(CallError::Timeout { attempts });
+                }
+                None => continue,
+            }
+        }
+    }
+
+    /// `@MultiMethod @AsyncMethod`: non-blocking one-to-many invocation.
+    /// The request is published through the `oid` fanout exchange and every
+    /// bound instance receives a copy in its private queue. Returns how many
+    /// instances were reached.
+    ///
+    /// # Errors
+    ///
+    /// Middleware errors only (e.g. the fanout exchange is gone).
+    pub fn call_multi_async(&self, method: &str, args: Vec<Value>) -> CallResult<usize> {
+        let request = Request {
+            id: fresh_id(),
+            method: method.to_string(),
+            args,
+        };
+        let message = self.request_message(&request, false);
+        self.mq
+            .publish(&self.multi_exchange, "", message)
+            .map_err(CallError::from)
+    }
+
+    /// `@MultiMethod @SyncMethod`: blocking one-to-many invocation that
+    /// collects the replies received within `timeout`. Remote-side errors
+    /// are returned as `Err` entries; the vector length is at most the
+    /// number of instances reached.
+    ///
+    /// # Errors
+    ///
+    /// Middleware errors only; an empty pool yields an empty vector.
+    pub fn call_multi_sync(
+        &self,
+        method: &str,
+        args: Vec<Value>,
+        timeout: Duration,
+    ) -> CallResult<Vec<Result<Value, String>>> {
+        let request = Request {
+            id: fresh_id(),
+            method: method.to_string(),
+            args,
+        };
+        let message = self.request_message(&request, true);
+        let expected = self.mq.publish(&self.multi_exchange, "", message)?;
+        let mut results = Vec::with_capacity(expected);
+        let deadline = Instant::now() + timeout;
+        while results.len() < expected {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match self.recv_correlated(&request.id, deadline - now) {
+                Some(response) => results.push(response.outcome),
+                None => break,
+            }
+        }
+        Ok(results)
+    }
+
+    /// Waits for a single response with the given correlation id.
+    fn await_response(&self, id: &str, timeout: Duration) -> Option<Response> {
+        if let Some(r) = self.pending.lock().remove(id) {
+            return Some(r);
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            if let Some(r) = self.recv_correlated(id, deadline - now) {
+                return Some(r);
+            } else {
+                return None;
+            }
+        }
+    }
+
+    /// Receives messages from the response queue until one matches `id` or
+    /// the timeout elapses. Non-matching responses are stashed for their
+    /// waiters (a proxy may be shared across threads).
+    fn recv_correlated(&self, id: &str, timeout: Duration) -> Option<Response> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(r) = self.pending.lock().remove(id) {
+                return Some(r);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            match self.response_consumer.recv_timeout(deadline - now) {
+                Ok(delivery) => {
+                    let decoded =
+                        decode_response(self.codec.as_ref(), delivery.message.payload());
+                    delivery.ack();
+                    if let Ok(response) = decoded {
+                        if response.id == id {
+                            return Some(response);
+                        }
+                        self.pending.lock().insert(response.id.clone(), response);
+                    }
+                    // Malformed responses are dropped.
+                }
+                Err(MqError::RecvTimeout) => return None,
+                Err(_) => return None,
+            }
+        }
+    }
+}
+
+impl Drop for Proxy {
+    fn drop(&mut self) {
+        // The response queue is private to this stub; remove it like an
+        // AMQP auto-delete queue.
+        let _ = self.mq.delete_queue(&self.response_queue);
+    }
+}
+
+/// Errors surfaced when creating a proxy.
+pub(crate) fn unknown_object(oid: &str) -> OmqError {
+    OmqError::UnknownObject(oid.to_string())
+}
+
+#[allow(dead_code)]
+fn _assert_send_sync() {
+    fn check<T: Send + Sync>() {}
+    check::<Proxy>();
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Broker, CallError, RemoteObject};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+    use wire::Value;
+
+    const T: Duration = Duration::from_millis(500);
+
+    struct Echo;
+    impl RemoteObject for Echo {
+        fn dispatch(&self, method: &str, args: &[Value]) -> Result<Value, String> {
+            match method {
+                "echo" => Ok(args.first().cloned().unwrap_or(Value::Null)),
+                "fail" => Err("intentional".into()),
+                other => Err(format!("unknown method {other}")),
+            }
+        }
+    }
+
+    #[test]
+    fn sync_call_roundtrip() {
+        let broker = Broker::in_process();
+        let _server = broker.bind("echo", Echo).unwrap();
+        let proxy = broker.lookup("echo").unwrap();
+        let v = proxy
+            .call_sync("echo", vec![Value::from(42i64)], T, 0)
+            .unwrap();
+        assert_eq!(v, Value::I64(42));
+    }
+
+    #[test]
+    fn remote_error_propagates() {
+        let broker = Broker::in_process();
+        let _server = broker.bind("echo", Echo).unwrap();
+        let proxy = broker.lookup("echo").unwrap();
+        let err = proxy.call_sync("fail", vec![], T, 0).unwrap_err();
+        assert_eq!(err, CallError::Remote("intentional".into()));
+    }
+
+    #[test]
+    fn async_call_is_processed() {
+        let counter = Arc::new(AtomicU64::new(0));
+        let c2 = counter.clone();
+        let broker = Broker::in_process();
+        let _server = broker
+            .bind("count", move |_m: &str, _a: &[Value]| {
+                c2.fetch_add(1, Ordering::SeqCst);
+                Ok(Value::Null)
+            })
+            .unwrap();
+        let proxy = broker.lookup("count").unwrap();
+        for _ in 0..5 {
+            proxy.call_async("bump", vec![]).unwrap();
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while counter.load(Ordering::SeqCst) < 5 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn sync_call_times_out_without_server() {
+        let broker = Broker::in_process();
+        // Bind then shut the only instance down: queue exists, nobody serves.
+        let server = broker.bind("ghost", Echo).unwrap();
+        server.shutdown();
+        let proxy = broker.lookup("ghost").unwrap();
+        let err = proxy
+            .call_sync("echo", vec![], Duration::from_millis(50), 2)
+            .unwrap_err();
+        assert_eq!(err, CallError::Timeout { attempts: 3 });
+    }
+
+    #[test]
+    fn multi_sync_collects_all_instances() {
+        let broker = Broker::in_process();
+        let make = |tag: &'static str| {
+            move |_m: &str, _a: &[Value]| -> Result<Value, String> { Ok(Value::from(tag)) }
+        };
+        let _s1 = broker.bind("grp", make("a")).unwrap();
+        let _s2 = broker.bind("grp", make("b")).unwrap();
+        let _s3 = broker.bind("grp", make("c")).unwrap();
+        let proxy = broker.lookup("grp").unwrap();
+        let results = proxy.call_multi_sync("who", vec![], Duration::from_secs(2)).unwrap();
+        let mut tags: Vec<String> = results
+            .into_iter()
+            .map(|r| r.unwrap().as_str().unwrap().to_string())
+            .collect();
+        tags.sort();
+        assert_eq!(tags, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn multi_async_reaches_every_instance() {
+        let counter = Arc::new(AtomicU64::new(0));
+        let broker = Broker::in_process();
+        let mut servers = Vec::new();
+        for _ in 0..4 {
+            let c = counter.clone();
+            servers.push(
+                broker
+                    .bind("notify", move |_m: &str, _a: &[Value]| {
+                        c.fetch_add(1, Ordering::SeqCst);
+                        Ok(Value::Null)
+                    })
+                    .unwrap(),
+            );
+        }
+        let proxy = broker.lookup("notify").unwrap();
+        let reached = proxy.call_multi_async("ping", vec![]).unwrap();
+        assert_eq!(reached, 4);
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while counter.load(Ordering::SeqCst) < 4 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn unicast_balances_across_instances() {
+        let a = Arc::new(AtomicU64::new(0));
+        let b = Arc::new(AtomicU64::new(0));
+        let broker = Broker::in_process();
+        let mk = |c: Arc<AtomicU64>| {
+            move |_m: &str, _a: &[Value]| -> Result<Value, String> {
+                c.fetch_add(1, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(5));
+                Ok(Value::Null)
+            }
+        };
+        let _s1 = broker.bind("lb", mk(a.clone())).unwrap();
+        let _s2 = broker.bind("lb", mk(b.clone())).unwrap();
+        let proxy = broker.lookup("lb").unwrap();
+        for _ in 0..20 {
+            proxy.call_sync("work", vec![], Duration::from_secs(2), 0).unwrap();
+        }
+        let (ca, cb) = (a.load(Ordering::SeqCst), b.load(Ordering::SeqCst));
+        assert_eq!(ca + cb, 20);
+        assert!(ca > 0 && cb > 0, "both instances must share load ({ca}/{cb})");
+    }
+
+    #[test]
+    fn crashed_instance_redelivers_inflight_call() {
+        let broker = Broker::in_process();
+        // First instance panics on the first call, then a healthy instance
+        // picks up the redelivered message.
+        let flaky = |_m: &str, _a: &[Value]| -> Result<Value, String> {
+            panic!("simulated crash mid-operation");
+        };
+        let crashy = broker.bind("svc", flaky).unwrap();
+        let proxy = broker.lookup("svc").unwrap();
+        // Async call so we do not block: it will crash the instance.
+        proxy.call_async("anything", vec![]).unwrap();
+        // Give the flaky instance time to die.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while crashy.is_alive() && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(!crashy.is_alive(), "panicking instance must self-report dead");
+        // Now bind a healthy instance; the unacked message must reach it.
+        let healthy = broker
+            .bind("svc", |_m: &str, _a: &[Value]| Ok(Value::from("done")))
+            .unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while healthy.stats().snapshot().processed == 0
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(
+            healthy.stats().snapshot().processed,
+            1,
+            "redelivered invocation must be processed exactly once by the healthy instance"
+        );
+    }
+}

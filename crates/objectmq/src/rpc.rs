@@ -1,0 +1,152 @@
+//! RPC envelopes: the request/response schema travelling through queues.
+
+use wire::{Value, WireError, WireResult};
+
+/// A remote invocation request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Unique invocation id (also the AMQP correlation id for sync calls).
+    pub id: String,
+    /// Method name on the remote object.
+    pub method: String,
+    /// Positional arguments.
+    pub args: Vec<Value>,
+}
+
+impl Request {
+    /// Lowers the request into the wire data model.
+    pub fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("id".into(), Value::Str(self.id.clone())),
+            ("method".into(), Value::Str(self.method.clone())),
+            ("args".into(), Value::List(self.args.clone())),
+        ])
+    }
+
+    /// Parses a request from the wire data model.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] when required fields are missing or mistyped.
+    pub fn from_value(value: &Value) -> WireResult<Self> {
+        Ok(Request {
+            id: value.field("id")?.as_str()?.to_string(),
+            method: value.field("method")?.as_str()?.to_string(),
+            args: value.field("args")?.as_list()?.to_vec(),
+        })
+    }
+}
+
+/// A remote invocation response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Correlates with [`Request::id`].
+    pub id: String,
+    /// `Ok(value)` on success, `Err(message)` when the remote object failed.
+    pub outcome: Result<Value, String>,
+}
+
+impl Response {
+    /// Lowers the response into the wire data model.
+    pub fn to_value(&self) -> Value {
+        let mut entries = vec![("id".into(), Value::Str(self.id.clone()))];
+        match &self.outcome {
+            Ok(v) => {
+                entries.push(("ok".into(), Value::Bool(true)));
+                entries.push(("value".into(), v.clone()));
+            }
+            Err(m) => {
+                entries.push(("ok".into(), Value::Bool(false)));
+                entries.push(("error".into(), Value::Str(m.clone())));
+            }
+        }
+        Value::Map(entries)
+    }
+
+    /// Parses a response from the wire data model.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] when required fields are missing or mistyped.
+    pub fn from_value(value: &Value) -> WireResult<Self> {
+        let id = value.field("id")?.as_str()?.to_string();
+        let ok = value.field("ok")?.as_bool()?;
+        let outcome = if ok {
+            Ok(value.field("value")?.clone())
+        } else {
+            Err(value.field("error")?.as_str()?.to_string())
+        };
+        Ok(Response { id, outcome })
+    }
+}
+
+/// Generates a process-unique invocation id.
+pub(crate) fn fresh_id() -> String {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    // Combine a counter with the process-wide address-independent epoch so
+    // ids stay unique across Broker instances in one process.
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    format!("inv-{n}")
+}
+
+/// Validation helper: ensures a decoded value is a request.
+pub(crate) fn decode_request(codec: &dyn wire::Codec, bytes: &[u8]) -> WireResult<Request> {
+    let value = codec.decode(bytes)?;
+    Request::from_value(&value)
+}
+
+/// Validation helper: ensures a decoded value is a response.
+pub(crate) fn decode_response(codec: &dyn wire::Codec, bytes: &[u8]) -> WireResult<Response> {
+    let value = codec.decode(bytes)?;
+    Response::from_value(&value).map_err(|e| match e {
+        WireError::MissingField(f) => WireError::Invalid(format!("response missing `{f}`")),
+        other => other,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wire::{BinaryCodec, Codec};
+
+    #[test]
+    fn request_roundtrip() {
+        let r = Request {
+            id: "inv-9".into(),
+            method: "commit".into(),
+            args: vec![Value::from(1i64), Value::from("ws")],
+        };
+        assert_eq!(Request::from_value(&r.to_value()).unwrap(), r);
+    }
+
+    #[test]
+    fn response_roundtrip_ok_and_err() {
+        let ok = Response {
+            id: "a".into(),
+            outcome: Ok(Value::from(5i64)),
+        };
+        let err = Response {
+            id: "b".into(),
+            outcome: Err("boom".into()),
+        };
+        assert_eq!(Response::from_value(&ok.to_value()).unwrap(), ok);
+        assert_eq!(Response::from_value(&err.to_value()).unwrap(), err);
+    }
+
+    #[test]
+    fn decode_helpers_reject_garbage() {
+        assert!(decode_request(&BinaryCodec, b"junk").is_err());
+        let not_a_request = BinaryCodec.encode(&Value::I64(3));
+        assert!(decode_request(&BinaryCodec, &not_a_request).is_err());
+        let missing = BinaryCodec.encode(&Value::Map(vec![("id".into(), Value::from("x"))]));
+        assert!(decode_response(&BinaryCodec, &missing).is_err());
+    }
+
+    #[test]
+    fn fresh_ids_are_unique() {
+        let a = fresh_id();
+        let b = fresh_id();
+        assert_ne!(a, b);
+    }
+}

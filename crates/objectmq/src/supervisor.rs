@@ -1,0 +1,710 @@
+//! The Master/Slave enforcement layer of the provisioning framework
+//! (paper §3.3–3.4): a central [`Supervisor`] enforces the pool size
+//! proposed by provisioners by spawning or shutting down server objects in
+//! [`RemoteBroker`] slaves, monitors instance liveness every second, and is
+//! itself monitored by the remote brokers, which run a leader election when
+//! it dies.
+
+use crate::broker::Broker;
+use crate::error::{OmqError, OmqResult};
+use crate::server::{RemoteObject, ServerHandle};
+use mqsim::{ExchangeKind, Message, MessageBroker, QueueOptions};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use wire::Value;
+
+/// Factory producing fresh server object instances for an `oid`.
+pub type ObjectFactory = Arc<dyn Fn() -> Arc<dyn RemoteObject> + Send + Sync>;
+
+/// Well-known oid under which every remote broker registers.
+pub const RBROKER_OID: &str = "omq.rbroker";
+/// Fanout exchange carrying supervisor heartbeats.
+pub const HEARTBEAT_EXCHANGE: &str = "omq.supervisor.hb";
+/// Fanout exchange used for leader election among remote brokers.
+pub const ELECTION_EXCHANGE: &str = "omq.election";
+
+#[derive(Default)]
+struct RemoteBrokerState {
+    factories: RwLock<HashMap<String, ObjectFactory>>,
+    instances: Mutex<HashMap<String, Vec<ServerHandle>>>,
+}
+
+impl RemoteBrokerState {
+    fn reap(&self, oid: &str) {
+        let mut instances = self.instances.lock();
+        if let Some(handles) = instances.get_mut(oid) {
+            handles.retain(|h| h.is_alive());
+        }
+    }
+
+    fn count(&self, oid: &str) -> usize {
+        self.reap(oid);
+        self.instances
+            .lock()
+            .get(oid)
+            .map(|v| v.len())
+            .unwrap_or(0)
+    }
+}
+
+/// An ObjectMQ server node that can launch or shut down remote object
+/// instances on command — the slave side of the provisioning framework.
+pub struct RemoteBroker {
+    id: u64,
+    broker: Broker,
+    state: Arc<RemoteBrokerState>,
+    /// The rbroker's own remote-object instance.
+    server: Option<ServerHandle>,
+}
+
+impl std::fmt::Debug for RemoteBroker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteBroker").field("id", &self.id).finish()
+    }
+}
+
+struct RemoteBrokerObject {
+    id: u64,
+    broker: Broker,
+    state: Arc<RemoteBrokerState>,
+}
+
+impl RemoteObject for RemoteBrokerObject {
+    fn dispatch(&self, method: &str, args: &[Value]) -> Result<Value, String> {
+        match method {
+            "ping" => Ok(Value::U64(self.id)),
+            "spawn" => {
+                let oid = args
+                    .first()
+                    .and_then(|v| v.as_str().ok())
+                    .ok_or("spawn needs an oid argument")?;
+                let factory = self
+                    .state
+                    .factories
+                    .read()
+                    .get(oid)
+                    .cloned()
+                    .ok_or_else(|| format!("no factory registered for `{oid}`"))?;
+                let handle = self
+                    .broker
+                    .bind_arc(oid, factory())
+                    .map_err(|e| e.to_string())?;
+                let name = handle.instance_name().to_string();
+                self.state
+                    .instances
+                    .lock()
+                    .entry(oid.to_string())
+                    .or_default()
+                    .push(handle);
+                Ok(Value::Str(name))
+            }
+            "shutdown_one" => {
+                let oid = args
+                    .first()
+                    .and_then(|v| v.as_str().ok())
+                    .ok_or("shutdown_one needs an oid argument")?;
+                self.state.reap(oid);
+                let handle = self
+                    .state
+                    .instances
+                    .lock()
+                    .get_mut(oid)
+                    .and_then(|v| v.pop());
+                match handle {
+                    Some(h) => {
+                        h.shutdown();
+                        Ok(Value::Bool(true))
+                    }
+                    None => Ok(Value::Bool(false)),
+                }
+            }
+            "count" => {
+                let oid = args
+                    .first()
+                    .and_then(|v| v.as_str().ok())
+                    .ok_or("count needs an oid argument")?;
+                Ok(Value::U64(self.state.count(oid) as u64))
+            }
+            "info" => {
+                let oid = args
+                    .first()
+                    .and_then(|v| v.as_str().ok())
+                    .ok_or("info needs an oid argument")?;
+                self.state.reap(oid);
+                let instances = self.state.instances.lock();
+                let infos: Vec<Value> = instances
+                    .get(oid)
+                    .map(|handles| {
+                        handles
+                            .iter()
+                            .map(|h| {
+                                let s = h.stats().snapshot();
+                                Value::Map(vec![
+                                    ("processed".into(), Value::U64(s.processed)),
+                                    (
+                                        "mean_service".into(),
+                                        Value::F64(s.mean_service_time.as_secs_f64()),
+                                    ),
+                                    (
+                                        "var_service".into(),
+                                        Value::F64(s.service_time_variance),
+                                    ),
+                                    ("busy".into(), Value::Bool(s.busy)),
+                                ])
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                Ok(Value::List(infos))
+            }
+            other => Err(format!("remote broker has no method `{other}`")),
+        }
+    }
+}
+
+impl RemoteBroker {
+    /// Starts a remote broker with the given unique id on an existing
+    /// ObjectMQ broker. It registers itself under [`RBROKER_OID`], joining
+    /// the pool of slaves the Supervisor commands.
+    ///
+    /// # Errors
+    ///
+    /// Propagates messaging failures.
+    pub fn start(broker: Broker, id: u64) -> OmqResult<Self> {
+        let state = Arc::new(RemoteBrokerState::default());
+        let object = RemoteBrokerObject {
+            id,
+            broker: broker.clone(),
+            state: state.clone(),
+        };
+        let server = broker.bind_arc(RBROKER_OID, Arc::new(object))?;
+        Ok(RemoteBroker {
+            id,
+            broker,
+            state,
+            server: Some(server),
+        })
+    }
+
+    /// This broker's unique id (used for leader election).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Registers a factory so the Supervisor can spawn instances of `oid`
+    /// here.
+    pub fn register_factory(&self, oid: &str, factory: ObjectFactory) {
+        self.state
+            .factories
+            .write()
+            .insert(oid.to_string(), factory);
+    }
+
+    /// Instances of `oid` currently alive on this node.
+    pub fn local_count(&self, oid: &str) -> usize {
+        self.state.count(oid)
+    }
+
+    /// Kills one local instance of `oid` *abruptly* (crash injection for
+    /// the fault-tolerance experiment, paper §5.3.4). Returns whether an
+    /// instance existed.
+    pub fn crash_one(&self, oid: &str) -> bool {
+        let handle = self
+            .state
+            .instances
+            .lock()
+            .get_mut(oid)
+            .and_then(|v| v.pop());
+        match handle {
+            Some(h) => {
+                h.kill();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Stops the remote broker and every instance it hosts.
+    pub fn stop(mut self) {
+        if let Some(s) = self.server.take() {
+            s.shutdown();
+        }
+        let mut instances = self.state.instances.lock();
+        for (_, handles) in instances.drain() {
+            for h in handles {
+                h.shutdown();
+            }
+        }
+    }
+
+    /// The underlying ObjectMQ broker.
+    pub fn broker(&self) -> &Broker {
+        &self.broker
+    }
+}
+
+/// Supervisor configuration.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// The service oid whose pool is enforced.
+    pub oid: String,
+    /// Liveness/enforcement period (paper: every second).
+    pub check_interval: Duration,
+    /// Timeout for each command to the remote brokers.
+    pub command_timeout: Duration,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            oid: String::new(),
+            check_interval: Duration::from_secs(1),
+            command_timeout: Duration::from_millis(800),
+        }
+    }
+}
+
+/// The master entity enforcing provisioning policies (paper Fig. 3).
+///
+/// Every `check_interval` it queries the remote brokers with a multi-call,
+/// compares the live instance count against the current target, and spawns
+/// or removes instances to converge. It also publishes heartbeats so remote
+/// brokers can detect its death and elect a successor.
+pub struct Supervisor {
+    stop: Arc<AtomicBool>,
+    target: Arc<AtomicUsize>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Supervisor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Supervisor")
+            .field("target", &self.target.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Supervisor {
+    /// Starts the supervisor loop.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the heartbeat exchange cannot be declared or no remote
+    /// broker is registered yet.
+    pub fn start(broker: Broker, config: SupervisorConfig) -> OmqResult<Self> {
+        if !broker.object_exists(RBROKER_OID) {
+            return Err(OmqError::UnknownObject(RBROKER_OID.to_string()));
+        }
+        broker
+            .messaging()
+            .declare_exchange(HEARTBEAT_EXCHANGE, ExchangeKind::Fanout)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let target = Arc::new(AtomicUsize::new(1));
+        let thread_stop = stop.clone();
+        let thread_target = target.clone();
+        let thread = std::thread::spawn(move || {
+            supervise_loop(broker, config, thread_stop, thread_target);
+        });
+        Ok(Supervisor {
+            stop,
+            target,
+            thread: Some(thread),
+        })
+    }
+
+    /// Sets the desired pool size (called by provisioning policies).
+    pub fn set_target(&self, n: usize) {
+        self.target.store(n.max(1), Ordering::Release);
+    }
+
+    /// The current desired pool size.
+    pub fn target(&self) -> usize {
+        self.target.load(Ordering::Acquire)
+    }
+
+    /// Graceful stop.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Crash injection: the loop halts immediately and heartbeats cease, as
+    /// if the supervisor process died. Used to exercise leader election.
+    pub fn kill(mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Supervisor {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+    }
+}
+
+fn supervise_loop(
+    broker: Broker,
+    config: SupervisorConfig,
+    stop: Arc<AtomicBool>,
+    target: Arc<AtomicUsize>,
+) {
+    let proxy = match broker.lookup(RBROKER_OID) {
+        Ok(p) => p,
+        Err(_) => return,
+    };
+    while !stop.load(Ordering::Acquire) {
+        // Heartbeat first: even an idle supervisor proves liveness.
+        let _ = broker.messaging().publish(
+            HEARTBEAT_EXCHANGE,
+            "",
+            Message::from_bytes(b"hb".to_vec()),
+        );
+
+        let desired = target.load(Ordering::Acquire).max(1);
+        // Ask every remote broker how many instances it hosts (multi-call,
+        // paper: "It periodically ask them about the state of their object").
+        let counts = proxy.call_multi_sync(
+            "count",
+            vec![Value::from(config.oid.as_str())],
+            config.command_timeout,
+        );
+        let live: usize = match counts {
+            Ok(results) => results
+                .into_iter()
+                .filter_map(|r| r.ok())
+                .filter_map(|v| v.as_u64().ok())
+                .sum::<u64>() as usize,
+            Err(_) => 0,
+        };
+
+        if live < desired {
+            for _ in 0..(desired - live) {
+                // Unicast spawn: any idle remote broker takes it.
+                let _ = proxy.call_sync(
+                    "spawn",
+                    vec![Value::from(config.oid.as_str())],
+                    config.command_timeout,
+                    1,
+                );
+            }
+        } else if live > desired {
+            let mut to_remove = live - desired;
+            // A unicast shutdown may land on a broker with no instance;
+            // bounded retries keep this converging.
+            let mut attempts = 0;
+            while to_remove > 0 && attempts < 4 * (live + 1) {
+                attempts += 1;
+                match proxy.call_sync(
+                    "shutdown_one",
+                    vec![Value::from(config.oid.as_str())],
+                    config.command_timeout,
+                    0,
+                ) {
+                    Ok(Value::Bool(true)) => to_remove -= 1,
+                    Ok(_) | Err(_) => {}
+                }
+            }
+        }
+
+        // Interruptible sleep.
+        let deadline = Instant::now() + config.check_interval;
+        while Instant::now() < deadline {
+            if stop.load(Ordering::Acquire) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+}
+
+/// Watches supervisor heartbeats on behalf of a remote broker.
+///
+/// Every broker runs one of these; when [`HeartbeatMonitor::elapsed`]
+/// exceeds a staleness threshold the broker calls [`run_election`] and, if
+/// it wins, starts a replacement supervisor (paper §3.4).
+pub struct HeartbeatMonitor {
+    last: Arc<Mutex<Instant>>,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for HeartbeatMonitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HeartbeatMonitor")
+            .field("elapsed", &self.elapsed())
+            .finish()
+    }
+}
+
+impl HeartbeatMonitor {
+    /// Starts listening to the supervisor heartbeat exchange.
+    ///
+    /// # Errors
+    ///
+    /// Propagates messaging failures.
+    pub fn start(mq: &MessageBroker, listener_id: u64) -> OmqResult<Self> {
+        mq.declare_exchange(HEARTBEAT_EXCHANGE, ExchangeKind::Fanout)?;
+        let queue = format!("omq.hbmon.{listener_id}");
+        mq.declare_queue(&queue, QueueOptions::default())?;
+        mq.bind_queue(HEARTBEAT_EXCHANGE, "", &queue)?;
+        let consumer = mq.subscribe(&queue)?;
+        let last = Arc::new(Mutex::new(Instant::now()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let t_last = last.clone();
+        let t_stop = stop.clone();
+        let thread = std::thread::spawn(move || {
+            while !t_stop.load(Ordering::Acquire) {
+                match consumer.recv_timeout(Duration::from_millis(50)) {
+                    Ok(d) => {
+                        d.ack();
+                        *t_last.lock() = Instant::now();
+                    }
+                    Err(mqsim::MqError::RecvTimeout) => continue,
+                    Err(_) => return,
+                }
+            }
+        });
+        Ok(HeartbeatMonitor {
+            last,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// Time since the last heartbeat was heard.
+    pub fn elapsed(&self) -> Duration {
+        self.last.lock().elapsed()
+    }
+
+    /// Stops the monitor.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for HeartbeatMonitor {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+    }
+}
+
+/// Runs one round of leader election among remote brokers: every candidate
+/// announces its id on a fanout exchange, candidacies are collected for the
+/// settle window, and the *smallest* id wins (the paper elects "using the
+/// unique identifier of the Brokers"). Returns whether the caller won.
+///
+/// # Errors
+///
+/// Propagates messaging failures.
+pub fn run_election(mq: &MessageBroker, my_id: u64, settle: Duration) -> OmqResult<bool> {
+    mq.declare_exchange(ELECTION_EXCHANGE, ExchangeKind::Fanout)?;
+    let queue = format!("omq.election.voter.{my_id}");
+    mq.declare_queue(&queue, QueueOptions::default())?;
+    mq.bind_queue(ELECTION_EXCHANGE, "", &queue)?;
+    let consumer = mq.subscribe(&queue)?;
+
+    // Candidacies are re-announced throughout the window so a voter that
+    // bound its queue late still hears every candidate.
+    let announce_every = (settle / 6).max(Duration::from_millis(10));
+    let deadline = Instant::now() + settle;
+    let mut next_announce = Instant::now();
+    let mut lowest = my_id;
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        if now >= next_announce {
+            mq.publish(
+                ELECTION_EXCHANGE,
+                "",
+                Message::from_bytes(my_id.to_be_bytes().to_vec()),
+            )?;
+            next_announce = now + announce_every;
+        }
+        let wait = (deadline - now).min(next_announce.saturating_duration_since(now).max(Duration::from_millis(1)));
+        match consumer.recv_timeout(wait) {
+            Ok(d) => {
+                if d.message.payload().len() == 8 {
+                    let mut buf = [0u8; 8];
+                    buf.copy_from_slice(d.message.payload());
+                    lowest = lowest.min(u64::from_be_bytes(buf));
+                }
+                d.ack();
+            }
+            Err(mqsim::MqError::RecvTimeout) => continue,
+            Err(_) => break,
+        }
+    }
+    let _ = mq.delete_queue(&queue);
+    Ok(lowest == my_id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn counting_factory(counter: Arc<AtomicU64>) -> ObjectFactory {
+        Arc::new(move || {
+            let c = counter.clone();
+            Arc::new(move |_m: &str, _a: &[Value]| -> Result<Value, String> {
+                c.fetch_add(1, Ordering::SeqCst);
+                Ok(Value::Null)
+            })
+        })
+    }
+
+    fn wait_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        cond()
+    }
+
+    fn fast_config(oid: &str) -> SupervisorConfig {
+        SupervisorConfig {
+            oid: oid.to_string(),
+            check_interval: Duration::from_millis(60),
+            command_timeout: Duration::from_millis(500),
+        }
+    }
+
+    #[test]
+    fn supervisor_spawns_to_target() {
+        let broker = Broker::in_process();
+        let rb = RemoteBroker::start(broker.clone(), 1).unwrap();
+        rb.register_factory("svc", counting_factory(Arc::new(AtomicU64::new(0))));
+        let supervisor = Supervisor::start(broker.clone(), fast_config("svc")).unwrap();
+        supervisor.set_target(3);
+        assert!(
+            wait_until(Duration::from_secs(5), || rb.local_count("svc") == 3),
+            "supervisor must spawn 3 instances, got {}",
+            rb.local_count("svc")
+        );
+        supervisor.stop();
+        rb.stop();
+    }
+
+    #[test]
+    fn supervisor_scales_down() {
+        let broker = Broker::in_process();
+        let rb = RemoteBroker::start(broker.clone(), 1).unwrap();
+        rb.register_factory("svc", counting_factory(Arc::new(AtomicU64::new(0))));
+        let supervisor = Supervisor::start(broker.clone(), fast_config("svc")).unwrap();
+        supervisor.set_target(4);
+        assert!(wait_until(Duration::from_secs(5), || rb.local_count("svc") == 4));
+        supervisor.set_target(1);
+        assert!(
+            wait_until(Duration::from_secs(5), || rb.local_count("svc") == 1),
+            "supervisor must shrink to 1, got {}",
+            rb.local_count("svc")
+        );
+        supervisor.stop();
+        rb.stop();
+    }
+
+    #[test]
+    fn supervisor_respawns_crashed_instance() {
+        let broker = Broker::in_process();
+        let rb = RemoteBroker::start(broker.clone(), 1).unwrap();
+        rb.register_factory("svc", counting_factory(Arc::new(AtomicU64::new(0))));
+        let supervisor = Supervisor::start(broker.clone(), fast_config("svc")).unwrap();
+        supervisor.set_target(2);
+        assert!(wait_until(Duration::from_secs(5), || rb.local_count("svc") == 2));
+        assert!(rb.crash_one("svc"));
+        assert!(
+            wait_until(Duration::from_secs(5), || rb.local_count("svc") == 2),
+            "crashed instance must be respawned (paper §5.3.4)"
+        );
+        supervisor.stop();
+        rb.stop();
+    }
+
+    #[test]
+    fn heartbeats_detected_and_go_stale_after_kill() {
+        let broker = Broker::in_process();
+        let rb = RemoteBroker::start(broker.clone(), 7).unwrap();
+        rb.register_factory("svc", counting_factory(Arc::new(AtomicU64::new(0))));
+        let monitor = HeartbeatMonitor::start(broker.messaging(), 7).unwrap();
+        let supervisor = Supervisor::start(broker.clone(), fast_config("svc")).unwrap();
+        assert!(
+            wait_until(Duration::from_secs(3), || monitor.elapsed()
+                < Duration::from_millis(150)),
+            "heartbeats must arrive while the supervisor lives"
+        );
+        supervisor.kill();
+        std::thread::sleep(Duration::from_millis(400));
+        assert!(
+            monitor.elapsed() >= Duration::from_millis(300),
+            "heartbeats must stop after the supervisor dies"
+        );
+        monitor.stop();
+        rb.stop();
+    }
+
+    #[test]
+    fn election_picks_lowest_id() {
+        let mq = MessageBroker::new();
+        let settle = Duration::from_millis(300);
+        let mq2 = mq.clone();
+        let mq3 = mq.clone();
+        let h2 = std::thread::spawn(move || run_election(&mq2, 20, settle).unwrap());
+        let h3 = std::thread::spawn(move || run_election(&mq3, 30, settle).unwrap());
+        let won_10 = run_election(&mq, 10, settle).unwrap();
+        assert!(won_10, "lowest id must win");
+        assert!(!h2.join().unwrap());
+        assert!(!h3.join().unwrap());
+    }
+
+    #[test]
+    fn failover_elects_new_supervisor_which_keeps_enforcing() {
+        let broker = Broker::in_process();
+        let rb1 = RemoteBroker::start(broker.clone(), 1).unwrap();
+        let rb2 = RemoteBroker::start(broker.clone(), 2).unwrap();
+        let counter = Arc::new(AtomicU64::new(0));
+        rb1.register_factory("svc", counting_factory(counter.clone()));
+        rb2.register_factory("svc", counting_factory(counter));
+        let supervisor = Supervisor::start(broker.clone(), fast_config("svc")).unwrap();
+        supervisor.set_target(2);
+        let total = || rb1.local_count("svc") + rb2.local_count("svc");
+        assert!(wait_until(Duration::from_secs(5), || total() == 2));
+
+        // Supervisor dies. The brokers race an election; the winner starts
+        // a replacement which must keep enforcing the target.
+        supervisor.kill();
+        let mq1 = broker.messaging().clone();
+        let mq2 = broker.messaging().clone();
+        let settle = Duration::from_millis(300);
+        let e2 = std::thread::spawn(move || run_election(&mq2, 2, settle).unwrap());
+        let won1 = run_election(&mq1, 1, settle).unwrap();
+        let won2 = e2.join().unwrap();
+        assert!(won1 && !won2, "exactly broker 1 must win");
+
+        let successor = Supervisor::start(broker.clone(), fast_config("svc")).unwrap();
+        successor.set_target(4);
+        assert!(
+            wait_until(Duration::from_secs(5), || total() == 4),
+            "successor supervisor must enforce the new target, got {}",
+            total()
+        );
+        successor.stop();
+        rb1.stop();
+        rb2.stop();
+    }
+}

@@ -1,0 +1,125 @@
+//! The network/disk cost model for storage transfers.
+//!
+//! The paper's testbed had a Swift proxy and four storage nodes on a local
+//! cluster; we do not, so transfer cost is modeled: a per-request round
+//! trip plus bytes divided by (asymmetric) bandwidth. Experiments that
+//! measure wall-clock sync time enable it; unit tests use
+//! [`LatencyModel::instant`].
+
+use std::time::Duration;
+
+/// Transfer-cost model applied to every storage operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// Fixed per-request round-trip time.
+    pub rtt: Duration,
+    /// Upload bandwidth, bytes/second (0 = infinite).
+    pub upload_bps: u64,
+    /// Download bandwidth, bytes/second (0 = infinite).
+    pub download_bps: u64,
+}
+
+impl LatencyModel {
+    /// No latency at all — for unit tests and logic-only benchmarks.
+    pub fn instant() -> Self {
+        LatencyModel {
+            rtt: Duration::ZERO,
+            upload_bps: 0,
+            download_bps: 0,
+        }
+    }
+
+    /// A LAN-cluster profile comparable to the paper's testbed: ~2 ms RTT,
+    /// ~400 Mbit/s up, ~800 Mbit/s down.
+    pub fn lan_cluster() -> Self {
+        LatencyModel {
+            rtt: Duration::from_millis(2),
+            upload_bps: 50_000_000,
+            download_bps: 100_000_000,
+        }
+    }
+
+    /// A scaled-down profile that keeps the *shape* of transfer costs while
+    /// letting experiments finish quickly (used by the Fig. 7 harness).
+    pub fn scaled(divisor: u32) -> Self {
+        let lan = Self::lan_cluster();
+        LatencyModel {
+            rtt: lan.rtt / divisor,
+            upload_bps: lan.upload_bps * divisor as u64,
+            download_bps: lan.download_bps * divisor as u64,
+        }
+    }
+
+    /// Time to upload `bytes`.
+    pub fn upload_delay(&self, bytes: usize) -> Duration {
+        self.delay(bytes, self.upload_bps)
+    }
+
+    /// Time to download `bytes`.
+    pub fn download_delay(&self, bytes: usize) -> Duration {
+        self.delay(bytes, self.download_bps)
+    }
+
+    /// Time for a metadata-only operation (delete, auth, container ops).
+    pub fn control_delay(&self) -> Duration {
+        self.rtt
+    }
+
+    fn delay(&self, bytes: usize, bps: u64) -> Duration {
+        let transfer = if bps == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_secs_f64(bytes as f64 / bps as f64)
+        };
+        self.rtt + transfer
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        Self::instant()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instant_model_has_zero_delay() {
+        let m = LatencyModel::instant();
+        assert_eq!(m.upload_delay(1_000_000), Duration::ZERO);
+        assert_eq!(m.download_delay(1_000_000), Duration::ZERO);
+        assert_eq!(m.control_delay(), Duration::ZERO);
+    }
+
+    #[test]
+    fn delay_scales_with_bytes() {
+        let m = LatencyModel {
+            rtt: Duration::from_millis(2),
+            upload_bps: 1_000_000,
+            download_bps: 2_000_000,
+        };
+        // 1 MB at 1 MB/s = 1 s + 2 ms RTT.
+        assert_eq!(
+            m.upload_delay(1_000_000),
+            Duration::from_millis(1002)
+        );
+        // Download is twice as fast.
+        assert_eq!(m.download_delay(1_000_000), Duration::from_millis(502));
+        assert_eq!(m.control_delay(), Duration::from_millis(2));
+    }
+
+    #[test]
+    fn larger_files_take_longer() {
+        let m = LatencyModel::lan_cluster();
+        assert!(m.upload_delay(10_000_000) > m.upload_delay(100_000));
+    }
+
+    #[test]
+    fn scaled_profile_is_faster() {
+        let lan = LatencyModel::lan_cluster();
+        let fast = LatencyModel::scaled(10);
+        assert!(fast.upload_delay(1_000_000) < lan.upload_delay(1_000_000));
+    }
+}

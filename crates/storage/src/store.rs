@@ -1,0 +1,623 @@
+//! The Swift-like object store front-end: accounts, tokens, containers,
+//! ACLs and traffic accounting over a pluggable [`ObjectBackend`].
+
+use crate::backend::{MemoryBackend, ObjectBackend};
+use crate::latency::LatencyModel;
+use crate::traffic::TrafficStats;
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::{HashMap, HashSet};
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Result alias for storage operations.
+pub type StorageResult<T> = Result<T, StorageError>;
+
+/// Storage-layer errors, mirroring Swift's HTTP failure modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StorageError {
+    /// Bad credentials on authentication.
+    BadCredentials,
+    /// The token's account has not been granted access to the container.
+    AccessDenied {
+        /// Account that owns the container.
+        owner: String,
+        /// Container being accessed.
+        container: String,
+    },
+    /// The token does not authorize the account's resources.
+    Unauthorized,
+    /// The container does not exist.
+    ContainerNotFound(String),
+    /// The object does not exist.
+    ObjectNotFound(String),
+    /// Container already exists (create collision).
+    ContainerExists(String),
+    /// The backend medium failed (disk I/O).
+    Io(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::BadCredentials => write!(f, "bad account credentials"),
+            StorageError::AccessDenied { owner, container } => {
+                write!(f, "no grant on {owner}/{container}")
+            }
+            StorageError::Unauthorized => write!(f, "token not valid for this account"),
+            StorageError::ContainerNotFound(c) => write!(f, "container not found: {c}"),
+            StorageError::ObjectNotFound(o) => write!(f, "object not found: {o}"),
+            StorageError::ContainerExists(c) => write!(f, "container already exists: {c}"),
+            StorageError::Io(m) => write!(f, "backend i/o error: {m}"),
+        }
+    }
+}
+
+impl Error for StorageError {}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e.to_string())
+    }
+}
+
+/// An authentication token scoping operations to one account.
+///
+/// StackSync clients authenticate against the Storage back-end separately
+/// from the sync service (user-centric design, paper §4.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    account: String,
+    secret_nonce: u64,
+}
+
+impl Token {
+    /// The account this token belongs to.
+    pub fn account(&self) -> &str {
+        &self.account
+    }
+}
+
+#[derive(Debug, Default)]
+struct Account {
+    password: String,
+    containers: HashSet<String>,
+    valid_nonces: Vec<u64>,
+}
+
+/// The object store front-end: accounts → containers → objects.
+///
+/// Thread-safe and cheap to clone (clones share state, like connections to
+/// one Swift cluster). Object bytes live in an [`ObjectBackend`]: in-memory
+/// by default, or on disk via [`SwiftStore::with_backend`].
+#[derive(Clone)]
+pub struct SwiftStore {
+    accounts: Arc<RwLock<HashMap<String, Account>>>,
+    /// Container ACLs: (owner, container) -> accounts granted access,
+    /// mirroring Swift's X-Container-Read/Write ACLs.
+    acls: Arc<RwLock<HashMap<(String, String), HashSet<String>>>>,
+    backend: Arc<dyn ObjectBackend>,
+    latency: LatencyModel,
+    traffic: TrafficStats,
+    nonce: Arc<AtomicU64>,
+}
+
+impl fmt::Debug for SwiftStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SwiftStore")
+            .field("latency", &self.latency)
+            .finish()
+    }
+}
+
+impl Default for SwiftStore {
+    fn default() -> Self {
+        Self::new(LatencyModel::instant())
+    }
+}
+
+impl SwiftStore {
+    /// Creates a store with the given transfer-cost model and the default
+    /// in-memory backend.
+    pub fn new(latency: LatencyModel) -> Self {
+        Self::with_backend(latency, Arc::new(MemoryBackend::new()))
+    }
+
+    /// Creates a store over an explicit backend (e.g.
+    /// [`crate::DiskBackend`] for persistence across restarts).
+    pub fn with_backend(latency: LatencyModel, backend: Arc<dyn ObjectBackend>) -> Self {
+        SwiftStore {
+            accounts: Arc::new(RwLock::new(HashMap::new())),
+            acls: Arc::new(RwLock::new(HashMap::new())),
+            backend,
+            latency,
+            traffic: TrafficStats::new(),
+            nonce: Arc::new(AtomicU64::new(1)),
+        }
+    }
+
+    /// The traffic counters of this store.
+    pub fn traffic(&self) -> &TrafficStats {
+        &self.traffic
+    }
+
+    /// The latency model in effect.
+    pub fn latency(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    /// Creates an account and returns a token for it (registration +
+    /// authentication in one step, for convenience).
+    pub fn register_account(&self, account: &str, password: &str) -> Token {
+        let mut accounts = self.accounts.write();
+        let entry = accounts.entry(account.to_string()).or_default();
+        entry.password = password.to_string();
+        let nonce = self.nonce.fetch_add(1, Ordering::Relaxed);
+        entry.valid_nonces.push(nonce);
+        Token {
+            account: account.to_string(),
+            secret_nonce: nonce,
+        }
+    }
+
+    /// Authenticates against an existing account.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::BadCredentials`] if the account or password is wrong.
+    pub fn authenticate(&self, account: &str, password: &str) -> StorageResult<Token> {
+        let mut accounts = self.accounts.write();
+        let entry = accounts
+            .get_mut(account)
+            .filter(|a| a.password == password)
+            .ok_or(StorageError::BadCredentials)?;
+        let nonce = self.nonce.fetch_add(1, Ordering::Relaxed);
+        entry.valid_nonces.push(nonce);
+        Ok(Token {
+            account: account.to_string(),
+            secret_nonce: nonce,
+        })
+    }
+
+    fn check<'a>(
+        accounts: &'a HashMap<String, Account>,
+        token: &Token,
+    ) -> StorageResult<&'a Account> {
+        accounts
+            .get(&token.account)
+            .filter(|a| a.valid_nonces.contains(&token.secret_nonce))
+            .ok_or(StorageError::Unauthorized)
+    }
+
+    /// Validates a token and that `container` exists under `owner`.
+    fn check_container(&self, token: &Token, owner: &str, container: &str) -> StorageResult<()> {
+        let accounts = self.accounts.read();
+        Self::check(&accounts, token)?;
+        let owner_account = accounts
+            .get(owner)
+            .ok_or_else(|| StorageError::ContainerNotFound(container.to_string()))?;
+        if !owner_account.containers.contains(container) {
+            return Err(StorageError::ContainerNotFound(container.to_string()));
+        }
+        Ok(())
+    }
+
+    /// Grants `grantee` access to one of the token owner's containers
+    /// (Swift container ACLs) — the mechanism behind cross-user shared
+    /// workspaces.
+    ///
+    /// # Errors
+    ///
+    /// Authorization errors, or [`StorageError::ContainerNotFound`].
+    pub fn grant_access(
+        &self,
+        owner_token: &Token,
+        container: &str,
+        grantee: &str,
+    ) -> StorageResult<()> {
+        self.check_container(owner_token, owner_token.account(), container)?;
+        self.acls
+            .write()
+            .entry((owner_token.account.clone(), container.to_string()))
+            .or_default()
+            .insert(grantee.to_string());
+        Ok(())
+    }
+
+    /// Authorizes `token` against `owner`'s `container`: the owner always
+    /// may; others need a grant.
+    fn authorize(&self, token: &Token, owner: &str, container: &str) -> StorageResult<()> {
+        {
+            let accounts = self.accounts.read();
+            Self::check(&accounts, token)?;
+        }
+        if token.account == owner {
+            return Ok(());
+        }
+        let allowed = self
+            .acls
+            .read()
+            .get(&(owner.to_string(), container.to_string()))
+            .is_some_and(|grants| grants.contains(&token.account));
+        if allowed {
+            Ok(())
+        } else {
+            Err(StorageError::AccessDenied {
+                owner: owner.to_string(),
+                container: container.to_string(),
+            })
+        }
+    }
+
+    /// Creates a container under the token's account.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::ContainerExists`] if it already exists.
+    pub fn create_container(&self, token: &Token, container: &str) -> StorageResult<()> {
+        std::thread::sleep(self.latency.control_delay());
+        let mut accounts = self.accounts.write();
+        let account = accounts
+            .get_mut(&token.account)
+            .filter(|a| a.valid_nonces.contains(&token.secret_nonce))
+            .ok_or(StorageError::Unauthorized)?;
+        if !account.containers.insert(container.to_string()) {
+            return Err(StorageError::ContainerExists(container.to_string()));
+        }
+        Ok(())
+    }
+
+    /// Creates the container if missing (idempotent convenience).
+    ///
+    /// # Errors
+    ///
+    /// Authorization errors only.
+    pub fn ensure_container(&self, token: &Token, container: &str) -> StorageResult<()> {
+        match self.create_container(token, container) {
+            Ok(()) | Err(StorageError::ContainerExists(_)) => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Uploads an object (simulating the transfer time), overwriting any
+    /// existing object of the same name — chunk stores are content
+    /// addressed, so overwrites are idempotent.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::ContainerNotFound`] or authorization errors.
+    pub fn put(
+        &self,
+        token: &Token,
+        container: &str,
+        name: &str,
+        data: Bytes,
+    ) -> StorageResult<()> {
+        let owner = token.account.clone();
+        self.put_in(token, &owner, container, name, data)
+    }
+
+    /// Downloads an object (simulating the transfer time).
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::ObjectNotFound`] and friends.
+    pub fn get(&self, token: &Token, container: &str, name: &str) -> StorageResult<Bytes> {
+        let owner = token.account.clone();
+        self.get_in(token, &owner, container, name)
+    }
+
+    /// Uploads into `owner`'s container (requires a grant when `owner` is
+    /// not the token's account).
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::AccessDenied`] without a grant, plus the usual
+    /// container errors.
+    pub fn put_in(
+        &self,
+        token: &Token,
+        owner: &str,
+        container: &str,
+        name: &str,
+        data: Bytes,
+    ) -> StorageResult<()> {
+        self.authorize(token, owner, container)?;
+        self.check_container(token, owner, container)?;
+        std::thread::sleep(self.latency.upload_delay(data.len()));
+        self.traffic.record_put(data.len());
+        self.backend.put(owner, container, name, &data)?;
+        Ok(())
+    }
+
+    /// Downloads from `owner`'s container (requires a grant when `owner`
+    /// is not the token's account).
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::AccessDenied`] without a grant, plus the usual
+    /// container/object errors.
+    pub fn get_in(
+        &self,
+        token: &Token,
+        owner: &str,
+        container: &str,
+        name: &str,
+    ) -> StorageResult<Bytes> {
+        self.authorize(token, owner, container)?;
+        self.check_container(token, owner, container)?;
+        let data = self
+            .backend
+            .get(owner, container, name)?
+            .ok_or_else(|| StorageError::ObjectNotFound(name.to_string()))?;
+        std::thread::sleep(self.latency.download_delay(data.len()));
+        self.traffic.record_get(data.len());
+        Ok(data)
+    }
+
+    /// Whether the object exists — used by per-user dedup to skip uploads.
+    /// Costs one control round trip, not a transfer.
+    ///
+    /// # Errors
+    ///
+    /// Authorization/container errors.
+    pub fn head(&self, token: &Token, container: &str, name: &str) -> StorageResult<bool> {
+        let owner = token.account.clone();
+        self.check_container(token, &owner, container)?;
+        std::thread::sleep(self.latency.control_delay());
+        Ok(self.backend.exists(&owner, container, name)?)
+    }
+
+    /// Deletes an object.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::ObjectNotFound`] if missing.
+    pub fn delete(&self, token: &Token, container: &str, name: &str) -> StorageResult<()> {
+        let owner = token.account.clone();
+        self.check_container(token, &owner, container)?;
+        std::thread::sleep(self.latency.control_delay());
+        self.traffic.record_delete();
+        if self.backend.delete(&owner, container, name)? {
+            Ok(())
+        } else {
+            Err(StorageError::ObjectNotFound(name.to_string()))
+        }
+    }
+
+    /// Object names in a container, sorted.
+    ///
+    /// # Errors
+    ///
+    /// Authorization/container errors.
+    pub fn list(&self, token: &Token, container: &str) -> StorageResult<Vec<String>> {
+        let owner = token.account.clone();
+        self.check_container(token, &owner, container)?;
+        Ok(self.backend.list(&owner, container)?)
+    }
+
+    /// Total bytes stored under an account (for quota-style assertions).
+    ///
+    /// # Errors
+    ///
+    /// Authorization errors.
+    pub fn account_usage(&self, token: &Token) -> StorageResult<u64> {
+        {
+            let accounts = self.accounts.read();
+            Self::check(&accounts, token)?;
+        }
+        Ok(self.backend.usage(&token.account)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> (SwiftStore, Token) {
+        let s = SwiftStore::new(LatencyModel::instant());
+        let t = s.register_account("u1", "pw");
+        s.create_container(&t, "chunks").unwrap();
+        (s, t)
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let (s, t) = store();
+        s.put(&t, "chunks", "a", Bytes::from_static(b"data")).unwrap();
+        assert_eq!(&s.get(&t, "chunks", "a").unwrap()[..], b"data");
+    }
+
+    #[test]
+    fn get_missing_object_fails() {
+        let (s, t) = store();
+        assert!(matches!(
+            s.get(&t, "chunks", "nope"),
+            Err(StorageError::ObjectNotFound(_))
+        ));
+        assert!(matches!(
+            s.get(&t, "missing", "x"),
+            Err(StorageError::ContainerNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn authentication_flow() {
+        let s = SwiftStore::new(LatencyModel::instant());
+        let _ = s.register_account("u", "pw");
+        assert!(s.authenticate("u", "pw").is_ok());
+        assert_eq!(
+            s.authenticate("u", "wrong").unwrap_err(),
+            StorageError::BadCredentials
+        );
+        assert_eq!(
+            s.authenticate("ghost", "pw").unwrap_err(),
+            StorageError::BadCredentials
+        );
+    }
+
+    #[test]
+    fn tokens_are_account_scoped() {
+        let s = SwiftStore::new(LatencyModel::instant());
+        let ta = s.register_account("a", "pw");
+        let _tb = s.register_account("b", "pw");
+        s.create_container(&ta, "c").unwrap();
+        // Forged token: right account name, wrong nonce.
+        let forged = Token {
+            account: "a".into(),
+            secret_nonce: 999_999,
+        };
+        assert_eq!(
+            s.put(&forged, "c", "x", Bytes::new()).unwrap_err(),
+            StorageError::Unauthorized
+        );
+    }
+
+    #[test]
+    fn accounts_are_isolated() {
+        let s = SwiftStore::new(LatencyModel::instant());
+        let ta = s.register_account("a", "pw");
+        let tb = s.register_account("b", "pw");
+        s.create_container(&ta, "c").unwrap();
+        s.create_container(&tb, "c").unwrap();
+        s.put(&ta, "c", "x", Bytes::from_static(b"alice")).unwrap();
+        assert!(matches!(
+            s.get(&tb, "c", "x"),
+            Err(StorageError::ObjectNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn head_and_dedup_flow() {
+        let (s, t) = store();
+        assert!(!s.head(&t, "chunks", "a").unwrap());
+        s.put(&t, "chunks", "a", Bytes::from_static(b"d")).unwrap();
+        assert!(s.head(&t, "chunks", "a").unwrap());
+    }
+
+    #[test]
+    fn delete_removes_object() {
+        let (s, t) = store();
+        s.put(&t, "chunks", "a", Bytes::from_static(b"d")).unwrap();
+        s.delete(&t, "chunks", "a").unwrap();
+        assert!(matches!(
+            s.get(&t, "chunks", "a"),
+            Err(StorageError::ObjectNotFound(_))
+        ));
+        assert!(matches!(
+            s.delete(&t, "chunks", "a"),
+            Err(StorageError::ObjectNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn traffic_accounting() {
+        let (s, t) = store();
+        s.put(&t, "chunks", "a", Bytes::from(vec![0u8; 100])).unwrap();
+        let _ = s.get(&t, "chunks", "a").unwrap();
+        assert_eq!(s.traffic().uploaded_bytes(), 100);
+        assert_eq!(s.traffic().downloaded_bytes(), 100);
+    }
+
+    #[test]
+    fn create_container_twice_fails_but_ensure_is_idempotent() {
+        let (s, t) = store();
+        assert!(matches!(
+            s.create_container(&t, "chunks"),
+            Err(StorageError::ContainerExists(_))
+        ));
+        s.ensure_container(&t, "chunks").unwrap();
+    }
+
+    #[test]
+    fn list_and_usage() {
+        let (s, t) = store();
+        s.put(&t, "chunks", "b", Bytes::from(vec![0u8; 10])).unwrap();
+        s.put(&t, "chunks", "a", Bytes::from(vec![0u8; 5])).unwrap();
+        assert_eq!(s.list(&t, "chunks").unwrap(), vec!["a", "b"]);
+        assert_eq!(s.account_usage(&t).unwrap(), 15);
+    }
+
+    #[test]
+    fn overwrite_replaces_content() {
+        let (s, t) = store();
+        s.put(&t, "chunks", "a", Bytes::from_static(b"v1")).unwrap();
+        s.put(&t, "chunks", "a", Bytes::from_static(b"v2")).unwrap();
+        assert_eq!(&s.get(&t, "chunks", "a").unwrap()[..], b"v2");
+        assert_eq!(s.account_usage(&t).unwrap(), 2);
+    }
+
+    #[test]
+    fn grants_enable_cross_account_access() {
+        let s = SwiftStore::new(LatencyModel::instant());
+        let owner = s.register_account("owner", "pw");
+        let guest = s.register_account("guest", "pw");
+        s.create_container(&owner, "shared").unwrap();
+        s.put(&owner, "shared", "x", Bytes::from_static(b"data")).unwrap();
+
+        // Before the grant: denied.
+        assert!(matches!(
+            s.get_in(&guest, "owner", "shared", "x"),
+            Err(StorageError::AccessDenied { .. })
+        ));
+        s.grant_access(&owner, "shared", "guest").unwrap();
+        // After: read and write both work.
+        assert_eq!(&s.get_in(&guest, "owner", "shared", "x").unwrap()[..], b"data");
+        s.put_in(&guest, "owner", "shared", "y", Bytes::from_static(b"guest"))
+            .unwrap();
+        assert_eq!(&s.get(&owner, "shared", "y").unwrap()[..], b"guest");
+    }
+
+    #[test]
+    fn grant_requires_owner_token_and_existing_container() {
+        let s = SwiftStore::new(LatencyModel::instant());
+        let owner = s.register_account("owner", "pw");
+        let outsider = s.register_account("outsider", "pw");
+        s.create_container(&owner, "c").unwrap();
+        assert!(matches!(
+            s.grant_access(&owner, "nope", "outsider"),
+            Err(StorageError::ContainerNotFound(_))
+        ));
+        // An outsider cannot grant on a container it does not own (its own
+        // account simply has no such container).
+        assert!(s.grant_access(&outsider, "c", "outsider").is_err());
+    }
+
+    #[test]
+    fn owner_path_is_equivalent_to_direct_methods() {
+        let s = SwiftStore::new(LatencyModel::instant());
+        let owner = s.register_account("me", "pw");
+        s.create_container(&owner, "c").unwrap();
+        s.put_in(&owner, "me", "c", "k", Bytes::from_static(b"v")).unwrap();
+        assert_eq!(&s.get(&owner, "c", "k").unwrap()[..], b"v");
+        assert_eq!(&s.get_in(&owner, "me", "c", "k").unwrap()[..], b"v");
+    }
+
+    #[test]
+    fn disk_backend_store_survives_restart() {
+        let root = std::env::temp_dir().join(format!(
+            "stacksync-store-persist-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        {
+            let backend = Arc::new(crate::DiskBackend::open(&root).unwrap());
+            let s = SwiftStore::with_backend(LatencyModel::instant(), backend);
+            let t = s.register_account("u", "pw");
+            s.create_container(&t, "chunks").unwrap();
+            s.put(&t, "chunks", "blob", Bytes::from_static(b"durable")).unwrap();
+        }
+        // "Restart": fresh front-end over the same disk root. Accounts are
+        // front-end state (re-registered), objects are backend state
+        // (persisted).
+        let backend = Arc::new(crate::DiskBackend::open(&root).unwrap());
+        let s = SwiftStore::with_backend(LatencyModel::instant(), backend);
+        let t = s.register_account("u", "pw");
+        s.create_container(&t, "chunks").unwrap();
+        assert_eq!(&s.get(&t, "chunks", "blob").unwrap()[..], b"durable");
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

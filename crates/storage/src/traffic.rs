@@ -1,0 +1,118 @@
+//! Byte and operation accounting — the measurement hook behind the Fig. 7
+//! storage-traffic numbers.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+struct Counters {
+    uploaded_bytes: u64,
+    downloaded_bytes: u64,
+    puts: u64,
+    gets: u64,
+    deletes: u64,
+}
+
+/// Shared traffic counters for a storage endpoint.
+///
+/// Cloning shares the counter (like handing a metrics registry around).
+#[derive(Debug, Default, Clone)]
+pub struct TrafficStats {
+    inner: Arc<Mutex<Counters>>,
+}
+
+impl TrafficStats {
+    /// New zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_put(&self, bytes: usize) {
+        let mut c = self.inner.lock();
+        c.puts += 1;
+        c.uploaded_bytes += bytes as u64;
+    }
+
+    pub(crate) fn record_get(&self, bytes: usize) {
+        let mut c = self.inner.lock();
+        c.gets += 1;
+        c.downloaded_bytes += bytes as u64;
+    }
+
+    pub(crate) fn record_delete(&self) {
+        self.inner.lock().deletes += 1;
+    }
+
+    /// Bytes uploaded (client → store).
+    pub fn uploaded_bytes(&self) -> u64 {
+        self.inner.lock().uploaded_bytes
+    }
+
+    /// Bytes downloaded (store → client).
+    pub fn downloaded_bytes(&self) -> u64 {
+        self.inner.lock().downloaded_bytes
+    }
+
+    /// Total transfer volume in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        let c = self.inner.lock();
+        c.uploaded_bytes + c.downloaded_bytes
+    }
+
+    /// Number of PUT operations.
+    pub fn put_count(&self) -> u64 {
+        self.inner.lock().puts
+    }
+
+    /// Number of GET operations.
+    pub fn get_count(&self) -> u64 {
+        self.inner.lock().gets
+    }
+
+    /// Number of DELETE operations.
+    pub fn delete_count(&self) -> u64 {
+        self.inner.lock().deletes
+    }
+
+    /// Zeroes all counters (between benchmark phases).
+    pub fn reset(&self) {
+        *self.inner.lock() = Counters::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let t = TrafficStats::new();
+        t.record_put(100);
+        t.record_put(50);
+        t.record_get(30);
+        t.record_delete();
+        assert_eq!(t.uploaded_bytes(), 150);
+        assert_eq!(t.downloaded_bytes(), 30);
+        assert_eq!(t.total_bytes(), 180);
+        assert_eq!(t.put_count(), 2);
+        assert_eq!(t.get_count(), 1);
+        assert_eq!(t.delete_count(), 1);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let t = TrafficStats::new();
+        let t2 = t.clone();
+        t.record_put(10);
+        assert_eq!(t2.uploaded_bytes(), 10);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let t = TrafficStats::new();
+        t.record_put(10);
+        t.reset();
+        assert_eq!(t.total_bytes(), 0);
+        assert_eq!(t.put_count(), 0);
+    }
+}

@@ -1,0 +1,138 @@
+//! The client's local database: path → versioned entry, plus the per-user
+//! chunk cache that drives deduplication (paper §4.1: "The local database
+//! maps the fingerprints to the corresponding files", dedup "applied on a
+//! per-user basis").
+
+use content::ChunkId;
+use std::collections::{BTreeMap, HashSet};
+
+/// Local record of one synchronized file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileEntry {
+    /// Stable item identifier shared with the server.
+    pub item_id: u64,
+    /// Last version this device knows of.
+    pub version: u64,
+    /// Chunk fingerprints of that version.
+    pub chunks: Vec<ChunkId>,
+    /// File size in bytes.
+    pub size: u64,
+    /// Whether the entry is a deletion tombstone.
+    pub deleted: bool,
+}
+
+/// The local database of a desktop client.
+#[derive(Debug, Default)]
+pub struct LocalDb {
+    files: BTreeMap<String, FileEntry>,
+    known_chunks: HashSet<ChunkId>,
+}
+
+impl LocalDb {
+    /// Empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Entry for a path, tombstones included.
+    pub fn get(&self, path: &str) -> Option<&FileEntry> {
+        self.files.get(path)
+    }
+
+    /// Inserts or replaces an entry.
+    pub fn upsert(&mut self, path: &str, entry: FileEntry) {
+        self.files.insert(path.to_string(), entry);
+    }
+
+    /// Removes an entry entirely (not a tombstone — forget the path).
+    pub fn forget(&mut self, path: &str) -> Option<FileEntry> {
+        self.files.remove(path)
+    }
+
+    /// Paths of live (non-tombstone) entries, sorted.
+    pub fn live_paths(&self) -> Vec<String> {
+        self.files
+            .iter()
+            .filter(|(_, e)| !e.deleted)
+            .map(|(p, _)| p.clone())
+            .collect()
+    }
+
+    /// Whether this user is already known to hold a chunk — if so, the
+    /// upload is skipped (per-user dedup).
+    pub fn chunk_known(&self, id: &ChunkId) -> bool {
+        self.known_chunks.contains(id)
+    }
+
+    /// Records chunks as present in the user's store.
+    pub fn mark_chunks_known<I: IntoIterator<Item = ChunkId>>(&mut self, ids: I) {
+        self.known_chunks.extend(ids);
+    }
+
+    /// Number of distinct chunks known.
+    pub fn known_chunk_count(&self) -> usize {
+        self.known_chunks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(v: u64) -> FileEntry {
+        FileEntry {
+            item_id: 9,
+            version: v,
+            chunks: vec![],
+            size: 0,
+            deleted: false,
+        }
+    }
+
+    #[test]
+    fn upsert_and_get() {
+        let mut db = LocalDb::new();
+        db.upsert("a.txt", entry(1));
+        assert_eq!(db.get("a.txt").unwrap().version, 1);
+        db.upsert("a.txt", entry(2));
+        assert_eq!(db.get("a.txt").unwrap().version, 2);
+        assert_eq!(db.get("missing"), None);
+    }
+
+    #[test]
+    fn live_paths_excludes_tombstones() {
+        let mut db = LocalDb::new();
+        db.upsert("alive.txt", entry(1));
+        db.upsert(
+            "dead.txt",
+            FileEntry {
+                deleted: true,
+                ..entry(2)
+            },
+        );
+        assert_eq!(db.live_paths(), vec!["alive.txt"]);
+    }
+
+    #[test]
+    fn chunk_dedup_cache() {
+        let mut db = LocalDb::new();
+        let a = ChunkId::of(b"a");
+        let b = ChunkId::of(b"b");
+        assert!(!db.chunk_known(&a));
+        db.mark_chunks_known([a, b]);
+        assert!(db.chunk_known(&a));
+        assert!(db.chunk_known(&b));
+        assert_eq!(db.known_chunk_count(), 2);
+        // Idempotent.
+        db.mark_chunks_known([a]);
+        assert_eq!(db.known_chunk_count(), 2);
+    }
+
+    #[test]
+    fn forget_removes() {
+        let mut db = LocalDb::new();
+        db.upsert("a", entry(1));
+        assert!(db.forget("a").is_some());
+        assert!(db.forget("a").is_none());
+    }
+}

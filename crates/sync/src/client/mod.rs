@@ -1,0 +1,758 @@
+//! The StackSync desktop client (paper §4.1): virtual workspace folder,
+//! watcher/indexer pipeline, chunk upload with per-user dedup, asynchronous
+//! commit requests and push-notification handling.
+
+mod localdb;
+mod vfs;
+
+pub use localdb::{FileEntry, LocalDb};
+pub use vfs::VirtualFs;
+
+use crate::conflict::conflict_copy_path;
+use crate::error::{SyncError, SyncResult};
+use crate::protocol::{item_from_value, item_to_value, workspace_from_value, CommitNotification};
+use crate::service::SYNC_SERVICE_OID;
+use crate::workspace_notification_oid;
+use bytes::Bytes;
+use content::chunker::{Chunker, ContentDefinedChunker, FixedChunker};
+use content::compress::Algorithm;
+use content::{sha1, ChunkId};
+use metadata::{ItemMetadata, Workspace, WorkspaceId};
+use objectmq::{Broker, Proxy, RemoteObject, ServerHandle};
+use parking_lot::Mutex;
+use storage::{SwiftStore, Token};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use wire::{Codec, Value};
+
+/// Chunking strategy — one of the extension hooks the paper calls out
+/// ("the chunking and deduplication strategies" are replaceable, §4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChunkingStrategy {
+    /// Static chunking with a fixed size (the paper's default: 512 KB).
+    Fixed {
+        /// Chunk size in bytes.
+        size: usize,
+    },
+    /// Content-defined chunking: boundaries follow the content, so
+    /// beginning-of-file inserts do not re-ship the whole file.
+    ContentDefined {
+        /// Minimum chunk size.
+        min: usize,
+        /// Maximum chunk size.
+        max: usize,
+        /// Expected chunk size is `2^mask_bits`.
+        mask_bits: u32,
+        /// Rolling-hash window.
+        window: usize,
+    },
+}
+
+impl ChunkingStrategy {
+    fn build(&self) -> Box<dyn Chunker> {
+        match self {
+            ChunkingStrategy::Fixed { size } => Box::new(FixedChunker::new(*size)),
+            ChunkingStrategy::ContentDefined {
+                min,
+                max,
+                mask_bits,
+                window,
+            } => Box::new(ContentDefinedChunker::new(*min, *max, *mask_bits, *window)),
+        }
+    }
+}
+
+/// Client configuration (chunking, compression, RPC policy).
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Account the device belongs to.
+    pub user: String,
+    /// Device name (also the conflict-copy label).
+    pub device: String,
+    /// How files are split into chunks (default: fixed 512 KB, §4.1).
+    pub chunking: ChunkingStrategy,
+    /// Compression applied to chunks before upload.
+    pub compression: Algorithm,
+    /// `@SyncMethod` timeout (paper Fig. 6: 1500 ms).
+    pub call_timeout: Duration,
+    /// `@SyncMethod` retries (paper Fig. 6: 5).
+    pub call_retries: u32,
+}
+
+impl ClientConfig {
+    /// Creates a config with the paper's defaults.
+    pub fn new(user: &str, device: &str) -> Self {
+        ClientConfig {
+            user: user.to_string(),
+            device: device.to_string(),
+            chunking: ChunkingStrategy::Fixed {
+                size: content::DEFAULT_CHUNK_SIZE,
+            },
+            compression: Algorithm::Lzss,
+            call_timeout: Duration::from_millis(1500),
+            call_retries: 5,
+        }
+    }
+
+    /// Uses fixed chunking with the given size (small chunks keep tests
+    /// fast).
+    pub fn with_chunk_size(mut self, size: usize) -> Self {
+        self.chunking = ChunkingStrategy::Fixed { size };
+        self
+    }
+
+    /// Uses content-defined chunking (immune to the boundary-shifting
+    /// problem; costs more CPU per index pass).
+    pub fn with_cdc(mut self, min: usize, max: usize, mask_bits: u32, window: usize) -> Self {
+        self.chunking = ChunkingStrategy::ContentDefined {
+            min,
+            max,
+            mask_bits,
+            window,
+        };
+        self
+    }
+
+    /// Overrides the compression algorithm.
+    pub fn with_compression(mut self, algorithm: Algorithm) -> Self {
+        self.compression = algorithm;
+        self
+    }
+}
+
+/// Client-side counters: the measurement hook behind the Fig. 7 control
+/// traffic numbers. Cheap to clone; clones share counters.
+#[derive(Debug, Default, Clone)]
+pub struct ClientStats {
+    inner: Arc<StatsInner>,
+}
+
+#[derive(Debug, Default)]
+struct StatsInner {
+    control_sent: AtomicU64,
+    control_received: AtomicU64,
+    chunks_uploaded: AtomicU64,
+    chunk_bytes_uploaded: AtomicU64,
+    chunks_deduplicated: AtomicU64,
+    chunks_downloaded: AtomicU64,
+    conflicts: AtomicU64,
+    notifications: AtomicU64,
+}
+
+impl ClientStats {
+    /// Bytes of control-plane messages sent (commit requests, state
+    /// queries).
+    pub fn control_sent_bytes(&self) -> u64 {
+        self.inner.control_sent.load(Ordering::Relaxed)
+    }
+
+    /// Bytes of control-plane messages received (notifications, state).
+    pub fn control_received_bytes(&self) -> u64 {
+        self.inner.control_received.load(Ordering::Relaxed)
+    }
+
+    /// Total control traffic both ways.
+    pub fn control_bytes(&self) -> u64 {
+        self.control_sent_bytes() + self.control_received_bytes()
+    }
+
+    /// Chunks actually uploaded.
+    pub fn chunks_uploaded(&self) -> u64 {
+        self.inner.chunks_uploaded.load(Ordering::Relaxed)
+    }
+
+    /// Compressed bytes shipped to the store.
+    pub fn chunk_bytes_uploaded(&self) -> u64 {
+        self.inner.chunk_bytes_uploaded.load(Ordering::Relaxed)
+    }
+
+    /// Uploads skipped thanks to per-user dedup.
+    pub fn chunks_deduplicated(&self) -> u64 {
+        self.inner.chunks_deduplicated.load(Ordering::Relaxed)
+    }
+
+    /// Chunks downloaded while applying remote changes.
+    pub fn chunks_downloaded(&self) -> u64 {
+        self.inner.chunks_downloaded.load(Ordering::Relaxed)
+    }
+
+    /// Conflicts this device lost (conflict copies created).
+    pub fn conflicts(&self) -> u64 {
+        self.inner.conflicts.load(Ordering::Relaxed)
+    }
+
+    /// Commit notifications received.
+    pub fn notifications(&self) -> u64 {
+        self.inner.notifications.load(Ordering::Relaxed)
+    }
+}
+
+struct ClientShared {
+    config: ClientConfig,
+    workspace: WorkspaceId,
+    store: SwiftStore,
+    token: Token,
+    /// Account owning the chunk container (the workspace owner; differs
+    /// from the client's user for shared workspaces).
+    container_owner: String,
+    container: String,
+    fs: Mutex<VirtualFs>,
+    db: Mutex<LocalDb>,
+    stats: ClientStats,
+    proxy: Proxy,
+}
+
+/// A StackSync desktop client bound to one workspace.
+///
+/// Construction performs the paper's startup protocol: a synchronous
+/// `get_changes` to fetch the workspace state, then registration for push
+/// notifications. Afterwards every local mutation is indexed, deduplicated,
+/// uploaded and committed asynchronously, and remote commits arrive as push
+/// notifications applied to the local folder.
+pub struct DesktopClient {
+    shared: Arc<ClientShared>,
+    listener: Option<ServerHandle>,
+}
+
+impl std::fmt::Debug for DesktopClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DesktopClient")
+            .field("user", &self.shared.config.user)
+            .field("device", &self.shared.config.device)
+            .field("workspace", &self.shared.workspace.0)
+            .finish()
+    }
+}
+
+/// Derives the stable item id of a path within a workspace: the first 8
+/// bytes of `SHA1(workspace ‖ path)`. Devices independently creating the
+/// same path thus propose the same item, which is what makes concurrent
+/// creation a detectable version conflict.
+pub fn stable_item_id(workspace: &WorkspaceId, path: &str) -> u64 {
+    let mut data = workspace.0.as_bytes().to_vec();
+    data.push(0);
+    data.extend_from_slice(path.as_bytes());
+    let digest = sha1::sha1(&data);
+    u64::from_be_bytes(digest[..8].try_into().expect("8 bytes"))
+}
+
+struct NotificationListener {
+    shared: Arc<ClientShared>,
+}
+
+impl RemoteObject for NotificationListener {
+    fn dispatch(&self, method: &str, args: &[Value]) -> Result<Value, String> {
+        match method {
+            "notify_commit" => {
+                let value = args.first().ok_or("notify_commit needs a notification")?;
+                let notification =
+                    CommitNotification::from_value(value).map_err(|e| e.to_string())?;
+                apply_notification(&self.shared, &notification).map_err(|e| e.to_string())?;
+                Ok(Value::Null)
+            }
+            other => Err(format!("workspace listener has no method `{other}`")),
+        }
+    }
+}
+
+impl DesktopClient {
+    /// Lists the workspaces `user` can access — the `getWorkspaces` RPC a
+    /// client performs on startup before choosing which workspace(s) to
+    /// connect (paper Fig. 6).
+    ///
+    /// # Errors
+    ///
+    /// Middleware failures, or a remote error for an unknown user.
+    pub fn workspaces(broker: &Broker, config: &ClientConfig) -> SyncResult<Vec<Workspace>> {
+        let proxy = broker.lookup(SYNC_SERVICE_OID)?;
+        let value = proxy.call_sync(
+            "get_workspaces",
+            vec![Value::from(config.user.as_str())],
+            config.call_timeout,
+            config.call_retries,
+        )?;
+        Ok(value
+            .as_list()?
+            .iter()
+            .map(workspace_from_value)
+            .collect::<Result<Vec<Workspace>, _>>()?)
+    }
+
+    /// Connects a device to a workspace: authenticates against the storage
+    /// back-end, fetches the current workspace state with a synchronous
+    /// `get_changes`, materializes it locally, and registers for push
+    /// notifications.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the SyncService is unreachable or the initial state
+    /// cannot be materialized.
+    pub fn connect(
+        broker: &Broker,
+        store: &SwiftStore,
+        config: ClientConfig,
+        workspace: &WorkspaceId,
+    ) -> SyncResult<Self> {
+        let token = store.register_account(&config.user, &format!("pw-{}", config.user));
+        let proxy = broker.lookup(SYNC_SERVICE_OID)?;
+
+        // Resolve the workspace owner: chunks of a shared workspace live
+        // in the *owner's* container (access via a storage-layer grant).
+        let info = proxy.call_sync(
+            "get_workspace_info",
+            vec![Value::from(workspace.0.as_str())],
+            config.call_timeout,
+            config.call_retries,
+        )?;
+        let container_owner = info.field("owner")?.as_str()?.to_string();
+        let container = format!("{container_owner}-chunks");
+        if container_owner == config.user {
+            store.ensure_container(&token, &container)?;
+        }
+
+        let shared = Arc::new(ClientShared {
+            workspace: workspace.clone(),
+            store: store.clone(),
+            token,
+            container_owner,
+            container,
+            fs: Mutex::new(VirtualFs::new()),
+            db: Mutex::new(LocalDb::new()),
+            stats: ClientStats::default(),
+            proxy,
+            config,
+        });
+
+        // Startup: getChanges is the one synchronous, costly call (paper:
+        // "StackSync clients perform only on startup").
+        let state = shared.proxy.call_sync(
+            "get_changes",
+            vec![Value::from(workspace.0.as_str())],
+            shared.config.call_timeout,
+            shared.config.call_retries,
+        )?;
+        shared
+            .stats
+            .inner
+            .control_received
+            .fetch_add(wire::BinaryCodec.encode(&state).len() as u64, Ordering::Relaxed);
+        for item_value in state.as_list()? {
+            let item = item_from_value(item_value)?;
+            materialize_item(&shared, &item)?;
+        }
+
+        // Register for push notifications: bind a listener object to the
+        // workspace's fanout oid.
+        let listener = broker.bind(
+            &workspace_notification_oid(workspace),
+            NotificationListener {
+                shared: shared.clone(),
+            },
+        )?;
+
+        Ok(DesktopClient {
+            shared,
+            listener: Some(listener),
+        })
+    }
+
+    /// The device name.
+    pub fn device(&self) -> &str {
+        &self.shared.config.device
+    }
+
+    /// The workspace this client syncs.
+    pub fn workspace(&self) -> &WorkspaceId {
+        &self.shared.workspace
+    }
+
+    /// Client-side traffic/dedup counters.
+    pub fn stats(&self) -> &ClientStats {
+        &self.shared.stats
+    }
+
+    /// Writes a file into the workspace and synchronizes it (watcher +
+    /// indexer pipeline: chunk, dedup, upload, async commit).
+    ///
+    /// # Errors
+    ///
+    /// Storage or middleware failures; the commit itself is asynchronous
+    /// and reported later via notification.
+    pub fn write_file(&self, path: &str, contents: Vec<u8>) -> SyncResult<()> {
+        self.shared.fs.lock().write(path, contents.clone());
+        index_and_commit(&self.shared, path, &contents)
+    }
+
+    /// Deletes a file from the workspace and synchronizes the deletion.
+    ///
+    /// # Errors
+    ///
+    /// [`SyncError::NoSuchFile`] if the path is not in the workspace.
+    pub fn delete_file(&self, path: &str) -> SyncResult<()> {
+        if self.shared.fs.lock().remove(path).is_none() {
+            return Err(SyncError::NoSuchFile(path.to_string()));
+        }
+        let proposal = {
+            let mut db = self.shared.db.lock();
+            let entry = db
+                .get(path)
+                .cloned()
+                .ok_or_else(|| SyncError::NoSuchFile(path.to_string()))?;
+            let tombstone = FileEntry {
+                version: entry.version + 1,
+                chunks: vec![],
+                size: 0,
+                deleted: true,
+                ..entry
+            };
+            db.upsert(path, tombstone.clone());
+            ItemMetadata {
+                item_id: tombstone.item_id,
+                workspace: self.shared.workspace.clone(),
+                path: path.to_string(),
+                version: tombstone.version,
+                chunks: vec![],
+                size: 0,
+                is_deleted: true,
+                modified_by: self.shared.config.device.clone(),
+            }
+        };
+        send_commit(&self.shared, vec![proposal])
+    }
+
+    /// Renames (moves) a file within the workspace.
+    ///
+    /// Item identity derives from the path, so a rename is a new item plus
+    /// a tombstone for the old one — but per-user dedup means no chunk is
+    /// re-uploaded: only metadata flows (the Dropbox behaviour).
+    ///
+    /// # Errors
+    ///
+    /// [`SyncError::NoSuchFile`] if `from` is not in the workspace.
+    pub fn rename_file(&self, from: &str, to: &str) -> SyncResult<()> {
+        let contents = self
+            .read_file(from)
+            .ok_or_else(|| SyncError::NoSuchFile(from.to_string()))?;
+        self.write_file(to, contents)?;
+        self.delete_file(from)
+    }
+
+    /// Reads a file from the local workspace copy.
+    pub fn read_file(&self, path: &str) -> Option<Vec<u8>> {
+        self.shared.fs.lock().read(path).map(|b| b.to_vec())
+    }
+
+    /// Paths currently in the local workspace copy, sorted.
+    pub fn list_files(&self) -> Vec<String> {
+        self.shared.fs.lock().paths()
+    }
+
+    /// Version of a path as known locally.
+    pub fn file_version(&self, path: &str) -> Option<u64> {
+        self.shared
+            .db
+            .lock()
+            .get(path)
+            .filter(|e| !e.deleted)
+            .map(|e| e.version)
+    }
+
+    /// Polls until the path holds exactly `expected` bytes (test/benchmark
+    /// helper). Returns whether the condition was met before the timeout.
+    pub fn wait_for_content(&self, path: &str, expected: &[u8], timeout: Duration) -> bool {
+        self.wait(timeout, || {
+            self.shared.fs.lock().read(path).is_some_and(|b| b == expected)
+        })
+    }
+
+    /// Polls until the path reaches at least `version`.
+    pub fn wait_for_version(&self, path: &str, version: u64, timeout: Duration) -> bool {
+        self.wait(timeout, || {
+            self.shared
+                .db
+                .lock()
+                .get(path)
+                .is_some_and(|e| e.version >= version && !e.deleted)
+        })
+    }
+
+    /// Polls until the path disappears from the workspace.
+    pub fn wait_for_absent(&self, path: &str, timeout: Duration) -> bool {
+        self.wait(timeout, || !self.shared.fs.lock().contains(path))
+    }
+
+    /// Polls an arbitrary predicate over the client.
+    pub fn wait(&self, timeout: Duration, mut pred: impl FnMut() -> bool) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if pred() {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Disconnects the client, unregistering the notification listener.
+    pub fn disconnect(mut self) {
+        if let Some(l) = self.listener.take() {
+            l.shutdown();
+        }
+    }
+}
+
+fn chunk_hex(id: &ChunkId) -> String {
+    id.to_string()
+}
+
+/// Chunks, dedups, uploads and commits one path (the Indexer of §4.1).
+fn index_and_commit(shared: &Arc<ClientShared>, path: &str, contents: &[u8]) -> SyncResult<()> {
+    let chunker = shared.config.chunking.build();
+    let spans = chunker.chunk(contents);
+    let ids: Vec<ChunkId> = spans
+        .iter()
+        .map(|s| ChunkId::of(&contents[s.range()]))
+        .collect();
+
+    // Upload only unknown chunks (per-user dedup).
+    for (span, id) in spans.iter().zip(&ids) {
+        let already_known = shared.db.lock().chunk_known(id);
+        if already_known {
+            shared
+                .stats
+                .inner
+                .chunks_deduplicated
+                .fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        let compressed = shared.config.compression.compress(&contents[span.range()]);
+        let len = compressed.len() as u64;
+        shared.store.put_in(
+            &shared.token,
+            &shared.container_owner,
+            &shared.container,
+            &chunk_hex(id),
+            Bytes::from(compressed),
+        )?;
+        shared.db.lock().mark_chunks_known([*id]);
+        shared
+            .stats
+            .inner
+            .chunks_uploaded
+            .fetch_add(1, Ordering::Relaxed);
+        shared
+            .stats
+            .inner
+            .chunk_bytes_uploaded
+            .fetch_add(len, Ordering::Relaxed);
+    }
+
+    // Build the version proposal and update the local db optimistically so
+    // consecutive local edits chain version numbers.
+    let proposal = {
+        let mut db = shared.db.lock();
+        let (item_id, version) = match db.get(path) {
+            Some(entry) => (entry.item_id, entry.version + 1),
+            None => (stable_item_id(&shared.workspace, path), 1),
+        };
+        db.upsert(
+            path,
+            FileEntry {
+                item_id,
+                version,
+                chunks: ids.clone(),
+                size: contents.len() as u64,
+                deleted: false,
+            },
+        );
+        ItemMetadata {
+            item_id,
+            workspace: shared.workspace.clone(),
+            path: path.to_string(),
+            version,
+            chunks: ids,
+            size: contents.len() as u64,
+            is_deleted: false,
+            modified_by: shared.config.device.clone(),
+        }
+    };
+    send_commit(shared, vec![proposal])
+}
+
+/// Publishes an asynchronous commit request (paper: `@AsyncMethod
+/// commitRequest`).
+fn send_commit(shared: &Arc<ClientShared>, proposals: Vec<ItemMetadata>) -> SyncResult<()> {
+    let args = vec![
+        Value::from(shared.workspace.0.as_str()),
+        Value::from(shared.config.device.as_str()),
+        Value::List(proposals.iter().map(item_to_value).collect()),
+    ];
+    let encoded = wire::BinaryCodec.encode(&Value::List(args.clone())).len() as u64;
+    shared
+        .stats
+        .inner
+        .control_sent
+        .fetch_add(encoded, Ordering::Relaxed);
+    shared.proxy.call_async("commit_request", args)?;
+    Ok(())
+}
+
+/// Downloads and reassembles an item's content from the chunk store.
+fn fetch_item_content(shared: &Arc<ClientShared>, item: &ItemMetadata) -> SyncResult<Vec<u8>> {
+    let mut contents = Vec::with_capacity(item.size as usize);
+    for id in &item.chunks {
+        let raw = shared.store.get_in(
+            &shared.token,
+            &shared.container_owner,
+            &shared.container,
+            &chunk_hex(id),
+        )?;
+        let plain = Algorithm::decompress(&raw)
+            .map_err(|e| SyncError::Corrupt(format!("chunk {id}: {e}")))?;
+        if ChunkId::of(&plain) != *id {
+            return Err(SyncError::Corrupt(format!(
+                "chunk {id} failed fingerprint verification"
+            )));
+        }
+        shared
+            .stats
+            .inner
+            .chunks_downloaded
+            .fetch_add(1, Ordering::Relaxed);
+        contents.extend_from_slice(&plain);
+    }
+    Ok(contents)
+}
+
+/// Materializes a server-side item locally (startup sync path).
+fn materialize_item(shared: &Arc<ClientShared>, item: &ItemMetadata) -> SyncResult<()> {
+    if item.is_deleted {
+        shared.fs.lock().remove(&item.path);
+        shared.db.lock().upsert(
+            &item.path,
+            FileEntry {
+                item_id: item.item_id,
+                version: item.version,
+                chunks: vec![],
+                size: 0,
+                deleted: true,
+            },
+        );
+        return Ok(());
+    }
+    let contents = fetch_item_content(shared, item)?;
+    shared.fs.lock().write(&item.path, contents);
+    let mut db = shared.db.lock();
+    db.mark_chunks_known(item.chunks.iter().copied());
+    db.upsert(
+        &item.path,
+        FileEntry {
+            item_id: item.item_id,
+            version: item.version,
+            chunks: item.chunks.clone(),
+            size: item.size,
+            deleted: false,
+        },
+    );
+    Ok(())
+}
+
+/// Applies a push notification to the local state (paper §4.1: committed
+/// changes "will be immediately applied to the affected workspace").
+fn apply_notification(
+    shared: &Arc<ClientShared>,
+    notification: &CommitNotification,
+) -> SyncResult<()> {
+    shared
+        .stats
+        .inner
+        .notifications
+        .fetch_add(1, Ordering::Relaxed);
+    shared
+        .stats
+        .inner
+        .control_received
+        .fetch_add(notification.encoded_size() as u64, Ordering::Relaxed);
+
+    let own_device = shared.config.device == notification.committer;
+    for change in &notification.changes {
+        let item = &change.metadata;
+        if change.confirmed {
+            if own_device && item.modified_by == shared.config.device {
+                // Confirmation of our own optimistic commit: nothing to do,
+                // the local db already reflects it.
+                continue;
+            }
+            let newer = {
+                let db = shared.db.lock();
+                db.get(&item.path).map_or(true, |e| item.version > e.version)
+            };
+            if newer {
+                materialize_item(shared, item)?;
+            }
+        } else if own_device && item.modified_by == shared.config.device {
+            // We lost a conflict: keep our bytes as a conflict copy, adopt
+            // the winning server version under the original path (the
+            // Dropbox policy, paper §4.1/§4.2.1).
+            shared
+                .stats
+                .inner
+                .conflicts
+                .fetch_add(1, Ordering::Relaxed);
+            let current = change
+                .current
+                .clone()
+                .ok_or_else(|| SyncError::Corrupt("conflict without current version".into()))?;
+            let losing_bytes = shared.fs.lock().read(&item.path).map(|b| b.to_vec());
+            materialize_item(shared, &current)?;
+            if let Some(bytes) = losing_bytes {
+                let copy_path = conflict_copy_path(&item.path, &shared.config.device);
+                shared.fs.lock().write(&copy_path, bytes.clone());
+                // The conflict copy is a brand-new file that must itself be
+                // synchronized to every device.
+                index_and_commit(shared, &copy_path, &bytes)?;
+            }
+        }
+        // Conflicts lost by *other* devices need no local action: the
+        // winning version is already ours or will arrive as its own
+        // confirmed notification.
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_item_ids_are_stable_and_distinct() {
+        let ws1 = WorkspaceId::from("ws-1");
+        let ws2 = WorkspaceId::from("ws-2");
+        assert_eq!(stable_item_id(&ws1, "a.txt"), stable_item_id(&ws1, "a.txt"));
+        assert_ne!(stable_item_id(&ws1, "a.txt"), stable_item_id(&ws1, "b.txt"));
+        assert_ne!(stable_item_id(&ws1, "a.txt"), stable_item_id(&ws2, "a.txt"));
+    }
+
+    #[test]
+    fn config_builder() {
+        let c = ClientConfig::new("u", "d")
+            .with_chunk_size(1024)
+            .with_compression(Algorithm::Store);
+        assert_eq!(c.chunking, ChunkingStrategy::Fixed { size: 1024 });
+        assert_eq!(c.compression, Algorithm::Store);
+        assert_eq!(c.call_retries, 5);
+        assert_eq!(c.call_timeout, Duration::from_millis(1500));
+    }
+
+    #[test]
+    fn stats_clone_shares() {
+        let s = ClientStats::default();
+        let s2 = s.clone();
+        s.inner.control_sent.fetch_add(5, Ordering::Relaxed);
+        assert_eq!(s2.control_sent_bytes(), 5);
+        assert_eq!(s2.control_bytes(), 5);
+    }
+}

@@ -1,0 +1,96 @@
+//! The virtual workspace folder.
+//!
+//! The paper's client watches a real OS folder; this reproduction keeps the
+//! workspace in memory so experiments are deterministic and fast. The
+//! watcher role collapses into explicit mutation calls — every change to
+//! the virtual folder is observed immediately, like an inotify event.
+
+use std::collections::BTreeMap;
+
+/// An in-memory folder: path → contents.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct VirtualFs {
+    files: BTreeMap<String, Vec<u8>>,
+}
+
+impl VirtualFs {
+    /// Empty folder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes (creates or replaces) a file.
+    pub fn write(&mut self, path: &str, contents: Vec<u8>) {
+        self.files.insert(path.to_string(), contents);
+    }
+
+    /// Reads a file.
+    pub fn read(&self, path: &str) -> Option<&[u8]> {
+        self.files.get(path).map(|v| v.as_slice())
+    }
+
+    /// Removes a file; returns its contents if it existed.
+    pub fn remove(&mut self, path: &str) -> Option<Vec<u8>> {
+        self.files.remove(path)
+    }
+
+    /// Whether the path exists.
+    pub fn contains(&self, path: &str) -> bool {
+        self.files.contains_key(path)
+    }
+
+    /// Sorted list of paths.
+    pub fn paths(&self) -> Vec<String> {
+        self.files.keys().cloned().collect()
+    }
+
+    /// Number of files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Whether the folder is empty.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Total bytes stored.
+    pub fn total_size(&self) -> u64 {
+        self.files.values().map(|v| v.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_remove() {
+        let mut fs = VirtualFs::new();
+        assert!(fs.is_empty());
+        fs.write("a/b.txt", vec![1, 2, 3]);
+        assert_eq!(fs.read("a/b.txt"), Some([1u8, 2, 3].as_slice()));
+        assert!(fs.contains("a/b.txt"));
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs.total_size(), 3);
+        assert_eq!(fs.remove("a/b.txt"), Some(vec![1, 2, 3]));
+        assert!(fs.is_empty());
+    }
+
+    #[test]
+    fn overwrite_replaces() {
+        let mut fs = VirtualFs::new();
+        fs.write("x", vec![1]);
+        fs.write("x", vec![2, 3]);
+        assert_eq!(fs.read("x"), Some([2u8, 3].as_slice()));
+        assert_eq!(fs.len(), 1);
+    }
+
+    #[test]
+    fn paths_sorted() {
+        let mut fs = VirtualFs::new();
+        fs.write("z", vec![]);
+        fs.write("a", vec![]);
+        assert_eq!(fs.paths(), vec!["a", "z"]);
+    }
+}

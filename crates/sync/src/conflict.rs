@@ -1,0 +1,63 @@
+//! Conflict-copy naming, following the Dropbox policy the paper adopts:
+//! "we create a copy of the conflicted document and let the user decide".
+
+/// Derives the path for the losing version of a conflicted file.
+///
+/// `report.txt` edited concurrently on `phone` becomes
+/// `report (phone's conflicted copy).txt` on the losing side.
+pub fn conflict_copy_path(path: &str, device: &str) -> String {
+    let (dir, file) = match path.rfind('/') {
+        Some(i) => (&path[..=i], &path[i + 1..]),
+        None => ("", path),
+    };
+    let (stem, ext) = match file.rfind('.') {
+        Some(i) if i > 0 => (&file[..i], &file[i..]),
+        _ => (file, ""),
+    };
+    format!("{dir}{stem} ({device}'s conflicted copy){ext}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_file() {
+        assert_eq!(
+            conflict_copy_path("report.txt", "phone"),
+            "report (phone's conflicted copy).txt"
+        );
+    }
+
+    #[test]
+    fn nested_path_keeps_directory() {
+        assert_eq!(
+            conflict_copy_path("docs/work/report.txt", "phone"),
+            "docs/work/report (phone's conflicted copy).txt"
+        );
+    }
+
+    #[test]
+    fn no_extension() {
+        assert_eq!(
+            conflict_copy_path("Makefile", "laptop"),
+            "Makefile (laptop's conflicted copy)"
+        );
+    }
+
+    #[test]
+    fn dotfile_is_not_treated_as_extension() {
+        assert_eq!(
+            conflict_copy_path(".bashrc", "laptop"),
+            ".bashrc (laptop's conflicted copy)"
+        );
+    }
+
+    #[test]
+    fn multiple_dots_split_at_last() {
+        assert_eq!(
+            conflict_copy_path("archive.tar.gz", "pc"),
+            "archive.tar (pc's conflicted copy).gz"
+        );
+    }
+}

@@ -1,0 +1,343 @@
+//! The SyncService: the paper's stateless server object (§4.2.1).
+
+use crate::protocol::{item_from_value, item_to_value, workspace_to_value, CommitNotification, NotifiedChange};
+use crate::workspace_notification_oid;
+use metadata::{MetadataStore, WorkspaceId};
+use objectmq::{Broker, OmqResult, Proxy, RemoteObject, ServerHandle};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use wire::Value;
+
+/// The well-known oid the SyncService binds to. All instances share this
+/// queue; the broker load-balances commit requests between them, which is
+/// what makes the pool elastically scalable.
+pub const SYNC_SERVICE_OID: &str = "sync-service";
+
+/// SyncService tuning.
+#[derive(Debug, Clone)]
+pub struct SyncServiceConfig {
+    /// Extra processing time injected per commit request. Zero by default;
+    /// the elasticity experiments set it to the paper's measured mean
+    /// service time (50 ms) so a single instance saturates realistically.
+    pub service_delay: Duration,
+}
+
+impl Default for SyncServiceConfig {
+    fn default() -> Self {
+        SyncServiceConfig {
+            service_delay: Duration::ZERO,
+        }
+    }
+}
+
+struct ServiceInner {
+    meta: Arc<dyn MetadataStore>,
+    broker: Broker,
+    config: SyncServiceConfig,
+    notify_proxies: Mutex<HashMap<String, Arc<Proxy>>>,
+    commits: AtomicU64,
+    conflicts: AtomicU64,
+}
+
+/// The file syncing service. Stateless by design: all state lives in the
+/// metadata store, so any number of instances can be bound to
+/// [`SYNC_SERVICE_OID`] and killed or spawned at will (paper §4.2.1:
+/// "Multiple instances of the SyncService can listen from the global
+/// request queue").
+///
+/// Clones share the same service state (metadata handle and counters), so
+/// binding a clone adds a pool instance.
+#[derive(Clone)]
+pub struct SyncService {
+    inner: Arc<ServiceInner>,
+}
+
+impl std::fmt::Debug for SyncService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SyncService")
+            .field("commits", &self.commits_processed())
+            .finish()
+    }
+}
+
+impl SyncService {
+    /// Creates a service over a metadata store; `broker` is used to push
+    /// commit notifications.
+    pub fn new(meta: Arc<dyn MetadataStore>, broker: Broker) -> Self {
+        Self::with_config(meta, broker, SyncServiceConfig::default())
+    }
+
+    /// Creates a service with explicit tuning.
+    pub fn with_config(
+        meta: Arc<dyn MetadataStore>,
+        broker: Broker,
+        config: SyncServiceConfig,
+    ) -> Self {
+        SyncService {
+            inner: Arc::new(ServiceInner {
+                meta,
+                broker,
+                config,
+                notify_proxies: Mutex::new(HashMap::new()),
+                commits: AtomicU64::new(0),
+                conflicts: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Binds one instance of this service to the shared request queue.
+    ///
+    /// # Errors
+    ///
+    /// Propagates middleware failures.
+    pub fn bind(&self, broker: &Broker) -> OmqResult<ServerHandle> {
+        broker.bind(SYNC_SERVICE_OID, self.clone())
+    }
+
+    /// An [`objectmq::supervisor::ObjectFactory`] producing instances of
+    /// this service — hand this to a `RemoteBroker` so the Supervisor can
+    /// spawn SyncService instances elastically.
+    pub fn factory(&self) -> objectmq::supervisor::ObjectFactory {
+        let service = self.clone();
+        Arc::new(move || Arc::new(service.clone()) as Arc<dyn RemoteObject>)
+    }
+
+    /// Total commit requests processed across all instances sharing this
+    /// service state.
+    pub fn commits_processed(&self) -> u64 {
+        self.inner.commits.load(Ordering::Relaxed)
+    }
+
+    /// Total conflicting item proposals detected.
+    pub fn conflicts_detected(&self) -> u64 {
+        self.inner.conflicts.load(Ordering::Relaxed)
+    }
+
+    fn get_workspaces(&self, args: &[Value]) -> Result<Value, String> {
+        let user = args
+            .first()
+            .and_then(|v| v.as_str().ok())
+            .ok_or("get_workspaces needs a user argument")?;
+        let workspaces = self
+            .inner
+            .meta
+            .workspaces_of(user)
+            .map_err(|e| e.to_string())?;
+        Ok(Value::List(
+            workspaces.iter().map(workspace_to_value).collect(),
+        ))
+    }
+
+    fn get_workspace_info(&self, args: &[Value]) -> Result<Value, String> {
+        let ws = args
+            .first()
+            .and_then(|v| v.as_str().ok())
+            .ok_or("get_workspace_info needs a workspace argument")?;
+        let workspace = self
+            .inner
+            .meta
+            .get_workspace(&WorkspaceId(ws.to_string()))
+            .ok_or_else(|| format!("unknown workspace: {ws}"))?;
+        Ok(workspace_to_value(&workspace))
+    }
+
+    fn get_changes(&self, args: &[Value]) -> Result<Value, String> {
+        let ws = args
+            .first()
+            .and_then(|v| v.as_str().ok())
+            .ok_or("get_changes needs a workspace argument")?;
+        let items = self
+            .inner
+            .meta
+            .current_items(&WorkspaceId(ws.to_string()))
+            .map_err(|e| e.to_string())?;
+        Ok(Value::List(items.iter().map(item_to_value).collect()))
+    }
+
+    /// Algorithm 1 of the paper.
+    fn commit_request(&self, args: &[Value]) -> Result<Value, String> {
+        if !self.inner.config.service_delay.is_zero() {
+            std::thread::sleep(self.inner.config.service_delay);
+        }
+        let ws = args
+            .first()
+            .and_then(|v| v.as_str().ok())
+            .ok_or("commit_request needs a workspace argument")?;
+        let device = args
+            .get(1)
+            .and_then(|v| v.as_str().ok())
+            .ok_or("commit_request needs a device argument")?;
+        let proposals = args
+            .get(2)
+            .and_then(|v| v.as_list().ok())
+            .ok_or("commit_request needs a change list")?
+            .iter()
+            .map(item_from_value)
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|e| e.to_string())?;
+
+        let workspace = WorkspaceId(ws.to_string());
+        let outcomes = self
+            .inner
+            .meta
+            .commit(&workspace, proposals)
+            .map_err(|e| e.to_string())?;
+        self.inner.commits.fetch_add(1, Ordering::Relaxed);
+        let conflicts = outcomes.iter().filter(|o| !o.is_committed()).count();
+        self.inner
+            .conflicts
+            .fetch_add(conflicts as u64, Ordering::Relaxed);
+
+        let notification = CommitNotification {
+            workspace: workspace.clone(),
+            committer: device.to_string(),
+            changes: outcomes.iter().map(NotifiedChange::from_outcome).collect(),
+        };
+        self.push_notification(&workspace, &notification);
+        Ok(Value::Null)
+    }
+
+    /// Pushes the notification to every device of the workspace with an
+    /// async one-to-many call (paper: `notifyCommit`, `@MultiMethod
+    /// @AsyncMethod`). A workspace with no connected devices has no
+    /// notification object bound — the push is skipped.
+    fn push_notification(&self, workspace: &WorkspaceId, notification: &CommitNotification) {
+        let oid = workspace_notification_oid(workspace);
+        if !self.inner.broker.object_exists(&oid) {
+            return;
+        }
+        let proxy = {
+            let mut proxies = self.inner.notify_proxies.lock();
+            match proxies.get(&oid) {
+                Some(p) => p.clone(),
+                None => match self.inner.broker.lookup(&oid) {
+                    Ok(p) => {
+                        let p = Arc::new(p);
+                        proxies.insert(oid.clone(), p.clone());
+                        p
+                    }
+                    Err(_) => return,
+                },
+            }
+        };
+        let _ = proxy.call_multi_async("notify_commit", vec![notification.to_value()]);
+    }
+}
+
+impl RemoteObject for SyncService {
+    fn dispatch(&self, method: &str, args: &[Value]) -> Result<Value, String> {
+        match method {
+            "get_workspaces" => self.get_workspaces(args),
+            "get_workspace_info" => self.get_workspace_info(args),
+            "get_changes" => self.get_changes(args),
+            "commit_request" => self.commit_request(args),
+            other => Err(format!("SyncService has no method `{other}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metadata::{InMemoryStore, ItemMetadata};
+
+    fn setup() -> (Broker, SyncService, WorkspaceId, Arc<dyn MetadataStore>) {
+        let broker = Broker::in_process();
+        let meta: Arc<dyn MetadataStore> = Arc::new(InMemoryStore::new());
+        meta.create_user("alice").unwrap();
+        let ws = meta.create_workspace("alice", "Docs").unwrap();
+        let service = SyncService::new(meta.clone(), broker.clone());
+        (broker, service, ws, meta)
+    }
+
+    fn commit_args(ws: &WorkspaceId, device: &str, items: Vec<ItemMetadata>) -> Vec<Value> {
+        vec![
+            Value::from(ws.0.as_str()),
+            Value::from(device),
+            Value::List(items.iter().map(item_to_value).collect()),
+        ]
+    }
+
+    #[test]
+    fn get_workspaces_lists_user_workspaces() {
+        let (_broker, service, ws, _meta) = setup();
+        let v = service
+            .dispatch("get_workspaces", &[Value::from("alice")])
+            .unwrap();
+        let list = v.as_list().unwrap();
+        assert_eq!(list.len(), 1);
+        assert_eq!(list[0].field("id").unwrap().as_str().unwrap(), ws.0);
+    }
+
+    #[test]
+    fn get_workspaces_unknown_user_errors() {
+        let (_broker, service, _ws, _meta) = setup();
+        assert!(service
+            .dispatch("get_workspaces", &[Value::from("ghost")])
+            .is_err());
+    }
+
+    #[test]
+    fn commit_then_get_changes() {
+        let (_broker, service, ws, _meta) = setup();
+        let item = ItemMetadata::new_file(1, &ws, "a.txt", vec![], 5, "dev");
+        service
+            .dispatch("commit_request", &commit_args(&ws, "dev", vec![item]))
+            .unwrap();
+        let changes = service
+            .dispatch("get_changes", &[Value::from(ws.0.as_str())])
+            .unwrap();
+        assert_eq!(changes.as_list().unwrap().len(), 1);
+        assert_eq!(service.commits_processed(), 1);
+        assert_eq!(service.conflicts_detected(), 0);
+    }
+
+    #[test]
+    fn conflicting_commit_counts_conflict() {
+        let (_broker, service, ws, _meta) = setup();
+        let item = ItemMetadata::new_file(1, &ws, "a.txt", vec![], 5, "dev");
+        service
+            .dispatch("commit_request", &commit_args(&ws, "dev", vec![item.clone()]))
+            .unwrap();
+        // Same version-1 proposal again: stale.
+        service
+            .dispatch("commit_request", &commit_args(&ws, "dev2", vec![item]))
+            .unwrap();
+        assert_eq!(service.commits_processed(), 2);
+        assert_eq!(service.conflicts_detected(), 1);
+    }
+
+    #[test]
+    fn unknown_method_rejected() {
+        let (_broker, service, _ws, _meta) = setup();
+        assert!(service.dispatch("bogus", &[]).is_err());
+    }
+
+    #[test]
+    fn malformed_args_rejected() {
+        let (_broker, service, ws, _meta) = setup();
+        assert!(service.dispatch("commit_request", &[]).is_err());
+        assert!(service
+            .dispatch("commit_request", &[Value::from(ws.0.as_str())])
+            .is_err());
+        assert!(service
+            .dispatch(
+                "commit_request",
+                &[Value::from(ws.0.as_str()), Value::from("dev"), Value::I64(3)]
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn notification_skipped_without_listeners() {
+        // Must not error when no device bound the workspace notify object.
+        let (_broker, service, ws, _meta) = setup();
+        let item = ItemMetadata::new_file(1, &ws, "a.txt", vec![], 5, "dev");
+        service
+            .dispatch("commit_request", &commit_args(&ws, "dev", vec![item]))
+            .unwrap();
+    }
+}

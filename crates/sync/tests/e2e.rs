@@ -1,0 +1,490 @@
+//! End-to-end tests of the full StackSync stack: ObjectMQ over the
+//! in-process broker, SyncService over the metadata store, desktop clients
+//! over the chunk store.
+
+use metadata::{InMemoryStore, MetadataStore};
+use objectmq::Broker;
+use stacksync::{provision_user, ClientConfig, DesktopClient, SyncService};
+use storage::{LatencyModel, SwiftStore};
+use std::sync::Arc;
+use std::time::Duration;
+
+const T: Duration = Duration::from_secs(5);
+
+struct Stack {
+    broker: Broker,
+    store: SwiftStore,
+    meta: Arc<dyn MetadataStore>,
+    service: SyncService,
+    _server: objectmq::ServerHandle,
+}
+
+fn stack() -> Stack {
+    let broker = Broker::in_process();
+    let store = SwiftStore::new(LatencyModel::instant());
+    let meta: Arc<dyn MetadataStore> = Arc::new(InMemoryStore::new());
+    let service = SyncService::new(meta.clone(), broker.clone());
+    let server = service.bind(&broker).unwrap();
+    Stack {
+        broker,
+        store,
+        meta,
+        service,
+        _server: server,
+    }
+}
+
+fn small_config(user: &str, device: &str) -> ClientConfig {
+    // 4 KB chunks keep test payloads interesting without 512 KB files.
+    ClientConfig::new(user, device).with_chunk_size(4096)
+}
+
+#[test]
+fn two_devices_full_sync() {
+    let s = stack();
+    let ws = provision_user(s.meta.as_ref(), "alice", "Docs").unwrap();
+    let a = DesktopClient::connect(&s.broker, &s.store, small_config("alice", "laptop"), &ws)
+        .unwrap();
+    let b = DesktopClient::connect(&s.broker, &s.store, small_config("alice", "phone"), &ws)
+        .unwrap();
+
+    let payload = vec![42u8; 10_000];
+    a.write_file("report.txt", payload.clone()).unwrap();
+    assert!(b.wait_for_content("report.txt", &payload, T));
+    assert_eq!(b.file_version("report.txt"), Some(1));
+    assert!(b.stats().notifications() >= 1);
+}
+
+#[test]
+fn update_propagates_new_version() {
+    let s = stack();
+    let ws = provision_user(s.meta.as_ref(), "alice", "Docs").unwrap();
+    let a = DesktopClient::connect(&s.broker, &s.store, small_config("alice", "laptop"), &ws)
+        .unwrap();
+    let b = DesktopClient::connect(&s.broker, &s.store, small_config("alice", "phone"), &ws)
+        .unwrap();
+
+    a.write_file("f.txt", b"v1".to_vec()).unwrap();
+    assert!(b.wait_for_content("f.txt", b"v1", T));
+    a.write_file("f.txt", b"v2 content".to_vec()).unwrap();
+    assert!(b.wait_for_content("f.txt", b"v2 content", T));
+    assert_eq!(b.file_version("f.txt"), Some(2));
+}
+
+#[test]
+fn delete_propagates_tombstone() {
+    let s = stack();
+    let ws = provision_user(s.meta.as_ref(), "alice", "Docs").unwrap();
+    let a = DesktopClient::connect(&s.broker, &s.store, small_config("alice", "laptop"), &ws)
+        .unwrap();
+    let b = DesktopClient::connect(&s.broker, &s.store, small_config("alice", "phone"), &ws)
+        .unwrap();
+
+    a.write_file("gone.txt", b"bye".to_vec()).unwrap();
+    assert!(b.wait_for_content("gone.txt", b"bye", T));
+    a.delete_file("gone.txt").unwrap();
+    assert!(b.wait_for_absent("gone.txt", T));
+    // Deleting again reports NoSuchFile.
+    assert!(a.delete_file("gone.txt").is_err());
+}
+
+#[test]
+fn recreate_after_delete_continues_version_chain() {
+    let s = stack();
+    let ws = provision_user(s.meta.as_ref(), "alice", "Docs").unwrap();
+    let a = DesktopClient::connect(&s.broker, &s.store, small_config("alice", "laptop"), &ws)
+        .unwrap();
+    let b = DesktopClient::connect(&s.broker, &s.store, small_config("alice", "phone"), &ws)
+        .unwrap();
+
+    a.write_file("phoenix.txt", b"first life".to_vec()).unwrap();
+    assert!(b.wait_for_content("phoenix.txt", b"first life", T));
+    a.delete_file("phoenix.txt").unwrap();
+    assert!(b.wait_for_absent("phoenix.txt", T));
+    a.write_file("phoenix.txt", b"second life".to_vec()).unwrap();
+    assert!(b.wait_for_content("phoenix.txt", b"second life", T));
+    assert_eq!(b.file_version("phoenix.txt"), Some(3), "v1, tombstone v2, v3");
+}
+
+#[test]
+fn late_joiner_gets_full_state_via_get_changes() {
+    let s = stack();
+    let ws = provision_user(s.meta.as_ref(), "alice", "Docs").unwrap();
+    let a = DesktopClient::connect(&s.broker, &s.store, small_config("alice", "laptop"), &ws)
+        .unwrap();
+    a.write_file("one.txt", b"1".to_vec()).unwrap();
+    a.write_file("two.txt", vec![7u8; 9000]).unwrap();
+    a.write_file("doomed.txt", b"x".to_vec()).unwrap();
+    // Wait until the service processed all three commits.
+    assert!(a.wait(T, || s.service.commits_processed() >= 3));
+    a.delete_file("doomed.txt").unwrap();
+    assert!(a.wait(T, || s.service.commits_processed() >= 4));
+
+    // A device connecting later must reconstruct exactly the live files.
+    let late = DesktopClient::connect(&s.broker, &s.store, small_config("alice", "tablet"), &ws)
+        .unwrap();
+    assert_eq!(late.list_files(), vec!["one.txt", "two.txt"]);
+    assert_eq!(late.read_file("two.txt").unwrap(), vec![7u8; 9000]);
+}
+
+#[test]
+fn per_user_dedup_skips_duplicate_chunks() {
+    let s = stack();
+    let ws = provision_user(s.meta.as_ref(), "alice", "Docs").unwrap();
+    let a = DesktopClient::connect(&s.broker, &s.store, small_config("alice", "laptop"), &ws)
+        .unwrap();
+
+    let chunk = vec![9u8; 4096];
+    // Two files with identical content: second upload must dedup entirely.
+    a.write_file("a.bin", chunk.clone()).unwrap();
+    a.write_file("copy-of-a.bin", chunk.clone()).unwrap();
+    assert_eq!(a.stats().chunks_uploaded(), 1);
+    assert_eq!(a.stats().chunks_deduplicated(), 1);
+
+    // Both files still sync correctly to another device.
+    let b = DesktopClient::connect(&s.broker, &s.store, small_config("alice", "phone"), &ws)
+        .unwrap();
+    assert!(b.wait_for_content("a.bin", &chunk, T));
+    assert!(b.wait_for_content("copy-of-a.bin", &chunk, T));
+}
+
+#[test]
+fn multi_chunk_files_reassemble_in_order() {
+    let s = stack();
+    let ws = provision_user(s.meta.as_ref(), "alice", "Docs").unwrap();
+    let a = DesktopClient::connect(&s.broker, &s.store, small_config("alice", "laptop"), &ws)
+        .unwrap();
+    let b = DesktopClient::connect(&s.broker, &s.store, small_config("alice", "phone"), &ws)
+        .unwrap();
+
+    // 3.5 chunks of distinct content so ordering mistakes are detectable.
+    let payload: Vec<u8> = (0..14_336u32).map(|i| (i % 251) as u8).collect();
+    a.write_file("big.bin", payload.clone()).unwrap();
+    assert!(b.wait_for_content("big.bin", &payload, T));
+}
+
+#[test]
+fn conflict_creates_conflict_copy_and_converges() {
+    // A conflict needs *concurrent* edits: both devices must commit before
+    // either sees the other's notification. Injecting the paper's measured
+    // 50 ms service time (Table 3) makes the race deterministic.
+    let broker = Broker::in_process();
+    let store = SwiftStore::new(LatencyModel::instant());
+    let meta: Arc<dyn MetadataStore> = Arc::new(InMemoryStore::new());
+    let service = SyncService::with_config(
+        meta.clone(),
+        broker.clone(),
+        stacksync::SyncServiceConfig {
+            service_delay: Duration::from_millis(100),
+        },
+    );
+    let _server = service.bind(&broker).unwrap();
+    let s = Stack {
+        broker,
+        store,
+        meta,
+        service,
+        _server,
+    };
+    let ws = provision_user(s.meta.as_ref(), "alice", "Docs").unwrap();
+    let a = DesktopClient::connect(&s.broker, &s.store, small_config("alice", "laptop"), &ws)
+        .unwrap();
+    let b = DesktopClient::connect(&s.broker, &s.store, small_config("alice", "phone"), &ws)
+        .unwrap();
+
+    // Both devices create the same path concurrently with different bytes:
+    // both propose version 1 of the same item — the second one processed
+    // loses (paper §4.2.1).
+    a.write_file("draft.txt", b"from laptop".to_vec()).unwrap();
+    b.write_file("draft.txt", b"from phone".to_vec()).unwrap();
+
+    // Eventually: exactly one winner under draft.txt on both devices, and
+    // the loser's bytes preserved in a conflict copy that also syncs.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let a_files = a.list_files();
+        let b_files = b.list_files();
+        let converged = a_files == b_files
+            && a_files.len() == 2
+            && a.read_file("draft.txt") == b.read_file("draft.txt");
+        if converged {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "devices did not converge: a={a_files:?} b={b_files:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(s.service.conflicts_detected(), 1);
+    let total_conflict_copies = a.stats().conflicts() + b.stats().conflicts();
+    assert_eq!(total_conflict_copies, 1, "exactly one device lost");
+    // The conflict copy path carries the losing device's name.
+    let files = a.list_files();
+    assert!(
+        files.iter().any(|f| f.contains("conflicted copy")),
+        "conflict copy must exist: {files:?}"
+    );
+}
+
+#[test]
+fn control_traffic_is_accounted() {
+    let s = stack();
+    let ws = provision_user(s.meta.as_ref(), "alice", "Docs").unwrap();
+    let a = DesktopClient::connect(&s.broker, &s.store, small_config("alice", "laptop"), &ws)
+        .unwrap();
+    a.write_file("f.txt", vec![1u8; 5000]).unwrap();
+    assert!(a.wait(T, || a.stats().notifications() >= 1));
+    assert!(a.stats().control_sent_bytes() > 0);
+    assert!(a.stats().control_received_bytes() > 0);
+    // Control traffic must be far smaller than the data shipped.
+    assert!(a.stats().control_bytes() < 5000);
+    assert!(s.store.traffic().uploaded_bytes() > 0);
+}
+
+#[test]
+fn service_pool_scales_without_client_changes() {
+    // Bind three SyncService instances to the same oid: the clients are
+    // oblivious and the broker load-balances commits.
+    let s = stack();
+    let extra1 = s.service.bind(&s.broker).unwrap();
+    let extra2 = s.service.bind(&s.broker).unwrap();
+    let ws = provision_user(s.meta.as_ref(), "alice", "Docs").unwrap();
+    let a = DesktopClient::connect(&s.broker, &s.store, small_config("alice", "laptop"), &ws)
+        .unwrap();
+    let b = DesktopClient::connect(&s.broker, &s.store, small_config("alice", "phone"), &ws)
+        .unwrap();
+    for i in 0..20 {
+        a.write_file(&format!("file-{i}.txt"), vec![i as u8; 100]).unwrap();
+    }
+    assert!(a.wait(Duration::from_secs(10), || {
+        s.service.commits_processed() >= 20
+    }));
+    // All files eventually on device b.
+    assert!(b.wait(Duration::from_secs(10), || b.list_files().len() == 20));
+    extra1.shutdown();
+    extra2.shutdown();
+}
+
+#[test]
+fn instance_crash_mid_commit_is_redelivered() {
+    // One healthy instance + commits while an instance dies: the queue
+    // redelivers unacked commits, so nothing is lost (paper §3.4).
+    let s = stack();
+    let victim = s.service.bind(&s.broker).unwrap();
+    let ws = provision_user(s.meta.as_ref(), "alice", "Docs").unwrap();
+    let a = DesktopClient::connect(&s.broker, &s.store, small_config("alice", "laptop"), &ws)
+        .unwrap();
+    for i in 0..10 {
+        a.write_file(&format!("f{i}.txt"), vec![i as u8; 64]).unwrap();
+    }
+    victim.kill();
+    assert!(
+        a.wait(Duration::from_secs(10), || s.service.commits_processed() >= 10),
+        "all commits must be processed despite the crash (got {})",
+        s.service.commits_processed()
+    );
+}
+
+#[test]
+fn empty_file_syncs() {
+    let s = stack();
+    let ws = provision_user(s.meta.as_ref(), "alice", "Docs").unwrap();
+    let a = DesktopClient::connect(&s.broker, &s.store, small_config("alice", "laptop"), &ws)
+        .unwrap();
+    let b = DesktopClient::connect(&s.broker, &s.store, small_config("alice", "phone"), &ws)
+        .unwrap();
+    a.write_file("empty.txt", vec![]).unwrap();
+    assert!(b.wait_for_content("empty.txt", b"", T));
+}
+
+#[test]
+fn get_workspaces_rpc_through_middleware() {
+    let s = stack();
+    let ws = provision_user(s.meta.as_ref(), "alice", "Docs").unwrap();
+    let proxy = s.broker.lookup(stacksync::SYNC_SERVICE_OID).unwrap();
+    let result = proxy
+        .call_sync(
+            "get_workspaces",
+            vec![wire::Value::from("alice")],
+            Duration::from_millis(1500),
+            5,
+        )
+        .unwrap();
+    let list = result.as_list().unwrap();
+    assert_eq!(list.len(), 1);
+    assert_eq!(
+        list[0].field("id").unwrap().as_str().unwrap(),
+        ws.0.as_str()
+    );
+}
+
+#[test]
+fn cdc_chunking_strategy_syncs_and_saves_prepend_traffic() {
+    // The paper's pluggable-chunking hook: a CDC client re-uploads far
+    // less than a fixed-chunking client when a file is modified at the
+    // beginning (the boundary-shifting problem).
+    let s = stack();
+    let ws = provision_user(s.meta.as_ref(), "alice", "Docs").unwrap();
+    let fixed_dev = DesktopClient::connect(
+        &s.broker,
+        &s.store,
+        ClientConfig::new("alice", "fixed-dev").with_chunk_size(2048),
+        &ws,
+    )
+    .unwrap();
+
+    // Separate user so the chunk stores do not cross-pollinate.
+    provision_user(s.meta.as_ref(), "bob", "Docs").unwrap();
+    let ws_b = s.meta.workspaces_of("bob").unwrap()[0].id.clone();
+    let cdc_dev = DesktopClient::connect(
+        &s.broker,
+        &s.store,
+        ClientConfig::new("bob", "cdc-dev").with_cdc(512, 8192, 11, 48),
+        &ws_b,
+    )
+    .unwrap();
+
+    // Identical pseudo-random content for both.
+    let base: Vec<u8> = (0..60_000u32)
+        .map(|i| (i.wrapping_mul(2654435761) >> 24) as u8)
+        .collect();
+    let mut prepended = vec![0xAB; 16];
+    prepended.extend_from_slice(&base);
+
+    fixed_dev.write_file("doc.bin", base.clone()).unwrap();
+    cdc_dev.write_file("doc.bin", base.clone()).unwrap();
+    let fixed_before = fixed_dev.stats().chunks_uploaded();
+    let cdc_before = cdc_dev.stats().chunks_uploaded();
+
+    fixed_dev.write_file("doc.bin", prepended.clone()).unwrap();
+    cdc_dev.write_file("doc.bin", prepended.clone()).unwrap();
+    let fixed_new = fixed_dev.stats().chunks_uploaded() - fixed_before;
+    let cdc_new = cdc_dev.stats().chunks_uploaded() - cdc_before;
+
+    assert!(
+        fixed_new >= 25,
+        "fixed chunking must re-upload nearly all ~30 chunks, got {fixed_new}"
+    );
+    assert!(
+        cdc_new * 3 < fixed_new,
+        "CDC must re-upload far fewer chunks: cdc {cdc_new} vs fixed {fixed_new}"
+    );
+
+    // And the CDC workspace still syncs correctly to a second device.
+    let verifier = DesktopClient::connect(
+        &s.broker,
+        &s.store,
+        ClientConfig::new("bob", "verifier").with_cdc(512, 8192, 11, 48),
+        &ws_b,
+    )
+    .unwrap();
+    assert_eq!(verifier.read_file("doc.bin").unwrap(), prepended);
+}
+
+#[test]
+fn shared_workspace_across_users() {
+    // Alice shares her workspace with Bob: metadata membership plus a
+    // storage-layer container grant (Swift ACLs). Bob's device then reads
+    // Alice's chunks from *her* container and contributes its own.
+    let s = stack();
+    let ws = provision_user(s.meta.as_ref(), "alice", "Shared").unwrap();
+    let alice = DesktopClient::connect(&s.broker, &s.store, small_config("alice", "a-laptop"), &ws)
+        .unwrap();
+    alice.write_file("spec.md", b"# spec v1".to_vec()).unwrap();
+    assert!(alice.wait(T, || s.service.commits_processed() >= 1));
+
+    // Share: metadata membership + storage grant on alice's container.
+    s.meta.create_user("bob").unwrap();
+    s.meta.share_workspace(&ws, "bob").unwrap();
+    let alice_token = s.store.authenticate("alice", "pw-alice").unwrap();
+    s.store
+        .grant_access(&alice_token, "alice-chunks", "bob")
+        .unwrap();
+
+    // Bob sees the workspace in his listing and connects to it.
+    let bobs = s.meta.workspaces_of("bob").unwrap();
+    assert_eq!(bobs.len(), 1);
+    assert_eq!(bobs[0].id, ws);
+    assert_eq!(bobs[0].members, vec!["bob".to_string()]);
+    let bob = DesktopClient::connect(&s.broker, &s.store, small_config("bob", "b-laptop"), &ws)
+        .unwrap();
+    assert_eq!(bob.read_file("spec.md").unwrap(), b"# spec v1");
+
+    // Bob contributes; Alice receives.
+    bob.write_file("notes.md", b"from bob".to_vec()).unwrap();
+    assert!(alice.wait_for_content("notes.md", b"from bob", T));
+
+    // Bob edits Alice's file; version chain continues.
+    bob.write_file("spec.md", b"# spec v2 (bob)".to_vec()).unwrap();
+    assert!(alice.wait_for_content("spec.md", b"# spec v2 (bob)", T));
+    assert_eq!(alice.file_version("spec.md"), Some(2));
+}
+
+#[test]
+fn unshared_user_cannot_read_foreign_chunks() {
+    // Without a grant, connecting to someone else's workspace fails at the
+    // storage layer (the metadata leak is a separate policy; chunk bytes
+    // stay protected).
+    let s = stack();
+    let ws = provision_user(s.meta.as_ref(), "alice", "Private").unwrap();
+    let alice = DesktopClient::connect(&s.broker, &s.store, small_config("alice", "a-dev"), &ws)
+        .unwrap();
+    alice.write_file("secret.txt", b"classified".to_vec()).unwrap();
+    assert!(alice.wait(T, || s.service.commits_processed() >= 1));
+
+    s.meta.create_user("eve").unwrap();
+    // Eve knows the workspace id but has no storage grant: connect must
+    // fail while materializing alice's chunks.
+    let result = DesktopClient::connect(&s.broker, &s.store, small_config("eve", "e-dev"), &ws);
+    assert!(result.is_err(), "chunk access without a grant must fail");
+}
+
+#[test]
+fn startup_flow_lists_workspaces_then_connects() {
+    // The paper's client startup: getWorkspaces → pick one → getChanges.
+    let s = stack();
+    provision_user(s.meta.as_ref(), "alice", "Docs").unwrap();
+    let second = s.meta.create_workspace("alice", "Photos").unwrap();
+    let cfg = small_config("alice", "laptop");
+    let mut workspaces = DesktopClient::workspaces(&s.broker, &cfg).unwrap();
+    workspaces.sort_by(|a, b| a.name.cmp(&b.name));
+    assert_eq!(workspaces.len(), 2);
+    assert_eq!(workspaces[0].name, "Docs");
+    assert_eq!(workspaces[1].name, "Photos");
+    assert_eq!(workspaces[1].id, second);
+
+    let client = DesktopClient::connect(&s.broker, &s.store, cfg, &workspaces[1].id).unwrap();
+    client.write_file("cat.jpg", vec![1, 2, 3]).unwrap();
+    assert!(client.wait(T, || s.service.commits_processed() >= 1));
+
+    // Unknown users get a remote error, not a panic.
+    let ghost_cfg = small_config("ghost", "x");
+    assert!(DesktopClient::workspaces(&s.broker, &ghost_cfg).is_err());
+}
+
+#[test]
+fn rename_costs_metadata_only_and_propagates() {
+    let s = stack();
+    let ws = provision_user(s.meta.as_ref(), "alice", "Docs").unwrap();
+    let a = DesktopClient::connect(&s.broker, &s.store, small_config("alice", "laptop"), &ws)
+        .unwrap();
+    let b = DesktopClient::connect(&s.broker, &s.store, small_config("alice", "phone"), &ws)
+        .unwrap();
+
+    let payload = vec![5u8; 9000];
+    a.write_file("old-name.bin", payload.clone()).unwrap();
+    assert!(b.wait_for_content("old-name.bin", &payload, T));
+    let uploads_before = a.stats().chunks_uploaded();
+
+    a.rename_file("old-name.bin", "new-name.bin").unwrap();
+    assert!(b.wait_for_content("new-name.bin", &payload, T));
+    assert!(b.wait_for_absent("old-name.bin", T));
+    assert_eq!(
+        a.stats().chunks_uploaded(),
+        uploads_before,
+        "a rename must not re-upload any chunk (dedup)"
+    );
+    // Renaming a missing file errors.
+    assert!(a.rename_file("ghost.bin", "x.bin").is_err());
+}

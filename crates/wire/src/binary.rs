@@ -1,0 +1,311 @@
+//! Compact binary codec: one tag byte per value, zigzag varints for
+//! integers, length-prefixed strings/bytes/containers. This is the Kryo
+//! stand-in and the default ObjectMQ transport.
+
+use crate::error::{WireError, WireResult};
+use crate::value::Value;
+use crate::Codec;
+
+const TAG_NULL: u8 = 0x00;
+const TAG_FALSE: u8 = 0x01;
+const TAG_TRUE: u8 = 0x02;
+const TAG_I64: u8 = 0x03;
+const TAG_U64: u8 = 0x04;
+const TAG_F64: u8 = 0x05;
+const TAG_STR: u8 = 0x06;
+const TAG_BYTES: u8 = 0x07;
+const TAG_LIST: u8 = 0x08;
+const TAG_MAP: u8 = 0x09;
+
+/// The compact binary transport.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BinaryCodec;
+
+impl Codec for BinaryCodec {
+    fn encode(&self, value: &Value) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        write_value(&mut out, value);
+        out
+    }
+
+    fn decode(&self, bytes: &[u8]) -> WireResult<Value> {
+        let mut reader = Reader { bytes, pos: 0 };
+        let value = read_value(&mut reader)?;
+        if reader.pos != bytes.len() {
+            return Err(WireError::TrailingBytes(bytes.len() - reader.pos));
+        }
+        Ok(value)
+    }
+
+    fn name(&self) -> &'static str {
+        "binary"
+    }
+}
+
+fn write_value(out: &mut Vec<u8>, value: &Value) {
+    match value {
+        Value::Null => out.push(TAG_NULL),
+        Value::Bool(false) => out.push(TAG_FALSE),
+        Value::Bool(true) => out.push(TAG_TRUE),
+        Value::I64(v) => {
+            out.push(TAG_I64);
+            write_varint(out, zigzag(*v));
+        }
+        Value::U64(v) => {
+            out.push(TAG_U64);
+            write_varint(out, *v);
+        }
+        Value::F64(v) => {
+            out.push(TAG_F64);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(TAG_STR);
+            write_varint(out, s.len() as u64);
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Bytes(b) => {
+            out.push(TAG_BYTES);
+            write_varint(out, b.len() as u64);
+            out.extend_from_slice(b);
+        }
+        Value::List(items) => {
+            out.push(TAG_LIST);
+            write_varint(out, items.len() as u64);
+            for item in items {
+                write_value(out, item);
+            }
+        }
+        Value::Map(entries) => {
+            out.push(TAG_MAP);
+            write_varint(out, entries.len() as u64);
+            for (key, item) in entries {
+                write_varint(out, key.len() as u64);
+                out.extend_from_slice(key.as_bytes());
+                write_value(out, item);
+            }
+        }
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn byte(&mut self) -> WireResult<u8> {
+        let b = *self.bytes.get(self.pos).ok_or(WireError::UnexpectedEof)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn take(&mut self, n: usize) -> WireResult<&'a [u8]> {
+        if self.pos + n > self.bytes.len() {
+            return Err(WireError::UnexpectedEof);
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+}
+
+fn read_value(r: &mut Reader<'_>) -> WireResult<Value> {
+    match r.byte()? {
+        TAG_NULL => Ok(Value::Null),
+        TAG_FALSE => Ok(Value::Bool(false)),
+        TAG_TRUE => Ok(Value::Bool(true)),
+        TAG_I64 => Ok(Value::I64(unzigzag(read_varint(r)?))),
+        TAG_U64 => Ok(Value::U64(read_varint(r)?)),
+        TAG_F64 => {
+            let raw = r.take(8)?;
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(raw);
+            Ok(Value::F64(f64::from_le_bytes(buf)))
+        }
+        TAG_STR => {
+            let len = read_len(r)?;
+            let raw = r.take(len)?;
+            let s = std::str::from_utf8(raw).map_err(|_| WireError::InvalidUtf8)?;
+            Ok(Value::Str(s.to_string()))
+        }
+        TAG_BYTES => {
+            let len = read_len(r)?;
+            Ok(Value::Bytes(r.take(len)?.to_vec()))
+        }
+        TAG_LIST => {
+            let len = read_len(r)?;
+            let mut items = Vec::with_capacity(len.min(4096));
+            for _ in 0..len {
+                items.push(read_value(r)?);
+            }
+            Ok(Value::List(items))
+        }
+        TAG_MAP => {
+            let len = read_len(r)?;
+            let mut entries = Vec::with_capacity(len.min(4096));
+            for _ in 0..len {
+                let key_len = read_len(r)?;
+                let raw = r.take(key_len)?;
+                let key = std::str::from_utf8(raw)
+                    .map_err(|_| WireError::InvalidUtf8)?
+                    .to_string();
+                entries.push((key, read_value(r)?));
+            }
+            Ok(Value::Map(entries))
+        }
+        tag => Err(WireError::UnknownTag(tag)),
+    }
+}
+
+fn read_len(r: &mut Reader<'_>) -> WireResult<usize> {
+    let len = read_varint(r)?;
+    usize::try_from(len).map_err(|_| WireError::VarintOverflow)
+}
+
+fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn read_varint(r: &mut Reader<'_>) -> WireResult<u64> {
+    let mut result: u64 = 0;
+    for shift in (0..64).step_by(7) {
+        let byte = r.byte()?;
+        result |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            // Reject non-canonical bits beyond 64.
+            if shift == 63 && byte > 1 {
+                return Err(WireError::VarintOverflow);
+            }
+            return Ok(result);
+        }
+    }
+    Err(WireError::VarintOverflow)
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        let cases = [
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::I64(0),
+            Value::I64(-1),
+            Value::I64(i64::MIN),
+            Value::I64(i64::MAX),
+            Value::U64(0),
+            Value::U64(u64::MAX),
+            Value::F64(0.0),
+            Value::F64(-3.25),
+            Value::Str(String::new()),
+            Value::Str("κόσμος".into()),
+            Value::Bytes(vec![]),
+            Value::Bytes((0..=255).collect()),
+        ];
+        for v in cases {
+            assert_eq!(BinaryCodec.decode(&BinaryCodec.encode(&v)).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn small_ints_are_two_bytes() {
+        assert_eq!(BinaryCodec.encode(&Value::I64(5)).len(), 2);
+        assert_eq!(BinaryCodec.encode(&Value::I64(-5)).len(), 2);
+    }
+
+    #[test]
+    fn truncated_input_fails_cleanly() {
+        let bytes = BinaryCodec.encode(&Value::Str("hello".into()));
+        for cut in 0..bytes.len() {
+            assert!(BinaryCodec.decode(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = BinaryCodec.encode(&Value::Null);
+        bytes.push(0x00);
+        assert!(matches!(
+            BinaryCodec.decode(&bytes),
+            Err(WireError::TrailingBytes(1))
+        ));
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert!(matches!(
+            BinaryCodec.decode(&[0x7f]),
+            Err(WireError::UnknownTag(0x7f))
+        ));
+    }
+
+    #[test]
+    fn zigzag_inverts() {
+        for v in [0i64, 1, -1, 42, -42, i64::MIN, i64::MAX] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    fn arb_value() -> impl Strategy<Value = Value> {
+        let leaf = prop_oneof![
+            Just(Value::Null),
+            any::<bool>().prop_map(Value::Bool),
+            any::<i64>().prop_map(Value::I64),
+            any::<u64>().prop_map(Value::U64),
+            // Finite floats only: NaN breaks PartialEq-based comparison.
+            (-1e12f64..1e12).prop_map(Value::F64),
+            ".{0,24}".prop_map(Value::Str),
+            proptest::collection::vec(any::<u8>(), 0..64).prop_map(Value::Bytes),
+        ];
+        leaf.prop_recursive(3, 48, 6, |inner| {
+            prop_oneof![
+                proptest::collection::vec(inner.clone(), 0..6).prop_map(Value::List),
+                proptest::collection::vec((".{0,8}", inner), 0..6)
+                    .prop_map(|entries| Value::Map(entries)),
+            ]
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_binary_roundtrip(v in arb_value()) {
+            let bytes = BinaryCodec.encode(&v);
+            prop_assert_eq!(BinaryCodec.decode(&bytes).unwrap(), v);
+        }
+
+        #[test]
+        fn prop_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = BinaryCodec.decode(&bytes);
+        }
+
+        #[test]
+        fn prop_varint_roundtrip(v in any::<u64>()) {
+            let mut out = Vec::new();
+            write_varint(&mut out, v);
+            let mut r = Reader { bytes: &out, pos: 0 };
+            prop_assert_eq!(read_varint(&mut r).unwrap(), v);
+            prop_assert_eq!(r.pos, out.len());
+        }
+    }
+}

@@ -1,0 +1,424 @@
+//! The self-describing value model.
+
+use crate::error::{WireError, WireResult};
+use std::fmt;
+
+/// A self-describing value: the common data model every codec serializes.
+///
+/// Maps preserve insertion order (they are association lists, not hash maps)
+/// so encodings are deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absence of a value.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed 64-bit integer.
+    I64(i64),
+    /// An unsigned 64-bit integer.
+    U64(u64),
+    /// A 64-bit float.
+    F64(f64),
+    /// A UTF-8 string.
+    Str(String),
+    /// An opaque byte string (chunk fingerprints, payloads).
+    Bytes(Vec<u8>),
+    /// An ordered list of values.
+    List(Vec<Value>),
+    /// An ordered string-keyed map.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in a `Map` value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Convenience accessor returning the contained `i64`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::TypeMismatch`] unless the value is `I64` (or a `U64` that
+    /// fits).
+    pub fn as_i64(&self) -> WireResult<i64> {
+        match self {
+            Value::I64(v) => Ok(*v),
+            Value::U64(v) if *v <= i64::MAX as u64 => Ok(*v as i64),
+            other => Err(WireError::TypeMismatch {
+                expected: "i64",
+                found: other.kind(),
+            }),
+        }
+    }
+
+    /// Convenience accessor returning the contained `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::TypeMismatch`] unless the value is a non-negative integer.
+    pub fn as_u64(&self) -> WireResult<u64> {
+        match self {
+            Value::U64(v) => Ok(*v),
+            Value::I64(v) if *v >= 0 => Ok(*v as u64),
+            other => Err(WireError::TypeMismatch {
+                expected: "u64",
+                found: other.kind(),
+            }),
+        }
+    }
+
+    /// Convenience accessor returning the contained `f64`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::TypeMismatch`] unless the value is numeric.
+    pub fn as_f64(&self) -> WireResult<f64> {
+        match self {
+            Value::F64(v) => Ok(*v),
+            Value::I64(v) => Ok(*v as f64),
+            Value::U64(v) => Ok(*v as f64),
+            other => Err(WireError::TypeMismatch {
+                expected: "f64",
+                found: other.kind(),
+            }),
+        }
+    }
+
+    /// Convenience accessor returning the contained string.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::TypeMismatch`] unless the value is `Str`.
+    pub fn as_str(&self) -> WireResult<&str> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(WireError::TypeMismatch {
+                expected: "str",
+                found: other.kind(),
+            }),
+        }
+    }
+
+    /// Convenience accessor returning the contained bool.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::TypeMismatch`] unless the value is `Bool`.
+    pub fn as_bool(&self) -> WireResult<bool> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(WireError::TypeMismatch {
+                expected: "bool",
+                found: other.kind(),
+            }),
+        }
+    }
+
+    /// Convenience accessor returning the contained bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::TypeMismatch`] unless the value is `Bytes`.
+    pub fn as_bytes(&self) -> WireResult<&[u8]> {
+        match self {
+            Value::Bytes(b) => Ok(b),
+            other => Err(WireError::TypeMismatch {
+                expected: "bytes",
+                found: other.kind(),
+            }),
+        }
+    }
+
+    /// Convenience accessor returning the contained list.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::TypeMismatch`] unless the value is `List`.
+    pub fn as_list(&self) -> WireResult<&[Value]> {
+        match self {
+            Value::List(l) => Ok(l),
+            other => Err(WireError::TypeMismatch {
+                expected: "list",
+                found: other.kind(),
+            }),
+        }
+    }
+
+    /// Returns the field of a map value, erroring when absent.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::MissingField`] when the key is not present (or the value
+    /// is not a map).
+    pub fn field(&self, key: &str) -> WireResult<&Value> {
+        self.get(key)
+            .ok_or_else(|| WireError::MissingField(key.to_string()))
+    }
+
+    /// Short type name for diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) => "i64",
+            Value::U64(_) => "u64",
+            Value::F64(_) => "f64",
+            Value::Str(_) => "str",
+            Value::Bytes(_) => "bytes",
+            Value::List(_) => "list",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", crate::json::to_json_string(self))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::I64(v as i64)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<Vec<u8>> for Value {
+    fn from(v: Vec<u8>) -> Self {
+        Value::Bytes(v)
+    }
+}
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::List(v.into_iter().map(Into::into).collect())
+    }
+}
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        match v {
+            Some(x) => x.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl FromIterator<(String, Value)> for Value {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        Value::Map(iter.into_iter().collect())
+    }
+}
+
+/// Conversion of a domain type into the wire data model.
+pub trait ToValue {
+    /// Lowers `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstruction of a domain type from the wire data model.
+pub trait FromValue: Sized {
+    /// Rebuilds `Self` from a [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] when the value has the wrong shape.
+    fn from_value(value: &Value) -> WireResult<Self>;
+}
+
+impl ToValue for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl FromValue for Value {
+    fn from_value(value: &Value) -> WireResult<Self> {
+        Ok(value.clone())
+    }
+}
+impl ToValue for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl FromValue for String {
+    fn from_value(value: &Value) -> WireResult<Self> {
+        Ok(value.as_str()?.to_string())
+    }
+}
+impl ToValue for i64 {
+    fn to_value(&self) -> Value {
+        Value::I64(*self)
+    }
+}
+impl FromValue for i64 {
+    fn from_value(value: &Value) -> WireResult<Self> {
+        value.as_i64()
+    }
+}
+impl ToValue for u64 {
+    fn to_value(&self) -> Value {
+        Value::U64(*self)
+    }
+}
+impl FromValue for u64 {
+    fn from_value(value: &Value) -> WireResult<Self> {
+        value.as_u64()
+    }
+}
+impl ToValue for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl FromValue for bool {
+    fn from_value(value: &Value) -> WireResult<Self> {
+        value.as_bool()
+    }
+}
+impl ToValue for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl FromValue for f64 {
+    fn from_value(value: &Value) -> WireResult<Self> {
+        value.as_f64()
+    }
+}
+impl ToValue for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+impl FromValue for () {
+    fn from_value(value: &Value) -> WireResult<Self> {
+        match value {
+            Value::Null => Ok(()),
+            other => Err(WireError::TypeMismatch {
+                expected: "null",
+                found: other.kind(),
+            }),
+        }
+    }
+}
+impl<T: ToValue> ToValue for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::List(self.iter().map(ToValue::to_value).collect())
+    }
+}
+impl<T: FromValue> FromValue for Vec<T> {
+    fn from_value(value: &Value) -> WireResult<Self> {
+        value.as_list()?.iter().map(T::from_value).collect()
+    }
+}
+impl<T: ToValue> ToValue for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: FromValue> FromValue for Option<T> {
+    fn from_value(value: &Value) -> WireResult<Self> {
+        match value {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_get_finds_keys() {
+        let v = Value::Map(vec![
+            ("a".into(), Value::I64(1)),
+            ("b".into(), Value::I64(2)),
+        ]);
+        assert_eq!(v.get("b"), Some(&Value::I64(2)));
+        assert_eq!(v.get("z"), None);
+        assert!(matches!(v.field("z"), Err(WireError::MissingField(_))));
+    }
+
+    #[test]
+    fn accessor_type_mismatch() {
+        let v = Value::Str("x".into());
+        assert!(v.as_i64().is_err());
+        assert!(v.as_bool().is_err());
+        assert!(v.as_bytes().is_err());
+        assert_eq!(v.as_str().unwrap(), "x");
+    }
+
+    #[test]
+    fn integer_cross_width_coercion() {
+        assert_eq!(Value::U64(5).as_i64().unwrap(), 5);
+        assert_eq!(Value::I64(5).as_u64().unwrap(), 5);
+        assert!(Value::I64(-1).as_u64().is_err());
+        assert!(Value::U64(u64::MAX).as_i64().is_err());
+    }
+
+    #[test]
+    fn option_roundtrip() {
+        let some: Option<i64> = Some(9);
+        let none: Option<i64> = None;
+        assert_eq!(Option::<i64>::from_value(&some.to_value()).unwrap(), some);
+        assert_eq!(Option::<i64>::from_value(&none.to_value()).unwrap(), none);
+    }
+
+    #[test]
+    fn vec_roundtrip() {
+        let v = vec![1i64, 2, 3];
+        assert_eq!(Vec::<i64>::from_value(&v.to_value()).unwrap(), v);
+    }
+
+    #[test]
+    fn display_is_json() {
+        let v = Value::List(vec![Value::Bool(true), Value::Null]);
+        assert_eq!(v.to_string(), "[true,null]");
+    }
+}

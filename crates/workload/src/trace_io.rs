@@ -1,0 +1,211 @@
+//! Trace persistence: save and load generated traces as JSON.
+//!
+//! The paper publishes its "source code and data traces"; this module is
+//! the equivalent facility, so an experiment can be re-run bit-for-bit
+//! from a stored trace file instead of a generator configuration.
+
+use crate::changes::ChangePattern;
+use crate::generator::{Trace, TraceOp};
+use std::path::Path;
+use wire::{Codec, JsonCodec, Value, WireError, WireResult};
+
+fn pattern_name(p: ChangePattern) -> &'static str {
+    match p {
+        ChangePattern::B => "B",
+        ChangePattern::E => "E",
+        ChangePattern::M => "M",
+        ChangePattern::BE => "BE",
+        ChangePattern::BM => "BM",
+        ChangePattern::EM => "EM",
+    }
+}
+
+fn pattern_from_name(s: &str) -> WireResult<ChangePattern> {
+    Ok(match s {
+        "B" => ChangePattern::B,
+        "E" => ChangePattern::E,
+        "M" => ChangePattern::M,
+        "BE" => ChangePattern::BE,
+        "BM" => ChangePattern::BM,
+        "EM" => ChangePattern::EM,
+        other => return Err(WireError::Invalid(format!("unknown pattern `{other}`"))),
+    })
+}
+
+fn op_to_value(op: &TraceOp) -> Value {
+    match op {
+        TraceOp::Add {
+            path,
+            size,
+            content_seed,
+        } => Value::Map(vec![
+            ("op".into(), Value::from("ADD")),
+            ("path".into(), Value::from(path.as_str())),
+            ("size".into(), Value::U64(*size)),
+            ("seed".into(), Value::U64(*content_seed)),
+        ]),
+        TraceOp::Update {
+            path,
+            pattern,
+            edit_size,
+            content_seed,
+        } => Value::Map(vec![
+            ("op".into(), Value::from("UPDATE")),
+            ("path".into(), Value::from(path.as_str())),
+            ("pattern".into(), Value::from(pattern_name(*pattern))),
+            ("edit".into(), Value::U64(*edit_size as u64)),
+            ("seed".into(), Value::U64(*content_seed)),
+        ]),
+        TraceOp::Remove { path } => Value::Map(vec![
+            ("op".into(), Value::from("REMOVE")),
+            ("path".into(), Value::from(path.as_str())),
+        ]),
+    }
+}
+
+fn op_from_value(value: &Value) -> WireResult<TraceOp> {
+    let path = value.field("path")?.as_str()?.to_string();
+    Ok(match value.field("op")?.as_str()? {
+        "ADD" => TraceOp::Add {
+            path,
+            size: value.field("size")?.as_u64()?,
+            content_seed: value.field("seed")?.as_u64()?,
+        },
+        "UPDATE" => TraceOp::Update {
+            path,
+            pattern: pattern_from_name(value.field("pattern")?.as_str()?)?,
+            edit_size: value.field("edit")?.as_u64()? as usize,
+            content_seed: value.field("seed")?.as_u64()?,
+        },
+        "REMOVE" => TraceOp::Remove { path },
+        other => return Err(WireError::Invalid(format!("unknown op `{other}`"))),
+    })
+}
+
+impl Trace {
+    /// Lowers the trace into the wire data model.
+    pub fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("format".into(), Value::from("stacksync-trace-v1")),
+            (
+                "ops".into(),
+                Value::List(self.ops.iter().map(op_to_value).collect()),
+            ),
+        ])
+    }
+
+    /// Rebuilds a trace from the wire data model.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] when the value is not a v1 trace.
+    pub fn from_value(value: &Value) -> WireResult<Self> {
+        let format = value.field("format")?.as_str()?;
+        if format != "stacksync-trace-v1" {
+            return Err(WireError::Invalid(format!(
+                "unsupported trace format `{format}`"
+            )));
+        }
+        Ok(Trace {
+            ops: value
+                .field("ops")?
+                .as_list()?
+                .iter()
+                .map(op_from_value)
+                .collect::<WireResult<Vec<TraceOp>>>()?,
+        })
+    }
+
+    /// Serializes the trace as JSON bytes.
+    pub fn to_json(&self) -> Vec<u8> {
+        JsonCodec.encode(&self.to_value())
+    }
+
+    /// Parses a trace from JSON bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on malformed JSON or an unexpected schema.
+    pub fn from_json(bytes: &[u8]) -> WireResult<Self> {
+        Self::from_value(&JsonCodec.decode(bytes)?)
+    }
+
+    /// Writes the trace to a JSON file.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the filesystem.
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Loads a trace from a JSON file.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or a [`WireError`] (wrapped as `InvalidData`) when the
+    /// file does not contain a v1 trace.
+    pub fn load(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let bytes = std::fs::read(path)?;
+        Self::from_json(&bytes)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::GeneratorConfig;
+
+    #[test]
+    fn value_roundtrip() {
+        let trace = Trace::generate(&GeneratorConfig::test_scale());
+        let back = Trace::from_value(&trace.to_value()).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let trace = Trace::generate(&GeneratorConfig::test_scale());
+        let back = Trace::from_json(&trace.to_json()).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let trace = Trace::generate(&GeneratorConfig::test_scale());
+        let path = std::env::temp_dir().join(format!("trace-io-test-{}.json", std::process::id()));
+        trace.save(&path).unwrap();
+        let back = Trace::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn wrong_format_rejected() {
+        let bogus = Value::Map(vec![("format".into(), Value::from("v999"))]);
+        assert!(Trace::from_value(&bogus).is_err());
+        assert!(Trace::from_json(b"{\"nope\": 1}").is_err());
+        assert!(Trace::from_json(b"not json").is_err());
+    }
+
+    #[test]
+    fn all_patterns_roundtrip() {
+        for p in [
+            ChangePattern::B,
+            ChangePattern::E,
+            ChangePattern::M,
+            ChangePattern::BE,
+            ChangePattern::BM,
+            ChangePattern::EM,
+        ] {
+            assert_eq!(pattern_from_name(pattern_name(p)).unwrap(), p);
+        }
+        assert!(pattern_from_name("X").is_err());
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        assert!(Trace::load("/definitely/not/here.json").is_err());
+    }
+}

@@ -1,0 +1,251 @@
+//! Ubuntu One arrival-trace synthesizer (paper §5.3.1).
+//!
+//! The paper drives its elasticity experiments with an anonymized trace of
+//! commit-request arrivals to the Ubuntu One control servers (November
+//! 2013): a full week to train the predictive provisioner plus "day 8" as
+//! the experiment input, with a peak of 8,514 requests per minute. The
+//! trace was never published, so this module synthesizes an arrival
+//! process with the properties the paper (and the measurement studies it
+//! cites) attribute to Personal Cloud workloads:
+//!
+//! * strong diurnal seasonality — peak around noon, trough in the night;
+//! * weekly structure — weekends noticeably quieter;
+//! * day-to-day similarity — day 8 "closely resembles" the previous week;
+//! * short-term burstiness — multiplicative noise and occasional flash
+//!   spikes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Synthesizer parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ub1Config {
+    /// Peak arrival rate, requests per minute (paper: 8,514).
+    pub peak_per_min: f64,
+    /// Trough-to-peak ratio (nighttime floor).
+    pub trough_ratio: f64,
+    /// Weekend dampening factor.
+    pub weekend_factor: f64,
+    /// Std-dev of the multiplicative lognormal noise.
+    pub noise_sigma: f64,
+    /// Expected flash-crowd bursts per day.
+    pub bursts_per_day: f64,
+    /// Burst magnitude as a multiple of the local rate.
+    pub burst_multiplier: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Ub1Config {
+    fn default() -> Self {
+        Ub1Config {
+            peak_per_min: 8514.0,
+            trough_ratio: 0.18,
+            weekend_factor: 0.70,
+            noise_sigma: 0.08,
+            bursts_per_day: 1.5,
+            burst_multiplier: 1.8,
+            seed: 20131101,
+        }
+    }
+}
+
+/// A synthesized arrival trace: one entry per minute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ub1Trace {
+    /// Arrivals per minute, minute 0 = 00:00 of day 1.
+    pub per_minute: Vec<f64>,
+}
+
+const MINUTES_PER_DAY: usize = 24 * 60;
+
+impl Ub1Trace {
+    /// Synthesizes `days` days of arrivals.
+    pub fn synthesize(config: &Ub1Config, days: usize) -> Ub1Trace {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut per_minute = Vec::with_capacity(days * MINUTES_PER_DAY);
+        for day in 0..days {
+            // Weekends: days 6 and 7 of each week.
+            let weekly = if day % 7 >= 5 {
+                config.weekend_factor
+            } else {
+                1.0
+            };
+            // A couple of burst windows per day.
+            let mut bursts: Vec<(usize, usize, f64)> = Vec::new();
+            let n_bursts = {
+                let mut n = 0;
+                let mut expect = config.bursts_per_day;
+                while expect > 0.0 {
+                    if expect >= 1.0 || rng.gen::<f64>() < expect {
+                        n += 1;
+                    }
+                    expect -= 1.0;
+                }
+                n
+            };
+            for _ in 0..n_bursts {
+                let start = rng.gen_range(0..MINUTES_PER_DAY);
+                let len = rng.gen_range(3..20);
+                let magnitude = 1.0 + (config.burst_multiplier - 1.0) * rng.gen::<f64>();
+                bursts.push((start, start + len, magnitude));
+            }
+            for minute in 0..MINUTES_PER_DAY {
+                let seasonal = Self::diurnal_shape(minute);
+                let base = config.peak_per_min
+                    * weekly
+                    * (config.trough_ratio + (1.0 - config.trough_ratio) * seasonal);
+                // Multiplicative lognormal noise.
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                let noise = (config.noise_sigma * z).exp();
+                let burst = bursts
+                    .iter()
+                    .filter(|(s, e, _)| (*s..*e).contains(&minute))
+                    .map(|(_, _, m)| *m)
+                    .fold(1.0, f64::max);
+                per_minute.push((base * noise * burst).max(0.0));
+            }
+        }
+        Ub1Trace { per_minute }
+    }
+
+    /// The diurnal profile in `[0, 1]`: trough ≈ 04:00, peak ≈ 13:00
+    /// (the paper: "peaks around noon ... minimum level in the middle of
+    /// the night").
+    fn diurnal_shape(minute_of_day: usize) -> f64 {
+        let hours = minute_of_day as f64 / 60.0;
+        // Shifted raised cosine peaking at 13:00.
+        let phase = (hours - 13.0) / 24.0 * std::f64::consts::TAU;
+        (0.5 * (1.0 + phase.cos())).powf(1.3)
+    }
+
+    /// Number of days in the trace.
+    pub fn days(&self) -> usize {
+        self.per_minute.len() / MINUTES_PER_DAY
+    }
+
+    /// One day's slice (0-indexed), arrivals per minute.
+    pub fn day(&self, day: usize) -> &[f64] {
+        &self.per_minute[day * MINUTES_PER_DAY..(day + 1) * MINUTES_PER_DAY]
+    }
+
+    /// Aggregates a day into mean rates (req/s) per slot of `slot_minutes`
+    /// — the feed for the 15-minute predictive provisioner.
+    pub fn day_slot_rates(&self, day: usize, slot_minutes: usize) -> Vec<f64> {
+        self.day(day)
+            .chunks(slot_minutes)
+            .map(|slot| slot.iter().sum::<f64>() / (slot.len() as f64 * 60.0))
+            .collect()
+    }
+
+    /// Concatenated slot rates (req/s) for a day range — e.g. days 0..7 as
+    /// the predictor's training history.
+    pub fn slot_rates(&self, days: std::ops::Range<usize>, slot_minutes: usize) -> Vec<f64> {
+        days.flat_map(|d| self.day_slot_rates(d, slot_minutes))
+            .collect()
+    }
+
+    /// Peak arrivals per minute over a day.
+    pub fn day_peak(&self, day: usize) -> f64 {
+        self.day(day).iter().cloned().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> Ub1Trace {
+        Ub1Trace::synthesize(&Ub1Config::default(), 8)
+    }
+
+    #[test]
+    fn eight_days_of_minutes() {
+        let t = trace();
+        assert_eq!(t.days(), 8);
+        assert_eq!(t.per_minute.len(), 8 * 24 * 60);
+    }
+
+    #[test]
+    fn peak_is_near_the_paper_number() {
+        let t = trace();
+        let peak = t.day_peak(7);
+        assert!(
+            (6000.0..16000.0).contains(&peak),
+            "day-8 peak {peak:.0} should be near 8,514 req/min"
+        );
+    }
+
+    #[test]
+    fn diurnal_pattern_peaks_at_midday_and_troughs_at_night() {
+        let t = trace();
+        let day = t.day(7);
+        let noonish: f64 = day[12 * 60..14 * 60].iter().sum::<f64>() / 120.0;
+        let night: f64 = day[2 * 60..4 * 60].iter().sum::<f64>() / 120.0;
+        assert!(
+            noonish > 2.5 * night,
+            "noon {noonish:.0} must dominate night {night:.0}"
+        );
+    }
+
+    #[test]
+    fn weekends_are_quieter() {
+        let t = trace();
+        // Days 0-4 weekdays, 5-6 weekend under our convention.
+        let weekday_total: f64 = t.day(2).iter().sum();
+        let weekend_total: f64 = t.day(5).iter().sum();
+        assert!(weekend_total < 0.9 * weekday_total);
+    }
+
+    #[test]
+    fn day8_resembles_previous_weekdays() {
+        // Correlation of the day-8 (index 7, a weekday) profile with day 1
+        // must be high — that is the property the predictive provisioner
+        // exploits.
+        let t = trace();
+        let a = t.day_slot_rates(0, 15);
+        let b = t.day_slot_rates(7, 15);
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let (ma, mb) = (mean(&a), mean(&b));
+        let cov: f64 = a.iter().zip(&b).map(|(x, y)| (x - ma) * (y - mb)).sum();
+        let va: f64 = a.iter().map(|x| (x - ma).powi(2)).sum();
+        let vb: f64 = b.iter().map(|y| (y - mb).powi(2)).sum();
+        let corr = cov / (va.sqrt() * vb.sqrt());
+        assert!(corr > 0.95, "day-8/day-1 correlation {corr:.3} too low");
+    }
+
+    #[test]
+    fn slot_rates_aggregate_correctly() {
+        let t = trace();
+        let slots = t.day_slot_rates(0, 15);
+        assert_eq!(slots.len(), 96);
+        // Rate in req/s: slot sum / (15*60).
+        let manual: f64 = t.day(0)[..15].iter().sum::<f64>() / 900.0;
+        assert!((slots[0] - manual).abs() < 1e-9);
+        let week = t.slot_rates(0..7, 15);
+        assert_eq!(week.len(), 7 * 96);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Ub1Trace::synthesize(&Ub1Config::default(), 2);
+        let b = Ub1Trace::synthesize(&Ub1Config::default(), 2);
+        assert_eq!(a, b);
+        let c = Ub1Trace::synthesize(
+            &Ub1Config {
+                seed: 1,
+                ..Ub1Config::default()
+            },
+            2,
+        );
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn rates_are_nonnegative() {
+        let t = trace();
+        assert!(t.per_minute.iter().all(|&r| r >= 0.0));
+    }
+}

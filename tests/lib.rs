@@ -1,0 +1,1 @@
+//! Host crate for the cross-crate integration tests in `tests/tests/`.

@@ -1,0 +1,180 @@
+//! Live elasticity: the whole control loop on the real middleware — a
+//! Supervisor enforcing pool size on RemoteBroker slaves, an AutoScaler
+//! fed by real queue-side observations, and SyncService instances being
+//! spawned/retired while clients keep committing.
+
+use metadata::{InMemoryStore, MetadataStore};
+use mqsim::QueueStats;
+use objectmq::provision::{
+    AutoScaler, GgOneModel, PredictiveProvisioner, ReactiveProvisioner, ScalingPolicy,
+};
+use objectmq::{Broker, RemoteBroker, Supervisor, SupervisorConfig};
+use stacksync::{provision_user, ClientConfig, DesktopClient, SyncService, SyncServiceConfig, SYNC_SERVICE_OID};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use storage::{LatencyModel, SwiftStore};
+
+fn wait_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    cond()
+}
+
+#[test]
+fn autoscaler_grows_live_pool_under_load_and_shrinks_after() {
+    let broker = Broker::in_process();
+    let store = SwiftStore::new(LatencyModel::instant());
+    let meta: Arc<dyn MetadataStore> = Arc::new(InMemoryStore::new());
+    // A deliberately slow service (20 ms per commit) so load is visible.
+    let service = SyncService::with_config(
+        meta.clone(),
+        broker.clone(),
+        SyncServiceConfig {
+            service_delay: Duration::from_millis(20),
+        },
+    );
+
+    // Slaves + supervisor.
+    let node = RemoteBroker::start(broker.clone(), 1).unwrap();
+    node.register_factory(SYNC_SERVICE_OID, service.factory());
+    let supervisor = Supervisor::start(
+        broker.clone(),
+        SupervisorConfig {
+            oid: SYNC_SERVICE_OID.to_string(),
+            check_interval: Duration::from_millis(80),
+            command_timeout: Duration::from_millis(800),
+        },
+    )
+    .unwrap();
+    supervisor.set_target(1);
+    assert!(wait_until(Duration::from_secs(5), || {
+        node.local_count(SYNC_SERVICE_OID) == 1
+    }));
+
+    // A scaling model matched to the injected 20 ms service time with a
+    // 100 ms SLA: capacity ≈ 1/(0.02 + 0.0008/0.16) = 40 req/s.
+    let model = GgOneModel {
+        target_response: 0.100,
+        mean_service: 0.020,
+        var_interarrival: 0.0002,
+        var_service: 0.0002,
+    };
+    let predictive = PredictiveProvisioner::new(model.clone(), Duration::from_secs(900), 0.95);
+    let reactive = ReactiveProvisioner::paper_defaults(model);
+    let mut scaler = AutoScaler::new(predictive, reactive, ScalingPolicy::Reactive);
+
+    let ws = provision_user(meta.as_ref(), "load", "ws").unwrap();
+    let client = DesktopClient::connect(
+        &broker,
+        &store,
+        ClientConfig::new("load", "gen").with_chunk_size(4096),
+        &ws,
+    )
+    .unwrap();
+
+    // Generate bursty commit load for ~1.5 s (target ≈ 100 commits/s —
+    // needs ≥3 instances under the model above).
+    let load_start = Instant::now();
+    let mut i = 0;
+    while load_start.elapsed() < Duration::from_millis(1500) {
+        client
+            .write_file(&format!("burst-{i}.dat"), vec![i as u8; 256])
+            .unwrap();
+        i += 1;
+        std::thread::sleep(Duration::from_millis(8));
+    }
+
+    // Reactive decision from the real queue-side observation.
+    let observed = broker
+        .messaging()
+        .queue_arrival_rate(SYNC_SERVICE_OID)
+        .unwrap();
+    assert!(observed > 10.0, "observed rate too low: {observed}");
+    let target = scaler.reactive_tick(observed).expect("must react");
+    assert!(target >= 2, "load must demand ≥2 instances, got {target}");
+    supervisor.set_target(target);
+    assert!(
+        wait_until(Duration::from_secs(5), || {
+            node.local_count(SYNC_SERVICE_OID) == target
+        }),
+        "pool must reach the scaler target {target}, got {}",
+        node.local_count(SYNC_SERVICE_OID)
+    );
+
+    // All commits must land despite the scaling churn.
+    assert!(
+        wait_until(Duration::from_secs(20), || {
+            service.commits_processed() as usize >= i
+        }),
+        "all {i} commits must be processed, got {}",
+        service.commits_processed()
+    );
+
+    // Load stops; the scaler shrinks the pool back.
+    std::thread::sleep(Duration::from_millis(600));
+    let idle_rate = 0.5; // post-burst observation
+    if let Some(down) = scaler.reactive_tick(idle_rate) {
+        supervisor.set_target(down);
+    }
+    assert!(
+        wait_until(Duration::from_secs(5), || {
+            node.local_count(SYNC_SERVICE_OID) == 1
+        }),
+        "pool must shrink to 1, got {}",
+        node.local_count(SYNC_SERVICE_OID)
+    );
+
+    supervisor.stop();
+    node.stop();
+}
+
+#[test]
+fn queue_stats_expose_provisioning_signals() {
+    // The fine-grained metrics the paper argues for: queue depth and
+    // arrival rate must be observable while a slow pool lags behind.
+    let broker = Broker::in_process();
+    let store = SwiftStore::new(LatencyModel::instant());
+    let meta: Arc<dyn MetadataStore> = Arc::new(InMemoryStore::new());
+    let service = SyncService::with_config(
+        meta.clone(),
+        broker.clone(),
+        SyncServiceConfig {
+            service_delay: Duration::from_millis(50),
+        },
+    );
+    let server = service.bind(&broker).unwrap();
+    let ws = provision_user(meta.as_ref(), "sig", "ws").unwrap();
+    let client = DesktopClient::connect(
+        &broker,
+        &store,
+        ClientConfig::new("sig", "dev").with_chunk_size(4096),
+        &ws,
+    )
+    .unwrap();
+
+    for i in 0..30 {
+        client
+            .write_file(&format!("f{i}"), vec![0u8; 64])
+            .unwrap();
+    }
+    let stats: QueueStats = broker.messaging().queue_stats(SYNC_SERVICE_OID).unwrap();
+    assert!(stats.published >= 30);
+    assert!(
+        stats.depth + stats.unacked > 0,
+        "a 50 ms/commit instance must lag behind 30 instant commits"
+    );
+    let info = broker
+        .pool_info(SYNC_SERVICE_OID, &[server.stats().snapshot()])
+        .unwrap();
+    assert_eq!(info.instances, 1);
+    assert!(info.arrival_rate > 0.0);
+    assert!(client.wait(Duration::from_secs(20), || {
+        service.commits_processed() >= 30
+    }));
+    server.shutdown();
+}
