@@ -333,8 +333,7 @@ mod tests {
         let trace = small_trace();
         let mut model = StackSyncModel::with_chunk_size(4096);
         let report = run_trace(&mut model, &trace, 1);
-        let manual =
-            report.total() as f64 / report.benchmark_bytes as f64 - 1.0;
+        let manual = report.total() as f64 / report.benchmark_bytes as f64 - 1.0;
         assert!((report.overhead_ratio() - manual).abs() < 1e-12);
     }
 

@@ -41,9 +41,7 @@ fn bench_chunking_ablation(c: &mut Criterion) {
 
     let fixed = FixedChunker::new(512 * 1024);
     let cdc = ContentDefinedChunker::paper_scale();
-    group.bench_function("fixed", |b| {
-        b.iter(|| reupload_bytes(&fixed, &old, &new))
-    });
+    group.bench_function("fixed", |b| b.iter(|| reupload_bytes(&fixed, &old, &new)));
     group.bench_function("cdc", |b| b.iter(|| reupload_bytes(&cdc, &old, &new)));
     group.finish();
 }
@@ -80,11 +78,8 @@ fn bench_commit_dispatch(c: &mut Criterion) {
 fn bench_provisioners(c: &mut Criterion) {
     let mut group = c.benchmark_group("provisioning");
     let model = GgOneModel::paper_defaults();
-    let mut predictive = PredictiveProvisioner::new(
-        model.clone(),
-        std::time::Duration::from_secs(900),
-        0.95,
-    );
+    let mut predictive =
+        PredictiveProvisioner::new(model.clone(), std::time::Duration::from_secs(900), 0.95);
     // A month of history.
     for day in 0..30 {
         for slot in 0..96 {

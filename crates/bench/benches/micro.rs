@@ -69,11 +69,7 @@ fn sample_value() -> Value {
         ("version".into(), Value::U64(3)),
         (
             "chunks".into(),
-            Value::List(
-                (0..8)
-                    .map(|i| Value::Bytes(vec![i as u8; 20]))
-                    .collect(),
-            ),
+            Value::List((0..8).map(|i| Value::Bytes(vec![i as u8; 20])).collect()),
         ),
         ("deleted".into(), Value::Bool(false)),
     ])

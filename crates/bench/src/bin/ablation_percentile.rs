@@ -41,4 +41,5 @@ fn main() {
     println!("capacity over the median while never under-providing — and the");
     println!("residual violations come from flash bursts, which are exactly what");
     println!("the reactive corrector exists for.");
+    bench::obs_dump();
 }

@@ -44,4 +44,5 @@ fn main() {
         "\npaper check: {:.1}% of files < 4 MB (paper: ≥90%)",
         at_4mb * 100.0
     );
+    bench::obs_dump();
 }

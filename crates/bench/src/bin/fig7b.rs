@@ -69,6 +69,7 @@ fn main() {
     } else {
         println!("\n(run with --live to cross-validate against the real in-process stack)");
     }
+    bench::obs_dump();
 }
 
 /// Replays the trace through the real stack and reports measured traffic.
@@ -87,13 +88,9 @@ fn live_stack(trace: &Trace, benchmark_bytes: u64) {
     let service = SyncService::new(meta.clone(), broker.clone());
     let _server = service.bind(&broker).expect("bind service");
     let ws = provision_user(meta.as_ref(), "bench", "ws").expect("provision");
-    let client = DesktopClient::connect(
-        &broker,
-        &store,
-        ClientConfig::new("bench", "replayer"),
-        &ws,
-    )
-    .expect("connect");
+    let client =
+        DesktopClient::connect(&broker, &store, ClientConfig::new("bench", "replayer"), &ws)
+            .expect("connect");
 
     let mut files = FileSet::new();
     let mut executed = 0usize;

@@ -18,10 +18,7 @@ fn main() {
     let s = replay(&mut stacksync, &trace, 1);
     let d = replay(&mut dropbox, &trace, 1);
 
-    println!(
-        "{:<10} {:>14} {:>14}",
-        "action", "StackSync", "Dropbox"
-    );
+    println!("{:<10} {:>14} {:>14}", "action", "StackSync", "Dropbox");
     println!(
         "{:<10} {:>14} {:>14}   (paper: ≈3.2 MB vs ≈25 MB)",
         "ADD",
@@ -42,10 +39,7 @@ fn main() {
     );
 
     header("Fig 7(d): storage traffic per action type");
-    println!(
-        "{:<10} {:>14} {:>14}",
-        "action", "StackSync", "Dropbox"
-    );
+    println!("{:<10} {:>14} {:>14}", "action", "StackSync", "Dropbox");
     println!(
         "{:<10} {:>14} {:>14}   (paper: 565.63 MB vs 660.32 MB)",
         "ADD",
@@ -78,4 +72,5 @@ fn main() {
         "  StackSync ADD storage < Dropbox ADD storage: {}",
         s.adds.storage < d.adds.storage
     );
+    bench::obs_dump();
 }

@@ -19,7 +19,9 @@ const DEVICES: usize = 6;
 const WAIT: Duration = Duration::from_secs(30);
 
 fn main() {
-    let ops: usize = arg_value("--ops").and_then(|s| s.parse().ok()).unwrap_or(30);
+    let ops: usize = arg_value("--ops")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30);
 
     header("Fig 7(e): synchronization time for 6 devices (real stack)");
     let broker = Broker::in_process();
@@ -64,19 +66,17 @@ fn main() {
         let committer = &clients[0];
         let start = Instant::now();
         committer.write_file(&path, content.clone()).expect("add");
-        wait_all(&clients[1..], |c| {
-            c.wait_for_content(&path, &content, WAIT)
-        });
+        wait_all(&clients[1..], |c| c.wait_for_content(&path, &content, WAIT));
         add_times.push(start.elapsed().as_secs_f64());
 
         // UPDATE with a paper-distributed pattern.
         let pattern = ChangePattern::sample(&mut rng);
         let updated = pattern.apply(&content, 200, &mut rng);
         let start = Instant::now();
-        committer.write_file(&path, updated.clone()).expect("update");
-        wait_all(&clients[1..], |c| {
-            c.wait_for_content(&path, &updated, WAIT)
-        });
+        committer
+            .write_file(&path, updated.clone())
+            .expect("update");
+        wait_all(&clients[1..], |c| c.wait_for_content(&path, &updated, WAIT));
         update_times.push(start.elapsed().as_secs_f64());
 
         // REMOVE.
@@ -93,6 +93,7 @@ fn main() {
     println!("\npaper shape: all within seconds; REMOVE cheapest (no data flow);");
     println!("UPDATE right-skewed (fixed-size chunking boundary shifting);");
     println!("ADD slowest (full upload + 5 downloads).");
+    bench::obs_dump();
 }
 
 fn wait_all(clients: &[DesktopClient], f: impl Fn(&DesktopClient) -> bool) {

@@ -16,7 +16,9 @@ use workload::content_gen;
 const DEVICES: usize = 6;
 
 fn main() {
-    let repeats: usize = arg_value("--repeats").and_then(|s| s.parse().ok()).unwrap_or(3);
+    let repeats: usize = arg_value("--repeats")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
 
     header("Fig 7(f): sync time vs file size (6 devices, real stack)");
     let broker = Broker::in_process();
@@ -75,4 +77,5 @@ fn main() {
         "linearity check 8MB/4MB time ratio: {:.2} (≈2 expected)",
         t8 / t4
     );
+    bench::obs_dump();
 }

@@ -35,7 +35,8 @@ fn main() {
 
     // Optional per-minute CSV for plotting (--csv <path>).
     if let Some(path) = arg_value("--csv") {
-        let mut csv = String::from("minute,arrivals,instances,predicted,mean_rt_ms,p95_rt_ms,max_rt_ms\n");
+        let mut csv =
+            String::from("minute,arrivals,instances,predicted,mean_rt_ms,p95_rt_ms,max_rt_ms\n");
         for p in &summary.points {
             csv.push_str(&format!(
                 "{},{},{},{:.1},{:.2},{:.2},{:.2}\n",
@@ -70,9 +71,7 @@ fn main() {
     }
     println!(
         "\ncompleted {} requests | peak instances {} | peak workload {:.0} req/min",
-        summary.completed,
-        summary.peak_instances,
-        max_arrivals
+        summary.completed, summary.peak_instances, max_arrivals
     );
     println!(
         "SLA (450 ms) violations: {:.2}% of requests (paper: none visible)",
@@ -92,4 +91,5 @@ fn main() {
     );
     println!("\npaper shape: instance count mimics the diurnal workload curve;");
     println!("no sustained SLA violations; spikes only around scale events.");
+    bench::obs_dump();
 }

@@ -96,4 +96,5 @@ fn main() {
     println!("\npaper shape: high response times for the first minutes until the");
     println!("ReactiveProvisioner adds the right number of instances, then a");
     println!("sharp reduction (Fig. 8(e)).");
+    bench::obs_dump();
 }

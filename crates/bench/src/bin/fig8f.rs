@@ -28,6 +28,7 @@ fn main() {
     println!("\npaper shape: response time increases notably during failures but");
     println!("stays bounded (paper: no delays beyond ≈1 s) — queued messages are");
     println!("redelivered, nothing is lost.");
+    bench::obs_dump();
 }
 
 fn print_box(label: &str, b: &BoxplotStats) {

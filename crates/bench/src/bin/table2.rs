@@ -44,4 +44,5 @@ fn main() {
     println!("  StackSync batch 5/10/20/40: control 2.14/1.58/1.37/1.25 MB, storage ≈568-570 MB");
     println!("shape: control shrinks with batch size for both; Dropbox stays the");
     println!("heavier of the two at every batch size; storage is batch-invariant.");
+    bench::obs_dump();
 }

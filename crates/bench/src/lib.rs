@@ -49,6 +49,24 @@ pub fn has_flag(name: &str) -> bool {
     std::env::args().any(|a| a == name)
 }
 
+/// Honors the `--obs-dump <path>` flag shared by every harness binary:
+/// writes the metrics snapshot (Prometheus text exposition) followed by the
+/// trace ring buffer (JSON lines, prefixed `# spans`) to `path`. Call once
+/// at the end of `main`. No flag, no output; a write failure is reported on
+/// stderr but never fails the run.
+pub fn obs_dump() {
+    let Some(path) = arg_value("--obs-dump") else {
+        return;
+    };
+    let mut out = obs::render_text();
+    out.push_str("# spans\n");
+    out.push_str(&obs::spans_json());
+    match std::fs::write(&path, out) {
+        Ok(()) => eprintln!("observability dump written to {path}"),
+        Err(e) => eprintln!("failed to write observability dump to {path}: {e}"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -156,10 +156,7 @@ impl Chunker for ContentDefinedChunker {
                     cut = pos;
                     break;
                 }
-                hash.roll(
-                    data[start + pos - self.window],
-                    data[start + pos],
-                );
+                hash.roll(data[start + pos - self.window], data[start + pos]);
             }
             spans.push(ChunkSpan {
                 offset: start,
@@ -210,8 +207,20 @@ mod tests {
         let data = vec![1u8; 1000];
         let spans = FixedChunker::new(300).chunk(&data);
         assert_eq!(spans.len(), 4);
-        assert_eq!(spans[0], ChunkSpan { offset: 0, len: 300 });
-        assert_eq!(spans[3], ChunkSpan { offset: 900, len: 100 });
+        assert_eq!(
+            spans[0],
+            ChunkSpan {
+                offset: 0,
+                len: 300
+            }
+        );
+        assert_eq!(
+            spans[3],
+            ChunkSpan {
+                offset: 900,
+                len: 100
+            }
+        );
         assert!(is_exact_partition(&spans, 1000));
     }
 
@@ -277,7 +286,10 @@ mod tests {
             .map(|s| crate::ChunkId::of(&shifted[s.range()]))
             .collect();
         let shared = ids_a.iter().filter(|id| ids_b.contains(id)).count();
-        assert_eq!(shared, 0, "fixed chunking must share nothing after a prepend");
+        assert_eq!(
+            shared, 0,
+            "fixed chunking must share nothing after a prepend"
+        );
     }
 
     #[test]

@@ -285,7 +285,7 @@ mod tests {
     fn matches_across_large_distance_within_window() {
         let mut data = vec![];
         data.extend_from_slice(b"unique-prefix-content-goes-here!");
-        data.extend(std::iter::repeat(0xEEu8).take(WINDOW - 64));
+        data.extend(std::iter::repeat_n(0xEEu8, WINDOW - 64));
         data.extend_from_slice(b"unique-prefix-content-goes-here!");
         let packed = compress(&data);
         assert_eq!(decompress(&packed).unwrap(), data);

@@ -148,7 +148,10 @@ impl fmt::Display for DeltaError {
                 write!(f, "copy references block {index} beyond base")
             }
             DeltaError::BaseLengthMismatch { expected, found } => {
-                write!(f, "delta was built against a {expected}-byte base, got {found}")
+                write!(
+                    f,
+                    "delta was built against a {expected}-byte base, got {found}"
+                )
             }
         }
     }
@@ -174,16 +177,13 @@ pub fn diff(signature: &Signature, target: &[u8]) -> Delta {
         let mut weak = Adler::new(&target[..block_size]);
         loop {
             let window = &target[pos..pos + block_size];
-            let matched = signature
-                .index
-                .get(&weak.digest())
-                .and_then(|candidates| {
-                    let strong = ChunkId::of(window);
-                    candidates
-                        .iter()
-                        .copied()
-                        .find(|&i| signature.blocks[i].strong == strong)
-                });
+            let matched = signature.index.get(&weak.digest()).and_then(|candidates| {
+                let strong = ChunkId::of(window);
+                candidates
+                    .iter()
+                    .copied()
+                    .find(|&i| signature.blocks[i].strong == strong)
+            });
             if let Some(index) = matched {
                 flush_literal(&mut ops, &mut literal);
                 ops.push(DeltaOp::Copy { index });

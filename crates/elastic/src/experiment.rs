@@ -222,8 +222,7 @@ pub fn run_day8(config: &Day8Config) -> SimSummary {
             // Record the pool size and live prediction for this minute.
             let minute = ((now / 60.0) as usize).saturating_sub(1).min(minutes - 1);
             aggs[minute].instances = ctx.live().max(ctx.target());
-            aggs[minute].predicted =
-                scaler.predictive().last_prediction().unwrap_or(0.0) * 60.0;
+            aggs[minute].predicted = scaler.predictive().last_prediction().unwrap_or(0.0) * 60.0;
         },
         &[],
         |c| completions.push(c),
@@ -332,7 +331,8 @@ pub fn run_fault_tolerance(config: &FaultConfig) -> FaultSummary {
             .iter()
             .any(|&(down, up)| (down..up + config.downtime).contains(&t))
     };
-    let (down_pairs, up_pairs): (Vec<(f64, f64)>, Vec<(f64, f64)>) = completions
+    type ArrivalResponse = Vec<(f64, f64)>;
+    let (down_pairs, up_pairs): (ArrivalResponse, ArrivalResponse) = completions
         .iter()
         .map(|c| (c.arrival, c.response_time()))
         .partition(|(a, _)| in_outage(*a));
@@ -479,7 +479,10 @@ mod tests {
             .rev()
             .take(20)
             .all(|p| p.p95_rt < 2.0 * fooled.sla);
-        assert!(tail_ok, "reactive must repair the pool by the end of the run");
+        assert!(
+            tail_ok,
+            "reactive must repair the pool by the end of the run"
+        );
     }
 
     #[test]

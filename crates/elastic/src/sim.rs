@@ -258,9 +258,9 @@ impl PoolSim {
         let mut events: BinaryHeap<Reverse<(F64Ord, u64, Event)>> = BinaryHeap::new();
         let mut seq: u64 = 0;
         let push = |events: &mut BinaryHeap<Reverse<(F64Ord, u64, Event)>>,
-                        seq: &mut u64,
-                        t: f64,
-                        e: Event| {
+                    seq: &mut u64,
+                    t: f64,
+                    e: Event| {
             *seq += 1;
             events.push(Reverse((F64Ord(t), *seq, e)));
         };
@@ -437,15 +437,7 @@ mod tests {
             seed: 1,
         });
         let mut out = Vec::new();
-        sim.run(
-            arrivals,
-            1e9,
-            servers,
-            0.0,
-            |_| {},
-            &[],
-            |c| out.push(c),
-        );
+        sim.run(arrivals, 1e9, servers, 0.0, |_| {}, &[], |c| out.push(c));
         out
     }
 
@@ -465,8 +457,7 @@ mod tests {
     fn uncontended_requests_take_service_time_only() {
         // Arrivals 10 s apart on 1 server: no queueing.
         let arrivals: Vec<f64> = (0..50).map(|i| i as f64 * 10.0).collect();
-        let completions =
-            collect_completions(&arrivals, 1, ServiceTimeDist::new(0.050, 0.010));
+        let completions = collect_completions(&arrivals, 1, ServiceTimeDist::new(0.050, 0.010));
         assert_eq!(completions.len(), 50);
         for c in &completions {
             assert!(
@@ -482,8 +473,7 @@ mod tests {
         // 100 req/s onto one server with mean 50 ms service (capacity
         // ≈20/s): the queue must grow and response times explode.
         let arrivals: Vec<f64> = (0..1000).map(|i| i as f64 * 0.01).collect();
-        let completions =
-            collect_completions(&arrivals, 1, ServiceTimeDist::new(0.050, 0.010));
+        let completions = collect_completions(&arrivals, 1, ServiceTimeDist::new(0.050, 0.010));
         let last = completions.last().unwrap();
         assert!(
             last.response_time() > 5.0,
@@ -498,9 +488,8 @@ mod tests {
         let service = ServiceTimeDist::new(0.050, 0.010);
         let one = collect_completions(&arrivals, 1, service.clone());
         let four = collect_completions(&arrivals, 4, service);
-        let mean = |cs: &[Completion]| {
-            cs.iter().map(|c| c.response_time()).sum::<f64>() / cs.len() as f64
-        };
+        let mean =
+            |cs: &[Completion]| cs.iter().map(|c| c.response_time()).sum::<f64>() / cs.len() as f64;
         assert!(
             mean(&four) * 5.0 < mean(&one),
             "4 servers must be much faster: {} vs {}",
@@ -536,7 +525,10 @@ mod tests {
             .map(|c| c.response_time())
             .collect();
         let late_mean = late.iter().sum::<f64>() / late.len() as f64;
-        assert!(late_mean < 0.5, "after scale-up rt should drop, got {late_mean}");
+        assert!(
+            late_mean < 0.5,
+            "after scale-up rt should drop, got {late_mean}"
+        );
     }
 
     #[test]

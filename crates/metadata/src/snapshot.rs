@@ -92,9 +92,7 @@ impl InMemoryStore {
                 Value::List(
                     histories
                         .iter()
-                        .map(|versions| {
-                            Value::List(versions.iter().map(item_to_value).collect())
-                        })
+                        .map(|versions| Value::List(versions.iter().map(item_to_value).collect()))
                         .collect(),
                 ),
             ),
@@ -205,8 +203,11 @@ mod tests {
         s.share_workspace(&ws, "bob").unwrap();
         let f1 = ItemMetadata::new_file(1, &ws, "a.txt", vec![ChunkId::of(b"x")], 3, "dev");
         s.commit(&ws, vec![f1.clone()]).unwrap();
-        s.commit(&ws, vec![f1.next_version(vec![ChunkId::of(b"y")], 5, "dev2")])
-            .unwrap();
+        s.commit(
+            &ws,
+            vec![f1.next_version(vec![ChunkId::of(b"y")], 5, "dev2")],
+        )
+        .unwrap();
         let f2 = ItemMetadata::new_file(2, &ws, "b.txt", vec![], 0, "dev");
         s.commit(&ws, vec![f2.clone()]).unwrap();
         s.commit(&ws, vec![f2.tombstone("dev")]).unwrap();
@@ -237,16 +238,17 @@ mod tests {
         let out = restored
             .commit(&ws, vec![cur.next_version(vec![], 9, "dev3")])
             .unwrap();
-        assert!(matches!(out[0].result, CommitResult::Committed { version: 3 }));
+        assert!(matches!(
+            out[0].result,
+            CommitResult::Committed { version: 3 }
+        ));
     }
 
     #[test]
     fn json_checkpoint_roundtrip() {
         let (original, ws) = populated();
-        let path = std::env::temp_dir().join(format!(
-            "stacksync-meta-ckpt-{}.json",
-            std::process::id()
-        ));
+        let path =
+            std::env::temp_dir().join(format!("stacksync-meta-ckpt-{}.json", std::process::id()));
         original.checkpoint(&path).unwrap();
         let restored = InMemoryStore::load_checkpoint(&path).unwrap();
         std::fs::remove_file(&path).ok();

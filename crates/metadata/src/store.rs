@@ -120,8 +120,10 @@ impl InMemoryStore {
         workspaces: Vec<Workspace>,
         histories: Vec<Vec<ItemMetadata>>,
     ) -> InMemoryStore {
-        let mut inner = Inner::default();
-        inner.users = users.into_iter().collect();
+        let mut inner = Inner {
+            users: users.into_iter().collect(),
+            ..Inner::default()
+        };
         for ws in workspaces {
             inner.next_workspace = inner.next_workspace.max(
                 ws.id
@@ -408,7 +410,10 @@ mod tests {
             .unwrap();
         assert!(out[0].is_committed());
         assert!(out[1].is_committed());
-        assert!(!out[2].is_committed(), "stale proposal in same batch conflicts");
+        assert!(
+            !out[2].is_committed(),
+            "stale proposal in same batch conflicts"
+        );
     }
 
     #[test]
@@ -507,7 +512,11 @@ mod tests {
             state ^= state << 25;
             state ^= state >> 27;
             let cur = s.get_current(1).unwrap().version;
-            let proposed = if state % 3 == 0 { cur + 1 } else { state % 7 };
+            let proposed = if state.is_multiple_of(3) {
+                cur + 1
+            } else {
+                state % 7
+            };
             let _ = s.commit(&ws, vec![file(1, &ws, proposed)]);
         }
         let history = s.history(1);

@@ -81,7 +81,11 @@ impl MessageBroker {
         }
         queues.insert(
             name.to_string(),
-            Arc::new(QueueCore::new(name, options.auto_delete, options.rate_window)),
+            Arc::new(QueueCore::new(
+                name,
+                options.auto_delete,
+                options.rate_window,
+            )),
         );
         Ok(())
     }

@@ -65,11 +65,7 @@ impl Exchange {
     /// Queues a message with `routing_key` must be routed to.
     pub(crate) fn route(&self, routing_key: &str) -> Vec<String> {
         match self.kind {
-            ExchangeKind::Direct => self
-                .bindings
-                .get(routing_key)
-                .cloned()
-                .unwrap_or_default(),
+            ExchangeKind::Direct => self.bindings.get(routing_key).cloned().unwrap_or_default(),
             ExchangeKind::Fanout => {
                 let mut all: Vec<String> = self
                     .bindings

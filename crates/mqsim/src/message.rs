@@ -35,6 +35,10 @@ pub struct MessageProperties {
     /// in-process broker keeps everything in memory, but the flag is tracked
     /// so tests can assert that ObjectMQ marks invocations persistent.
     pub persistent: bool,
+    /// Encoded tracing context (`obs::SpanContext`) propagated with the
+    /// message, so the consumer side can link its spans to the publisher's
+    /// trace. `None` when the publisher is not tracing.
+    pub trace: Option<String>,
 }
 
 /// An immutable message travelling through the broker.
@@ -145,6 +149,7 @@ mod tests {
             reply_to: Some("q.reply".into()),
             content_type: None,
             persistent: true,
+            trace: None,
         };
         let m = Message::with_properties(b"x".as_slice(), props.clone());
         assert_eq!(m.properties(), &props);

@@ -6,7 +6,39 @@ use crate::stats::{QueueStats, RateEstimator};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Process-global observability handles, resolved once per queue so the hot
+/// path never touches the metric registry. All queues feed the same `mq.*`
+/// metric family.
+#[derive(Debug)]
+struct QueueObs {
+    published: Arc<obs::Counter>,
+    delivered: Arc<obs::Counter>,
+    acked: Arc<obs::Counter>,
+    redelivered: Arc<obs::Counter>,
+    queue_wait: Arc<obs::Histogram>,
+}
+
+impl QueueObs {
+    fn new() -> Self {
+        QueueObs {
+            published: obs::counter("mq.messages_published_total"),
+            delivered: obs::counter("mq.messages_delivered_total"),
+            acked: obs::counter("mq.messages_acked_total"),
+            redelivered: obs::counter("mq.messages_redelivered_total"),
+            queue_wait: obs::histogram("mq.queue_wait_seconds"),
+        }
+    }
+
+    /// Records how long a message sat in the ready list before delivery.
+    fn record_wait(&self, message: &Message) {
+        if let Some(enqueued) = message.enqueued_at() {
+            self.queue_wait.record(enqueued.elapsed());
+        }
+    }
+}
 
 /// Identifier of a consumer subscribed to a queue.
 pub(crate) type ConsumerId = u64;
@@ -51,6 +83,7 @@ pub(crate) struct QueueCore {
     next_consumer: AtomicU64,
     pub(crate) arrivals: RateEstimator,
     pub(crate) auto_delete: bool,
+    obs: QueueObs,
 }
 
 impl QueueCore {
@@ -63,6 +96,7 @@ impl QueueCore {
             next_consumer: AtomicU64::new(1),
             arrivals: RateEstimator::new(rate_window),
             auto_delete,
+            obs: QueueObs::new(),
         }
     }
 
@@ -92,6 +126,7 @@ impl QueueCore {
             },
         ));
         drop(state);
+        self.obs.published.inc();
         self.arrivals.record();
         self.available.notify_one();
         Ok(())
@@ -122,6 +157,7 @@ impl QueueCore {
         for tag in orphaned {
             let inflight = state.unacked.remove(&tag).expect("tag just listed");
             state.redelivered += 1;
+            self.obs.redelivered.inc();
             state.ready.push_front((
                 DeliveryTag(tag),
                 ReadyEntry {
@@ -160,13 +196,12 @@ impl QueueCore {
                         cluster_id: entry.cluster_id,
                     },
                 );
+                self.obs.delivered.inc();
+                self.obs.record_wait(&entry.message);
                 return Ok((tag, entry.message, entry.redelivered, entry.cluster_id));
             }
             state.waiting += 1;
-            let timed_out = self
-                .available
-                .wait_until(&mut state, deadline)
-                .timed_out();
+            let timed_out = self.available.wait_until(&mut state, deadline).timed_out();
             state.waiting -= 1;
             if timed_out && state.ready.is_empty() {
                 return if state.closed {
@@ -197,6 +232,8 @@ impl QueueCore {
                 cluster_id: entry.cluster_id,
             },
         );
+        self.obs.delivered.inc();
+        self.obs.record_wait(&entry.message);
         Some((tag, entry.message, entry.redelivered, entry.cluster_id))
     }
 
@@ -207,6 +244,7 @@ impl QueueCore {
         match state.unacked.remove(&tag.0) {
             Some(f) => {
                 state.acked += 1;
+                self.obs.acked.inc();
                 Ok(f.cluster_id)
             }
             None => Err(MqError::UnknownDeliveryTag(tag.0)),
@@ -219,6 +257,7 @@ impl QueueCore {
         match state.unacked.remove(&tag.0) {
             Some(f) => {
                 state.redelivered += 1;
+                self.obs.redelivered.inc();
                 state.ready.push_front((
                     tag,
                     ReadyEntry {
@@ -319,7 +358,9 @@ mod tests {
     fn unacked_requeued_on_consumer_unregister() {
         let queue = q();
         let c = queue.register_consumer().unwrap();
-        queue.push(Message::from_bytes(b"a".to_vec()), None).unwrap();
+        queue
+            .push(Message::from_bytes(b"a".to_vec()), None)
+            .unwrap();
         let (_tag, _m, _, _) = queue.recv(c, Duration::from_millis(10)).unwrap();
         assert_eq!(queue.depth(), 0);
         queue.unregister_consumer(c);
@@ -334,7 +375,9 @@ mod tests {
     fn double_ack_is_an_error() {
         let queue = q();
         let c = queue.register_consumer().unwrap();
-        queue.push(Message::from_bytes(b"a".to_vec()), None).unwrap();
+        queue
+            .push(Message::from_bytes(b"a".to_vec()), None)
+            .unwrap();
         let (tag, ..) = queue.recv(c, Duration::from_millis(10)).unwrap();
         queue.ack(tag).unwrap();
         assert!(matches!(
@@ -347,8 +390,12 @@ mod tests {
     fn requeue_puts_message_at_front() {
         let queue = q();
         let c = queue.register_consumer().unwrap();
-        queue.push(Message::from_bytes(b"first".to_vec()), None).unwrap();
-        queue.push(Message::from_bytes(b"second".to_vec()), None).unwrap();
+        queue
+            .push(Message::from_bytes(b"first".to_vec()), None)
+            .unwrap();
+        queue
+            .push(Message::from_bytes(b"second".to_vec()), None)
+            .unwrap();
         let (tag, m, ..) = queue.recv(c, Duration::from_millis(10)).unwrap();
         assert_eq!(m.payload(), b"first");
         queue.requeue(tag).unwrap();
@@ -372,8 +419,12 @@ mod tests {
     fn stats_track_counts() {
         let queue = q();
         let c = queue.register_consumer().unwrap();
-        queue.push(Message::from_bytes(b"a".to_vec()), None).unwrap();
-        queue.push(Message::from_bytes(b"b".to_vec()), None).unwrap();
+        queue
+            .push(Message::from_bytes(b"a".to_vec()), None)
+            .unwrap();
+        queue
+            .push(Message::from_bytes(b"b".to_vec()), None)
+            .unwrap();
         let (tag, ..) = queue.recv(c, Duration::from_millis(10)).unwrap();
         queue.ack(tag).unwrap();
         let s = queue.stats();
@@ -389,8 +440,12 @@ mod tests {
     fn purge_drops_ready_only() {
         let queue = q();
         let c = queue.register_consumer().unwrap();
-        queue.push(Message::from_bytes(b"a".to_vec()), None).unwrap();
-        queue.push(Message::from_bytes(b"b".to_vec()), None).unwrap();
+        queue
+            .push(Message::from_bytes(b"a".to_vec()), None)
+            .unwrap();
+        queue
+            .push(Message::from_bytes(b"b".to_vec()), None)
+            .unwrap();
         let (_tag, ..) = queue.recv(c, Duration::from_millis(10)).unwrap();
         assert_eq!(queue.purge(), 1);
         let s = queue.stats();
@@ -401,8 +456,12 @@ mod tests {
     #[test]
     fn remove_cluster_id_removes_only_matching() {
         let queue = q();
-        queue.push(Message::from_bytes(b"a".to_vec()), Some(1)).unwrap();
-        queue.push(Message::from_bytes(b"b".to_vec()), Some(2)).unwrap();
+        queue
+            .push(Message::from_bytes(b"a".to_vec()), Some(1))
+            .unwrap();
+        queue
+            .push(Message::from_bytes(b"b".to_vec()), Some(2))
+            .unwrap();
         assert!(queue.remove_cluster_id(1));
         assert!(!queue.remove_cluster_id(1));
         assert_eq!(queue.depth(), 1);

@@ -31,13 +31,17 @@ pub struct QueueStats {
 
 /// Sliding-window arrival-rate estimator.
 ///
-/// Events are recorded into one-second buckets; the rate is the number of
-/// events in the window divided by the window length. This is how the
-/// `ReactiveProvisioner` observes `λ_obs(t)` on the global request queue.
+/// Events are recorded into time buckets (at most one second wide, and never
+/// wider than an eighth of the window, so sub-second windows still resolve);
+/// the rate is the number of events in the window divided by the window
+/// length. This is how the `ReactiveProvisioner` observes `λ_obs(t)` on the
+/// global request queue.
 #[derive(Debug)]
 pub struct RateEstimator {
     inner: Mutex<RateInner>,
     window: Duration,
+    /// Width of one bucket: `min(1 s, window / 8)`, floored at 1 ms.
+    granularity: Duration,
 }
 
 #[derive(Debug)]
@@ -55,12 +59,16 @@ impl RateEstimator {
     /// Panics if `window` is zero.
     pub fn new(window: Duration) -> Self {
         assert!(!window.is_zero(), "rate window must be non-zero");
+        let granularity = (window / 8)
+            .min(Duration::from_secs(1))
+            .max(Duration::from_millis(1));
         RateEstimator {
             inner: Mutex::new(RateInner {
                 buckets: VecDeque::new(),
                 start: Instant::now(),
             }),
             window,
+            granularity,
         }
     }
 
@@ -74,14 +82,14 @@ impl RateEstimator {
         let now = Instant::now();
         let mut inner = self.inner.lock();
         match inner.buckets.back_mut() {
-            Some((start, count)) if now.duration_since(*start) < Duration::from_secs(1) => {
+            Some((start, count)) if now.duration_since(*start) < self.granularity => {
                 *count += n;
             }
             _ => inner.buckets.push_back((now, n)),
         }
         let window = self.window;
         while let Some((start, _)) = inner.buckets.front() {
-            if now.duration_since(*start) > window {
+            if now.duration_since(*start) >= window {
                 inner.buckets.pop_front();
             } else {
                 break;
@@ -98,7 +106,7 @@ impl RateEstimator {
         let mut inner = self.inner.lock();
         let window = self.window;
         while let Some((start, _)) = inner.buckets.front() {
-            if now.duration_since(*start) > window {
+            if now.duration_since(*start) >= window {
                 inner.buckets.pop_front();
             } else {
                 break;
@@ -153,5 +161,44 @@ mod tests {
     fn empty_estimator_rate_is_zero() {
         let est = RateEstimator::new(Duration::from_secs(1));
         assert_eq!(est.rate_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn empty_window_after_traffic_decays_to_zero() {
+        // Events older than the window must not leak into the estimate.
+        let est = RateEstimator::new(Duration::from_millis(100));
+        est.record_many(50);
+        std::thread::sleep(Duration::from_millis(150));
+        assert_eq!(est.rate_per_sec(), 0.0, "stale events must be evicted");
+    }
+
+    #[test]
+    fn straddling_a_bucket_boundary_keeps_both_sides() {
+        // Window 10 s → 1 s buckets. Two batches ~1.1 s apart land in two
+        // buckets; both are inside the window, so both must be counted.
+        let est = RateEstimator::new(Duration::from_secs(10));
+        est.record_many(5);
+        std::thread::sleep(Duration::from_millis(1100));
+        est.record_many(5);
+        let r = est.rate_per_sec();
+        // 10 events over ~1.1 s of lifetime → ≈ 9/s; anything much below
+        // would mean one side of the boundary was dropped.
+        assert!((6.0..12.0).contains(&r), "expected ~9 ev/s, got {r}");
+    }
+
+    #[test]
+    fn sub_second_window_sees_fresh_events() {
+        // Window 200 ms → 25 ms buckets. Before bucket granularity scaled
+        // with the window, fresh events joined a 1 s-wide stale bucket and
+        // were evicted with it, reporting 0 despite recent traffic.
+        let est = RateEstimator::new(Duration::from_millis(200));
+        est.record_many(10);
+        std::thread::sleep(Duration::from_millis(250));
+        est.record_many(10);
+        let r = est.rate_per_sec();
+        assert!(
+            r > 10.0,
+            "10 events within the 200 ms window must dominate the rate, got {r}"
+        );
     }
 }

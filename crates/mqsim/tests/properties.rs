@@ -138,7 +138,9 @@ fn concurrent_competing_consumers_conserve_messages() {
             loop {
                 match consumer.recv_timeout(Duration::from_millis(100)) {
                     Ok(d) => {
-                        if requeue_budget > 0 && (d.message.payload()[0] as usize + t) % 13 == 0 {
+                        if requeue_budget > 0
+                            && (d.message.payload()[0] as usize + t).is_multiple_of(13)
+                        {
                             requeue_budget -= 1;
                             d.requeue();
                         } else {

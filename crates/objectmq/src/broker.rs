@@ -3,7 +3,9 @@
 use crate::error::OmqResult;
 use crate::info::{ObjectInfo, PoolInfo};
 use crate::proxy::{unknown_object, Proxy};
-use crate::server::{fresh_instance_name, spawn_instance, RemoteObject, ServerHandle, SkeletonConfig};
+use crate::server::{
+    fresh_instance_name, spawn_instance, RemoteObject, ServerHandle, SkeletonConfig,
+};
 use mqsim::{ExchangeKind, MessageBroker, QueueOptions};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -186,12 +188,7 @@ impl Broker {
     pub fn pool_info(&self, oid: &str, instance_infos: &[ObjectInfo]) -> OmqResult<PoolInfo> {
         let stats = self.mq.queue_stats(oid)?;
         let rate = self.mq.queue_arrival_rate(oid)?;
-        Ok(PoolInfo::aggregate(
-            oid,
-            instance_infos,
-            stats.depth,
-            rate,
-        ))
+        Ok(PoolInfo::aggregate(oid, instance_infos, stats.depth, rate))
     }
 }
 
@@ -235,9 +232,7 @@ mod tests {
         s1.shutdown();
         // Shutdown unsubscribes from the shared queue.
         let deadline = std::time::Instant::now() + Duration::from_secs(1);
-        while broker.instance_count("pool").unwrap() > 1
-            && std::time::Instant::now() < deadline
-        {
+        while broker.instance_count("pool").unwrap() > 1 && std::time::Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(5));
         }
         assert_eq!(broker.instance_count("pool").unwrap(), 1);

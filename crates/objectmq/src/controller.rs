@@ -90,6 +90,12 @@ impl ElasticController {
                 .reactive_period
                 .min(config.predictive_period)
                 .min(Duration::from_millis(50));
+            // The gauges the paper's "fine-grained metrics" argument is
+            // about: the observed queue arrival rate λ_obs and the pool
+            // size the policies currently demand.
+            let lambda_gauge = obs::gauge("elastic.lambda_obs");
+            let target_gauge = obs::gauge("elastic.pool_target");
+            target_gauge.set(supervisor.target() as f64);
             loop {
                 if t_stop.load(Ordering::Acquire) {
                     supervisor.stop();
@@ -105,6 +111,7 @@ impl ElasticController {
                 if last_reactive.elapsed() >= config.reactive_period {
                     last_reactive = Instant::now();
                     if let Ok(observed) = broker.messaging().queue_arrival_rate(&config.oid) {
+                        lambda_gauge.set(observed);
                         if let Some(n) = scaler.reactive_tick(observed) {
                             proposed = Some(n);
                         }
@@ -113,6 +120,12 @@ impl ElasticController {
                 if let Some(n) = proposed {
                     supervisor.set_target(n);
                     t_target.store(n, Ordering::Release);
+                    target_gauge.set(n as f64);
+                    obs::log(
+                        obs::Level::Info,
+                        "elastic.controller",
+                        &format!("pool target for `{}` set to {n}", config.oid),
+                    );
                     t_decisions.lock().push((started.elapsed(), n));
                 }
                 std::thread::sleep(tick);
@@ -155,9 +168,7 @@ impl Drop for ElasticController {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::provision::{
-        GgOneModel, PredictiveProvisioner, ReactiveProvisioner, ScalingPolicy,
-    };
+    use crate::provision::{GgOneModel, PredictiveProvisioner, ReactiveProvisioner, ScalingPolicy};
     use crate::supervisor::{RemoteBroker, SupervisorConfig};
     use crate::RemoteObject;
     use wire::Value;
@@ -193,7 +204,10 @@ mod tests {
             },
         );
         let node = RemoteBroker::start(broker.clone(), 1).unwrap();
-        node.register_factory("svc", Arc::new(|| Arc::new(Sleepy) as Arc<dyn RemoteObject>));
+        node.register_factory(
+            "svc",
+            Arc::new(|| Arc::new(Sleepy) as Arc<dyn RemoteObject>),
+        );
 
         let supervisor = Supervisor::start(
             broker.clone(),
@@ -205,7 +219,9 @@ mod tests {
         )
         .unwrap();
         supervisor.set_target(1);
-        assert!(wait_until(Duration::from_secs(5), || node.local_count("svc") == 1));
+        assert!(wait_until(Duration::from_secs(5), || node
+            .local_count("svc")
+            == 1));
 
         // Model matched to the 10 ms service: with a 40 ms SLA, one
         // instance sustains ~25 req/s.
@@ -215,8 +231,7 @@ mod tests {
             var_interarrival: 0.0001,
             var_service: 0.0001,
         };
-        let predictive =
-            PredictiveProvisioner::new(model.clone(), Duration::from_secs(900), 0.95);
+        let predictive = PredictiveProvisioner::new(model.clone(), Duration::from_secs(900), 0.95);
         let reactive = ReactiveProvisioner::paper_defaults(model);
         let scaler = AutoScaler::new(predictive, reactive, ScalingPolicy::Reactive);
 
@@ -276,12 +291,8 @@ mod tests {
             ReactiveProvisioner::paper_defaults(model),
             ScalingPolicy::Both,
         );
-        let result = ElasticController::start(
-            broker,
-            supervisor,
-            scaler,
-            ControllerConfig::paper("ghost"),
-        );
+        let result =
+            ElasticController::start(broker, supervisor, scaler, ControllerConfig::paper("ghost"));
         assert!(matches!(result, Err(OmqError::UnknownObject(_))));
         node.stop();
     }

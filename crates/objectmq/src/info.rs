@@ -50,6 +50,19 @@ impl ServiceStats {
         self.inner.lock().busy = busy;
     }
 
+    /// Clears the accumulated statistics (count, means, variances) while
+    /// preserving the `busy` flag, which reflects present execution state
+    /// rather than history. Provisioners use this to start a fresh
+    /// observation window.
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock();
+        let busy = inner.busy;
+        *inner = StatsInner {
+            busy,
+            ..StatsInner::default()
+        };
+    }
+
     /// Snapshot of the counters.
     pub fn snapshot(&self) -> ObjectInfo {
         let inner = self.inner.lock().clone();
@@ -90,6 +103,9 @@ pub struct PoolInfo {
     pub oid: String,
     /// Number of live instances.
     pub instances: usize,
+    /// Instances executing a method at snapshot time — the pool's
+    /// instantaneous utilization, which queue-side metrics cannot show.
+    pub busy_instances: usize,
     /// Ready messages waiting in the request queue.
     pub queue_depth: usize,
     /// Observed arrival rate on the request queue, req/s.
@@ -109,12 +125,16 @@ impl PoolInfo {
         arrival_rate: f64,
     ) -> Self {
         let n = infos.len().max(1) as f64;
-        let mean_service =
-            infos.iter().map(|i| i.mean_service_time.as_secs_f64()).sum::<f64>() / n;
+        let mean_service = infos
+            .iter()
+            .map(|i| i.mean_service_time.as_secs_f64())
+            .sum::<f64>()
+            / n;
         let var_service = infos.iter().map(|i| i.service_time_variance).sum::<f64>() / n;
         PoolInfo {
             oid: oid.to_string(),
             instances: infos.len(),
+            busy_instances: infos.iter().filter(|i| i.busy).count(),
             queue_depth,
             arrival_rate,
             mean_service_time: Duration::from_secs_f64(mean_service.max(0.0)),
@@ -186,6 +206,7 @@ mod tests {
         };
         let pool = PoolInfo::aggregate("svc", &[a, b], 7, 42.0);
         assert_eq!(pool.instances, 2);
+        assert_eq!(pool.busy_instances, 1, "exactly b is busy");
         assert_eq!(pool.queue_depth, 7);
         assert_eq!(pool.arrival_rate, 42.0);
         assert!((pool.mean_service_time.as_secs_f64() - 0.020).abs() < 1e-9);
@@ -196,6 +217,80 @@ mod tests {
     fn empty_pool_aggregate_is_sane() {
         let pool = PoolInfo::aggregate("svc", &[], 0, 0.0);
         assert_eq!(pool.instances, 0);
+        assert_eq!(pool.busy_instances, 0);
         assert_eq!(pool.mean_service_time, Duration::ZERO);
+    }
+
+    #[test]
+    fn reset_clears_counters_but_keeps_busy() {
+        let stats = ServiceStats::new();
+        stats.record(Duration::from_millis(10), Duration::from_millis(15));
+        stats.record(Duration::from_millis(20), Duration::from_millis(25));
+        stats.set_busy(true);
+        stats.reset();
+        let snap = stats.snapshot();
+        assert_eq!(snap.processed, 0);
+        assert_eq!(snap.mean_service_time, Duration::ZERO);
+        assert_eq!(snap.service_time_variance, 0.0);
+        assert!(snap.busy, "busy reflects current execution, not history");
+        // The estimator works normally after a reset.
+        stats.record(Duration::from_millis(30), Duration::from_millis(40));
+        let snap = stats.snapshot();
+        assert_eq!(snap.processed, 1);
+        assert!((snap.mean_service_time.as_secs_f64() - 0.030).abs() < 1e-9);
+    }
+
+    #[test]
+    fn welford_matches_naive_two_pass_on_random_samples() {
+        // Deterministic xorshift so the sample sets are reproducible.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            // Service times in (0, ~0.26) s — the realistic regime.
+            (state >> 40) as f64 / 1e8 + 1e-6
+        };
+        for n in [2usize, 10, 100, 1000] {
+            let stats = ServiceStats::new();
+            // Go through Duration first: it quantizes to nanoseconds, and
+            // the naive reference must see the same values as the estimator.
+            let samples: Vec<(f64, f64)> = (0..n)
+                .map(|_| {
+                    (
+                        Duration::from_secs_f64(next()).as_secs_f64(),
+                        Duration::from_secs_f64(next()).as_secs_f64(),
+                    )
+                })
+                .collect();
+            for &(s, r) in &samples {
+                stats.record(Duration::from_secs_f64(s), Duration::from_secs_f64(r));
+            }
+            let snap = stats.snapshot();
+            let naive = |values: &[f64]| {
+                let mean = values.iter().sum::<f64>() / values.len() as f64;
+                let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>()
+                    / (values.len() as f64 - 1.0);
+                (mean, var)
+            };
+            let service: Vec<f64> = samples.iter().map(|&(s, _)| s).collect();
+            let response: Vec<f64> = samples.iter().map(|&(_, r)| r).collect();
+            let (sm, sv) = naive(&service);
+            let (rm, rv) = naive(&response);
+            assert_eq!(snap.processed, n as u64);
+            // Means come back as Duration (nanosecond resolution), so allow
+            // the quantization step; variances are plain f64 passthrough.
+            assert!(
+                (snap.mean_service_time.as_secs_f64() - sm).abs() < 2e-9,
+                "service mean diverged at n={n}"
+            );
+            assert!(
+                (snap.service_time_variance - sv).abs() / sv.max(1e-12) < 1e-9,
+                "service variance diverged at n={n}: {} vs {sv}",
+                snap.service_time_variance
+            );
+            assert!((snap.mean_response_time.as_secs_f64() - rm).abs() < 2e-9);
+            assert!((snap.response_time_variance - rv).abs() / rv.max(1e-12) < 1e-9);
+        }
     }
 }

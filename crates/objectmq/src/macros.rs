@@ -264,10 +264,22 @@ mod tests {
         let broker = Broker::in_process();
         let bumps = Arc::new(AtomicU64::new(0));
         let _s1 = broker
-            .bind("math", MathService { bumps: bumps.clone(), tag: "a" })
+            .bind(
+                "math",
+                MathService {
+                    bumps: bumps.clone(),
+                    tag: "a",
+                },
+            )
             .unwrap();
         let _s2 = broker
-            .bind("math", MathService { bumps: bumps.clone(), tag: "b" })
+            .bind(
+                "math",
+                MathService {
+                    bumps: bumps.clone(),
+                    tag: "b",
+                },
+            )
             .unwrap();
         let api = MathApi::lookup(&broker, "math").unwrap();
         api.bump().unwrap();
@@ -285,10 +297,22 @@ mod tests {
     fn generated_multi_sync_collects_all() {
         let broker = Broker::in_process();
         let _s1 = broker
-            .bind("math", MathService { bumps: Arc::default(), tag: "a" })
+            .bind(
+                "math",
+                MathService {
+                    bumps: Arc::default(),
+                    tag: "a",
+                },
+            )
             .unwrap();
         let _s2 = broker
-            .bind("math", MathService { bumps: Arc::default(), tag: "b" })
+            .bind(
+                "math",
+                MathService {
+                    bumps: Arc::default(),
+                    tag: "b",
+                },
+            )
             .unwrap();
         let api = MathApi::lookup(&broker, "math").unwrap();
         let mut tags: Vec<String> = api

@@ -174,9 +174,8 @@ impl PredictiveProvisioner {
         }
         let mut sorted = h.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
-        let idx = ((self.percentile * sorted.len() as f64).ceil() as usize)
-            .clamp(1, sorted.len())
-            - 1;
+        let idx =
+            ((self.percentile * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
         Some(sorted[idx])
     }
 
@@ -307,7 +306,9 @@ impl std::str::FromStr for ScalingPolicy {
             "predictive" => Ok(ScalingPolicy::Predictive),
             "reactive" => Ok(ScalingPolicy::Reactive),
             "both" => Ok(ScalingPolicy::Both),
-            other => Err(format!("unknown policy `{other}` (predictive|reactive|both)")),
+            other => Err(format!(
+                "unknown policy `{other}` (predictive|reactive|both)"
+            )),
         }
     }
 }
@@ -511,11 +512,8 @@ mod tests {
     #[test]
     fn autoscaler_reactive_corrects_misprediction() {
         let model = GgOneModel::paper_defaults();
-        let mut predictive = PredictiveProvisioner::new(
-            model.clone(),
-            Duration::from_secs(900),
-            0.95,
-        );
+        let mut predictive =
+            PredictiveProvisioner::new(model.clone(), Duration::from_secs(900), 0.95);
         // History says slot 0 is quiet.
         predictive.observe(0, 1.0);
         let reactive = ReactiveProvisioner::paper_defaults(model.clone());
@@ -537,11 +535,8 @@ mod tests {
     #[test]
     fn policy_gating() {
         let model = GgOneModel::paper_defaults();
-        let mut predictive = PredictiveProvisioner::new(
-            model.clone(),
-            Duration::from_secs(900),
-            0.95,
-        );
+        let mut predictive =
+            PredictiveProvisioner::new(model.clone(), Duration::from_secs(900), 0.95);
         predictive.observe(0, 100.0);
         let reactive = ReactiveProvisioner::paper_defaults(model);
 
@@ -564,7 +559,10 @@ mod tests {
 
     #[test]
     fn scaling_policy_parses() {
-        assert_eq!("both".parse::<ScalingPolicy>().unwrap(), ScalingPolicy::Both);
+        assert_eq!(
+            "both".parse::<ScalingPolicy>().unwrap(),
+            ScalingPolicy::Both
+        );
         assert!("nope".parse::<ScalingPolicy>().is_err());
     }
 
@@ -582,6 +580,7 @@ mod tests {
         let info = PoolInfo {
             oid: "svc".into(),
             instances: 1,
+            busy_instances: 0,
             queue_depth: 10,
             arrival_rate: 50.0,
             mean_service_time: Duration::from_millis(50),

@@ -25,6 +25,27 @@ pub struct Proxy {
     response_consumer: Consumer,
     /// Responses that arrived while waiting for a different correlation id.
     pending: Mutex<HashMap<String, Response>>,
+    obs: ProxyObs,
+}
+
+/// Observability handles shared by all proxies (global `omq.*` family),
+/// resolved once per stub so invocation hot paths skip the registry.
+struct ProxyObs {
+    calls: Arc<obs::Counter>,
+    retries: Arc<obs::Counter>,
+    timeouts: Arc<obs::Counter>,
+    call_latency: Arc<obs::Histogram>,
+}
+
+impl ProxyObs {
+    fn new() -> Self {
+        ProxyObs {
+            calls: obs::counter("omq.calls_total"),
+            retries: obs::counter("omq.call_retries_total"),
+            timeouts: obs::counter("omq.call_timeouts_total"),
+            call_latency: obs::histogram("omq.call_seconds"),
+        }
+    }
 }
 
 impl std::fmt::Debug for Proxy {
@@ -53,6 +74,7 @@ impl Proxy {
             response_queue,
             response_consumer,
             pending: Mutex::new(HashMap::new()),
+            obs: ProxyObs::new(),
         }
     }
 
@@ -61,15 +83,33 @@ impl Proxy {
         &self.oid
     }
 
-    fn request_message(&self, request: &Request, expect_reply: bool) -> Message {
+    fn request_message(
+        &self,
+        request: &Request,
+        expect_reply: bool,
+        trace: Option<&obs::SpanContext>,
+    ) -> Message {
         let payload = self.codec.encode(&request.to_value());
         let props = MessageProperties {
             correlation_id: Some(request.id.clone()),
             reply_to: expect_reply.then(|| self.response_queue.clone()),
             content_type: Some(format!("omq/{}", self.codec.name())),
             persistent: true,
+            trace: trace.map(obs::SpanContext::encode),
         };
         Message::with_properties(payload, props)
+    }
+
+    /// Opens the root span for one invocation, parented under the caller's
+    /// thread-local context when inside an already-traced handler.
+    fn invocation_span(&self, name: &'static str, method: &str) -> obs::Span {
+        let mut span = match obs::current() {
+            Some(parent) => obs::Span::start_child_of(name, &parent),
+            None => obs::Span::start(name),
+        };
+        span.note(format!("oid:{}", self.oid));
+        span.note(format!("method:{method}"));
+        span
     }
 
     /// `@AsyncMethod`: fire-and-forget unicast invocation. The message is
@@ -86,10 +126,14 @@ impl Proxy {
             method: method.to_string(),
             args,
         };
-        let message = self.request_message(&request, false);
-        self.mq
-            .publish_to_queue(&self.oid, message)
-            .map_err(CallError::from)
+        self.obs.calls.inc();
+        let root = self.invocation_span("omq.call_async", method);
+        let message = self.request_message(&request, false, Some(&root.context()));
+        let publish = root.child("proxy.publish");
+        let published = self.mq.publish_to_queue(&self.oid, message);
+        publish.finish();
+        root.finish();
+        published.map_err(CallError::from)
     }
 
     /// `@SyncMethod(retry, timeout)`: blocking unicast invocation. Publishes
@@ -113,21 +157,40 @@ impl Proxy {
             method: method.to_string(),
             args,
         };
+        self.obs.calls.inc();
+        let root = self.invocation_span("omq.call_sync", method);
+        let ctx = root.context();
+        let started = Instant::now();
         let mut attempts = 0;
-        loop {
+        let result = loop {
             attempts += 1;
-            let message = self.request_message(&request, true);
-            self.mq.publish_to_queue(&self.oid, message)?;
-            match self.await_response(&request.id, timeout) {
+            if attempts > 1 {
+                self.obs.retries.inc();
+            }
+            let message = self.request_message(&request, true, Some(&ctx));
+            let publish = obs::Span::start_child_of("proxy.publish", &ctx);
+            let published = self.mq.publish_to_queue(&self.oid, message);
+            publish.finish();
+            if let Err(e) = published {
+                break Err(CallError::from(e));
+            }
+            let wait = obs::Span::start_child_of("reply.wait", &ctx);
+            let response = self.await_response(&request.id, timeout);
+            wait.finish();
+            match response {
                 Some(response) => {
-                    return response.outcome.map_err(CallError::Remote);
+                    break response.outcome.map_err(CallError::Remote);
                 }
                 None if attempts > retries => {
-                    return Err(CallError::Timeout { attempts });
+                    self.obs.timeouts.inc();
+                    break Err(CallError::Timeout { attempts });
                 }
                 None => continue,
             }
-        }
+        };
+        self.obs.call_latency.record(started.elapsed());
+        root.finish();
+        result
     }
 
     /// `@MultiMethod @AsyncMethod`: non-blocking one-to-many invocation.
@@ -144,10 +207,14 @@ impl Proxy {
             method: method.to_string(),
             args,
         };
-        let message = self.request_message(&request, false);
-        self.mq
-            .publish(&self.multi_exchange, "", message)
-            .map_err(CallError::from)
+        self.obs.calls.inc();
+        let root = self.invocation_span("omq.call_multi_async", method);
+        let message = self.request_message(&request, false, Some(&root.context()));
+        let publish = root.child("proxy.publish");
+        let published = self.mq.publish(&self.multi_exchange, "", message);
+        publish.finish();
+        root.finish();
+        published.map_err(CallError::from)
     }
 
     /// `@MultiMethod @SyncMethod`: blocking one-to-many invocation that
@@ -169,10 +236,23 @@ impl Proxy {
             method: method.to_string(),
             args,
         };
-        let message = self.request_message(&request, true);
-        let expected = self.mq.publish(&self.multi_exchange, "", message)?;
+        self.obs.calls.inc();
+        let root = self.invocation_span("omq.call_multi_sync", method);
+        let ctx = root.context();
+        let message = self.request_message(&request, true, Some(&ctx));
+        let publish = root.child("proxy.publish");
+        let published = self.mq.publish(&self.multi_exchange, "", message);
+        publish.finish();
+        let expected = match published {
+            Ok(n) => n,
+            Err(e) => {
+                root.finish();
+                return Err(CallError::from(e));
+            }
+        };
         let mut results = Vec::with_capacity(expected);
         let deadline = Instant::now() + timeout;
+        let wait = obs::Span::start_child_of("reply.wait", &ctx);
         while results.len() < expected {
             let now = Instant::now();
             if now >= deadline {
@@ -183,6 +263,8 @@ impl Proxy {
                 None => break,
             }
         }
+        wait.finish();
+        root.finish();
         Ok(results)
     }
 
@@ -192,17 +274,11 @@ impl Proxy {
             return Some(r);
         }
         let deadline = Instant::now() + timeout;
-        loop {
-            let now = Instant::now();
-            if now >= deadline {
-                return None;
-            }
-            if let Some(r) = self.recv_correlated(id, deadline - now) {
-                return Some(r);
-            } else {
-                return None;
-            }
+        let now = Instant::now();
+        if now >= deadline {
+            return None;
         }
+        self.recv_correlated(id, deadline - now)
     }
 
     /// Receives messages from the response queue until one matches `id` or
@@ -220,8 +296,7 @@ impl Proxy {
             }
             match self.response_consumer.recv_timeout(deadline - now) {
                 Ok(delivery) => {
-                    let decoded =
-                        decode_response(self.codec.as_ref(), delivery.message.payload());
+                    let decoded = decode_response(self.codec.as_ref(), delivery.message.payload());
                     delivery.ack();
                     if let Ok(response) = decoded {
                         if response.id == id {
@@ -343,7 +418,9 @@ mod tests {
         let _s2 = broker.bind("grp", make("b")).unwrap();
         let _s3 = broker.bind("grp", make("c")).unwrap();
         let proxy = broker.lookup("grp").unwrap();
-        let results = proxy.call_multi_sync("who", vec![], Duration::from_secs(2)).unwrap();
+        let results = proxy
+            .call_multi_sync("who", vec![], Duration::from_secs(2))
+            .unwrap();
         let mut tags: Vec<String> = results
             .into_iter()
             .map(|r| r.unwrap().as_str().unwrap().to_string())
@@ -394,11 +471,16 @@ mod tests {
         let _s2 = broker.bind("lb", mk(b.clone())).unwrap();
         let proxy = broker.lookup("lb").unwrap();
         for _ in 0..20 {
-            proxy.call_sync("work", vec![], Duration::from_secs(2), 0).unwrap();
+            proxy
+                .call_sync("work", vec![], Duration::from_secs(2), 0)
+                .unwrap();
         }
         let (ca, cb) = (a.load(Ordering::SeqCst), b.load(Ordering::SeqCst));
         assert_eq!(ca + cb, 20);
-        assert!(ca > 0 && cb > 0, "both instances must share load ({ca}/{cb})");
+        assert!(
+            ca > 0 && cb > 0,
+            "both instances must share load ({ca}/{cb})"
+        );
     }
 
     #[test]
@@ -418,15 +500,16 @@ mod tests {
         while crashy.is_alive() && std::time::Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(10));
         }
-        assert!(!crashy.is_alive(), "panicking instance must self-report dead");
+        assert!(
+            !crashy.is_alive(),
+            "panicking instance must self-report dead"
+        );
         // Now bind a healthy instance; the unacked message must reach it.
         let healthy = broker
             .bind("svc", |_m: &str, _a: &[Value]| Ok(Value::from("done")))
             .unwrap();
         let deadline = std::time::Instant::now() + Duration::from_secs(2);
-        while healthy.stats().snapshot().processed == 0
-            && std::time::Instant::now() < deadline
-        {
+        while healthy.stats().snapshot().processed == 0 && std::time::Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(10));
         }
         assert_eq!(

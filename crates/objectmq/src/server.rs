@@ -174,6 +174,10 @@ struct LoopCtx {
 }
 
 fn serve_loop(ctx: LoopCtx, consumer: Consumer) {
+    // Global `omq.*` skeleton counters, resolved once per serve thread.
+    let dispatched = obs::counter("omq.dispatches_total");
+    let panics = obs::counter("omq.dispatch_panics_total");
+    let malformed = obs::counter("omq.malformed_requests_total");
     loop {
         if ctx.stop.load(Ordering::Acquire) || ctx.crash.load(Ordering::Acquire) {
             return;
@@ -197,16 +201,43 @@ fn serve_loop(ctx: LoopCtx, consumer: Consumer) {
             Err(_) => {
                 // Malformed request: poison message, ack and drop so it does
                 // not loop forever through redelivery.
+                malformed.inc();
                 ctx.stats.set_busy(false);
                 delivery.ack();
                 continue;
             }
         };
 
+        // Trace linkage: the publisher's context rides in the message
+        // properties. Synthesize the queue-residency span under it, then
+        // nest dispatch and handler execution below that, so one RPC reads
+        // as proxy.publish → queue.wait → skeleton.dispatch → handler.exec
+        // → reply.publish in the ring buffer.
+        let trace_parent = delivery
+            .message
+            .properties()
+            .trace
+            .as_deref()
+            .and_then(obs::SpanContext::decode);
+        let dispatch_span = trace_parent.map(|parent| {
+            let now = obs::now_ns();
+            let wait_ns = queued_since
+                .map(|t| t.elapsed().as_nanos() as u64)
+                .unwrap_or(0);
+            let qctx = obs::record_manual("queue.wait", &parent, now.saturating_sub(wait_ns), now);
+            obs::Span::start_child_of("skeleton.dispatch", &qctx)
+        });
+        let mut exec_span = dispatch_span.as_ref().map(|d| d.child("handler.exec"));
+
         let object = ctx.object.clone();
         let method = request.method.clone();
         let args = request.args.clone();
+        // Install the exec context so nested code (handlers issuing their
+        // own calls, services tagging workspaces) links into this trace.
+        let prev = obs::set_current(exec_span.as_ref().map(|s| s.context()));
         let outcome = catch_unwind(AssertUnwindSafe(move || object.dispatch(&method, &args)));
+        obs::set_current(prev);
+        let notes = obs::take_annotations();
         ctx.stats.set_busy(false);
 
         let outcome = match outcome {
@@ -215,6 +246,7 @@ fn serve_loop(ctx: LoopCtx, consumer: Consumer) {
                 // The object panicked mid-call: treat it like a crash. The
                 // unacked delivery is requeued for another instance and this
                 // skeleton dies (the Supervisor will respawn it).
+                panics.inc();
                 ctx.crash.store(true, Ordering::Release);
                 drop(delivery);
                 return;
@@ -224,6 +256,17 @@ fn serve_loop(ctx: LoopCtx, consumer: Consumer) {
         let service = started.elapsed();
         let response_time = queued_since.map(|t| t.elapsed()).unwrap_or(service);
         ctx.stats.record(service, response_time);
+        dispatched.inc();
+        obs::histogram(&format!("omq.service_seconds.{}", request.method)).record(service);
+        obs::histogram(&format!("omq.response_seconds.{}", request.method)).record(response_time);
+        if let Some(exec) = exec_span.as_mut() {
+            for note in notes {
+                exec.note(note);
+            }
+        }
+        if let Some(exec) = exec_span {
+            exec.finish();
+        }
 
         if let Some(reply_to) = delivery.message.properties().reply_to.clone() {
             let response = Response {
@@ -236,11 +279,19 @@ fn serve_loop(ctx: LoopCtx, consumer: Consumer) {
                 reply_to: None,
                 content_type: Some(format!("omq/{}", ctx.codec.name())),
                 persistent: true,
+                trace: None,
             };
+            let reply_span = dispatch_span.as_ref().map(|d| d.child("reply.publish"));
             // A missing reply queue means the client left; that is fine.
             let _ = ctx
                 .mq
                 .publish_to_queue(&reply_to, Message::with_properties(payload, props));
+            if let Some(span) = reply_span {
+                span.finish();
+            }
+        }
+        if let Some(span) = dispatch_span {
+            span.finish();
         }
 
         if ctx.crash.load(Ordering::Acquire) {

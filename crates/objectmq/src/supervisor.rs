@@ -43,11 +43,7 @@ impl RemoteBrokerState {
 
     fn count(&self, oid: &str) -> usize {
         self.reap(oid);
-        self.instances
-            .lock()
-            .get(oid)
-            .map(|v| v.len())
-            .unwrap_or(0)
+        self.instances.lock().get(oid).map(|v| v.len()).unwrap_or(0)
     }
 }
 
@@ -63,7 +59,9 @@ pub struct RemoteBroker {
 
 impl std::fmt::Debug for RemoteBroker {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RemoteBroker").field("id", &self.id).finish()
+        f.debug_struct("RemoteBroker")
+            .field("id", &self.id)
+            .finish()
     }
 }
 
@@ -149,10 +147,7 @@ impl RemoteObject for RemoteBrokerObject {
                                         "mean_service".into(),
                                         Value::F64(s.mean_service_time.as_secs_f64()),
                                     ),
-                                    (
-                                        "var_service".into(),
-                                        Value::F64(s.service_time_variance),
-                                    ),
+                                    ("var_service".into(), Value::F64(s.service_time_variance)),
                                     ("busy".into(), Value::Bool(s.busy)),
                                 ])
                             })
@@ -360,13 +355,16 @@ fn supervise_loop(
         Ok(p) => p,
         Err(_) => return,
     };
+    let hb_count = obs::counter("omq.supervisor.heartbeats_total");
+    let spawn_count = obs::counter("omq.supervisor.spawns_total");
+    let shutdown_count = obs::counter("omq.supervisor.shutdowns_total");
     while !stop.load(Ordering::Acquire) {
         // Heartbeat first: even an idle supervisor proves liveness.
-        let _ = broker.messaging().publish(
-            HEARTBEAT_EXCHANGE,
-            "",
-            Message::from_bytes(b"hb".to_vec()),
-        );
+        let _ =
+            broker
+                .messaging()
+                .publish(HEARTBEAT_EXCHANGE, "", Message::from_bytes(b"hb".to_vec()));
+        hb_count.inc();
 
         let desired = target.load(Ordering::Acquire).max(1);
         // Ask every remote broker how many instances it hosts (multi-call,
@@ -388,12 +386,15 @@ fn supervise_loop(
         if live < desired {
             for _ in 0..(desired - live) {
                 // Unicast spawn: any idle remote broker takes it.
-                let _ = proxy.call_sync(
+                let spawned = proxy.call_sync(
                     "spawn",
                     vec![Value::from(config.oid.as_str())],
                     config.command_timeout,
                     1,
                 );
+                if spawned.is_ok() {
+                    spawn_count.inc();
+                }
             }
         } else if live > desired {
             let mut to_remove = live - desired;
@@ -402,14 +403,14 @@ fn supervise_loop(
             let mut attempts = 0;
             while to_remove > 0 && attempts < 4 * (live + 1) {
                 attempts += 1;
-                match proxy.call_sync(
+                if let Ok(Value::Bool(true)) = proxy.call_sync(
                     "shutdown_one",
                     vec![Value::from(config.oid.as_str())],
                     config.command_timeout,
                     0,
                 ) {
-                    Ok(Value::Bool(true)) => to_remove -= 1,
-                    Ok(_) | Err(_) => {}
+                    to_remove -= 1;
+                    shutdown_count.inc();
                 }
             }
         }
@@ -508,6 +509,7 @@ impl Drop for HeartbeatMonitor {
 ///
 /// Propagates messaging failures.
 pub fn run_election(mq: &MessageBroker, my_id: u64, settle: Duration) -> OmqResult<bool> {
+    obs::counter("omq.elections_total").inc();
     mq.declare_exchange(ELECTION_EXCHANGE, ExchangeKind::Fanout)?;
     let queue = format!("omq.election.voter.{my_id}");
     mq.declare_queue(&queue, QueueOptions::default())?;
@@ -533,7 +535,11 @@ pub fn run_election(mq: &MessageBroker, my_id: u64, settle: Duration) -> OmqResu
             )?;
             next_announce = now + announce_every;
         }
-        let wait = (deadline - now).min(next_announce.saturating_duration_since(now).max(Duration::from_millis(1)));
+        let wait = (deadline - now).min(
+            next_announce
+                .saturating_duration_since(now)
+                .max(Duration::from_millis(1)),
+        );
         match consumer.recv_timeout(wait) {
             Ok(d) => {
                 if d.message.payload().len() == 8 {
@@ -548,7 +554,17 @@ pub fn run_election(mq: &MessageBroker, my_id: u64, settle: Duration) -> OmqResu
         }
     }
     let _ = mq.delete_queue(&queue);
-    Ok(lowest == my_id)
+    let won = lowest == my_id;
+    if won {
+        // A won election is a supervisor failover about to happen.
+        obs::counter("omq.election_wins_total").inc();
+        obs::log(
+            obs::Level::Info,
+            "omq.election",
+            &format!("broker {my_id} won the supervisor election"),
+        );
+    }
+    Ok(won)
 }
 
 #[cfg(test)]

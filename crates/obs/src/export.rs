@@ -1,0 +1,161 @@
+//! Exporters: a Prometheus-style text snapshot of the metrics registry and
+//! a JSON-lines rendering of the span ring buffer. Both are pull-based —
+//! callers decide when and where snapshots go (stdout, a `--obs-dump`
+//! file, a test assertion).
+
+use crate::metrics::registry;
+use std::fmt::Write;
+
+/// Sanitizes a metric name into the Prometheus charset
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): dots and dashes become underscores.
+fn prom_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Renders every registered metric as Prometheus-style exposition text:
+/// counters and gauges as single samples, histograms as `{quantile=..}`
+/// samples plus `_count`, `_sum`, and `_max`.
+pub fn render_text() -> String {
+    let mut out = String::new();
+    for (name, counter) in registry().counters() {
+        let n = prom_name(&name);
+        let _ = writeln!(out, "# TYPE {n} counter");
+        let _ = writeln!(out, "{n} {}", counter.value());
+    }
+    for (name, gauge) in registry().gauges() {
+        let n = prom_name(&name);
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        let _ = writeln!(out, "{n} {}", fmt_f64(gauge.value()));
+    }
+    for (name, histogram) in registry().histograms() {
+        let n = prom_name(&name);
+        let _ = writeln!(out, "# TYPE {n} summary");
+        let (p50, p90, p95, p99, max) = histogram.summary();
+        for (q, v) in [("0.5", p50), ("0.9", p90), ("0.95", p95), ("0.99", p99)] {
+            let _ = writeln!(out, "{n}{{quantile=\"{q}\"}} {}", fmt_f64(v));
+        }
+        let _ = writeln!(out, "{n}_count {}", histogram.count());
+        let _ = writeln!(out, "{n}_sum {}", fmt_f64(histogram.sum_secs()));
+        let _ = writeln!(out, "{n}_max {}", fmt_f64(max));
+    }
+    out
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the span ring buffer as JSON lines — one span object per line,
+/// oldest first. Suitable for `--obs-dump` files and offline trace
+/// reconstruction.
+pub fn spans_json() -> String {
+    let mut out = String::new();
+    for span in crate::finished_spans() {
+        let parent = match span.parent_id {
+            Some(p) => format!("\"{p:016x}\""),
+            None => "null".to_string(),
+        };
+        let annotations = span
+            .annotations
+            .iter()
+            .map(|a| format!("\"{}\"", json_escape(a)))
+            .collect::<Vec<_>>()
+            .join(",");
+        let _ = writeln!(
+            out,
+            "{{\"trace\":\"{:016x}\",\"span\":\"{:016x}\",\"parent\":{parent},\
+             \"name\":\"{}\",\"start_ns\":{},\"end_ns\":{},\"annotations\":[{annotations}]}}",
+            span.trace_id,
+            span.span_id,
+            json_escape(&span.name),
+            span.start_ns,
+            span.end_ns,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_snapshot_contains_all_metric_kinds() {
+        crate::counter("export.requests_total").add(3);
+        crate::gauge("export.pool_size").set(4.0);
+        let h = crate::histogram("export.latency_seconds");
+        h.record_secs(0.010);
+        h.record_secs(0.020);
+
+        let text = render_text();
+        assert!(text.contains("# TYPE export_requests_total counter"));
+        assert!(text.contains("export_requests_total 3"));
+        assert!(text.contains("# TYPE export_pool_size gauge"));
+        assert!(text.contains("export_pool_size 4.0"));
+        assert!(text.contains("export_latency_seconds{quantile=\"0.5\"}"));
+        assert!(text.contains("export_latency_seconds{quantile=\"0.99\"}"));
+        assert!(text.contains("export_latency_seconds_count 2"));
+        assert!(text.contains("export_latency_seconds_max"));
+    }
+
+    #[test]
+    fn prom_names_are_sanitized() {
+        assert_eq!(
+            prom_name("mq.queue.publish-total"),
+            "mq_queue_publish_total"
+        );
+        assert_eq!(prom_name("9lives"), "_9lives");
+    }
+
+    #[test]
+    fn span_json_lines_are_well_formed() {
+        let mut span = crate::Span::start("export.json \"quoted\"");
+        span.note("line\nbreak");
+        let trace = span.context().trace_id;
+        span.finish();
+        let json = spans_json();
+        let line = json
+            .lines()
+            .find(|l| l.contains(&format!("{trace:016x}")))
+            .expect("span line present");
+        assert!(line.contains("\\\"quoted\\\""));
+        assert!(line.contains("line\\nbreak"));
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\"parent\":null"));
+    }
+}

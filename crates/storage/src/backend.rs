@@ -163,7 +163,7 @@ fn encode(s: &str) -> String {
 }
 
 fn decode(s: &str) -> Option<String> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return None;
     }
     let mut out = Vec::with_capacity(s.len() / 2);
@@ -248,10 +248,8 @@ mod tests {
     use super::*;
 
     fn temp_root(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "stacksync-disk-test-{tag}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("stacksync-disk-test-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }
@@ -304,7 +302,9 @@ mod tests {
         let root = temp_root("persist");
         {
             let backend = DiskBackend::open(&root).unwrap();
-            backend.put("acct", "chunks", "deadbeef", b"payload").unwrap();
+            backend
+                .put("acct", "chunks", "deadbeef", b"payload")
+                .unwrap();
         }
         let reopened = DiskBackend::open(&root).unwrap();
         assert_eq!(

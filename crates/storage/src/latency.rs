@@ -101,10 +101,7 @@ mod tests {
             download_bps: 2_000_000,
         };
         // 1 MB at 1 MB/s = 1 s + 2 ms RTT.
-        assert_eq!(
-            m.upload_delay(1_000_000),
-            Duration::from_millis(1002)
-        );
+        assert_eq!(m.upload_delay(1_000_000), Duration::from_millis(1002));
         // Download is twice as fast.
         assert_eq!(m.download_delay(1_000_000), Duration::from_millis(502));
         assert_eq!(m.control_delay(), Duration::from_millis(2));

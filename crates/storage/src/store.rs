@@ -12,6 +12,9 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+/// Container ACL table: (owner, container) -> accounts granted access.
+type AclMap = HashMap<(String, String), HashSet<String>>;
+
 /// Result alias for storage operations.
 pub type StorageResult<T> = Result<T, StorageError>;
 
@@ -98,7 +101,7 @@ pub struct SwiftStore {
     accounts: Arc<RwLock<HashMap<String, Account>>>,
     /// Container ACLs: (owner, container) -> accounts granted access,
     /// mirroring Swift's X-Container-Read/Write ACLs.
-    acls: Arc<RwLock<HashMap<(String, String), HashSet<String>>>>,
+    acls: Arc<RwLock<AclMap>>,
     backend: Arc<dyn ObjectBackend>,
     latency: LatencyModel,
     traffic: TrafficStats,
@@ -427,7 +430,8 @@ mod tests {
     #[test]
     fn put_get_roundtrip() {
         let (s, t) = store();
-        s.put(&t, "chunks", "a", Bytes::from_static(b"data")).unwrap();
+        s.put(&t, "chunks", "a", Bytes::from_static(b"data"))
+            .unwrap();
         assert_eq!(&s.get(&t, "chunks", "a").unwrap()[..], b"data");
     }
 
@@ -516,7 +520,8 @@ mod tests {
     #[test]
     fn traffic_accounting() {
         let (s, t) = store();
-        s.put(&t, "chunks", "a", Bytes::from(vec![0u8; 100])).unwrap();
+        s.put(&t, "chunks", "a", Bytes::from(vec![0u8; 100]))
+            .unwrap();
         let _ = s.get(&t, "chunks", "a").unwrap();
         assert_eq!(s.traffic().uploaded_bytes(), 100);
         assert_eq!(s.traffic().downloaded_bytes(), 100);
@@ -535,7 +540,8 @@ mod tests {
     #[test]
     fn list_and_usage() {
         let (s, t) = store();
-        s.put(&t, "chunks", "b", Bytes::from(vec![0u8; 10])).unwrap();
+        s.put(&t, "chunks", "b", Bytes::from(vec![0u8; 10]))
+            .unwrap();
         s.put(&t, "chunks", "a", Bytes::from(vec![0u8; 5])).unwrap();
         assert_eq!(s.list(&t, "chunks").unwrap(), vec!["a", "b"]);
         assert_eq!(s.account_usage(&t).unwrap(), 15);
@@ -556,7 +562,8 @@ mod tests {
         let owner = s.register_account("owner", "pw");
         let guest = s.register_account("guest", "pw");
         s.create_container(&owner, "shared").unwrap();
-        s.put(&owner, "shared", "x", Bytes::from_static(b"data")).unwrap();
+        s.put(&owner, "shared", "x", Bytes::from_static(b"data"))
+            .unwrap();
 
         // Before the grant: denied.
         assert!(matches!(
@@ -565,7 +572,10 @@ mod tests {
         ));
         s.grant_access(&owner, "shared", "guest").unwrap();
         // After: read and write both work.
-        assert_eq!(&s.get_in(&guest, "owner", "shared", "x").unwrap()[..], b"data");
+        assert_eq!(
+            &s.get_in(&guest, "owner", "shared", "x").unwrap()[..],
+            b"data"
+        );
         s.put_in(&guest, "owner", "shared", "y", Bytes::from_static(b"guest"))
             .unwrap();
         assert_eq!(&s.get(&owner, "shared", "y").unwrap()[..], b"guest");
@@ -591,24 +601,24 @@ mod tests {
         let s = SwiftStore::new(LatencyModel::instant());
         let owner = s.register_account("me", "pw");
         s.create_container(&owner, "c").unwrap();
-        s.put_in(&owner, "me", "c", "k", Bytes::from_static(b"v")).unwrap();
+        s.put_in(&owner, "me", "c", "k", Bytes::from_static(b"v"))
+            .unwrap();
         assert_eq!(&s.get(&owner, "c", "k").unwrap()[..], b"v");
         assert_eq!(&s.get_in(&owner, "me", "c", "k").unwrap()[..], b"v");
     }
 
     #[test]
     fn disk_backend_store_survives_restart() {
-        let root = std::env::temp_dir().join(format!(
-            "stacksync-store-persist-{}",
-            std::process::id()
-        ));
+        let root =
+            std::env::temp_dir().join(format!("stacksync-store-persist-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&root);
         {
             let backend = Arc::new(crate::DiskBackend::open(&root).unwrap());
             let s = SwiftStore::with_backend(LatencyModel::instant(), backend);
             let t = s.register_account("u", "pw");
             s.create_container(&t, "chunks").unwrap();
-            s.put(&t, "chunks", "blob", Bytes::from_static(b"durable")).unwrap();
+            s.put(&t, "chunks", "blob", Bytes::from_static(b"durable"))
+                .unwrap();
         }
         // "Restart": fresh front-end over the same disk root. Accounts are
         // front-end state (re-registered), objects are backend state

@@ -20,10 +20,10 @@ use content::{sha1, ChunkId};
 use metadata::{ItemMetadata, Workspace, WorkspaceId};
 use objectmq::{Broker, Proxy, RemoteObject, ServerHandle};
 use parking_lot::Mutex;
-use storage::{SwiftStore, Token};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use storage::{SwiftStore, Token};
 use wire::{Codec, Value};
 
 /// Chunking strategy — one of the extension hooks the paper calls out
@@ -332,11 +332,10 @@ impl DesktopClient {
             shared.config.call_timeout,
             shared.config.call_retries,
         )?;
-        shared
-            .stats
-            .inner
-            .control_received
-            .fetch_add(wire::BinaryCodec.encode(&state).len() as u64, Ordering::Relaxed);
+        shared.stats.inner.control_received.fetch_add(
+            wire::BinaryCodec.encode(&state).len() as u64,
+            Ordering::Relaxed,
+        );
         for item_value in state.as_list()? {
             let item = item_from_value(item_value)?;
             materialize_item(&shared, &item)?;
@@ -462,7 +461,11 @@ impl DesktopClient {
     /// helper). Returns whether the condition was met before the timeout.
     pub fn wait_for_content(&self, path: &str, expected: &[u8], timeout: Duration) -> bool {
         self.wait(timeout, || {
-            self.shared.fs.lock().read(path).is_some_and(|b| b == expected)
+            self.shared
+                .fs
+                .lock()
+                .read(path)
+                .is_some_and(|b| b == expected)
         })
     }
 
@@ -688,7 +691,7 @@ fn apply_notification(
             }
             let newer = {
                 let db = shared.db.lock();
-                db.get(&item.path).map_or(true, |e| item.version > e.version)
+                db.get(&item.path).is_none_or(|e| item.version > e.version)
             };
             if newer {
                 materialize_item(shared, item)?;
@@ -697,11 +700,7 @@ fn apply_notification(
             // We lost a conflict: keep our bytes as a conflict copy, adopt
             // the winning server version under the original path (the
             // Dropbox policy, paper §4.1/§4.2.1).
-            shared
-                .stats
-                .inner
-                .conflicts
-                .fetch_add(1, Ordering::Relaxed);
+            shared.stats.inner.conflicts.fetch_add(1, Ordering::Relaxed);
             let current = change
                 .current
                 .clone()

@@ -1,6 +1,8 @@
 //! The SyncService: the paper's stateless server object (§4.2.1).
 
-use crate::protocol::{item_from_value, item_to_value, workspace_to_value, CommitNotification, NotifiedChange};
+use crate::protocol::{
+    item_from_value, item_to_value, workspace_to_value, CommitNotification, NotifiedChange,
+};
 use crate::workspace_notification_oid;
 use metadata::{MetadataStore, WorkspaceId};
 use objectmq::{Broker, OmqResult, Proxy, RemoteObject, ServerHandle};
@@ -180,16 +182,23 @@ impl SyncService {
             .map_err(|e| e.to_string())?;
 
         let workspace = WorkspaceId(ws.to_string());
+        // Tag the enclosing handler.exec span (the skeleton drains this
+        // thread's annotation buffer) so traces are filterable by workspace.
+        obs::annotate_current(&format!("ws:{ws}"));
         let outcomes = self
             .inner
             .meta
             .commit(&workspace, proposals)
             .map_err(|e| e.to_string())?;
         self.inner.commits.fetch_add(1, Ordering::Relaxed);
+        obs::counter("sync.commits_total").inc();
         let conflicts = outcomes.iter().filter(|o| !o.is_committed()).count();
         self.inner
             .conflicts
             .fetch_add(conflicts as u64, Ordering::Relaxed);
+        if conflicts > 0 {
+            obs::counter("sync.conflicts_total").add(conflicts as u64);
+        }
 
         let notification = CommitNotification {
             workspace: workspace.clone(),
@@ -300,7 +309,10 @@ mod tests {
         let (_broker, service, ws, _meta) = setup();
         let item = ItemMetadata::new_file(1, &ws, "a.txt", vec![], 5, "dev");
         service
-            .dispatch("commit_request", &commit_args(&ws, "dev", vec![item.clone()]))
+            .dispatch(
+                "commit_request",
+                &commit_args(&ws, "dev", vec![item.clone()]),
+            )
             .unwrap();
         // Same version-1 proposal again: stale.
         service
@@ -326,7 +338,11 @@ mod tests {
         assert!(service
             .dispatch(
                 "commit_request",
-                &[Value::from(ws.0.as_str()), Value::from("dev"), Value::I64(3)]
+                &[
+                    Value::from(ws.0.as_str()),
+                    Value::from("dev"),
+                    Value::I64(3)
+                ]
             )
             .is_err());
     }

@@ -5,9 +5,9 @@
 use metadata::{InMemoryStore, MetadataStore};
 use objectmq::Broker;
 use stacksync::{provision_user, ClientConfig, DesktopClient, SyncService};
-use storage::{LatencyModel, SwiftStore};
 use std::sync::Arc;
 use std::time::Duration;
+use storage::{LatencyModel, SwiftStore};
 
 const T: Duration = Duration::from_secs(5);
 
@@ -43,10 +43,10 @@ fn small_config(user: &str, device: &str) -> ClientConfig {
 fn two_devices_full_sync() {
     let s = stack();
     let ws = provision_user(s.meta.as_ref(), "alice", "Docs").unwrap();
-    let a = DesktopClient::connect(&s.broker, &s.store, small_config("alice", "laptop"), &ws)
-        .unwrap();
-    let b = DesktopClient::connect(&s.broker, &s.store, small_config("alice", "phone"), &ws)
-        .unwrap();
+    let a =
+        DesktopClient::connect(&s.broker, &s.store, small_config("alice", "laptop"), &ws).unwrap();
+    let b =
+        DesktopClient::connect(&s.broker, &s.store, small_config("alice", "phone"), &ws).unwrap();
 
     let payload = vec![42u8; 10_000];
     a.write_file("report.txt", payload.clone()).unwrap();
@@ -59,10 +59,10 @@ fn two_devices_full_sync() {
 fn update_propagates_new_version() {
     let s = stack();
     let ws = provision_user(s.meta.as_ref(), "alice", "Docs").unwrap();
-    let a = DesktopClient::connect(&s.broker, &s.store, small_config("alice", "laptop"), &ws)
-        .unwrap();
-    let b = DesktopClient::connect(&s.broker, &s.store, small_config("alice", "phone"), &ws)
-        .unwrap();
+    let a =
+        DesktopClient::connect(&s.broker, &s.store, small_config("alice", "laptop"), &ws).unwrap();
+    let b =
+        DesktopClient::connect(&s.broker, &s.store, small_config("alice", "phone"), &ws).unwrap();
 
     a.write_file("f.txt", b"v1".to_vec()).unwrap();
     assert!(b.wait_for_content("f.txt", b"v1", T));
@@ -75,10 +75,10 @@ fn update_propagates_new_version() {
 fn delete_propagates_tombstone() {
     let s = stack();
     let ws = provision_user(s.meta.as_ref(), "alice", "Docs").unwrap();
-    let a = DesktopClient::connect(&s.broker, &s.store, small_config("alice", "laptop"), &ws)
-        .unwrap();
-    let b = DesktopClient::connect(&s.broker, &s.store, small_config("alice", "phone"), &ws)
-        .unwrap();
+    let a =
+        DesktopClient::connect(&s.broker, &s.store, small_config("alice", "laptop"), &ws).unwrap();
+    let b =
+        DesktopClient::connect(&s.broker, &s.store, small_config("alice", "phone"), &ws).unwrap();
 
     a.write_file("gone.txt", b"bye".to_vec()).unwrap();
     assert!(b.wait_for_content("gone.txt", b"bye", T));
@@ -92,26 +92,31 @@ fn delete_propagates_tombstone() {
 fn recreate_after_delete_continues_version_chain() {
     let s = stack();
     let ws = provision_user(s.meta.as_ref(), "alice", "Docs").unwrap();
-    let a = DesktopClient::connect(&s.broker, &s.store, small_config("alice", "laptop"), &ws)
-        .unwrap();
-    let b = DesktopClient::connect(&s.broker, &s.store, small_config("alice", "phone"), &ws)
-        .unwrap();
+    let a =
+        DesktopClient::connect(&s.broker, &s.store, small_config("alice", "laptop"), &ws).unwrap();
+    let b =
+        DesktopClient::connect(&s.broker, &s.store, small_config("alice", "phone"), &ws).unwrap();
 
     a.write_file("phoenix.txt", b"first life".to_vec()).unwrap();
     assert!(b.wait_for_content("phoenix.txt", b"first life", T));
     a.delete_file("phoenix.txt").unwrap();
     assert!(b.wait_for_absent("phoenix.txt", T));
-    a.write_file("phoenix.txt", b"second life".to_vec()).unwrap();
+    a.write_file("phoenix.txt", b"second life".to_vec())
+        .unwrap();
     assert!(b.wait_for_content("phoenix.txt", b"second life", T));
-    assert_eq!(b.file_version("phoenix.txt"), Some(3), "v1, tombstone v2, v3");
+    assert_eq!(
+        b.file_version("phoenix.txt"),
+        Some(3),
+        "v1, tombstone v2, v3"
+    );
 }
 
 #[test]
 fn late_joiner_gets_full_state_via_get_changes() {
     let s = stack();
     let ws = provision_user(s.meta.as_ref(), "alice", "Docs").unwrap();
-    let a = DesktopClient::connect(&s.broker, &s.store, small_config("alice", "laptop"), &ws)
-        .unwrap();
+    let a =
+        DesktopClient::connect(&s.broker, &s.store, small_config("alice", "laptop"), &ws).unwrap();
     a.write_file("one.txt", b"1".to_vec()).unwrap();
     a.write_file("two.txt", vec![7u8; 9000]).unwrap();
     a.write_file("doomed.txt", b"x".to_vec()).unwrap();
@@ -121,8 +126,8 @@ fn late_joiner_gets_full_state_via_get_changes() {
     assert!(a.wait(T, || s.service.commits_processed() >= 4));
 
     // A device connecting later must reconstruct exactly the live files.
-    let late = DesktopClient::connect(&s.broker, &s.store, small_config("alice", "tablet"), &ws)
-        .unwrap();
+    let late =
+        DesktopClient::connect(&s.broker, &s.store, small_config("alice", "tablet"), &ws).unwrap();
     assert_eq!(late.list_files(), vec!["one.txt", "two.txt"]);
     assert_eq!(late.read_file("two.txt").unwrap(), vec![7u8; 9000]);
 }
@@ -131,8 +136,8 @@ fn late_joiner_gets_full_state_via_get_changes() {
 fn per_user_dedup_skips_duplicate_chunks() {
     let s = stack();
     let ws = provision_user(s.meta.as_ref(), "alice", "Docs").unwrap();
-    let a = DesktopClient::connect(&s.broker, &s.store, small_config("alice", "laptop"), &ws)
-        .unwrap();
+    let a =
+        DesktopClient::connect(&s.broker, &s.store, small_config("alice", "laptop"), &ws).unwrap();
 
     let chunk = vec![9u8; 4096];
     // Two files with identical content: second upload must dedup entirely.
@@ -142,8 +147,8 @@ fn per_user_dedup_skips_duplicate_chunks() {
     assert_eq!(a.stats().chunks_deduplicated(), 1);
 
     // Both files still sync correctly to another device.
-    let b = DesktopClient::connect(&s.broker, &s.store, small_config("alice", "phone"), &ws)
-        .unwrap();
+    let b =
+        DesktopClient::connect(&s.broker, &s.store, small_config("alice", "phone"), &ws).unwrap();
     assert!(b.wait_for_content("a.bin", &chunk, T));
     assert!(b.wait_for_content("copy-of-a.bin", &chunk, T));
 }
@@ -152,10 +157,10 @@ fn per_user_dedup_skips_duplicate_chunks() {
 fn multi_chunk_files_reassemble_in_order() {
     let s = stack();
     let ws = provision_user(s.meta.as_ref(), "alice", "Docs").unwrap();
-    let a = DesktopClient::connect(&s.broker, &s.store, small_config("alice", "laptop"), &ws)
-        .unwrap();
-    let b = DesktopClient::connect(&s.broker, &s.store, small_config("alice", "phone"), &ws)
-        .unwrap();
+    let a =
+        DesktopClient::connect(&s.broker, &s.store, small_config("alice", "laptop"), &ws).unwrap();
+    let b =
+        DesktopClient::connect(&s.broker, &s.store, small_config("alice", "phone"), &ws).unwrap();
 
     // 3.5 chunks of distinct content so ordering mistakes are detectable.
     let payload: Vec<u8> = (0..14_336u32).map(|i| (i % 251) as u8).collect();
@@ -187,10 +192,10 @@ fn conflict_creates_conflict_copy_and_converges() {
         _server,
     };
     let ws = provision_user(s.meta.as_ref(), "alice", "Docs").unwrap();
-    let a = DesktopClient::connect(&s.broker, &s.store, small_config("alice", "laptop"), &ws)
-        .unwrap();
-    let b = DesktopClient::connect(&s.broker, &s.store, small_config("alice", "phone"), &ws)
-        .unwrap();
+    let a =
+        DesktopClient::connect(&s.broker, &s.store, small_config("alice", "laptop"), &ws).unwrap();
+    let b =
+        DesktopClient::connect(&s.broker, &s.store, small_config("alice", "phone"), &ws).unwrap();
 
     // Both devices create the same path concurrently with different bytes:
     // both propose version 1 of the same item — the second one processed
@@ -231,8 +236,8 @@ fn conflict_creates_conflict_copy_and_converges() {
 fn control_traffic_is_accounted() {
     let s = stack();
     let ws = provision_user(s.meta.as_ref(), "alice", "Docs").unwrap();
-    let a = DesktopClient::connect(&s.broker, &s.store, small_config("alice", "laptop"), &ws)
-        .unwrap();
+    let a =
+        DesktopClient::connect(&s.broker, &s.store, small_config("alice", "laptop"), &ws).unwrap();
     a.write_file("f.txt", vec![1u8; 5000]).unwrap();
     assert!(a.wait(T, || a.stats().notifications() >= 1));
     assert!(a.stats().control_sent_bytes() > 0);
@@ -250,12 +255,13 @@ fn service_pool_scales_without_client_changes() {
     let extra1 = s.service.bind(&s.broker).unwrap();
     let extra2 = s.service.bind(&s.broker).unwrap();
     let ws = provision_user(s.meta.as_ref(), "alice", "Docs").unwrap();
-    let a = DesktopClient::connect(&s.broker, &s.store, small_config("alice", "laptop"), &ws)
-        .unwrap();
-    let b = DesktopClient::connect(&s.broker, &s.store, small_config("alice", "phone"), &ws)
-        .unwrap();
+    let a =
+        DesktopClient::connect(&s.broker, &s.store, small_config("alice", "laptop"), &ws).unwrap();
+    let b =
+        DesktopClient::connect(&s.broker, &s.store, small_config("alice", "phone"), &ws).unwrap();
     for i in 0..20 {
-        a.write_file(&format!("file-{i}.txt"), vec![i as u8; 100]).unwrap();
+        a.write_file(&format!("file-{i}.txt"), vec![i as u8; 100])
+            .unwrap();
     }
     assert!(a.wait(Duration::from_secs(10), || {
         s.service.commits_processed() >= 20
@@ -273,14 +279,16 @@ fn instance_crash_mid_commit_is_redelivered() {
     let s = stack();
     let victim = s.service.bind(&s.broker).unwrap();
     let ws = provision_user(s.meta.as_ref(), "alice", "Docs").unwrap();
-    let a = DesktopClient::connect(&s.broker, &s.store, small_config("alice", "laptop"), &ws)
-        .unwrap();
+    let a =
+        DesktopClient::connect(&s.broker, &s.store, small_config("alice", "laptop"), &ws).unwrap();
     for i in 0..10 {
-        a.write_file(&format!("f{i}.txt"), vec![i as u8; 64]).unwrap();
+        a.write_file(&format!("f{i}.txt"), vec![i as u8; 64])
+            .unwrap();
     }
     victim.kill();
     assert!(
-        a.wait(Duration::from_secs(10), || s.service.commits_processed() >= 10),
+        a.wait(Duration::from_secs(10), || s.service.commits_processed()
+            >= 10),
         "all commits must be processed despite the crash (got {})",
         s.service.commits_processed()
     );
@@ -290,10 +298,10 @@ fn instance_crash_mid_commit_is_redelivered() {
 fn empty_file_syncs() {
     let s = stack();
     let ws = provision_user(s.meta.as_ref(), "alice", "Docs").unwrap();
-    let a = DesktopClient::connect(&s.broker, &s.store, small_config("alice", "laptop"), &ws)
-        .unwrap();
-    let b = DesktopClient::connect(&s.broker, &s.store, small_config("alice", "phone"), &ws)
-        .unwrap();
+    let a =
+        DesktopClient::connect(&s.broker, &s.store, small_config("alice", "laptop"), &ws).unwrap();
+    let b =
+        DesktopClient::connect(&s.broker, &s.store, small_config("alice", "phone"), &ws).unwrap();
     a.write_file("empty.txt", vec![]).unwrap();
     assert!(b.wait_for_content("empty.txt", b"", T));
 }
@@ -407,8 +415,8 @@ fn shared_workspace_across_users() {
     assert_eq!(bobs.len(), 1);
     assert_eq!(bobs[0].id, ws);
     assert_eq!(bobs[0].members, vec!["bob".to_string()]);
-    let bob = DesktopClient::connect(&s.broker, &s.store, small_config("bob", "b-laptop"), &ws)
-        .unwrap();
+    let bob =
+        DesktopClient::connect(&s.broker, &s.store, small_config("bob", "b-laptop"), &ws).unwrap();
     assert_eq!(bob.read_file("spec.md").unwrap(), b"# spec v1");
 
     // Bob contributes; Alice receives.
@@ -416,7 +424,8 @@ fn shared_workspace_across_users() {
     assert!(alice.wait_for_content("notes.md", b"from bob", T));
 
     // Bob edits Alice's file; version chain continues.
-    bob.write_file("spec.md", b"# spec v2 (bob)".to_vec()).unwrap();
+    bob.write_file("spec.md", b"# spec v2 (bob)".to_vec())
+        .unwrap();
     assert!(alice.wait_for_content("spec.md", b"# spec v2 (bob)", T));
     assert_eq!(alice.file_version("spec.md"), Some(2));
 }
@@ -428,9 +437,11 @@ fn unshared_user_cannot_read_foreign_chunks() {
     // stay protected).
     let s = stack();
     let ws = provision_user(s.meta.as_ref(), "alice", "Private").unwrap();
-    let alice = DesktopClient::connect(&s.broker, &s.store, small_config("alice", "a-dev"), &ws)
+    let alice =
+        DesktopClient::connect(&s.broker, &s.store, small_config("alice", "a-dev"), &ws).unwrap();
+    alice
+        .write_file("secret.txt", b"classified".to_vec())
         .unwrap();
-    alice.write_file("secret.txt", b"classified".to_vec()).unwrap();
     assert!(alice.wait(T, || s.service.commits_processed() >= 1));
 
     s.meta.create_user("eve").unwrap();
@@ -467,10 +478,10 @@ fn startup_flow_lists_workspaces_then_connects() {
 fn rename_costs_metadata_only_and_propagates() {
     let s = stack();
     let ws = provision_user(s.meta.as_ref(), "alice", "Docs").unwrap();
-    let a = DesktopClient::connect(&s.broker, &s.store, small_config("alice", "laptop"), &ws)
-        .unwrap();
-    let b = DesktopClient::connect(&s.broker, &s.store, small_config("alice", "phone"), &ws)
-        .unwrap();
+    let a =
+        DesktopClient::connect(&s.broker, &s.store, small_config("alice", "laptop"), &ws).unwrap();
+    let b =
+        DesktopClient::connect(&s.broker, &s.store, small_config("alice", "phone"), &ws).unwrap();
 
     let payload = vec![5u8; 9000];
     a.write_file("old-name.bin", payload.clone()).unwrap();

@@ -32,8 +32,7 @@ fn arb_value() -> impl Strategy<Value = Value> {
     leaf.prop_recursive(3, 24, 4, |inner| {
         prop_oneof![
             proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::List),
-            proptest::collection::vec(("\\PC{0,6}", inner), 0..4)
-                .prop_map(|entries| Value::Map(entries)),
+            proptest::collection::vec(("\\PC{0,6}", inner), 0..4).prop_map(Value::Map),
         ]
     })
 }
@@ -106,7 +105,9 @@ fn listener_rejects_malformed_notifications_gracefully() {
     let _ = proxy.call_multi_async("no_such_method", vec![]);
 
     // The client must still be alive and functional.
-    client.write_file("alive.txt", b"still here".to_vec()).unwrap();
+    client
+        .write_file("alive.txt", b"still here".to_vec())
+        .unwrap();
     assert!(client.wait(std::time::Duration::from_secs(5), || {
         service.commits_processed() >= 1
     }));

@@ -281,8 +281,7 @@ mod tests {
         leaf.prop_recursive(3, 48, 6, |inner| {
             prop_oneof![
                 proptest::collection::vec(inner.clone(), 0..6).prop_map(Value::List),
-                proptest::collection::vec((".{0,8}", inner), 0..6)
-                    .prop_map(|entries| Value::Map(entries)),
+                proptest::collection::vec((".{0,8}", inner), 0..6).prop_map(Value::Map),
             ]
         })
     }

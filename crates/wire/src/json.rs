@@ -315,8 +315,8 @@ impl<'a> Parser<'a> {
                 _ => break,
             }
         }
-        let raw = std::str::from_utf8(&self.text[start..self.pos])
-            .map_err(|_| WireError::InvalidUtf8)?;
+        let raw =
+            std::str::from_utf8(&self.text[start..self.pos]).map_err(|_| WireError::InvalidUtf8)?;
         if is_float {
             raw.parse::<f64>()
                 .map(Value::F64)
@@ -422,17 +422,23 @@ mod tests {
 
     #[test]
     fn unicode_escapes() {
-        assert_eq!(
-            parse(r#""Aé😀""#).unwrap(),
-            Value::Str("Aé😀".into())
-        );
+        assert_eq!(parse(r#""Aé😀""#).unwrap(), Value::Str("Aé😀".into()));
     }
 
     #[test]
     fn malformed_inputs_error() {
         for bad in [
-            "", "{", "[1,", "tru", "\"abc", "{\"a\"}", "01x", "[1 2]", "\"\\u12\"",
-            "\"\\ud800\"", "nulltrailing",
+            "",
+            "{",
+            "[1,",
+            "tru",
+            "\"abc",
+            "{\"a\"}",
+            "01x",
+            "[1 2]",
+            "\"\\u12\"",
+            "\"\\ud800\"",
+            "nulltrailing",
         ] {
             assert!(parse(bad).is_err(), "should reject {bad:?}");
         }
@@ -477,8 +483,7 @@ mod tests {
         leaf.prop_recursive(3, 32, 5, |inner| {
             prop_oneof![
                 proptest::collection::vec(inner.clone(), 0..5).prop_map(Value::List),
-                proptest::collection::vec(("\\PC{0,6}", inner), 0..5)
-                    .prop_map(|entries| Value::Map(entries)),
+                proptest::collection::vec(("\\PC{0,6}", inner), 0..5).prop_map(Value::Map),
             ]
         })
     }

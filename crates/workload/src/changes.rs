@@ -41,7 +41,10 @@ impl ChangePattern {
     /// Whether the pattern includes a beginning change (the one that
     /// triggers the boundary-shifting problem for fixed chunking).
     pub fn touches_beginning(&self) -> bool {
-        matches!(self, ChangePattern::B | ChangePattern::BE | ChangePattern::BM)
+        matches!(
+            self,
+            ChangePattern::B | ChangePattern::BE | ChangePattern::BM
+        )
     }
 
     /// Applies the pattern to `data`, mutating roughly `edit_size` bytes
@@ -49,24 +52,31 @@ impl ChangePattern {
     /// changes overwrite in place.
     pub fn apply<R: Rng>(&self, data: &[u8], edit_size: usize, rng: &mut R) -> Vec<u8> {
         let mut out = data.to_vec();
-        let fresh = |rng: &mut R| -> Vec<u8> {
-            (0..edit_size.max(1)).map(|_| rng.gen::<u8>()).collect()
-        };
-        if matches!(self, ChangePattern::B | ChangePattern::BE | ChangePattern::BM) {
+        let fresh =
+            |rng: &mut R| -> Vec<u8> { (0..edit_size.max(1)).map(|_| rng.gen::<u8>()).collect() };
+        if matches!(
+            self,
+            ChangePattern::B | ChangePattern::BE | ChangePattern::BM
+        ) {
             let mut prefixed = fresh(rng);
             prefixed.extend_from_slice(&out);
             out = prefixed;
         }
-        if matches!(self, ChangePattern::M | ChangePattern::BM | ChangePattern::EM) {
-            if !out.is_empty() {
-                let len = edit_size.max(1).min(out.len());
-                let start = rng.gen_range(0..=out.len() - len);
-                for b in &mut out[start..start + len] {
-                    *b = rng.gen();
-                }
+        if matches!(
+            self,
+            ChangePattern::M | ChangePattern::BM | ChangePattern::EM
+        ) && !out.is_empty()
+        {
+            let len = edit_size.max(1).min(out.len());
+            let start = rng.gen_range(0..=out.len() - len);
+            for b in &mut out[start..start + len] {
+                *b = rng.gen();
             }
         }
-        if matches!(self, ChangePattern::E | ChangePattern::BE | ChangePattern::EM) {
+        if matches!(
+            self,
+            ChangePattern::E | ChangePattern::BE | ChangePattern::EM
+        ) {
             out.extend(fresh(rng));
         }
         out
@@ -85,7 +95,9 @@ mod tests {
         let n = 100_000;
         let mut counts = std::collections::HashMap::new();
         for _ in 0..n {
-            *counts.entry(ChangePattern::sample(&mut rng)).or_insert(0u32) += 1;
+            *counts
+                .entry(ChangePattern::sample(&mut rng))
+                .or_insert(0u32) += 1;
         }
         let frac = |p: ChangePattern| counts.get(&p).copied().unwrap_or(0) as f64 / n as f64;
         assert!((frac(ChangePattern::B) - 0.38).abs() < 0.01);

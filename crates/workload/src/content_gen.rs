@@ -21,11 +21,21 @@ pub fn generate(size: usize, seed: u64, compressibility: f64) -> Vec<u8> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = Vec::with_capacity(size);
     const WORDS: &[&str] = &[
-        "the ", "file ", "synchronization ", "elastic ", "cloud ", "storage ",
-        "chunk ", "commit ", "workspace ", "metadata ", "queue ", "message ",
+        "the ",
+        "file ",
+        "synchronization ",
+        "elastic ",
+        "cloud ",
+        "storage ",
+        "chunk ",
+        "commit ",
+        "workspace ",
+        "metadata ",
+        "queue ",
+        "message ",
     ];
     while out.len() < size {
-        let region = rng.gen_range(256..2048).min(size - out.len());
+        let region = rng.gen_range(256usize..2048).min(size - out.len());
         if rng.gen::<f64>() < compressibility {
             // Text-like region.
             while out.len() < size && region > 0 {
@@ -83,6 +93,9 @@ mod tests {
             seen.iter().filter(|&&x| x).count()
         };
         assert!(distinct(&text) < 64, "text should use few byte values");
-        assert!(distinct(&random) > 200, "random should use most byte values");
+        assert!(
+            distinct(&random) > 200,
+            "random should use most byte values"
+        );
     }
 }

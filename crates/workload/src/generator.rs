@@ -47,9 +47,9 @@ impl TraceOp {
     /// The path the operation touches.
     pub fn path(&self) -> &str {
         match self {
-            TraceOp::Add { path, .. }
-            | TraceOp::Update { path, .. }
-            | TraceOp::Remove { path } => path,
+            TraceOp::Add { path, .. } | TraceOp::Update { path, .. } | TraceOp::Remove { path } => {
+                path
+            }
         }
     }
 }
@@ -140,25 +140,24 @@ impl Trace {
         let mut live: Vec<(String, u64, FileState)> = Vec::new();
         let mut next_file = 0usize;
 
-        let add_file =
-            |ops: &mut Vec<TraceOp>,
-             live: &mut Vec<(String, u64, FileState)>,
-             rng: &mut StdRng,
-             next_file: &mut usize,
-             record: bool| {
-                let path = format!("dir{:02}/file{:05}.dat", *next_file % 20, *next_file);
-                *next_file += 1;
-                let size = config.sizes.sample(rng);
-                let seed = rng.gen::<u64>();
-                if record {
-                    ops.push(TraceOp::Add {
-                        path: path.clone(),
-                        size,
-                        content_seed: seed,
-                    });
-                }
-                live.push((path, size, FileState::New));
-            };
+        let add_file = |ops: &mut Vec<TraceOp>,
+                        live: &mut Vec<(String, u64, FileState)>,
+                        rng: &mut StdRng,
+                        next_file: &mut usize,
+                        record: bool| {
+            let path = format!("dir{:02}/file{:05}.dat", *next_file % 20, *next_file);
+            *next_file += 1;
+            let size = config.sizes.sample(rng);
+            let seed = rng.gen::<u64>();
+            if record {
+                ops.push(TraceOp::Add {
+                    path: path.clone(),
+                    size,
+                    content_seed: seed,
+                });
+            }
+            live.push((path, size, FileState::New));
+        };
 
         // Initial population (recorded as ADDs: executing the trace must
         // reproduce the full workspace).
@@ -241,7 +240,11 @@ impl Trace {
             updates,
             removes,
             add_volume,
-            avg_file_size: if adds > 0 { add_volume / adds as u64 } else { 0 },
+            avg_file_size: if adds > 0 {
+                add_volume / adds as u64
+            } else {
+                0
+            },
         }
     }
 
@@ -373,8 +376,14 @@ mod tests {
             trace.ops.len()
         );
         assert!(adds.ops.iter().all(|o| matches!(o, TraceOp::Add { .. })));
-        assert!(updates.ops.iter().all(|o| matches!(o, TraceOp::Update { .. })));
-        assert!(removes.ops.iter().all(|o| matches!(o, TraceOp::Remove { .. })));
+        assert!(updates
+            .ops
+            .iter()
+            .all(|o| matches!(o, TraceOp::Update { .. })));
+        assert!(removes
+            .ops
+            .iter()
+            .all(|o| matches!(o, TraceOp::Remove { .. })));
     }
 
     #[test]

@@ -147,8 +147,7 @@ impl Trace {
     /// file does not contain a v1 trace.
     pub fn load(path: impl AsRef<Path>) -> std::io::Result<Self> {
         let bytes = std::fs::read(path)?;
-        Self::from_json(&bytes)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+        Self::from_json(&bytes).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
 }
 

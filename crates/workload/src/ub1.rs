@@ -86,7 +86,7 @@ impl Ub1Trace {
             };
             for _ in 0..n_bursts {
                 let start = rng.gen_range(0..MINUTES_PER_DAY);
-                let len = rng.gen_range(3..20);
+                let len = rng.gen_range(3usize..20);
                 let magnitude = 1.0 + (config.burst_multiplier - 1.0) * rng.gen::<f64>();
                 bursts.push((start, start + len, magnitude));
             }

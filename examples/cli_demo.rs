@@ -187,7 +187,10 @@ impl Cloud {
                     last = now;
                 }
             }
-            other => Err(format!("unknown command {:?} — try `help`", other.join(" "))),
+            other => Err(format!(
+                "unknown command {:?} — try `help`",
+                other.join(" ")
+            )),
         }
     }
 }

@@ -19,12 +19,7 @@ fn main() {
     });
 
     println!("hour  req/min  pool  p95(ms)   workload");
-    let max = summary
-        .points
-        .iter()
-        .map(|p| p.arrivals)
-        .max()
-        .unwrap_or(1) as f64;
+    let max = summary.points.iter().map(|p| p.arrivals).max().unwrap_or(1) as f64;
     for p in summary.points.iter().step_by(60) {
         let bars = ((p.arrivals as f64 / max) * 32.0) as usize;
         println!(

@@ -48,8 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ws = provision_user(meta.as_ref(), "alice", "Documents")?;
     let laptop =
         DesktopClient::connect(&broker, &store, ClientConfig::new("alice", "laptop"), &ws)?;
-    let phone =
-        DesktopClient::connect(&broker, &store, ClientConfig::new("alice", "phone"), &ws)?;
+    let phone = DesktopClient::connect(&broker, &store, ClientConfig::new("alice", "phone"), &ws)?;
 
     laptop.write_file("plan.txt", b"ship the reproduction".to_vec())?;
     assert!(phone.wait_for_content("plan.txt", b"ship the reproduction", Duration::from_secs(5)));

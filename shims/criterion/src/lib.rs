@@ -1,0 +1,342 @@
+//! Local stand-in for `criterion`: the same benchmark-definition surface
+//! (`criterion_group!`, `criterion_main!`, groups, throughput, ids), with a
+//! simple warm-up + timed-batch measurement loop printing mean per-iteration
+//! time and derived throughput to stdout. Built because the environment has
+//! no crates.io access; benches use `harness = false` so this is the whole
+//! harness.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value sink preventing the optimizer from deleting benchmark work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units the per-iteration throughput is reported in.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Display-formatted benchmark identifier (`BenchmarkId::from_parameter(..)`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Builds an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// The rendered name.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Measurement settings plus entry point for defining groups.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the total time budget for timed samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up duration run before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+}
+
+/// A named group sharing throughput settings (`c.benchmark_group(..)`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the group's sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into_id(), |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark with an input value passed to the closure.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.into_id(), |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (reporting happens per-benchmark; nothing to flush).
+    pub fn finish(&mut self) {}
+
+    fn run(&self, id: String, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            mode: Mode::WarmUp,
+            budget: self.criterion.warm_up_time,
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        // Use the warm-up rate to size timed batches near the budget.
+        let warm_rate = if bencher.elapsed.is_zero() {
+            1_000_000.0
+        } else {
+            bencher.iters_done as f64 / bencher.elapsed.as_secs_f64()
+        };
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let per_sample = self.criterion.measurement_time.as_secs_f64() / samples as f64;
+        let batch = ((warm_rate * per_sample) as u64).max(1);
+
+        let mut total_iters = 0u64;
+        let mut total_time = Duration::ZERO;
+        let mut best = f64::INFINITY;
+        for _ in 0..samples {
+            let mut b = Bencher {
+                mode: Mode::Fixed(batch),
+                budget: Duration::ZERO,
+                iters_done: 0,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.iters_done > 0 {
+                let per_iter = b.elapsed.as_secs_f64() / b.iters_done as f64;
+                best = best.min(per_iter);
+            }
+            total_iters += b.iters_done;
+            total_time += b.elapsed;
+        }
+        let mean = if total_iters == 0 {
+            0.0
+        } else {
+            total_time.as_secs_f64() / total_iters as f64
+        };
+        let mut line = format!(
+            "bench {}/{:<32} mean {:>12}  best {:>12}",
+            self.name,
+            id,
+            fmt_time(mean),
+            fmt_time(best)
+        );
+        if let Some(t) = self.throughput {
+            if mean > 0.0 {
+                match t {
+                    Throughput::Bytes(n) => {
+                        line += &format!("  {:>10.1} MiB/s", n as f64 / mean / (1024.0 * 1024.0));
+                    }
+                    Throughput::Elements(n) => {
+                        line += &format!("  {:>12.0} elem/s", n as f64 / mean);
+                    }
+                }
+            }
+        }
+        println!("{line}");
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+enum Mode {
+    /// Run until the time budget is used up.
+    WarmUp,
+    /// Run exactly this many iterations.
+    Fixed(u64),
+}
+
+/// Timing handle passed to benchmark closures (`b.iter(..)`).
+pub struct Bencher {
+    mode: Mode,
+    budget: Duration,
+    iters_done: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `f` under the active sampling mode.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        match self.mode {
+            Mode::WarmUp => {
+                let start = Instant::now();
+                let mut n = 0u64;
+                loop {
+                    black_box(f());
+                    n += 1;
+                    // Check the clock in small strides to limit overhead.
+                    if n.is_multiple_of(16) && start.elapsed() >= self.budget {
+                        break;
+                    }
+                }
+                self.iters_done = n;
+                self.elapsed = start.elapsed();
+            }
+            Mode::Fixed(count) => {
+                let start = Instant::now();
+                for _ in 0..count {
+                    black_box(f());
+                }
+                self.elapsed = start.elapsed();
+                self.iters_done = count;
+            }
+        }
+    }
+}
+
+/// Declares a benchmark group: a `fn <name>()` running every target.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, invoking each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("shim");
+        let mut ran = 0u64;
+        group.throughput(Throughput::Elements(1));
+        group.bench_function("counting", |b| b.iter(|| ran += 1));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+        assert!(ran > 3, "benchmark closure barely ran ({ran} iters)");
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(fmt_time(2.0), "2.000 s");
+        assert_eq!(fmt_time(0.002), "2.000 ms");
+        assert_eq!(fmt_time(0.000002), "2.000 µs");
+        assert_eq!(fmt_time(0.000000002), "2.0 ns");
+    }
+}

@@ -82,7 +82,8 @@ fn crash_loop_under_live_traffic_loses_no_commit() {
         service.commits_processed()
     );
     assert!(
-        reader.wait(Duration::from_secs(30), || reader.list_files().len() == total),
+        reader.wait(Duration::from_secs(30), || reader.list_files().len()
+            == total),
         "reader must see all files, has {}",
         reader.list_files().len()
     );

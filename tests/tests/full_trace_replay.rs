@@ -153,8 +153,7 @@ fn live_traffic_agrees_with_protocol_model() {
     // overhead that the in-process transport simply does not have, so it
     // is excluded here.
     let live_control = client.stats().control_bytes();
-    let model_control =
-        report.adds.control + report.updates.control + report.removes.control;
+    let model_control = report.adds.control + report.updates.control + report.removes.control;
     let ratio = live_control as f64 / model_control as f64;
     assert!(
         (0.2..4.0).contains(&ratio),

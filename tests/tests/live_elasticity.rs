@@ -9,7 +9,9 @@ use objectmq::provision::{
     AutoScaler, GgOneModel, PredictiveProvisioner, ReactiveProvisioner, ScalingPolicy,
 };
 use objectmq::{Broker, RemoteBroker, Supervisor, SupervisorConfig};
-use stacksync::{provision_user, ClientConfig, DesktopClient, SyncService, SyncServiceConfig, SYNC_SERVICE_OID};
+use stacksync::{
+    provision_user, ClientConfig, DesktopClient, SyncService, SyncServiceConfig, SYNC_SERVICE_OID,
+};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use storage::{LatencyModel, SwiftStore};
@@ -158,9 +160,7 @@ fn queue_stats_expose_provisioning_signals() {
     .unwrap();
 
     for i in 0..30 {
-        client
-            .write_file(&format!("f{i}"), vec![0u8; 64])
-            .unwrap();
+        client.write_file(&format!("f{i}"), vec![0u8; 64]).unwrap();
     }
     let stats: QueueStats = broker.messaging().queue_stats(SYNC_SERVICE_OID).unwrap();
     assert!(stats.published >= 30);

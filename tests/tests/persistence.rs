@@ -19,10 +19,8 @@ fn temp_dir(tag: &str) -> PathBuf {
 #[test]
 fn server_side_restart_preserves_the_cloud() {
     let chunk_root = temp_dir("chunks");
-    let checkpoint = std::env::temp_dir().join(format!(
-        "stacksync-e2e-meta-{}.json",
-        std::process::id()
-    ));
+    let checkpoint =
+        std::env::temp_dir().join(format!("stacksync-e2e-meta-{}.json", std::process::id()));
     let payload: Vec<u8> = (0..50_000u32).map(|i| (i % 241) as u8).collect();
     let ws: WorkspaceId;
 
@@ -84,7 +82,9 @@ fn server_side_restart_preserves_the_cloud() {
         assert_eq!(device.file_version("keep.bin"), Some(1));
 
         // And the cloud keeps working: new versions continue the chain.
-        device.write_file("keep.bin", b"second life".to_vec()).unwrap();
+        device
+            .write_file("keep.bin", b"second life".to_vec())
+            .unwrap();
         assert!(device.wait(Duration::from_secs(10), || {
             service.commits_processed() >= 1
         }));
