@@ -1,0 +1,181 @@
+//! Machine-readable performance suite: broker throughput, ObjectMQ RPC
+//! round-trip latency (in-process vs TCP loopback), and sync commit
+//! throughput. Writes `BENCH_2.json` at the repo root so runs can be
+//! compared across commits.
+//!
+//! `--smoke` shrinks every workload to a few iterations for CI; `--out`
+//! overrides the output path.
+
+use bench::{arg_value, has_flag, header};
+use metadata::{InMemoryStore, MetadataStore};
+use mqsim::{Message, MessageBroker, QueueOptions};
+use net::{BrokerServer, NetBroker};
+use objectmq::{Broker, BrokerConfig};
+use stacksync::{provision_user, ClientConfig, DesktopClient, SyncService};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use storage::{LatencyModel, SwiftStore};
+use wire::Value;
+
+struct Percentiles {
+    p50: f64,
+    p99: f64,
+    mean: f64,
+}
+
+fn percentiles(samples: &mut [f64]) -> Percentiles {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let at = |q: f64| samples[((samples.len() - 1) as f64 * q).round() as usize];
+    Percentiles {
+        p50: at(0.50),
+        p99: at(0.99),
+        mean: samples.iter().sum::<f64>() / samples.len() as f64,
+    }
+}
+
+fn broker_throughput(messages: usize) -> f64 {
+    let broker = MessageBroker::new();
+    broker
+        .declare_queue("perf", QueueOptions::default())
+        .unwrap();
+    let consumer = broker.subscribe("perf").unwrap();
+    let payload = vec![0u8; 1024];
+    let start = Instant::now();
+    let producer_broker = broker.clone();
+    let producer = std::thread::spawn(move || {
+        for _ in 0..messages {
+            producer_broker
+                .publish_to_queue("perf", Message::from_bytes(payload.clone()))
+                .unwrap();
+        }
+    });
+    for _ in 0..messages {
+        consumer
+            .recv_timeout(Duration::from_secs(10))
+            .expect("consume")
+            .ack();
+    }
+    producer.join().unwrap();
+    messages as f64 / start.elapsed().as_secs_f64()
+}
+
+fn rpc_latency(broker: &Broker, calls: usize) -> Percentiles {
+    let _server = broker
+        .bind("perf.echo", |_: &str, args: &[Value]| {
+            Ok(args.first().cloned().unwrap_or(Value::Null))
+        })
+        .unwrap();
+    let proxy = broker.lookup("perf.echo").unwrap();
+    // Warm up the path (queue declarations, first-delivery laziness).
+    for _ in 0..5.min(calls) {
+        proxy
+            .call_sync("echo", vec![Value::U64(0)], Duration::from_secs(5), 0)
+            .unwrap();
+    }
+    let mut samples = Vec::with_capacity(calls);
+    for i in 0..calls {
+        let start = Instant::now();
+        proxy
+            .call_sync(
+                "echo",
+                vec![Value::U64(i as u64)],
+                Duration::from_secs(5),
+                0,
+            )
+            .unwrap();
+        samples.push(start.elapsed().as_secs_f64());
+    }
+    percentiles(&mut samples)
+}
+
+fn commit_throughput(commits: usize) -> f64 {
+    let broker = Broker::in_process();
+    let store = SwiftStore::new(LatencyModel::instant());
+    let meta: Arc<dyn MetadataStore> = Arc::new(InMemoryStore::new());
+    let service = SyncService::new(meta.clone(), broker.clone());
+    let _server = service.bind(&broker).expect("bind service");
+    let ws = provision_user(meta.as_ref(), "perf", "ws").expect("provision");
+    let client = DesktopClient::connect(&broker, &store, ClientConfig::new("perf", "dev"), &ws)
+        .expect("connect");
+    let content = vec![7u8; 16 * 1024];
+    let start = Instant::now();
+    for i in 0..commits {
+        client
+            .write_file(&format!("f{i}.dat"), content.clone())
+            .expect("commit");
+    }
+    commits as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let smoke = has_flag("--smoke");
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_2.json".to_string());
+    let (messages, calls, commits) = if smoke {
+        (2_000, 200, 50)
+    } else {
+        (50_000, 2_000, 500)
+    };
+
+    header("perf_suite: broker / RPC / commit performance");
+
+    println!("broker publish+consume throughput ({messages} msgs of 1 KiB)...");
+    let broker_msgs_per_sec = broker_throughput(messages);
+    println!("  {broker_msgs_per_sec:.0} msg/s");
+
+    println!("ObjectMQ sync RPC, in-process ({calls} calls)...");
+    let inproc = rpc_latency(&Broker::in_process(), calls);
+    println!(
+        "  p50 {:.3} ms | p99 {:.3} ms | mean {:.3} ms",
+        inproc.p50 * 1e3,
+        inproc.p99 * 1e3,
+        inproc.mean * 1e3
+    );
+
+    println!("ObjectMQ sync RPC, TCP loopback ({calls} calls)...");
+    let mq = MessageBroker::new();
+    let server = BrokerServer::bind("127.0.0.1:0", mq).expect("bind server");
+    let client_mq = NetBroker::connect(server.local_addr()).expect("connect");
+    let tcp_broker = Broker::over(Arc::new(client_mq), BrokerConfig::default());
+    let tcp = rpc_latency(&tcp_broker, calls);
+    println!(
+        "  p50 {:.3} ms | p99 {:.3} ms | mean {:.3} ms",
+        tcp.p50 * 1e3,
+        tcp.p99 * 1e3,
+        tcp.mean * 1e3
+    );
+
+    println!("sync commit throughput ({commits} commits of 16 KiB)...");
+    let commits_per_sec = commit_throughput(commits);
+    println!("  {commits_per_sec:.0} commits/s");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"suite\": \"perf_suite\",\n",
+            "  \"smoke\": {smoke},\n",
+            "  \"broker\": {{ \"messages\": {messages}, \"msgs_per_sec\": {broker:.1} }},\n",
+            "  \"rpc_in_process\": {{ \"calls\": {calls}, \"p50_s\": {ip50:.9}, ",
+            "\"p99_s\": {ip99:.9}, \"mean_s\": {imean:.9} }},\n",
+            "  \"rpc_tcp_loopback\": {{ \"calls\": {calls}, \"p50_s\": {tp50:.9}, ",
+            "\"p99_s\": {tp99:.9}, \"mean_s\": {tmean:.9} }},\n",
+            "  \"commit\": {{ \"commits\": {commits}, \"commits_per_sec\": {cps:.1} }}\n",
+            "}}\n"
+        ),
+        smoke = smoke,
+        messages = messages,
+        broker = broker_msgs_per_sec,
+        calls = calls,
+        ip50 = inproc.p50,
+        ip99 = inproc.p99,
+        imean = inproc.mean,
+        tp50 = tcp.p50,
+        tp99 = tcp.p99,
+        tmean = tcp.mean,
+        commits = commits,
+        cps = commits_per_sec,
+    );
+    std::fs::write(&out_path, &json).expect("write results");
+    println!("\nresults written to {out_path}");
+    server.shutdown();
+    bench::obs_dump();
+}

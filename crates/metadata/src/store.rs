@@ -252,6 +252,21 @@ impl MetadataStore for InMemoryStore {
                         .insert(proposed.item_id);
                     CommitResult::Committed { version: 1 }
                 }
+                Some(cur)
+                    if proposed.version == cur.version
+                        && proposed.chunks == cur.chunks
+                        && proposed.modified_by == cur.modified_by
+                        && proposed.is_deleted == cur.is_deleted =>
+                {
+                    // At-least-once delivery: an instance that crashes after
+                    // applying a commit but before acking the queue message
+                    // leaves the request to be redelivered. The replay must
+                    // be confirmed, not reported as a conflict the committer
+                    // would wrongly "lose" to its own earlier commit.
+                    CommitResult::Committed {
+                        version: cur.version,
+                    }
+                }
                 Some(cur) if proposed.version == cur.version + 1 => {
                     let mut stored = proposed.clone();
                     stored.workspace = workspace.clone();
@@ -383,14 +398,31 @@ mod tests {
         let (s, ws) = setup();
         s.commit(&ws, vec![file(1, &ws, 1)]).unwrap();
         s.commit(&ws, vec![file(1, &ws, 2)]).unwrap();
-        // A second client still at version 1 proposes version 2 again.
-        let out = s.commit(&ws, vec![file(1, &ws, 2)]).unwrap();
+        // A second client still at version 1 proposes its own version 2.
+        let mut stale = file(1, &ws, 2);
+        stale.modified_by = "other-dev".to_string();
+        let out = s.commit(&ws, vec![stale]).unwrap();
         match &out[0].result {
             CommitResult::Conflict { current } => assert_eq!(current.version, 2),
             other => panic!("expected conflict, got {other:?}"),
         }
         // No rollback: current stays at version 2.
         assert_eq!(s.get_current(1).unwrap().version, 2);
+    }
+
+    #[test]
+    fn replayed_commit_confirms_idempotently() {
+        // At-least-once delivery (crash before ack, transport redelivery)
+        // replays the exact same proposal; it must confirm, not conflict.
+        let (s, ws) = setup();
+        s.commit(&ws, vec![file(1, &ws, 1)]).unwrap();
+        let out = s.commit(&ws, vec![file(1, &ws, 1)]).unwrap();
+        assert!(matches!(
+            out[0].result,
+            CommitResult::Committed { version: 1 }
+        ));
+        // The replay is recognized, not stored as a second version.
+        assert_eq!(s.history(1).len(), 1);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Property tests of the metadata store against a simple oracle model:
 //! commits are exactly "accept iff version == current + 1 (or first
-//! version)", histories stay gapless, and the store agrees with the oracle
-//! under arbitrary schedules.
+//! version, or an identical replay of the current version)", histories
+//! stay gapless, and the store agrees with the oracle under arbitrary
+//! schedules.
 
 use metadata::{CommitResult, InMemoryStore, ItemMetadata, MetadataStore, WorkspaceId};
 use proptest::prelude::*;
@@ -32,8 +33,11 @@ proptest! {
         let store = InMemoryStore::new();
         store.create_user("u").unwrap();
         let ws = store.create_workspace("u", "w").unwrap();
-        // Oracle: item -> current version.
-        let mut oracle: HashMap<u64, u64> = HashMap::new();
+        // Oracle: item -> (current version, deleted flag of that version).
+        // All proposals here share chunks and device, so a same-version
+        // proposal is an identical replay (accepted idempotently) exactly
+        // when its deleted flag matches the stored one.
+        let mut oracle: HashMap<u64, (u64, bool)> = HashMap::new();
 
         for p in &proposals {
             let meta = ItemMetadata {
@@ -44,7 +48,9 @@ proptest! {
             let out = store.commit(&ws, vec![meta]).unwrap();
             let expected_accept = match oracle.get(&p.item) {
                 None => true, // first version always accepted (stored as 1)
-                Some(cur) => p.version == cur + 1,
+                Some((cur, cur_deleted)) => {
+                    p.version == cur + 1 || (p.version == *cur && p.deleted == *cur_deleted)
+                }
             };
             prop_assert_eq!(
                 out[0].is_committed(),
@@ -56,17 +62,19 @@ proptest! {
             );
             if expected_accept {
                 let stored = match oracle.get(&p.item) {
-                    None => 1,
-                    Some(_) => p.version,
+                    None => (1, p.deleted),
+                    // A replay leaves the store untouched.
+                    Some(&(cur, cur_deleted)) if p.version == cur => (cur, cur_deleted),
+                    Some(_) => (p.version, p.deleted),
                 };
                 oracle.insert(p.item, stored);
             } else if let CommitResult::Conflict { current } = &out[0].result {
-                prop_assert_eq!(Some(&current.version), oracle.get(&p.item));
+                prop_assert_eq!(current.version, oracle.get(&p.item).unwrap().0);
             }
         }
 
         // Final agreement + gapless histories.
-        for (item, version) in &oracle {
+        for (item, (version, _)) in &oracle {
             let current = store.get_current(*item).unwrap();
             prop_assert_eq!(current.version, *version);
             let history = store.history(*item);

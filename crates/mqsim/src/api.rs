@@ -1,0 +1,281 @@
+//! The client-facing broker surface, extracted as object-safe traits.
+//!
+//! ObjectMQ (and everything above it) consumes the messaging layer through
+//! [`Messaging`] + [`MessageConsumer`] instead of the concrete
+//! [`MessageBroker`] type. Two implementations exist:
+//!
+//! * [`MessageBroker`] — the in-process broker (this crate), where the
+//!   trait methods are thin delegations to the inherent ones.
+//! * `net::NetBroker` — a TCP client that forwards every operation to a
+//!   `net::BrokerServer` in another OS process, with reconnect/resubscribe
+//!   supervision.
+//!
+//! Because the surface is a trait, `Broker::bind`/`lookup`, proxies, the
+//! Supervisor and the SyncService run unchanged over either transport.
+
+use crate::broker::{MessageBroker, QueueOptions};
+use crate::error::MqResult;
+use crate::exchange::ExchangeKind;
+use crate::message::Message;
+use crate::stats::QueueStats;
+use std::fmt;
+use std::time::Duration;
+
+/// Everything ObjectMQ needs from a messaging provider.
+///
+/// Semantics are those of the in-process broker (see [`MessageBroker`]):
+/// named durable queues, direct/fanout exchanges, competing consumers,
+/// ack/requeue redelivery. Implementations over a network must preserve
+/// at-least-once delivery: an unacked delivery whose consumer (or
+/// connection) dies is redelivered.
+pub trait Messaging: Send + Sync + fmt::Debug {
+    /// Declares a queue; redeclaring with the same options is a no-op.
+    fn declare_queue(&self, name: &str, options: QueueOptions) -> MqResult<()>;
+    /// Deletes a queue, waking blocked consumers with `Closed`.
+    fn delete_queue(&self, name: &str) -> MqResult<()>;
+    /// Drops all ready messages of a queue; returns how many were purged.
+    fn purge_queue(&self, name: &str) -> MqResult<usize>;
+    /// Declares an exchange of the given kind.
+    fn declare_exchange(&self, name: &str, kind: ExchangeKind) -> MqResult<()>;
+    /// Binds a queue to an exchange under a routing key.
+    fn bind_queue(&self, exchange: &str, routing_key: &str, queue: &str) -> MqResult<()>;
+    /// Removes a binding. Returns whether it existed.
+    fn unbind_queue(&self, exchange: &str, routing_key: &str, queue: &str) -> MqResult<bool>;
+    /// Whether the queue exists.
+    fn queue_exists(&self, name: &str) -> bool;
+    /// Whether the exchange exists.
+    fn exchange_exists(&self, name: &str) -> bool;
+    /// Publishes directly to a named queue (default-exchange path).
+    fn publish_to_queue(&self, queue: &str, message: Message) -> MqResult<()>;
+    /// Publishes through an exchange; returns how many queues got a copy.
+    fn publish(&self, exchange: &str, routing_key: &str, message: Message) -> MqResult<usize>;
+    /// Subscribes a new competing consumer to the queue.
+    fn subscribe(&self, queue: &str) -> MqResult<Box<dyn MessageConsumer>>;
+    /// Counter snapshot of a queue.
+    fn queue_stats(&self, name: &str) -> MqResult<QueueStats>;
+    /// Ready-message count of a queue.
+    fn queue_depth(&self, name: &str) -> MqResult<usize>;
+    /// Windowed arrival rate (messages/sec) observed on a queue.
+    fn queue_arrival_rate(&self, name: &str) -> MqResult<f64>;
+    /// All queue names, sorted.
+    fn queue_names(&self) -> Vec<String>;
+}
+
+/// A subscription handle obtained through [`Messaging::subscribe`].
+///
+/// Dropping a consumer cancels the subscription and requeues its unacked
+/// deliveries, like dropping a concrete [`crate::Consumer`].
+pub trait MessageConsumer: Send + Sync + fmt::Debug {
+    /// Name of the queue this consumer is attached to.
+    fn queue_name(&self) -> &str;
+    /// Blocks until a message is available or the timeout elapses.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::MqError::RecvTimeout`] on timeout, [`crate::MqError::Closed`]
+    /// if the queue was deleted or the subscription cancelled.
+    fn recv_timeout(&self, timeout: Duration) -> MqResult<AnyDelivery>;
+    /// Returns a message immediately if one is ready locally.
+    fn try_recv(&self) -> Option<AnyDelivery>;
+}
+
+/// A delivery handed over the [`MessageConsumer`] trait, with a type-erased
+/// acknowledgement path.
+///
+/// Mirrors [`crate::Delivery`]: dropping it without [`AnyDelivery::ack`]
+/// requeues the message at the front of its queue flagged as redelivered.
+pub struct AnyDelivery {
+    /// The message content.
+    pub message: Message,
+    /// Whether this message was delivered before and requeued.
+    pub redelivered: bool,
+    /// Called exactly once with `true` (ack) or `false` (requeue).
+    acker: Option<Box<dyn FnOnce(bool) + Send>>,
+}
+
+impl AnyDelivery {
+    /// Wraps a message with its acknowledgement callback.
+    pub fn new(
+        message: Message,
+        redelivered: bool,
+        acker: impl FnOnce(bool) + Send + 'static,
+    ) -> Self {
+        AnyDelivery {
+            message,
+            redelivered,
+            acker: Some(Box::new(acker)),
+        }
+    }
+
+    /// Acknowledges the delivery, removing the message from the broker.
+    pub fn ack(mut self) {
+        if let Some(f) = self.acker.take() {
+            f(true);
+        }
+    }
+
+    /// Explicitly rejects the delivery, requeueing it at the front.
+    pub fn requeue(mut self) {
+        if let Some(f) = self.acker.take() {
+            f(false);
+        }
+    }
+}
+
+impl Drop for AnyDelivery {
+    fn drop(&mut self) {
+        if let Some(f) = self.acker.take() {
+            f(false);
+        }
+    }
+}
+
+impl fmt::Debug for AnyDelivery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AnyDelivery")
+            .field("len", &self.message.len())
+            .field("redelivered", &self.redelivered)
+            .finish()
+    }
+}
+
+impl MessageConsumer for crate::Consumer {
+    fn queue_name(&self) -> &str {
+        crate::Consumer::queue_name(self)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> MqResult<AnyDelivery> {
+        crate::Consumer::recv_timeout(self, timeout).map(delivery_to_any)
+    }
+
+    fn try_recv(&self) -> Option<AnyDelivery> {
+        crate::Consumer::try_recv(self).map(delivery_to_any)
+    }
+}
+
+fn delivery_to_any(d: crate::Delivery) -> AnyDelivery {
+    let message = d.message.clone();
+    let redelivered = d.redelivered;
+    AnyDelivery::new(message, redelivered, move |ok| {
+        if ok {
+            d.ack();
+        } else {
+            d.requeue();
+        }
+    })
+}
+
+impl Messaging for MessageBroker {
+    fn declare_queue(&self, name: &str, options: QueueOptions) -> MqResult<()> {
+        MessageBroker::declare_queue(self, name, options)
+    }
+    fn delete_queue(&self, name: &str) -> MqResult<()> {
+        MessageBroker::delete_queue(self, name)
+    }
+    fn purge_queue(&self, name: &str) -> MqResult<usize> {
+        MessageBroker::purge_queue(self, name)
+    }
+    fn declare_exchange(&self, name: &str, kind: ExchangeKind) -> MqResult<()> {
+        MessageBroker::declare_exchange(self, name, kind)
+    }
+    fn bind_queue(&self, exchange: &str, routing_key: &str, queue: &str) -> MqResult<()> {
+        MessageBroker::bind_queue(self, exchange, routing_key, queue)
+    }
+    fn unbind_queue(&self, exchange: &str, routing_key: &str, queue: &str) -> MqResult<bool> {
+        MessageBroker::unbind_queue(self, exchange, routing_key, queue)
+    }
+    fn queue_exists(&self, name: &str) -> bool {
+        MessageBroker::queue_exists(self, name)
+    }
+    fn exchange_exists(&self, name: &str) -> bool {
+        MessageBroker::exchange_exists(self, name)
+    }
+    fn publish_to_queue(&self, queue: &str, message: Message) -> MqResult<()> {
+        MessageBroker::publish_to_queue(self, queue, message)
+    }
+    fn publish(&self, exchange: &str, routing_key: &str, message: Message) -> MqResult<usize> {
+        MessageBroker::publish(self, exchange, routing_key, message)
+    }
+    fn subscribe(&self, queue: &str) -> MqResult<Box<dyn MessageConsumer>> {
+        MessageBroker::subscribe(self, queue).map(|c| Box::new(c) as Box<dyn MessageConsumer>)
+    }
+    fn queue_stats(&self, name: &str) -> MqResult<QueueStats> {
+        MessageBroker::queue_stats(self, name)
+    }
+    fn queue_depth(&self, name: &str) -> MqResult<usize> {
+        MessageBroker::queue_depth(self, name)
+    }
+    fn queue_arrival_rate(&self, name: &str) -> MqResult<f64> {
+        MessageBroker::queue_arrival_rate(self, name)
+    }
+    fn queue_names(&self) -> Vec<String> {
+        MessageBroker::queue_names(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    const T: Duration = Duration::from_millis(200);
+
+    fn as_messaging(b: &MessageBroker) -> &dyn Messaging {
+        b
+    }
+
+    #[test]
+    fn trait_surface_roundtrip() {
+        let broker = MessageBroker::new();
+        let mq = as_messaging(&broker);
+        mq.declare_queue("q", QueueOptions::default()).unwrap();
+        let consumer = mq.subscribe("q").unwrap();
+        mq.publish_to_queue("q", Message::from_bytes(b"m".to_vec()))
+            .unwrap();
+        let d = consumer.recv_timeout(T).unwrap();
+        assert_eq!(d.message.payload(), b"m");
+        assert!(!d.redelivered);
+        d.ack();
+        assert_eq!(mq.queue_depth("q").unwrap(), 0);
+        assert_eq!(mq.queue_stats("q").unwrap().acked, 1);
+    }
+
+    #[test]
+    fn dropped_any_delivery_requeues() {
+        let broker = MessageBroker::new();
+        let mq = as_messaging(&broker);
+        mq.declare_queue("q", QueueOptions::default()).unwrap();
+        let consumer = mq.subscribe("q").unwrap();
+        mq.publish_to_queue("q", Message::from_bytes(b"x".to_vec()))
+            .unwrap();
+        drop(consumer.recv_timeout(T).unwrap());
+        let d = consumer.recv_timeout(T).unwrap();
+        assert!(d.redelivered, "dropped delivery must be redelivered");
+        d.requeue();
+        let d = consumer.try_recv().unwrap();
+        assert!(d.redelivered);
+        d.ack();
+    }
+
+    #[test]
+    fn fanout_through_trait() {
+        let broker = MessageBroker::new();
+        let mq = as_messaging(&broker);
+        mq.declare_exchange("ex", ExchangeKind::Fanout).unwrap();
+        for q in ["a", "b"] {
+            mq.declare_queue(q, QueueOptions::default()).unwrap();
+            mq.bind_queue("ex", "", q).unwrap();
+        }
+        assert_eq!(
+            mq.publish("ex", "", Message::from_bytes(b"n".to_vec()))
+                .unwrap(),
+            2
+        );
+        assert_eq!(mq.queue_names(), vec!["a", "b"]);
+        assert!(mq.unbind_queue("ex", "", "a").unwrap());
+        assert_eq!(mq.purge_queue("b").unwrap(), 1);
+        mq.delete_queue("a").unwrap();
+        assert!(!mq.queue_exists("a"));
+        assert!(mq.exchange_exists("ex"));
+    }
+}

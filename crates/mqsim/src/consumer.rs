@@ -151,6 +151,44 @@ mod tests {
     }
 
     #[test]
+    fn recv_timeout_holds_deadline_under_spurious_wakeups() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        let broker = MessageBroker::new();
+        broker.declare_queue("q", QueueOptions::default()).unwrap();
+        let c = broker.subscribe("q").unwrap();
+
+        // Noise: cancelling a consumer hits the queue condvar with
+        // notify_all, so the blocked receiver keeps waking spuriously. A
+        // receive loop that re-armed with the *full* timeout after every
+        // wakeup would never time out while this runs.
+        let stop = Arc::new(AtomicBool::new(false));
+        let noise_stop = stop.clone();
+        let noise_broker = broker.clone();
+        let noise = std::thread::spawn(move || {
+            while !noise_stop.load(Ordering::Acquire) {
+                noise_broker.subscribe("q").unwrap().cancel();
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        });
+
+        let timeout = Duration::from_millis(300);
+        let started = std::time::Instant::now();
+        let err = c.recv_timeout(timeout).unwrap_err();
+        let elapsed = started.elapsed();
+        stop.store(true, Ordering::Release);
+        noise.join().unwrap();
+
+        assert_eq!(err, crate::MqError::RecvTimeout);
+        assert!(elapsed >= timeout, "woke early after {elapsed:?}");
+        assert!(
+            elapsed < timeout * 3,
+            "recv_timeout drifted past its deadline: {elapsed:?}"
+        );
+    }
+
+    #[test]
     fn competing_consumers_each_message_once() {
         let broker = MessageBroker::new();
         broker.declare_queue("q", QueueOptions::default()).unwrap();

@@ -24,6 +24,10 @@ pub enum MqError {
     UnknownDeliveryTag(u64),
     /// The broker node is down (used by the cluster fault injector).
     BrokerDown,
+    /// A network transport carrying broker operations failed (connection
+    /// refused, peer gone, protocol violation). Only produced by remote
+    /// [`crate::Messaging`] implementations such as `net::NetBroker`.
+    Transport(String),
 }
 
 impl fmt::Display for MqError {
@@ -38,6 +42,7 @@ impl fmt::Display for MqError {
             MqError::Closed => write!(f, "queue or broker closed"),
             MqError::UnknownDeliveryTag(t) => write!(f, "unknown delivery tag {t}"),
             MqError::BrokerDown => write!(f, "broker node is down"),
+            MqError::Transport(m) => write!(f, "transport failure: {m}"),
         }
     }
 }
@@ -58,6 +63,7 @@ mod tests {
             MqError::Closed,
             MqError::UnknownDeliveryTag(3),
             MqError::BrokerDown,
+            MqError::Transport("peer gone".into()),
         ] {
             assert!(!e.to_string().is_empty());
         }

@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod api;
 mod broker;
 mod consumer;
 mod error;
@@ -49,6 +50,7 @@ mod message;
 mod queue;
 mod stats;
 
+pub use api::{AnyDelivery, MessageConsumer, Messaging};
 pub use broker::{BrokerCluster, MessageBroker, QueueOptions};
 pub use consumer::{Consumer, Delivery};
 pub use error::{MqError, MqResult};

@@ -12,6 +12,14 @@ use std::time::Instant;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DeliveryTag(pub(crate) u64);
 
+impl DeliveryTag {
+    /// The raw numeric tag, e.g. for carrying the tag over a network
+    /// protocol that acknowledges by number.
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+}
+
 impl fmt::Display for DeliveryTag {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "tag:{}", self.0)

@@ -1,0 +1,826 @@
+//! The client: a [`Messaging`] implementation that forwards every operation
+//! to a remote [`crate::BrokerServer`] over TCP.
+//!
+//! ## Connection supervision
+//!
+//! A supervisor thread owns the connection. While healthy it sends a ping
+//! every [`NetConfig::heartbeat`]; when the socket dies (read error, ping
+//! timeout, reset) it reconnects with capped exponential backoff plus
+//! jitter, then replays every live subscription under its original
+//! subscription id. The server side requeued whatever was unacked when the
+//! old connection died, so redelivery after reconnect is automatic.
+//!
+//! Requests are retried transparently across reconnects until the operation
+//! timeout elapses, so a blocking publish simply rides through a short
+//! partition. Deliveries buffered client-side are tagged with the
+//! connection *generation*; a stale-generation delivery is dropped instead
+//! of acked, because its server-side tag died with the old connection.
+
+use crate::frame::{write_frame, FrameBuffer, Request, ServerFrame};
+use crate::stats_from_value;
+use mqsim::{
+    AnyDelivery, ExchangeKind, Message, MessageConsumer, Messaging, MqError, MqResult,
+    QueueOptions, QueueStats,
+};
+use parking_lot::{Condvar, Mutex};
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, VecDeque};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use wire::Value;
+
+/// Tuning knobs of a [`NetBroker`].
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Per-operation timeout: how long a broker call may retry across
+    /// reconnects before failing with [`MqError::Transport`].
+    pub op_timeout: Duration,
+    /// Delivery credit granted per subscription (max unacked in flight).
+    pub credit: u64,
+    /// Ping period while the connection is healthy.
+    pub heartbeat: Duration,
+    /// First reconnect delay; doubles per attempt up to `backoff_cap`.
+    pub backoff_initial: Duration,
+    /// Upper bound of the reconnect backoff.
+    pub backoff_cap: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            op_timeout: Duration::from_secs(10),
+            credit: 64,
+            heartbeat: Duration::from_millis(500),
+            backoff_initial: Duration::from_millis(20),
+            backoff_cap: Duration::from_secs(2),
+        }
+    }
+}
+
+/// A remote [`Messaging`] provider speaking the frame protocol over TCP.
+///
+/// Cheap to clone; clones share one connection and supervisor.
+#[derive(Clone)]
+pub struct NetBroker {
+    inner: Arc<ClientInner>,
+}
+
+struct ClientInner {
+    addr: SocketAddr,
+    config: NetConfig,
+    /// Current writer half, `None` while disconnected.
+    writer: Mutex<Option<TcpStream>>,
+    /// Bumped on every successful reconnect; deliveries carry the
+    /// generation they arrived under.
+    generation: AtomicU64,
+    connected: Mutex<bool>,
+    connected_cv: Condvar,
+    pending: Mutex<HashMap<u64, Arc<ReqSlot>>>,
+    subs: Mutex<HashMap<u64, Arc<SubInner>>>,
+    next_corr: AtomicU64,
+    next_sub: AtomicU64,
+    stop: AtomicBool,
+    reconnects: Arc<obs::Counter>,
+}
+
+struct ReqSlot {
+    state: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+enum SlotState {
+    Waiting,
+    Done(MqResult<Value>),
+    /// The connection died before a reply arrived; retry on the next one.
+    ConnectionLost,
+}
+
+struct SubInner {
+    id: u64,
+    queue: String,
+    buffer: Mutex<VecDeque<BufferedDelivery>>,
+    buffer_cv: Condvar,
+    closed: AtomicBool,
+}
+
+struct BufferedDelivery {
+    generation: u64,
+    tag: u64,
+    redelivered: bool,
+    message: Message,
+}
+
+impl NetBroker {
+    /// Connects to a [`crate::BrokerServer`] with default configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`MqError::Transport`] if the first connection cannot be established
+    /// within the operation timeout.
+    pub fn connect(addr: impl ToSocketAddrs) -> MqResult<NetBroker> {
+        NetBroker::connect_with(addr, NetConfig::default())
+    }
+
+    /// Connects with explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`MqError::Transport`] on address resolution failure or if no
+    /// connection is established within `config.op_timeout`.
+    pub fn connect_with(addr: impl ToSocketAddrs, config: NetConfig) -> MqResult<NetBroker> {
+        let addr = addr
+            .to_socket_addrs()
+            .map_err(|e| MqError::Transport(format!("address resolution failed: {e}")))?
+            .next()
+            .ok_or_else(|| MqError::Transport("address resolved to nothing".into()))?;
+        let op_timeout = config.op_timeout;
+        let inner = Arc::new(ClientInner {
+            addr,
+            config,
+            writer: Mutex::new(None),
+            generation: AtomicU64::new(0),
+            connected: Mutex::new(false),
+            connected_cv: Condvar::new(),
+            pending: Mutex::new(HashMap::new()),
+            subs: Mutex::new(HashMap::new()),
+            next_corr: AtomicU64::new(1),
+            next_sub: AtomicU64::new(1),
+            stop: AtomicBool::new(false),
+            reconnects: obs::counter("net.client.reconnects"),
+        });
+        let supervisor_inner = inner.clone();
+        std::thread::spawn(move || supervisor_loop(&supervisor_inner));
+        let broker = NetBroker { inner };
+        // Surface an unreachable server at construction time.
+        broker.inner.wait_connected(Instant::now() + op_timeout)?;
+        Ok(broker)
+    }
+
+    /// Closes the connection and stops the supervisor. Outstanding calls
+    /// fail with [`MqError::Transport`]; consumers wake with
+    /// [`MqError::Closed`].
+    pub fn close(&self) {
+        self.inner.shutdown();
+    }
+}
+
+impl Drop for ClientInner {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+    }
+}
+
+impl std::fmt::Debug for NetBroker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetBroker")
+            .field("addr", &self.inner.addr)
+            .field("generation", &self.inner.generation.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl ClientInner {
+    fn shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+        self.drop_connection();
+        for sub in self.subs.lock().values() {
+            sub.closed.store(true, Ordering::Release);
+            sub.buffer_cv.notify_all();
+        }
+    }
+
+    /// Tears the current connection down and fails outstanding requests
+    /// with `ConnectionLost` so their callers retry.
+    fn drop_connection(&self) {
+        let stream = self.writer.lock().take();
+        if let Some(s) = stream {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
+        *self.connected.lock() = false;
+        let pending: Vec<Arc<ReqSlot>> = self.pending.lock().drain().map(|(_, s)| s).collect();
+        for slot in pending {
+            let mut state = slot.state.lock();
+            if matches!(*state, SlotState::Waiting) {
+                *state = SlotState::ConnectionLost;
+                slot.cv.notify_all();
+            }
+        }
+    }
+
+    /// Blocks until the supervisor reports a live connection.
+    fn wait_connected(&self, deadline: Instant) -> MqResult<()> {
+        let mut connected = self.connected.lock();
+        while !*connected {
+            if self.stop.load(Ordering::Acquire) {
+                return Err(MqError::Transport("client closed".into()));
+            }
+            if self
+                .connected_cv
+                .wait_until(&mut connected, deadline)
+                .timed_out()
+                && !*connected
+            {
+                return Err(MqError::Transport(format!(
+                    "no connection to {} within the operation timeout",
+                    self.addr
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Sends one request and waits for its reply, retrying across
+    /// reconnects until the operation deadline.
+    fn request(&self, req: &Request) -> MqResult<Value> {
+        let rpc_seconds = obs::histogram("net.client.rpc_seconds");
+        let started = Instant::now();
+        let deadline = started + self.config.op_timeout;
+        loop {
+            self.wait_connected(deadline)?;
+            let corr = self.next_corr.fetch_add(1, Ordering::Relaxed);
+            let slot = Arc::new(ReqSlot {
+                state: Mutex::new(SlotState::Waiting),
+                cv: Condvar::new(),
+            });
+            self.pending.lock().insert(corr, slot.clone());
+            if !self.send(&req.to_frame(corr)) {
+                self.pending.lock().remove(&corr);
+                continue; // connection died while sending; retry
+            }
+            let outcome = {
+                let mut state = slot.state.lock();
+                loop {
+                    match std::mem::replace(&mut *state, SlotState::Waiting) {
+                        SlotState::Done(result) => break Some(result),
+                        SlotState::ConnectionLost => break None,
+                        SlotState::Waiting => {}
+                    }
+                    if slot.cv.wait_until(&mut state, deadline).timed_out()
+                        && matches!(*state, SlotState::Waiting)
+                    {
+                        break Some(Err(MqError::Transport(format!(
+                            "request timed out after {:?}",
+                            self.config.op_timeout
+                        ))));
+                    }
+                }
+            };
+            self.pending.lock().remove(&corr);
+            match outcome {
+                Some(result) => {
+                    rpc_seconds.record(started.elapsed());
+                    return result;
+                }
+                None => continue, // reconnect happened mid-request: retry
+            }
+        }
+    }
+
+    /// Serializes a frame on the current connection. `false` if there is no
+    /// connection or the write failed (the connection is torn down).
+    fn send(&self, frame: &Value) -> bool {
+        let mut writer_guard = self.writer.lock();
+        let Some(writer) = writer_guard.as_mut() else {
+            return false;
+        };
+        match write_frame(writer, frame) {
+            Ok(n) => {
+                obs::counter("net.client.bytes_out").add(n as u64);
+                true
+            }
+            Err(_) => {
+                drop(writer_guard);
+                self.drop_connection();
+                false
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Supervisor: connect, read, heartbeat, reconnect
+// ---------------------------------------------------------------------------
+
+fn supervisor_loop(inner: &Arc<ClientInner>) {
+    let mut rng = rand::rngs::StdRng::from_entropy();
+    let mut attempt = 0u32;
+    let mut ever_connected = false;
+    while !inner.stop.load(Ordering::Acquire) {
+        let stream = match TcpStream::connect_timeout(&inner.addr, Duration::from_secs(2)) {
+            Ok(s) => s,
+            Err(_) => {
+                backoff(inner, &mut rng, &mut attempt);
+                continue;
+            }
+        };
+        let _ = stream.set_nodelay(true);
+        let Ok(reader) = stream.try_clone() else {
+            backoff(inner, &mut rng, &mut attempt);
+            continue;
+        };
+        attempt = 0;
+        if ever_connected {
+            inner.reconnects.inc();
+        }
+        ever_connected = true;
+        inner.generation.fetch_add(1, Ordering::AcqRel);
+        *inner.writer.lock() = Some(stream);
+
+        // Replay live subscriptions under their original ids *before*
+        // signalling connected, so no caller observes a half-restored
+        // session. Replies to these resubscribes are matched by the reader
+        // below like any other.
+        let subs: Vec<Arc<SubInner>> = inner.subs.lock().values().cloned().collect();
+        let mut replay_ok = true;
+        for sub in subs {
+            let req = Request::Subscribe {
+                queue: sub.queue.clone(),
+                sub: sub.id,
+                credit: inner.config.credit,
+            };
+            let corr = inner.next_corr.fetch_add(1, Ordering::Relaxed);
+            if !inner.send(&req.to_frame(corr)) {
+                replay_ok = false;
+                break;
+            }
+        }
+        if !replay_ok {
+            backoff(inner, &mut rng, &mut attempt);
+            continue;
+        }
+        {
+            let mut connected = inner.connected.lock();
+            *connected = true;
+            inner.connected_cv.notify_all();
+        }
+
+        reader_loop(inner, reader);
+        inner.drop_connection();
+    }
+}
+
+fn backoff(inner: &Arc<ClientInner>, rng: &mut rand::rngs::StdRng, attempt: &mut u32) {
+    let base = inner
+        .config
+        .backoff_initial
+        .saturating_mul(1u32 << (*attempt).min(16))
+        .min(inner.config.backoff_cap);
+    // Full jitter: sleep uniformly in [base/2, base].
+    let jittered = base.mul_f64(0.5 + 0.5 * rng.gen::<f64>());
+    *attempt = attempt.saturating_add(1);
+    // Sleep in small slices so shutdown stays responsive.
+    let deadline = Instant::now() + jittered;
+    while Instant::now() < deadline && !inner.stop.load(Ordering::Acquire) {
+        std::thread::sleep(Duration::from_millis(5).min(jittered));
+    }
+}
+
+/// Reads frames until the connection dies, dispatching replies to request
+/// slots and deliveries to subscription buffers. Doubles as the heartbeat
+/// emitter: with a read timeout of one heartbeat, each timeout tick sends a
+/// ping; a connection that misses three ticks without any traffic is
+/// declared dead.
+fn reader_loop(inner: &Arc<ClientInner>, mut reader: TcpStream) {
+    let bytes_in = obs::counter("net.client.bytes_in");
+    let _ = reader.set_read_timeout(Some(inner.config.heartbeat));
+    // A read timeout can fire mid-frame; FrameBuffer keeps the partial bytes
+    // so the heartbeat tick never desynchronizes the stream.
+    let mut frames = FrameBuffer::new();
+    let mut quiet_ticks = 0u32;
+    loop {
+        if inner.stop.load(Ordering::Acquire) {
+            return;
+        }
+        let (frame, n) = match frames.read_step(&mut reader) {
+            Ok(Some(ok)) => ok,
+            Ok(None) => {
+                quiet_ticks += 1;
+                if quiet_ticks > 3 {
+                    return; // peer silent through 3 heartbeats: dead
+                }
+                let corr = inner.next_corr.fetch_add(1, Ordering::Relaxed);
+                if !inner.send(&Request::Ping.to_frame(corr)) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        };
+        quiet_ticks = 0;
+        bytes_in.add(n as u64);
+        match ServerFrame::from_value(&frame) {
+            Ok(ServerFrame::Reply { corr, result }) => {
+                let slot = inner.pending.lock().get(&corr).cloned();
+                if let Some(slot) = slot {
+                    *slot.state.lock() = SlotState::Done(result);
+                    slot.cv.notify_all();
+                }
+                // No slot: a fire-and-forget reply (resubscribe, ack, ping).
+            }
+            Ok(ServerFrame::Deliver {
+                sub,
+                tag,
+                redelivered,
+                message,
+            }) => {
+                let generation = inner.generation.load(Ordering::Acquire);
+                let sub_inner = inner.subs.lock().get(&sub).cloned();
+                if let Some(s) = sub_inner {
+                    s.buffer.lock().push_back(BufferedDelivery {
+                        generation,
+                        tag,
+                        redelivered,
+                        message,
+                    });
+                    s.buffer_cv.notify_one();
+                }
+            }
+            Err(_) => return, // protocol violation: reconnect
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Messaging impl
+// ---------------------------------------------------------------------------
+
+impl Messaging for NetBroker {
+    fn declare_queue(&self, name: &str, options: QueueOptions) -> MqResult<()> {
+        self.inner
+            .request(&Request::DeclareQueue(name.into(), options))
+            .map(|_| ())
+    }
+
+    fn delete_queue(&self, name: &str) -> MqResult<()> {
+        self.inner
+            .request(&Request::DeleteQueue(name.into()))
+            .map(|_| ())
+    }
+
+    fn purge_queue(&self, name: &str) -> MqResult<usize> {
+        let v = self.inner.request(&Request::PurgeQueue(name.into()))?;
+        Ok(v.as_u64().unwrap_or(0) as usize)
+    }
+
+    fn declare_exchange(&self, name: &str, kind: ExchangeKind) -> MqResult<()> {
+        self.inner
+            .request(&Request::DeclareExchange(name.into(), kind))
+            .map(|_| ())
+    }
+
+    fn bind_queue(&self, exchange: &str, routing_key: &str, queue: &str) -> MqResult<()> {
+        self.inner
+            .request(&Request::BindQueue(
+                exchange.into(),
+                routing_key.into(),
+                queue.into(),
+            ))
+            .map(|_| ())
+    }
+
+    fn unbind_queue(&self, exchange: &str, routing_key: &str, queue: &str) -> MqResult<bool> {
+        let v = self.inner.request(&Request::UnbindQueue(
+            exchange.into(),
+            routing_key.into(),
+            queue.into(),
+        ))?;
+        v.as_bool()
+            .map_err(|e| MqError::Transport(format!("bad unbind reply: {e}")))
+    }
+
+    fn queue_exists(&self, name: &str) -> bool {
+        self.inner
+            .request(&Request::QueueExists(name.into()))
+            .and_then(|v| v.as_bool().map_err(|e| MqError::Transport(e.to_string())))
+            .unwrap_or(false)
+    }
+
+    fn exchange_exists(&self, name: &str) -> bool {
+        self.inner
+            .request(&Request::ExchangeExists(name.into()))
+            .and_then(|v| v.as_bool().map_err(|e| MqError::Transport(e.to_string())))
+            .unwrap_or(false)
+    }
+
+    fn publish_to_queue(&self, queue: &str, message: Message) -> MqResult<()> {
+        self.inner
+            .request(&Request::PublishToQueue(queue.into(), message))
+            .map(|_| ())
+    }
+
+    fn publish(&self, exchange: &str, routing_key: &str, message: Message) -> MqResult<usize> {
+        let v = self.inner.request(&Request::Publish(
+            exchange.into(),
+            routing_key.into(),
+            message,
+        ))?;
+        Ok(v.as_u64().unwrap_or(0) as usize)
+    }
+
+    fn subscribe(&self, queue: &str) -> MqResult<Box<dyn MessageConsumer>> {
+        let sub_id = self.inner.next_sub.fetch_add(1, Ordering::Relaxed);
+        let sub = Arc::new(SubInner {
+            id: sub_id,
+            queue: queue.to_string(),
+            buffer: Mutex::new(VecDeque::new()),
+            buffer_cv: Condvar::new(),
+            closed: AtomicBool::new(false),
+        });
+        // Register before the request: a delivery may race the reply.
+        self.inner.subs.lock().insert(sub_id, sub.clone());
+        let result = self.inner.request(&Request::Subscribe {
+            queue: queue.to_string(),
+            sub: sub_id,
+            credit: self.inner.config.credit,
+        });
+        if let Err(e) = result {
+            self.inner.subs.lock().remove(&sub_id);
+            return Err(e);
+        }
+        Ok(Box::new(NetConsumer {
+            client: self.inner.clone(),
+            sub,
+        }))
+    }
+
+    fn queue_stats(&self, name: &str) -> MqResult<QueueStats> {
+        let v = self.inner.request(&Request::QueueStats(name.into()))?;
+        stats_from_value(&v).map_err(MqError::from)
+    }
+
+    fn queue_depth(&self, name: &str) -> MqResult<usize> {
+        let v = self.inner.request(&Request::QueueDepth(name.into()))?;
+        Ok(v.as_u64().unwrap_or(0) as usize)
+    }
+
+    fn queue_arrival_rate(&self, name: &str) -> MqResult<f64> {
+        let v = self
+            .inner
+            .request(&Request::QueueArrivalRate(name.into()))?;
+        v.as_f64()
+            .map_err(|e| MqError::Transport(format!("bad rate reply: {e}")))
+    }
+
+    fn queue_names(&self) -> Vec<String> {
+        self.inner
+            .request(&Request::QueueNames)
+            .ok()
+            .and_then(|v| {
+                v.as_list().ok().map(|items| {
+                    items
+                        .iter()
+                        .filter_map(|i| i.as_str().ok().map(str::to_string))
+                        .collect()
+                })
+            })
+            .unwrap_or_default()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// NetConsumer
+// ---------------------------------------------------------------------------
+
+/// Client-side consumer handle for one remote subscription.
+struct NetConsumer {
+    client: Arc<ClientInner>,
+    sub: Arc<SubInner>,
+}
+
+impl NetConsumer {
+    fn to_any(&self, d: BufferedDelivery) -> AnyDelivery {
+        let client = self.client.clone();
+        let sub_id = self.sub.id;
+        let generation = d.generation;
+        let tag = d.tag;
+        AnyDelivery::new(d.message, d.redelivered, move |ok| {
+            // A delivery from a previous connection generation has no live
+            // server-side tag: the server already requeued it when the old
+            // connection died, so resolving it now would mis-ack a tag that
+            // may have been reassigned.
+            if client.generation.load(Ordering::Acquire) != generation {
+                return;
+            }
+            let req = if ok {
+                Request::Ack(sub_id, tag)
+            } else {
+                Request::Requeue(sub_id, tag)
+            };
+            // Fire-and-forget: on a dead connection the server-side drop
+            // path requeues for us anyway.
+            let corr = client.next_corr.fetch_add(1, Ordering::Relaxed);
+            let _ = client.send(&req.to_frame(corr));
+        })
+    }
+
+    /// Pops the next current-generation delivery, discarding stale ones.
+    fn pop_fresh(&self, buffer: &mut VecDeque<BufferedDelivery>) -> Option<BufferedDelivery> {
+        let current = self.client.generation.load(Ordering::Acquire);
+        while let Some(d) = buffer.pop_front() {
+            if d.generation == current {
+                return Some(d);
+            }
+        }
+        None
+    }
+}
+
+impl std::fmt::Debug for NetConsumer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetConsumer")
+            .field("queue", &self.sub.queue)
+            .field("sub", &self.sub.id)
+            .finish()
+    }
+}
+
+impl MessageConsumer for NetConsumer {
+    fn queue_name(&self) -> &str {
+        &self.sub.queue
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> MqResult<AnyDelivery> {
+        // Deadline-based: spurious wakeups re-arm with the *remaining* time.
+        let deadline = Instant::now() + timeout;
+        let mut buffer = self.sub.buffer.lock();
+        loop {
+            if let Some(d) = self.pop_fresh(&mut buffer) {
+                drop(buffer);
+                return Ok(self.to_any(d));
+            }
+            if self.sub.closed.load(Ordering::Acquire) {
+                return Err(MqError::Closed);
+            }
+            if self
+                .sub
+                .buffer_cv
+                .wait_until(&mut buffer, deadline)
+                .timed_out()
+                && self.pop_fresh(&mut buffer).is_none()
+            {
+                return Err(MqError::RecvTimeout);
+            }
+        }
+    }
+
+    fn try_recv(&self) -> Option<AnyDelivery> {
+        let mut buffer = self.sub.buffer.lock();
+        self.pop_fresh(&mut buffer).map(|d| {
+            drop(buffer);
+            self.to_any(d)
+        })
+    }
+}
+
+impl Drop for NetConsumer {
+    fn drop(&mut self) {
+        self.sub.closed.store(true, Ordering::Release);
+        self.sub.buffer_cv.notify_all();
+        self.client.subs.lock().remove(&self.sub.id);
+        if !self.client.stop.load(Ordering::Acquire) {
+            let corr = self.client.next_corr.fetch_add(1, Ordering::Relaxed);
+            let _ = self
+                .client
+                .send(&Request::Unsubscribe(self.sub.id).to_frame(corr));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BrokerServer;
+    use mqsim::MessageBroker;
+
+    fn pair() -> (BrokerServer, NetBroker) {
+        let server = BrokerServer::bind("127.0.0.1:0", MessageBroker::new()).unwrap();
+        let client = NetBroker::connect(server.local_addr()).unwrap();
+        (server, client)
+    }
+
+    #[test]
+    fn full_surface_over_loopback() {
+        let (server, client) = pair();
+        client.declare_queue("q", QueueOptions::default()).unwrap();
+        assert!(client.queue_exists("q"));
+        assert!(!client.queue_exists("other"));
+        client.declare_exchange("x", ExchangeKind::Fanout).unwrap();
+        assert!(client.exchange_exists("x"));
+        client.bind_queue("x", "", "q").unwrap();
+        let n = client
+            .publish("x", "", Message::from_bytes(b"fan".to_vec()))
+            .unwrap();
+        assert_eq!(n, 1);
+        client
+            .publish_to_queue("q", Message::from_bytes(b"direct".to_vec()))
+            .unwrap();
+        assert_eq!(client.queue_depth("q").unwrap(), 2);
+        assert_eq!(client.queue_names(), vec!["q".to_string()]);
+        assert!(client.queue_arrival_rate("q").unwrap() > 0.0);
+
+        let consumer = client.subscribe("q").unwrap();
+        let d1 = consumer.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(d1.message.payload(), b"fan");
+        d1.ack();
+        let d2 = consumer.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(d2.message.payload(), b"direct");
+        d2.ack();
+
+        let deadline = Instant::now() + Duration::from_secs(2);
+        loop {
+            let stats = client.queue_stats("q").unwrap();
+            if stats.acked == 2 && stats.unacked == 0 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "acks not applied: {stats:?}");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(client.purge_queue("q").unwrap(), 0);
+        assert!(client.unbind_queue("x", "", "q").unwrap());
+        client.delete_queue("q").unwrap();
+        assert!(!client.queue_exists("q"));
+        client.close();
+        server.shutdown();
+    }
+
+    #[test]
+    fn remote_errors_surface_typed() {
+        let (server, client) = pair();
+        assert_eq!(
+            client.queue_depth("missing").unwrap_err(),
+            MqError::QueueNotFound("missing".into())
+        );
+        client.close();
+        server.shutdown();
+    }
+
+    #[test]
+    fn dropped_delivery_requeues_on_server() {
+        let (server, client) = pair();
+        client.declare_queue("q", QueueOptions::default()).unwrap();
+        client
+            .publish_to_queue("q", Message::from_bytes(b"m".to_vec()))
+            .unwrap();
+        let consumer = client.subscribe("q").unwrap();
+        let d = consumer.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert!(!d.redelivered);
+        drop(d); // implicit requeue
+        let d2 = consumer.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert!(d2.redelivered);
+        assert_eq!(d2.message.payload(), b"m");
+        d2.ack();
+        client.close();
+        server.shutdown();
+    }
+
+    #[test]
+    fn connect_to_nothing_fails_fast() {
+        let config = NetConfig {
+            op_timeout: Duration::from_millis(200),
+            ..NetConfig::default()
+        };
+        // Port 1 is essentially never listening.
+        let err = NetBroker::connect_with("127.0.0.1:1", config).unwrap_err();
+        assert!(matches!(err, MqError::Transport(_)));
+    }
+
+    #[test]
+    fn client_reconnects_and_resubscribes() {
+        let (server, client) = pair();
+        client.declare_queue("q", QueueOptions::default()).unwrap();
+        let consumer = client.subscribe("q").unwrap();
+
+        server.disconnect_all();
+
+        // Publishing rides through the partition via retry.
+        client
+            .publish_to_queue("q", Message::from_bytes(b"after".to_vec()))
+            .unwrap();
+        let d = consumer.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(d.message.payload(), b"after");
+        d.ack();
+        client.close();
+        server.shutdown();
+    }
+
+    #[test]
+    fn recv_timeout_does_not_drift_past_deadline() {
+        let (server, client) = pair();
+        client.declare_queue("q", QueueOptions::default()).unwrap();
+        let consumer = client.subscribe("q").unwrap();
+        let started = Instant::now();
+        let err = consumer
+            .recv_timeout(Duration::from_millis(200))
+            .unwrap_err();
+        assert_eq!(err, MqError::RecvTimeout);
+        let elapsed = started.elapsed();
+        assert!(
+            elapsed >= Duration::from_millis(200) && elapsed < Duration::from_millis(600),
+            "recv_timeout took {elapsed:?}"
+        );
+        client.close();
+        server.shutdown();
+    }
+}

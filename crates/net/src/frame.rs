@@ -1,0 +1,872 @@
+//! The wire protocol: length-prefixed binary frames.
+//!
+//! Every frame is a `u32` big-endian length prefix followed by that many
+//! bytes of a [`wire::BinaryCodec`]-encoded [`Value::Map`]. Requests carry a
+//! client-chosen correlation id; the server answers each request with exactly
+//! one `reply` frame echoing the id. `deliver` frames are server-initiated
+//! pushes (correlation id 0) carrying a message toward a subscription.
+//!
+//! The protocol is deliberately un-clever: no pipelining constraints, no
+//! versioned handshake, text opcodes. Robustness against a hostile or
+//! corrupt peer comes from [`MAX_FRAME`] (bounding allocation before it
+//! happens) and the hardened binary codec underneath (truncated or malformed
+//! bytes decode to `Err`, never a panic).
+
+use mqsim::{ExchangeKind, Message, MessageProperties, MqError, QueueOptions, QueueStats};
+use std::io::{Read, Write};
+use std::time::Duration;
+use wire::{BinaryCodec, Codec, Value};
+
+/// Upper bound on the encoded size of one frame (16 MiB). Chunked content
+/// transfer keeps application payloads far below this; anything larger is a
+/// protocol violation, reported before any allocation is attempted.
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Errors of the framing layer.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the connection cleanly between frames.
+    Eof,
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The peer sent something that is not a valid frame.
+    Protocol(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Eof => write!(f, "connection closed"),
+            FrameError::Io(e) => write!(f, "i/o error: {e}"),
+            FrameError::Protocol(m) => write!(f, "protocol violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+impl From<FrameError> for MqError {
+    fn from(e: FrameError) -> Self {
+        MqError::Transport(e.to_string())
+    }
+}
+
+/// Writes one frame. Returns the number of bytes put on the wire.
+///
+/// # Errors
+///
+/// [`FrameError::Protocol`] if the encoded value exceeds [`MAX_FRAME`],
+/// otherwise socket errors.
+pub fn write_frame(w: &mut impl Write, value: &Value) -> Result<usize, FrameError> {
+    let body = BinaryCodec.encode(value);
+    if body.len() > MAX_FRAME {
+        return Err(FrameError::Protocol(format!(
+            "outgoing frame of {} bytes exceeds MAX_FRAME",
+            body.len()
+        )));
+    }
+    let mut buf = Vec::with_capacity(4 + body.len());
+    buf.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    buf.extend_from_slice(&body);
+    w.write_all(&buf)?;
+    w.flush()?;
+    Ok(buf.len())
+}
+
+/// Reads one frame, blocking until a full frame arrives.
+///
+/// # Errors
+///
+/// [`FrameError::Eof`] on clean close at a frame boundary,
+/// [`FrameError::Protocol`] on an oversized prefix or undecodable body.
+pub fn read_frame(r: &mut impl Read) -> Result<(Value, usize), FrameError> {
+    let mut prefix = [0u8; 4];
+    match r.read_exact(&mut prefix) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Err(FrameError::Eof),
+        Err(e) => return Err(FrameError::Io(e)),
+    }
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > MAX_FRAME {
+        return Err(FrameError::Protocol(format!(
+            "incoming frame length {len} exceeds MAX_FRAME"
+        )));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    let value = BinaryCodec
+        .decode(&body)
+        .map_err(|e| FrameError::Protocol(format!("undecodable frame body: {e}")))?;
+    Ok((value, 4 + len))
+}
+
+/// Incremental frame reader for sockets with a read timeout.
+///
+/// [`read_frame`] uses `read_exact`, which *discards* partially-read bytes
+/// when the socket times out — resuming afterwards would desynchronize the
+/// stream mid-frame. `FrameBuffer` instead accumulates bytes across calls:
+/// a timeout in the middle of a frame returns `Ok(None)` (an idle tick for
+/// the caller's heartbeat logic) and the partial frame is completed on the
+/// next call.
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    partial: Vec<u8>,
+}
+
+impl FrameBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        FrameBuffer::default()
+    }
+
+    /// Makes progress on the current frame. Returns `Ok(Some(..))` with a
+    /// complete frame, or `Ok(None)` if the read timed out (partial bytes
+    /// are kept for the next call).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`read_frame`].
+    pub fn read_step(&mut self, r: &mut impl Read) -> Result<Option<(Value, usize)>, FrameError> {
+        loop {
+            if self.partial.len() >= 4 {
+                let len = u32::from_be_bytes([
+                    self.partial[0],
+                    self.partial[1],
+                    self.partial[2],
+                    self.partial[3],
+                ]) as usize;
+                if len > MAX_FRAME {
+                    return Err(FrameError::Protocol(format!(
+                        "incoming frame length {len} exceeds MAX_FRAME"
+                    )));
+                }
+                if self.partial.len() == 4 + len {
+                    let value = BinaryCodec.decode(&self.partial[4..]).map_err(|e| {
+                        FrameError::Protocol(format!("undecodable frame body: {e}"))
+                    })?;
+                    let total = self.partial.len();
+                    self.partial.clear();
+                    return Ok(Some((value, total)));
+                }
+            }
+            let target = if self.partial.len() < 4 {
+                4
+            } else {
+                4 + u32::from_be_bytes([
+                    self.partial[0],
+                    self.partial[1],
+                    self.partial[2],
+                    self.partial[3],
+                ]) as usize
+            };
+            let mut chunk = vec![0u8; target - self.partial.len()];
+            match r.read(&mut chunk) {
+                Ok(0) => return Err(FrameError::Eof),
+                Ok(n) => self.partial.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Ok(None)
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(FrameError::Io(e)),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request construction & parsing
+// ---------------------------------------------------------------------------
+
+/// One client request, decoded from its frame.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// `declare_queue(name, options)`
+    DeclareQueue(String, QueueOptions),
+    /// `delete_queue(name)`
+    DeleteQueue(String),
+    /// `purge_queue(name)`
+    PurgeQueue(String),
+    /// `declare_exchange(name, kind)`
+    DeclareExchange(String, ExchangeKind),
+    /// `bind_queue(exchange, routing_key, queue)`
+    BindQueue(String, String, String),
+    /// `unbind_queue(exchange, routing_key, queue)`
+    UnbindQueue(String, String, String),
+    /// `queue_exists(name)`
+    QueueExists(String),
+    /// `exchange_exists(name)`
+    ExchangeExists(String),
+    /// `publish_to_queue(queue, message)`
+    PublishToQueue(String, Message),
+    /// `publish(exchange, routing_key, message)`
+    Publish(String, String, Message),
+    /// `subscribe(queue)` with a client-chosen subscription id and an
+    /// initial delivery credit (backpressure window).
+    Subscribe {
+        /// Queue to consume from.
+        queue: String,
+        /// Client-chosen subscription id (stable across reconnects).
+        sub: u64,
+        /// Initial credit: max unacked deliveries in flight to the client.
+        credit: u64,
+    },
+    /// Cancels a subscription.
+    Unsubscribe(u64),
+    /// Acknowledges delivery `tag` of subscription `sub`.
+    Ack(u64, u64),
+    /// Requeues delivery `tag` of subscription `sub`.
+    Requeue(u64, u64),
+    /// `queue_stats(name)`
+    QueueStats(String),
+    /// `queue_depth(name)`
+    QueueDepth(String),
+    /// `queue_arrival_rate(name)`
+    QueueArrivalRate(String),
+    /// `queue_names()`
+    QueueNames,
+    /// Liveness probe; the reply is the heartbeat.
+    Ping,
+}
+
+fn field_str(map: &Value, key: &str) -> Result<String, FrameError> {
+    map.field(key)
+        .and_then(|v| v.as_str())
+        .map(str::to_string)
+        .map_err(|e| FrameError::Protocol(format!("bad `{key}` field: {e}")))
+}
+
+fn field_u64(map: &Value, key: &str) -> Result<u64, FrameError> {
+    map.field(key)
+        .and_then(|v| v.as_u64())
+        .map_err(|e| FrameError::Protocol(format!("bad `{key}` field: {e}")))
+}
+
+fn field_bool(map: &Value, key: &str) -> Result<bool, FrameError> {
+    map.field(key)
+        .and_then(|v| v.as_bool())
+        .map_err(|e| FrameError::Protocol(format!("bad `{key}` field: {e}")))
+}
+
+fn opt_str(map: &Value, key: &str) -> Option<String> {
+    match map.get(key) {
+        Some(Value::Str(s)) => Some(s.clone()),
+        _ => None,
+    }
+}
+
+fn props_to_value(p: &MessageProperties) -> Value {
+    let mut fields = Vec::new();
+    if let Some(c) = &p.correlation_id {
+        fields.push(("correlation_id".into(), Value::from(c.clone())));
+    }
+    if let Some(r) = &p.reply_to {
+        fields.push(("reply_to".into(), Value::from(r.clone())));
+    }
+    if let Some(ct) = &p.content_type {
+        fields.push(("content_type".into(), Value::from(ct.clone())));
+    }
+    if let Some(t) = &p.trace {
+        fields.push(("trace".into(), Value::from(t.clone())));
+    }
+    fields.push(("persistent".into(), Value::Bool(p.persistent)));
+    Value::Map(fields)
+}
+
+fn props_from_value(v: &Value) -> MessageProperties {
+    MessageProperties {
+        correlation_id: opt_str(v, "correlation_id"),
+        reply_to: opt_str(v, "reply_to"),
+        content_type: opt_str(v, "content_type"),
+        persistent: matches!(v.get("persistent"), Some(Value::Bool(true))),
+        trace: opt_str(v, "trace"),
+    }
+}
+
+fn message_to_value(m: &Message) -> Value {
+    Value::Map(vec![
+        ("payload".into(), Value::Bytes(m.payload().to_vec())),
+        ("props".into(), props_to_value(m.properties())),
+    ])
+}
+
+fn message_from_value(v: &Value) -> Result<Message, FrameError> {
+    let payload = v
+        .field("payload")
+        .and_then(|p| p.as_bytes())
+        .map_err(|e| FrameError::Protocol(format!("bad message payload: {e}")))?
+        .to_vec();
+    let props = v.get("props").map(props_from_value).unwrap_or_default();
+    Ok(Message::with_properties(payload, props))
+}
+
+impl Request {
+    /// Encodes the request under correlation id `corr`.
+    pub fn to_frame(&self, corr: u64) -> Value {
+        let (op, mut fields): (&str, Vec<(String, Value)>) = match self {
+            Request::DeclareQueue(name, opts) => (
+                "declare_queue",
+                vec![
+                    ("name".into(), Value::from(name.clone())),
+                    ("auto_delete".into(), Value::Bool(opts.auto_delete)),
+                    (
+                        "rate_window_ms".into(),
+                        Value::U64(opts.rate_window.as_millis() as u64),
+                    ),
+                ],
+            ),
+            Request::DeleteQueue(name) => (
+                "delete_queue",
+                vec![("name".into(), Value::from(name.clone()))],
+            ),
+            Request::PurgeQueue(name) => (
+                "purge_queue",
+                vec![("name".into(), Value::from(name.clone()))],
+            ),
+            Request::DeclareExchange(name, kind) => (
+                "declare_exchange",
+                vec![
+                    ("name".into(), Value::from(name.clone())),
+                    (
+                        "kind".into(),
+                        Value::from(match kind {
+                            ExchangeKind::Direct => "direct",
+                            ExchangeKind::Fanout => "fanout",
+                        }),
+                    ),
+                ],
+            ),
+            Request::BindQueue(e, k, q) => (
+                "bind_queue",
+                vec![
+                    ("exchange".into(), Value::from(e.clone())),
+                    ("key".into(), Value::from(k.clone())),
+                    ("queue".into(), Value::from(q.clone())),
+                ],
+            ),
+            Request::UnbindQueue(e, k, q) => (
+                "unbind_queue",
+                vec![
+                    ("exchange".into(), Value::from(e.clone())),
+                    ("key".into(), Value::from(k.clone())),
+                    ("queue".into(), Value::from(q.clone())),
+                ],
+            ),
+            Request::QueueExists(name) => (
+                "queue_exists",
+                vec![("name".into(), Value::from(name.clone()))],
+            ),
+            Request::ExchangeExists(name) => (
+                "exchange_exists",
+                vec![("name".into(), Value::from(name.clone()))],
+            ),
+            Request::PublishToQueue(queue, message) => (
+                "publish_to_queue",
+                vec![
+                    ("queue".into(), Value::from(queue.clone())),
+                    ("message".into(), message_to_value(message)),
+                ],
+            ),
+            Request::Publish(exchange, key, message) => (
+                "publish",
+                vec![
+                    ("exchange".into(), Value::from(exchange.clone())),
+                    ("key".into(), Value::from(key.clone())),
+                    ("message".into(), message_to_value(message)),
+                ],
+            ),
+            Request::Subscribe { queue, sub, credit } => (
+                "subscribe",
+                vec![
+                    ("queue".into(), Value::from(queue.clone())),
+                    ("sub".into(), Value::U64(*sub)),
+                    ("credit".into(), Value::U64(*credit)),
+                ],
+            ),
+            Request::Unsubscribe(sub) => ("unsubscribe", vec![("sub".into(), Value::U64(*sub))]),
+            Request::Ack(sub, tag) => (
+                "ack",
+                vec![
+                    ("sub".into(), Value::U64(*sub)),
+                    ("tag".into(), Value::U64(*tag)),
+                ],
+            ),
+            Request::Requeue(sub, tag) => (
+                "requeue",
+                vec![
+                    ("sub".into(), Value::U64(*sub)),
+                    ("tag".into(), Value::U64(*tag)),
+                ],
+            ),
+            Request::QueueStats(name) => (
+                "queue_stats",
+                vec![("name".into(), Value::from(name.clone()))],
+            ),
+            Request::QueueDepth(name) => (
+                "queue_depth",
+                vec![("name".into(), Value::from(name.clone()))],
+            ),
+            Request::QueueArrivalRate(name) => (
+                "queue_arrival_rate",
+                vec![("name".into(), Value::from(name.clone()))],
+            ),
+            Request::QueueNames => ("queue_names", vec![]),
+            Request::Ping => ("ping", vec![]),
+        };
+        fields.insert(0, ("op".into(), Value::from(op)));
+        fields.insert(1, ("corr".into(), Value::U64(corr)));
+        Value::Map(fields)
+    }
+
+    /// Decodes a request frame; returns the correlation id and request.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Protocol`] on unknown opcodes or malformed fields.
+    pub fn from_frame(v: &Value) -> Result<(u64, Request), FrameError> {
+        let op = field_str(v, "op")?;
+        let corr = field_u64(v, "corr")?;
+        let req = match op.as_str() {
+            "declare_queue" => Request::DeclareQueue(
+                field_str(v, "name")?,
+                QueueOptions {
+                    auto_delete: field_bool(v, "auto_delete")?,
+                    rate_window: Duration::from_millis(field_u64(v, "rate_window_ms")?),
+                },
+            ),
+            "delete_queue" => Request::DeleteQueue(field_str(v, "name")?),
+            "purge_queue" => Request::PurgeQueue(field_str(v, "name")?),
+            "declare_exchange" => Request::DeclareExchange(
+                field_str(v, "name")?,
+                match field_str(v, "kind")?.as_str() {
+                    "direct" => ExchangeKind::Direct,
+                    "fanout" => ExchangeKind::Fanout,
+                    other => {
+                        return Err(FrameError::Protocol(format!(
+                            "unknown exchange kind `{other}`"
+                        )))
+                    }
+                },
+            ),
+            "bind_queue" => Request::BindQueue(
+                field_str(v, "exchange")?,
+                field_str(v, "key")?,
+                field_str(v, "queue")?,
+            ),
+            "unbind_queue" => Request::UnbindQueue(
+                field_str(v, "exchange")?,
+                field_str(v, "key")?,
+                field_str(v, "queue")?,
+            ),
+            "queue_exists" => Request::QueueExists(field_str(v, "name")?),
+            "exchange_exists" => Request::ExchangeExists(field_str(v, "name")?),
+            "publish_to_queue" => {
+                let message = message_from_value(
+                    v.field("message")
+                        .map_err(|e| FrameError::Protocol(e.to_string()))?,
+                )?;
+                Request::PublishToQueue(field_str(v, "queue")?, message)
+            }
+            "publish" => {
+                let message = message_from_value(
+                    v.field("message")
+                        .map_err(|e| FrameError::Protocol(e.to_string()))?,
+                )?;
+                Request::Publish(field_str(v, "exchange")?, field_str(v, "key")?, message)
+            }
+            "subscribe" => Request::Subscribe {
+                queue: field_str(v, "queue")?,
+                sub: field_u64(v, "sub")?,
+                credit: field_u64(v, "credit")?,
+            },
+            "unsubscribe" => Request::Unsubscribe(field_u64(v, "sub")?),
+            "ack" => Request::Ack(field_u64(v, "sub")?, field_u64(v, "tag")?),
+            "requeue" => Request::Requeue(field_u64(v, "sub")?, field_u64(v, "tag")?),
+            "queue_stats" => Request::QueueStats(field_str(v, "name")?),
+            "queue_depth" => Request::QueueDepth(field_str(v, "name")?),
+            "queue_arrival_rate" => Request::QueueArrivalRate(field_str(v, "name")?),
+            "queue_names" => Request::QueueNames,
+            "ping" => Request::Ping,
+            other => return Err(FrameError::Protocol(format!("unknown opcode `{other}`"))),
+        };
+        Ok((corr, req))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server → client frames
+// ---------------------------------------------------------------------------
+
+/// A frame pushed by the server.
+#[derive(Debug)]
+pub enum ServerFrame {
+    /// Response to the request with this correlation id.
+    Reply {
+        /// Correlation id of the request being answered.
+        corr: u64,
+        /// The operation result.
+        result: Result<Value, MqError>,
+    },
+    /// A message delivered toward a client subscription.
+    Deliver {
+        /// Subscription the delivery belongs to.
+        sub: u64,
+        /// Broker delivery tag; the client acks/requeues by this number.
+        tag: u64,
+        /// Whether the broker delivered this message before.
+        redelivered: bool,
+        /// The message itself.
+        message: Message,
+    },
+}
+
+fn mq_error_to_value(e: &MqError) -> Value {
+    let (code, detail) = match e {
+        MqError::QueueNotFound(q) => ("queue_not_found", q.clone()),
+        MqError::ExchangeNotFound(x) => ("exchange_not_found", x.clone()),
+        MqError::IncompatibleDeclaration(n) => ("incompatible_declaration", n.clone()),
+        MqError::RecvTimeout => ("recv_timeout", String::new()),
+        MqError::Closed => ("closed", String::new()),
+        MqError::UnknownDeliveryTag(t) => ("unknown_delivery_tag", t.to_string()),
+        MqError::BrokerDown => ("broker_down", String::new()),
+        MqError::Transport(m) => ("transport", m.clone()),
+        other => ("transport", other.to_string()),
+    };
+    Value::Map(vec![
+        ("code".into(), Value::from(code)),
+        ("detail".into(), Value::from(detail)),
+    ])
+}
+
+fn mq_error_from_value(v: &Value) -> MqError {
+    let code = v.get("code").and_then(|c| c.as_str().ok()).unwrap_or("");
+    let detail = v
+        .get("detail")
+        .and_then(|d| d.as_str().ok())
+        .unwrap_or("")
+        .to_string();
+    match code {
+        "queue_not_found" => MqError::QueueNotFound(detail),
+        "exchange_not_found" => MqError::ExchangeNotFound(detail),
+        "incompatible_declaration" => MqError::IncompatibleDeclaration(detail),
+        "recv_timeout" => MqError::RecvTimeout,
+        "closed" => MqError::Closed,
+        "unknown_delivery_tag" => MqError::UnknownDeliveryTag(detail.parse().unwrap_or(0)),
+        "broker_down" => MqError::BrokerDown,
+        _ => MqError::Transport(detail),
+    }
+}
+
+/// Encodes a [`QueueStats`] snapshot for a `queue_stats` reply.
+pub fn stats_to_value(s: &QueueStats) -> Value {
+    Value::Map(vec![
+        ("depth".into(), Value::U64(s.depth as u64)),
+        ("unacked".into(), Value::U64(s.unacked as u64)),
+        ("published".into(), Value::U64(s.published)),
+        ("delivered".into(), Value::U64(s.delivered)),
+        ("acked".into(), Value::U64(s.acked)),
+        ("redelivered".into(), Value::U64(s.redelivered)),
+        ("consumers".into(), Value::U64(s.consumers as u64)),
+        ("idle_consumers".into(), Value::U64(s.idle_consumers as u64)),
+    ])
+}
+
+/// Decodes a `queue_stats` reply body.
+///
+/// # Errors
+///
+/// [`FrameError::Protocol`] on missing or mistyped fields.
+pub fn stats_from_value(v: &Value) -> Result<QueueStats, FrameError> {
+    Ok(QueueStats {
+        depth: field_u64(v, "depth")? as usize,
+        unacked: field_u64(v, "unacked")? as usize,
+        published: field_u64(v, "published")?,
+        delivered: field_u64(v, "delivered")?,
+        acked: field_u64(v, "acked")?,
+        redelivered: field_u64(v, "redelivered")?,
+        consumers: field_u64(v, "consumers")? as usize,
+        idle_consumers: field_u64(v, "idle_consumers")? as usize,
+    })
+}
+
+impl ServerFrame {
+    /// Encodes this frame.
+    pub fn to_value(&self) -> Value {
+        match self {
+            ServerFrame::Reply { corr, result } => {
+                let mut fields = vec![
+                    ("op".into(), Value::from("reply")),
+                    ("corr".into(), Value::U64(*corr)),
+                    ("ok".into(), Value::Bool(result.is_ok())),
+                ];
+                match result {
+                    Ok(value) => fields.push(("value".into(), value.clone())),
+                    Err(e) => fields.push(("error".into(), mq_error_to_value(e))),
+                }
+                Value::Map(fields)
+            }
+            ServerFrame::Deliver {
+                sub,
+                tag,
+                redelivered,
+                message,
+            } => Value::Map(vec![
+                ("op".into(), Value::from("deliver")),
+                ("corr".into(), Value::U64(0)),
+                ("sub".into(), Value::U64(*sub)),
+                ("tag".into(), Value::U64(*tag)),
+                ("redelivered".into(), Value::Bool(*redelivered)),
+                ("message".into(), message_to_value(message)),
+            ]),
+        }
+    }
+
+    /// Decodes a server frame.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Protocol`] on unknown opcodes or malformed fields.
+    pub fn from_value(v: &Value) -> Result<ServerFrame, FrameError> {
+        match field_str(v, "op")?.as_str() {
+            "reply" => {
+                let corr = field_u64(v, "corr")?;
+                let result = if field_bool(v, "ok")? {
+                    Ok(v.get("value").cloned().unwrap_or(Value::Null))
+                } else {
+                    Err(v
+                        .get("error")
+                        .map(mq_error_from_value)
+                        .unwrap_or_else(|| MqError::Transport("reply without error".into())))
+                };
+                Ok(ServerFrame::Reply { corr, result })
+            }
+            "deliver" => Ok(ServerFrame::Deliver {
+                sub: field_u64(v, "sub")?,
+                tag: field_u64(v, "tag")?,
+                redelivered: field_bool(v, "redelivered")?,
+                message: message_from_value(
+                    v.field("message")
+                        .map_err(|e| FrameError::Protocol(e.to_string()))?,
+                )?,
+            }),
+            other => Err(FrameError::Protocol(format!(
+                "unknown server opcode `{other}`"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(req: Request) {
+        let frame = req.to_frame(7);
+        let (corr, back) = Request::from_frame(&frame).unwrap();
+        assert_eq!(corr, 7);
+        // `Message` has no `PartialEq`; the Debug form covers every field.
+        assert_eq!(format!("{back:?}"), format!("{req:?}"));
+    }
+
+    /// Yields the underlying bytes one at a time, returning `WouldBlock`
+    /// between every byte — the worst case a socket read timeout produces.
+    struct DribbleReader {
+        data: Vec<u8>,
+        pos: usize,
+        ready: bool,
+    }
+
+    impl Read for DribbleReader {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if !self.ready {
+                self.ready = true;
+                return Err(std::io::ErrorKind::WouldBlock.into());
+            }
+            self.ready = false;
+            if self.pos == self.data.len() {
+                return Ok(0);
+            }
+            buf[0] = self.data[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn frame_buffer_survives_timeouts_mid_frame() {
+        let mut encoded = Vec::new();
+        write_frame(&mut encoded, &Request::Ping.to_frame(3)).unwrap();
+        write_frame(&mut encoded, &Request::QueueNames.to_frame(4)).unwrap();
+        let total = encoded.len();
+        let mut reader = DribbleReader {
+            data: encoded,
+            pos: 0,
+            ready: false,
+        };
+        let mut frames = FrameBuffer::new();
+        let mut out = Vec::new();
+        let mut idle_ticks = 0usize;
+        while out.len() < 2 {
+            match frames.read_step(&mut reader).unwrap() {
+                Some((value, _)) => out.push(Request::from_frame(&value).unwrap()),
+                None => idle_ticks += 1,
+            }
+        }
+        assert_eq!(out[0].0, 3);
+        assert!(matches!(out[0].1, Request::Ping));
+        assert_eq!(out[1].0, 4);
+        assert!(matches!(out[1].1, Request::QueueNames));
+        // One WouldBlock per byte read: none of them lost frame progress.
+        assert!(
+            idle_ticks >= total,
+            "expected ≥{total} idle ticks, got {idle_ticks}"
+        );
+        assert!(matches!(
+            frames.read_step(&mut reader),
+            Err(FrameError::Eof) | Ok(None)
+        ));
+    }
+
+    #[test]
+    fn frame_buffer_rejects_oversized_length_prefix() {
+        let mut frames = FrameBuffer::new();
+        let bogus = (MAX_FRAME as u32 + 1).to_be_bytes().to_vec();
+        let mut reader = DribbleReader {
+            data: bogus,
+            pos: 0,
+            ready: false,
+        };
+        let err = loop {
+            match frames.read_step(&mut reader) {
+                Ok(_) => continue,
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err, FrameError::Protocol(_)));
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip(Request::DeclareQueue(
+            "q".into(),
+            QueueOptions {
+                auto_delete: true,
+                rate_window: Duration::from_millis(1500),
+            },
+        ));
+        roundtrip(Request::DeclareExchange("x".into(), ExchangeKind::Fanout));
+        roundtrip(Request::BindQueue("x".into(), "k".into(), "q".into()));
+        roundtrip(Request::Subscribe {
+            queue: "q".into(),
+            sub: 3,
+            credit: 32,
+        });
+        roundtrip(Request::Ack(3, 99));
+        roundtrip(Request::QueueNames);
+        roundtrip(Request::Ping);
+    }
+
+    #[test]
+    fn message_properties_roundtrip() {
+        let props = MessageProperties {
+            correlation_id: Some("c".into()),
+            reply_to: Some("r".into()),
+            content_type: None,
+            persistent: true,
+            trace: Some("t".into()),
+        };
+        let m = Message::with_properties(b"body".as_slice(), props.clone());
+        roundtrip(Request::PublishToQueue("q".into(), m.clone()));
+        let frame = Request::PublishToQueue("q".into(), m).to_frame(1);
+        let (_, back) = Request::from_frame(&frame).unwrap();
+        match back {
+            Request::PublishToQueue(_, msg) => {
+                assert_eq!(msg.payload(), b"body");
+                assert_eq!(msg.properties(), &props);
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_roundtrip_through_reply() {
+        for e in [
+            MqError::QueueNotFound("q".into()),
+            MqError::RecvTimeout,
+            MqError::Closed,
+            MqError::UnknownDeliveryTag(42),
+            MqError::BrokerDown,
+            MqError::Transport("boom".into()),
+        ] {
+            let frame = ServerFrame::Reply {
+                corr: 1,
+                result: Err(e.clone()),
+            }
+            .to_value();
+            match ServerFrame::from_value(&frame).unwrap() {
+                ServerFrame::Reply { result, .. } => assert_eq!(result.unwrap_err(), e),
+                other => panic!("wrong frame: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn stats_roundtrip() {
+        let s = QueueStats {
+            depth: 1,
+            unacked: 2,
+            published: 3,
+            delivered: 4,
+            acked: 5,
+            redelivered: 6,
+            consumers: 7,
+            idle_consumers: 8,
+        };
+        assert_eq!(stats_from_value(&stats_to_value(&s)).unwrap(), s);
+    }
+
+    #[test]
+    fn frame_io_roundtrips_over_a_buffer() {
+        let v = Request::Ping.to_frame(9);
+        let mut buf = Vec::new();
+        let written = write_frame(&mut buf, &v).unwrap();
+        assert_eq!(written, buf.len());
+        let mut cursor = &buf[..];
+        let (back, read) = read_frame(&mut cursor).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(read, written);
+        assert!(matches!(read_frame(&mut cursor), Err(FrameError::Eof)));
+    }
+
+    #[test]
+    fn oversized_prefix_is_rejected_without_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_be_bytes());
+        buf.extend_from_slice(b"junk");
+        let mut cursor = &buf[..];
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(FrameError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_body_is_a_protocol_error() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&4u32.to_be_bytes());
+        buf.extend_from_slice(&[0xFF, 0xFE, 0xFD, 0xFC]);
+        let mut cursor = &buf[..];
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(FrameError::Protocol(_))
+        ));
+    }
+}

@@ -1,0 +1,565 @@
+//! The broker server: exposes an in-process [`MessageBroker`] over TCP.
+//!
+//! One accept thread hands each connection to a reader thread. Requests are
+//! executed synchronously against the broker (every broker operation is
+//! non-blocking) and answered with a `reply` frame; subscriptions each get a
+//! pump thread that pulls deliveries from the broker and pushes `deliver`
+//! frames, gated by a per-subscription credit window. A subscription's
+//! pump only starts once the subscribe reply is on the wire, so deliver
+//! frames never precede the confirmation they belong to.
+//!
+//! ## Backpressure
+//!
+//! A subscription starts with `credit` units; each `deliver` frame consumes
+//! one and each ack/requeue returns one. When credit reaches zero the pump
+//! parks, so a slow consumer leaves its messages *in the broker queue*
+//! (bounded server memory) instead of accumulating in socket buffers.
+//!
+//! ## Failure semantics
+//!
+//! Unacked deliveries are held in a per-subscription map. When a connection
+//! dies — network fault, client crash, [`BrokerServer::disconnect_all`] —
+//! dropping that map (and the underlying [`mqsim::Consumer`]) requeues every
+//! unacked message at the front of its queue, flagged redelivered. A client
+//! that reconnects and resubscribes therefore sees exactly the at-least-once
+//! behaviour of the in-process broker.
+
+use crate::frame::{read_frame, write_frame, Request, ServerFrame};
+use crate::stats_to_value;
+use mqsim::{Delivery, MessageBroker, MqError, MqResult};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use wire::Value;
+
+/// Poll interval of subscription pump loops; bounds shutdown latency.
+const PUMP_POLL: Duration = Duration::from_millis(20);
+
+/// A TCP front-end for one [`MessageBroker`].
+pub struct BrokerServer {
+    addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+struct ServerShared {
+    broker: MessageBroker,
+    stop: AtomicBool,
+    conns: Mutex<Vec<Arc<ConnShared>>>,
+    connections_gauge: Arc<obs::Gauge>,
+}
+
+/// State shared between a connection's reader thread and its pump threads.
+struct ConnShared {
+    id: u64,
+    stream: TcpStream,
+    writer: Mutex<TcpStream>,
+    subs: Mutex<HashMap<u64, Arc<SubShared>>>,
+    dead: AtomicBool,
+}
+
+struct SubShared {
+    /// Remaining delivery credit; pump parks at zero.
+    credit: Mutex<u64>,
+    credit_cv: Condvar,
+    /// Deliveries pushed to the client and not yet acked/requeued, by tag.
+    /// Dropping this map requeues them all.
+    unacked: Mutex<HashMap<u64, Delivery>>,
+    stop: AtomicBool,
+}
+
+impl SubShared {
+    fn resolve(&self, tag: u64, ack: bool) -> MqResult<()> {
+        let delivery = self
+            .unacked
+            .lock()
+            .remove(&tag)
+            .ok_or(MqError::UnknownDeliveryTag(tag))?;
+        if ack {
+            delivery.ack();
+        } else {
+            delivery.requeue();
+        }
+        *self.credit.lock() += 1;
+        self.credit_cv.notify_one();
+        Ok(())
+    }
+
+    fn shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+        self.credit_cv.notify_all();
+    }
+}
+
+impl ConnShared {
+    fn kill(&self) {
+        if !self.dead.swap(true, Ordering::AcqRel) {
+            let _ = self.stream.shutdown(std::net::Shutdown::Both);
+            for sub in self.subs.lock().values() {
+                sub.shutdown();
+            }
+        }
+    }
+
+    /// Serializes one frame to the client. Any error kills the connection.
+    fn send(&self, frame: &Value) {
+        let mut writer = self.writer.lock();
+        match write_frame(&mut *writer, frame) {
+            Ok(n) => obs::counter("net.server.bytes_out").add(n as u64),
+            Err(_) => {
+                drop(writer);
+                self.kill();
+            }
+        }
+    }
+}
+
+impl BrokerServer {
+    /// Binds a listener and starts serving `broker` on it. Use port 0 to let
+    /// the OS pick a free port, then read it back via
+    /// [`BrokerServer::local_addr`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from bind.
+    pub fn bind(addr: impl ToSocketAddrs, broker: MessageBroker) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(ServerShared {
+            broker,
+            stop: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+            connections_gauge: obs::gauge("net.server.connections"),
+        });
+        let accept_shared = shared.clone();
+        let accept_thread = std::thread::spawn(move || accept_loop(&listener, &accept_shared));
+        Ok(BrokerServer {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address the server listens on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The broker being served.
+    pub fn broker(&self) -> &MessageBroker {
+        &self.shared.broker
+    }
+
+    /// Hard-closes every live client connection (the sockets are shut down
+    /// mid-stream). Unacked deliveries are requeued; clients observe a
+    /// connection reset and go through their reconnect path. The listener
+    /// keeps accepting, so this injects exactly a transient network
+    /// partition.
+    pub fn disconnect_all(&self) {
+        let conns = self.shared.conns.lock().clone();
+        for conn in conns {
+            conn.kill();
+        }
+    }
+
+    /// Stops accepting, closes all connections, and joins the accept thread.
+    pub fn shutdown(mut self) {
+        self.stop_now();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    fn stop_now(&self) {
+        self.shared.stop.store(true, Ordering::Release);
+        // Unblock `accept` by dialling ourselves.
+        let _ = TcpStream::connect(self.addr);
+        self.disconnect_all();
+    }
+}
+
+impl Drop for BrokerServer {
+    fn drop(&mut self) {
+        self.stop_now();
+    }
+}
+
+impl std::fmt::Debug for BrokerServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BrokerServer")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
+    let mut next_conn = 0u64;
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => continue,
+        };
+        if shared.stop.load(Ordering::Acquire) {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        next_conn += 1;
+        let writer = match stream.try_clone() {
+            Ok(w) => w,
+            Err(_) => continue,
+        };
+        let conn = Arc::new(ConnShared {
+            id: next_conn,
+            stream,
+            writer: Mutex::new(writer),
+            subs: Mutex::new(HashMap::new()),
+            dead: AtomicBool::new(false),
+        });
+        {
+            let mut conns = shared.conns.lock();
+            conns.retain(|c| !c.dead.load(Ordering::Acquire));
+            conns.push(conn.clone());
+            shared.connections_gauge.set(conns.len() as f64);
+        }
+        obs::counter("net.server.accepts_total").inc();
+        let conn_shared = shared.clone();
+        std::thread::spawn(move || {
+            reader_loop(&conn, &conn_shared);
+            conn.kill();
+            let mut conns = conn_shared.conns.lock();
+            conns.retain(|c| c.id != conn.id && !c.dead.load(Ordering::Acquire));
+            conn_shared.connections_gauge.set(conns.len() as f64);
+        });
+    }
+}
+
+fn reader_loop(conn: &Arc<ConnShared>, shared: &Arc<ServerShared>) {
+    let bytes_in = obs::counter("net.server.bytes_in");
+    let frame_seconds = obs::histogram("net.server.frame_seconds");
+    let mut reader = match conn.stream.try_clone() {
+        Ok(r) => r,
+        Err(_) => return,
+    };
+    loop {
+        if conn.dead.load(Ordering::Acquire) || shared.stop.load(Ordering::Acquire) {
+            return;
+        }
+        let (frame, n) = match read_frame(&mut reader) {
+            Ok(ok) => ok,
+            Err(_) => return, // EOF, reset, or garbage: tear the connection down
+        };
+        bytes_in.add(n as u64);
+        let started = std::time::Instant::now();
+        let (corr, request) = match Request::from_frame(&frame) {
+            Ok(ok) => ok,
+            Err(_) => return, // protocol violation: hang up
+        };
+        let mut after_reply = None;
+        let result = execute(conn, shared, request, &mut after_reply);
+        conn.send(&ServerFrame::Reply { corr, result }.to_value());
+        // A subscription's pump starts only after its reply frame is on the
+        // wire, so the client never sees a delivery precede the subscribe
+        // confirmation.
+        if let Some(start) = after_reply.take() {
+            start();
+        }
+        frame_seconds.record(started.elapsed());
+    }
+}
+
+/// Deferred work to run after the reply frame has been written.
+type AfterReply = Box<dyn FnOnce() + Send>;
+
+fn execute(
+    conn: &Arc<ConnShared>,
+    shared: &Arc<ServerShared>,
+    req: Request,
+    after_reply: &mut Option<AfterReply>,
+) -> MqResult<Value> {
+    let broker = &shared.broker;
+    match req {
+        Request::DeclareQueue(name, opts) => {
+            broker.declare_queue(&name, opts).map(|()| Value::Null)
+        }
+        Request::DeleteQueue(name) => broker.delete_queue(&name).map(|()| Value::Null),
+        Request::PurgeQueue(name) => broker.purge_queue(&name).map(|n| Value::U64(n as u64)),
+        Request::DeclareExchange(name, kind) => {
+            broker.declare_exchange(&name, kind).map(|()| Value::Null)
+        }
+        Request::BindQueue(e, k, q) => broker.bind_queue(&e, &k, &q).map(|()| Value::Null),
+        Request::UnbindQueue(e, k, q) => broker.unbind_queue(&e, &k, &q).map(Value::Bool),
+        Request::QueueExists(name) => Ok(Value::Bool(broker.queue_exists(&name))),
+        Request::ExchangeExists(name) => Ok(Value::Bool(broker.exchange_exists(&name))),
+        Request::PublishToQueue(queue, message) => broker
+            .publish_to_queue(&queue, message)
+            .map(|()| Value::Null),
+        Request::Publish(exchange, key, message) => broker
+            .publish(&exchange, &key, message)
+            .map(|n| Value::U64(n as u64)),
+        Request::Subscribe { queue, sub, credit } => {
+            let consumer = broker.subscribe(&queue)?;
+            let sub_shared = Arc::new(SubShared {
+                credit: Mutex::new(credit.max(1)),
+                credit_cv: Condvar::new(),
+                unacked: Mutex::new(HashMap::new()),
+                stop: AtomicBool::new(false),
+            });
+            let previous = conn.subs.lock().insert(sub, sub_shared.clone());
+            if let Some(p) = previous {
+                p.shutdown();
+            }
+            let pump_conn = conn.clone();
+            *after_reply = Some(Box::new(move || {
+                std::thread::spawn(move || pump_loop(&pump_conn, &sub_shared, consumer, sub));
+            }));
+            Ok(Value::Null)
+        }
+        Request::Unsubscribe(sub) => match conn.subs.lock().remove(&sub) {
+            Some(s) => {
+                s.shutdown();
+                Ok(Value::Bool(true))
+            }
+            None => Ok(Value::Bool(false)),
+        },
+        Request::Ack(sub, tag) => with_sub(conn, sub, |s| s.resolve(tag, true)),
+        Request::Requeue(sub, tag) => with_sub(conn, sub, |s| s.resolve(tag, false)),
+        Request::QueueStats(name) => broker.queue_stats(&name).map(|s| stats_to_value(&s)),
+        Request::QueueDepth(name) => broker.queue_depth(&name).map(|n| Value::U64(n as u64)),
+        Request::QueueArrivalRate(name) => broker.queue_arrival_rate(&name).map(Value::F64),
+        Request::QueueNames => Ok(Value::List(
+            broker.queue_names().into_iter().map(Value::from).collect(),
+        )),
+        Request::Ping => Ok(Value::Null),
+    }
+}
+
+fn with_sub(
+    conn: &ConnShared,
+    sub: u64,
+    f: impl FnOnce(&SubShared) -> MqResult<()>,
+) -> MqResult<Value> {
+    let sub_shared = conn
+        .subs
+        .lock()
+        .get(&sub)
+        .cloned()
+        .ok_or(MqError::Transport(format!("unknown subscription {sub}")))?;
+    f(&sub_shared).map(|()| Value::Null)
+}
+
+/// Pulls deliveries off the broker queue and pushes them to the client,
+/// holding each in the unacked map until the client resolves it.
+fn pump_loop(
+    conn: &Arc<ConnShared>,
+    sub_shared: &Arc<SubShared>,
+    consumer: mqsim::Consumer,
+    sub: u64,
+) {
+    let deliveries = obs::counter("net.server.deliveries_total");
+    loop {
+        if sub_shared.stop.load(Ordering::Acquire) || conn.dead.load(Ordering::Acquire) {
+            // Dropping `consumer` and the unacked map requeues everything.
+            return;
+        }
+        {
+            let mut credit = sub_shared.credit.lock();
+            while *credit == 0 {
+                let timed_out = sub_shared
+                    .credit_cv
+                    .wait_for(&mut credit, PUMP_POLL)
+                    .timed_out();
+                if sub_shared.stop.load(Ordering::Acquire) || conn.dead.load(Ordering::Acquire) {
+                    return;
+                }
+                if timed_out && *credit == 0 {
+                    continue;
+                }
+            }
+        }
+        let delivery = match consumer.recv_timeout(PUMP_POLL) {
+            Ok(d) => d,
+            Err(MqError::RecvTimeout) => continue,
+            Err(_) => return, // queue deleted
+        };
+        let tag = delivery.tag.value();
+        let frame = ServerFrame::Deliver {
+            sub,
+            tag,
+            redelivered: delivery.redelivered,
+            message: delivery.message.clone(),
+        }
+        .to_value();
+        *sub_shared.credit.lock() -= 1;
+        sub_shared.unacked.lock().insert(tag, delivery);
+        deliveries.inc();
+        conn.send(&frame);
+        if conn.dead.load(Ordering::Acquire) {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqsim::Message;
+
+    fn connect(server: &BrokerServer) -> TcpStream {
+        let s = TcpStream::connect(server.local_addr()).unwrap();
+        s.set_nodelay(true).unwrap();
+        s
+    }
+
+    fn call(stream: &mut TcpStream, req: Request, corr: u64) -> MqResult<Value> {
+        write_frame(stream, &req.to_frame(corr)).unwrap();
+        loop {
+            let (frame, _) = read_frame(stream).unwrap();
+            match ServerFrame::from_value(&frame).unwrap() {
+                ServerFrame::Reply { corr: c, result } if c == corr => return result,
+                _ => continue,
+            }
+        }
+    }
+
+    #[test]
+    fn declare_publish_subscribe_deliver_ack() {
+        let server = BrokerServer::bind("127.0.0.1:0", MessageBroker::new()).unwrap();
+        let mut c = connect(&server);
+        call(
+            &mut c,
+            Request::DeclareQueue("q".into(), Default::default()),
+            1,
+        )
+        .unwrap();
+        call(
+            &mut c,
+            Request::PublishToQueue("q".into(), Message::from_bytes(b"hi".to_vec())),
+            2,
+        )
+        .unwrap();
+        call(
+            &mut c,
+            Request::Subscribe {
+                queue: "q".into(),
+                sub: 1,
+                credit: 4,
+            },
+            3,
+        )
+        .unwrap();
+        // Next frame must be the delivery.
+        let (frame, _) = read_frame(&mut c).unwrap();
+        let (sub, tag) = match ServerFrame::from_value(&frame).unwrap() {
+            ServerFrame::Deliver {
+                sub, tag, message, ..
+            } => {
+                assert_eq!(message.payload(), b"hi");
+                (sub, tag)
+            }
+            other => panic!("expected deliver, got {other:?}"),
+        };
+        call(&mut c, Request::Ack(sub, tag), 4).unwrap();
+        let stats = call(&mut c, Request::QueueStats("q".into()), 5).unwrap();
+        let stats = crate::frame::stats_from_value(&stats).unwrap();
+        assert_eq!(stats.acked, 1);
+        assert_eq!(stats.unacked, 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn errors_cross_the_wire() {
+        let server = BrokerServer::bind("127.0.0.1:0", MessageBroker::new()).unwrap();
+        let mut c = connect(&server);
+        let err = call(&mut c, Request::QueueDepth("nope".into()), 1).unwrap_err();
+        assert_eq!(err, MqError::QueueNotFound("nope".into()));
+        server.shutdown();
+    }
+
+    #[test]
+    fn dropping_connection_requeues_unacked() {
+        let server = BrokerServer::bind("127.0.0.1:0", MessageBroker::new()).unwrap();
+        let mut c = connect(&server);
+        call(
+            &mut c,
+            Request::DeclareQueue("q".into(), Default::default()),
+            1,
+        )
+        .unwrap();
+        call(
+            &mut c,
+            Request::PublishToQueue("q".into(), Message::from_bytes(b"m".to_vec())),
+            2,
+        )
+        .unwrap();
+        call(
+            &mut c,
+            Request::Subscribe {
+                queue: "q".into(),
+                sub: 1,
+                credit: 4,
+            },
+            3,
+        )
+        .unwrap();
+        let (frame, _) = read_frame(&mut c).unwrap();
+        assert!(matches!(
+            ServerFrame::from_value(&frame).unwrap(),
+            ServerFrame::Deliver { .. }
+        ));
+        drop(c); // connection dies with the delivery unacked
+        let broker = server.broker().clone();
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        loop {
+            let stats = broker.queue_stats("q").unwrap();
+            if stats.depth == 1 && stats.unacked == 0 {
+                assert!(stats.redelivered >= 1);
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "message was not requeued: {stats:?}"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn credit_limits_in_flight_deliveries() {
+        let server = BrokerServer::bind("127.0.0.1:0", MessageBroker::new()).unwrap();
+        let mut c = connect(&server);
+        call(
+            &mut c,
+            Request::DeclareQueue("q".into(), Default::default()),
+            1,
+        )
+        .unwrap();
+        for i in 0..10 {
+            call(
+                &mut c,
+                Request::PublishToQueue("q".into(), Message::from_bytes(vec![i as u8])),
+                2 + i,
+            )
+            .unwrap();
+        }
+        call(
+            &mut c,
+            Request::Subscribe {
+                queue: "q".into(),
+                sub: 1,
+                credit: 3,
+            },
+            100,
+        )
+        .unwrap();
+        // With credit 3 and no acks, exactly 3 messages leave the queue.
+        std::thread::sleep(Duration::from_millis(150));
+        let stats = server.broker().queue_stats("q").unwrap();
+        assert_eq!(stats.unacked, 3, "stats: {stats:?}");
+        assert_eq!(stats.depth, 7);
+        server.shutdown();
+    }
+}

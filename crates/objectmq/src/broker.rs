@@ -6,7 +6,7 @@ use crate::proxy::{unknown_object, Proxy};
 use crate::server::{
     fresh_instance_name, spawn_instance, RemoteObject, ServerHandle, SkeletonConfig,
 };
-use mqsim::{ExchangeKind, MessageBroker, QueueOptions};
+use mqsim::{ExchangeKind, MessageBroker, Messaging, QueueOptions};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -50,9 +50,13 @@ impl Default for BrokerConfig {
 /// Naming is implemented *by the queues themselves*: `bind("sync", obj)`
 /// creates (or joins) the queue named `sync`; `lookup("sync")` just needs
 /// the queue name — there is no central registry.
+///
+/// The messaging layer is consumed through the [`Messaging`] trait, so the
+/// same broker code runs over the in-process [`MessageBroker`] or over a
+/// remote TCP transport (`net::NetBroker`).
 #[derive(Debug, Clone)]
 pub struct Broker {
-    mq: MessageBroker,
+    mq: Arc<dyn Messaging>,
     config: BrokerConfig,
 }
 
@@ -64,14 +68,21 @@ impl Broker {
         Broker::new(MessageBroker::new(), BrokerConfig::default())
     }
 
-    /// Creates a broker over an existing messaging layer — several ObjectMQ
-    /// brokers (e.g. one per host) can share one messaging service.
+    /// Creates a broker over an existing in-process messaging layer —
+    /// several ObjectMQ brokers (e.g. one per host) can share one
+    /// messaging service.
     pub fn new(mq: MessageBroker, config: BrokerConfig) -> Self {
+        Broker::over(Arc::new(mq), config)
+    }
+
+    /// Creates a broker over any [`Messaging`] implementation (in-process
+    /// or a network transport).
+    pub fn over(mq: Arc<dyn Messaging>, config: BrokerConfig) -> Self {
         Broker { mq, config }
     }
 
     /// The underlying messaging layer.
-    pub fn messaging(&self) -> &MessageBroker {
+    pub fn messaging(&self) -> &Arc<dyn Messaging> {
         &self.mq
     }
 

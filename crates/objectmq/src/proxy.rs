@@ -2,7 +2,7 @@
 
 use crate::error::{CallError, CallResult, OmqError};
 use crate::rpc::{decode_response, fresh_id, Request, Response};
-use mqsim::{Consumer, Message, MessageBroker, MessageProperties, MqError};
+use mqsim::{Message, MessageConsumer, MessageProperties, Messaging, MqError};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -17,12 +17,12 @@ use wire::{Codec, Value};
 /// is involved, and the stub never needs to know how many server instances
 /// exist or where they run.
 pub struct Proxy {
-    mq: MessageBroker,
+    mq: Arc<dyn Messaging>,
     codec: Arc<dyn Codec>,
     oid: String,
     multi_exchange: String,
     response_queue: String,
-    response_consumer: Consumer,
+    response_consumer: Box<dyn MessageConsumer>,
     /// Responses that arrived while waiting for a different correlation id.
     pending: Mutex<HashMap<String, Response>>,
     obs: ProxyObs,
@@ -59,12 +59,12 @@ impl std::fmt::Debug for Proxy {
 
 impl Proxy {
     pub(crate) fn new(
-        mq: MessageBroker,
+        mq: Arc<dyn Messaging>,
         codec: Arc<dyn Codec>,
         oid: String,
         multi_exchange: String,
         response_queue: String,
-        response_consumer: Consumer,
+        response_consumer: Box<dyn MessageConsumer>,
     ) -> Self {
         Proxy {
             mq,
@@ -351,6 +351,62 @@ mod tests {
                 other => Err(format!("unknown method {other}")),
             }
         }
+    }
+
+    #[test]
+    fn response_wait_holds_deadline_under_unrelated_traffic() {
+        use mqsim::{Message, MessageBroker, Messaging, QueueOptions};
+        use std::sync::atomic::AtomicBool;
+        use std::time::Instant;
+
+        let mq: Arc<dyn Messaging> = Arc::new(MessageBroker::new());
+        let codec: Arc<dyn wire::Codec> = Arc::new(wire::BinaryCodec);
+        mq.declare_queue("resp", QueueOptions::default()).unwrap();
+        let consumer = mq.subscribe("resp").unwrap();
+        let proxy = super::Proxy::new(
+            mq.clone(),
+            codec.clone(),
+            "oid".into(),
+            "x".into(),
+            "resp".into(),
+            consumer,
+        );
+
+        // Flood the shared response queue with responses for *other*
+        // callers. Each one wakes the waiter, which stashes it and must
+        // re-arm with the remaining time — re-arming with the full timeout
+        // would postpone the deadline forever under this traffic.
+        let stop = Arc::new(AtomicBool::new(false));
+        let noise_stop = stop.clone();
+        let noise_mq = mq.clone();
+        let noise_codec = codec.clone();
+        let noise = std::thread::spawn(move || {
+            let mut i = 0u64;
+            while !noise_stop.load(Ordering::Acquire) {
+                let response = crate::rpc::Response {
+                    id: format!("other-{i}"),
+                    outcome: Ok(Value::Null),
+                };
+                let payload = noise_codec.encode(&response.to_value());
+                let _ = noise_mq.publish_to_queue("resp", Message::from_bytes(payload));
+                i += 1;
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        });
+
+        let timeout = Duration::from_millis(300);
+        let started = Instant::now();
+        let got = proxy.await_response("wanted", timeout);
+        let elapsed = started.elapsed();
+        stop.store(true, Ordering::Release);
+        noise.join().unwrap();
+
+        assert!(got.is_none());
+        assert!(elapsed >= timeout, "woke early after {elapsed:?}");
+        assert!(
+            elapsed < timeout * 3,
+            "await_response drifted past its deadline: {elapsed:?}"
+        );
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use crate::error::OmqResult;
 use crate::info::ServiceStats;
 use crate::rpc::{decode_request, Response};
-use mqsim::{Consumer, Message, MessageBroker, MessageProperties};
+use mqsim::{Message, MessageConsumer, MessageProperties, Messaging};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -41,7 +41,11 @@ static NEXT_INSTANCE: AtomicU64 = AtomicU64::new(1);
 
 pub(crate) fn fresh_instance_name(oid: &str) -> String {
     let n = NEXT_INSTANCE.fetch_add(1, Ordering::Relaxed);
-    format!("omq.inst.{oid}.{n}")
+    // The process id is part of the name: instances in different OS
+    // processes can share one remote broker (crates/net), and a bare
+    // counter would collide there — two "instance 1" queues would become
+    // one competing-consumer queue, splitting every multicast in half.
+    format!("omq.inst.{oid}.{}-{n}", std::process::id())
 }
 
 /// Handle to one bound server object instance.
@@ -58,7 +62,7 @@ pub struct ServerHandle {
     stop: Arc<AtomicBool>,
     crash: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
-    mq: MessageBroker,
+    mq: Arc<dyn Messaging>,
 }
 
 impl ServerHandle {
@@ -119,7 +123,7 @@ impl Drop for ServerHandle {
 }
 
 pub(crate) struct SkeletonConfig {
-    pub mq: MessageBroker,
+    pub mq: Arc<dyn Messaging>,
     pub codec: Arc<dyn Codec>,
     pub oid: String,
     pub instance: String,
@@ -130,8 +134,8 @@ pub(crate) struct SkeletonConfig {
 /// Spawns the two skeleton threads for one object instance.
 pub(crate) fn spawn_instance(
     config: SkeletonConfig,
-    unicast: Consumer,
-    multicast: Consumer,
+    unicast: Box<dyn MessageConsumer>,
+    multicast: Box<dyn MessageConsumer>,
     object: Arc<dyn RemoteObject>,
 ) -> OmqResult<ServerHandle> {
     let stats = Arc::new(ServiceStats::new());
@@ -164,7 +168,7 @@ pub(crate) fn spawn_instance(
 }
 
 struct LoopCtx {
-    mq: MessageBroker,
+    mq: Arc<dyn Messaging>,
     codec: Arc<dyn Codec>,
     object: Arc<dyn RemoteObject>,
     stats: Arc<ServiceStats>,
@@ -173,7 +177,7 @@ struct LoopCtx {
     poll: Duration,
 }
 
-fn serve_loop(ctx: LoopCtx, consumer: Consumer) {
+fn serve_loop(ctx: LoopCtx, consumer: Box<dyn MessageConsumer>) {
     // Global `omq.*` skeleton counters, resolved once per serve thread.
     let dispatched = obs::counter("omq.dispatches_total");
     let panics = obs::counter("omq.dispatch_panics_total");

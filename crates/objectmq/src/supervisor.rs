@@ -8,7 +8,7 @@
 use crate::broker::Broker;
 use crate::error::{OmqError, OmqResult};
 use crate::server::{RemoteObject, ServerHandle};
-use mqsim::{ExchangeKind, Message, MessageBroker, QueueOptions};
+use mqsim::{ExchangeKind, Message, Messaging, QueueOptions};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -451,7 +451,7 @@ impl HeartbeatMonitor {
     /// # Errors
     ///
     /// Propagates messaging failures.
-    pub fn start(mq: &MessageBroker, listener_id: u64) -> OmqResult<Self> {
+    pub fn start(mq: &dyn Messaging, listener_id: u64) -> OmqResult<Self> {
         mq.declare_exchange(HEARTBEAT_EXCHANGE, ExchangeKind::Fanout)?;
         let queue = format!("omq.hbmon.{listener_id}");
         mq.declare_queue(&queue, QueueOptions::default())?;
@@ -508,7 +508,7 @@ impl Drop for HeartbeatMonitor {
 /// # Errors
 ///
 /// Propagates messaging failures.
-pub fn run_election(mq: &MessageBroker, my_id: u64, settle: Duration) -> OmqResult<bool> {
+pub fn run_election(mq: &dyn Messaging, my_id: u64, settle: Duration) -> OmqResult<bool> {
     obs::counter("omq.elections_total").inc();
     mq.declare_exchange(ELECTION_EXCHANGE, ExchangeKind::Fanout)?;
     let queue = format!("omq.election.voter.{my_id}");
@@ -657,7 +657,7 @@ mod tests {
         let broker = Broker::in_process();
         let rb = RemoteBroker::start(broker.clone(), 7).unwrap();
         rb.register_factory("svc", counting_factory(Arc::new(AtomicU64::new(0))));
-        let monitor = HeartbeatMonitor::start(broker.messaging(), 7).unwrap();
+        let monitor = HeartbeatMonitor::start(broker.messaging().as_ref(), 7).unwrap();
         let supervisor = Supervisor::start(broker.clone(), fast_config("svc")).unwrap();
         assert!(
             wait_until(Duration::from_secs(3), || monitor.elapsed()
@@ -676,7 +676,7 @@ mod tests {
 
     #[test]
     fn election_picks_lowest_id() {
-        let mq = MessageBroker::new();
+        let mq = mqsim::MessageBroker::new();
         let settle = Duration::from_millis(300);
         let mq2 = mq.clone();
         let mq3 = mq.clone();
@@ -707,8 +707,8 @@ mod tests {
         let mq1 = broker.messaging().clone();
         let mq2 = broker.messaging().clone();
         let settle = Duration::from_millis(300);
-        let e2 = std::thread::spawn(move || run_election(&mq2, 2, settle).unwrap());
-        let won1 = run_election(&mq1, 1, settle).unwrap();
+        let e2 = std::thread::spawn(move || run_election(mq2.as_ref(), 2, settle).unwrap());
+        let won1 = run_election(mq1.as_ref(), 1, settle).unwrap();
         let won2 = e2.join().unwrap();
         assert!(won1 && !won2, "exactly broker 1 must win");
 

@@ -314,9 +314,12 @@ mod tests {
                 &commit_args(&ws, "dev", vec![item.clone()]),
             )
             .unwrap();
-        // Same version-1 proposal again: stale.
+        // Another device's own version-1 proposal: stale. (An *identical*
+        // replay from the same device would be confirmed idempotently.)
+        let mut stale = item;
+        stale.modified_by = "dev2".to_string();
         service
-            .dispatch("commit_request", &commit_args(&ws, "dev2", vec![item]))
+            .dispatch("commit_request", &commit_args(&ws, "dev2", vec![stale]))
             .unwrap();
         assert_eq!(service.commits_processed(), 2);
         assert_eq!(service.conflicts_detected(), 1);

@@ -100,12 +100,19 @@ impl<'a> Reader<'a> {
         Ok(b)
     }
 
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
     fn take(&mut self, n: usize) -> WireResult<&'a [u8]> {
-        if self.pos + n > self.bytes.len() {
+        // `pos + n` must not overflow: a hostile length prefix can be up to
+        // `usize::MAX` and wrapping would alias an earlier slice.
+        let end = self.pos.checked_add(n).ok_or(WireError::UnexpectedEof)?;
+        if end > self.bytes.len() {
             return Err(WireError::UnexpectedEof);
         }
-        let slice = &self.bytes[self.pos..self.pos + n];
-        self.pos += n;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
         Ok(slice)
     }
 }
@@ -135,7 +142,7 @@ fn read_value(r: &mut Reader<'_>) -> WireResult<Value> {
         }
         TAG_LIST => {
             let len = read_len(r)?;
-            let mut items = Vec::with_capacity(len.min(4096));
+            let mut items = Vec::with_capacity(len.min(r.remaining()));
             for _ in 0..len {
                 items.push(read_value(r)?);
             }
@@ -143,7 +150,7 @@ fn read_value(r: &mut Reader<'_>) -> WireResult<Value> {
         }
         TAG_MAP => {
             let len = read_len(r)?;
-            let mut entries = Vec::with_capacity(len.min(4096));
+            let mut entries = Vec::with_capacity(len.min(r.remaining()));
             for _ in 0..len {
                 let key_len = read_len(r)?;
                 let raw = r.take(key_len)?;
@@ -160,7 +167,15 @@ fn read_value(r: &mut Reader<'_>) -> WireResult<Value> {
 
 fn read_len(r: &mut Reader<'_>) -> WireResult<usize> {
     let len = read_varint(r)?;
-    usize::try_from(len).map_err(|_| WireError::VarintOverflow)
+    let len = usize::try_from(len).map_err(|_| WireError::VarintOverflow)?;
+    // Every counted element (byte, list item, map entry) consumes at least
+    // one input byte, so any count beyond the remaining input is corrupt.
+    // Rejecting it here keeps `Vec::with_capacity` bounded by the input
+    // size — a hostile 4 GiB length prefix never allocates anything.
+    if len > r.remaining() {
+        return Err(WireError::UnexpectedEof);
+    }
+    Ok(len)
 }
 
 fn write_varint(out: &mut Vec<u8>, mut v: u64) {
@@ -261,6 +276,45 @@ mod tests {
     }
 
     #[test]
+    fn huge_length_prefixes_fail_without_allocating() {
+        // A hostile peer claims a 4 GiB string / byte string / list / map.
+        // Decoding must return Err before any proportional allocation.
+        for tag in [TAG_STR, TAG_BYTES, TAG_LIST, TAG_MAP] {
+            let mut bytes = vec![tag];
+            write_varint(&mut bytes, u32::MAX as u64);
+            assert!(
+                BinaryCodec.decode(&bytes).is_err(),
+                "tag {tag:#04x} accepted a 4 GiB length"
+            );
+        }
+    }
+
+    #[test]
+    fn usize_max_length_does_not_overflow_position() {
+        // `pos + n` with `n == usize::MAX` would wrap without checked_add;
+        // wrapping past `pos` would read an aliased slice instead of Err.
+        let mut bytes = vec![TAG_BYTES];
+        write_varint(&mut bytes, usize::MAX as u64);
+        bytes.extend_from_slice(b"payload");
+        assert!(BinaryCodec.decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn nested_truncation_fails_cleanly() {
+        let v = Value::Map(vec![(
+            "k".into(),
+            Value::List(vec![
+                Value::Str("inner".into()),
+                Value::Bytes(vec![1, 2, 3]),
+            ]),
+        )]);
+        let bytes = BinaryCodec.encode(&v);
+        for cut in 0..bytes.len() {
+            assert!(BinaryCodec.decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
     fn zigzag_inverts() {
         for v in [0i64, 1, -1, 42, -42, i64::MIN, i64::MAX] {
             assert_eq!(unzigzag(zigzag(v)), v);
@@ -296,6 +350,27 @@ mod tests {
         #[test]
         fn prop_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
             let _ = BinaryCodec.decode(&bytes);
+        }
+
+        #[test]
+        fn prop_corrupted_encodings_never_panic(
+            v in arb_value(),
+            flips in proptest::collection::vec((0usize..4096, any::<u8>()), 1..8),
+        ) {
+            // Take a valid encoding, corrupt some bytes, decode. Any outcome
+            // but a panic or runaway allocation is acceptable.
+            let mut bytes = BinaryCodec.encode(&v);
+            for (pos, xor) in flips {
+                let len = bytes.len();
+                bytes[pos % len] ^= xor;
+            }
+            let _ = BinaryCodec.decode(&bytes);
+        }
+
+        #[test]
+        fn prop_truncations_never_panic(v in arb_value(), cut in 0usize..4096) {
+            let bytes = BinaryCodec.encode(&v);
+            let _ = BinaryCodec.decode(&bytes[..cut.min(bytes.len())]);
         }
 
         #[test]
