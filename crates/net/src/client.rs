@@ -61,10 +61,27 @@ impl Default for NetConfig {
 
 /// A remote [`Messaging`] provider speaking the frame protocol over TCP.
 ///
-/// Cheap to clone; clones share one connection and supervisor.
+/// Cheap to clone; clones share one connection and supervisor. Dropping the
+/// last clone closes the connection as if [`NetBroker::close`] were called:
+/// the supervisor and heartbeats stop, and consumers created from this
+/// broker wake with [`MqError::Closed`].
 #[derive(Clone)]
 pub struct NetBroker {
     inner: Arc<ClientInner>,
+    _close: Arc<CloseOnDrop>,
+}
+
+/// Shuts the client down when the last [`NetBroker`] clone is dropped. The
+/// supervisor thread holds its own `Arc<ClientInner>`, so the inner
+/// refcount alone can never reach zero while the connection is alive — this
+/// guard, held only by broker handles, is what makes `drop` reach
+/// `shutdown`.
+struct CloseOnDrop(Arc<ClientInner>);
+
+impl Drop for CloseOnDrop {
+    fn drop(&mut self) {
+        self.0.shutdown();
+    }
 }
 
 struct ClientInner {
@@ -152,7 +169,10 @@ impl NetBroker {
         });
         let supervisor_inner = inner.clone();
         std::thread::spawn(move || supervisor_loop(&supervisor_inner));
-        let broker = NetBroker { inner };
+        let broker = NetBroker {
+            _close: Arc::new(CloseOnDrop(inner.clone())),
+            inner,
+        };
         // Surface an unreachable server at construction time.
         broker.inner.wait_connected(Instant::now() + op_timeout)?;
         Ok(broker)
@@ -163,12 +183,6 @@ impl NetBroker {
     /// [`MqError::Closed`].
     pub fn close(&self) {
         self.inner.shutdown();
-    }
-}
-
-impl Drop for ClientInner {
-    fn drop(&mut self) {
-        self.stop.store(true, Ordering::Release);
     }
 }
 
@@ -446,6 +460,19 @@ fn reader_loop(inner: &Arc<ClientInner>, mut reader: TcpStream) {
 // Messaging impl
 // ---------------------------------------------------------------------------
 
+/// Collapses a fallible existence probe into the infallible `Messaging`
+/// signature, counting transport-degraded answers (see
+/// [`Messaging::queue_exists`] on [`NetBroker`] for the semantics).
+fn exists_or_degraded(result: MqResult<bool>) -> bool {
+    match result {
+        Ok(exists) => exists,
+        Err(_) => {
+            obs::counter("net.client.exists_degraded").inc();
+            false
+        }
+    }
+}
+
 impl Messaging for NetBroker {
     fn declare_queue(&self, name: &str, options: QueueOptions) -> MqResult<()> {
         self.inner
@@ -490,18 +517,31 @@ impl Messaging for NetBroker {
             .map_err(|e| MqError::Transport(format!("bad unbind reply: {e}")))
     }
 
+    /// Whether the queue exists on the server.
+    ///
+    /// The `Messaging` signature is infallible, so a transport failure that
+    /// outlasts the whole operation timeout (the request already retries
+    /// across reconnects until then) degrades to `false` — over TCP a long
+    /// partition is indistinguishable from "queue deleted". Callers that
+    /// must tell the two apart should probe with a fallible call such as
+    /// [`Messaging::queue_depth`], which surfaces [`MqError::Transport`].
+    /// Each degraded answer bumps the `net.client.exists_degraded` counter.
     fn queue_exists(&self, name: &str) -> bool {
-        self.inner
-            .request(&Request::QueueExists(name.into()))
-            .and_then(|v| v.as_bool().map_err(|e| MqError::Transport(e.to_string())))
-            .unwrap_or(false)
+        exists_or_degraded(
+            self.inner
+                .request(&Request::QueueExists(name.into()))
+                .and_then(|v| v.as_bool().map_err(|e| MqError::Transport(e.to_string()))),
+        )
     }
 
+    /// Whether the exchange exists on the server. Same degraded semantics
+    /// under partition as [`Self::queue_exists`].
     fn exchange_exists(&self, name: &str) -> bool {
-        self.inner
-            .request(&Request::ExchangeExists(name.into()))
-            .and_then(|v| v.as_bool().map_err(|e| MqError::Transport(e.to_string())))
-            .unwrap_or(false)
+        exists_or_degraded(
+            self.inner
+                .request(&Request::ExchangeExists(name.into()))
+                .and_then(|v| v.as_bool().map_err(|e| MqError::Transport(e.to_string()))),
+        )
     }
 
     fn publish_to_queue(&self, queue: &str, message: Message) -> MqResult<()> {
@@ -653,14 +693,22 @@ impl MessageConsumer for NetConsumer {
             if self.sub.closed.load(Ordering::Acquire) {
                 return Err(MqError::Closed);
             }
-            if self
+            let timed_out = self
                 .sub
                 .buffer_cv
                 .wait_until(&mut buffer, deadline)
-                .timed_out()
-                && self.pop_fresh(&mut buffer).is_none()
-            {
-                return Err(MqError::RecvTimeout);
+                .timed_out();
+            if timed_out {
+                // A delivery can land at the same instant the wait times
+                // out. The check must be non-destructive: popping here and
+                // discarding would lose the message without an ack or
+                // requeue, stranding one credit unit on the server. If
+                // anything fresh is buffered, loop back so the top-of-loop
+                // pop hands it out.
+                let current = self.client.generation.load(Ordering::Acquire);
+                if buffer.iter().all(|d| d.generation != current) {
+                    return Err(MqError::RecvTimeout);
+                }
             }
         }
     }
@@ -802,6 +850,73 @@ mod tests {
         assert_eq!(d.message.payload(), b"after");
         d.ack();
         client.close();
+        server.shutdown();
+    }
+
+    #[test]
+    fn timeout_race_loses_no_delivery_or_credit() {
+        let config = NetConfig {
+            credit: 2,
+            ..NetConfig::default()
+        };
+        let server = BrokerServer::bind("127.0.0.1:0", MessageBroker::new()).unwrap();
+        let client = NetBroker::connect_with(server.local_addr(), config).unwrap();
+        client.declare_queue("q", QueueOptions::default()).unwrap();
+        let consumer = client.subscribe("q").unwrap();
+
+        let publisher = client.clone();
+        const N: usize = 100;
+        let feeder = std::thread::spawn(move || {
+            for i in 0..N {
+                publisher
+                    .publish_to_queue("q", Message::from_bytes(vec![i as u8]))
+                    .unwrap();
+                std::thread::sleep(Duration::from_micros(300));
+            }
+        });
+
+        // Poll with tiny timeouts so condvar waits constantly race message
+        // arrival. A delivery discarded on the timeout path would strand a
+        // credit unit with no ack/requeue; at credit=2 two such losses
+        // stall the consumer permanently and the deadline below trips.
+        let mut got = 0usize;
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while got < N {
+            assert!(
+                Instant::now() < deadline,
+                "consumer stalled after {got}/{N} deliveries: credit leaked"
+            );
+            match consumer.recv_timeout(Duration::from_millis(1)) {
+                Ok(d) => {
+                    d.ack();
+                    got += 1;
+                }
+                Err(MqError::RecvTimeout) => {}
+                Err(e) => panic!("unexpected recv error: {e:?}"),
+            }
+        }
+        feeder.join().unwrap();
+        client.close();
+        server.shutdown();
+    }
+
+    #[test]
+    fn dropping_last_clone_shuts_down_client() {
+        let (server, client) = pair();
+        let inner = client.inner.clone();
+        let second_handle = client.clone();
+        drop(client);
+        assert!(
+            !inner.stop.load(Ordering::Acquire),
+            "shutdown fired while a clone was still alive"
+        );
+        drop(second_handle);
+        assert!(
+            inner.stop.load(Ordering::Acquire),
+            "dropping the last clone must stop the supervisor"
+        );
+        // The supervisor exits and the connection closes; the server sees
+        // the disconnect and tears the connection state down on its side.
         server.shutdown();
     }
 

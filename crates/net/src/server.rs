@@ -200,7 +200,15 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
     loop {
         let stream = match listener.accept() {
             Ok((s, _)) => s,
-            Err(_) => continue,
+            Err(_) => {
+                // A persistent accept error (e.g. EMFILE) must neither
+                // busy-spin this thread nor keep it alive past shutdown.
+                if shared.stop.load(Ordering::Acquire) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
         };
         if shared.stop.load(Ordering::Acquire) {
             return;
