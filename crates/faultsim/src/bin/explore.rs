@@ -1,0 +1,48 @@
+//! Seed-range explorer CLI.
+//!
+//! ```sh
+//! cargo run -p faultsim --bin explore -- <start-seed> <count> [artifact-path]
+//! ```
+//!
+//! Sweeps `count` consecutive seeds from `start-seed` through the
+//! crash-loop simulation. On the first invariant violation it prints the
+//! failing seed with its full schedule + history transcript, optionally
+//! writes the transcript to `artifact-path` (what the CI job uploads), and
+//! exits non-zero. Replay a failure with the same binary:
+//! `explore <failing-seed> 1`.
+
+use faultsim::{explore, SimConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let usage = "usage: explore <start-seed> <count> [artifact-path]";
+    let (Some(start), Some(count)) = (
+        args.get(1).and_then(|a| a.parse::<u64>().ok()),
+        args.get(2).and_then(|a| a.parse::<u64>().ok()),
+    ) else {
+        eprintln!("{usage}");
+        std::process::exit(2);
+    };
+    let artifact = args.get(3);
+
+    let outcome = explore(start, count, &SimConfig::default());
+    match outcome.failure {
+        None => {
+            println!(
+                "{} seed(s) explored from {start}: every invariant held",
+                outcome.passed
+            );
+        }
+        Some(failure) => {
+            eprintln!("{failure}");
+            if let Some(path) = artifact {
+                if let Err(e) = std::fs::write(path, failure.to_string()) {
+                    eprintln!("could not write artifact {path}: {e}");
+                } else {
+                    eprintln!("artifact written to {path}");
+                }
+            }
+            std::process::exit(1);
+        }
+    }
+}

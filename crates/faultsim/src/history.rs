@@ -1,0 +1,465 @@
+//! The client-visible history a simulation records, and the checker that
+//! judges it.
+//!
+//! Every observable event — a commit request submitted, its broker fate
+//! (enqueued / dropped / duplicated), a server crash, an ack, a push
+//! notification arriving at a reader — is appended as an [`Event`] with the
+//! logical step at which it happened. The checker then verifies the
+//! safety properties the paper's architecture promises:
+//!
+//! * **No lost commit** (at-least-once): every proposal the broker accepted
+//!   is eventually processed and decided, despite crashes before ack.
+//! * **Linearizable versions**: each item's committed versions form exactly
+//!   `1..=current`, each committed once, and the store history agrees.
+//! * **Honest notifications**: every confirmed change pushed to readers
+//!   corresponds to a version the store committed, attributed to the device
+//!   that committed it.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Broker-side fate of one submitted commit request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitFate {
+    /// One copy sits in the queue.
+    Enqueued,
+    /// The fault plan discarded it before it hit the queue.
+    Dropped,
+    /// The fault plan enqueued two copies.
+    Duplicated,
+}
+
+/// One observable event in a run. `step` is the logical time: the scheduler
+/// iteration at which the event happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A writer handed a proposal to the broker.
+    Submitted {
+        /// Scheduler step.
+        step: u64,
+        /// Committing device.
+        device: String,
+        /// Item the proposal targets.
+        item: u64,
+        /// Proposed version.
+        version: u64,
+        /// What the broker did with it.
+        fate: SubmitFate,
+    },
+    /// A server instance crashed while holding (or before acking) a
+    /// delivery; the broker requeues it.
+    Crashed {
+        /// Scheduler step.
+        step: u64,
+        /// `true` if the crash hit before the request was dispatched,
+        /// `false` if after processing but before the ack.
+        before_dispatch: bool,
+    },
+    /// A delivery was processed by the service and decided.
+    Processed {
+        /// Scheduler step.
+        step: u64,
+        /// Committing device.
+        device: String,
+        /// Item the proposal targeted.
+        item: u64,
+        /// Proposed version.
+        version: u64,
+        /// Store decision: committed or conflict.
+        committed: bool,
+    },
+    /// The delivery was acknowledged to the broker.
+    Acked {
+        /// Scheduler step.
+        step: u64,
+    },
+    /// A reader received a push notification for one change.
+    Notified {
+        /// Scheduler step.
+        step: u64,
+        /// Device the notification names as committer.
+        committer: String,
+        /// Item the change applies to.
+        item: u64,
+        /// Version the change proposed.
+        version: u64,
+        /// Whether the notification reports the change as committed.
+        confirmed: bool,
+    },
+}
+
+impl Event {
+    fn describe(&self, out: &mut String) {
+        match self {
+            Event::Submitted {
+                step,
+                device,
+                item,
+                version,
+                fate,
+            } => {
+                let _ = write!(
+                    out,
+                    "[{step:5}] submit  {device} item={item} v{version} {fate:?}"
+                );
+            }
+            Event::Crashed {
+                step,
+                before_dispatch,
+            } => {
+                let phase = if *before_dispatch {
+                    "pre-dispatch"
+                } else {
+                    "pre-ack"
+                };
+                let _ = write!(out, "[{step:5}] crash   {phase}");
+            }
+            Event::Processed {
+                step,
+                device,
+                item,
+                version,
+                committed,
+            } => {
+                let verdict = if *committed { "committed" } else { "conflict" };
+                let _ = write!(
+                    out,
+                    "[{step:5}] process {device} item={item} v{version} {verdict}"
+                );
+            }
+            Event::Acked { step } => {
+                let _ = write!(out, "[{step:5}] ack");
+            }
+            Event::Notified {
+                step,
+                committer,
+                item,
+                version,
+                confirmed,
+            } => {
+                let verdict = if *confirmed { "committed" } else { "conflict" };
+                let _ = write!(
+                    out,
+                    "[{step:5}] notify  {committer} item={item} v{version} {verdict}"
+                );
+            }
+        }
+    }
+}
+
+/// The ordered event log of one run.
+#[derive(Debug, Default, Clone)]
+pub struct History {
+    events: Vec<Event>,
+}
+
+impl History {
+    /// Appends one event.
+    pub fn push(&mut self, event: Event) {
+        self.events.push(event);
+    }
+
+    /// All events in order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of events recorded.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// FNV-1a hash over the rendered history: two runs with the same
+    /// fingerprint saw the same events in the same order. This is what the
+    /// determinism tests compare across replays of one seed.
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in self.render().bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+
+    /// Human-readable transcript, one line per event — the artifact printed
+    /// for a failing seed.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for event in &self.events {
+            event.describe(&mut out);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Checks every invariant against this history plus the store's final
+    /// word on each item (`current_versions`: item id → latest committed
+    /// version; `store_histories`: item id → committed versions in commit
+    /// order). Returns all violations, empty = pass.
+    pub fn check(
+        &self,
+        current_versions: &BTreeMap<u64, u64>,
+        store_histories: &BTreeMap<u64, Vec<u64>>,
+    ) -> Vec<String> {
+        let mut violations = Vec::new();
+
+        // Copies the broker accepted per (device, item, version) proposal.
+        let mut accepted: BTreeMap<(String, u64, u64), u64> = BTreeMap::new();
+        // Times each proposal was processed (>= accepted copies - crashes is
+        // implied; what we require is >= 1 when accepted >= 1: no loss).
+        let mut processed: BTreeMap<(String, u64, u64), u64> = BTreeMap::new();
+        // Item → set of versions the store reported committed, with the
+        // committing device. A version committed by two different proposals
+        // is a double-commit violation (a redelivered duplicate must replay
+        // idempotently, i.e. same device+version).
+        let mut committed: BTreeMap<(u64, u64), Vec<String>> = BTreeMap::new();
+
+        for event in &self.events {
+            match event {
+                Event::Submitted {
+                    device,
+                    item,
+                    version,
+                    fate,
+                    ..
+                } => {
+                    let copies = match fate {
+                        SubmitFate::Dropped => 0,
+                        SubmitFate::Enqueued => 1,
+                        SubmitFate::Duplicated => 2,
+                    };
+                    *accepted
+                        .entry((device.clone(), *item, *version))
+                        .or_insert(0) += copies;
+                }
+                Event::Processed {
+                    device,
+                    item,
+                    version,
+                    committed: was_committed,
+                    ..
+                } => {
+                    *processed
+                        .entry((device.clone(), *item, *version))
+                        .or_insert(0) += 1;
+                    if *was_committed {
+                        let devices = committed.entry((*item, *version)).or_default();
+                        if !devices.contains(device) {
+                            devices.push(device.clone());
+                        }
+                    }
+                }
+                Event::Notified {
+                    committer,
+                    item,
+                    version,
+                    confirmed,
+                    ..
+                } => {
+                    if *confirmed {
+                        // A confirmed notification must match a commit the
+                        // store actually performed for that device.
+                        let genuine = committed
+                            .get(&(*item, *version))
+                            .is_some_and(|devs| devs.contains(committer));
+                        if !genuine {
+                            violations.push(format!(
+                                "notification claims {committer} committed item {item} v{version}, \
+                                 but no such commit was processed"
+                            ));
+                        }
+                    }
+                }
+                Event::Crashed { .. } | Event::Acked { .. } => {}
+            }
+        }
+
+        // No lost commit: every accepted proposal was processed at least
+        // once (at-least-once delivery through crashes and requeues).
+        for ((device, item, version), copies) in &accepted {
+            if *copies > 0
+                && processed
+                    .get(&(device.clone(), *item, *version))
+                    .copied()
+                    .unwrap_or(0)
+                    == 0
+            {
+                violations.push(format!(
+                    "lost commit: {device} item {item} v{version} was enqueued \
+                     ({copies} cop{}) but never processed",
+                    if *copies == 1 { "y" } else { "ies" }
+                ));
+            }
+        }
+
+        // No double-commit: one version of one item belongs to one device.
+        for ((item, version), devices) in &committed {
+            if devices.len() > 1 {
+                violations.push(format!(
+                    "double commit: item {item} v{version} committed by {devices:?}"
+                ));
+            }
+        }
+
+        // Linearizable per-item version chain: the committed versions the
+        // history saw are exactly 1..=current, and the store's own history
+        // agrees in length and order.
+        for (item, current) in current_versions {
+            for version in 1..=*current {
+                if !committed.contains_key(&(*item, version)) {
+                    violations.push(format!(
+                        "gap: item {item} is at v{current} but v{version} was never \
+                         observed committing"
+                    ));
+                }
+            }
+            for (observed_item, version) in committed.keys() {
+                if observed_item == item && *version > *current {
+                    violations.push(format!(
+                        "phantom: item {item} observed committing v{version} beyond \
+                         final v{current}"
+                    ));
+                }
+            }
+            match store_histories.get(item) {
+                Some(chain) => {
+                    let expect: Vec<u64> = (1..=*current).collect();
+                    if chain != &expect {
+                        violations.push(format!(
+                            "store history for item {item} is {chain:?}, expected {expect:?}"
+                        ));
+                    }
+                }
+                None => violations.push(format!("store has no history for item {item}")),
+            }
+        }
+
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn submitted(device: &str, item: u64, version: u64, fate: SubmitFate) -> Event {
+        Event::Submitted {
+            step: 0,
+            device: device.into(),
+            item,
+            version,
+            fate,
+        }
+    }
+
+    fn processed(device: &str, item: u64, version: u64, committed: bool) -> Event {
+        Event::Processed {
+            step: 1,
+            device: device.into(),
+            item,
+            version,
+            committed,
+        }
+    }
+
+    #[test]
+    fn clean_run_passes() {
+        let mut h = History::default();
+        h.push(submitted("w0", 1, 1, SubmitFate::Enqueued));
+        h.push(processed("w0", 1, 1, true));
+        h.push(Event::Acked { step: 2 });
+        h.push(Event::Notified {
+            step: 3,
+            committer: "w0".into(),
+            item: 1,
+            version: 1,
+            confirmed: true,
+        });
+        let current = BTreeMap::from([(1u64, 1u64)]);
+        let chains = BTreeMap::from([(1u64, vec![1u64])]);
+        assert_eq!(h.check(&current, &chains), Vec::<String>::new());
+    }
+
+    #[test]
+    fn lost_commit_is_flagged() {
+        let mut h = History::default();
+        h.push(submitted("w0", 1, 1, SubmitFate::Enqueued));
+        let violations = h.check(&BTreeMap::new(), &BTreeMap::new());
+        assert!(
+            violations.iter().any(|v| v.contains("lost commit")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn dropped_submission_is_not_a_loss() {
+        let mut h = History::default();
+        h.push(submitted("w0", 1, 1, SubmitFate::Dropped));
+        assert!(h.check(&BTreeMap::new(), &BTreeMap::new()).is_empty());
+    }
+
+    #[test]
+    fn double_commit_is_flagged() {
+        let mut h = History::default();
+        h.push(submitted("w0", 1, 1, SubmitFate::Enqueued));
+        h.push(submitted("w1", 1, 1, SubmitFate::Enqueued));
+        h.push(processed("w0", 1, 1, true));
+        h.push(processed("w1", 1, 1, true));
+        let current = BTreeMap::from([(1u64, 1u64)]);
+        let chains = BTreeMap::from([(1u64, vec![1u64])]);
+        let violations = h.check(&current, &chains);
+        assert!(
+            violations.iter().any(|v| v.contains("double commit")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn version_gap_is_flagged() {
+        let mut h = History::default();
+        h.push(submitted("w0", 1, 2, SubmitFate::Enqueued));
+        h.push(processed("w0", 1, 2, true));
+        let current = BTreeMap::from([(1u64, 2u64)]);
+        let chains = BTreeMap::from([(1u64, vec![1u64, 2u64])]);
+        let violations = h.check(&current, &chains);
+        assert!(
+            violations.iter().any(|v| v.contains("gap")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn dishonest_notification_is_flagged() {
+        let mut h = History::default();
+        h.push(Event::Notified {
+            step: 0,
+            committer: "w9".into(),
+            item: 3,
+            version: 1,
+            confirmed: true,
+        });
+        let violations = h.check(&BTreeMap::new(), &BTreeMap::new());
+        assert!(
+            violations.iter().any(|v| v.contains("notification")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn fingerprint_tracks_content_and_order() {
+        let mut a = History::default();
+        let mut b = History::default();
+        a.push(submitted("w0", 1, 1, SubmitFate::Enqueued));
+        a.push(Event::Acked { step: 2 });
+        b.push(submitted("w0", 1, 1, SubmitFate::Enqueued));
+        b.push(Event::Acked { step: 2 });
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.push(Event::Acked { step: 3 });
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+}

@@ -5,6 +5,7 @@
 use crate::consumer::Consumer;
 use crate::error::{MqError, MqResult};
 use crate::exchange::{Exchange, ExchangeKind};
+use crate::interceptor::{DeliveryInterceptor, InterceptorCell};
 use crate::message::Message;
 use crate::queue::QueueCore;
 use crate::stats::QueueStats;
@@ -38,6 +39,8 @@ struct BrokerInner {
     queues: RwLock<HashMap<String, Arc<QueueCore>>>,
     exchanges: RwLock<HashMap<String, Exchange>>,
     down: AtomicBool,
+    /// Fault-injection hook shared with every queue of this node.
+    interceptor: InterceptorCell,
 }
 
 /// An in-process message broker node.
@@ -85,9 +88,17 @@ impl MessageBroker {
                 name,
                 options.auto_delete,
                 options.rate_window,
+                self.inner.interceptor.clone(),
             )),
         );
         Ok(())
+    }
+
+    /// Installs a fault-injection interceptor on this node. It applies to
+    /// every queue, including queues declared before the call; `None`
+    /// restores the un-hooked fast path.
+    pub fn set_interceptor(&self, interceptor: Option<Arc<dyn DeliveryInterceptor>>) {
+        self.inner.interceptor.set(interceptor);
     }
 
     /// Whether the queue exists.

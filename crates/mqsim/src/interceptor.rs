@@ -1,0 +1,88 @@
+//! Delivery interceptor: the broker-side choke point of the fault-injection
+//! harness (`crates/faultsim`).
+//!
+//! A [`DeliveryInterceptor`] installed with
+//! [`MessageBroker::set_interceptor`](crate::MessageBroker::set_interceptor)
+//! sees every message at two moments — when it is pushed onto a queue's
+//! ready list and when it is about to be handed to a consumer — and can
+//! drop, duplicate, reorder, or defer it. With no interceptor installed the
+//! hot paths take a single relaxed read and behave bit-identically to the
+//! un-hooked broker (guarded by faultsim's identity-plan property tests).
+
+use std::sync::Arc;
+
+/// What to do with a message being published onto a queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PublishFault {
+    /// Enqueue normally at the back (the identity action).
+    Deliver,
+    /// Silently discard the message — a lossy network between producer and
+    /// broker.
+    Drop,
+    /// Enqueue two copies back-to-back — duplication by a retrying producer
+    /// or a mirroring glitch.
+    Duplicate,
+    /// Enqueue at the *front* of the ready list — reordering ahead of every
+    /// message already waiting.
+    Front,
+}
+
+/// What to do with a message about to be delivered to a consumer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliverFault {
+    /// Deliver normally (the identity action).
+    Deliver,
+    /// Put it back at the end of the ready list and offer the next message
+    /// instead — delaying/reordering on the broker→consumer leg. A receive
+    /// call defers each ready message at most once, so a plan that answers
+    /// `Defer` for everything degrades to "nothing deliverable right now"
+    /// rather than a livelock.
+    Defer,
+}
+
+/// Hook observing (and perturbing) every queue operation.
+///
+/// Implementations must be deterministic functions of their own state if
+/// schedule reproducibility matters — faultsim drives this from a seeded
+/// RNG. Both methods default to the identity action.
+pub trait DeliveryInterceptor: Send + Sync {
+    /// Called for each message entering `queue`'s ready list.
+    fn on_publish(&self, queue: &str, payload: &[u8]) -> PublishFault {
+        let _ = (queue, payload);
+        PublishFault::Deliver
+    }
+
+    /// Called for each message about to leave `queue` toward a consumer.
+    fn on_deliver(&self, queue: &str, payload: &[u8]) -> DeliverFault {
+        let _ = (queue, payload);
+        DeliverFault::Deliver
+    }
+}
+
+/// Shared, swappable interceptor slot. One cell per broker node, cloned
+/// into every `QueueCore` so installing an interceptor after queues were
+/// declared still reaches them.
+#[derive(Clone, Default)]
+pub(crate) struct InterceptorCell {
+    slot: Arc<parking_lot::RwLock<Option<Arc<dyn DeliveryInterceptor>>>>,
+}
+
+impl InterceptorCell {
+    pub(crate) fn set(&self, interceptor: Option<Arc<dyn DeliveryInterceptor>>) {
+        *self.slot.write() = interceptor;
+    }
+
+    pub(crate) fn get(&self) -> Option<Arc<dyn DeliveryInterceptor>> {
+        self.slot.read().clone()
+    }
+}
+
+impl std::fmt::Debug for InterceptorCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "InterceptorCell {{ installed: {} }}",
+            self.slot.read().is_some()
+        )
+    }
+}

@@ -43,17 +43,21 @@
 
 mod api;
 mod broker;
+mod clock;
 mod consumer;
 mod error;
 mod exchange;
+mod interceptor;
 mod message;
 mod queue;
 mod stats;
 
 pub use api::{AnyDelivery, MessageConsumer, Messaging};
 pub use broker::{BrokerCluster, MessageBroker, QueueOptions};
+pub use clock::{Clock, SystemClock, VirtualClock};
 pub use consumer::{Consumer, Delivery};
 pub use error::{MqError, MqResult};
 pub use exchange::ExchangeKind;
+pub use interceptor::{DeliverFault, DeliveryInterceptor, PublishFault};
 pub use message::{DeliveryTag, Message, MessageProperties};
 pub use stats::{QueueStats, RateEstimator};

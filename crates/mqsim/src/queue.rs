@@ -1,6 +1,8 @@
 //! The queue core: ready list, unacked set, blocking consumers.
 
 use crate::error::{MqError, MqResult};
+use crate::interceptor::InterceptorCell;
+use crate::interceptor::{DeliverFault, PublishFault};
 use crate::message::{DeliveryTag, Message};
 use crate::stats::{QueueStats, RateEstimator};
 use parking_lot::{Condvar, Mutex};
@@ -83,11 +85,17 @@ pub(crate) struct QueueCore {
     next_consumer: AtomicU64,
     pub(crate) arrivals: RateEstimator,
     pub(crate) auto_delete: bool,
+    interceptor: InterceptorCell,
     obs: QueueObs,
 }
 
 impl QueueCore {
-    pub(crate) fn new(name: &str, auto_delete: bool, rate_window: Duration) -> Self {
+    pub(crate) fn new(
+        name: &str,
+        auto_delete: bool,
+        rate_window: Duration,
+        interceptor: InterceptorCell,
+    ) -> Self {
         QueueCore {
             name: name.to_string(),
             state: Mutex::new(QueueState::default()),
@@ -96,6 +104,7 @@ impl QueueCore {
             next_consumer: AtomicU64::new(1),
             arrivals: RateEstimator::new(rate_window),
             auto_delete,
+            interceptor,
             obs: QueueObs::new(),
         }
     }
@@ -109,27 +118,75 @@ impl QueueCore {
     }
 
     /// Publishes a message at the back of the ready list.
+    ///
+    /// If a [`crate::DeliveryInterceptor`] is installed, it may divert the
+    /// message: drop it, enqueue a duplicate, or cut to the front.
     pub(crate) fn push(&self, mut message: Message, cluster_id: Option<u64>) -> MqResult<()> {
         message.mark_enqueued();
+        let fault = match self.interceptor.get() {
+            Some(hook) => hook.on_publish(&self.name, message.payload()),
+            None => PublishFault::Deliver,
+        };
         let mut state = self.state.lock();
         if state.closed {
             return Err(MqError::Closed);
         }
         state.published += 1;
-        let tag = self.fresh_tag();
-        state.ready.push_back((
-            tag,
-            ReadyEntry {
-                message,
-                redelivered: false,
-                cluster_id,
-            },
-        ));
+        let entry = |message| ReadyEntry {
+            message,
+            redelivered: false,
+            cluster_id,
+        };
+        let enqueued = match fault {
+            PublishFault::Deliver => {
+                let tag = self.fresh_tag();
+                state.ready.push_back((tag, entry(message)));
+                1
+            }
+            PublishFault::Drop => 0,
+            PublishFault::Duplicate => {
+                let first = self.fresh_tag();
+                let second = self.fresh_tag();
+                state.ready.push_back((first, entry(message.clone())));
+                state.ready.push_back((second, entry(message)));
+                2
+            }
+            PublishFault::Front => {
+                let tag = self.fresh_tag();
+                state.ready.push_front((tag, entry(message)));
+                1
+            }
+        };
         drop(state);
         self.obs.published.inc();
         self.arrivals.record();
-        self.available.notify_one();
+        for _ in 0..enqueued {
+            self.available.notify_one();
+        }
         Ok(())
+    }
+
+    /// Pops the next deliverable ready entry, letting an installed
+    /// interceptor defer entries to the back of the list. Each entry is
+    /// deferred at most once per call, so this terminates even if the
+    /// interceptor answers `Defer` for everything.
+    fn take_ready(&self, state: &mut QueueState) -> Option<(DeliveryTag, ReadyEntry)> {
+        let hook = match self.interceptor.get() {
+            Some(hook) => hook,
+            None => return state.ready.pop_front(),
+        };
+        let mut budget = state.ready.len();
+        while budget > 0 {
+            let (tag, entry) = state.ready.pop_front()?;
+            match hook.on_deliver(&self.name, entry.message.payload()) {
+                DeliverFault::Deliver => return Some((tag, entry)),
+                DeliverFault::Defer => {
+                    state.ready.push_back((tag, entry));
+                    budget -= 1;
+                }
+            }
+        }
+        None
     }
 
     /// Registers a new consumer and returns its id.
@@ -186,7 +243,7 @@ impl QueueCore {
             if state.closed {
                 return Err(MqError::Closed);
             }
-            if let Some((tag, entry)) = state.ready.pop_front() {
+            if let Some((tag, entry)) = self.take_ready(&mut state) {
                 state.delivered += 1;
                 state.unacked.insert(
                     tag.0,
@@ -200,16 +257,12 @@ impl QueueCore {
                 self.obs.record_wait(&entry.message);
                 return Ok((tag, entry.message, entry.redelivered, entry.cluster_id));
             }
-            state.waiting += 1;
-            let timed_out = self.available.wait_until(&mut state, deadline).timed_out();
-            state.waiting -= 1;
-            if timed_out && state.ready.is_empty() {
-                return if state.closed {
-                    Err(MqError::Closed)
-                } else {
-                    Err(MqError::RecvTimeout)
-                };
+            if Instant::now() >= deadline {
+                return Err(MqError::RecvTimeout);
             }
+            state.waiting += 1;
+            let _ = self.available.wait_until(&mut state, deadline);
+            state.waiting -= 1;
         }
     }
 
@@ -222,7 +275,7 @@ impl QueueCore {
         if state.closed {
             return None;
         }
-        let (tag, entry) = state.ready.pop_front()?;
+        let (tag, entry) = self.take_ready(&mut state)?;
         state.delivered += 1;
         state.unacked.insert(
             tag.0,
@@ -327,7 +380,7 @@ mod tests {
     use super::*;
 
     fn q() -> QueueCore {
-        QueueCore::new("q", false, Duration::from_secs(10))
+        QueueCore::new("q", false, Duration::from_secs(10), Default::default())
     }
 
     #[test]

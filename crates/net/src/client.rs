@@ -19,8 +19,8 @@
 use crate::frame::{write_frame, FrameBuffer, Request, ServerFrame};
 use crate::stats_from_value;
 use mqsim::{
-    AnyDelivery, ExchangeKind, Message, MessageConsumer, Messaging, MqError, MqResult,
-    QueueOptions, QueueStats,
+    AnyDelivery, Clock, ExchangeKind, Message, MessageConsumer, Messaging, MqError, MqResult,
+    QueueOptions, QueueStats, SystemClock,
 };
 use parking_lot::{Condvar, Mutex};
 use rand::{Rng, SeedableRng};
@@ -45,6 +45,11 @@ pub struct NetConfig {
     pub backoff_initial: Duration,
     /// Upper bound of the reconnect backoff.
     pub backoff_cap: Duration,
+    /// TCP connection-establishment timeout per reconnect attempt.
+    pub connect_timeout: Duration,
+    /// Time source for the reconnect backoff. Fault-injection tests swap in
+    /// a [`mqsim::VirtualClock`] so backoff is stepped instead of slept.
+    pub clock: Arc<dyn Clock>,
 }
 
 impl Default for NetConfig {
@@ -55,6 +60,8 @@ impl Default for NetConfig {
             heartbeat: Duration::from_millis(500),
             backoff_initial: Duration::from_millis(20),
             backoff_cap: Duration::from_secs(2),
+            connect_timeout: Duration::from_secs(2),
+            clock: Arc::new(SystemClock::new()),
         }
     }
 }
@@ -322,7 +329,7 @@ fn supervisor_loop(inner: &Arc<ClientInner>) {
     let mut attempt = 0u32;
     let mut ever_connected = false;
     while !inner.stop.load(Ordering::Acquire) {
-        let stream = match TcpStream::connect_timeout(&inner.addr, Duration::from_secs(2)) {
+        let stream = match TcpStream::connect_timeout(&inner.addr, inner.config.connect_timeout) {
             Ok(s) => s,
             Err(_) => {
                 backoff(inner, &mut rng, &mut attempt);
@@ -384,10 +391,14 @@ fn backoff(inner: &Arc<ClientInner>, rng: &mut rand::rngs::StdRng, attempt: &mut
     // Full jitter: sleep uniformly in [base/2, base].
     let jittered = base.mul_f64(0.5 + 0.5 * rng.gen::<f64>());
     *attempt = attempt.saturating_add(1);
-    // Sleep in small slices so shutdown stays responsive.
-    let deadline = Instant::now() + jittered;
-    while Instant::now() < deadline && !inner.stop.load(Ordering::Acquire) {
-        std::thread::sleep(Duration::from_millis(5).min(jittered));
+    // Wait on the configured clock, a tick at a time, so shutdown stays
+    // responsive and virtual-clock tests can step through the backoff.
+    let clock = &inner.config.clock;
+    let deadline = clock.now() + jittered;
+    while clock.now() < deadline && !inner.stop.load(Ordering::Acquire) {
+        if !clock.wait_tick(deadline) {
+            return;
+        }
     }
 }
 

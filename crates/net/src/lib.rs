@@ -31,6 +31,7 @@
 pub mod frame;
 
 mod client;
+mod proxy;
 mod server;
 
 pub use client::{NetBroker, NetConfig};
@@ -38,4 +39,5 @@ pub use frame::{
     read_frame, stats_from_value, stats_to_value, write_frame, FrameBuffer, FrameError, Request,
     ServerFrame, MAX_FRAME,
 };
+pub use proxy::FaultProxy;
 pub use server::BrokerServer;

@@ -215,6 +215,7 @@ mod tests {
                 oid: "svc".to_string(),
                 check_interval: Duration::from_millis(60),
                 command_timeout: Duration::from_millis(800),
+                ..Default::default()
             },
         )
         .unwrap();
@@ -282,6 +283,7 @@ mod tests {
                 oid: "ghost".to_string(),
                 check_interval: Duration::from_millis(100),
                 command_timeout: Duration::from_millis(500),
+                ..Default::default()
             },
         )
         .unwrap();

@@ -8,7 +8,7 @@
 use crate::broker::Broker;
 use crate::error::{OmqError, OmqResult};
 use crate::server::{RemoteObject, ServerHandle};
-use mqsim::{ExchangeKind, Message, Messaging, QueueOptions};
+use mqsim::{Clock, ExchangeKind, Message, Messaging, QueueOptions, SystemClock};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -251,6 +251,9 @@ pub struct SupervisorConfig {
     pub check_interval: Duration,
     /// Timeout for each command to the remote brokers.
     pub command_timeout: Duration,
+    /// Time source pacing the enforcement rounds. Tests substitute a
+    /// [`mqsim::VirtualClock`] so rounds are stepped, not slept.
+    pub clock: Arc<dyn Clock>,
 }
 
 impl Default for SupervisorConfig {
@@ -259,6 +262,7 @@ impl Default for SupervisorConfig {
             oid: String::new(),
             check_interval: Duration::from_secs(1),
             command_timeout: Duration::from_millis(800),
+            clock: Arc::new(SystemClock::new()),
         }
     }
 }
@@ -415,13 +419,17 @@ fn supervise_loop(
             }
         }
 
-        // Interruptible sleep.
-        let deadline = Instant::now() + config.check_interval;
-        while Instant::now() < deadline {
+        // Interruptible sleep on the configured clock: a tick at a time so
+        // the stop flag is observed promptly, and a closed virtual clock
+        // ends the loop instead of stranding it.
+        let deadline = config.clock.now() + config.check_interval;
+        while config.clock.now() < deadline {
             if stop.load(Ordering::Acquire) {
                 return;
             }
-            std::thread::sleep(Duration::from_millis(10));
+            if !config.clock.wait_tick(deadline) {
+                return;
+            }
         }
     }
 }
@@ -432,7 +440,9 @@ fn supervise_loop(
 /// exceeds a staleness threshold the broker calls [`run_election`] and, if
 /// it wins, starts a replacement supervisor (paper §3.4).
 pub struct HeartbeatMonitor {
-    last: Arc<Mutex<Instant>>,
+    /// Clock-time of the last heartbeat heard.
+    last: Arc<Mutex<Duration>>,
+    clock: Arc<dyn Clock>,
     stop: Arc<AtomicBool>,
     thread: Option<JoinHandle<()>>,
 }
@@ -452,21 +462,37 @@ impl HeartbeatMonitor {
     ///
     /// Propagates messaging failures.
     pub fn start(mq: &dyn Messaging, listener_id: u64) -> OmqResult<Self> {
+        Self::start_with_clock(mq, listener_id, Arc::new(SystemClock::new()))
+    }
+
+    /// Same as [`HeartbeatMonitor::start`] but timestamps heartbeats on the
+    /// given clock, so staleness can be asserted under stepped virtual
+    /// time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates messaging failures.
+    pub fn start_with_clock(
+        mq: &dyn Messaging,
+        listener_id: u64,
+        clock: Arc<dyn Clock>,
+    ) -> OmqResult<Self> {
         mq.declare_exchange(HEARTBEAT_EXCHANGE, ExchangeKind::Fanout)?;
         let queue = format!("omq.hbmon.{listener_id}");
         mq.declare_queue(&queue, QueueOptions::default())?;
         mq.bind_queue(HEARTBEAT_EXCHANGE, "", &queue)?;
         let consumer = mq.subscribe(&queue)?;
-        let last = Arc::new(Mutex::new(Instant::now()));
+        let last = Arc::new(Mutex::new(clock.now()));
         let stop = Arc::new(AtomicBool::new(false));
         let t_last = last.clone();
         let t_stop = stop.clone();
+        let t_clock = clock.clone();
         let thread = std::thread::spawn(move || {
             while !t_stop.load(Ordering::Acquire) {
                 match consumer.recv_timeout(Duration::from_millis(50)) {
                     Ok(d) => {
                         d.ack();
-                        *t_last.lock() = Instant::now();
+                        *t_last.lock() = t_clock.now();
                     }
                     Err(mqsim::MqError::RecvTimeout) => continue,
                     Err(_) => return,
@@ -475,6 +501,7 @@ impl HeartbeatMonitor {
         });
         Ok(HeartbeatMonitor {
             last,
+            clock,
             stop,
             thread: Some(thread),
         })
@@ -482,7 +509,7 @@ impl HeartbeatMonitor {
 
     /// Time since the last heartbeat was heard.
     pub fn elapsed(&self) -> Duration {
-        self.last.lock().elapsed()
+        self.clock.now().saturating_sub(*self.last.lock())
     }
 
     /// Stops the monitor.
@@ -598,6 +625,7 @@ mod tests {
             oid: oid.to_string(),
             check_interval: Duration::from_millis(60),
             command_timeout: Duration::from_millis(500),
+            ..Default::default()
         }
     }
 

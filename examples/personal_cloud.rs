@@ -34,6 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             oid: SYNC_SERVICE_OID.to_string(),
             check_interval: Duration::from_millis(100),
             command_timeout: Duration::from_millis(800),
+            ..Default::default()
         },
     )?;
     supervisor.set_target(2);

@@ -1,1 +1,41 @@
 //! Host crate for the cross-crate integration tests in `tests/tests/`.
+
+use std::time::{Duration, Instant};
+
+/// Waits (politely, not spinning hot) until `cond` holds, or panics naming
+/// exactly what it was waiting for.
+///
+/// The integration tests used to hand-roll `while Instant::now() <
+/// deadline` loops; when one timed out, the assertion that followed knew
+/// nothing about *what* never happened. Every bounded wait goes through
+/// here instead, so a timeout reads as "timed out after 5s waiting for:
+/// pool to reach 2 instances" — the first thing a flake triager needs.
+///
+/// Deterministic tests should not need this at all: anything driven by
+/// `faultsim`'s simulation or `mqsim::VirtualClock` finishes without
+/// waiting on wall time. This helper is for the tests that keep real
+/// threads and real sockets on purpose.
+#[track_caller]
+pub fn wait_until(what: &str, timeout: Duration, mut cond: impl FnMut() -> bool) {
+    let start = Instant::now();
+    while !cond() {
+        assert!(
+            start.elapsed() < timeout,
+            "timed out after {timeout:?} waiting for: {what}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Like [`wait_until`] but returns whether the condition held instead of
+/// panicking, for tests that assert the *absence* of a state change.
+pub fn became_true(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while !cond() {
+        if start.elapsed() >= timeout {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    true
+}

@@ -3,6 +3,7 @@
 //! fed by real queue-side observations, and SyncService instances being
 //! spawned/retired while clients keep committing.
 
+use integration_tests::wait_until;
 use metadata::{InMemoryStore, MetadataStore};
 use mqsim::QueueStats;
 use objectmq::provision::{
@@ -15,17 +16,6 @@ use stacksync::{
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use storage::{LatencyModel, SwiftStore};
-
-fn wait_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
-    let deadline = Instant::now() + timeout;
-    while Instant::now() < deadline {
-        if cond() {
-            return true;
-        }
-        std::thread::sleep(Duration::from_millis(20));
-    }
-    cond()
-}
 
 #[test]
 fn autoscaler_grows_live_pool_under_load_and_shrinks_after() {
@@ -50,13 +40,16 @@ fn autoscaler_grows_live_pool_under_load_and_shrinks_after() {
             oid: SYNC_SERVICE_OID.to_string(),
             check_interval: Duration::from_millis(80),
             command_timeout: Duration::from_millis(800),
+            ..Default::default()
         },
     )
     .unwrap();
     supervisor.set_target(1);
-    assert!(wait_until(Duration::from_secs(5), || {
-        node.local_count(SYNC_SERVICE_OID) == 1
-    }));
+    wait_until(
+        "initial SyncService instance",
+        Duration::from_secs(5),
+        || node.local_count(SYNC_SERVICE_OID) == 1,
+    );
 
     // A scaling model matched to the injected 20 ms service time with a
     // 100 ms SLA: capacity ≈ 1/(0.02 + 0.0008/0.16) = 40 req/s.
@@ -100,21 +93,17 @@ fn autoscaler_grows_live_pool_under_load_and_shrinks_after() {
     let target = scaler.reactive_tick(observed).expect("must react");
     assert!(target >= 2, "load must demand ≥2 instances, got {target}");
     supervisor.set_target(target);
-    assert!(
-        wait_until(Duration::from_secs(5), || {
-            node.local_count(SYNC_SERVICE_OID) == target
-        }),
-        "pool must reach the scaler target {target}, got {}",
-        node.local_count(SYNC_SERVICE_OID)
+    wait_until(
+        &format!("pool to reach the scaler target {target}"),
+        Duration::from_secs(5),
+        || node.local_count(SYNC_SERVICE_OID) == target,
     );
 
     // All commits must land despite the scaling churn.
-    assert!(
-        wait_until(Duration::from_secs(20), || {
-            service.commits_processed() as usize >= i
-        }),
-        "all {i} commits must be processed, got {}",
-        service.commits_processed()
+    wait_until(
+        &format!("all {i} burst commits to be processed"),
+        Duration::from_secs(20),
+        || service.commits_processed() as usize >= i,
     );
 
     // Load stops; the scaler shrinks the pool back.
@@ -123,13 +112,9 @@ fn autoscaler_grows_live_pool_under_load_and_shrinks_after() {
     if let Some(down) = scaler.reactive_tick(idle_rate) {
         supervisor.set_target(down);
     }
-    assert!(
-        wait_until(Duration::from_secs(5), || {
-            node.local_count(SYNC_SERVICE_OID) == 1
-        }),
-        "pool must shrink to 1, got {}",
-        node.local_count(SYNC_SERVICE_OID)
-    );
+    wait_until("pool to shrink back to 1", Duration::from_secs(5), || {
+        node.local_count(SYNC_SERVICE_OID) == 1
+    });
 
     supervisor.stop();
     node.stop();
@@ -173,8 +158,8 @@ fn queue_stats_expose_provisioning_signals() {
         .unwrap();
     assert_eq!(info.instances, 1);
     assert!(info.arrival_rate > 0.0);
-    assert!(client.wait(Duration::from_secs(20), || {
+    wait_until("all 30 commits to drain", Duration::from_secs(20), || {
         service.commits_processed() >= 30
-    }));
+    });
     server.shutdown();
 }
