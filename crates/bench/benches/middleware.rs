@@ -17,7 +17,7 @@ fn bench_broker(c: &mut Criterion) {
     group.bench_function("publish_consume_ack", |b| {
         b.iter(|| {
             broker
-                .publish_to_queue("q", Message::from_bytes(b"payload".to_vec()))
+                .publish_to_queue("q", Message::from_static(b"payload"))
                 .unwrap();
             let d = consumer.recv_timeout(Duration::from_secs(1)).unwrap();
             d.ack();

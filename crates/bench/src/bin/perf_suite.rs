@@ -1,21 +1,44 @@
-//! Machine-readable performance suite: broker throughput, ObjectMQ RPC
-//! round-trip latency (in-process vs TCP loopback), and sync commit
-//! throughput. Writes `BENCH_2.json` at the repo root so runs can be
-//! compared across commits.
+//! Machine-readable performance suite: broker throughput and ObjectMQ RPC
+//! latency in both the batched and unbatched protocol modes, plus sync
+//! commit throughput. Writes `BENCH_4.json` at the repo root so runs can
+//! be compared across commits.
+//!
+//! The batched/unbatched pairs are measured in the same run so the ratio
+//! is meaningful on any machine:
+//!
+//! * broker: one-at-a-time publish/consume/ack vs `publish_batch_to_queue`
+//!   + `recv_batch` + `ack_all` in batches of [`BATCH`];
+//! * TCP RPC: `depth` concurrent callers over a loopback [`BrokerServer`]
+//!   with the coalescing send path and `AckMany` on vs off.
 //!
 //! `--smoke` shrinks every workload to a few iterations for CI; `--out`
-//! overrides the output path.
+//! overrides the output path; `--gate` exits nonzero if the batched mode
+//! fails to beat the unbatched mode measured in the same run (a relative
+//! gate, so it is robust to machine speed).
 
 use bench::{arg_value, has_flag, header};
 use metadata::{InMemoryStore, MetadataStore};
-use mqsim::{Message, MessageBroker, QueueOptions};
-use net::{BrokerServer, NetBroker};
+use mqsim::{Delivery, Message, MessageBroker, QueueOptions};
+use net::{BrokerServer, NetBroker, NetConfig, ServerConfig};
 use objectmq::{Broker, BrokerConfig};
 use stacksync::{provision_user, ClientConfig, DesktopClient, SyncService};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use storage::{LatencyModel, SwiftStore};
 use wire::Value;
+
+/// Messages per `publish_batch_to_queue` / `recv_batch` in batched mode.
+const BATCH: usize = 64;
+/// Concurrent in-flight RPC callers against the loopback server.
+const PIPELINE_DEPTH: usize = 32;
+/// Per-caller pacing of the pipelined RPC phase. A fully saturated closed
+/// loop measures throughput and scheduler fairness, not latency (by
+/// Little's law its mean is just `depth / throughput`, and its median
+/// rewards whichever mode starves some callers to rush others). Pacing
+/// each caller to one call per this interval keeps the offered load
+/// below saturation so percentiles reflect actual response latency at
+/// equal load in both modes.
+const CALL_PACING: Duration = Duration::from_millis(4);
 
 struct Percentiles {
     p50: f64,
@@ -33,7 +56,10 @@ fn percentiles(samples: &mut [f64]) -> Percentiles {
     }
 }
 
-fn broker_throughput(messages: usize) -> f64 {
+/// Publish+consume+ack throughput over one in-process queue. `batch == 1`
+/// is the one-lock-per-message protocol; larger batches amortize the queue
+/// lock over `batch` messages on both sides.
+fn broker_throughput(messages: usize, batch: usize) -> f64 {
     let broker = MessageBroker::new();
     broker
         .declare_queue("perf", QueueOptions::default())
@@ -43,22 +69,47 @@ fn broker_throughput(messages: usize) -> f64 {
     let start = Instant::now();
     let producer_broker = broker.clone();
     let producer = std::thread::spawn(move || {
-        for _ in 0..messages {
-            producer_broker
-                .publish_to_queue("perf", Message::from_bytes(payload.clone()))
-                .unwrap();
+        if batch <= 1 {
+            for _ in 0..messages {
+                producer_broker
+                    .publish_to_queue("perf", Message::from_bytes(payload.clone()))
+                    .unwrap();
+            }
+        } else {
+            let mut left = messages;
+            while left > 0 {
+                let n = left.min(batch);
+                let group: Vec<Message> = (0..n)
+                    .map(|_| Message::from_bytes(payload.clone()))
+                    .collect();
+                producer_broker
+                    .publish_batch_to_queue("perf", group)
+                    .unwrap();
+                left -= n;
+            }
         }
     });
-    for _ in 0..messages {
-        consumer
-            .recv_timeout(Duration::from_secs(10))
-            .expect("consume")
-            .ack();
+    let mut got = 0usize;
+    while got < messages {
+        if batch <= 1 {
+            consumer
+                .recv_timeout(Duration::from_secs(10))
+                .expect("consume")
+                .ack();
+            got += 1;
+        } else {
+            let deliveries = consumer
+                .recv_batch(Duration::from_secs(10), batch)
+                .expect("consume batch");
+            got += deliveries.len();
+            Delivery::ack_all(deliveries);
+        }
     }
     producer.join().unwrap();
     messages as f64 / start.elapsed().as_secs_f64()
 }
 
+/// Sequential round-trip latency through one proxy.
 fn rpc_latency(broker: &Broker, calls: usize) -> Percentiles {
     let _server = broker
         .bind("perf.echo", |_: &str, args: &[Value]| {
@@ -88,6 +139,83 @@ fn rpc_latency(broker: &Broker, calls: usize) -> Percentiles {
     percentiles(&mut samples)
 }
 
+/// Round-trip latency with `depth` concurrent callers against a pool of
+/// `depth` echo instances (competing consumers on one request queue), so
+/// the transport — not a single serial handler — is the bottleneck. This
+/// is the pipelined load where coalesced writes and batched acks pay off:
+/// every frame from every caller and server instance multiplexes one TCP
+/// connection. Each caller owns a proxy, paces its calls at
+/// [`CALL_PACING`] so the percentiles measure latency rather than
+/// saturation fairness, and per-call latencies are pooled.
+fn pipelined_rpc_latency(broker: &Broker, calls: usize, depth: usize) -> Percentiles {
+    let _servers: Vec<_> = (0..depth)
+        .map(|_| {
+            broker
+                .bind("perf.echo", |_: &str, args: &[Value]| {
+                    Ok(args.first().cloned().unwrap_or(Value::Null))
+                })
+                .unwrap()
+        })
+        .collect();
+    let per_caller = (calls / depth).max(1);
+    let mut handles = Vec::with_capacity(depth);
+    for _ in 0..depth {
+        let proxy = broker.lookup("perf.echo").unwrap();
+        handles.push(std::thread::spawn(move || {
+            proxy
+                .call_sync("echo", vec![Value::U64(0)], Duration::from_secs(5), 0)
+                .unwrap();
+            let mut samples = Vec::with_capacity(per_caller);
+            let base = Instant::now();
+            for i in 0..per_caller {
+                // Paced, not back-to-back: sleep until this call's slot.
+                // No debt is carried — a slow call just shifts later
+                // slots, it does not trigger a catch-up burst.
+                let due = base + CALL_PACING * i as u32;
+                let now = Instant::now();
+                if now < due {
+                    std::thread::sleep(due - now);
+                }
+                let start = Instant::now();
+                proxy
+                    .call_sync(
+                        "echo",
+                        vec![Value::U64(i as u64)],
+                        Duration::from_secs(5),
+                        0,
+                    )
+                    .unwrap();
+                samples.push(start.elapsed().as_secs_f64());
+            }
+            samples
+        }));
+    }
+    let mut samples = Vec::with_capacity(per_caller * depth);
+    for handle in handles {
+        samples.extend(handle.join().unwrap());
+    }
+    percentiles(&mut samples)
+}
+
+/// Loopback server + client in the given protocol mode, handed to `f`.
+fn with_loopback<T>(batch: bool, f: impl FnOnce(&Broker) -> T) -> T {
+    let server_config = ServerConfig {
+        batch,
+        ..ServerConfig::default()
+    };
+    let client_config = NetConfig {
+        batch,
+        ..NetConfig::default()
+    };
+    let server =
+        BrokerServer::bind_with("127.0.0.1:0", MessageBroker::new(), server_config).unwrap();
+    let client = NetBroker::connect_with(server.local_addr(), client_config).unwrap();
+    let broker = Broker::over(Arc::new(client), BrokerConfig::default());
+    let result = f(&broker);
+    server.shutdown();
+    result
+}
+
 fn commit_throughput(commits: usize) -> f64 {
     let broker = Broker::in_process();
     let store = SwiftStore::new(LatencyModel::instant());
@@ -109,18 +237,25 @@ fn commit_throughput(commits: usize) -> f64 {
 
 fn main() {
     let smoke = has_flag("--smoke");
-    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_2.json".to_string());
+    let gate = has_flag("--gate");
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_4.json".to_string());
     let (messages, calls, commits) = if smoke {
-        (2_000, 200, 50)
+        (2_000, 320, 50)
     } else {
-        (50_000, 2_000, 500)
+        (50_000, 3_200, 500)
     };
 
     header("perf_suite: broker / RPC / commit performance");
 
-    println!("broker publish+consume throughput ({messages} msgs of 1 KiB)...");
-    let broker_msgs_per_sec = broker_throughput(messages);
-    println!("  {broker_msgs_per_sec:.0} msg/s");
+    println!("broker throughput, unbatched ({messages} msgs of 1 KiB)...");
+    let broker_unbatched = broker_throughput(messages, 1);
+    println!("  {broker_unbatched:.0} msg/s");
+    println!("broker throughput, batched x{BATCH} ({messages} msgs of 1 KiB)...");
+    let broker_batched = broker_throughput(messages, BATCH);
+    println!(
+        "  {broker_batched:.0} msg/s ({:.2}x)",
+        broker_batched / broker_unbatched
+    );
 
     println!("ObjectMQ sync RPC, in-process ({calls} calls)...");
     let inproc = rpc_latency(&Broker::in_process(), calls);
@@ -131,17 +266,26 @@ fn main() {
         inproc.mean * 1e3
     );
 
-    println!("ObjectMQ sync RPC, TCP loopback ({calls} calls)...");
-    let mq = MessageBroker::new();
-    let server = BrokerServer::bind("127.0.0.1:0", mq).expect("bind server");
-    let client_mq = NetBroker::connect(server.local_addr()).expect("connect");
-    let tcp_broker = Broker::over(Arc::new(client_mq), BrokerConfig::default());
-    let tcp = rpc_latency(&tcp_broker, calls);
+    println!(
+        "ObjectMQ RPC, TCP loopback, depth {PIPELINE_DEPTH}, unbatched protocol ({calls} calls)..."
+    );
+    let tcp_unbatched = with_loopback(false, |b| pipelined_rpc_latency(b, calls, PIPELINE_DEPTH));
     println!(
         "  p50 {:.3} ms | p99 {:.3} ms | mean {:.3} ms",
-        tcp.p50 * 1e3,
-        tcp.p99 * 1e3,
-        tcp.mean * 1e3
+        tcp_unbatched.p50 * 1e3,
+        tcp_unbatched.p99 * 1e3,
+        tcp_unbatched.mean * 1e3
+    );
+    println!(
+        "ObjectMQ RPC, TCP loopback, depth {PIPELINE_DEPTH}, batched protocol ({calls} calls)..."
+    );
+    let tcp_batched = with_loopback(true, |b| pipelined_rpc_latency(b, calls, PIPELINE_DEPTH));
+    println!(
+        "  p50 {:.3} ms | p99 {:.3} ms | mean {:.3} ms ({:.0}% lower p50)",
+        tcp_batched.p50 * 1e3,
+        tcp_batched.p99 * 1e3,
+        tcp_batched.mean * 1e3,
+        (1.0 - tcp_batched.p50 / tcp_unbatched.p50) * 100.0
     );
 
     println!("sync commit throughput ({commits} commits of 16 KiB)...");
@@ -153,29 +297,56 @@ fn main() {
             "{{\n",
             "  \"suite\": \"perf_suite\",\n",
             "  \"smoke\": {smoke},\n",
-            "  \"broker\": {{ \"messages\": {messages}, \"msgs_per_sec\": {broker:.1} }},\n",
+            "  \"broker\": {{ \"messages\": {messages}, \"batch\": {batch}, ",
+            "\"unbatched_msgs_per_sec\": {bu:.1}, \"batched_msgs_per_sec\": {bb:.1}, ",
+            "\"speedup\": {bs:.3} }},\n",
             "  \"rpc_in_process\": {{ \"calls\": {calls}, \"p50_s\": {ip50:.9}, ",
             "\"p99_s\": {ip99:.9}, \"mean_s\": {imean:.9} }},\n",
-            "  \"rpc_tcp_loopback\": {{ \"calls\": {calls}, \"p50_s\": {tp50:.9}, ",
-            "\"p99_s\": {tp99:.9}, \"mean_s\": {tmean:.9} }},\n",
+            "  \"rpc_tcp_loopback\": {{ \"calls\": {calls}, \"depth\": {depth}, ",
+            "\"pacing_ms\": {pacing_ms:.1}, ",
+            "\"unbatched\": {{ \"p50_s\": {up50:.9}, \"p99_s\": {up99:.9}, \"mean_s\": {umean:.9} }}, ",
+            "\"batched\": {{ \"p50_s\": {tp50:.9}, \"p99_s\": {tp99:.9}, \"mean_s\": {tmean:.9} }}, ",
+            "\"p50_reduction\": {red:.3} }},\n",
             "  \"commit\": {{ \"commits\": {commits}, \"commits_per_sec\": {cps:.1} }}\n",
             "}}\n"
         ),
         smoke = smoke,
         messages = messages,
-        broker = broker_msgs_per_sec,
+        batch = BATCH,
+        bu = broker_unbatched,
+        bb = broker_batched,
+        bs = broker_batched / broker_unbatched,
         calls = calls,
         ip50 = inproc.p50,
         ip99 = inproc.p99,
         imean = inproc.mean,
-        tp50 = tcp.p50,
-        tp99 = tcp.p99,
-        tmean = tcp.mean,
+        depth = PIPELINE_DEPTH,
+        pacing_ms = CALL_PACING.as_secs_f64() * 1e3,
+        up50 = tcp_unbatched.p50,
+        up99 = tcp_unbatched.p99,
+        umean = tcp_unbatched.mean,
+        tp50 = tcp_batched.p50,
+        tp99 = tcp_batched.p99,
+        tmean = tcp_batched.mean,
+        red = 1.0 - tcp_batched.p50 / tcp_unbatched.p50,
         commits = commits,
         cps = commits_per_sec,
     );
     std::fs::write(&out_path, &json).expect("write results");
     println!("\nresults written to {out_path}");
-    server.shutdown();
     bench::obs_dump();
+
+    if gate && broker_batched < broker_unbatched {
+        eprintln!(
+            "GATE FAILED: batched broker throughput {broker_batched:.0} msg/s \
+             fell below unbatched {broker_unbatched:.0} msg/s in the same run"
+        );
+        std::process::exit(1);
+    }
+    if gate {
+        println!(
+            "gate passed: batched {:.2}x unbatched broker throughput",
+            broker_batched / broker_unbatched
+        );
+    }
 }

@@ -31,6 +31,24 @@ fn arb_op() -> impl Strategy<Value = Op> {
     ]
 }
 
+#[derive(Debug, Clone)]
+enum BatchOp {
+    /// Publish the payloads as one batch (or one-by-one on the singles side).
+    PublishGroup(Vec<u8>),
+    /// Drain up to `max_n` ready deliveries and ack them all.
+    ConsumeBatch(usize),
+    /// Take one delivery and put it back.
+    ConsumeRequeue,
+}
+
+fn arb_batch_op() -> impl Strategy<Value = BatchOp> {
+    prop_oneof![
+        4 => proptest::collection::vec(any::<u8>(), 1..12).prop_map(BatchOp::PublishGroup),
+        3 => (1usize..8).prop_map(BatchOp::ConsumeBatch),
+        1 => Just(BatchOp::ConsumeRequeue),
+    ]
+}
+
 /// Applies one op to a broker, returning what a client could observe of
 /// it: the payload and redelivery flag of any delivery, and the purge
 /// count.
@@ -99,6 +117,96 @@ proptest! {
         prop_assert_eq!(hs.delivered, bs.delivered);
         prop_assert_eq!(hs.acked, bs.acked);
         prop_assert_eq!(hs.redelivered, bs.redelivered);
+    }
+
+    /// The batched fast paths (`publish_batch_to_queue`, `try_recv_batch`,
+    /// `ack_all`) are observationally identical to the one-at-a-time
+    /// protocol — including under an installed identity [`FaultPlan`], so
+    /// the interceptor staging inside `push_batch` sees exactly the same
+    /// per-message decisions the singles path would.
+    #[test]
+    fn batched_path_matches_singles_under_identity_plan(
+        ops in proptest::collection::vec(arb_batch_op(), 1..60)
+    ) {
+        let batched = MessageBroker::new();
+        batched.set_interceptor(Some(Arc::new(FaultPlan::identity())));
+        let singles = MessageBroker::new();
+        for broker in [&batched, &singles] {
+            broker.declare_queue("q", QueueOptions::default()).unwrap();
+        }
+        let batched_consumer = batched.subscribe("q").unwrap();
+        let singles_consumer = singles.subscribe("q").unwrap();
+
+        for (i, op) in ops.iter().enumerate() {
+            let observed_batched: Vec<(Vec<u8>, bool)> = match op {
+                BatchOp::PublishGroup(group) => {
+                    let messages = group.iter().map(|b| Message::from_bytes(vec![*b])).collect();
+                    batched.publish_batch_to_queue("q", messages).unwrap();
+                    Vec::new()
+                }
+                BatchOp::ConsumeBatch(max_n) => {
+                    let deliveries = batched_consumer.try_recv_batch(*max_n);
+                    let seen = deliveries
+                        .iter()
+                        .map(|d| (d.message.payload().to_vec(), d.redelivered))
+                        .collect();
+                    mqsim::Delivery::ack_all(deliveries);
+                    seen
+                }
+                BatchOp::ConsumeRequeue => match batched_consumer.try_recv() {
+                    Some(d) => {
+                        let seen = vec![(d.message.payload().to_vec(), d.redelivered)];
+                        d.requeue();
+                        seen
+                    }
+                    None => Vec::new(),
+                },
+            };
+            let observed_singles: Vec<(Vec<u8>, bool)> = match op {
+                BatchOp::PublishGroup(group) => {
+                    for b in group {
+                        singles
+                            .publish_to_queue("q", Message::from_bytes(vec![*b]))
+                            .unwrap();
+                    }
+                    Vec::new()
+                }
+                BatchOp::ConsumeBatch(max_n) => {
+                    let mut seen = Vec::new();
+                    for _ in 0..*max_n {
+                        match singles_consumer.try_recv() {
+                            Some(d) => {
+                                seen.push((d.message.payload().to_vec(), d.redelivered));
+                                d.ack();
+                            }
+                            None => break,
+                        }
+                    }
+                    seen
+                }
+                BatchOp::ConsumeRequeue => match singles_consumer.try_recv() {
+                    Some(d) => {
+                        let seen = vec![(d.message.payload().to_vec(), d.redelivered)];
+                        d.requeue();
+                        seen
+                    }
+                    None => Vec::new(),
+                },
+            };
+            prop_assert_eq!(
+                observed_batched, observed_singles,
+                "divergence at op {} ({:?})", i, op
+            );
+        }
+
+        let bs = batched.queue_stats("q").unwrap();
+        let ss = singles.queue_stats("q").unwrap();
+        prop_assert_eq!(bs.depth, ss.depth);
+        prop_assert_eq!(bs.unacked, ss.unacked);
+        prop_assert_eq!(bs.published, ss.published);
+        prop_assert_eq!(bs.delivered, ss.delivered);
+        prop_assert_eq!(bs.acked, ss.acked);
+        prop_assert_eq!(bs.redelivered, ss.redelivered);
     }
 
     /// Installing and then removing an interceptor leaves no residue: the

@@ -47,6 +47,17 @@ pub trait Messaging: Send + Sync + fmt::Debug {
     fn exchange_exists(&self, name: &str) -> bool;
     /// Publishes directly to a named queue (default-exchange path).
     fn publish_to_queue(&self, queue: &str, message: Message) -> MqResult<()>;
+    /// Publishes a batch of messages to one queue, preserving FIFO order
+    /// within the batch.
+    ///
+    /// Default implementation publishes one at a time; implementations with
+    /// a cheaper amortized path (one lock, one wire frame) should override.
+    fn publish_batch_to_queue(&self, queue: &str, messages: Vec<Message>) -> MqResult<()> {
+        for message in messages {
+            self.publish_to_queue(queue, message)?;
+        }
+        Ok(())
+    }
     /// Publishes through an exchange; returns how many queues got a copy.
     fn publish(&self, exchange: &str, routing_key: &str, message: Message) -> MqResult<usize>;
     /// Subscribes a new competing consumer to the queue.
@@ -77,6 +88,24 @@ pub trait MessageConsumer: Send + Sync + fmt::Debug {
     fn recv_timeout(&self, timeout: Duration) -> MqResult<AnyDelivery>;
     /// Returns a message immediately if one is ready locally.
     fn try_recv(&self) -> Option<AnyDelivery>;
+    /// Blocks for the first message, then drains up to `max_n` deliveries.
+    ///
+    /// Never returns an empty vec on success. The default implementation
+    /// blocks for one delivery and then drains with [`Self::try_recv`];
+    /// implementations that can batch under one lock or one wire frame
+    /// should override.
+    fn recv_batch(&self, timeout: Duration, max_n: usize) -> MqResult<Vec<AnyDelivery>> {
+        let first = self.recv_timeout(timeout)?;
+        let mut out = Vec::with_capacity(max_n.max(1));
+        out.push(first);
+        while out.len() < max_n.max(1) {
+            match self.try_recv() {
+                Some(d) => out.push(d),
+                None => break,
+            }
+        }
+        Ok(out)
+    }
 }
 
 /// A delivery handed over the [`MessageConsumer`] trait, with a type-erased
@@ -151,6 +180,11 @@ impl MessageConsumer for crate::Consumer {
     fn try_recv(&self) -> Option<AnyDelivery> {
         crate::Consumer::try_recv(self).map(delivery_to_any)
     }
+
+    fn recv_batch(&self, timeout: Duration, max_n: usize) -> MqResult<Vec<AnyDelivery>> {
+        let got = crate::Consumer::recv_batch(self, timeout, max_n)?;
+        Ok(got.into_iter().map(delivery_to_any).collect())
+    }
 }
 
 fn delivery_to_any(d: crate::Delivery) -> AnyDelivery {
@@ -193,6 +227,9 @@ impl Messaging for MessageBroker {
     fn publish_to_queue(&self, queue: &str, message: Message) -> MqResult<()> {
         MessageBroker::publish_to_queue(self, queue, message)
     }
+    fn publish_batch_to_queue(&self, queue: &str, messages: Vec<Message>) -> MqResult<()> {
+        MessageBroker::publish_batch_to_queue(self, queue, messages)
+    }
     fn publish(&self, exchange: &str, routing_key: &str, message: Message) -> MqResult<usize> {
         MessageBroker::publish(self, exchange, routing_key, message)
     }
@@ -230,7 +267,7 @@ mod tests {
         let mq = as_messaging(&broker);
         mq.declare_queue("q", QueueOptions::default()).unwrap();
         let consumer = mq.subscribe("q").unwrap();
-        mq.publish_to_queue("q", Message::from_bytes(b"m".to_vec()))
+        mq.publish_to_queue("q", Message::from_static(b"m"))
             .unwrap();
         let d = consumer.recv_timeout(T).unwrap();
         assert_eq!(d.message.payload(), b"m");
@@ -246,7 +283,7 @@ mod tests {
         let mq = as_messaging(&broker);
         mq.declare_queue("q", QueueOptions::default()).unwrap();
         let consumer = mq.subscribe("q").unwrap();
-        mq.publish_to_queue("q", Message::from_bytes(b"x".to_vec()))
+        mq.publish_to_queue("q", Message::from_static(b"x"))
             .unwrap();
         drop(consumer.recv_timeout(T).unwrap());
         let d = consumer.recv_timeout(T).unwrap();
@@ -258,6 +295,25 @@ mod tests {
     }
 
     #[test]
+    fn batch_surface_through_trait() {
+        let broker = MessageBroker::new();
+        let mq = as_messaging(&broker);
+        mq.declare_queue("q", QueueOptions::default()).unwrap();
+        let consumer = mq.subscribe("q").unwrap();
+        let batch: Vec<Message> = (0..5u8).map(|i| Message::from_bytes(vec![i])).collect();
+        mq.publish_batch_to_queue("q", batch).unwrap();
+        let got = consumer.recv_batch(T, 16).unwrap();
+        assert_eq!(got.len(), 5);
+        for (i, d) in got.iter().enumerate() {
+            assert_eq!(d.message.payload(), &[i as u8]);
+        }
+        for d in got {
+            d.ack();
+        }
+        assert_eq!(mq.queue_stats("q").unwrap().acked, 5);
+    }
+
+    #[test]
     fn fanout_through_trait() {
         let broker = MessageBroker::new();
         let mq = as_messaging(&broker);
@@ -266,11 +322,7 @@ mod tests {
             mq.declare_queue(q, QueueOptions::default()).unwrap();
             mq.bind_queue("ex", "", q).unwrap();
         }
-        assert_eq!(
-            mq.publish("ex", "", Message::from_bytes(b"n".to_vec()))
-                .unwrap(),
-            2
-        );
+        assert_eq!(mq.publish("ex", "", Message::from_static(b"n")).unwrap(), 2);
         assert_eq!(mq.queue_names(), vec!["a", "b"]);
         assert!(mq.unbind_queue("ex", "", "a").unwrap());
         assert_eq!(mq.purge_queue("b").unwrap(), 1);

@@ -154,6 +154,15 @@ impl MessageBroker {
         self.queue(queue)?.push(message, cluster_id)
     }
 
+    /// Publishes a batch of messages to one queue under a single queue-lock
+    /// acquisition. FIFO order within the batch is preserved and any
+    /// installed [`crate::DeliveryInterceptor`] still observes every message
+    /// individually.
+    pub fn publish_batch_to_queue(&self, queue: &str, messages: Vec<Message>) -> MqResult<()> {
+        self.check_up()?;
+        self.queue(queue)?.push_batch(messages, None)
+    }
+
     /// Declares an exchange of the given kind. Redeclaration with the same
     /// kind is a no-op.
     pub fn declare_exchange(&self, name: &str, kind: ExchangeKind) -> MqResult<()> {
@@ -211,10 +220,19 @@ impl MessageBroker {
             ex.route(routing_key)
         };
         let mut delivered = 0;
-        for queue in &targets {
+        let last = targets.len().saturating_sub(1);
+        let mut message = Some(message);
+        for (i, queue) in targets.iter().enumerate() {
             // A queue may have been deleted concurrently; skip it then.
             if let Ok(core) = self.queue(queue) {
-                core.push(message.clone(), None)?;
+                // Fanout copies share the payload and properties (both
+                // refcounted); the last target takes the original.
+                let copy = if i == last {
+                    message.take().expect("last target takes the message")
+                } else {
+                    message.as_ref().expect("taken only at last").clone()
+                };
+                core.push(copy, None)?;
                 delivered += 1;
             }
         }
@@ -342,8 +360,18 @@ impl BrokerCluster {
     pub fn publish_to_queue(&self, queue: &str, message: Message) -> MqResult<()> {
         let id = self.next_cluster_id.fetch_add(1, Ordering::Relaxed);
         let mut published_somewhere = false;
-        for node in self.nodes.iter() {
-            match node.publish_internal(queue, message.clone(), Some(id)) {
+        let last = self.nodes.len() - 1;
+        let mut message = Some(message);
+        for (i, node) in self.nodes.iter().enumerate() {
+            // Mirror copies share the payload and properties (both
+            // refcounted) instead of deep-cloning per node; the last node
+            // takes the original without touching the refcounts at all.
+            let copy = if i == last {
+                message.take().expect("last node takes the message")
+            } else {
+                message.as_ref().expect("taken only at last").clone()
+            };
+            match node.publish_internal(queue, copy, Some(id)) {
                 Ok(()) => published_somewhere = true,
                 Err(MqError::BrokerDown) => continue,
                 Err(e) => return Err(e),
@@ -451,7 +479,7 @@ mod tests {
     fn publish_to_missing_queue_fails() {
         let b = MessageBroker::new();
         assert!(matches!(
-            b.publish_to_queue("nope", Message::from_bytes(b"x".to_vec())),
+            b.publish_to_queue("nope", Message::from_static(b"x")),
             Err(MqError::QueueNotFound(_))
         ));
     }
@@ -465,7 +493,7 @@ mod tests {
             b.bind_queue("ws", "", q).unwrap();
         }
         let n = b
-            .publish("ws", "", Message::from_bytes(b"notify".to_vec()))
+            .publish("ws", "", Message::from_static(b"notify"))
             .unwrap();
         assert_eq!(n, 3);
         for q in ["c1", "c2", "c3"] {
@@ -481,8 +509,7 @@ mod tests {
         b.declare_queue("qb", QueueOptions::default()).unwrap();
         b.bind_queue("ex", "a", "qa").unwrap();
         b.bind_queue("ex", "b", "qb").unwrap();
-        b.publish("ex", "a", Message::from_bytes(b"m".to_vec()))
-            .unwrap();
+        b.publish("ex", "a", Message::from_static(b"m")).unwrap();
         assert_eq!(b.queue_depth("qa").unwrap(), 1);
         assert_eq!(b.queue_depth("qb").unwrap(), 0);
     }
@@ -492,7 +519,7 @@ mod tests {
         let b = MessageBroker::new();
         b.declare_exchange("ex", ExchangeKind::Direct).unwrap();
         let n = b
-            .publish("ex", "nokey", Message::from_bytes(b"m".to_vec()))
+            .publish("ex", "nokey", Message::from_static(b"m"))
             .unwrap();
         assert_eq!(n, 0);
     }
@@ -518,12 +545,11 @@ mod tests {
         b.declare_queue("q", QueueOptions::default()).unwrap();
         b.kill();
         assert!(matches!(
-            b.publish_to_queue("q", Message::from_bytes(b"x".to_vec())),
+            b.publish_to_queue("q", Message::from_static(b"x")),
             Err(MqError::BrokerDown)
         ));
         b.restart();
-        b.publish_to_queue("q", Message::from_bytes(b"x".to_vec()))
-            .unwrap();
+        b.publish_to_queue("q", Message::from_static(b"x")).unwrap();
         assert_eq!(b.queue_depth("q").unwrap(), 1, "state preserved over crash");
     }
 
@@ -561,7 +587,7 @@ mod tests {
         let cluster = BrokerCluster::new(2);
         cluster.declare_queue("q", QueueOptions::default()).unwrap();
         cluster
-            .publish_to_queue("q", Message::from_bytes(b"only".to_vec()))
+            .publish_to_queue("q", Message::from_static(b"only"))
             .unwrap();
         {
             let consumer = cluster.subscribe("q").unwrap();

@@ -62,6 +62,56 @@ impl Consumer {
         })
     }
 
+    /// Blocks for the first message, then drains up to `max_n` deliveries
+    /// under a single queue-lock acquisition.
+    ///
+    /// Same error contract as [`Consumer::recv_timeout`]; the returned vec
+    /// is never empty on success. Acknowledge the whole batch in one lock
+    /// round trip with [`Delivery::ack_all`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::MqError::RecvTimeout`] on timeout and
+    /// [`crate::MqError::Closed`] if the queue was deleted.
+    pub fn recv_batch(&self, timeout: Duration, max_n: usize) -> MqResult<Vec<Delivery>> {
+        let got = self.queue.recv_batch(self.id, timeout, max_n)?;
+        Ok(self.wrap_batch(got))
+    }
+
+    /// Whether the underlying queue has been deleted. Polling dispatchers
+    /// use this to tell "nothing ready right now" apart from "this
+    /// subscription is dead".
+    pub fn is_closed(&self) -> bool {
+        self.queue.is_closed()
+    }
+
+    /// Blocks until the queue has at least one ready message (without
+    /// consuming it), the queue closes, or `timeout` elapses. Returns
+    /// `true` when a message may be available — a competing consumer can
+    /// still take it first, so pair this with [`Consumer::try_recv_batch`].
+    pub fn wait_ready(&self, timeout: Duration) -> bool {
+        self.queue.wait_ready(timeout)
+    }
+
+    /// Drains up to `max_n` ready deliveries without blocking. Returns an
+    /// empty vec when nothing is ready.
+    pub fn try_recv_batch(&self, max_n: usize) -> Vec<Delivery> {
+        let got = self.queue.try_recv_batch(self.id, max_n);
+        self.wrap_batch(got)
+    }
+
+    fn wrap_batch(&self, got: Vec<(DeliveryTag, Message, bool, Option<u64>)>) -> Vec<Delivery> {
+        got.into_iter()
+            .map(|(tag, message, redelivered, _cluster)| Delivery {
+                message,
+                tag,
+                redelivered,
+                queue: self.queue.clone(),
+                acked: false,
+            })
+            .collect()
+    }
+
     /// Cancels the subscription, requeueing any unacked deliveries.
     ///
     /// Equivalent to dropping the consumer, but explicit.
@@ -113,6 +163,29 @@ impl Delivery {
         let _ = self.queue.requeue(self.tag);
         self.acked = true; // consumed: Drop must not requeue again
     }
+
+    /// Acknowledges a whole batch of deliveries, grouping consecutive
+    /// same-queue runs so each run costs one lock acquisition instead of
+    /// one per message.
+    pub fn ack_all(deliveries: Vec<Delivery>) {
+        let mut tags: Vec<DeliveryTag> = Vec::with_capacity(deliveries.len());
+        let mut run_queue: Option<Arc<QueueCore>> = None;
+        for mut d in deliveries {
+            d.acked = true; // Drop must not requeue
+            let same_run = run_queue.as_ref().is_some_and(|q| Arc::ptr_eq(q, &d.queue));
+            if !same_run {
+                if let Some(q) = run_queue.take() {
+                    q.ack_many(&tags);
+                    tags.clear();
+                }
+                run_queue = Some(d.queue.clone());
+            }
+            tags.push(d.tag);
+        }
+        if let Some(q) = run_queue {
+            q.ack_many(&tags);
+        }
+    }
 }
 
 impl Drop for Delivery {
@@ -136,7 +209,7 @@ mod tests {
         broker.declare_queue("q", QueueOptions::default()).unwrap();
         let c = broker.subscribe("q").unwrap();
         broker
-            .publish_to_queue("q", Message::from_bytes(b"m".to_vec()))
+            .publish_to_queue("q", Message::from_static(b"m"))
             .unwrap();
         {
             let d = c.recv_timeout(T).unwrap();
@@ -221,7 +294,7 @@ mod tests {
         broker.declare_queue("q", QueueOptions::default()).unwrap();
         let c1 = broker.subscribe("q").unwrap();
         broker
-            .publish_to_queue("q", Message::from_bytes(b"x".to_vec()))
+            .publish_to_queue("q", Message::from_static(b"x"))
             .unwrap();
         let d = c1.recv_timeout(T).unwrap();
         // Simulate a crash: forget the delivery's ack by leaking through
@@ -235,6 +308,65 @@ mod tests {
     }
 
     #[test]
+    fn batch_recv_and_ack_all_round_trip() {
+        let broker = MessageBroker::new();
+        broker.declare_queue("q", QueueOptions::default()).unwrap();
+        let c = broker.subscribe("q").unwrap();
+        let batch: Vec<Message> = (0..8u8).map(|i| Message::from_bytes(vec![i])).collect();
+        broker.publish_batch_to_queue("q", batch).unwrap();
+        let got = c.recv_batch(T, 16).unwrap();
+        assert_eq!(got.len(), 8);
+        for (i, d) in got.iter().enumerate() {
+            assert_eq!(d.message.payload(), &[i as u8]);
+        }
+        crate::Delivery::ack_all(got);
+        let stats = broker.queue_stats("q").unwrap();
+        assert_eq!(stats.acked, 8);
+        assert_eq!(stats.unacked, 0);
+        assert!(c.try_recv_batch(4).is_empty());
+    }
+
+    #[test]
+    fn ack_all_of_unacked_batch_does_not_requeue() {
+        let broker = MessageBroker::new();
+        broker.declare_queue("q", QueueOptions::default()).unwrap();
+        let c = broker.subscribe("q").unwrap();
+        broker
+            .publish_batch_to_queue(
+                "q",
+                vec![Message::from_static(b"a"), Message::from_static(b"b")],
+            )
+            .unwrap();
+        let got = c.try_recv_batch(8);
+        assert_eq!(got.len(), 2);
+        crate::Delivery::ack_all(got);
+        assert_eq!(broker.queue_stats("q").unwrap().depth, 0);
+    }
+
+    #[test]
+    fn wait_ready_hints_without_consuming() {
+        let broker = MessageBroker::new();
+        broker.declare_queue("q", QueueOptions::default()).unwrap();
+        let c = broker.subscribe("q").unwrap();
+        assert!(!c.wait_ready(Duration::from_millis(10)));
+        let b2 = broker.clone();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            b2.publish_to_queue("q", Message::from_static(b"x"))
+                .unwrap();
+        });
+        assert!(c.wait_ready(Duration::from_secs(2)));
+        // The hint does not consume: the message is still in the queue.
+        assert_eq!(broker.queue_stats("q").unwrap().depth, 1);
+        c.recv_timeout(T).unwrap().ack();
+        h.join().unwrap();
+        assert!(!c.is_closed());
+        broker.delete_queue("q").unwrap();
+        assert!(c.is_closed());
+        assert!(!c.wait_ready(Duration::from_millis(5)));
+    }
+
+    #[test]
     fn blocking_recv_wakes_on_publish() {
         let broker = MessageBroker::new();
         broker.declare_queue("q", QueueOptions::default()).unwrap();
@@ -242,7 +374,7 @@ mod tests {
         let b2 = broker.clone();
         let h = std::thread::spawn(move || {
             std::thread::sleep(Duration::from_millis(30));
-            b2.publish_to_queue("q", Message::from_bytes(b"late".to_vec()))
+            b2.publish_to_queue("q", Message::from_static(b"late"))
                 .unwrap();
         });
         let d = c.recv_timeout(Duration::from_secs(2)).unwrap();

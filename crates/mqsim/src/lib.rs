@@ -31,7 +31,7 @@
 //! let broker = MessageBroker::new();
 //! broker.declare_queue("work", QueueOptions::default()).unwrap();
 //! let consumer = broker.subscribe("work").unwrap();
-//! broker.publish_to_queue("work", Message::from_bytes(b"job-1".to_vec())).unwrap();
+//! broker.publish_to_queue("work", Message::from_static(b"job-1")).unwrap();
 //!
 //! let delivery = consumer.recv_timeout(Duration::from_secs(1)).unwrap();
 //! assert_eq!(delivery.message.payload(), b"job-1");

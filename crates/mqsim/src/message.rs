@@ -2,6 +2,7 @@
 
 use bytes::Bytes;
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 /// Broker-assigned identifier of a single delivery attempt.
@@ -50,11 +51,23 @@ pub struct MessageProperties {
 }
 
 /// An immutable message travelling through the broker.
+///
+/// Cloning is cheap by construction: the payload is shared [`Bytes`] and the
+/// properties sit behind an [`Arc`], so fanout and mirror paths that hand a
+/// copy to every target bump two refcounts instead of deep-copying.
 #[derive(Debug, Clone)]
 pub struct Message {
     payload: Bytes,
-    properties: MessageProperties,
+    properties: Arc<MessageProperties>,
     enqueued_at: Option<Instant>,
+}
+
+/// The one shared allocation behind every default-properties message.
+fn default_properties() -> Arc<MessageProperties> {
+    static DEFAULT: OnceLock<Arc<MessageProperties>> = OnceLock::new();
+    DEFAULT
+        .get_or_init(|| Arc::new(MessageProperties::default()))
+        .clone()
 }
 
 impl Message {
@@ -62,7 +75,20 @@ impl Message {
     pub fn from_bytes(payload: impl Into<Bytes>) -> Self {
         Message {
             payload: payload.into(),
-            properties: MessageProperties::default(),
+            properties: default_properties(),
+            enqueued_at: None,
+        }
+    }
+
+    /// Creates a message borrowing a `'static` payload without copying.
+    ///
+    /// Test and benchmark literals (`Message::from_static(b"...")`)
+    /// used to copy twice — once into the `Vec`, once into the shared
+    /// buffer. A static payload needs neither.
+    pub fn from_static(payload: &'static [u8]) -> Self {
+        Message {
+            payload: Bytes::from_static(payload),
+            properties: default_properties(),
             enqueued_at: None,
         }
     }
@@ -71,7 +97,7 @@ impl Message {
     pub fn with_properties(payload: impl Into<Bytes>, properties: MessageProperties) -> Self {
         Message {
             payload: payload.into(),
-            properties,
+            properties: Arc::new(properties),
             enqueued_at: None,
         }
     }
@@ -102,8 +128,11 @@ impl Message {
     }
 
     /// Mutable access to properties (used by publishers before sending).
+    ///
+    /// Copy-on-write: if the properties are shared with another message
+    /// clone, they are copied once here so the mutation stays local.
     pub fn properties_mut(&mut self) -> &mut MessageProperties {
-        &mut self.properties
+        Arc::make_mut(&mut self.properties)
     }
 
     /// Instant at which the broker accepted the message, if it has been
@@ -137,7 +166,7 @@ mod tests {
 
     #[test]
     fn message_roundtrips_payload() {
-        let m = Message::from_bytes(b"hello".to_vec());
+        let m = Message::from_static(b"hello");
         assert_eq!(m.payload(), b"hello");
         assert_eq!(m.len(), 5);
         assert!(!m.is_empty());
@@ -165,7 +194,7 @@ mod tests {
 
     #[test]
     fn enqueued_at_is_set_once() {
-        let mut m = Message::from_bytes(b"x".to_vec());
+        let mut m = Message::from_static(b"x");
         assert!(m.enqueued_at().is_none());
         m.mark_enqueued();
         let first = m.enqueued_at().unwrap();
@@ -176,5 +205,21 @@ mod tests {
     #[test]
     fn delivery_tag_display() {
         assert_eq!(DeliveryTag(7).to_string(), "tag:7");
+    }
+
+    #[test]
+    fn from_static_borrows_without_copying() {
+        let m = Message::from_static(b"static payload");
+        assert_eq!(m.payload(), b"static payload");
+        assert!(m.properties() == &MessageProperties::default());
+    }
+
+    #[test]
+    fn properties_mutation_does_not_leak_into_clones() {
+        let mut a = Message::from_static(b"x");
+        let b = a.clone();
+        a.properties_mut().correlation_id = Some("c1".into());
+        assert_eq!(a.properties().correlation_id.as_deref(), Some("c1"));
+        assert_eq!(b.properties().correlation_id, None);
     }
 }

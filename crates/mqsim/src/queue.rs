@@ -21,6 +21,7 @@ struct QueueObs {
     acked: Arc<obs::Counter>,
     redelivered: Arc<obs::Counter>,
     queue_wait: Arc<obs::Histogram>,
+    publish_batch: Arc<obs::Histogram>,
 }
 
 impl QueueObs {
@@ -31,6 +32,7 @@ impl QueueObs {
             acked: obs::counter("mq.messages_acked_total"),
             redelivered: obs::counter("mq.messages_redelivered_total"),
             queue_wait: obs::histogram("mq.queue_wait_seconds"),
+            publish_batch: obs::histogram("mqsim.publish.batch"),
         }
     }
 
@@ -44,6 +46,10 @@ impl QueueObs {
 
 /// Identifier of a consumer subscribed to a queue.
 pub(crate) type ConsumerId = u64;
+
+/// One delivered entry as handed to [`Consumer`](crate::Consumer):
+/// `(tag, message, redelivered, cluster_id)`.
+pub(crate) type Delivered = (DeliveryTag, Message, bool, Option<u64>);
 
 /// A ready-to-deliver entry.
 #[derive(Debug)]
@@ -131,13 +137,81 @@ impl QueueCore {
         if state.closed {
             return Err(MqError::Closed);
         }
+        let enqueued = self.apply_publish(&mut state, message, fault, cluster_id);
+        drop(state);
+        self.obs.published.inc();
+        self.arrivals.record();
+        for _ in 0..enqueued {
+            self.available.notify_one();
+        }
+        Ok(())
+    }
+
+    /// Publishes a batch of messages under one lock acquisition.
+    ///
+    /// Semantically identical to calling [`QueueCore::push`] once per
+    /// message: the interceptor still sees every message individually (all
+    /// `on_publish` decisions are staged before the lock is taken, in batch
+    /// order), counters advance per message, and FIFO order within the batch
+    /// is preserved.
+    pub(crate) fn push_batch(
+        &self,
+        messages: Vec<Message>,
+        cluster_id: Option<u64>,
+    ) -> MqResult<()> {
+        let n = messages.len() as u64;
+        if n == 0 {
+            return Ok(());
+        }
+        let hook = self.interceptor.get();
+        let staged: Vec<(Message, PublishFault)> = messages
+            .into_iter()
+            .map(|mut message| {
+                message.mark_enqueued();
+                let fault = match &hook {
+                    Some(hook) => hook.on_publish(&self.name, message.payload()),
+                    None => PublishFault::Deliver,
+                };
+                (message, fault)
+            })
+            .collect();
+        let mut state = self.state.lock();
+        if state.closed {
+            return Err(MqError::Closed);
+        }
+        let mut enqueued = 0;
+        for (message, fault) in staged {
+            enqueued += self.apply_publish(&mut state, message, fault, cluster_id);
+        }
+        drop(state);
+        self.obs.published.add(n);
+        self.obs.publish_batch.record_value(n as f64);
+        self.arrivals.record_many(n);
+        if enqueued > 1 {
+            self.available.notify_all();
+        } else if enqueued == 1 {
+            self.available.notify_one();
+        }
+        Ok(())
+    }
+
+    /// Applies one publish decision to the ready list; returns how many
+    /// entries were enqueued (0 for a dropped message, 2 for a duplicate).
+    /// Caller holds the state lock and handles notification.
+    fn apply_publish(
+        &self,
+        state: &mut QueueState,
+        message: Message,
+        fault: PublishFault,
+        cluster_id: Option<u64>,
+    ) -> usize {
         state.published += 1;
         let entry = |message| ReadyEntry {
             message,
             redelivered: false,
             cluster_id,
         };
-        let enqueued = match fault {
+        match fault {
             PublishFault::Deliver => {
                 let tag = self.fresh_tag();
                 state.ready.push_back((tag, entry(message)));
@@ -156,14 +230,7 @@ impl QueueCore {
                 state.ready.push_front((tag, entry(message)));
                 1
             }
-        };
-        drop(state);
-        self.obs.published.inc();
-        self.arrivals.record();
-        for _ in 0..enqueued {
-            self.available.notify_one();
         }
-        Ok(())
     }
 
     /// Pops the next deliverable ready entry, letting an installed
@@ -230,6 +297,29 @@ impl QueueCore {
         empty
     }
 
+    /// Marks a just-popped ready entry as in flight for `consumer` and
+    /// shapes it into the delivery tuple. Caller holds the state lock.
+    fn deliver_entry(
+        &self,
+        state: &mut QueueState,
+        consumer: ConsumerId,
+        tag: DeliveryTag,
+        entry: ReadyEntry,
+    ) -> (DeliveryTag, Message, bool, Option<u64>) {
+        state.delivered += 1;
+        state.unacked.insert(
+            tag.0,
+            InFlight {
+                message: entry.message.clone(),
+                consumer,
+                cluster_id: entry.cluster_id,
+            },
+        );
+        self.obs.delivered.inc();
+        self.obs.record_wait(&entry.message);
+        (tag, entry.message, entry.redelivered, entry.cluster_id)
+    }
+
     /// Blocking receive with timeout. Returns the message, its tag, the
     /// redelivered flag and the cluster id.
     pub(crate) fn recv(
@@ -244,18 +334,7 @@ impl QueueCore {
                 return Err(MqError::Closed);
             }
             if let Some((tag, entry)) = self.take_ready(&mut state) {
-                state.delivered += 1;
-                state.unacked.insert(
-                    tag.0,
-                    InFlight {
-                        message: entry.message.clone(),
-                        consumer,
-                        cluster_id: entry.cluster_id,
-                    },
-                );
-                self.obs.delivered.inc();
-                self.obs.record_wait(&entry.message);
-                return Ok((tag, entry.message, entry.redelivered, entry.cluster_id));
+                return Ok(self.deliver_entry(&mut state, consumer, tag, entry));
             }
             if Instant::now() >= deadline {
                 return Err(MqError::RecvTimeout);
@@ -264,6 +343,77 @@ impl QueueCore {
             let _ = self.available.wait_until(&mut state, deadline);
             state.waiting -= 1;
         }
+    }
+
+    /// Blocking batch receive: waits like [`QueueCore::recv`] for the first
+    /// message, then drains up to `max_n` ready entries under the same lock
+    /// acquisition. The interceptor's `on_deliver` hook still fires for each
+    /// entry individually (inside [`QueueCore::take_ready`]).
+    pub(crate) fn recv_batch(
+        &self,
+        consumer: ConsumerId,
+        timeout: Duration,
+        max_n: usize,
+    ) -> MqResult<Vec<Delivered>> {
+        let max_n = max_n.max(1);
+        let deadline = Instant::now() + timeout;
+        let mut state = self.state.lock();
+        loop {
+            if state.closed {
+                return Err(MqError::Closed);
+            }
+            if let Some((tag, entry)) = self.take_ready(&mut state) {
+                let mut out = Vec::with_capacity(max_n.min(state.ready.len() + 1));
+                out.push(self.deliver_entry(&mut state, consumer, tag, entry));
+                while out.len() < max_n {
+                    match self.take_ready(&mut state) {
+                        Some((tag, entry)) => {
+                            out.push(self.deliver_entry(&mut state, consumer, tag, entry));
+                        }
+                        None => break,
+                    }
+                }
+                return Ok(out);
+            }
+            if Instant::now() >= deadline {
+                return Err(MqError::RecvTimeout);
+            }
+            state.waiting += 1;
+            let _ = self.available.wait_until(&mut state, deadline);
+            state.waiting -= 1;
+        }
+    }
+
+    /// Blocks until at least one ready entry exists (without consuming it),
+    /// the queue closes, or the timeout elapses. Returns `true` when a
+    /// message *may* be available; a racing consumer can still win it, so
+    /// callers follow up with [`QueueCore::try_recv_batch`].
+    ///
+    /// An installed interceptor is not consulted here — it only decides at
+    /// actual take time — so this can report ready entries the interceptor
+    /// would defer. That is fine for its purpose (a wakeup hint).
+    pub(crate) fn wait_ready(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.state.lock();
+        loop {
+            if state.closed {
+                return false;
+            }
+            if !state.ready.is_empty() {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            state.waiting += 1;
+            let _ = self.available.wait_until(&mut state, deadline);
+            state.waiting -= 1;
+        }
+    }
+
+    /// Whether the queue has been deleted.
+    pub(crate) fn is_closed(&self) -> bool {
+        self.state.lock().closed
     }
 
     /// Non-blocking receive.
@@ -276,18 +426,26 @@ impl QueueCore {
             return None;
         }
         let (tag, entry) = self.take_ready(&mut state)?;
-        state.delivered += 1;
-        state.unacked.insert(
-            tag.0,
-            InFlight {
-                message: entry.message.clone(),
-                consumer,
-                cluster_id: entry.cluster_id,
-            },
-        );
-        self.obs.delivered.inc();
-        self.obs.record_wait(&entry.message);
-        Some((tag, entry.message, entry.redelivered, entry.cluster_id))
+        Some(self.deliver_entry(&mut state, consumer, tag, entry))
+    }
+
+    /// Non-blocking batch receive: drains up to `max_n` ready entries under
+    /// one lock acquisition. Returns an empty vec when nothing is ready.
+    pub(crate) fn try_recv_batch(&self, consumer: ConsumerId, max_n: usize) -> Vec<Delivered> {
+        let mut state = self.state.lock();
+        if state.closed {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        while out.len() < max_n {
+            match self.take_ready(&mut state) {
+                Some((tag, entry)) => {
+                    out.push(self.deliver_entry(&mut state, consumer, tag, entry));
+                }
+                None => break,
+            }
+        }
+        out
     }
 
     /// Acknowledges a delivery, removing it from the broker. Returns the
@@ -302,6 +460,25 @@ impl QueueCore {
             }
             None => Err(MqError::UnknownDeliveryTag(tag.0)),
         }
+    }
+
+    /// Acknowledges a batch of deliveries under one lock acquisition.
+    /// Unknown tags are skipped; returns how many were actually acked.
+    pub(crate) fn ack_many(&self, tags: &[DeliveryTag]) -> usize {
+        if tags.is_empty() {
+            return 0;
+        }
+        let mut state = self.state.lock();
+        let mut acked = 0u64;
+        for tag in tags {
+            if state.unacked.remove(&tag.0).is_some() {
+                acked += 1;
+            }
+        }
+        state.acked += acked;
+        drop(state);
+        self.obs.acked.add(acked);
+        acked as usize
     }
 
     /// Returns a delivery to the front of the queue (basic.reject requeue).
@@ -411,9 +588,7 @@ mod tests {
     fn unacked_requeued_on_consumer_unregister() {
         let queue = q();
         let c = queue.register_consumer().unwrap();
-        queue
-            .push(Message::from_bytes(b"a".to_vec()), None)
-            .unwrap();
+        queue.push(Message::from_static(b"a"), None).unwrap();
         let (_tag, _m, _, _) = queue.recv(c, Duration::from_millis(10)).unwrap();
         assert_eq!(queue.depth(), 0);
         queue.unregister_consumer(c);
@@ -428,9 +603,7 @@ mod tests {
     fn double_ack_is_an_error() {
         let queue = q();
         let c = queue.register_consumer().unwrap();
-        queue
-            .push(Message::from_bytes(b"a".to_vec()), None)
-            .unwrap();
+        queue.push(Message::from_static(b"a"), None).unwrap();
         let (tag, ..) = queue.recv(c, Duration::from_millis(10)).unwrap();
         queue.ack(tag).unwrap();
         assert!(matches!(
@@ -443,12 +616,8 @@ mod tests {
     fn requeue_puts_message_at_front() {
         let queue = q();
         let c = queue.register_consumer().unwrap();
-        queue
-            .push(Message::from_bytes(b"first".to_vec()), None)
-            .unwrap();
-        queue
-            .push(Message::from_bytes(b"second".to_vec()), None)
-            .unwrap();
+        queue.push(Message::from_static(b"first"), None).unwrap();
+        queue.push(Message::from_static(b"second"), None).unwrap();
         let (tag, m, ..) = queue.recv(c, Duration::from_millis(10)).unwrap();
         assert_eq!(m.payload(), b"first");
         queue.requeue(tag).unwrap();
@@ -472,12 +641,8 @@ mod tests {
     fn stats_track_counts() {
         let queue = q();
         let c = queue.register_consumer().unwrap();
-        queue
-            .push(Message::from_bytes(b"a".to_vec()), None)
-            .unwrap();
-        queue
-            .push(Message::from_bytes(b"b".to_vec()), None)
-            .unwrap();
+        queue.push(Message::from_static(b"a"), None).unwrap();
+        queue.push(Message::from_static(b"b"), None).unwrap();
         let (tag, ..) = queue.recv(c, Duration::from_millis(10)).unwrap();
         queue.ack(tag).unwrap();
         let s = queue.stats();
@@ -493,12 +658,8 @@ mod tests {
     fn purge_drops_ready_only() {
         let queue = q();
         let c = queue.register_consumer().unwrap();
-        queue
-            .push(Message::from_bytes(b"a".to_vec()), None)
-            .unwrap();
-        queue
-            .push(Message::from_bytes(b"b".to_vec()), None)
-            .unwrap();
+        queue.push(Message::from_static(b"a"), None).unwrap();
+        queue.push(Message::from_static(b"b"), None).unwrap();
         let (_tag, ..) = queue.recv(c, Duration::from_millis(10)).unwrap();
         assert_eq!(queue.purge(), 1);
         let s = queue.stats();
@@ -507,14 +668,72 @@ mod tests {
     }
 
     #[test]
+    fn push_batch_preserves_fifo_and_counts() {
+        let queue = q();
+        let c = queue.register_consumer().unwrap();
+        let batch: Vec<Message> = (0..5u8).map(|i| Message::from_bytes(vec![i])).collect();
+        queue.push_batch(batch, None).unwrap();
+        assert_eq!(queue.depth(), 5);
+        assert_eq!(queue.stats().published, 5);
+        let got = queue.recv_batch(c, Duration::from_millis(10), 10).unwrap();
+        assert_eq!(got.len(), 5);
+        for (i, (_, m, redelivered, _)) in got.iter().enumerate() {
+            assert_eq!(m.payload(), &[i as u8]);
+            assert!(!redelivered);
+        }
+    }
+
+    #[test]
+    fn recv_batch_respects_max_n() {
+        let queue = q();
+        let c = queue.register_consumer().unwrap();
+        queue
+            .push_batch(
+                (0..6u8).map(|i| Message::from_bytes(vec![i])).collect(),
+                None,
+            )
+            .unwrap();
+        let first = queue.recv_batch(c, Duration::from_millis(10), 4).unwrap();
+        assert_eq!(first.len(), 4);
+        let rest = queue.try_recv_batch(c, 4);
+        assert_eq!(rest.len(), 2);
+        assert!(queue.try_recv_batch(c, 4).is_empty());
+    }
+
+    #[test]
+    fn recv_batch_times_out_when_empty() {
+        let queue = q();
+        let c = queue.register_consumer().unwrap();
+        let err = queue
+            .recv_batch(c, Duration::from_millis(5), 8)
+            .unwrap_err();
+        assert_eq!(err, MqError::RecvTimeout);
+    }
+
+    #[test]
+    fn ack_many_skips_unknown_tags() {
+        let queue = q();
+        let c = queue.register_consumer().unwrap();
+        queue
+            .push_batch(
+                (0..3u8).map(|i| Message::from_bytes(vec![i])).collect(),
+                None,
+            )
+            .unwrap();
+        let got = queue.recv_batch(c, Duration::from_millis(10), 8).unwrap();
+        let mut tags: Vec<DeliveryTag> = got.iter().map(|(t, ..)| *t).collect();
+        tags.push(DeliveryTag(9999));
+        assert_eq!(queue.ack_many(&tags), 3);
+        assert_eq!(queue.stats().acked, 3);
+        assert_eq!(queue.stats().unacked, 0);
+        assert_eq!(queue.ack_many(&tags), 0, "second ack finds nothing");
+    }
+
+    #[test]
     fn remove_cluster_id_removes_only_matching() {
         let queue = q();
-        queue
-            .push(Message::from_bytes(b"a".to_vec()), Some(1))
-            .unwrap();
-        queue
-            .push(Message::from_bytes(b"b".to_vec()), Some(2))
-            .unwrap();
+        queue.push(Message::from_static(b"a"), Some(1)).unwrap();
+        queue.push(Message::from_static(b"b"), Some(2)).unwrap();
         assert!(queue.remove_cluster_id(1));
         assert!(!queue.remove_cluster_id(1));
         assert_eq!(queue.depth(), 1);

@@ -16,8 +16,9 @@
 //! connection *generation*; a stale-generation delivery is dropped instead
 //! of acked, because its server-side tag died with the old connection.
 
-use crate::frame::{write_frame, FrameBuffer, Request, ServerFrame};
+use crate::frame::{encode_frame_into, FrameBuffer, Request, ServerFrame};
 use crate::stats_from_value;
+use crate::tx::{OutBuf, TxObs, MAX_SPARE};
 use mqsim::{
     AnyDelivery, Clock, ExchangeKind, Message, MessageConsumer, Messaging, MqError, MqResult,
     QueueOptions, QueueStats, SystemClock,
@@ -25,11 +26,16 @@ use mqsim::{
 use parking_lot::{Condvar, Mutex};
 use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, VecDeque};
+use std::io::Write;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use wire::Value;
+
+/// Acks accumulated past this count are flushed as one `AckMany` frame even
+/// while deliveries are still buffered locally.
+const ACK_BATCH: usize = 32;
 
 /// Tuning knobs of a [`NetBroker`].
 #[derive(Debug, Clone)]
@@ -47,6 +53,11 @@ pub struct NetConfig {
     pub backoff_cap: Duration,
     /// TCP connection-establishment timeout per reconnect attempt.
     pub connect_timeout: Duration,
+    /// Whether to batch acknowledgements (cumulative `AckMany` frames) and
+    /// batch publishes on [`Messaging::publish_batch_to_queue`]. When
+    /// `false` every ack and publish is its own frame — the pre-batching
+    /// protocol, kept for A/B benchmarking.
+    pub batch: bool,
     /// Time source for the reconnect backoff. Fault-injection tests swap in
     /// a [`mqsim::VirtualClock`] so backoff is stepped instead of slept.
     pub clock: Arc<dyn Clock>,
@@ -61,6 +72,7 @@ impl Default for NetConfig {
             backoff_initial: Duration::from_millis(20),
             backoff_cap: Duration::from_secs(2),
             connect_timeout: Duration::from_secs(2),
+            batch: true,
             clock: Arc::new(SystemClock::new()),
         }
     }
@@ -96,6 +108,15 @@ struct ClientInner {
     config: NetConfig,
     /// Current writer half, `None` while disconnected.
     writer: Mutex<Option<TcpStream>>,
+    /// Mirrors `writer.is_some()` without taking the writer lock. `send`
+    /// gates on this — NOT on `connected`, which is only signalled *after*
+    /// the supervisor has replayed resubscribes (which themselves go
+    /// through `send`).
+    link_up: AtomicBool,
+    /// Encoded frames waiting for the next coalesced write.
+    out: Mutex<OutBuf>,
+    /// Recycled drain buffer for `flush_out`.
+    spare: Mutex<Vec<u8>>,
     /// Bumped on every successful reconnect; deliveries carry the
     /// generation they arrived under.
     generation: AtomicU64,
@@ -107,6 +128,8 @@ struct ClientInner {
     next_sub: AtomicU64,
     stop: AtomicBool,
     reconnects: Arc<obs::Counter>,
+    bytes_out: Arc<obs::Counter>,
+    tx: TxObs,
 }
 
 struct ReqSlot {
@@ -127,6 +150,11 @@ struct SubInner {
     buffer: Mutex<VecDeque<BufferedDelivery>>,
     buffer_cv: Condvar,
     closed: AtomicBool,
+    /// Acks not yet sent to the server, as `(generation, tag)`. Flushed as
+    /// one cumulative `AckMany` when the local buffer runs dry, when
+    /// [`ACK_BATCH`] accumulate, on every receive call, and on drop — so
+    /// credit is never withheld from the server while the consumer is idle.
+    pending_acks: Mutex<Vec<(u64, u64)>>,
 }
 
 struct BufferedDelivery {
@@ -164,6 +192,9 @@ impl NetBroker {
             addr,
             config,
             writer: Mutex::new(None),
+            link_up: AtomicBool::new(false),
+            out: Mutex::new(OutBuf::default()),
+            spare: Mutex::new(Vec::new()),
             generation: AtomicU64::new(0),
             connected: Mutex::new(false),
             connected_cv: Condvar::new(),
@@ -173,6 +204,8 @@ impl NetBroker {
             next_sub: AtomicU64::new(1),
             stop: AtomicBool::new(false),
             reconnects: obs::counter("net.client.reconnects"),
+            bytes_out: obs::counter("net.client.bytes_out"),
+            tx: TxObs::new(),
         });
         let supervisor_inner = inner.clone();
         std::thread::spawn(move || supervisor_loop(&supervisor_inner));
@@ -215,9 +248,17 @@ impl ClientInner {
     /// Tears the current connection down and fails outstanding requests
     /// with `ConnectionLost` so their callers retry.
     fn drop_connection(&self) {
+        self.link_up.store(false, Ordering::Release);
         let stream = self.writer.lock().take();
         if let Some(s) = stream {
             let _ = s.shutdown(std::net::Shutdown::Both);
+        }
+        // Discard frames queued for the dead connection — acks and pings
+        // addressed to the old generation must not ride the next one.
+        {
+            let mut out = self.out.lock();
+            out.buf.clear();
+            out.frames = 0;
         }
         *self.connected.lock() = false;
         let pending: Vec<Arc<ReqSlot>> = self.pending.lock().drain().map(|(_, s)| s).collect();
@@ -301,23 +342,107 @@ impl ClientInner {
 
     /// Serializes a frame on the current connection. `false` if there is no
     /// connection or the write failed (the connection is torn down).
+    ///
+    /// Frames from concurrent callers coalesce: each is appended to a
+    /// shared out-buffer, and whoever holds the writer drains everything
+    /// accumulated in one `write_all` + `flush`.
     fn send(&self, frame: &Value) -> bool {
-        let mut writer_guard = self.writer.lock();
-        let Some(writer) = writer_guard.as_mut() else {
+        if !self.link_up.load(Ordering::Acquire) {
             return false;
-        };
-        match write_frame(writer, frame) {
-            Ok(n) => {
-                obs::counter("net.client.bytes_out").add(n as u64);
-                true
+        }
+        {
+            let mut out = self.out.lock();
+            match encode_frame_into(frame, &mut out.buf) {
+                Ok(_) => out.frames += 1,
+                Err(_) => {
+                    drop(out);
+                    self.drop_connection();
+                    return false;
+                }
             }
-            Err(_) => {
-                drop(writer_guard);
-                self.drop_connection();
-                false
+        }
+        self.flush_out()
+    }
+
+    /// Drains the out-buffer through the socket. Flat-combining: a caller
+    /// that finds the writer busy returns immediately — the holder re-checks
+    /// the buffer after releasing, so no enqueued frame is stranded.
+    fn flush_out(&self) -> bool {
+        loop {
+            let mut writer_guard = match self.writer.try_lock() {
+                Some(g) => g,
+                None => return true,
+            };
+            loop {
+                let (drain, frames) = {
+                    let mut out = self.out.lock();
+                    if out.buf.is_empty() {
+                        break;
+                    }
+                    let mut drain = std::mem::take(&mut *self.spare.lock());
+                    std::mem::swap(&mut drain, &mut out.buf);
+                    (drain, std::mem::take(&mut out.frames))
+                };
+                let res = match writer_guard.as_mut() {
+                    Some(writer) => writer.write_all(&drain).and_then(|()| writer.flush()),
+                    // Disconnected under our feet: the frames die with the
+                    // old connection (callers observe `false` and retry).
+                    None => {
+                        recycle(&self.spare, drain);
+                        return false;
+                    }
+                };
+                self.bytes_out.add(drain.len() as u64);
+                self.tx.record_drain(drain.len(), frames);
+                recycle(&self.spare, drain);
+                if res.is_err() {
+                    drop(writer_guard);
+                    self.drop_connection();
+                    return false;
+                }
+            }
+            drop(writer_guard);
+            // Lost-wakeup guard: a frame enqueued while we were releasing
+            // the writer saw `try_lock` fail and went home — re-check.
+            if self.out.lock().buf.is_empty() {
+                return true;
             }
         }
     }
+}
+
+/// Returns a cleared drain buffer to the spare slot unless it grew too big.
+fn recycle(spare: &Mutex<Vec<u8>>, mut drain: Vec<u8>) {
+    drain.clear();
+    if drain.capacity() <= MAX_SPARE {
+        *spare.lock() = drain;
+    }
+}
+
+/// Sends every pending current-generation ack for `sub` as one cumulative
+/// frame. Acks from dead generations are discarded — their server-side tags
+/// died with the old connection, which requeued the deliveries already.
+fn flush_acks(client: &ClientInner, sub: &SubInner) {
+    let current = client.generation.load(Ordering::Acquire);
+    let tags: Vec<u64> = {
+        let mut pending = sub.pending_acks.lock();
+        if pending.is_empty() {
+            return;
+        }
+        pending
+            .drain(..)
+            .filter(|(generation, _)| *generation == current)
+            .map(|(_, tag)| tag)
+            .collect()
+    };
+    let req = match tags.as_slice() {
+        [] => return,
+        [tag] => Request::Ack(sub.id, *tag),
+        _ => Request::AckMany(sub.id, tags),
+    };
+    // Fire-and-forget, like single acks.
+    let corr = client.next_corr.fetch_add(1, Ordering::Relaxed);
+    let _ = client.send(&req.to_frame(corr));
 }
 
 // ---------------------------------------------------------------------------
@@ -348,6 +473,7 @@ fn supervisor_loop(inner: &Arc<ClientInner>) {
         ever_connected = true;
         inner.generation.fetch_add(1, Ordering::AcqRel);
         *inner.writer.lock() = Some(stream);
+        inner.link_up.store(true, Ordering::Release);
 
         // Replay live subscriptions under their original ids *before*
         // signalling connected, so no caller observes a half-restored
@@ -411,8 +537,14 @@ fn reader_loop(inner: &Arc<ClientInner>, mut reader: TcpStream) {
     let bytes_in = obs::counter("net.client.bytes_in");
     let _ = reader.set_read_timeout(Some(inner.config.heartbeat));
     // A read timeout can fire mid-frame; FrameBuffer keeps the partial bytes
-    // so the heartbeat tick never desynchronizes the stream.
-    let mut frames = FrameBuffer::new();
+    // so the heartbeat tick never desynchronizes the stream. In batched mode
+    // it also reads ahead of frame boundaries, so one syscall drains a whole
+    // burst of coalesced replies and deliveries.
+    let mut frames = if inner.config.batch {
+        FrameBuffer::with_readahead()
+    } else {
+        FrameBuffer::new()
+    };
     let mut quiet_ticks = 0u32;
     loop {
         if inner.stop.load(Ordering::Acquire) {
@@ -561,6 +693,22 @@ impl Messaging for NetBroker {
             .map(|_| ())
     }
 
+    fn publish_batch_to_queue(&self, queue: &str, messages: Vec<Message>) -> MqResult<()> {
+        if messages.is_empty() {
+            return Ok(());
+        }
+        if !self.inner.config.batch {
+            // Pre-batching protocol: one frame (and one round trip) each.
+            for message in messages {
+                self.publish_to_queue(queue, message)?;
+            }
+            return Ok(());
+        }
+        self.inner
+            .request(&Request::PublishBatch(queue.into(), messages))
+            .map(|_| ())
+    }
+
     fn publish(&self, exchange: &str, routing_key: &str, message: Message) -> MqResult<usize> {
         let v = self.inner.request(&Request::Publish(
             exchange.into(),
@@ -578,6 +726,7 @@ impl Messaging for NetBroker {
             buffer: Mutex::new(VecDeque::new()),
             buffer_cv: Condvar::new(),
             closed: AtomicBool::new(false),
+            pending_acks: Mutex::new(Vec::new()),
         });
         // Register before the request: a delivery may race the reply.
         self.inner.subs.lock().insert(sub_id, sub.clone());
@@ -643,7 +792,7 @@ struct NetConsumer {
 impl NetConsumer {
     fn to_any(&self, d: BufferedDelivery) -> AnyDelivery {
         let client = self.client.clone();
-        let sub_id = self.sub.id;
+        let sub = self.sub.clone();
         let generation = d.generation;
         let tag = d.tag;
         AnyDelivery::new(d.message, d.redelivered, move |ok| {
@@ -654,15 +803,32 @@ impl NetConsumer {
             if client.generation.load(Ordering::Acquire) != generation {
                 return;
             }
-            let req = if ok {
-                Request::Ack(sub_id, tag)
-            } else {
-                Request::Requeue(sub_id, tag)
+            if !ok {
+                // Requeues go out immediately: the message should rejoin
+                // the queue now, not when the next ack batch flushes.
+                // Fire-and-forget — on a dead connection the server-side
+                // drop path requeues for us anyway.
+                let corr = client.next_corr.fetch_add(1, Ordering::Relaxed);
+                let _ = client.send(&Request::Requeue(sub.id, tag).to_frame(corr));
+                return;
+            }
+            if !client.config.batch {
+                let corr = client.next_corr.fetch_add(1, Ordering::Relaxed);
+                let _ = client.send(&Request::Ack(sub.id, tag).to_frame(corr));
+                return;
+            }
+            // Batched path: stash the ack. Flush when the local buffer has
+            // run dry (the server is waiting on credit with nothing more
+            // in flight to us) or when enough have accumulated.
+            let buffer_empty = sub.buffer.lock().is_empty();
+            let should_flush = {
+                let mut pending = sub.pending_acks.lock();
+                pending.push((generation, tag));
+                buffer_empty || pending.len() >= ACK_BATCH
             };
-            // Fire-and-forget: on a dead connection the server-side drop
-            // path requeues for us anyway.
-            let corr = client.next_corr.fetch_add(1, Ordering::Relaxed);
-            let _ = client.send(&req.to_frame(corr));
+            if should_flush {
+                flush_acks(&client, &sub);
+            }
         })
     }
 
@@ -693,6 +859,9 @@ impl MessageConsumer for NetConsumer {
     }
 
     fn recv_timeout(&self, timeout: Duration) -> MqResult<AnyDelivery> {
+        // Every receive is a flush point for batched acks: the consumer is
+        // demonstrably alive, so don't sit on credit the server could use.
+        flush_acks(&self.client, &self.sub);
         // Deadline-based: spurious wakeups re-arm with the *remaining* time.
         let deadline = Instant::now() + timeout;
         let mut buffer = self.sub.buffer.lock();
@@ -725,16 +894,39 @@ impl MessageConsumer for NetConsumer {
     }
 
     fn try_recv(&self) -> Option<AnyDelivery> {
+        flush_acks(&self.client, &self.sub);
         let mut buffer = self.sub.buffer.lock();
         self.pop_fresh(&mut buffer).map(|d| {
             drop(buffer);
             self.to_any(d)
         })
     }
+
+    fn recv_batch(&self, timeout: Duration, max_n: usize) -> MqResult<Vec<AnyDelivery>> {
+        let first = self.recv_timeout(timeout)?;
+        let max_n = max_n.max(1);
+        // Drain whatever else is already buffered under one lock instead of
+        // re-locking per message like the default implementation.
+        let mut rest = Vec::new();
+        {
+            let mut buffer = self.sub.buffer.lock();
+            while rest.len() + 1 < max_n {
+                match self.pop_fresh(&mut buffer) {
+                    Some(d) => rest.push(d),
+                    None => break,
+                }
+            }
+        }
+        let mut deliveries = Vec::with_capacity(rest.len() + 1);
+        deliveries.push(first);
+        deliveries.extend(rest.into_iter().map(|d| self.to_any(d)));
+        Ok(deliveries)
+    }
 }
 
 impl Drop for NetConsumer {
     fn drop(&mut self) {
+        flush_acks(&self.client, &self.sub);
         self.sub.closed.store(true, Ordering::Release);
         self.sub.buffer_cv.notify_all();
         self.client.subs.lock().remove(&self.sub.id);
@@ -769,11 +961,11 @@ mod tests {
         assert!(client.exchange_exists("x"));
         client.bind_queue("x", "", "q").unwrap();
         let n = client
-            .publish("x", "", Message::from_bytes(b"fan".to_vec()))
+            .publish("x", "", Message::from_static(b"fan"))
             .unwrap();
         assert_eq!(n, 1);
         client
-            .publish_to_queue("q", Message::from_bytes(b"direct".to_vec()))
+            .publish_to_queue("q", Message::from_static(b"direct"))
             .unwrap();
         assert_eq!(client.queue_depth("q").unwrap(), 2);
         assert_eq!(client.queue_names(), vec!["q".to_string()]);
@@ -820,7 +1012,7 @@ mod tests {
         let (server, client) = pair();
         client.declare_queue("q", QueueOptions::default()).unwrap();
         client
-            .publish_to_queue("q", Message::from_bytes(b"m".to_vec()))
+            .publish_to_queue("q", Message::from_static(b"m"))
             .unwrap();
         let consumer = client.subscribe("q").unwrap();
         let d = consumer.recv_timeout(Duration::from_secs(2)).unwrap();
@@ -855,7 +1047,7 @@ mod tests {
 
         // Publishing rides through the partition via retry.
         client
-            .publish_to_queue("q", Message::from_bytes(b"after".to_vec()))
+            .publish_to_queue("q", Message::from_static(b"after"))
             .unwrap();
         let d = consumer.recv_timeout(Duration::from_secs(5)).unwrap();
         assert_eq!(d.message.payload(), b"after");
@@ -928,6 +1120,106 @@ mod tests {
         );
         // The supervisor exits and the connection closes; the server sees
         // the disconnect and tears the connection state down on its side.
+        server.shutdown();
+    }
+
+    #[test]
+    fn batched_publish_and_ack_round_trip() {
+        let (server, client) = pair();
+        client.declare_queue("q", QueueOptions::default()).unwrap();
+        let batch: Vec<Message> = (0..20u8).map(|i| Message::from_bytes(vec![i])).collect();
+        client.publish_batch_to_queue("q", batch).unwrap();
+        assert_eq!(client.queue_depth("q").unwrap(), 20);
+
+        let consumer = client.subscribe("q").unwrap();
+        let mut got = 0usize;
+        while got < 20 {
+            let deliveries = consumer
+                .recv_batch(Duration::from_secs(2), 8)
+                .expect("batch within timeout");
+            assert!(!deliveries.is_empty());
+            for d in deliveries {
+                assert_eq!(d.message.payload(), &[got as u8], "FIFO order");
+                d.ack();
+                got += 1;
+            }
+        }
+        // Batched acks are flushed lazily; poll until the server applied
+        // them all (the empty-buffer flush fires on the last ack).
+        let deadline = Instant::now() + Duration::from_secs(2);
+        loop {
+            let stats = client.queue_stats("q").unwrap();
+            if stats.acked == 20 && stats.unacked == 0 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "acks never applied: {stats:?}");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        client.close();
+        server.shutdown();
+    }
+
+    #[test]
+    fn unbatched_client_still_round_trips() {
+        let server = BrokerServer::bind("127.0.0.1:0", MessageBroker::new()).unwrap();
+        let config = NetConfig {
+            batch: false,
+            ..NetConfig::default()
+        };
+        let client = NetBroker::connect_with(server.local_addr(), config).unwrap();
+        client.declare_queue("q", QueueOptions::default()).unwrap();
+        let batch: Vec<Message> = (0..5u8).map(|i| Message::from_bytes(vec![i])).collect();
+        client.publish_batch_to_queue("q", batch).unwrap();
+        let consumer = client.subscribe("q").unwrap();
+        for i in 0..5u8 {
+            let d = consumer.recv_timeout(Duration::from_secs(2)).unwrap();
+            assert_eq!(d.message.payload(), &[i]);
+            d.ack();
+        }
+        let deadline = Instant::now() + Duration::from_secs(2);
+        loop {
+            let stats = client.queue_stats("q").unwrap();
+            if stats.acked == 5 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "acks never applied: {stats:?}");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        client.close();
+        server.shutdown();
+    }
+
+    #[test]
+    fn pending_acks_flush_on_consumer_drop() {
+        let (server, client) = pair();
+        client.declare_queue("q", QueueOptions::default()).unwrap();
+        for i in 0..3u8 {
+            client
+                .publish_to_queue("q", Message::from_bytes(vec![i]))
+                .unwrap();
+        }
+        let consumer = client.subscribe("q").unwrap();
+        // Ack while more deliveries are still buffered locally, so the
+        // empty-buffer flush never fires for the early acks.
+        let deliveries = consumer.recv_batch(Duration::from_secs(2), 8).unwrap();
+        let n = deliveries.len();
+        for d in deliveries {
+            d.ack();
+        }
+        drop(consumer); // drop must flush whatever is still pending
+        let deadline = Instant::now() + Duration::from_secs(2);
+        loop {
+            let stats = client.queue_stats("q").unwrap();
+            if stats.acked as usize >= n {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "drop did not flush pending acks: {stats:?}"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        client.close();
         server.shutdown();
     }
 

@@ -57,26 +57,50 @@ impl From<FrameError> for MqError {
     }
 }
 
+/// Appends one length-prefixed frame to `out`. Returns the number of bytes
+/// appended (prefix + body).
+///
+/// The body is encoded directly after a 4-byte placeholder that is patched
+/// with the real length afterwards — no intermediate body buffer. This is
+/// the building block for coalesced writes: callers append several frames
+/// into one buffer and hand it to the socket in a single syscall.
+///
+/// # Errors
+///
+/// [`FrameError::Protocol`] if the encoded value exceeds [`MAX_FRAME`]; in
+/// that case `out` is truncated back to its original length.
+pub fn encode_frame_into(value: &Value, out: &mut Vec<u8>) -> Result<usize, FrameError> {
+    let start = out.len();
+    out.extend_from_slice(&[0u8; 4]);
+    BinaryCodec.encode_into(value, out);
+    let body_len = out.len() - start - 4;
+    if body_len > MAX_FRAME {
+        out.truncate(start);
+        return Err(FrameError::Protocol(format!(
+            "outgoing frame of {body_len} bytes exceeds MAX_FRAME"
+        )));
+    }
+    out[start..start + 4].copy_from_slice(&(body_len as u32).to_be_bytes());
+    Ok(4 + body_len)
+}
+
 /// Writes one frame. Returns the number of bytes put on the wire.
+///
+/// Prefix and body go out in a single buffered write (one syscall on an
+/// unbuffered socket), encoded through the thread-local [`wire::BufPool`]
+/// so the hot path does not allocate.
 ///
 /// # Errors
 ///
 /// [`FrameError::Protocol`] if the encoded value exceeds [`MAX_FRAME`],
 /// otherwise socket errors.
 pub fn write_frame(w: &mut impl Write, value: &Value) -> Result<usize, FrameError> {
-    let body = BinaryCodec.encode(value);
-    if body.len() > MAX_FRAME {
-        return Err(FrameError::Protocol(format!(
-            "outgoing frame of {} bytes exceeds MAX_FRAME",
-            body.len()
-        )));
-    }
-    let mut buf = Vec::with_capacity(4 + body.len());
-    buf.extend_from_slice(&(body.len() as u32).to_be_bytes());
-    buf.extend_from_slice(&body);
-    w.write_all(&buf)?;
-    w.flush()?;
-    Ok(buf.len())
+    wire::BufPool::with(|buf| {
+        let n = encode_frame_into(value, buf)?;
+        w.write_all(buf)?;
+        w.flush()?;
+        Ok(n)
+    })
 }
 
 /// Reads one frame, blocking until a full frame arrives.
@@ -117,12 +141,62 @@ pub fn read_frame(r: &mut impl Read) -> Result<(Value, usize), FrameError> {
 #[derive(Debug, Default)]
 pub struct FrameBuffer {
     partial: Vec<u8>,
+    /// `true` reads greedily ahead of the current frame boundary, so one
+    /// syscall can pull in many small frames; frames already buffered are
+    /// then handed out by [`FrameBuffer::take_buffered`] with no I/O.
+    greedy: bool,
 }
 
+/// Bytes pulled per read in greedy mode.
+const READAHEAD: usize = 64 * 1024;
+
 impl FrameBuffer {
-    /// Creates an empty buffer.
+    /// Creates an empty buffer that reads exactly one frame at a time.
     pub fn new() -> Self {
         FrameBuffer::default()
+    }
+
+    /// Creates a buffer that reads up to [`READAHEAD`] bytes per syscall
+    /// regardless of frame boundaries. Pair with
+    /// [`FrameBuffer::take_buffered`] to drain everything a single read
+    /// pulled in — the receive half of the coalesced-write protocol.
+    pub fn with_readahead() -> Self {
+        FrameBuffer {
+            partial: Vec::new(),
+            greedy: true,
+        }
+    }
+
+    /// Pops one complete frame already sitting in the buffer, without
+    /// touching the socket. `Ok(None)` when the buffered bytes end mid-frame
+    /// (or the buffer is empty).
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Protocol`] on an oversized prefix or undecodable body.
+    pub fn take_buffered(&mut self) -> Result<Option<(Value, usize)>, FrameError> {
+        if self.partial.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([
+            self.partial[0],
+            self.partial[1],
+            self.partial[2],
+            self.partial[3],
+        ]) as usize;
+        if len > MAX_FRAME {
+            return Err(FrameError::Protocol(format!(
+                "incoming frame length {len} exceeds MAX_FRAME"
+            )));
+        }
+        if self.partial.len() < 4 + len {
+            return Ok(None);
+        }
+        let value = BinaryCodec
+            .decode(&self.partial[4..4 + len])
+            .map_err(|e| FrameError::Protocol(format!("undecodable frame body: {e}")))?;
+        self.partial.drain(..4 + len);
+        Ok(Some((value, 4 + len)))
     }
 
     /// Makes progress on the current frame. Returns `Ok(Some(..))` with a
@@ -134,28 +208,14 @@ impl FrameBuffer {
     /// Same failure modes as [`read_frame`].
     pub fn read_step(&mut self, r: &mut impl Read) -> Result<Option<(Value, usize)>, FrameError> {
         loop {
-            if self.partial.len() >= 4 {
-                let len = u32::from_be_bytes([
-                    self.partial[0],
-                    self.partial[1],
-                    self.partial[2],
-                    self.partial[3],
-                ]) as usize;
-                if len > MAX_FRAME {
-                    return Err(FrameError::Protocol(format!(
-                        "incoming frame length {len} exceeds MAX_FRAME"
-                    )));
-                }
-                if self.partial.len() == 4 + len {
-                    let value = BinaryCodec.decode(&self.partial[4..]).map_err(|e| {
-                        FrameError::Protocol(format!("undecodable frame body: {e}"))
-                    })?;
-                    let total = self.partial.len();
-                    self.partial.clear();
-                    return Ok(Some((value, total)));
-                }
+            if let Some(ok) = self.take_buffered()? {
+                return Ok(Some(ok));
             }
-            let target = if self.partial.len() < 4 {
+            // take_buffered validated the length prefix, so the exact-mode
+            // target below never asks for an oversized frame.
+            let target = if self.greedy {
+                self.partial.len() + READAHEAD
+            } else if self.partial.len() < 4 {
                 4
             } else {
                 4 + u32::from_be_bytes([
@@ -165,18 +225,29 @@ impl FrameBuffer {
                     self.partial[3],
                 ]) as usize
             };
-            let mut chunk = vec![0u8; target - self.partial.len()];
-            match r.read(&mut chunk) {
-                Ok(0) => return Err(FrameError::Eof),
-                Ok(n) => self.partial.extend_from_slice(&chunk[..n]),
+            let have = self.partial.len();
+            self.partial.resize(target, 0);
+            let read = r.read(&mut self.partial[have..]);
+            match read {
+                Ok(0) => {
+                    self.partial.truncate(have);
+                    return Err(FrameError::Eof);
+                }
+                Ok(n) => self.partial.truncate(have + n),
                 Err(e)
                     if e.kind() == std::io::ErrorKind::WouldBlock
                         || e.kind() == std::io::ErrorKind::TimedOut =>
                 {
-                    return Ok(None)
+                    self.partial.truncate(have);
+                    return Ok(None);
                 }
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-                Err(e) => return Err(FrameError::Io(e)),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+                    self.partial.truncate(have);
+                }
+                Err(e) => {
+                    self.partial.truncate(have);
+                    return Err(FrameError::Io(e));
+                }
             }
         }
     }
@@ -207,6 +278,9 @@ pub enum Request {
     ExchangeExists(String),
     /// `publish_to_queue(queue, message)`
     PublishToQueue(String, Message),
+    /// `publish_batch_to_queue(queue, messages)` — one frame, one broker
+    /// lock acquisition for the whole batch.
+    PublishBatch(String, Vec<Message>),
     /// `publish(exchange, routing_key, message)`
     Publish(String, String, Message),
     /// `subscribe(queue)` with a client-chosen subscription id and an
@@ -223,6 +297,9 @@ pub enum Request {
     Unsubscribe(u64),
     /// Acknowledges delivery `tag` of subscription `sub`.
     Ack(u64, u64),
+    /// Acknowledges several deliveries of subscription `sub` in one frame;
+    /// the freed credit is granted back cumulatively.
+    AckMany(u64, Vec<u64>),
     /// Requeues delivery `tag` of subscription `sub`.
     Requeue(u64, u64),
     /// `queue_stats(name)`
@@ -296,6 +373,17 @@ fn message_to_value(m: &Message) -> Value {
         ("payload".into(), Value::Bytes(m.payload().to_vec())),
         ("props".into(), props_to_value(m.properties())),
     ])
+}
+
+fn messages_to_value(msgs: &[Message]) -> Value {
+    Value::List(msgs.iter().map(message_to_value).collect())
+}
+
+fn messages_from_value(v: &Value) -> Result<Vec<Message>, FrameError> {
+    match v {
+        Value::List(items) => items.iter().map(message_from_value).collect(),
+        _ => Err(FrameError::Protocol("message batch is not a list".into())),
+    }
 }
 
 fn message_from_value(v: &Value) -> Result<Message, FrameError> {
@@ -375,6 +463,13 @@ impl Request {
                     ("message".into(), message_to_value(message)),
                 ],
             ),
+            Request::PublishBatch(queue, messages) => (
+                "publish_batch",
+                vec![
+                    ("queue".into(), Value::from(queue.clone())),
+                    ("messages".into(), messages_to_value(messages)),
+                ],
+            ),
             Request::Publish(exchange, key, message) => (
                 "publish",
                 vec![
@@ -397,6 +492,16 @@ impl Request {
                 vec![
                     ("sub".into(), Value::U64(*sub)),
                     ("tag".into(), Value::U64(*tag)),
+                ],
+            ),
+            Request::AckMany(sub, tags) => (
+                "ack_many",
+                vec![
+                    ("sub".into(), Value::U64(*sub)),
+                    (
+                        "tags".into(),
+                        Value::List(tags.iter().map(|t| Value::U64(*t)).collect()),
+                    ),
                 ],
             ),
             Request::Requeue(sub, tag) => (
@@ -475,6 +580,13 @@ impl Request {
                 )?;
                 Request::PublishToQueue(field_str(v, "queue")?, message)
             }
+            "publish_batch" => {
+                let messages = messages_from_value(
+                    v.field("messages")
+                        .map_err(|e| FrameError::Protocol(e.to_string()))?,
+                )?;
+                Request::PublishBatch(field_str(v, "queue")?, messages)
+            }
             "publish" => {
                 let message = message_from_value(
                     v.field("message")
@@ -489,6 +601,22 @@ impl Request {
             },
             "unsubscribe" => Request::Unsubscribe(field_u64(v, "sub")?),
             "ack" => Request::Ack(field_u64(v, "sub")?, field_u64(v, "tag")?),
+            "ack_many" => {
+                let tags = match v
+                    .field("tags")
+                    .map_err(|e| FrameError::Protocol(e.to_string()))?
+                {
+                    Value::List(items) => items
+                        .iter()
+                        .map(|t| {
+                            t.as_u64()
+                                .map_err(|e| FrameError::Protocol(format!("bad ack tag: {e}")))
+                        })
+                        .collect::<Result<Vec<u64>, _>>()?,
+                    _ => return Err(FrameError::Protocol("ack tags is not a list".into())),
+                };
+                Request::AckMany(field_u64(v, "sub")?, tags)
+            }
             "requeue" => Request::Requeue(field_u64(v, "sub")?, field_u64(v, "tag")?),
             "queue_stats" => Request::QueueStats(field_str(v, "name")?),
             "queue_depth" => Request::QueueDepth(field_str(v, "name")?),
@@ -770,8 +898,72 @@ mod tests {
             credit: 32,
         });
         roundtrip(Request::Ack(3, 99));
+        roundtrip(Request::AckMany(3, vec![99, 100, 101]));
+        roundtrip(Request::AckMany(1, vec![]));
         roundtrip(Request::QueueNames);
         roundtrip(Request::Ping);
+    }
+
+    #[test]
+    fn publish_batch_roundtrips() {
+        let msgs = vec![
+            Message::from_static(b"a"),
+            Message::with_properties(
+                b"b".as_slice(),
+                MessageProperties {
+                    correlation_id: Some("c".into()),
+                    ..Default::default()
+                },
+            ),
+        ];
+        let frame = Request::PublishBatch("q".into(), msgs).to_frame(5);
+        let (corr, back) = Request::from_frame(&frame).unwrap();
+        assert_eq!(corr, 5);
+        match back {
+            Request::PublishBatch(queue, msgs) => {
+                assert_eq!(queue, "q");
+                assert_eq!(msgs.len(), 2);
+                assert_eq!(msgs[0].payload(), b"a");
+                assert_eq!(msgs[1].payload(), b"b");
+                assert_eq!(msgs[1].properties().correlation_id.as_deref(), Some("c"));
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn encode_frame_into_coalesces_frames() {
+        // Several frames appended to one buffer must parse back as a
+        // stream, byte-identical to individual write_frame output.
+        let frames = [
+            Request::Ping.to_frame(1),
+            Request::QueueNames.to_frame(2),
+            Request::Ack(1, 9).to_frame(3),
+        ];
+        let mut coalesced = Vec::new();
+        let mut individual = Vec::new();
+        for v in &frames {
+            encode_frame_into(v, &mut coalesced).unwrap();
+            write_frame(&mut individual, v).unwrap();
+        }
+        assert_eq!(coalesced, individual);
+        let mut cursor = &coalesced[..];
+        for v in &frames {
+            let (back, _) = read_frame(&mut cursor).unwrap();
+            assert_eq!(&back, v);
+        }
+        assert!(matches!(read_frame(&mut cursor), Err(FrameError::Eof)));
+    }
+
+    #[test]
+    fn oversized_encode_truncates_back() {
+        let huge = Value::Bytes(vec![0u8; MAX_FRAME + 16]);
+        let mut out = b"prefix".to_vec();
+        assert!(matches!(
+            encode_frame_into(&huge, &mut out),
+            Err(FrameError::Protocol(_))
+        ));
+        assert_eq!(out, b"prefix", "failed encode must not leave partial bytes");
     }
 
     #[test]

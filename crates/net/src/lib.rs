@@ -33,11 +33,12 @@ pub mod frame;
 mod client;
 mod proxy;
 mod server;
+mod tx;
 
 pub use client::{NetBroker, NetConfig};
 pub use frame::{
-    read_frame, stats_from_value, stats_to_value, write_frame, FrameBuffer, FrameError, Request,
-    ServerFrame, MAX_FRAME,
+    encode_frame_into, read_frame, stats_from_value, stats_to_value, write_frame, FrameBuffer,
+    FrameError, Request, ServerFrame, MAX_FRAME,
 };
 pub use proxy::FaultProxy;
-pub use server::BrokerServer;
+pub use server::{BrokerServer, ServerConfig};

@@ -258,7 +258,7 @@ mod tests {
         let (server, mut proxy, client) = proxied_pair();
         client.declare_queue("q", QueueOptions::default()).unwrap();
         client
-            .publish_to_queue("q", Message::from_bytes(b"via-proxy".to_vec()))
+            .publish_to_queue("q", Message::from_static(b"via-proxy"))
             .unwrap();
         assert_eq!(client.queue_depth("q").unwrap(), 1);
         assert!(proxy.bytes_forwarded() > 0);
@@ -276,7 +276,7 @@ mod tests {
         // The client reconnects (through the proxy again) and the retry
         // layer rides the request across the cut.
         client
-            .publish_to_queue("q", Message::from_bytes(b"again".to_vec()))
+            .publish_to_queue("q", Message::from_static(b"again"))
             .unwrap();
         assert_eq!(client.queue_depth("q").unwrap(), 1);
         assert!(proxy.links_opened() >= 2, "reconnect must open a new link");
@@ -292,7 +292,7 @@ mod tests {
         proxy.set_stalled(true);
         let publisher = client.clone();
         let h = std::thread::spawn(move || {
-            publisher.publish_to_queue("q", Message::from_bytes(b"held".to_vec()))
+            publisher.publish_to_queue("q", Message::from_static(b"held"))
         });
         std::thread::sleep(Duration::from_millis(150));
         assert!(!h.is_finished(), "publish must hang while stalled");

@@ -24,19 +24,49 @@
 //! that reconnects and resubscribes therefore sees exactly the at-least-once
 //! behaviour of the in-process broker.
 
-use crate::frame::{read_frame, write_frame, Request, ServerFrame};
+use crate::frame::{encode_frame_into, FrameBuffer, Request, ServerFrame};
 use crate::stats_to_value;
+use crate::tx::{OutBuf, TxObs, MAX_SPARE};
 use mqsim::{Delivery, MessageBroker, MqError, MqResult};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
+use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
 use std::time::Duration;
 use wire::Value;
 
 /// Poll interval of subscription pump loops; bounds shutdown latency.
 const PUMP_POLL: Duration = Duration::from_millis(20);
+
+/// Fastest fallback-pump poll, used while the pump is actually delivering
+/// (direct dispatch missing); decays toward [`PUMP_POLL`] when idle.
+const PUMP_POLL_MIN: Duration = Duration::from_millis(2);
+
+/// Flush the out-buffer mid-burst once this many frames have coalesced,
+/// bounding how long the first reply of a large burst waits on the rest.
+const MAX_COALESCED_FRAMES: u64 = 32;
+
+/// Tuning knobs for a [`BrokerServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Whether subscription pumps push several pending deliveries per
+    /// wakeup (bounded by credit and `max_batch`). When `false`, every
+    /// delivery is pumped and written individually.
+    pub batch: bool,
+    /// Upper bound on deliveries pushed per pump wakeup when batching.
+    pub max_batch: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            batch: true,
+            max_batch: 64,
+        }
+    }
+}
 
 /// A TCP front-end for one [`MessageBroker`].
 pub struct BrokerServer {
@@ -47,9 +77,30 @@ pub struct BrokerServer {
 
 struct ServerShared {
     broker: MessageBroker,
+    config: ServerConfig,
     stop: AtomicBool,
     conns: Mutex<Vec<Arc<ConnShared>>>,
+    /// Dispatch registry: every live subscription across every connection,
+    /// indexed by queue name. The reader thread that executes a publish
+    /// looks its queue up here and pushes the resulting deliveries straight
+    /// into the subscriber connection's out-buffer — same-connection
+    /// deliveries coalesce into the very write that carries the publish
+    /// reply, and cross-connection deliveries skip the pump-thread wakeup.
+    /// Entries are weak so the registry never extends a subscription's
+    /// lifetime (dropping `SubShared` is what requeues unacked messages).
+    dispatch: Mutex<Vec<DispatchEntry>>,
+    /// Round-robin cursor over dispatch targets, so a competing-consumer
+    /// pool shares a queue instead of the first-registered subscription
+    /// with spare credit soaking up everything.
+    dispatch_cursor: AtomicU64,
+    deliveries: Arc<obs::Counter>,
     connections_gauge: Arc<obs::Gauge>,
+}
+
+struct DispatchEntry {
+    queue: String,
+    conn: Weak<ConnShared>,
+    sub: Weak<SubShared>,
 }
 
 /// State shared between a connection's reader thread and its pump threads.
@@ -57,12 +108,26 @@ struct ConnShared {
     id: u64,
     stream: TcpStream,
     writer: Mutex<TcpStream>,
+    /// Encoded frames waiting for the next coalesced write.
+    out: Mutex<OutBuf>,
+    /// Recycled drain buffer, so steady-state flushing never allocates.
+    spare: Mutex<Vec<u8>>,
     subs: Mutex<HashMap<u64, Arc<SubShared>>>,
     dead: AtomicBool,
+    bytes_out: Arc<obs::Counter>,
+    tx: TxObs,
 }
 
 struct SubShared {
-    /// Remaining delivery credit; pump parks at zero.
+    /// Wire id of this subscription on its connection.
+    sub: u64,
+    /// The broker-side consumer. The mutex is the dispatch serializer:
+    /// whoever holds it owns the budget-read → take → credit-decrement
+    /// sequence (so two dispatchers cannot overdraw the window) and the
+    /// frame enqueue (so per-subscription delivery order stays FIFO).
+    /// Dropping the consumer requeues its unacked broker deliveries.
+    consumer: Mutex<mqsim::Consumer>,
+    /// Remaining delivery credit; dispatch stops at zero.
     credit: Mutex<u64>,
     credit_cv: Condvar,
     /// Deliveries pushed to the client and not yet acked/requeued, by tag.
@@ -88,6 +153,29 @@ impl SubShared {
         Ok(())
     }
 
+    /// Acknowledges a batch of tags in one pass and grants the freed credit
+    /// back cumulatively. Unknown tags are skipped (a redundant cumulative
+    /// ack must not fail the connection).
+    fn resolve_many(&self, tags: &[u64]) -> MqResult<()> {
+        let mut deliveries = Vec::with_capacity(tags.len());
+        {
+            let mut unacked = self.unacked.lock();
+            for tag in tags {
+                if let Some(d) = unacked.remove(tag) {
+                    deliveries.push(d);
+                }
+            }
+        }
+        let n = deliveries.len() as u64;
+        if n == 0 {
+            return Ok(());
+        }
+        Delivery::ack_all(deliveries);
+        *self.credit.lock() += n;
+        self.credit_cv.notify_one();
+        Ok(())
+    }
+
     fn shutdown(&self) {
         self.stop.store(true, Ordering::Release);
         self.credit_cv.notify_all();
@@ -104,14 +192,79 @@ impl ConnShared {
         }
     }
 
-    /// Serializes one frame to the client. Any error kills the connection.
-    fn send(&self, frame: &Value) {
-        let mut writer = self.writer.lock();
-        match write_frame(&mut *writer, frame) {
-            Ok(n) => obs::counter("net.server.bytes_out").add(n as u64),
+    /// Encodes a frame into the out-buffer *without* draining it, so a burst
+    /// of requests can be answered with one coalesced write. The caller owns
+    /// the eventual `flush_out`. Any error kills the connection.
+    fn enqueue(&self, frame: &Value) {
+        let mut out = self.out.lock();
+        match encode_frame_into(frame, &mut out.buf) {
+            Ok(_) => out.frames += 1,
             Err(_) => {
-                drop(writer);
+                drop(out);
                 self.kill();
+            }
+        }
+    }
+
+    /// Enqueues several frames and drains the send queue. Reply frames and
+    /// pump deliveries from concurrent threads coalesce: whoever holds the
+    /// writer drains everything that accumulated, one `write_all` + `flush`
+    /// per drained batch. Any error kills the connection.
+    fn send_many(&self, frames: &[Value]) {
+        {
+            let mut out = self.out.lock();
+            for frame in frames {
+                match encode_frame_into(frame, &mut out.buf) {
+                    Ok(_) => out.frames += 1,
+                    Err(_) => {
+                        drop(out);
+                        self.kill();
+                        return;
+                    }
+                }
+            }
+        }
+        self.flush_out();
+    }
+
+    /// Drains the out-buffer through the socket. Flat-combining: if another
+    /// thread holds the writer it will pick up our bytes, so contenders
+    /// return immediately instead of queueing on the writer lock.
+    fn flush_out(&self) {
+        loop {
+            let mut writer = match self.writer.try_lock() {
+                Some(w) => w,
+                // The holder drains everything enqueued before releasing.
+                None => return,
+            };
+            loop {
+                let (mut drain, frames) = {
+                    let mut out = self.out.lock();
+                    if out.buf.is_empty() {
+                        break;
+                    }
+                    let mut drain = std::mem::take(&mut *self.spare.lock());
+                    std::mem::swap(&mut drain, &mut out.buf);
+                    (drain, std::mem::take(&mut out.frames))
+                };
+                let res = writer.write_all(&drain).and_then(|()| writer.flush());
+                self.bytes_out.add(drain.len() as u64);
+                self.tx.record_drain(drain.len(), frames);
+                drain.clear();
+                if drain.capacity() <= MAX_SPARE {
+                    *self.spare.lock() = drain;
+                }
+                if res.is_err() {
+                    drop(writer);
+                    self.kill();
+                    return;
+                }
+            }
+            drop(writer);
+            // Lost-wakeup guard: a frame enqueued while we were releasing
+            // the writer saw `try_lock` fail and went home — re-check.
+            if self.out.lock().buf.is_empty() {
+                return;
             }
         }
     }
@@ -126,12 +279,29 @@ impl BrokerServer {
     ///
     /// Propagates socket errors from bind.
     pub fn bind(addr: impl ToSocketAddrs, broker: MessageBroker) -> std::io::Result<Self> {
+        Self::bind_with(addr, broker, ServerConfig::default())
+    }
+
+    /// Like [`BrokerServer::bind`], with explicit tuning knobs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from bind.
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        broker: MessageBroker,
+        config: ServerConfig,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(ServerShared {
             broker,
+            config,
             stop: AtomicBool::new(false),
             conns: Mutex::new(Vec::new()),
+            dispatch: Mutex::new(Vec::new()),
+            dispatch_cursor: AtomicU64::new(0),
+            deliveries: obs::counter("net.server.deliveries_total"),
             connections_gauge: obs::gauge("net.server.connections"),
         });
         let accept_shared = shared.clone();
@@ -223,8 +393,12 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
             id: next_conn,
             stream,
             writer: Mutex::new(writer),
+            out: Mutex::new(OutBuf::default()),
+            spare: Mutex::new(Vec::new()),
             subs: Mutex::new(HashMap::new()),
             dead: AtomicBool::new(false),
+            bytes_out: obs::counter("net.server.bytes_out"),
+            tx: TxObs::new(),
         });
         {
             let mut conns = shared.conns.lock();
@@ -235,11 +409,27 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
         obs::counter("net.server.accepts_total").inc();
         let conn_shared = shared.clone();
         std::thread::spawn(move || {
-            reader_loop(&conn, &conn_shared);
-            conn.kill();
-            let mut conns = conn_shared.conns.lock();
-            conns.retain(|c| c.id != conn.id && !c.dead.load(Ordering::Acquire));
-            conn_shared.connections_gauge.set(conns.len() as f64);
+            // Tear the connection down even if the reader panics: a
+            // zombie connection would strand its clients (requests
+            // unanswered, unacked deliveries never requeued) until
+            // their call timeouts fire.
+            struct Cleanup {
+                conn: Arc<ConnShared>,
+                shared: Arc<ServerShared>,
+            }
+            impl Drop for Cleanup {
+                fn drop(&mut self) {
+                    self.conn.kill();
+                    let mut conns = self.shared.conns.lock();
+                    conns.retain(|c| c.id != self.conn.id && !c.dead.load(Ordering::Acquire));
+                    self.shared.connections_gauge.set(conns.len() as f64);
+                }
+            }
+            let cleanup = Cleanup {
+                conn,
+                shared: conn_shared,
+            };
+            reader_loop(&cleanup.conn, &cleanup.shared);
         });
     }
 }
@@ -251,30 +441,66 @@ fn reader_loop(conn: &Arc<ConnShared>, shared: &Arc<ServerShared>) {
         Ok(r) => r,
         Err(_) => return,
     };
+    // Batched mode reads ahead of frame boundaries: one syscall can pull in
+    // a whole pipeline of requests, which are then all answered with one
+    // coalesced write. Unbatched keeps the pre-batching one-frame-per-read,
+    // one-write-per-reply protocol for A/B comparison.
+    let mut frames = if shared.config.batch {
+        FrameBuffer::with_readahead()
+    } else {
+        FrameBuffer::new()
+    };
     loop {
         if conn.dead.load(Ordering::Acquire) || shared.stop.load(Ordering::Acquire) {
             return;
         }
-        let (frame, n) = match read_frame(&mut reader) {
-            Ok(ok) => ok,
+        let first = match frames.read_step(&mut reader) {
+            Ok(Some(ok)) => ok,
+            Ok(None) => continue,
             Err(_) => return, // EOF, reset, or garbage: tear the connection down
         };
-        bytes_in.add(n as u64);
-        let started = std::time::Instant::now();
-        let (corr, request) = match Request::from_frame(&frame) {
-            Ok(ok) => ok,
-            Err(_) => return, // protocol violation: hang up
-        };
-        let mut after_reply = None;
-        let result = execute(conn, shared, request, &mut after_reply);
-        conn.send(&ServerFrame::Reply { corr, result }.to_value());
-        // A subscription's pump starts only after its reply frame is on the
-        // wire, so the client never sees a delivery precede the subscribe
-        // confirmation.
-        if let Some(start) = after_reply.take() {
-            start();
+        // Handle this frame and everything the same read pulled in.
+        let mut next = Some(first);
+        while let Some((frame, n)) = next.take() {
+            bytes_in.add(n as u64);
+            let started = std::time::Instant::now();
+            let (corr, request) = match Request::from_frame(&frame) {
+                Ok(ok) => ok,
+                Err(_) => {
+                    conn.flush_out();
+                    return; // protocol violation: hang up
+                }
+            };
+            let mut after_reply = None;
+            let result = execute(conn, shared, request, &mut after_reply);
+            conn.enqueue(&ServerFrame::Reply { corr, result }.to_value());
+            // A subscription's pump starts only once its reply frame is in
+            // the out-buffer. Byte *order* — not flush timing — is what
+            // guarantees the client never sees a delivery precede the
+            // subscribe confirmation, since pump frames can only be
+            // enqueued after the reply.
+            if let Some(start) = after_reply.take() {
+                start();
+            }
+            frame_seconds.record(started.elapsed());
+            // Cap the coalesced burst: under congestion a single greedy
+            // read can pull in hundreds of requests, and holding every
+            // reply until the burst finishes would trade median latency
+            // for syscall count. A bounded flush keeps the amortization
+            // (dozens of frames per write) without the head-of-burst
+            // replies waiting on the tail's execution.
+            if conn.out.lock().frames >= MAX_COALESCED_FRAMES {
+                conn.flush_out();
+            }
+            next = match frames.take_buffered() {
+                Ok(buffered) => buffered,
+                Err(_) => {
+                    conn.flush_out();
+                    return;
+                }
+            };
         }
-        frame_seconds.record(started.elapsed());
+        conn.flush_out();
     }
 }
 
@@ -301,15 +527,34 @@ fn execute(
         Request::UnbindQueue(e, k, q) => broker.unbind_queue(&e, &k, &q).map(Value::Bool),
         Request::QueueExists(name) => Ok(Value::Bool(broker.queue_exists(&name))),
         Request::ExchangeExists(name) => Ok(Value::Bool(broker.exchange_exists(&name))),
-        Request::PublishToQueue(queue, message) => broker
-            .publish_to_queue(&queue, message)
-            .map(|()| Value::Null),
-        Request::Publish(exchange, key, message) => broker
-            .publish(&exchange, &key, message)
-            .map(|n| Value::U64(n as u64)),
+        Request::PublishToQueue(queue, message) => {
+            let res = broker.publish_to_queue(&queue, message);
+            if res.is_ok() && shared.config.batch {
+                *after_reply = Some(dispatch_hook(conn, shared, Some(queue)));
+            }
+            res.map(|()| Value::Null)
+        }
+        Request::PublishBatch(queue, messages) => {
+            let res = broker.publish_batch_to_queue(&queue, messages);
+            if res.is_ok() && shared.config.batch {
+                *after_reply = Some(dispatch_hook(conn, shared, Some(queue)));
+            }
+            res.map(|()| Value::Null)
+        }
+        Request::Publish(exchange, key, message) => {
+            let res = broker.publish(&exchange, &key, message);
+            // Exchange routing fans out to queues this thread does not
+            // know by name; offer deliveries to every subscription.
+            if matches!(res, Ok(n) if n > 0) && shared.config.batch {
+                *after_reply = Some(dispatch_hook(conn, shared, None));
+            }
+            res.map(|n| Value::U64(n as u64))
+        }
         Request::Subscribe { queue, sub, credit } => {
             let consumer = broker.subscribe(&queue)?;
             let sub_shared = Arc::new(SubShared {
+                sub,
+                consumer: Mutex::new(consumer),
                 credit: Mutex::new(credit.max(1)),
                 credit_cv: Condvar::new(),
                 unacked: Mutex::new(HashMap::new()),
@@ -319,9 +564,32 @@ fn execute(
             if let Some(p) = previous {
                 p.shutdown();
             }
+            shared.dispatch.lock().push(DispatchEntry {
+                queue,
+                conn: Arc::downgrade(conn),
+                sub: Arc::downgrade(&sub_shared),
+            });
             let pump_conn = conn.clone();
+            let pump_shared = shared.clone();
             *after_reply = Some(Box::new(move || {
-                std::thread::spawn(move || pump_loop(&pump_conn, &sub_shared, consumer, sub));
+                {
+                    let thread_conn = pump_conn.clone();
+                    let thread_shared = pump_shared.clone();
+                    let thread_sub = sub_shared.clone();
+                    std::thread::spawn(move || {
+                        pump_loop(&thread_conn, &thread_sub, &thread_shared)
+                    });
+                }
+                // Push any backlog right behind the subscribe reply; it
+                // rides the same coalesced write.
+                if pump_shared.config.batch {
+                    let max_batch = pump_shared.config.max_batch.max(1);
+                    if let Dispatch::Delivered { n, .. } =
+                        try_dispatch(&pump_conn, &sub_shared, max_batch)
+                    {
+                        pump_shared.deliveries.add(n);
+                    }
+                }
             }));
             Ok(Value::Null)
         }
@@ -332,8 +600,31 @@ fn execute(
             }
             None => Ok(Value::Bool(false)),
         },
-        Request::Ack(sub, tag) => with_sub(conn, sub, |s| s.resolve(tag, true)),
-        Request::Requeue(sub, tag) => with_sub(conn, sub, |s| s.resolve(tag, false)),
+        // Resolving deliveries frees credit, which may unblock ready
+        // messages for this very subscription: offer them right away so a
+        // credit-capped consumer is refilled by its own ack round trip
+        // instead of waiting for the fallback pump.
+        Request::Ack(sub, tag) => {
+            let res = with_sub(conn, sub, |s| s.resolve(tag, true));
+            if res.is_ok() && shared.config.batch {
+                *after_reply = Some(sub_dispatch_hook(conn, shared, sub));
+            }
+            res
+        }
+        Request::AckMany(sub, tags) => {
+            let res = with_sub(conn, sub, |s| s.resolve_many(&tags));
+            if res.is_ok() && shared.config.batch {
+                *after_reply = Some(sub_dispatch_hook(conn, shared, sub));
+            }
+            res
+        }
+        Request::Requeue(sub, tag) => {
+            let res = with_sub(conn, sub, |s| s.resolve(tag, false));
+            if res.is_ok() && shared.config.batch {
+                *after_reply = Some(sub_dispatch_hook(conn, shared, sub));
+            }
+            res
+        }
         Request::QueueStats(name) => broker.queue_stats(&name).map(|s| stats_to_value(&s)),
         Request::QueueDepth(name) => broker.queue_depth(&name).map(|n| Value::U64(n as u64)),
         Request::QueueArrivalRate(name) => broker.queue_arrival_rate(&name).map(Value::F64),
@@ -358,20 +649,195 @@ fn with_sub(
     f(&sub_shared).map(|()| Value::Null)
 }
 
-/// Pulls deliveries off the broker queue and pushes them to the client,
-/// holding each in the unacked map until the client resolves it.
-fn pump_loop(
+/// Outcome of one [`try_dispatch`] attempt.
+enum Dispatch {
+    /// Deliveries were enqueued on the connection's out-buffer. `drained`
+    /// means the queue ran out before the budget did, so siblings of a
+    /// competing-consumer pool have nothing left to take.
+    Delivered { n: u64, drained: bool },
+    /// Nothing to push: no credit, nothing ready, or another dispatcher
+    /// holds the consumer (and will deliver what we would have).
+    Idle,
+    /// The queue was deleted; the subscription is dead.
+    Closed,
+}
+
+/// Opportunistically pushes ready broker messages for one subscription,
+/// encoding `deliver` frames into the owning connection's out-buffer. The
+/// caller owns the eventual flush, so a reader thread dispatching to its
+/// own connection coalesces the deliveries into the write that carries its
+/// reply burst.
+///
+/// The consumer mutex is held from the budget read to the credit decrement
+/// (two dispatchers cannot overdraw the window) and across the enqueue
+/// (per-subscription delivery order stays FIFO). `try_lock` keeps reader
+/// threads from ever parking here: whoever holds the consumer is already
+/// delivering the same messages.
+fn try_dispatch(conn: &ConnShared, s: &SubShared, max_batch: usize) -> Dispatch {
+    let consumer = match s.consumer.try_lock() {
+        Some(c) => c,
+        None => return Dispatch::Idle,
+    };
+    if s.stop.load(Ordering::Acquire) || conn.dead.load(Ordering::Acquire) {
+        return Dispatch::Idle;
+    }
+    let budget = (*s.credit.lock()).min(max_batch as u64) as usize;
+    if budget == 0 {
+        return Dispatch::Idle;
+    }
+    let batch = consumer.try_recv_batch(budget);
+    if batch.is_empty() {
+        return if consumer.is_closed() {
+            Dispatch::Closed
+        } else {
+            Dispatch::Idle
+        };
+    }
+    let drained = batch.len() < budget;
+    let n = batch.len() as u64;
+    let mut frames = Vec::with_capacity(batch.len());
+    {
+        let mut unacked = s.unacked.lock();
+        for delivery in batch {
+            let tag = delivery.tag.value();
+            frames.push(
+                ServerFrame::Deliver {
+                    sub: s.sub,
+                    tag,
+                    redelivered: delivery.redelivered,
+                    message: delivery.message.clone(),
+                }
+                .to_value(),
+            );
+            unacked.insert(tag, delivery);
+        }
+    }
+    *s.credit.lock() -= n;
+    for frame in &frames {
+        conn.enqueue(frame);
+    }
+    drop(consumer);
+    Dispatch::Delivered { n, drained }
+}
+
+/// After-reply hook: push ready deliveries for every live subscription of
+/// `queue` (all queues when `None`, for exchange fanout) straight from the
+/// reader thread that executed the publish.
+fn dispatch_hook(
     conn: &Arc<ConnShared>,
-    sub_shared: &Arc<SubShared>,
-    consumer: mqsim::Consumer,
-    sub: u64,
-) {
-    let deliveries = obs::counter("net.server.deliveries_total");
+    shared: &Arc<ServerShared>,
+    queue: Option<String>,
+) -> AfterReply {
+    let conn = conn.clone();
+    let shared = shared.clone();
+    Box::new(move || dispatch_ready(&conn, &shared, queue.as_deref()))
+}
+
+/// After-reply hook: push ready deliveries for one subscription on this
+/// connection (used after acks free credit). No flush — the frames ride
+/// the reader thread's burst flush.
+fn sub_dispatch_hook(conn: &Arc<ConnShared>, shared: &Arc<ServerShared>, sub: u64) -> AfterReply {
+    let conn = conn.clone();
+    let shared = shared.clone();
+    Box::new(move || {
+        let target = conn.subs.lock().get(&sub).cloned();
+        if let Some(s) = target {
+            if let Dispatch::Delivered { n, .. } =
+                try_dispatch(&conn, &s, shared.config.max_batch.max(1))
+            {
+                shared.deliveries.add(n);
+            }
+        }
+    })
+}
+
+/// Walks the dispatch registry (pruning dead entries) and offers ready
+/// deliveries to each matching subscription. Cross-connection deliveries
+/// are flushed here; same-connection frames are left in the out-buffer for
+/// the calling reader thread's burst flush.
+fn dispatch_ready(current: &ConnShared, shared: &ServerShared, queue: Option<&str>) {
+    let max_batch = shared.config.max_batch.max(1);
+    let mut saw_dead = false;
+    let targets: Vec<(Arc<ConnShared>, Arc<SubShared>)> = {
+        let mut registry = shared.dispatch.lock();
+        let mut live = Vec::new();
+        for e in registry.iter() {
+            match (e.conn.upgrade(), e.sub.upgrade()) {
+                (Some(c), Some(s)) => {
+                    if c.dead.load(Ordering::Acquire) || s.stop.load(Ordering::Acquire) {
+                        saw_dead = true;
+                    } else if queue.is_none_or(|q| e.queue == q) {
+                        live.push((c, s));
+                    }
+                }
+                _ => saw_dead = true,
+            }
+        }
+        // Prune only when this walk actually saw a dead entry; the common
+        // publish path stays a read-mostly scan.
+        if saw_dead {
+            registry.retain(|e| match (e.conn.upgrade(), e.sub.upgrade()) {
+                (Some(c), Some(s)) => {
+                    !c.dead.load(Ordering::Acquire) && !s.stop.load(Ordering::Acquire)
+                }
+                _ => false,
+            });
+        }
+        live
+    };
+    if targets.is_empty() {
+        return;
+    }
+    // Competing consumers: rotate the starting point and cap how much any
+    // one subscription takes, so a pool of workers shares a queue instead
+    // of the first-registered consumer with spare credit soaking up
+    // everything.
+    let per_sub = if targets.len() > 1 {
+        (max_batch / targets.len()).max(1)
+    } else {
+        max_batch
+    };
+    let start = shared.dispatch_cursor.fetch_add(1, Ordering::Relaxed) as usize % targets.len();
+    for i in 0..targets.len() {
+        let (conn, sub) = &targets[(start + i) % targets.len()];
+        if let Dispatch::Delivered { n, drained } = try_dispatch(conn, sub, per_sub) {
+            shared.deliveries.add(n);
+            if conn.id != current.id {
+                conn.flush_out();
+            }
+            // The queue gave out before the budget did: the siblings have
+            // nothing left to take.
+            if drained {
+                return;
+            }
+        }
+    }
+}
+
+/// Fallback delivery loop, one per subscription: catches whatever direct
+/// dispatch missed — backlogs left over when a dispatch hit its batch cap,
+/// messages requeued by other consumers, and fanout into mirrored queues
+/// that no publish request names.
+///
+/// In batched mode this loop deliberately *sleeps* between polls instead of
+/// waiting on the queue condvar: direct dispatch already delivers on the
+/// publishing reader thread, and a condvar-parked pump would wake (one
+/// context switch each) on every publish just to find the message gone.
+/// Unbatched mode keeps the pre-batching shape — a blocking one-message
+/// receive and an individual write per delivery — for A/B comparison.
+///
+/// Exit drops this thread's `SubShared` reference; once the connection's
+/// sub map lets go too, the consumer and unacked map drop and every
+/// outstanding delivery is requeued.
+fn pump_loop(conn: &Arc<ConnShared>, sub_shared: &Arc<SubShared>, shared: &Arc<ServerShared>) {
+    let batch = shared.config.batch;
+    let max_batch = shared.config.max_batch.max(1);
+    let mut poll = PUMP_POLL_MIN;
     loop {
         if sub_shared.stop.load(Ordering::Acquire) || conn.dead.load(Ordering::Acquire) {
-            // Dropping `consumer` and the unacked map requeues everything.
             return;
         }
+        // Park until there is credit to spend.
         {
             let mut credit = sub_shared.credit.lock();
             while *credit == 0 {
@@ -387,23 +853,54 @@ fn pump_loop(
                 }
             }
         }
-        let delivery = match consumer.recv_timeout(PUMP_POLL) {
-            Ok(d) => d,
+        if batch {
+            match try_dispatch(conn, sub_shared, max_batch) {
+                Dispatch::Delivered { n, .. } => {
+                    shared.deliveries.add(n);
+                    conn.flush_out();
+                    poll = PUMP_POLL_MIN;
+                }
+                // Adaptive backoff: a pump that is actually needed (direct
+                // dispatch keeps missing) polls fast; an idle fallback
+                // decays so dozens of sleeping pumps cost almost nothing.
+                Dispatch::Idle => {
+                    std::thread::sleep(poll);
+                    poll = (poll * 2).min(PUMP_POLL);
+                }
+                Dispatch::Closed => return,
+            }
+            continue;
+        }
+        let received = {
+            let consumer = sub_shared.consumer.lock();
+            consumer.recv_batch(PUMP_POLL, 1)
+        };
+        let batch_msgs = match received {
+            Ok(batch) => batch,
             Err(MqError::RecvTimeout) => continue,
             Err(_) => return, // queue deleted
         };
-        let tag = delivery.tag.value();
-        let frame = ServerFrame::Deliver {
-            sub,
-            tag,
-            redelivered: delivery.redelivered,
-            message: delivery.message.clone(),
+        let n = batch_msgs.len() as u64;
+        let mut frames = Vec::with_capacity(batch_msgs.len());
+        {
+            let mut unacked = sub_shared.unacked.lock();
+            for delivery in batch_msgs {
+                let tag = delivery.tag.value();
+                frames.push(
+                    ServerFrame::Deliver {
+                        sub: sub_shared.sub,
+                        tag,
+                        redelivered: delivery.redelivered,
+                        message: delivery.message.clone(),
+                    }
+                    .to_value(),
+                );
+                unacked.insert(tag, delivery);
+            }
         }
-        .to_value();
-        *sub_shared.credit.lock() -= 1;
-        sub_shared.unacked.lock().insert(tag, delivery);
-        deliveries.inc();
-        conn.send(&frame);
+        *sub_shared.credit.lock() -= n;
+        shared.deliveries.add(n);
+        conn.send_many(&frames);
         if conn.dead.load(Ordering::Acquire) {
             return;
         }
@@ -413,6 +910,7 @@ fn pump_loop(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::frame::{read_frame, write_frame};
     use mqsim::Message;
 
     fn connect(server: &BrokerServer) -> TcpStream {
@@ -444,7 +942,7 @@ mod tests {
         .unwrap();
         call(
             &mut c,
-            Request::PublishToQueue("q".into(), Message::from_bytes(b"hi".to_vec())),
+            Request::PublishToQueue("q".into(), Message::from_static(b"hi")),
             2,
         )
         .unwrap();
@@ -498,7 +996,7 @@ mod tests {
         .unwrap();
         call(
             &mut c,
-            Request::PublishToQueue("q".into(), Message::from_bytes(b"m".to_vec())),
+            Request::PublishToQueue("q".into(), Message::from_static(b"m")),
             2,
         )
         .unwrap();
@@ -531,6 +1029,97 @@ mod tests {
                 "message was not requeued: {stats:?}"
             );
             std::thread::sleep(Duration::from_millis(10));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn publish_batch_and_ack_many_over_the_wire() {
+        let server = BrokerServer::bind("127.0.0.1:0", MessageBroker::new()).unwrap();
+        let mut c = connect(&server);
+        call(
+            &mut c,
+            Request::DeclareQueue("q".into(), Default::default()),
+            1,
+        )
+        .unwrap();
+        let batch: Vec<Message> = (0..6u8).map(|i| Message::from_bytes(vec![i])).collect();
+        call(&mut c, Request::PublishBatch("q".into(), batch), 2).unwrap();
+        assert_eq!(server.broker().queue_stats("q").unwrap().published, 6);
+        call(
+            &mut c,
+            Request::Subscribe {
+                queue: "q".into(),
+                sub: 1,
+                credit: 16,
+            },
+            3,
+        )
+        .unwrap();
+        // All six deliveries arrive, in order, then get acked in one frame.
+        let mut tags = Vec::new();
+        while tags.len() < 6 {
+            let (frame, _) = read_frame(&mut c).unwrap();
+            match ServerFrame::from_value(&frame).unwrap() {
+                ServerFrame::Deliver { tag, message, .. } => {
+                    assert_eq!(message.payload(), &[tags.len() as u8]);
+                    tags.push(tag);
+                }
+                other => panic!("expected deliver, got {other:?}"),
+            }
+        }
+        call(&mut c, Request::AckMany(1, tags.clone()), 4).unwrap();
+        let stats = server.broker().queue_stats("q").unwrap();
+        assert_eq!(stats.acked, 6);
+        assert_eq!(stats.unacked, 0);
+        // Redundant cumulative ack is tolerated.
+        call(&mut c, Request::AckMany(1, tags), 5).unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn unbatched_config_still_delivers() {
+        let server = BrokerServer::bind_with(
+            "127.0.0.1:0",
+            MessageBroker::new(),
+            ServerConfig {
+                batch: false,
+                max_batch: 1,
+            },
+        )
+        .unwrap();
+        let mut c = connect(&server);
+        call(
+            &mut c,
+            Request::DeclareQueue("q".into(), Default::default()),
+            1,
+        )
+        .unwrap();
+        call(
+            &mut c,
+            Request::PublishToQueue("q".into(), Message::from_static(b"solo")),
+            2,
+        )
+        .unwrap();
+        call(
+            &mut c,
+            Request::Subscribe {
+                queue: "q".into(),
+                sub: 1,
+                credit: 4,
+            },
+            3,
+        )
+        .unwrap();
+        let (frame, _) = read_frame(&mut c).unwrap();
+        match ServerFrame::from_value(&frame).unwrap() {
+            ServerFrame::Deliver {
+                sub, tag, message, ..
+            } => {
+                assert_eq!(message.payload(), b"solo");
+                call(&mut c, Request::Ack(sub, tag), 4).unwrap();
+            }
+            other => panic!("expected deliver, got {other:?}"),
         }
         server.shutdown();
     }

@@ -1,0 +1,48 @@
+//! Shared transmit-side instrumentation for coalesced socket writes.
+//!
+//! Both the server and the client drain their send queues through one
+//! `write_all` + `flush` per batch; [`TxObs`] records how well that batching
+//! is doing. `net.tx.frames_total / net.tx.syscalls_total` is the average
+//! frames-per-syscall; `net.tx.bytes_total / net.tx.syscalls_total` the
+//! bytes-per-syscall.
+
+use std::sync::Arc;
+
+/// Spare drain buffers larger than this are dropped instead of recycled.
+pub(crate) const MAX_SPARE: usize = 256 * 1024;
+
+/// Process-global transmit metrics, resolved once per connection.
+#[derive(Debug, Clone)]
+pub(crate) struct TxObs {
+    bytes: Arc<obs::Counter>,
+    syscalls: Arc<obs::Counter>,
+    frames: Arc<obs::Counter>,
+    batch_size: Arc<obs::Histogram>,
+}
+
+impl TxObs {
+    pub(crate) fn new() -> Self {
+        TxObs {
+            bytes: obs::counter("net.tx.bytes_total"),
+            syscalls: obs::counter("net.tx.syscalls_total"),
+            frames: obs::counter("net.tx.frames_total"),
+            batch_size: obs::histogram("net.tx.batch_size"),
+        }
+    }
+
+    /// Records one coalesced write: `bytes` on the wire carrying `frames`
+    /// frames in a single `write_all` + `flush`.
+    pub(crate) fn record_drain(&self, bytes: usize, frames: u64) {
+        self.bytes.add(bytes as u64);
+        self.syscalls.inc();
+        self.frames.add(frames);
+        self.batch_size.record_value(frames as f64);
+    }
+}
+
+/// A pending-output buffer: encoded frames waiting for the next drain.
+#[derive(Debug, Default)]
+pub(crate) struct OutBuf {
+    pub(crate) buf: Vec<u8>,
+    pub(crate) frames: u64,
+}

@@ -89,7 +89,7 @@ impl Proxy {
         expect_reply: bool,
         trace: Option<&obs::SpanContext>,
     ) -> Message {
-        let payload = self.codec.encode(&request.to_value());
+        let payload = wire::encode_to_bytes(self.codec.as_ref(), &request.to_value());
         let props = MessageProperties {
             correlation_id: Some(request.id.clone()),
             reply_to: expect_reply.then(|| self.response_queue.clone()),

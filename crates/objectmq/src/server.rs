@@ -277,7 +277,7 @@ fn serve_loop(ctx: LoopCtx, consumer: Box<dyn MessageConsumer>) {
                 id: request.id.clone(),
                 outcome,
             };
-            let payload = ctx.codec.encode(&response.to_value());
+            let payload = wire::encode_to_bytes(ctx.codec.as_ref(), &response.to_value());
             let props = MessageProperties {
                 correlation_id: Some(request.id),
                 reply_to: None,

@@ -364,10 +364,9 @@ fn supervise_loop(
     let shutdown_count = obs::counter("omq.supervisor.shutdowns_total");
     while !stop.load(Ordering::Acquire) {
         // Heartbeat first: even an idle supervisor proves liveness.
-        let _ =
-            broker
-                .messaging()
-                .publish(HEARTBEAT_EXCHANGE, "", Message::from_bytes(b"hb".to_vec()));
+        let _ = broker
+            .messaging()
+            .publish(HEARTBEAT_EXCHANGE, "", Message::from_static(b"hb"));
         hb_count.inc();
 
         let desired = target.load(Ordering::Acquire).max(1);

@@ -176,6 +176,16 @@ impl Histogram {
         self.max_ns.fetch_max(ns, Ordering::Relaxed);
     }
 
+    /// Records a unitless magnitude (e.g. a batch size).
+    ///
+    /// Same bucketing as [`Histogram::record_secs`] — the "seconds" in
+    /// summaries then reads as the raw value. Useful for small counts
+    /// (1..~64); values above the top bucket bound are clamped.
+    #[inline]
+    pub fn record_value(&self, value: f64) {
+        self.record_secs(value);
+    }
+
     /// Number of recorded observations.
     pub fn count(&self) -> u64 {
         self.stripes

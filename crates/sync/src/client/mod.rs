@@ -24,7 +24,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use storage::{SwiftStore, Token};
-use wire::{Codec, Value};
+use wire::Value;
 
 /// Chunking strategy — one of the extension hooks the paper calls out
 /// ("the chunking and deduplication strategies" are replaceable, §4).
@@ -333,7 +333,7 @@ impl DesktopClient {
             shared.config.call_retries,
         )?;
         shared.stats.inner.control_received.fetch_add(
-            wire::BinaryCodec.encode(&state).len() as u64,
+            wire::encoded_len(&wire::BinaryCodec, &state) as u64,
             Ordering::Relaxed,
         );
         for item_value in state.as_list()? {
@@ -593,7 +593,7 @@ fn send_commit(shared: &Arc<ClientShared>, proposals: Vec<ItemMetadata>) -> Sync
         Value::from(shared.config.device.as_str()),
         Value::List(proposals.iter().map(item_to_value).collect()),
     ];
-    let encoded = wire::BinaryCodec.encode(&Value::List(args.clone())).len() as u64;
+    let encoded = wire::encoded_len(&wire::BinaryCodec, &Value::List(args.clone())) as u64;
     shared
         .stats
         .inner

@@ -193,8 +193,7 @@ impl CommitNotification {
     /// Encoded size under the default binary transport — used for control
     /// traffic accounting.
     pub fn encoded_size(&self) -> usize {
-        use wire::Codec;
-        wire::BinaryCodec.encode(&self.to_value()).len()
+        wire::encoded_len(&wire::BinaryCodec, &self.to_value())
     }
 }
 

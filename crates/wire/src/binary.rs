@@ -22,10 +22,8 @@ const TAG_MAP: u8 = 0x09;
 pub struct BinaryCodec;
 
 impl Codec for BinaryCodec {
-    fn encode(&self, value: &Value) -> Vec<u8> {
-        let mut out = Vec::with_capacity(64);
-        write_value(&mut out, value);
-        out
+    fn encode_into(&self, value: &Value, out: &mut Vec<u8>) {
+        write_value(out, value);
     }
 
     fn decode(&self, bytes: &[u8]) -> WireResult<Value> {
@@ -371,6 +369,28 @@ mod tests {
         fn prop_truncations_never_panic(v in arb_value(), cut in 0usize..4096) {
             let bytes = BinaryCodec.encode(&v);
             let _ = BinaryCodec.decode(&bytes[..cut.min(bytes.len())]);
+        }
+
+        #[test]
+        fn prop_encode_into_pooled_is_byte_identical(
+            values in proptest::collection::vec(arb_value(), 1..8),
+            prefix in proptest::collection::vec(any::<u8>(), 0..32),
+        ) {
+            // `encode_into` appends exactly the fresh-`Vec` encoding no
+            // matter what the buffer already holds, and pooled buffers
+            // (dirty from arbitrary earlier encodes) produce identical
+            // bytes for a whole sequence of values.
+            for v in &values {
+                let fresh = BinaryCodec.encode(v);
+
+                let mut buf = prefix.clone();
+                BinaryCodec.encode_into(v, &mut buf);
+                prop_assert_eq!(&buf[..prefix.len()], prefix.as_slice());
+                prop_assert_eq!(&buf[prefix.len()..], fresh.as_slice());
+
+                let pooled = crate::encode_pooled(&BinaryCodec, v, <[u8]>::to_vec);
+                prop_assert_eq!(pooled, fresh);
+            }
         }
 
         #[test]

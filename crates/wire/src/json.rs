@@ -17,8 +17,10 @@ use crate::Codec;
 pub struct JsonCodec;
 
 impl Codec for JsonCodec {
-    fn encode(&self, value: &Value) -> Vec<u8> {
-        to_json_string(value).into_bytes()
+    fn encode_into(&self, value: &Value, out: &mut Vec<u8>) {
+        let mut text = String::new();
+        write_value(&mut text, value);
+        out.extend_from_slice(text.as_bytes());
     }
 
     fn decode(&self, bytes: &[u8]) -> WireResult<Value> {

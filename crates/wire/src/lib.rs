@@ -33,11 +33,13 @@
 mod binary;
 mod error;
 mod json;
+mod pool;
 mod value;
 
 pub use binary::BinaryCodec;
 pub use error::{WireError, WireResult};
 pub use json::JsonCodec;
+pub use pool::{encode_pooled, encode_to_bytes, encoded_len, BufPool};
 pub use value::{FromValue, ToValue, Value};
 
 /// A transport encoding for [`Value`]s.
@@ -46,7 +48,22 @@ pub use value::{FromValue, ToValue, Value};
 /// `v` (NaN floats excepted).
 pub trait Codec: Send + Sync {
     /// Serializes a value to bytes.
-    fn encode(&self, value: &Value) -> Vec<u8>;
+    ///
+    /// Thin wrapper over [`Codec::encode_into`] with a fresh buffer. Hot
+    /// paths that encode repeatedly should prefer `encode_into` with a
+    /// reused buffer (see [`BufPool`]) so the allocation is amortized.
+    fn encode(&self, value: &Value) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        self.encode_into(value, &mut out);
+        out
+    }
+
+    /// Serializes a value, appending the bytes to `out`.
+    ///
+    /// Existing contents of `out` are left untouched; the encoding of
+    /// `value` must be byte-identical to what [`Codec::encode`] returns
+    /// regardless of the buffer's prior contents or capacity.
+    fn encode_into(&self, value: &Value, out: &mut Vec<u8>);
 
     /// Deserializes a value from bytes.
     ///
