@@ -54,7 +54,7 @@ fn bench_commit_dispatch(c: &mut Criterion) {
     let meta: Arc<dyn MetadataStore> = Arc::new(InMemoryStore::new());
     meta.create_user("bench").unwrap();
     let ws = meta.create_workspace("bench", "ws").unwrap();
-    let service = SyncService::new(meta, broker);
+    let service = SyncService::builder(&broker).store(meta).build();
 
     let mut version = 0u64;
     group.bench_function("commit_request_dispatch", |b| {

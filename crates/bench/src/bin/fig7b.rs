@@ -85,7 +85,7 @@ fn live_stack(trace: &Trace, benchmark_bytes: u64) {
     let broker = Broker::in_process();
     let store = SwiftStore::new(LatencyModel::instant());
     let meta: Arc<dyn MetadataStore> = Arc::new(InMemoryStore::new());
-    let service = SyncService::new(meta.clone(), broker.clone());
+    let service = SyncService::builder(&broker).store(meta.clone()).build();
     let _server = service.bind(&broker).expect("bind service");
     let ws = provision_user(meta.as_ref(), "bench", "ws").expect("provision");
     let client =

@@ -27,7 +27,7 @@ fn main() {
     let broker = Broker::in_process();
     let store = SwiftStore::new(LatencyModel::lan_cluster());
     let meta: Arc<dyn MetadataStore> = Arc::new(InMemoryStore::new());
-    let service = SyncService::new(meta.clone(), broker.clone());
+    let service = SyncService::builder(&broker).store(meta.clone()).build();
     let _server = service.bind(&broker).expect("bind");
     let ws = provision_user(meta.as_ref(), "alice", "ws").expect("provision");
 

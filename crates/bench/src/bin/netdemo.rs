@@ -63,7 +63,7 @@ fn driver() {
 
     let broker = Broker::new(mq, BrokerConfig::default());
     let meta: Arc<dyn MetadataStore> = Arc::new(InMemoryStore::new());
-    let service = SyncService::new(meta.clone(), broker.clone());
+    let service = SyncService::builder(&broker).store(meta.clone()).build();
     let _service_handle = service.bind(&broker).expect("bind service");
     let ws = provision_user(meta.as_ref(), "alice", "ws").expect("provision");
 

@@ -1,7 +1,8 @@
 //! Machine-readable performance suite: broker throughput and ObjectMQ RPC
 //! latency in both the batched and unbatched protocol modes, plus sync
-//! commit throughput. Writes `BENCH_4.json` at the repo root so runs can
-//! be compared across commits.
+//! commit throughput and metadata-store contention. Writes `BENCH_4.json`
+//! (transport) and `BENCH_5.json` (metadata sharding) at the repo root so
+//! runs can be compared across commits.
 //!
 //! The batched/unbatched pairs are measured in the same run so the ratio
 //! is meaningful on any machine:
@@ -11,13 +12,20 @@
 //! * TCP RPC: `depth` concurrent callers over a loopback [`BrokerServer`]
 //!   with the coalescing send path and `AckMany` on vs off.
 //!
-//! `--smoke` shrinks every workload to a few iterations for CI; `--out`
-//! overrides the output path; `--gate` exits nonzero if the batched mode
-//! fails to beat the unbatched mode measured in the same run (a relative
-//! gate, so it is robust to machine speed).
+//! The contention scenario runs 8 writer threads against 8 workspaces in
+//! two variants — cpu-bound, and with a modeled ACID back-end transaction
+//! latency held inside the commit critical section — against the
+//! global-mutex [`InMemoryStore`] and the partitioned
+//! [`metadata::ShardedStore`] in the same run.
+//!
+//! `--smoke` shrinks every workload to a few iterations for CI; `--out` /
+//! `--out-contention` override the output paths; `--gate` exits nonzero if
+//! the batched mode fails to beat the unbatched mode, or the sharded store
+//! falls below the global store, measured in the same run (relative gates,
+//! so they are robust to machine speed).
 
 use bench::{arg_value, has_flag, header};
-use metadata::{InMemoryStore, MetadataStore};
+use metadata::{InMemoryStore, ItemMetadata, MetadataStore, ShardedStore};
 use mqsim::{Delivery, Message, MessageBroker, QueueOptions};
 use net::{BrokerServer, NetBroker, NetConfig, ServerConfig};
 use objectmq::{Broker, BrokerConfig};
@@ -220,7 +228,7 @@ fn commit_throughput(commits: usize) -> f64 {
     let broker = Broker::in_process();
     let store = SwiftStore::new(LatencyModel::instant());
     let meta: Arc<dyn MetadataStore> = Arc::new(InMemoryStore::new());
-    let service = SyncService::new(meta.clone(), broker.clone());
+    let service = SyncService::builder(&broker).store(meta.clone()).build();
     let _server = service.bind(&broker).expect("bind service");
     let ws = provision_user(meta.as_ref(), "perf", "ws").expect("provision");
     let client = DesktopClient::connect(&broker, &store, ClientConfig::new("perf", "dev"), &ws)
@@ -235,14 +243,96 @@ fn commit_throughput(commits: usize) -> f64 {
     commits as f64 / start.elapsed().as_secs_f64()
 }
 
+/// Writers and workspaces of the metadata contention scenario (one writer
+/// per workspace, so commits never conflict and the store's lock protocol
+/// is the only serialization).
+const CONTENTION_WRITERS: usize = 8;
+/// Shards of the [`ShardedStore`] under test.
+const CONTENTION_SHARDS: usize = 8;
+/// Modeled ACID back-end in-transaction time for the `txn_latency`
+/// contention variant: the row locks PostgreSQL would hold across the
+/// round trip, spent inside the store's commit critical section. The
+/// global mutex serializes this across all workspaces; shards only
+/// serialize it within a workspace's partition.
+const TXN_LATENCY: Duration = Duration::from_micros(200);
+
+/// Multi-workspace commit throughput against one store: each writer thread
+/// hammers its own workspace with sequential versions of its own item.
+fn contention_throughput(
+    meta: Arc<dyn MetadataStore>,
+    writers: usize,
+    commits_per_writer: usize,
+) -> f64 {
+    meta.create_user("perf").expect("fresh store");
+    let workspaces: Vec<_> = (0..writers)
+        .map(|w| {
+            meta.create_workspace("perf", &format!("w{w}"))
+                .expect("workspace")
+        })
+        .collect();
+    let start = Instant::now();
+    let handles: Vec<_> = (0..writers)
+        .map(|w| {
+            let meta = meta.clone();
+            let ws = workspaces[w].clone();
+            std::thread::spawn(move || {
+                for version in 1..=commits_per_writer as u64 {
+                    let item = ItemMetadata {
+                        version,
+                        ..ItemMetadata::new_file(
+                            w as u64,
+                            &ws,
+                            &format!("f{w}.dat"),
+                            vec![],
+                            1,
+                            &format!("dev-{w}"),
+                        )
+                    };
+                    let out = meta.commit(&ws, vec![item]).expect("commit");
+                    assert!(out[0].is_committed(), "uncontended chain must commit");
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    (writers * commits_per_writer) as f64 / start.elapsed().as_secs_f64()
+}
+
+struct ContentionPair {
+    global: f64,
+    sharded: f64,
+}
+
+impl ContentionPair {
+    fn speedup(&self) -> f64 {
+        self.sharded / self.global
+    }
+}
+
+fn contention_scenario(commits_per_writer: usize, latency: Duration) -> ContentionPair {
+    let global: Arc<dyn MetadataStore> = Arc::new(InMemoryStore::with_commit_latency(latency));
+    let sharded: Arc<dyn MetadataStore> = Arc::new(ShardedStore::with_shards_and_latency(
+        CONTENTION_SHARDS,
+        latency,
+    ));
+    ContentionPair {
+        global: contention_throughput(global, CONTENTION_WRITERS, commits_per_writer),
+        sharded: contention_throughput(sharded, CONTENTION_WRITERS, commits_per_writer),
+    }
+}
+
 fn main() {
     let smoke = has_flag("--smoke");
     let gate = has_flag("--gate");
     let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_4.json".to_string());
-    let (messages, calls, commits) = if smoke {
-        (2_000, 320, 50)
+    let contention_path =
+        arg_value("--out-contention").unwrap_or_else(|| "BENCH_5.json".to_string());
+    let (messages, calls, commits, contention_commits) = if smoke {
+        (2_000, 320, 50, 100)
     } else {
-        (50_000, 3_200, 500)
+        (50_000, 3_200, 500, 800)
     };
 
     header("perf_suite: broker / RPC / commit performance");
@@ -292,6 +382,29 @@ fn main() {
     let commits_per_sec = commit_throughput(commits);
     println!("  {commits_per_sec:.0} commits/s");
 
+    println!(
+        "metadata contention, cpu-bound ({CONTENTION_WRITERS} writers x {contention_commits} \
+         commits, {CONTENTION_SHARDS} shards vs global mutex)..."
+    );
+    let cpu_bound = contention_scenario(contention_commits, Duration::ZERO);
+    println!(
+        "  global {:.0} commits/s | sharded {:.0} commits/s ({:.2}x)",
+        cpu_bound.global,
+        cpu_bound.sharded,
+        cpu_bound.speedup()
+    );
+    println!(
+        "metadata contention, {}us modeled txn latency...",
+        TXN_LATENCY.as_micros()
+    );
+    let txn_latency = contention_scenario(contention_commits, TXN_LATENCY);
+    println!(
+        "  global {:.0} commits/s | sharded {:.0} commits/s ({:.2}x)",
+        txn_latency.global,
+        txn_latency.sharded,
+        txn_latency.speedup()
+    );
+
     let json = format!(
         concat!(
             "{{\n",
@@ -334,8 +447,45 @@ fn main() {
     );
     std::fs::write(&out_path, &json).expect("write results");
     println!("\nresults written to {out_path}");
+
+    let contention_json = format!(
+        concat!(
+            "{{\n",
+            "  \"suite\": \"perf_suite.contention\",\n",
+            "  \"smoke\": {smoke},\n",
+            "  \"writers\": {writers}, \"workspaces\": {writers}, ",
+            "\"commits_per_writer\": {cpw}, \"shards\": {shards},\n",
+            "  \"cpu_bound\": {{ \"global_commits_per_sec\": {cg:.1}, ",
+            "\"sharded_commits_per_sec\": {cs:.1}, \"speedup\": {csp:.3} }},\n",
+            "  \"txn_latency\": {{ \"latency_us\": {lat_us}, ",
+            "\"global_commits_per_sec\": {tg:.1}, ",
+            "\"sharded_commits_per_sec\": {ts:.1}, \"speedup\": {tsp:.3} }}\n",
+            "}}\n"
+        ),
+        smoke = smoke,
+        writers = CONTENTION_WRITERS,
+        cpw = contention_commits,
+        shards = CONTENTION_SHARDS,
+        cg = cpu_bound.global,
+        cs = cpu_bound.sharded,
+        csp = cpu_bound.speedup(),
+        lat_us = TXN_LATENCY.as_micros(),
+        tg = txn_latency.global,
+        ts = txn_latency.sharded,
+        tsp = txn_latency.speedup(),
+    );
+    std::fs::write(&contention_path, &contention_json).expect("write contention results");
+    println!("contention results written to {contention_path}");
     bench::obs_dump();
 
+    if gate && txn_latency.sharded < txn_latency.global {
+        eprintln!(
+            "GATE FAILED: sharded contention throughput {:.0} commits/s fell below the \
+             global mutex's {:.0} commits/s in the same run",
+            txn_latency.sharded, txn_latency.global
+        );
+        std::process::exit(1);
+    }
     if gate && broker_batched < broker_unbatched {
         eprintln!(
             "GATE FAILED: batched broker throughput {broker_batched:.0} msg/s \
@@ -345,8 +495,10 @@ fn main() {
     }
     if gate {
         println!(
-            "gate passed: batched {:.2}x unbatched broker throughput",
-            broker_batched / broker_unbatched
+            "gate passed: batched {:.2}x unbatched broker throughput, sharded {:.2}x \
+             global contention throughput",
+            broker_batched / broker_unbatched,
+            txn_latency.speedup()
         );
     }
 }

@@ -1,7 +1,7 @@
 //! Seed-range explorer CLI.
 //!
 //! ```sh
-//! cargo run -p faultsim --bin explore -- <start-seed> <count> [artifact-path]
+//! cargo run -p faultsim --bin explore -- <start-seed> <count> [artifact-path] [--sharded[=N]]
 //! ```
 //!
 //! Sweeps `count` consecutive seeds from `start-seed` through the
@@ -10,26 +10,52 @@
 //! writes the transcript to `artifact-path` (what the CI job uploads), and
 //! exits non-zero. Replay a failure with the same binary:
 //! `explore <failing-seed> 1`.
+//!
+//! `--sharded` (optionally `--sharded=N` for N partitions, default 8) runs
+//! the sweep against [`metadata::ShardedStore`] instead of the global-mutex
+//! store; fingerprints are identical either way, so a divergence is a
+//! sharding bug.
 
-use faultsim::{explore, SimConfig};
+use faultsim::{explore, SimConfig, StoreSelection};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let usage = "usage: explore <start-seed> <count> [artifact-path]";
+    let mut store = StoreSelection::Global;
+    let mut positional: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        if arg == "--sharded" {
+            store = StoreSelection::Sharded(8);
+        } else if let Some(n) = arg.strip_prefix("--sharded=") {
+            match n.parse::<usize>() {
+                Ok(n) if n > 0 => store = StoreSelection::Sharded(n),
+                _ => {
+                    eprintln!("--sharded=N needs a positive shard count, got `{n}`");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            positional.push(arg);
+        }
+    }
+
+    let usage = "usage: explore <start-seed> <count> [artifact-path] [--sharded[=N]]";
     let (Some(start), Some(count)) = (
-        args.get(1).and_then(|a| a.parse::<u64>().ok()),
-        args.get(2).and_then(|a| a.parse::<u64>().ok()),
+        positional.first().and_then(|a| a.parse::<u64>().ok()),
+        positional.get(1).and_then(|a| a.parse::<u64>().ok()),
     ) else {
         eprintln!("{usage}");
         std::process::exit(2);
     };
-    let artifact = args.get(3);
+    let artifact = positional.get(2);
 
-    let outcome = explore(start, count, &SimConfig::default());
+    let config = SimConfig {
+        store,
+        ..SimConfig::default()
+    };
+    let outcome = explore(start, count, &config);
     match outcome.failure {
         None => {
             println!(
-                "{} seed(s) explored from {start}: every invariant held",
+                "{} seed(s) explored from {start} against {store:?}: every invariant held",
                 outcome.passed
             );
         }

@@ -48,4 +48,4 @@ pub use explorer::{explore, run_seed, run_seed_with, ExploreOutcome, SimFailure}
 pub use history::{Event, History, SubmitFate};
 pub use plan::{FaultPlan, FaultRates};
 pub use rng::SimRng;
-pub use sim::{SimConfig, SimReport};
+pub use sim::{SimConfig, SimReport, StoreSelection};

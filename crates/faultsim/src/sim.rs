@@ -27,7 +27,7 @@ use crate::history::{Event, History, SubmitFate};
 use crate::plan::{FaultPlan, FaultRates};
 use crate::rng::SimRng;
 use content::ChunkId;
-use metadata::{InMemoryStore, ItemMetadata, MetadataStore};
+use metadata::{InMemoryStore, ItemMetadata, MetadataStore, ShardedStore};
 use objectmq::{Broker, BrokerConfig, RemoteObject, Request};
 use stacksync::{provision_user, workspace_notification_oid, SyncService};
 use std::collections::BTreeMap;
@@ -45,6 +45,29 @@ const SHARED_ITEM: u64 = 1;
 /// Item ids `OWN_ITEM_BASE + w` are private to writer `w`.
 const OWN_ITEM_BASE: u64 = 100;
 
+/// Which metadata back-end the simulated stack commits against.
+///
+/// The store is pure state — it consumes no scheduler randomness — so for
+/// any seed the run's fingerprint must be identical across selections: the
+/// sharding identity property checked end-to-end through the real broker,
+/// service, and fault schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreSelection {
+    /// The global-mutex [`InMemoryStore`].
+    Global,
+    /// A [`ShardedStore`] with the given shard count.
+    Sharded(usize),
+}
+
+impl StoreSelection {
+    fn build(self) -> Arc<dyn MetadataStore> {
+        match self {
+            StoreSelection::Global => Arc::new(InMemoryStore::new()),
+            StoreSelection::Sharded(n) => Arc::new(ShardedStore::with_shards(n)),
+        }
+    }
+}
+
 /// Shape of one simulated run.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -60,6 +83,8 @@ pub struct SimConfig {
     pub crash_permille: u32,
     /// Scheduler-step bound; exceeding it is reported as a violation.
     pub max_steps: u64,
+    /// Metadata back-end under test.
+    pub store: StoreSelection,
 }
 
 impl Default for SimConfig {
@@ -70,6 +95,7 @@ impl Default for SimConfig {
             rates: FaultRates::chaotic(),
             crash_permille: 150,
             max_steps: 100_000,
+            store: StoreSelection::Global,
         }
     }
 }
@@ -182,13 +208,13 @@ pub fn run(seed: u64, config: &SimConfig) -> SimReport {
     mq.set_interceptor(Some(plan.clone()));
 
     // Real metadata tier and SyncService, talking through the hooked broker.
-    let meta: Arc<dyn MetadataStore> = Arc::new(InMemoryStore::new());
+    let meta: Arc<dyn MetadataStore> = config.store.build();
     let broker = Broker::over(
         Arc::new(mq.clone()) as Arc<dyn mqsim::Messaging>,
         BrokerConfig::default(),
     );
     let ws = provision_user(meta.as_ref(), "alice", "Sim").expect("fresh store provisions");
-    let service = SyncService::new(meta.clone(), broker.clone());
+    let service = SyncService::builder(&broker).store(meta.clone()).build();
 
     // Commit path: writers publish proposals here; "the pool" consumes.
     mq.declare_queue(COMMIT_QUEUE, mqsim::QueueOptions::default())
@@ -199,7 +225,7 @@ pub fn run(seed: u64, config: &SimConfig) -> SimReport {
     // the same shape `Broker::bind` builds for real notification listeners.
     let notify_oid = workspace_notification_oid(&ws);
     let multi_exchange = format!("omq.multi.{notify_oid}");
-    mq.declare_queue(&notify_oid, mqsim::QueueOptions::default())
+    mq.declare_queue(notify_oid.as_str(), mqsim::QueueOptions::default())
         .expect("declare notification oid queue");
     mq.declare_exchange(&multi_exchange, mqsim::ExchangeKind::Fanout)
         .expect("declare notification fanout");
@@ -338,8 +364,11 @@ pub fn run(seed: u64, config: &SimConfig) -> SimReport {
                 };
                 // Snapshot the store's word on this item so the dispatch
                 // outcome can be read back precisely (the RPC returns Null).
-                let before = meta.get_current(proposal.item.item_id);
-                let len_before = meta.history(proposal.item.item_id).len();
+                let before = meta.get_current(proposal.item.item_id).ok();
+                let len_before = meta
+                    .history(proposal.item.item_id)
+                    .map(|h| h.len())
+                    .unwrap_or(0);
                 let args = vec![
                     Value::from(ws.0.as_str()),
                     Value::from(proposal.device.as_str()),
@@ -353,7 +382,7 @@ pub fn run(seed: u64, config: &SimConfig) -> SimReport {
                 // Mirror of the store's Algorithm 1 decision: a fresh
                 // append, or an idempotent replay confirm; anything else
                 // was a conflict.
-                let chain = meta.history(proposal.item.item_id);
+                let chain = meta.history(proposal.item.item_id).unwrap_or_default();
                 let committed = (chain.len() == len_before + 1
                     && chain.last().is_some_and(|last| {
                         last.version == proposal.item.version
@@ -416,11 +445,15 @@ pub fn run(seed: u64, config: &SimConfig) -> SimReport {
     let mut item_ids: Vec<u64> = vec![SHARED_ITEM];
     item_ids.extend((0..config.writers).map(|w| OWN_ITEM_BASE + w as u64));
     for item_id in item_ids {
-        if let Some(cur) = meta.get_current(item_id) {
+        if let Ok(cur) = meta.get_current(item_id) {
             current_versions.insert(item_id, cur.version);
             store_histories.insert(
                 item_id,
-                meta.history(item_id).iter().map(|m| m.version).collect(),
+                meta.history(item_id)
+                    .unwrap_or_default()
+                    .iter()
+                    .map(|m| m.version)
+                    .collect(),
             );
         }
     }
@@ -516,5 +549,39 @@ mod tests {
         assert!(report.passed(), "{}", report.transcript());
         assert_eq!(report.faults_injected, 0);
         assert_eq!(report.crashes, 0);
+    }
+
+    #[test]
+    fn sharded_store_run_passes() {
+        let config = SimConfig {
+            store: StoreSelection::Sharded(8),
+            ..SimConfig::default()
+        };
+        let report = run(1, &config);
+        assert!(report.passed(), "{}", report.transcript());
+    }
+
+    #[test]
+    fn store_selection_does_not_change_the_run() {
+        // The store consumes no scheduler randomness, so for any seed the
+        // fingerprint (fault schedule + full client-visible history) must
+        // be identical whichever back-end commits the metadata.
+        for seed in [1, 7, 23] {
+            let global = run(seed, &SimConfig::default());
+            let sharded = run(
+                seed,
+                &SimConfig {
+                    store: StoreSelection::Sharded(8),
+                    ..SimConfig::default()
+                },
+            );
+            assert!(global.passed(), "{}", global.transcript());
+            assert!(sharded.passed(), "{}", sharded.transcript());
+            assert_eq!(
+                global.fingerprint(),
+                sharded.fingerprint(),
+                "seed {seed}: sharded run diverged from global run"
+            );
+        }
     }
 }

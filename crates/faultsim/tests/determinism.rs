@@ -4,7 +4,7 @@
 //! printing if replaying it reproduces the run bit-for-bit, and the
 //! checker is only trustworthy if it holds across many distinct seeds.
 
-use faultsim::{explore, run_seed, run_seed_with, FaultRates, SimConfig};
+use faultsim::{explore, run_seed, run_seed_with, FaultRates, SimConfig, StoreSelection};
 use std::time::Instant;
 
 /// Same seed ⇒ same fault schedule, same event history, same verdict —
@@ -81,6 +81,43 @@ fn fault_space_is_covered() {
         "crash windows barely hit: {total_crashes}"
     );
     assert!(redeliveries_seen, "no crash ever forced a redelivery");
+}
+
+/// The CI gate for the partitioned metadata tier: the same fixed seed
+/// block holds every invariant when the stack commits against
+/// [`metadata::ShardedStore`] instead of the global-mutex store.
+#[test]
+fn fifty_plus_seeds_hold_all_invariants_sharded() {
+    let config = SimConfig {
+        store: StoreSelection::Sharded(8),
+        ..SimConfig::default()
+    };
+    let outcome = explore(0, 60, &config);
+    if let Some(failure) = outcome.failure {
+        panic!("{failure}");
+    }
+    assert_eq!(outcome.passed, 60);
+}
+
+/// The sharding identity plan, end to end: the store consumes no scheduler
+/// randomness, so a seed's fingerprint — fault schedule plus every
+/// client-visible event — is the same whichever back-end commits.
+#[test]
+fn sharded_and_global_runs_are_indistinguishable() {
+    let sharded_config = SimConfig {
+        store: StoreSelection::Sharded(8),
+        ..SimConfig::default()
+    };
+    for seed in [0u64, 5, 13, 42, 0xDEAD_BEEF] {
+        let global = run_seed(seed).expect("global run passes");
+        let sharded = run_seed_with(seed, &sharded_config).expect("sharded run passes");
+        assert_eq!(
+            global.fingerprint(),
+            sharded.fingerprint(),
+            "seed {seed}: sharded history diverged from global"
+        );
+        assert_eq!(global.history.events(), sharded.history.events());
+    }
 }
 
 /// Heavier contention (more writers on the shared item) still converges

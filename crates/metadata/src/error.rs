@@ -16,6 +16,8 @@ pub enum MetadataError {
     UserExists(String),
     /// The workspace does not exist.
     UnknownWorkspace(String),
+    /// The item was never committed.
+    UnknownItem(u64),
     /// A commit proposed an item that belongs to a different workspace.
     WrongWorkspace {
         /// The item in question.
@@ -31,6 +33,7 @@ impl fmt::Display for MetadataError {
             MetadataError::UnknownUser(u) => write!(f, "unknown user: {u}"),
             MetadataError::UserExists(u) => write!(f, "user already exists: {u}"),
             MetadataError::UnknownWorkspace(w) => write!(f, "unknown workspace: {w}"),
+            MetadataError::UnknownItem(i) => write!(f, "unknown item: {i}"),
             MetadataError::WrongWorkspace { item, belongs_to } => {
                 write!(f, "item {item} belongs to workspace {belongs_to}")
             }
@@ -50,6 +53,7 @@ mod tests {
             MetadataError::UnknownUser("u".into()),
             MetadataError::UserExists("u".into()),
             MetadataError::UnknownWorkspace("w".into()),
+            MetadataError::UnknownItem(9),
             MetadataError::WrongWorkspace {
                 item: 3,
                 belongs_to: "w".into(),

@@ -13,6 +13,11 @@
 //! * [`InMemoryStore`] implements it with one big serialization lock —
 //!   every commit is atomic and totally ordered, which is exactly the
 //!   property Algorithm 1 relies on to declare winners;
+//! * [`ShardedStore`] implements the same DAO over N per-workspace
+//!   partitions routed by `hash(workspace_id)`, so commits to different
+//!   workspaces proceed in parallel while each workspace keeps the same
+//!   totally-ordered transaction semantics (Algorithm 1 never crosses
+//!   workspaces);
 //! * [`ItemMetadata`]/[`CommitOutcome`] model versioned items and the
 //!   commit results piggybacked in `CommitNotification`s.
 //!
@@ -34,9 +39,11 @@
 
 mod error;
 mod model;
+mod shard;
 mod snapshot;
 mod store;
 
 pub use error::{MetadataError, MetadataResult};
 pub use model::{CommitOutcome, CommitResult, ItemMetadata, Workspace, WorkspaceId};
+pub use shard::ShardedStore;
 pub use store::{InMemoryStore, MetadataStore};

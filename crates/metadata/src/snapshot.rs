@@ -227,7 +227,7 @@ mod tests {
         // Item state including tombstones and full histories.
         assert_eq!(restored.get_current(1).unwrap().version, 2);
         assert!(restored.get_current(2).unwrap().is_deleted);
-        assert_eq!(restored.history(1).len(), 2);
+        assert_eq!(restored.history(1).unwrap().len(), 2);
         assert_eq!(
             restored.current_items(&ws).unwrap(),
             original.current_items(&ws).unwrap()

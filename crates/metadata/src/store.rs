@@ -4,10 +4,17 @@ use crate::error::{MetadataError, MetadataResult};
 use crate::model::{CommitOutcome, CommitResult, ItemMetadata, Workspace, WorkspaceId};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::time::Duration;
 
 /// The Data Access Object the SyncService talks through (paper §4.2.1:
 /// "The SyncService interacts with the Metadata back-end using an
 /// extensible Data Access Object").
+///
+/// Every read that can miss returns a [`MetadataResult`] with a typed
+/// not-found error ([`MetadataError::UnknownWorkspace`] /
+/// [`MetadataError::UnknownItem`]) rather than a bare `Option`, so store
+/// implementations with internal routing (e.g. [`crate::ShardedStore`])
+/// have a place to surface *why* a lookup failed.
 pub trait MetadataStore: Send + Sync {
     /// Registers a user.
     ///
@@ -40,7 +47,11 @@ pub trait MetadataStore: Send + Sync {
     fn share_workspace(&self, workspace: &WorkspaceId, user: &str) -> MetadataResult<()>;
 
     /// Looks up one workspace record.
-    fn get_workspace(&self, workspace: &WorkspaceId) -> Option<Workspace>;
+    ///
+    /// # Errors
+    ///
+    /// [`MetadataError::UnknownWorkspace`].
+    fn get_workspace(&self, workspace: &WorkspaceId) -> MetadataResult<Workspace>;
 
     /// Atomically applies a list of proposed changes (Algorithm 1). For
     /// each proposal: first version of a new item → committed; version ==
@@ -68,20 +79,126 @@ pub trait MetadataStore: Send + Sync {
     fn current_items(&self, workspace: &WorkspaceId) -> MetadataResult<Vec<ItemMetadata>>;
 
     /// Latest version of one item.
-    fn get_current(&self, item_id: u64) -> Option<ItemMetadata>;
+    ///
+    /// # Errors
+    ///
+    /// [`MetadataError::UnknownItem`] when the item was never committed.
+    fn get_current(&self, item_id: u64) -> MetadataResult<ItemMetadata>;
 
     /// Full version history of one item, oldest first.
-    fn history(&self, item_id: u64) -> Vec<ItemMetadata>;
+    ///
+    /// # Errors
+    ///
+    /// [`MetadataError::UnknownItem`] when the item was never committed.
+    fn history(&self, item_id: u64) -> MetadataResult<Vec<ItemMetadata>>;
+}
+
+/// The item tables every store partition maintains: version chains plus the
+/// per-workspace index. Shared between [`InMemoryStore`] (one global
+/// partition) and [`crate::ShardedStore`] (one per shard), so Algorithm 1
+/// is written exactly once.
+#[derive(Debug, Default)]
+pub(crate) struct ItemTables {
+    /// item id -> all versions, oldest first.
+    pub(crate) items: HashMap<u64, Vec<ItemMetadata>>,
+    /// workspace -> item ids.
+    pub(crate) by_workspace: HashMap<String, BTreeSet<u64>>,
+}
+
+impl ItemTables {
+    /// Applies one proposal of a commit transaction — the per-item body of
+    /// Algorithm 1. The caller has already verified the workspace exists
+    /// (and, for a partitioned store, that the item is not pinned to a
+    /// workspace living elsewhere).
+    ///
+    /// # Errors
+    ///
+    /// [`MetadataError::WrongWorkspace`] when the item's first version
+    /// lives in a different workspace of this partition.
+    pub(crate) fn apply_proposal(
+        &mut self,
+        workspace: &WorkspaceId,
+        proposed: ItemMetadata,
+    ) -> MetadataResult<CommitOutcome> {
+        // An item is pinned to the workspace of its first version.
+        if let Some(versions) = self.items.get(&proposed.item_id) {
+            let owner_ws = &versions[0].workspace;
+            if owner_ws != workspace {
+                return Err(MetadataError::WrongWorkspace {
+                    item: proposed.item_id,
+                    belongs_to: owner_ws.0.clone(),
+                });
+            }
+        }
+        let current = self
+            .items
+            .get(&proposed.item_id)
+            .and_then(|v| v.last())
+            .cloned();
+        let result = match current {
+            None => {
+                // First version of a new object.
+                let mut stored = proposed.clone();
+                stored.version = 1;
+                stored.workspace = workspace.clone();
+                self.items.insert(proposed.item_id, vec![stored]);
+                self.by_workspace
+                    .get_mut(&workspace.0)
+                    .expect("workspace checked by caller")
+                    .insert(proposed.item_id);
+                CommitResult::Committed { version: 1 }
+            }
+            Some(cur)
+                if proposed.version == cur.version
+                    && proposed.chunks == cur.chunks
+                    && proposed.modified_by == cur.modified_by
+                    && proposed.is_deleted == cur.is_deleted =>
+            {
+                // At-least-once delivery: an instance that crashes after
+                // applying a commit but before acking the queue message
+                // leaves the request to be redelivered. The replay must
+                // be confirmed, not reported as a conflict the committer
+                // would wrongly "lose" to its own earlier commit.
+                CommitResult::Committed {
+                    version: cur.version,
+                }
+            }
+            Some(cur) if proposed.version == cur.version + 1 => {
+                let mut stored = proposed.clone();
+                stored.workspace = workspace.clone();
+                self.items
+                    .get_mut(&proposed.item_id)
+                    .expect("item present")
+                    .push(stored);
+                CommitResult::Committed {
+                    version: proposed.version,
+                }
+            }
+            Some(cur) => CommitResult::Conflict { current: cur },
+        };
+        Ok(CommitOutcome {
+            item_id: proposed.item_id,
+            result,
+            proposed,
+        })
+    }
+
+    /// Latest versions of every item of a workspace the caller verified.
+    pub(crate) fn current_of(&self, workspace: &WorkspaceId) -> Option<Vec<ItemMetadata>> {
+        let ids = self.by_workspace.get(&workspace.0)?;
+        Some(
+            ids.iter()
+                .filter_map(|id| self.items.get(id).and_then(|v| v.last()).cloned())
+                .collect(),
+        )
+    }
 }
 
 #[derive(Debug, Default)]
 struct Inner {
     users: BTreeSet<String>,
     workspaces: BTreeMap<String, Workspace>,
-    /// item id -> all versions, oldest first.
-    items: HashMap<u64, Vec<ItemMetadata>>,
-    /// workspace -> item ids.
-    by_workspace: HashMap<String, BTreeSet<u64>>,
+    tables: ItemTables,
     next_workspace: u64,
 }
 
@@ -90,9 +207,17 @@ struct Inner {
 /// One mutex serializes every transaction — the moral equivalent of
 /// `SERIALIZABLE` isolation, and the strongest form of the ACID semantics
 /// the paper leans on. Clones share state.
+///
+/// The optional *commit latency* models the transaction time of the ACID
+/// back-end this store stands in for (the paper's PostgreSQL): it is spent
+/// **while holding the store lock**, exactly as a relational back-end holds
+/// its row locks across the transaction round trip. With the global mutex,
+/// that latency serializes across every workspace — the bottleneck
+/// [`crate::ShardedStore`] removes.
 #[derive(Debug, Default)]
 pub struct InMemoryStore {
     inner: Mutex<Inner>,
+    commit_latency: Duration,
 }
 
 impl InMemoryStore {
@@ -101,13 +226,22 @@ impl InMemoryStore {
         Self::default()
     }
 
+    /// Creates an empty store whose commit transactions each take
+    /// `latency`, held under the serialization lock (see the type docs).
+    pub fn with_commit_latency(latency: Duration) -> Self {
+        InMemoryStore {
+            inner: Mutex::new(Inner::default()),
+            commit_latency: latency,
+        }
+    }
+
     /// Dumps the full state for snapshotting: users, workspaces, and every
     /// item's version history (oldest first).
     pub(crate) fn dump(&self) -> (Vec<String>, Vec<Workspace>, Vec<Vec<ItemMetadata>>) {
         let inner = self.inner.lock();
         let users = inner.users.iter().cloned().collect();
         let workspaces = inner.workspaces.values().cloned().collect();
-        let mut histories: Vec<Vec<ItemMetadata>> = inner.items.values().cloned().collect();
+        let mut histories: Vec<Vec<ItemMetadata>> = inner.tables.items.values().cloned().collect();
         histories.sort_by_key(|v| v[0].item_id);
         (users, workspaces, histories)
     }
@@ -132,21 +266,27 @@ impl InMemoryStore {
                     .and_then(|n| n.parse::<u64>().ok())
                     .unwrap_or(0),
             );
-            inner.by_workspace.entry(ws.id.0.clone()).or_default();
+            inner
+                .tables
+                .by_workspace
+                .entry(ws.id.0.clone())
+                .or_default();
             inner.workspaces.insert(ws.id.0.clone(), ws);
         }
         for versions in histories {
             if let Some(first) = versions.first() {
                 inner
+                    .tables
                     .by_workspace
                     .entry(first.workspace.0.clone())
                     .or_default()
                     .insert(first.item_id);
-                inner.items.insert(first.item_id, versions);
+                inner.tables.items.insert(first.item_id, versions);
             }
         }
         InMemoryStore {
             inner: Mutex::new(inner),
+            commit_latency: Duration::ZERO,
         }
     }
 }
@@ -176,7 +316,10 @@ impl MetadataStore for InMemoryStore {
                 members: Vec::new(),
             },
         );
-        inner.by_workspace.insert(id.0.clone(), BTreeSet::new());
+        inner
+            .tables
+            .by_workspace
+            .insert(id.0.clone(), BTreeSet::new());
         Ok(id)
     }
 
@@ -208,8 +351,13 @@ impl MetadataStore for InMemoryStore {
         Ok(())
     }
 
-    fn get_workspace(&self, workspace: &WorkspaceId) -> Option<Workspace> {
-        self.inner.lock().workspaces.get(&workspace.0).cloned()
+    fn get_workspace(&self, workspace: &WorkspaceId) -> MetadataResult<Workspace> {
+        self.inner
+            .lock()
+            .workspaces
+            .get(&workspace.0)
+            .cloned()
+            .ok_or_else(|| MetadataError::UnknownWorkspace(workspace.0.clone()))
     }
 
     fn commit(
@@ -221,103 +369,43 @@ impl MetadataStore for InMemoryStore {
         if !inner.workspaces.contains_key(&workspace.0) {
             return Err(MetadataError::UnknownWorkspace(workspace.0.clone()));
         }
+        if !self.commit_latency.is_zero() {
+            std::thread::sleep(self.commit_latency);
+        }
         let mut outcomes = Vec::with_capacity(proposals.len());
         for proposed in proposals {
-            // An item is pinned to the workspace of its first version.
-            if let Some(versions) = inner.items.get(&proposed.item_id) {
-                let owner_ws = &versions[0].workspace;
-                if owner_ws != workspace {
-                    return Err(MetadataError::WrongWorkspace {
-                        item: proposed.item_id,
-                        belongs_to: owner_ws.0.clone(),
-                    });
-                }
-            }
-            let current = inner
-                .items
-                .get(&proposed.item_id)
-                .and_then(|v| v.last())
-                .cloned();
-            let result = match current {
-                None => {
-                    // First version of a new object.
-                    let mut stored = proposed.clone();
-                    stored.version = 1;
-                    stored.workspace = workspace.clone();
-                    inner.items.insert(proposed.item_id, vec![stored]);
-                    inner
-                        .by_workspace
-                        .get_mut(&workspace.0)
-                        .expect("workspace checked above")
-                        .insert(proposed.item_id);
-                    CommitResult::Committed { version: 1 }
-                }
-                Some(cur)
-                    if proposed.version == cur.version
-                        && proposed.chunks == cur.chunks
-                        && proposed.modified_by == cur.modified_by
-                        && proposed.is_deleted == cur.is_deleted =>
-                {
-                    // At-least-once delivery: an instance that crashes after
-                    // applying a commit but before acking the queue message
-                    // leaves the request to be redelivered. The replay must
-                    // be confirmed, not reported as a conflict the committer
-                    // would wrongly "lose" to its own earlier commit.
-                    CommitResult::Committed {
-                        version: cur.version,
-                    }
-                }
-                Some(cur) if proposed.version == cur.version + 1 => {
-                    let mut stored = proposed.clone();
-                    stored.workspace = workspace.clone();
-                    inner
-                        .items
-                        .get_mut(&proposed.item_id)
-                        .expect("item present")
-                        .push(stored);
-                    CommitResult::Committed {
-                        version: proposed.version,
-                    }
-                }
-                Some(cur) => CommitResult::Conflict { current: cur },
-            };
-            outcomes.push(CommitOutcome {
-                item_id: proposed.item_id,
-                result,
-                proposed,
-            });
+            outcomes.push(inner.tables.apply_proposal(workspace, proposed)?);
         }
         Ok(outcomes)
     }
 
     fn current_items(&self, workspace: &WorkspaceId) -> MetadataResult<Vec<ItemMetadata>> {
-        let inner = self.inner.lock();
-        let ids = inner
-            .by_workspace
-            .get(&workspace.0)
-            .ok_or_else(|| MetadataError::UnknownWorkspace(workspace.0.clone()))?;
-        Ok(ids
-            .iter()
-            .filter_map(|id| inner.items.get(id).and_then(|v| v.last()).cloned())
-            .collect())
-    }
-
-    fn get_current(&self, item_id: u64) -> Option<ItemMetadata> {
         self.inner
             .lock()
+            .tables
+            .current_of(workspace)
+            .ok_or_else(|| MetadataError::UnknownWorkspace(workspace.0.clone()))
+    }
+
+    fn get_current(&self, item_id: u64) -> MetadataResult<ItemMetadata> {
+        self.inner
+            .lock()
+            .tables
             .items
             .get(&item_id)
             .and_then(|v| v.last())
             .cloned()
+            .ok_or(MetadataError::UnknownItem(item_id))
     }
 
-    fn history(&self, item_id: u64) -> Vec<ItemMetadata> {
+    fn history(&self, item_id: u64) -> MetadataResult<Vec<ItemMetadata>> {
         self.inner
             .lock()
+            .tables
             .items
             .get(&item_id)
             .cloned()
-            .unwrap_or_default()
+            .ok_or(MetadataError::UnknownItem(item_id))
     }
 }
 
@@ -390,7 +478,7 @@ mod tests {
         let out = s.commit(&ws, vec![file(1, &ws, 2)]).unwrap();
         assert!(out[0].is_committed());
         assert_eq!(s.get_current(1).unwrap().version, 2);
-        assert_eq!(s.history(1).len(), 2);
+        assert_eq!(s.history(1).unwrap().len(), 2);
     }
 
     #[test]
@@ -422,7 +510,7 @@ mod tests {
             CommitResult::Committed { version: 1 }
         ));
         // The replay is recognized, not stored as a second version.
-        assert_eq!(s.history(1).len(), 1);
+        assert_eq!(s.history(1).unwrap().len(), 1);
     }
 
     #[test]
@@ -475,6 +563,23 @@ mod tests {
         assert!(matches!(
             s.current_items(&bogus),
             Err(MetadataError::UnknownWorkspace(_))
+        ));
+        assert!(matches!(
+            s.get_workspace(&bogus),
+            Err(MetadataError::UnknownWorkspace(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_item_errors() {
+        let (s, _) = setup();
+        assert!(matches!(
+            s.get_current(404),
+            Err(MetadataError::UnknownItem(404))
+        ));
+        assert!(matches!(
+            s.history(404),
+            Err(MetadataError::UnknownItem(404))
         ));
     }
 
@@ -533,6 +638,18 @@ mod tests {
     }
 
     #[test]
+    fn commit_latency_is_spent_inside_the_transaction() {
+        let s = InMemoryStore::with_commit_latency(Duration::from_millis(5));
+        s.create_user("u").unwrap();
+        let ws = s.create_workspace("u", "W").unwrap();
+        let start = std::time::Instant::now();
+        s.commit(&ws, vec![file(1, &ws, 1)]).unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(5));
+        // Reads stay instant — only the write transaction pays.
+        assert_eq!(s.get_current(1).unwrap().version, 1);
+    }
+
+    #[test]
     fn version_monotonicity_property() {
         // Drive a pseudo-random schedule of valid/stale commits and check
         // the history is strictly monotonically versioned.
@@ -551,7 +668,7 @@ mod tests {
             };
             let _ = s.commit(&ws, vec![file(1, &ws, proposed)]);
         }
-        let history = s.history(1);
+        let history = s.history(1).unwrap();
         for (i, v) in history.iter().enumerate() {
             assert_eq!(v.version, i as u64 + 1, "history must be gapless");
         }

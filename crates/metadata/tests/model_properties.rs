@@ -77,7 +77,7 @@ proptest! {
         for (item, (version, _)) in &oracle {
             let current = store.get_current(*item).unwrap();
             prop_assert_eq!(current.version, *version);
-            let history = store.history(*item);
+            let history = store.history(*item).unwrap();
             for (i, v) in history.iter().enumerate() {
                 prop_assert_eq!(v.version, i as u64 + 1, "gapless history");
             }
@@ -141,7 +141,7 @@ proptest! {
             store.current_items(&ws).unwrap()
         );
         for item in 0u64..6 {
-            prop_assert_eq!(restored.history(item), store.history(item));
+            prop_assert_eq!(restored.history(item).ok(), store.history(item).ok());
         }
     }
 }

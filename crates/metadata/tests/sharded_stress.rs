@@ -1,0 +1,117 @@
+//! Threaded stress test of [`ShardedStore`]: 8 writer threads hammering 8
+//! workspaces concurrently must still produce gap-free version chains —
+//! the per-workspace total order Algorithm 1 needs survives partitioning.
+
+use metadata::{CommitResult, ItemMetadata};
+use metadata::{MetadataStore, ShardedStore};
+use std::sync::Arc;
+
+const WRITERS: usize = 8;
+const ITEMS_PER_WRITER: u64 = 4;
+const VERSIONS_PER_ITEM: u64 = 25;
+
+#[test]
+fn concurrent_writers_keep_gap_free_chains() {
+    let store = Arc::new(ShardedStore::with_shards(8));
+    store.create_user("u").unwrap();
+    let workspaces: Vec<_> = (0..WRITERS)
+        .map(|i| store.create_workspace("u", &format!("w{i}")).unwrap())
+        .collect();
+
+    let handles: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let store = Arc::clone(&store);
+            let ws = workspaces[w].clone();
+            std::thread::spawn(move || {
+                let mut committed = 0u64;
+                for round in 0..VERSIONS_PER_ITEM {
+                    for slot in 0..ITEMS_PER_WRITER {
+                        let item_id = w as u64 * 1000 + slot;
+                        let meta = ItemMetadata {
+                            version: round + 1,
+                            ..ItemMetadata::new_file(
+                                item_id,
+                                &ws,
+                                &format!("f{slot}.txt"),
+                                vec![],
+                                1,
+                                &format!("dev-{w}"),
+                            )
+                        };
+                        let out = store.commit(&ws, vec![meta]).unwrap();
+                        assert!(
+                            matches!(out[0].result, CommitResult::Committed { .. }),
+                            "writer {w} item {item_id} v{} rejected",
+                            round + 1
+                        );
+                        committed += 1;
+                    }
+                }
+                committed
+            })
+        })
+        .collect();
+
+    let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert_eq!(total, WRITERS as u64 * ITEMS_PER_WRITER * VERSIONS_PER_ITEM);
+
+    // Every chain is gap-free 1..=VERSIONS_PER_ITEM and every item landed
+    // in (only) its own workspace.
+    for (w, workspace) in workspaces.iter().enumerate() {
+        let listing = store.current_items(workspace).unwrap();
+        assert_eq!(listing.len(), ITEMS_PER_WRITER as usize);
+        for slot in 0..ITEMS_PER_WRITER {
+            let item_id = w as u64 * 1000 + slot;
+            let history = store.history(item_id).unwrap();
+            assert_eq!(history.len(), VERSIONS_PER_ITEM as usize);
+            for (i, v) in history.iter().enumerate() {
+                assert_eq!(v.version, i as u64 + 1, "gap in item {item_id} chain");
+                assert_eq!(&v.workspace, workspace);
+            }
+        }
+    }
+}
+
+#[test]
+fn contended_single_workspace_still_totally_ordered() {
+    // The opposite shape: all writers race on ONE workspace and ONE item.
+    // Exactly one writer may win each version; the chain must stay gapless.
+    let store = Arc::new(ShardedStore::with_shards(8));
+    store.create_user("u").unwrap();
+    let ws = store.create_workspace("u", "hot").unwrap();
+
+    let rounds = 40u64;
+    let handles: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let store = Arc::clone(&store);
+            let ws = ws.clone();
+            std::thread::spawn(move || {
+                let mut wins = 0u64;
+                for _ in 0..rounds {
+                    // Read-modify-write against the current head, like a
+                    // device proposing the next version it believes in.
+                    let next = store.get_current(7).map(|m| m.version + 1).unwrap_or(1);
+                    let meta = ItemMetadata {
+                        version: next,
+                        ..ItemMetadata::new_file(7, &ws, "hot.txt", vec![], 1, &format!("dev-{w}"))
+                    };
+                    let out = store.commit(&ws, vec![meta]).unwrap();
+                    if out[0].is_committed() {
+                        wins += 1;
+                    }
+                }
+                wins
+            })
+        })
+        .collect();
+
+    let wins: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    let history = store.history(7).unwrap();
+    // Wins can overcount relative to distinct versions only via idempotent
+    // replays (same device re-confirming); the chain itself must be exact.
+    assert!(wins as usize >= history.len());
+    for (i, v) in history.iter().enumerate() {
+        assert_eq!(v.version, i as u64 + 1, "gap in contended chain");
+    }
+    assert!(!history.is_empty());
+}

@@ -2,6 +2,7 @@
 
 use crate::error::OmqResult;
 use crate::info::{ObjectInfo, PoolInfo};
+use crate::oid::Oid;
 use crate::proxy::{unknown_object, Proxy};
 use crate::server::{
     fresh_instance_name, spawn_instance, RemoteObject, ServerHandle, SkeletonConfig,
@@ -91,7 +92,7 @@ impl Broker {
         &self.config
     }
 
-    fn multi_exchange_name(oid: &str) -> String {
+    fn multi_exchange_name(oid: &Oid) -> String {
         format!("omq.multi.{oid}")
     }
 
@@ -106,7 +107,7 @@ impl Broker {
     /// # Errors
     ///
     /// Propagates messaging-layer failures.
-    pub fn bind<O: RemoteObject>(&self, oid: &str, object: O) -> OmqResult<ServerHandle> {
+    pub fn bind<O: RemoteObject>(&self, oid: impl Into<Oid>, object: O) -> OmqResult<ServerHandle> {
         self.bind_arc(oid, Arc::new(object))
     }
 
@@ -115,27 +116,32 @@ impl Broker {
     /// # Errors
     ///
     /// Propagates messaging-layer failures.
-    pub fn bind_arc(&self, oid: &str, object: Arc<dyn RemoteObject>) -> OmqResult<ServerHandle> {
+    pub fn bind_arc(
+        &self,
+        oid: impl Into<Oid>,
+        object: Arc<dyn RemoteObject>,
+    ) -> OmqResult<ServerHandle> {
+        let oid = oid.into();
         let queue_opts = QueueOptions {
             auto_delete: false,
             rate_window: self.config.rate_window,
         };
-        self.mq.declare_queue(oid, queue_opts.clone())?;
-        let exchange = Self::multi_exchange_name(oid);
+        self.mq.declare_queue(oid.as_str(), queue_opts.clone())?;
+        let exchange = Self::multi_exchange_name(&oid);
         self.mq.declare_exchange(&exchange, ExchangeKind::Fanout)?;
 
-        let instance = fresh_instance_name(oid);
+        let instance = fresh_instance_name(oid.as_str());
         self.mq.declare_queue(&instance, queue_opts)?;
         self.mq.bind_queue(&exchange, "", &instance)?;
 
-        let unicast = self.mq.subscribe(oid)?;
+        let unicast = self.mq.subscribe(oid.as_str())?;
         let multicast = self.mq.subscribe(&instance)?;
 
         spawn_instance(
             SkeletonConfig {
                 mq: self.mq.clone(),
                 codec: self.config.codec.clone(),
-                oid: oid.to_string(),
+                oid: oid.as_str().to_string(),
                 instance,
                 poll: self.config.poll,
             },
@@ -152,9 +158,10 @@ impl Broker {
     ///
     /// [`crate::OmqError::UnknownObject`] if nothing was ever bound to
     /// `oid`.
-    pub fn lookup(&self, oid: &str) -> OmqResult<Proxy> {
-        if !self.mq.queue_exists(oid) {
-            return Err(unknown_object(oid));
+    pub fn lookup(&self, oid: impl Into<Oid>) -> OmqResult<Proxy> {
+        let oid = oid.into();
+        if !self.mq.queue_exists(oid.as_str()) {
+            return Err(unknown_object(oid.as_str()));
         }
         let n = NEXT_PROXY.fetch_add(1, Ordering::Relaxed);
         let response_queue = format!("omq.resp.{n}");
@@ -166,19 +173,20 @@ impl Broker {
             },
         )?;
         let consumer = self.mq.subscribe(&response_queue)?;
+        let multi_exchange = Self::multi_exchange_name(&oid);
         Ok(Proxy::new(
             self.mq.clone(),
             self.config.codec.clone(),
-            oid.to_string(),
-            Self::multi_exchange_name(oid),
+            oid.as_str().to_string(),
+            multi_exchange,
             response_queue,
             consumer,
         ))
     }
 
     /// Whether any object was ever bound under `oid`.
-    pub fn object_exists(&self, oid: &str) -> bool {
-        self.mq.queue_exists(oid)
+    pub fn object_exists(&self, oid: impl Into<Oid>) -> bool {
+        self.mq.queue_exists(oid.into().as_str())
     }
 
     /// Number of instances currently competing on the `oid` queue.
@@ -186,8 +194,8 @@ impl Broker {
     /// # Errors
     ///
     /// Fails if `oid` was never bound.
-    pub fn instance_count(&self, oid: &str) -> OmqResult<usize> {
-        Ok(self.mq.queue_stats(oid)?.consumers)
+    pub fn instance_count(&self, oid: impl Into<Oid>) -> OmqResult<usize> {
+        Ok(self.mq.queue_stats(oid.into().as_str())?.consumers)
     }
 
     /// Aggregates queue-side observations with per-instance stats into the
@@ -196,10 +204,20 @@ impl Broker {
     /// # Errors
     ///
     /// Fails if `oid` was never bound.
-    pub fn pool_info(&self, oid: &str, instance_infos: &[ObjectInfo]) -> OmqResult<PoolInfo> {
-        let stats = self.mq.queue_stats(oid)?;
-        let rate = self.mq.queue_arrival_rate(oid)?;
-        Ok(PoolInfo::aggregate(oid, instance_infos, stats.depth, rate))
+    pub fn pool_info(
+        &self,
+        oid: impl Into<Oid>,
+        instance_infos: &[ObjectInfo],
+    ) -> OmqResult<PoolInfo> {
+        let oid = oid.into();
+        let stats = self.mq.queue_stats(oid.as_str())?;
+        let rate = self.mq.queue_arrival_rate(oid.as_str())?;
+        Ok(PoolInfo::aggregate(
+            oid.as_str(),
+            instance_infos,
+            stats.depth,
+            rate,
+        ))
     }
 }
 

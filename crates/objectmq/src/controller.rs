@@ -11,6 +11,7 @@
 
 use crate::broker::Broker;
 use crate::error::{OmqError, OmqResult};
+use crate::oid::Oid;
 use crate::provision::AutoScaler;
 use crate::supervisor::Supervisor;
 use parking_lot::Mutex;
@@ -23,7 +24,7 @@ use std::time::{Duration, Instant};
 #[derive(Debug, Clone)]
 pub struct ControllerConfig {
     /// The service oid whose global request queue is observed.
-    pub oid: String,
+    pub oid: Oid,
     /// Reactive period (paper: 5 minutes; tests compress it).
     pub reactive_period: Duration,
     /// Predictive period (paper: 15 minutes). The slot clock starts when
@@ -33,9 +34,9 @@ pub struct ControllerConfig {
 
 impl ControllerConfig {
     /// Paper cadence for a service oid.
-    pub fn paper(oid: &str) -> Self {
+    pub fn paper(oid: impl Into<Oid>) -> Self {
         ControllerConfig {
-            oid: oid.to_string(),
+            oid: oid.into(),
             reactive_period: Duration::from_secs(300),
             predictive_period: Duration::from_secs(900),
         }
@@ -73,7 +74,7 @@ impl ElasticController {
         config: ControllerConfig,
     ) -> OmqResult<Self> {
         if !broker.object_exists(&config.oid) {
-            return Err(OmqError::UnknownObject(config.oid));
+            return Err(OmqError::UnknownObject(config.oid.as_str().to_string()));
         }
         let stop = Arc::new(AtomicBool::new(false));
         let last_target = Arc::new(AtomicUsize::new(supervisor.target()));
@@ -110,7 +111,8 @@ impl ElasticController {
                 }
                 if last_reactive.elapsed() >= config.reactive_period {
                     last_reactive = Instant::now();
-                    if let Ok(observed) = broker.messaging().queue_arrival_rate(&config.oid) {
+                    if let Ok(observed) = broker.messaging().queue_arrival_rate(config.oid.as_str())
+                    {
                         lambda_gauge.set(observed);
                         if let Some(n) = scaler.reactive_tick(observed) {
                             proposed = Some(n);
@@ -212,7 +214,7 @@ mod tests {
         let supervisor = Supervisor::start(
             broker.clone(),
             SupervisorConfig {
-                oid: "svc".to_string(),
+                oid: "svc".into(),
                 check_interval: Duration::from_millis(60),
                 command_timeout: Duration::from_millis(800),
                 ..Default::default()
@@ -241,7 +243,7 @@ mod tests {
             supervisor,
             scaler,
             ControllerConfig {
-                oid: "svc".to_string(),
+                oid: "svc".into(),
                 reactive_period: Duration::from_millis(200),
                 predictive_period: Duration::from_secs(900),
             },
@@ -280,7 +282,7 @@ mod tests {
         let supervisor = Supervisor::start(
             broker.clone(),
             SupervisorConfig {
-                oid: "ghost".to_string(),
+                oid: "ghost".into(),
                 check_interval: Duration::from_millis(100),
                 command_timeout: Duration::from_millis(500),
                 ..Default::default()

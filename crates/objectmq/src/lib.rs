@@ -8,7 +8,9 @@
 //!
 //! The building blocks mirror the paper:
 //!
-//! * [`Broker::bind`] binds a [`RemoteObject`] instance to a name (`oid`).
+//! * [`Broker::bind`] binds a [`RemoteObject`] instance to a typed name
+//!   ([`Oid`], convertible from `&str`/`String`, const-constructible via
+//!   [`Oid::from_static`]).
 //!   Internally a queue named `oid` is created; binding several instances to
 //!   the same `oid` makes them *competing consumers* and the MOM layer
 //!   load-balances calls between them — this is what lets the service scale
@@ -65,6 +67,7 @@ mod error;
 #[macro_use]
 mod macros;
 mod info;
+mod oid;
 pub mod provision;
 mod proxy;
 mod rpc;
@@ -75,6 +78,7 @@ pub use broker::{Broker, BrokerConfig};
 pub use controller::{ControllerConfig, ElasticController};
 pub use error::{CallError, CallResult, OmqError, OmqResult};
 pub use info::{ObjectInfo, PoolInfo, ServiceStats};
+pub use oid::Oid;
 pub use proxy::Proxy;
 pub use rpc::{Request, Response};
 pub use server::{RemoteObject, ServerHandle};

@@ -1,0 +1,112 @@
+//! Typed object identifiers.
+//!
+//! ObjectMQ names are "implemented by the queues themselves" — an `oid`
+//! *is* a queue name. That made every bind/lookup signature a bare `&str`,
+//! and service-level identifiers (the sync service name, per-workspace
+//! notification topics) floated around as stringly-typed values that were
+//! easy to confuse with method names, user names, or queue internals.
+//! [`Oid`] gives them a type without giving up ergonomics: it is
+//! const-constructible (so crates can export `pub const MY_OID: Oid`),
+//! cheap to build from literals, and every broker entry point takes
+//! `impl Into<Oid>` so existing `&str` call sites keep compiling.
+
+use std::borrow::Cow;
+use std::fmt;
+
+/// The name of a distributed object: what [`crate::Broker::bind`] binds and
+/// [`crate::Broker::lookup`] resolves.
+///
+/// Internally a `Cow<'static, str>`, so `Oid::from_static("sync-service")`
+/// is a free `const` and dynamically built names (e.g. per-workspace
+/// notification topics) allocate once.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Oid(Cow<'static, str>);
+
+impl Oid {
+    /// Const constructor for static object names.
+    #[must_use]
+    pub const fn from_static(name: &'static str) -> Self {
+        Oid(Cow::Borrowed(name))
+    }
+
+    /// The oid as a string slice — also the name of the underlying queue.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for Oid {
+    fn from(s: &str) -> Self {
+        Oid(Cow::Owned(s.to_string()))
+    }
+}
+
+impl From<String> for Oid {
+    fn from(s: String) -> Self {
+        Oid(Cow::Owned(s))
+    }
+}
+
+impl From<&String> for Oid {
+    fn from(s: &String) -> Self {
+        Oid(Cow::Owned(s.clone()))
+    }
+}
+
+impl From<&Oid> for Oid {
+    fn from(o: &Oid) -> Self {
+        o.clone()
+    }
+}
+
+impl fmt::Display for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl AsRef<str> for Oid {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl PartialEq<str> for Oid {
+    fn eq(&self, other: &str) -> bool {
+        self.0 == other
+    }
+}
+
+impl PartialEq<&str> for Oid {
+    fn eq(&self, other: &&str) -> bool {
+        self.0 == *other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const STATIC_OID: Oid = Oid::from_static("svc");
+
+    #[test]
+    fn const_and_owned_compare_equal() {
+        assert_eq!(STATIC_OID, Oid::from("svc"));
+        assert_eq!(STATIC_OID, Oid::from("svc".to_string()));
+        assert_eq!(STATIC_OID, "svc");
+        assert_eq!(STATIC_OID.as_str(), "svc");
+        assert_eq!(format!("{STATIC_OID}"), "svc");
+    }
+
+    #[test]
+    fn conversions_cover_call_site_shapes() {
+        fn takes(oid: impl Into<Oid>) -> Oid {
+            oid.into()
+        }
+        let owned = String::from("dyn");
+        assert_eq!(takes("dyn"), takes(owned.clone()));
+        assert_eq!(takes("dyn"), takes(&owned));
+        assert_eq!(takes("svc"), takes(STATIC_OID.clone()));
+    }
+}

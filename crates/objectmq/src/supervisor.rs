@@ -7,6 +7,7 @@
 
 use crate::broker::Broker;
 use crate::error::{OmqError, OmqResult};
+use crate::oid::Oid;
 use crate::server::{RemoteObject, ServerHandle};
 use mqsim::{Clock, ExchangeKind, Message, Messaging, QueueOptions, SystemClock};
 use parking_lot::{Mutex, RwLock};
@@ -192,27 +193,27 @@ impl RemoteBroker {
 
     /// Registers a factory so the Supervisor can spawn instances of `oid`
     /// here.
-    pub fn register_factory(&self, oid: &str, factory: ObjectFactory) {
+    pub fn register_factory(&self, oid: impl Into<Oid>, factory: ObjectFactory) {
         self.state
             .factories
             .write()
-            .insert(oid.to_string(), factory);
+            .insert(oid.into().as_str().to_string(), factory);
     }
 
     /// Instances of `oid` currently alive on this node.
-    pub fn local_count(&self, oid: &str) -> usize {
-        self.state.count(oid)
+    pub fn local_count(&self, oid: impl Into<Oid>) -> usize {
+        self.state.count(oid.into().as_str())
     }
 
     /// Kills one local instance of `oid` *abruptly* (crash injection for
     /// the fault-tolerance experiment, paper §5.3.4). Returns whether an
     /// instance existed.
-    pub fn crash_one(&self, oid: &str) -> bool {
+    pub fn crash_one(&self, oid: impl Into<Oid>) -> bool {
         let handle = self
             .state
             .instances
             .lock()
-            .get_mut(oid)
+            .get_mut(oid.into().as_str())
             .and_then(|v| v.pop());
         match handle {
             Some(h) => {
@@ -246,7 +247,7 @@ impl RemoteBroker {
 #[derive(Debug, Clone)]
 pub struct SupervisorConfig {
     /// The service oid whose pool is enforced.
-    pub oid: String,
+    pub oid: Oid,
     /// Liveness/enforcement period (paper: every second).
     pub check_interval: Duration,
     /// Timeout for each command to the remote brokers.
@@ -259,7 +260,7 @@ pub struct SupervisorConfig {
 impl Default for SupervisorConfig {
     fn default() -> Self {
         SupervisorConfig {
-            oid: String::new(),
+            oid: Oid::from_static(""),
             check_interval: Duration::from_secs(1),
             command_timeout: Duration::from_millis(800),
             clock: Arc::new(SystemClock::new()),
@@ -621,7 +622,7 @@ mod tests {
 
     fn fast_config(oid: &str) -> SupervisorConfig {
         SupervisorConfig {
-            oid: oid.to_string(),
+            oid: Oid::from(oid),
             check_interval: Duration::from_millis(60),
             command_timeout: Duration::from_millis(500),
             ..Default::default()

@@ -344,7 +344,7 @@ impl DesktopClient {
         // Register for push notifications: bind a listener object to the
         // workspace's fanout oid.
         let listener = broker.bind(
-            &workspace_notification_oid(workspace),
+            workspace_notification_oid(workspace),
             NotificationListener {
                 shared: shared.clone(),
             },

@@ -34,7 +34,7 @@
 //! let broker = Broker::in_process();
 //! let store = SwiftStore::new(LatencyModel::instant());
 //! let meta: Arc<dyn MetadataStore> = Arc::new(InMemoryStore::new());
-//! let service = SyncService::new(meta.clone(), broker.clone());
+//! let service = SyncService::builder(&broker).store(meta.clone()).build();
 //! let _server = service.bind(&broker)?;
 //!
 //! let ws = stacksync::provision_user(meta.as_ref(), "alice", "Documents")?;
@@ -60,9 +60,10 @@ pub use client::{ChunkingStrategy, ClientConfig, ClientStats, DesktopClient};
 pub use conflict::conflict_copy_path;
 pub use error::{SyncError, SyncResult};
 pub use protocol::{CommitNotification, NotifiedChange};
-pub use service::{SyncService, SyncServiceConfig, SYNC_SERVICE_OID};
+pub use service::{SyncService, SyncServiceBuilder, SyncServiceConfig, SYNC_SERVICE_OID};
 
 use metadata::{MetadataStore, WorkspaceId};
+use objectmq::Oid;
 
 /// Convenience: creates a user with one workspace in the metadata tier.
 ///
@@ -82,6 +83,6 @@ pub fn provision_user(
 /// workspace binds a listener object here and the SyncService multi-calls
 /// `notify_commit` on it (paper Fig. 5: "a multi fanout for each
 /// workspace").
-pub fn workspace_notification_oid(workspace: &WorkspaceId) -> String {
-    format!("ws.notify.{workspace}")
+pub fn workspace_notification_oid(workspace: &WorkspaceId) -> Oid {
+    Oid::from(format!("ws.notify.{workspace}"))
 }

@@ -4,8 +4,8 @@ use crate::protocol::{
     item_from_value, item_to_value, workspace_to_value, CommitNotification, NotifiedChange,
 };
 use crate::workspace_notification_oid;
-use metadata::{MetadataStore, WorkspaceId};
-use objectmq::{Broker, OmqResult, Proxy, RemoteObject, ServerHandle};
+use metadata::{InMemoryStore, MetadataStore, WorkspaceId};
+use objectmq::{Broker, Oid, OmqResult, Proxy, RemoteObject, ServerHandle};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -16,7 +16,7 @@ use wire::Value;
 /// The well-known oid the SyncService binds to. All instances share this
 /// queue; the broker load-balances commit requests between them, which is
 /// what makes the pool elastically scalable.
-pub const SYNC_SERVICE_OID: &str = "sync-service";
+pub const SYNC_SERVICE_OID: Oid = Oid::from_static("sync-service");
 
 /// SyncService tuning.
 #[derive(Debug, Clone)]
@@ -39,9 +39,72 @@ struct ServiceInner {
     meta: Arc<dyn MetadataStore>,
     broker: Broker,
     config: SyncServiceConfig,
-    notify_proxies: Mutex<HashMap<String, Arc<Proxy>>>,
+    notify_proxies: Mutex<HashMap<Oid, Arc<Proxy>>>,
     commits: AtomicU64,
     conflicts: AtomicU64,
+}
+
+/// Builds a [`SyncService`]: picks the metadata store (the DAO the paper
+/// says is replaceable — [`InMemoryStore`], [`metadata::ShardedStore`], or
+/// any other [`MetadataStore`]) and the service tuning, then [`build`]s.
+///
+/// [`build`]: SyncServiceBuilder::build
+pub struct SyncServiceBuilder {
+    broker: Broker,
+    store: Option<Arc<dyn MetadataStore>>,
+    config: SyncServiceConfig,
+}
+
+impl std::fmt::Debug for SyncServiceBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SyncServiceBuilder")
+            .field("config", &self.config)
+            .field("store_set", &self.store.is_some())
+            .finish()
+    }
+}
+
+impl SyncServiceBuilder {
+    /// Selects the metadata back-end. Defaults to a fresh
+    /// [`InMemoryStore`] when not called.
+    #[must_use]
+    pub fn store(mut self, store: Arc<dyn MetadataStore>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Injects extra processing time per commit request (elasticity
+    /// experiments set the paper's measured 50 ms mean service time).
+    #[must_use]
+    pub fn service_delay(mut self, delay: Duration) -> Self {
+        self.config.service_delay = delay;
+        self
+    }
+
+    /// Replaces the whole tuning block.
+    #[must_use]
+    pub fn config(mut self, config: SyncServiceConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Finishes building the service.
+    #[must_use]
+    pub fn build(self) -> SyncService {
+        let meta = self
+            .store
+            .unwrap_or_else(|| Arc::new(InMemoryStore::new()) as Arc<dyn MetadataStore>);
+        SyncService {
+            inner: Arc::new(ServiceInner {
+                meta,
+                broker: self.broker,
+                config: self.config,
+                notify_proxies: Mutex::new(HashMap::new()),
+                commits: AtomicU64::new(0),
+                conflicts: AtomicU64::new(0),
+            }),
+        }
+    }
 }
 
 /// The file syncing service. Stateless by design: all state lives in the
@@ -66,28 +129,19 @@ impl std::fmt::Debug for SyncService {
 }
 
 impl SyncService {
-    /// Creates a service over a metadata store; `broker` is used to push
-    /// commit notifications.
-    pub fn new(meta: Arc<dyn MetadataStore>, broker: Broker) -> Self {
-        Self::with_config(meta, broker, SyncServiceConfig::default())
+    /// Starts building a service; `broker` is used to push commit
+    /// notifications. See [`SyncServiceBuilder`] for the knobs.
+    pub fn builder(broker: &Broker) -> SyncServiceBuilder {
+        SyncServiceBuilder {
+            broker: broker.clone(),
+            store: None,
+            config: SyncServiceConfig::default(),
+        }
     }
 
-    /// Creates a service with explicit tuning.
-    pub fn with_config(
-        meta: Arc<dyn MetadataStore>,
-        broker: Broker,
-        config: SyncServiceConfig,
-    ) -> Self {
-        SyncService {
-            inner: Arc::new(ServiceInner {
-                meta,
-                broker,
-                config,
-                notify_proxies: Mutex::new(HashMap::new()),
-                commits: AtomicU64::new(0),
-                conflicts: AtomicU64::new(0),
-            }),
-        }
+    /// The metadata store this service commits against.
+    pub fn store(&self) -> &Arc<dyn MetadataStore> {
+        &self.inner.meta
     }
 
     /// Binds one instance of this service to the shared request queue.
@@ -142,7 +196,7 @@ impl SyncService {
             .inner
             .meta
             .get_workspace(&WorkspaceId(ws.to_string()))
-            .ok_or_else(|| format!("unknown workspace: {ws}"))?;
+            .map_err(|e| e.to_string())?;
         Ok(workspace_to_value(&workspace))
     }
 
@@ -258,7 +312,7 @@ mod tests {
         let meta: Arc<dyn MetadataStore> = Arc::new(InMemoryStore::new());
         meta.create_user("alice").unwrap();
         let ws = meta.create_workspace("alice", "Docs").unwrap();
-        let service = SyncService::new(meta.clone(), broker.clone());
+        let service = SyncService::builder(&broker).store(meta.clone()).build();
         (broker, service, ws, meta)
     }
 

@@ -23,7 +23,7 @@ fn stack() -> Stack {
     let broker = Broker::in_process();
     let store = SwiftStore::new(LatencyModel::instant());
     let meta: Arc<dyn MetadataStore> = Arc::new(InMemoryStore::new());
-    let service = SyncService::new(meta.clone(), broker.clone());
+    let service = SyncService::builder(&broker).store(meta.clone()).build();
     let server = service.bind(&broker).unwrap();
     Stack {
         broker,
@@ -176,13 +176,10 @@ fn conflict_creates_conflict_copy_and_converges() {
     let broker = Broker::in_process();
     let store = SwiftStore::new(LatencyModel::instant());
     let meta: Arc<dyn MetadataStore> = Arc::new(InMemoryStore::new());
-    let service = SyncService::with_config(
-        meta.clone(),
-        broker.clone(),
-        stacksync::SyncServiceConfig {
-            service_delay: Duration::from_millis(100),
-        },
-    );
+    let service = SyncService::builder(&broker)
+        .store(meta.clone())
+        .service_delay(Duration::from_millis(100))
+        .build();
     let _server = service.bind(&broker).unwrap();
     let s = Stack {
         broker,

@@ -16,7 +16,7 @@ fn service() -> SyncService {
     let meta: Arc<dyn MetadataStore> = Arc::new(InMemoryStore::new());
     meta.create_user("u").unwrap();
     meta.create_workspace("u", "w").unwrap();
-    SyncService::new(meta, broker)
+    SyncService::builder(&broker).store(meta).build()
 }
 
 fn arb_value() -> impl Strategy<Value = Value> {
@@ -79,7 +79,7 @@ fn listener_rejects_malformed_notifications_gracefully() {
     let broker = Broker::in_process();
     let store = SwiftStore::new(LatencyModel::instant());
     let meta: Arc<dyn MetadataStore> = Arc::new(InMemoryStore::new());
-    let service = SyncService::new(meta.clone(), broker.clone());
+    let service = SyncService::builder(&broker).store(meta.clone()).build();
     let _server = service.bind(&broker).unwrap();
     let ws = provision_user(meta.as_ref(), "alice", "Docs").unwrap();
     let client = DesktopClient::connect(
@@ -92,7 +92,7 @@ fn listener_rejects_malformed_notifications_gracefully() {
 
     // Inject garbage straight at the workspace notification object.
     let proxy = broker
-        .lookup(&stacksync::workspace_notification_oid(&ws))
+        .lookup(stacksync::workspace_notification_oid(&ws))
         .unwrap();
     for garbage in [
         Value::Null,

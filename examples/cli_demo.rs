@@ -32,13 +32,13 @@ impl Cloud {
         let broker = Broker::in_process();
         let store = SwiftStore::new(LatencyModel::instant());
         let meta: Arc<dyn MetadataStore> = Arc::new(metadata::InMemoryStore::new());
-        let service = SyncService::new(meta.clone(), broker.clone());
+        let service = SyncService::builder(&broker).store(meta.clone()).build();
         let node = RemoteBroker::start(broker.clone(), 1)?;
         node.register_factory(SYNC_SERVICE_OID, service.factory());
         let supervisor = Supervisor::start(
             broker.clone(),
             SupervisorConfig {
-                oid: SYNC_SERVICE_OID.to_string(),
+                oid: SYNC_SERVICE_OID,
                 check_interval: Duration::from_millis(100),
                 command_timeout: Duration::from_millis(800),
                 ..Default::default()
@@ -167,7 +167,7 @@ impl Cloud {
                 let depth = self
                     .broker
                     .messaging()
-                    .queue_depth(SYNC_SERVICE_OID)
+                    .queue_depth(SYNC_SERVICE_OID.as_str())
                     .unwrap_or(0);
                 Ok(format!(
                     "pool: {live} instance(s) (target {}) | queue depth {depth} | commits {} | conflicts {}",

@@ -18,7 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let broker = Broker::in_process();
     let store = SwiftStore::new(LatencyModel::instant());
     let meta: Arc<dyn MetadataStore> = Arc::new(InMemoryStore::new());
-    let service = SyncService::new(meta.clone(), broker.clone());
+    let service = SyncService::builder(&broker).store(meta.clone()).build();
 
     // Two slave nodes that can host SyncService instances.
     let node_a = RemoteBroker::start(broker.clone(), 1)?;
@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let supervisor = Supervisor::start(
         broker.clone(),
         SupervisorConfig {
-            oid: SYNC_SERVICE_OID.to_string(),
+            oid: SYNC_SERVICE_OID,
             check_interval: Duration::from_millis(100),
             command_timeout: Duration::from_millis(800),
             ..Default::default()

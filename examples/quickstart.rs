@@ -52,7 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // and the SyncService bound on the same messaging layer.
     let store = SwiftStore::new(LatencyModel::instant());
     let meta: Arc<dyn MetadataStore> = Arc::new(InMemoryStore::new());
-    let service = SyncService::new(meta.clone(), broker.clone());
+    let service = SyncService::builder(&broker).store(meta.clone()).build();
     let _sync_server = service.bind(&broker)?;
 
     let workspace = provision_user(meta.as_ref(), "alice", "Documents")?;

@@ -8,7 +8,7 @@
 
 use metadata::{InMemoryStore, MetadataStore};
 use objectmq::Broker;
-use stacksync::{provision_user, ClientConfig, DesktopClient, SyncService, SyncServiceConfig};
+use stacksync::{provision_user, ClientConfig, DesktopClient, SyncService};
 use std::sync::Arc;
 use std::time::Duration;
 use storage::{LatencyModel, SwiftStore};
@@ -21,13 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let meta: Arc<dyn MetadataStore> = Arc::new(InMemoryStore::new());
     // Inject the paper's measured 50 ms commit service time so concurrent
     // edits genuinely race (and conflict) like on a real deployment.
-    let service = SyncService::with_config(
-        meta.clone(),
-        broker.clone(),
-        SyncServiceConfig {
-            service_delay: Duration::from_millis(50),
-        },
-    );
+    let service = SyncService::builder(&broker)
+        .store(meta.clone())
+        .service_delay(Duration::from_millis(50))
+        .build();
     let _server = service.bind(&broker)?;
 
     let ws = provision_user(meta.as_ref(), "team", "Project")?;

@@ -86,7 +86,7 @@ fn supervisor_pacing_runs_on_the_virtual_clock() {
     // without anyone sleeping an hour.
     let broker = Broker::in_process();
     let meta: Arc<dyn MetadataStore> = Arc::new(InMemoryStore::new());
-    let service = SyncService::new(meta.clone(), broker.clone());
+    let service = SyncService::builder(&broker).store(meta.clone()).build();
     let node = RemoteBroker::start(broker.clone(), 1).unwrap();
     node.register_factory(SYNC_SERVICE_OID, service.factory());
 
@@ -94,7 +94,7 @@ fn supervisor_pacing_runs_on_the_virtual_clock() {
     let supervisor = Supervisor::start(
         broker.clone(),
         SupervisorConfig {
-            oid: SYNC_SERVICE_OID.to_string(),
+            oid: SYNC_SERVICE_OID,
             check_interval: Duration::from_secs(3600),
             command_timeout: Duration::from_millis(800),
             clock: Arc::new(clock.clone()),
@@ -143,7 +143,7 @@ fn full_stack_works_over_json_transport() {
     let broker = Broker::new(MessageBroker::new(), config);
     let store = SwiftStore::new(LatencyModel::instant());
     let meta: Arc<dyn MetadataStore> = Arc::new(InMemoryStore::new());
-    let service = SyncService::new(meta.clone(), broker.clone());
+    let service = SyncService::builder(&broker).store(meta.clone()).build();
     let _server = service.bind(&broker).unwrap();
     let ws = provision_user(meta.as_ref(), "json", "ws").unwrap();
     let a = DesktopClient::connect(

@@ -29,7 +29,7 @@ fn trace_replay_converges_to_reference_fileset() {
     let broker = Broker::in_process();
     let store = SwiftStore::new(LatencyModel::instant());
     let meta: Arc<dyn MetadataStore> = Arc::new(InMemoryStore::new());
-    let service = SyncService::new(meta.clone(), broker.clone());
+    let service = SyncService::builder(&broker).store(meta.clone()).build();
     let _server = service.bind(&broker).unwrap();
     let ws = provision_user(meta.as_ref(), "replay", "ws").unwrap();
 
@@ -113,7 +113,7 @@ fn live_traffic_agrees_with_protocol_model() {
     let broker = Broker::in_process();
     let store = SwiftStore::new(LatencyModel::instant());
     let meta: Arc<dyn MetadataStore> = Arc::new(InMemoryStore::new());
-    let service = SyncService::new(meta.clone(), broker.clone());
+    let service = SyncService::builder(&broker).store(meta.clone()).build();
     let _server = service.bind(&broker).unwrap();
     let ws = provision_user(meta.as_ref(), "model", "ws").unwrap();
     let client = DesktopClient::connect(

@@ -10,9 +10,7 @@ use objectmq::provision::{
     AutoScaler, GgOneModel, PredictiveProvisioner, ReactiveProvisioner, ScalingPolicy,
 };
 use objectmq::{Broker, RemoteBroker, Supervisor, SupervisorConfig};
-use stacksync::{
-    provision_user, ClientConfig, DesktopClient, SyncService, SyncServiceConfig, SYNC_SERVICE_OID,
-};
+use stacksync::{provision_user, ClientConfig, DesktopClient, SyncService, SYNC_SERVICE_OID};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use storage::{LatencyModel, SwiftStore};
@@ -23,13 +21,10 @@ fn autoscaler_grows_live_pool_under_load_and_shrinks_after() {
     let store = SwiftStore::new(LatencyModel::instant());
     let meta: Arc<dyn MetadataStore> = Arc::new(InMemoryStore::new());
     // A deliberately slow service (20 ms per commit) so load is visible.
-    let service = SyncService::with_config(
-        meta.clone(),
-        broker.clone(),
-        SyncServiceConfig {
-            service_delay: Duration::from_millis(20),
-        },
-    );
+    let service = SyncService::builder(&broker)
+        .store(meta.clone())
+        .service_delay(Duration::from_millis(20))
+        .build();
 
     // Slaves + supervisor.
     let node = RemoteBroker::start(broker.clone(), 1).unwrap();
@@ -37,7 +32,7 @@ fn autoscaler_grows_live_pool_under_load_and_shrinks_after() {
     let supervisor = Supervisor::start(
         broker.clone(),
         SupervisorConfig {
-            oid: SYNC_SERVICE_OID.to_string(),
+            oid: SYNC_SERVICE_OID,
             check_interval: Duration::from_millis(80),
             command_timeout: Duration::from_millis(800),
             ..Default::default()
@@ -87,7 +82,7 @@ fn autoscaler_grows_live_pool_under_load_and_shrinks_after() {
     // Reactive decision from the real queue-side observation.
     let observed = broker
         .messaging()
-        .queue_arrival_rate(SYNC_SERVICE_OID)
+        .queue_arrival_rate(SYNC_SERVICE_OID.as_str())
         .unwrap();
     assert!(observed > 10.0, "observed rate too low: {observed}");
     let target = scaler.reactive_tick(observed).expect("must react");
@@ -127,13 +122,10 @@ fn queue_stats_expose_provisioning_signals() {
     let broker = Broker::in_process();
     let store = SwiftStore::new(LatencyModel::instant());
     let meta: Arc<dyn MetadataStore> = Arc::new(InMemoryStore::new());
-    let service = SyncService::with_config(
-        meta.clone(),
-        broker.clone(),
-        SyncServiceConfig {
-            service_delay: Duration::from_millis(50),
-        },
-    );
+    let service = SyncService::builder(&broker)
+        .store(meta.clone())
+        .service_delay(Duration::from_millis(50))
+        .build();
     let server = service.bind(&broker).unwrap();
     let ws = provision_user(meta.as_ref(), "sig", "ws").unwrap();
     let client = DesktopClient::connect(
@@ -147,7 +139,10 @@ fn queue_stats_expose_provisioning_signals() {
     for i in 0..30 {
         client.write_file(&format!("f{i}"), vec![0u8; 64]).unwrap();
     }
-    let stats: QueueStats = broker.messaging().queue_stats(SYNC_SERVICE_OID).unwrap();
+    let stats: QueueStats = broker
+        .messaging()
+        .queue_stats(SYNC_SERVICE_OID.as_str())
+        .unwrap();
     assert!(stats.published >= 30);
     assert!(
         stats.depth + stats.unacked > 0,

@@ -37,7 +37,7 @@ impl TcpStack {
         let server = BrokerServer::bind("127.0.0.1:0", mq.clone()).expect("bind server");
         let broker = Broker::new(mq, BrokerConfig::default());
         let meta: Arc<dyn MetadataStore> = Arc::new(InMemoryStore::new());
-        let service = SyncService::new(meta.clone(), broker.clone());
+        let service = SyncService::builder(&broker).store(meta.clone()).build();
         let service_handle = service.bind(&broker).expect("bind service");
         TcpStack {
             server,

@@ -23,7 +23,7 @@ fn call_sync_produces_counters_histograms_and_a_complete_trace() {
     let meta: Arc<dyn MetadataStore> = Arc::new(InMemoryStore::new());
     meta.create_user("alice").unwrap();
     let ws = meta.create_workspace("alice", "Docs").unwrap();
-    let service = SyncService::new(meta.clone(), broker.clone());
+    let service = SyncService::builder(&broker).store(meta.clone()).build();
     let _handle = service.bind(&broker).unwrap();
     let proxy = broker.lookup(SYNC_SERVICE_OID).unwrap();
 

@@ -30,7 +30,7 @@ fn server_side_restart_preserves_the_cloud() {
         let backend = Arc::new(DiskBackend::open(&chunk_root).unwrap());
         let store = SwiftStore::with_backend(LatencyModel::instant(), backend);
         let meta = Arc::new(InMemoryStore::new());
-        let service = SyncService::new(meta.clone(), broker.clone());
+        let service = SyncService::builder(&broker).store(meta.clone()).build();
         let _server = service.bind(&broker).unwrap();
         ws = provision_user(meta.as_ref(), "alice", "Docs").unwrap();
         let client = DesktopClient::connect(
@@ -60,7 +60,7 @@ fn server_side_restart_preserves_the_cloud() {
         let backend = Arc::new(DiskBackend::open(&chunk_root).unwrap());
         let store = SwiftStore::with_backend(LatencyModel::instant(), backend);
         let meta = Arc::new(InMemoryStore::load_checkpoint(&checkpoint).unwrap());
-        let service = SyncService::new(meta.clone(), broker.clone());
+        let service = SyncService::builder(&broker).store(meta.clone()).build();
         let _server = service.bind(&broker).unwrap();
 
         // The account/container are front-end state; re-register like a
