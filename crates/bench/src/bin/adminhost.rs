@@ -1,0 +1,66 @@
+//! Minimal long-running host for the admin-endpoint CI smoke test.
+//!
+//! ```sh
+//! cargo run -p bench --bin adminhost -- --admin 127.0.0.1:9633 [--duration 30]
+//! ```
+//!
+//! Boots the real server stack — `mqsim` broker behind a [`BrokerServer`],
+//! a bound `SyncService` over an [`InMemoryStore`] — plus the obs admin
+//! endpoint, then commits one small change per 100 ms so `/metrics`,
+//! `/spans` and `/healthz` have live data to serve. Prints
+//! `ADMIN http://<addr>` once the endpoint is up (the smoke script scrapes
+//! that line), and exits cleanly after `--duration` seconds (default 30).
+
+use bench::arg_value;
+use metadata::{InMemoryStore, MetadataStore};
+use mqsim::MessageBroker;
+use net::BrokerServer;
+use objectmq::{Broker, BrokerConfig};
+use stacksync::{provision_user, ClientConfig, DesktopClient, SyncService};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use storage::{LatencyModel, SwiftStore};
+
+fn main() {
+    let admin_addr = arg_value("--admin").unwrap_or_else(|| "127.0.0.1:0".to_string());
+    let duration = arg_value("--duration")
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(30);
+
+    obs::flight::install_panic_hook();
+
+    let mq = MessageBroker::new();
+    let server = BrokerServer::bind("127.0.0.1:0", mq.clone()).expect("bind broker server");
+    let broker = Broker::new(mq, BrokerConfig::default());
+    let meta: Arc<dyn MetadataStore> = Arc::new(InMemoryStore::new());
+    let service = SyncService::builder(&broker).store(meta.clone()).build();
+    let _service_handle = service.bind(&broker).expect("bind service");
+    let ws = provision_user(meta.as_ref(), "admin-smoke", "ws").expect("provision");
+
+    let admin = obs::serve_admin(&admin_addr[..]).expect("bind admin endpoint");
+    println!("broker server on {}", server.local_addr());
+    println!("ADMIN http://{}", admin.local_addr());
+
+    let store = SwiftStore::new(LatencyModel::instant());
+    let client = DesktopClient::connect(
+        &broker,
+        &store,
+        ClientConfig::new("admin-smoke", "smoke-dev"),
+        &ws,
+    )
+    .expect("connect client");
+
+    // A steady trickle of real commits keeps every admin surface non-empty
+    // while the scraper probes it.
+    let deadline = Instant::now() + Duration::from_secs(duration);
+    let mut i = 0u64;
+    while Instant::now() < deadline {
+        client
+            .write_file(&format!("smoke-{}.dat", i % 8), vec![0xA5; 1024])
+            .expect("commit");
+        i += 1;
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    println!("adminhost done: {i} commits served for {duration}s");
+    server.shutdown();
+}

@@ -49,6 +49,21 @@ fn ops() -> usize {
     arg_value("--ops").and_then(|s| s.parse().ok()).unwrap_or(3)
 }
 
+/// Honors `--trace-dir <dir>`: writes this process's span dump (with the
+/// meta header `traceview` aligns on) to `<dir>/spans-<role>-<pid>.json`.
+fn trace_dump(role: &str) {
+    let Some(dir) = arg_value("--trace-dir") else {
+        return;
+    };
+    let dir = std::path::PathBuf::from(dir);
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join(format!("spans-{role}-{}.json", std::process::id()));
+    let dump = obs::spans_json_with_meta(&format!("netdemo-{role}"));
+    if let Err(e) = std::fs::write(&path, dump) {
+        eprintln!("failed to write span dump to {}: {e}", path.display());
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Driver: broker server + sync service, spawns the two client processes
 // ---------------------------------------------------------------------------
@@ -61,6 +76,14 @@ fn driver() {
     let addr = server.local_addr().to_string();
     println!("broker server on {addr}");
 
+    // `--admin <addr>` exposes /metrics, /healthz, /spans, /snapshot and
+    // /flightrecorder for the driver process while the demo runs.
+    let _admin = arg_value("--admin").map(|a| {
+        let admin = obs::serve_admin(&a[..]).expect("bind admin endpoint");
+        println!("admin endpoint on http://{}", admin.local_addr());
+        admin
+    });
+
     let broker = Broker::new(mq, BrokerConfig::default());
     let meta: Arc<dyn MetadataStore> = Arc::new(InMemoryStore::new());
     let service = SyncService::builder(&broker).store(meta.clone()).build();
@@ -71,20 +94,26 @@ fn driver() {
     let exe = std::env::current_exe().expect("current_exe");
     let n = ops();
 
+    let trace_dir = arg_value("--trace-dir");
     let spawn = |role: &str| -> Child {
+        let mut args = vec![
+            "--role".to_string(),
+            role.to_string(),
+            "--addr".to_string(),
+            addr.clone(),
+            "--store".to_string(),
+            store_dir.to_str().unwrap().to_string(),
+            "--ws".to_string(),
+            ws.0.clone(),
+            "--ops".to_string(),
+            n.to_string(),
+        ];
+        if let Some(dir) = &trace_dir {
+            args.push("--trace-dir".to_string());
+            args.push(dir.clone());
+        }
         Command::new(&exe)
-            .args([
-                "--role",
-                role,
-                "--addr",
-                &addr,
-                "--store",
-                store_dir.to_str().unwrap(),
-                "--ws",
-                &ws.0,
-                "--ops",
-                &n.to_string(),
-            ])
+            .args(args)
             .stdout(Stdio::piped())
             .spawn()
             .unwrap_or_else(|e| panic!("spawn {role}: {e}"))
@@ -108,6 +137,7 @@ fn driver() {
         elapsed.as_secs_f64()
     );
     bench::obs_dump();
+    trace_dump("driver");
     server.shutdown();
 }
 
@@ -171,8 +201,14 @@ fn client_process(role: Role) {
         .expect("connect client");
 
     match role {
-        Role::Writer => writer(&client, n),
-        Role::Watcher => watcher(&client, n),
+        Role::Writer => {
+            writer(&client, n);
+            trace_dump("writer");
+        }
+        Role::Watcher => {
+            watcher(&client, n);
+            trace_dump("watcher");
+        }
     }
 }
 

@@ -337,6 +337,15 @@ fn main() {
 
     header("perf_suite: broker / RPC / commit performance");
 
+    // `--admin <addr>` exposes /metrics, /healthz, /spans and /snapshot
+    // live while the suite runs (the fleet-observability smoke test scrapes
+    // them under load).
+    let _admin = arg_value("--admin").map(|a| {
+        let admin = obs::serve_admin(&a[..]).expect("bind admin endpoint");
+        println!("admin endpoint on http://{}", admin.local_addr());
+        admin
+    });
+
     println!("broker throughput, unbatched ({messages} msgs of 1 KiB)...");
     let broker_unbatched = broker_throughput(messages, 1);
     println!("  {broker_unbatched:.0} msg/s");

@@ -1,0 +1,117 @@
+//! Offline trace assembly CLI.
+//!
+//! ```sh
+//! cargo run -p bench --bin traceview -- <dump-file-or-dir>... [--out trace.json]
+//! ```
+//!
+//! Reads span dumps written by `--obs-dump` (the `.spans.json` sidecar) or
+//! `netdemo --trace-dir`, merges them into cross-process traces (aligning
+//! each process's clock by its recorded epoch + handshake skew), prints the
+//! commit critical-path table, and — with `--out` — writes Chrome
+//! trace-event JSON loadable in `chrome://tracing` or <https://ui.perfetto.dev>.
+
+use obs::traceview::{
+    assemble, chrome_trace_json, commit_critical_path, mean_critical_path, parse_dump,
+    render_critical_path,
+};
+
+fn main() {
+    let mut out: Option<String> = None;
+    let mut inputs: Vec<std::path::PathBuf> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--out" {
+            out = Some(args.next().unwrap_or_else(|| usage("--out needs a path")));
+        } else if arg == "--help" || arg == "-h" {
+            usage("");
+        } else {
+            inputs.push(arg.into());
+        }
+    }
+    if inputs.is_empty() {
+        usage("no dump files given");
+    }
+
+    // Directories expand to every regular file inside (what `netdemo
+    // --trace-dir` produces); unparsable files are reported and skipped.
+    let mut files: Vec<std::path::PathBuf> = Vec::new();
+    for input in inputs {
+        if input.is_dir() {
+            let mut entries: Vec<_> = match std::fs::read_dir(&input) {
+                Ok(rd) => rd
+                    .filter_map(Result::ok)
+                    .map(|e| e.path())
+                    .filter(|p| p.is_file())
+                    .collect(),
+                Err(e) => fail(&format!("cannot read {}: {e}", input.display())),
+            };
+            entries.sort();
+            files.extend(entries);
+        } else {
+            files.push(input);
+        }
+    }
+
+    let mut dumps = Vec::new();
+    for path in &files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => fail(&format!("cannot read {}: {e}", path.display())),
+        };
+        match parse_dump(&text) {
+            Ok(dump) => {
+                eprintln!(
+                    "{}: {} span(s) from process `{}`",
+                    path.display(),
+                    dump.spans.len(),
+                    dump.process
+                );
+                dumps.push(dump);
+            }
+            Err(e) => eprintln!("{}: skipped ({e})", path.display()),
+        }
+    }
+    if dumps.is_empty() {
+        fail("no parsable dumps");
+    }
+
+    let traces = assemble(&dumps);
+    println!(
+        "assembled {} trace(s) from {} process dump(s)",
+        traces.len(),
+        dumps.len()
+    );
+
+    let paths: Vec<_> = traces.iter().filter_map(commit_critical_path).collect();
+    match mean_critical_path(&paths) {
+        Some(mean) => {
+            println!(
+                "\ncommit critical path (mean over {} commit trace(s)):\n",
+                paths.len()
+            );
+            println!("{}", render_critical_path(&mean));
+        }
+        None => println!("no commit traces found (nothing rooted at omq.call_sync/commit_request)"),
+    }
+
+    if let Some(out) = out {
+        let json = chrome_trace_json(&traces);
+        match std::fs::write(&out, json) {
+            Ok(()) => println!("Chrome trace written to {out} (load in chrome://tracing)"),
+            Err(e) => fail(&format!("cannot write {out}: {e}")),
+        }
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!("usage: traceview <dump-file-or-dir>... [--out trace.json]");
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}

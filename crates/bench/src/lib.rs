@@ -51,9 +51,11 @@ pub fn has_flag(name: &str) -> bool {
 
 /// Honors the `--obs-dump <path>` flag shared by every harness binary:
 /// writes the metrics snapshot (Prometheus text exposition) followed by the
-/// trace ring buffer (JSON lines, prefixed `# spans`) to `path`. Call once
-/// at the end of `main`. No flag, no output; a write failure is reported on
-/// stderr but never fails the run.
+/// trace ring buffer (JSON lines, prefixed `# spans`) to `path`, plus a
+/// standalone span dump (with the process-meta header `traceview`
+/// understands) to `<path>.spans.json`. Call once at the end of `main`. No
+/// flag, no output; a write failure is reported on stderr but never fails
+/// the run.
 pub fn obs_dump() {
     let Some(path) = arg_value("--obs-dump") else {
         return;
@@ -64,6 +66,14 @@ pub fn obs_dump() {
     match std::fs::write(&path, out) {
         Ok(()) => eprintln!("observability dump written to {path}"),
         Err(e) => eprintln!("failed to write observability dump to {path}: {e}"),
+    }
+    let spans_path = format!("{path}.spans.json");
+    match std::fs::write(
+        &spans_path,
+        obs::spans_json_with_meta(&obs::process_label()),
+    ) {
+        Ok(()) => eprintln!("span dump written to {spans_path}"),
+        Err(e) => eprintln!("failed to write span dump to {spans_path}: {e}"),
     }
 }
 

@@ -224,13 +224,21 @@ impl Completion {
 pub struct PoolSim {
     config: PoolSimConfig,
     rng: StdRng,
+    /// Keeps the `elastic.poolsim` health check registered while a
+    /// simulation object is alive; dropping it deregisters the check.
+    _health: obs::HealthGuard,
 }
 
 impl PoolSim {
     /// Creates a simulator.
     pub fn new(config: PoolSimConfig) -> Self {
         let rng = StdRng::seed_from_u64(config.seed);
-        PoolSim { config, rng }
+        let _health = obs::register_health("elastic.poolsim", move || Ok(()));
+        PoolSim {
+            config,
+            rng,
+            _health,
+        }
     }
 
     /// Runs the simulation.

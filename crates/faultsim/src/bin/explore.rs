@@ -67,6 +67,13 @@ fn main() {
                 } else {
                     eprintln!("artifact written to {path}");
                 }
+                // The flight recorder rode along through the failing run;
+                // dump it next to the transcript so CI uploads both.
+                let flight_path = format!("{path}.flight.json");
+                match obs::flight::dump_to(&flight_path) {
+                    Ok(()) => eprintln!("flight recorder dumped to {flight_path}"),
+                    Err(e) => eprintln!("could not write flight dump {flight_path}: {e}"),
+                }
             }
             std::process::exit(1);
         }

@@ -123,6 +123,7 @@ impl FaultPlan {
     fn record(&self, queue: &str, action: &str) {
         self.faults_injected.fetch_add(1, Ordering::Relaxed);
         self.trace.lock().push(format!("{action} {queue}"));
+        obs::flight_event!("faultsim", "{action} {queue}");
     }
 }
 

@@ -97,6 +97,9 @@ pub struct ShardedStore {
     item_home: Mutex<HashMap<u64, WorkspaceId>>,
     shards: Vec<Shard>,
     commit_latency: Duration,
+    /// Keeps the `metadata.sharded` health check registered while the
+    /// store is alive; dropping the store deregisters it.
+    _health: obs::HealthGuard,
 }
 
 impl Default for ShardedStore {
@@ -130,6 +133,7 @@ impl ShardedStore {
             item_home: Mutex::new(HashMap::new()),
             shards: (0..n).map(Shard::new).collect(),
             commit_latency: latency,
+            _health: obs::register_health("metadata.sharded", move || Ok(())),
         }
     }
 
@@ -254,7 +258,9 @@ impl MetadataStore for ShardedStore {
         proposals: Vec<ItemMetadata>,
     ) -> MetadataResult<Vec<CommitOutcome>> {
         let shard = self.shard(workspace);
+        let lock_start = obs::now_ns();
         let mut tables = shard.lock_timed();
+        let lock_end = obs::now_ns();
         if !tables.by_workspace.contains_key(&workspace.0) {
             return Err(MetadataError::UnknownWorkspace(workspace.0.clone()));
         }
@@ -277,6 +283,13 @@ impl MetadataStore for ShardedStore {
         shard.commits.inc();
         if conflicts > 0 {
             shard.conflicts.add(conflicts);
+        }
+        // Critical-path instrumentation: shard-lock wait vs. transaction
+        // time, parented under the enclosing handler span when one exists.
+        if let Some(parent) = obs::current() {
+            let txn_end = obs::now_ns();
+            obs::record_manual("meta.lock_wait", &parent, lock_start, lock_end);
+            obs::record_manual("meta.txn", &parent, lock_end, txn_end);
         }
         Ok(outcomes)
     }

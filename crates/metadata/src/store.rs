@@ -365,7 +365,9 @@ impl MetadataStore for InMemoryStore {
         workspace: &WorkspaceId,
         proposals: Vec<ItemMetadata>,
     ) -> MetadataResult<Vec<CommitOutcome>> {
+        let lock_start = obs::now_ns();
         let mut inner = self.inner.lock();
+        let lock_end = obs::now_ns();
         if !inner.workspaces.contains_key(&workspace.0) {
             return Err(MetadataError::UnknownWorkspace(workspace.0.clone()));
         }
@@ -375,6 +377,13 @@ impl MetadataStore for InMemoryStore {
         let mut outcomes = Vec::with_capacity(proposals.len());
         for proposed in proposals {
             outcomes.push(inner.tables.apply_proposal(workspace, proposed)?);
+        }
+        // Critical-path instrumentation: how long this commit waited on the
+        // serialization lock vs. spent in the transaction proper.
+        if let Some(parent) = obs::current() {
+            let txn_end = obs::now_ns();
+            obs::record_manual("meta.lock_wait", &parent, lock_start, lock_end);
+            obs::record_manual("meta.txn", &parent, lock_end, txn_end);
         }
         Ok(outcomes)
     }

@@ -41,6 +41,10 @@ struct BrokerInner {
     down: AtomicBool,
     /// Fault-injection hook shared with every queue of this node.
     interceptor: InterceptorCell,
+    /// Keeps the `mqsim.broker` health check registered for the node's
+    /// lifetime. Only populated by [`MessageBroker::new`] — the check needs
+    /// a `Weak` to this struct, which `derive(Default)` cannot produce.
+    health: std::sync::OnceLock<obs::HealthGuard>,
 }
 
 /// An in-process message broker node.
@@ -53,9 +57,21 @@ pub struct MessageBroker {
 }
 
 impl MessageBroker {
-    /// Creates an empty broker.
+    /// Creates an empty broker and registers its `mqsim.broker` health
+    /// check (reporting killed nodes as unhealthy). `Default::default()`
+    /// builds the same broker without the check.
     pub fn new() -> Self {
-        Self::default()
+        let broker = Self::default();
+        // Weak capture: the health registry's strong reference to the
+        // closure must not keep the broker alive past its last clone.
+        let weak = Arc::downgrade(&broker.inner);
+        let guard = obs::register_health("mqsim.broker", move || match weak.upgrade() {
+            Some(inner) if inner.down.load(Ordering::Acquire) => Err("node killed".into()),
+            Some(_) => Ok(()),
+            None => Err("broker dropped".into()),
+        });
+        let _ = broker.inner.health.set(guard);
+        broker
     }
 
     fn check_up(&self) -> MqResult<()> {

@@ -16,7 +16,7 @@
 //! connection *generation*; a stale-generation delivery is dropped instead
 //! of acked, because its server-side tag died with the old connection.
 
-use crate::frame::{encode_frame_into, FrameBuffer, Request, ServerFrame};
+use crate::frame::{encode_frame_into, read_frame, write_frame, FrameBuffer, Request, ServerFrame};
 use crate::stats_from_value;
 use crate::tx::{OutBuf, TxObs, MAX_SPARE};
 use mqsim::{
@@ -95,11 +95,16 @@ pub struct NetBroker {
 /// refcount alone can never reach zero while the connection is alive — this
 /// guard, held only by broker handles, is what makes `drop` reach
 /// `shutdown`.
-struct CloseOnDrop(Arc<ClientInner>);
+struct CloseOnDrop {
+    inner: Arc<ClientInner>,
+    /// Deregistered when the last broker clone drops, together with the
+    /// shutdown — a closed client must not linger in `/healthz`.
+    _health: obs::HealthGuard,
+}
 
 impl Drop for CloseOnDrop {
     fn drop(&mut self) {
-        self.0.shutdown();
+        self.inner.shutdown();
     }
 }
 
@@ -209,8 +214,25 @@ impl NetBroker {
         });
         let supervisor_inner = inner.clone();
         std::thread::spawn(move || supervisor_loop(&supervisor_inner));
+        // Weak capture: the registry's reference to the closure must not
+        // keep the client state alive past the last broker handle.
+        let health_inner = Arc::downgrade(&inner);
+        let health =
+            obs::register_health(&format!("net.client.{addr}"), move || {
+                match health_inner.upgrade() {
+                    Some(i) if i.stop.load(Ordering::Acquire) => Err("client closed".into()),
+                    Some(i) if !i.link_up.load(Ordering::Acquire) => {
+                        Err(format!("link to {} down (reconnecting)", i.addr))
+                    }
+                    Some(_) => Ok(()),
+                    None => Err("client dropped".into()),
+                }
+            });
         let broker = NetBroker {
-            _close: Arc::new(CloseOnDrop(inner.clone())),
+            _close: Arc::new(CloseOnDrop {
+                inner: inner.clone(),
+                _health: health,
+            }),
             inner,
         };
         // Surface an unreachable server at construction time.
@@ -466,9 +488,19 @@ fn supervisor_loop(inner: &Arc<ClientInner>) {
             backoff(inner, &mut rng, &mut attempt);
             continue;
         };
+        // Clock handshake on the raw stream, before the writer is installed
+        // or the reader starts — the reply is the only traffic, so reading
+        // it inline here cannot race frame dispatch.
+        if !clock_handshake(inner, &stream) {
+            backoff(inner, &mut rng, &mut attempt);
+            continue;
+        }
         attempt = 0;
         if ever_connected {
             inner.reconnects.inc();
+            obs::flight_event!("net", "reconnected to {}", inner.addr);
+        } else {
+            obs::flight_event!("net", "connected to {}", inner.addr);
         }
         ever_connected = true;
         inner.generation.fetch_add(1, Ordering::AcqRel);
@@ -505,7 +537,51 @@ fn supervisor_loop(inner: &Arc<ClientInner>) {
 
         reader_loop(inner, reader);
         inner.drop_connection();
+        if !inner.stop.load(Ordering::Acquire) {
+            obs::flight_event!("net", "connection to {} lost", inner.addr);
+        }
     }
+}
+
+/// Exchanges `hello` frames with the freshly connected server and records
+/// the estimated clock offset toward it: the server timestamps its reply,
+/// and placing that reading at the midpoint of the request round trip gives
+/// `skew = server_unix - (t0 + t1) / 2`. The estimate (error bounded by half
+/// the RTT) is published via [`obs::set_clock_skew_ns`], where span dumps
+/// pick it up so [`obs::traceview`] can align this process's spans onto the
+/// broker's timeline. `false` if the exchange failed (treated like any other
+/// connect failure).
+fn clock_handshake(inner: &ClientInner, stream: &TcpStream) -> bool {
+    let t0 = obs::unix_now_ns();
+    let hello = Request::Hello {
+        pid: u64::from(std::process::id()),
+        unix_ns: t0,
+    };
+    if write_frame(&mut (&*stream), &hello.to_frame(0)).is_err() {
+        return false;
+    }
+    let _ = stream.set_read_timeout(Some(inner.config.connect_timeout));
+    let reply = read_frame(&mut (&*stream));
+    let _ = stream.set_read_timeout(None);
+    let t1 = obs::unix_now_ns();
+    let Ok((frame, _)) = reply else {
+        return false;
+    };
+    let Ok(ServerFrame::Reply {
+        result: Ok(value), ..
+    }) = ServerFrame::from_value(&frame)
+    else {
+        return false;
+    };
+    let Some(server_unix) = value.get("unix_ns").and_then(|v| v.as_u64().ok()) else {
+        return false;
+    };
+    // Halve before adding: unix-ns readings are ~2^60, t0 + t1 would wrap.
+    let midpoint = t0 / 2 + t1 / 2;
+    let skew = server_unix as i64 - midpoint as i64;
+    obs::set_clock_skew_ns(skew);
+    obs::gauge("net.client.clock_skew_ns").set(skew as f64);
+    true
 }
 
 fn backoff(inner: &Arc<ClientInner>, rng: &mut rand::rngs::StdRng, attempt: &mut u32) {

@@ -312,6 +312,15 @@ pub enum Request {
     QueueNames,
     /// Liveness probe; the reply is the heartbeat.
     Ping,
+    /// Connection handshake: the client introduces itself and both sides
+    /// exchange unix-clock readings so the client can estimate its offset
+    /// from the broker (the fleet's trace-alignment reference).
+    Hello {
+        /// The connecting process's pid.
+        pid: u64,
+        /// The client's unix clock at send time, nanoseconds.
+        unix_ns: u64,
+    },
 }
 
 fn field_str(map: &Value, key: &str) -> Result<String, FrameError> {
@@ -525,6 +534,13 @@ impl Request {
             ),
             Request::QueueNames => ("queue_names", vec![]),
             Request::Ping => ("ping", vec![]),
+            Request::Hello { pid, unix_ns } => (
+                "hello",
+                vec![
+                    ("pid".into(), Value::U64(*pid)),
+                    ("unix_ns".into(), Value::U64(*unix_ns)),
+                ],
+            ),
         };
         fields.insert(0, ("op".into(), Value::from(op)));
         fields.insert(1, ("corr".into(), Value::U64(corr)));
@@ -623,6 +639,10 @@ impl Request {
             "queue_arrival_rate" => Request::QueueArrivalRate(field_str(v, "name")?),
             "queue_names" => Request::QueueNames,
             "ping" => Request::Ping,
+            "hello" => Request::Hello {
+                pid: field_u64(v, "pid")?,
+                unix_ns: field_u64(v, "unix_ns")?,
+            },
             other => return Err(FrameError::Protocol(format!("unknown opcode `{other}`"))),
         };
         Ok((corr, req))
@@ -902,6 +922,10 @@ mod tests {
         roundtrip(Request::AckMany(1, vec![]));
         roundtrip(Request::QueueNames);
         roundtrip(Request::Ping);
+        roundtrip(Request::Hello {
+            pid: 4242,
+            unix_ns: 1_722_180_000_000_000_123,
+        });
     }
 
     #[test]

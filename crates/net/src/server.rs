@@ -73,6 +73,11 @@ pub struct BrokerServer {
     addr: SocketAddr,
     shared: Arc<ServerShared>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
+    /// Keeps the `net.server.*` health check registered for this server's
+    /// lifetime; dropped (deregistered) with the server.
+    _health: obs::HealthGuard,
+    /// Admin endpoint, if `NET_ADMIN_ADDR` was set at bind time.
+    admin: Option<obs::AdminServer>,
 }
 
 struct ServerShared {
@@ -306,11 +311,37 @@ impl BrokerServer {
         });
         let accept_shared = shared.clone();
         let accept_thread = std::thread::spawn(move || accept_loop(&listener, &accept_shared));
+        // The guard lives in BrokerServer (not ServerShared), so the
+        // registry's strong reference to the closure cannot keep the server
+        // state alive: dropping the server deregisters the check.
+        let health_shared = Arc::downgrade(&shared);
+        let health =
+            obs::register_health(&format!("net.server.{addr}"), move || {
+                match health_shared.upgrade() {
+                    Some(s) if !s.stop.load(Ordering::Acquire) => Ok(()),
+                    _ => Err("listener stopped".into()),
+                }
+            });
+        // Opt-in live admin endpoint: a second server in the same process
+        // loses the bind race and simply goes without.
+        let admin = std::env::var("NET_ADMIN_ADDR")
+            .ok()
+            .filter(|a| !a.is_empty())
+            .and_then(|a| obs::serve_admin(a.as_str()).ok());
+        obs::flight_event!("net", "server listening on {addr}");
         Ok(BrokerServer {
             addr,
             shared,
             accept_thread: Some(accept_thread),
+            _health: health,
+            admin,
         })
+    }
+
+    /// Address of the admin endpoint, when `NET_ADMIN_ADDR` was set and the
+    /// bind succeeded.
+    pub fn admin_addr(&self) -> Option<SocketAddr> {
+        self.admin.as_ref().map(obs::AdminServer::local_addr)
     }
 
     /// The address the server listens on.
@@ -632,6 +663,15 @@ fn execute(
             broker.queue_names().into_iter().map(Value::from).collect(),
         )),
         Request::Ping => Ok(Value::Null),
+        // Clock handshake: echo our unix clock so the client can estimate
+        // its offset from this broker (the fleet's trace timeline anchor).
+        Request::Hello { pid, .. } => {
+            obs::flight_event!("net", "hello from pid {pid} on conn {}", conn.id);
+            Ok(Value::Map(vec![
+                ("unix_ns".into(), Value::U64(obs::unix_now_ns())),
+                ("pid".into(), Value::U64(u64::from(std::process::id()))),
+            ]))
+        }
     }
 }
 

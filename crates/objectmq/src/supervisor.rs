@@ -318,7 +318,11 @@ impl Supervisor {
 
     /// Sets the desired pool size (called by provisioning policies).
     pub fn set_target(&self, n: usize) {
-        self.target.store(n.max(1), Ordering::Release);
+        let n = n.max(1);
+        let previous = self.target.swap(n, Ordering::Release);
+        if previous != n {
+            obs::flight_event!("supervisor", "target {previous} -> {n}");
+        }
     }
 
     /// The current desired pool size.
@@ -337,6 +341,7 @@ impl Supervisor {
     /// Crash injection: the loop halts immediately and heartbeats cease, as
     /// if the supervisor process died. Used to exercise leader election.
     pub fn kill(mut self) {
+        obs::flight_event!("supervisor", "killed (crash injection)");
         self.stop.store(true, Ordering::Release);
         if let Some(t) = self.thread.take() {
             let _ = t.join();
@@ -398,6 +403,11 @@ fn supervise_loop(
                 );
                 if spawned.is_ok() {
                     spawn_count.inc();
+                    obs::flight_event!(
+                        "supervisor",
+                        "spawned {} instance ({live}/{desired} live)",
+                        config.oid
+                    );
                 }
             }
         } else if live > desired {
@@ -415,6 +425,11 @@ fn supervise_loop(
                 ) {
                     to_remove -= 1;
                     shutdown_count.inc();
+                    obs::flight_event!(
+                        "supervisor",
+                        "shut down one {} instance ({live}/{desired} live)",
+                        config.oid
+                    );
                 }
             }
         }

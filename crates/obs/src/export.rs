@@ -62,7 +62,7 @@ fn fmt_f64(v: f64) -> String {
     }
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -110,6 +110,88 @@ pub fn spans_json() -> String {
     out
 }
 
+/// [`spans_json`] preceded by a one-line meta header identifying the
+/// dumping process and anchoring its span timestamps to unix time:
+///
+/// ```json
+/// {"meta":{"process":"writer","pid":123,"epoch_unix_ns":...,"skew_ns":0}}
+/// ```
+///
+/// This is the on-disk format `obs::traceview` assembles multi-process
+/// traces from; `skew_ns` carries the net handshake's clock-offset estimate.
+pub fn spans_json_with_meta(process: &str) -> String {
+    let mut out = format!(
+        "{{\"meta\":{{\"process\":\"{}\",\"pid\":{},\"epoch_unix_ns\":{},\"skew_ns\":{}}}}}\n",
+        json_escape(process),
+        std::process::id(),
+        crate::epoch_unix_ns(),
+        crate::clock_skew_ns(),
+    );
+    out.push_str(&spans_json());
+    out
+}
+
+/// Monotonic scrape snapshot for the `/snapshot` admin endpoint: one JSON
+/// object carrying a per-process sequence number (so a scraper can order
+/// scrapes and detect restarts), raw counter/gauge values, and full
+/// histogram state — bucket occupancy as sparse `[index, count]` pairs —
+/// which [`crate::HistogramSnapshot::delta`] turns into per-window
+/// distributions on the collector side.
+pub fn snapshot_json() -> String {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(1);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+
+    let sane = |v: f64| if v.is_finite() { v } else { 0.0 };
+    let mut out = format!(
+        "{{\"seq\":{seq},\"unix_ns\":{},\"process\":\"{}\"",
+        crate::unix_now_ns(),
+        json_escape(&crate::process_label()),
+    );
+    out.push_str(",\"counters\":{");
+    for (i, (name, counter)) in registry().counters().into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", json_escape(&name), counter.value());
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (name, gauge)) in registry().gauges().into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", json_escape(&name), sane(gauge.value()));
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (name, histogram)) in registry().histograms().into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let snap = histogram.snapshot();
+        let _ = write!(
+            out,
+            "\"{}\":{{\"count\":{},\"sum_ns\":{},\"max_ns\":{},\"buckets\":[",
+            json_escape(&name),
+            snap.count,
+            snap.sum_ns,
+            snap.max_ns
+        );
+        let mut first = true;
+        for (idx, &c) in snap.buckets.iter().enumerate() {
+            if c > 0 {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(out, "[{idx},{c}]");
+            }
+        }
+        out.push_str("]}");
+    }
+    out.push_str("}}");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,6 +222,30 @@ mod tests {
             "mq_queue_publish_total"
         );
         assert_eq!(prom_name("9lives"), "_9lives");
+    }
+
+    #[test]
+    fn meta_header_prefixes_span_dump() {
+        let dump = spans_json_with_meta("unit-test");
+        let first = dump.lines().next().expect("non-empty dump");
+        assert!(first.starts_with("{\"meta\":{\"process\":\"unit-test\""));
+        assert!(first.contains("\"epoch_unix_ns\":"));
+        assert!(first.contains("\"skew_ns\":"));
+    }
+
+    #[test]
+    fn snapshot_json_carries_monotone_seq_and_sparse_buckets() {
+        let h = crate::histogram("export.snapshot_seconds");
+        h.record_secs(0.005);
+        let a = snapshot_json();
+        let b = snapshot_json();
+        let seq_of = |s: &str| -> u64 {
+            let rest = s.strip_prefix("{\"seq\":").expect("seq first");
+            rest[..rest.find(',').unwrap()].parse().unwrap()
+        };
+        assert!(seq_of(&b) > seq_of(&a), "sequence must advance per scrape");
+        assert!(a.contains("\"export.snapshot_seconds\":{\"count\":"));
+        assert!(a.contains("\"buckets\":[["));
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! Per-subsystem health checks behind the `/healthz` admin endpoint.
+//!
+//! Subsystems register a named callback at startup ([`register_health`])
+//! and hold on to the returned guard; dropping the guard deregisters the
+//! check, so a shut-down component never leaves a stale entry behind.
+//! Checks run on demand — there is no background prober — and a panicking
+//! check is reported as failed rather than taking the scraper down.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+type CheckFn = Arc<dyn Fn() -> Result<(), String> + Send + Sync>;
+
+struct Entry {
+    id: u64,
+    name: String,
+    check: CheckFn,
+}
+
+fn entries() -> &'static Mutex<Vec<Entry>> {
+    static ENTRIES: OnceLock<Mutex<Vec<Entry>>> = OnceLock::new();
+    ENTRIES.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Keeps a health check registered; dropping it deregisters the check.
+#[derive(Debug)]
+pub struct HealthGuard {
+    id: u64,
+}
+
+impl Drop for HealthGuard {
+    fn drop(&mut self) {
+        let mut entries = entries().lock().unwrap_or_else(|e| e.into_inner());
+        entries.retain(|e| e.id != self.id);
+    }
+}
+
+/// Registers a named health check. The callback should be cheap and
+/// non-blocking — it runs inline on every `/healthz` scrape. Names need not
+/// be unique; each registration reports separately.
+pub fn register_health(
+    name: &str,
+    check: impl Fn() -> Result<(), String> + Send + Sync + 'static,
+) -> HealthGuard {
+    static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    let mut entries = entries().lock().unwrap_or_else(|e| e.into_inner());
+    entries.push(Entry {
+        id,
+        name: name.to_string(),
+        check: Arc::new(check),
+    });
+    HealthGuard { id }
+}
+
+/// One health check's outcome at scrape time.
+#[derive(Debug, Clone)]
+pub struct HealthCheck {
+    /// The name the subsystem registered under.
+    pub name: String,
+    /// `Ok` for healthy, `Err(reason)` otherwise.
+    pub result: Result<(), String>,
+}
+
+/// Runs every registered check and returns the outcomes in registration
+/// order. A check that panics reports as failed with the panic message.
+pub fn health_report() -> Vec<HealthCheck> {
+    let checks: Vec<(String, CheckFn)> = {
+        let entries = entries().lock().unwrap_or_else(|e| e.into_inner());
+        entries
+            .iter()
+            .map(|e| (e.name.clone(), e.check.clone()))
+            .collect()
+    };
+    checks
+        .into_iter()
+        .map(|(name, check)| {
+            let result = match std::panic::catch_unwind(AssertUnwindSafe(&*check)) {
+                Ok(r) => r,
+                Err(panic) => {
+                    let msg = panic
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "health check panicked".to_string());
+                    Err(format!("panicked: {msg}"))
+                }
+            };
+            HealthCheck { name, result }
+        })
+        .collect()
+}
+
+/// `true` when every registered check passes (vacuously true with none).
+pub fn health_ok() -> bool {
+    health_report().iter().all(|c| c.result.is_ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_report_and_deregister() {
+        let ok = register_health("health.test_ok", || Ok(()));
+        let bad = register_health("health.test_bad", || Err("broken".into()));
+        let report = health_report();
+        let find = |name: &str| {
+            report
+                .iter()
+                .find(|c| c.name == name)
+                .unwrap_or_else(|| panic!("{name} missing from report"))
+        };
+        assert!(find("health.test_ok").result.is_ok());
+        assert_eq!(find("health.test_bad").result, Err("broken".to_string()));
+        assert!(!health_ok());
+
+        drop(bad);
+        assert!(
+            !health_report().iter().any(|c| c.name == "health.test_bad"),
+            "dropped guard left a stale check behind"
+        );
+        drop(ok);
+    }
+
+    #[test]
+    fn panicking_check_reports_failed() {
+        let guard = register_health("health.test_panics", || panic!("kaboom"));
+        let report = health_report();
+        let entry = report
+            .iter()
+            .find(|c| c.name == "health.test_panics")
+            .unwrap();
+        let err = entry.result.as_ref().unwrap_err();
+        assert!(err.contains("kaboom"), "got: {err}");
+        drop(guard);
+    }
+}

@@ -25,15 +25,21 @@
 //! assert!(text.contains("demo_calls"));
 //! ```
 
+mod admin;
 mod export;
+pub mod flight;
+mod health;
 mod metrics;
 mod span;
+pub mod traceview;
 
-pub use export::{render_text, spans_json};
-pub use metrics::{Counter, Gauge, Histogram};
+pub use admin::{serve_admin, AdminServer};
+pub use export::{render_text, snapshot_json, spans_json, spans_json_with_meta};
+pub use health::{health_ok, health_report, register_health, HealthCheck, HealthGuard};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use span::{record_manual, FinishedSpan, Span, SpanContext};
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
 
@@ -56,13 +62,65 @@ pub fn enable() {
     ENABLED.store(true, Ordering::Relaxed);
 }
 
+struct Epoch {
+    started: Instant,
+    unix_ns: u64,
+}
+
+/// The process obs epoch: a monotonic zero point plus the wall-clock time
+/// at which it was taken, so per-process span timestamps can be placed on a
+/// shared unix timeline by an offline collector.
+fn epoch() -> &'static Epoch {
+    static EPOCH: OnceLock<Epoch> = OnceLock::new();
+    EPOCH.get_or_init(|| Epoch {
+        started: Instant::now(),
+        unix_ns: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0),
+    })
+}
+
 /// Monotonic nanoseconds since the first observability call in this process.
 /// All span timestamps share this epoch, so ordering is comparable across
 /// threads.
 pub fn now_ns() -> u64 {
-    static EPOCH: OnceLock<Instant> = OnceLock::new();
-    let epoch = *EPOCH.get_or_init(Instant::now);
-    Instant::now().duration_since(epoch).as_nanos() as u64
+    Instant::now().duration_since(epoch().started).as_nanos() as u64
+}
+
+/// Wall-clock nanoseconds (unix time) at obs-epoch zero. Written into span
+/// dump headers so `traceview` can align dumps from several processes.
+pub fn epoch_unix_ns() -> u64 {
+    epoch().unix_ns
+}
+
+/// Current unix time in nanoseconds, derived from the monotonic clock (so
+/// it never steps backwards within a process).
+pub fn unix_now_ns() -> u64 {
+    epoch_unix_ns() + now_ns()
+}
+
+static CLOCK_SKEW_NS: AtomicI64 = AtomicI64::new(0);
+
+/// Estimated offset of this process's unix clock from the fleet reference
+/// (the broker server), in nanoseconds: `reference − local`. Set by the net
+/// client's connect handshake; 0 until then (and always 0 on the server).
+pub fn clock_skew_ns() -> i64 {
+    CLOCK_SKEW_NS.load(Ordering::Relaxed)
+}
+
+/// Records the handshake-estimated clock skew (see [`clock_skew_ns`]).
+pub fn set_clock_skew_ns(ns: i64) {
+    CLOCK_SKEW_NS.store(ns, Ordering::Relaxed);
+}
+
+/// Short label identifying this process in span dumps and trace exports:
+/// the executable's file stem, falling back to the pid.
+pub fn process_label() -> String {
+    std::env::current_exe()
+        .ok()
+        .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+        .unwrap_or_else(|| format!("pid-{}", std::process::id()))
 }
 
 /// Returns (registering on first use) the named monotonic counter.
@@ -170,6 +228,16 @@ pub fn log(level: Level, target: &str, message: &str) {
     }
 }
 
+/// Records a formatted event in the crash flight recorder:
+/// `obs::flight_event!("net", "reconnected to {addr} after {n} attempts")`.
+/// Sugar over [`flight::record`].
+#[macro_export]
+macro_rules! flight_event {
+    ($subsystem:expr, $($arg:tt)*) => {
+        $crate::flight::record($subsystem, format!($($arg)*))
+    };
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,6 +266,18 @@ mod tests {
         let a = now_ns();
         let b = now_ns();
         assert!(b >= a);
+    }
+
+    #[test]
+    fn unix_epoch_anchors_monotonic_time() {
+        let anchor = epoch_unix_ns();
+        assert!(
+            anchor > 1_500_000_000 * 1_000_000_000,
+            "unix anchor predates 2017: {anchor}"
+        );
+        let a = unix_now_ns();
+        let b = unix_now_ns();
+        assert!(b >= a && a >= anchor);
     }
 
     #[test]

@@ -212,12 +212,28 @@ fn ring() -> &'static Mutex<Ring> {
     })
 }
 
+/// Eviction and occupancy accounting for the ring itself — the one part of
+/// the pipeline that would otherwise fail silently under span pressure.
+fn ring_metrics() -> &'static (std::sync::Arc<crate::Counter>, std::sync::Arc<crate::Gauge>) {
+    static METRICS: OnceLock<(std::sync::Arc<crate::Counter>, std::sync::Arc<crate::Gauge>)> =
+        OnceLock::new();
+    METRICS.get_or_init(|| {
+        (
+            crate::counter("obs.spans.dropped"),
+            crate::gauge("obs.spans.ring_occupancy"),
+        )
+    })
+}
+
 fn ring_push(span: FinishedSpan) {
+    let (dropped, occupancy) = ring_metrics();
     let mut ring = ring().lock().unwrap_or_else(|e| e.into_inner());
     if ring.spans.len() == ring.capacity {
         ring.spans.pop_front();
+        dropped.inc();
     }
     ring.spans.push_back(span);
+    occupancy.set(ring.spans.len() as f64);
 }
 
 pub(crate) fn ring_snapshot() -> Vec<FinishedSpan> {
@@ -226,8 +242,16 @@ pub(crate) fn ring_snapshot() -> Vec<FinishedSpan> {
 }
 
 pub(crate) fn ring_clear() {
+    let (_, occupancy) = ring_metrics();
     let mut ring = ring().lock().unwrap_or_else(|e| e.into_inner());
     ring.spans.clear();
+    occupancy.set(0.0);
+}
+
+/// Configured ring capacity (tests size their overflow runs off this).
+#[cfg(test)]
+pub(crate) fn ring_capacity() -> usize {
+    ring().lock().unwrap_or_else(|e| e.into_inner()).capacity
 }
 
 thread_local! {
@@ -303,6 +327,30 @@ mod tests {
         assert_eq!(manual.end_ns, manual.start_ns); // clamped, not negative
         assert_eq!(manual.parent_id, Some(root.context().span_id));
         root.finish();
+    }
+
+    #[test]
+    fn ring_overflow_counts_drops_and_tracks_occupancy() {
+        let dropped = crate::counter("obs.spans.dropped");
+        let capacity = ring_capacity();
+        // Retried because a concurrent test may briefly flip the global kill
+        // switch, which silently skips some of our pushes.
+        for _ in 0..5 {
+            let before = dropped.value();
+            for _ in 0..capacity + 64 {
+                Span::start("span.overflow").finish();
+            }
+            if dropped.value() >= before + 64 {
+                let occupancy = crate::gauge("obs.spans.ring_occupancy").value() as usize;
+                assert!(
+                    occupancy <= capacity,
+                    "occupancy {occupancy} > cap {capacity}"
+                );
+                assert!(occupancy > 0, "gauge never updated");
+                return;
+            }
+        }
+        panic!("overflowing the ring never moved obs.spans.dropped");
     }
 
     #[test]

@@ -42,6 +42,10 @@ struct ServiceInner {
     notify_proxies: Mutex<HashMap<Oid, Arc<Proxy>>>,
     commits: AtomicU64,
     conflicts: AtomicU64,
+    /// Keeps the `sync.service` health check registered for the lifetime
+    /// of the service; set once at build time (the check needs a `Weak` to
+    /// this very struct, which only exists after the `Arc` is built).
+    health: std::sync::OnceLock<obs::HealthGuard>,
 }
 
 /// Builds a [`SyncService`]: picks the metadata store (the DAO the paper
@@ -94,7 +98,7 @@ impl SyncServiceBuilder {
         let meta = self
             .store
             .unwrap_or_else(|| Arc::new(InMemoryStore::new()) as Arc<dyn MetadataStore>);
-        SyncService {
+        let service = SyncService {
             inner: Arc::new(ServiceInner {
                 meta,
                 broker: self.broker,
@@ -102,8 +106,26 @@ impl SyncServiceBuilder {
                 notify_proxies: Mutex::new(HashMap::new()),
                 commits: AtomicU64::new(0),
                 conflicts: AtomicU64::new(0),
+                health: std::sync::OnceLock::new(),
             }),
-        }
+        };
+        // Weak capture: the registry's strong reference to the closure must
+        // not keep the service alive past its last clone.
+        let weak = Arc::downgrade(&service.inner);
+        let guard = obs::register_health("sync.service", move || match weak.upgrade() {
+            Some(inner) => {
+                let commits = inner.commits.load(Ordering::Relaxed);
+                let conflicts = inner.conflicts.load(Ordering::Relaxed);
+                if conflicts > 0 && commits == 0 {
+                    Err(format!("{conflicts} conflicts and no successful commit"))
+                } else {
+                    Ok(())
+                }
+            }
+            None => Err("service dropped".into()),
+        });
+        let _ = service.inner.health.set(guard);
+        service
     }
 }
 
