@@ -4,15 +4,17 @@
 //! cargo run -p bench --bin adminhost -- --admin 127.0.0.1:9633 [--duration 30]
 //! ```
 //!
-//! Boots the real server stack — `mqsim` broker behind a [`BrokerServer`],
-//! a bound `SyncService` over an [`InMemoryStore`] — plus the obs admin
-//! endpoint, then commits one small change per 100 ms so `/metrics`,
-//! `/spans` and `/healthz` have live data to serve. Prints
+//! Boots the real server stack — a *durable* `mqsim` broker behind a
+//! [`BrokerServer`], a bound `SyncService` over the WAL-backed
+//! [`metadata::ShardedStore`] — plus the obs admin endpoint, then commits
+//! one small change per 100 ms so `/metrics`, `/spans` and `/healthz` have
+//! live data to serve, including the `metadata.wal` and `mqsim.journal`
+//! health checks and the `wal.*` metric family. Prints
 //! `ADMIN http://<addr>` once the endpoint is up (the smoke script scrapes
 //! that line), and exits cleanly after `--duration` seconds (default 30).
 
 use bench::arg_value;
-use metadata::{InMemoryStore, MetadataStore};
+use metadata::{MetadataStore, ShardedStore};
 use mqsim::MessageBroker;
 use net::BrokerServer;
 use objectmq::{Broker, BrokerConfig};
@@ -29,10 +31,22 @@ fn main() {
 
     obs::flight::install_panic_hook();
 
-    let mq = MessageBroker::new();
+    let wal_root = std::env::temp_dir().join(format!("adminhost-wal-{}", std::process::id()));
+    std::fs::remove_dir_all(&wal_root).ok();
+
+    let (mq, _broker_recovery) =
+        MessageBroker::open_durable(wal_root.join("mq"), wal::LogConfig::named("adminhost-mq"))
+            .expect("open durable broker");
     let server = BrokerServer::bind("127.0.0.1:0", mq.clone()).expect("bind broker server");
     let broker = Broker::new(mq, BrokerConfig::default());
-    let meta: Arc<dyn MetadataStore> = Arc::new(InMemoryStore::new());
+    let (meta, _meta_recovery) = ShardedStore::open_durable(
+        wal_root.join("meta"),
+        4,
+        Duration::ZERO,
+        wal::LogConfig::named("adminhost-meta"),
+    )
+    .expect("open durable store");
+    let meta: Arc<dyn MetadataStore> = Arc::new(meta);
     let service = SyncService::builder(&broker).store(meta.clone()).build();
     let _service_handle = service.bind(&broker).expect("bind service");
     let ws = provision_user(meta.as_ref(), "admin-smoke", "ws").expect("provision");
@@ -51,7 +65,8 @@ fn main() {
     .expect("connect client");
 
     // A steady trickle of real commits keeps every admin surface non-empty
-    // while the scraper probes it.
+    // while the scraper probes it. Every WAL-journaled commit feeds the
+    // wal.fsync_seconds / wal.group_size metrics the smoke test greps.
     let deadline = Instant::now() + Duration::from_secs(duration);
     let mut i = 0u64;
     while Instant::now() < deadline {
@@ -63,4 +78,9 @@ fn main() {
     }
     println!("adminhost done: {i} commits served for {duration}s");
     server.shutdown();
+    drop(client);
+    drop(service);
+    drop(broker);
+    drop(meta);
+    std::fs::remove_dir_all(&wal_root).ok();
 }

@@ -1,8 +1,9 @@
 //! Machine-readable performance suite: broker throughput and ObjectMQ RPC
 //! latency in both the batched and unbatched protocol modes, plus sync
-//! commit throughput and metadata-store contention. Writes `BENCH_4.json`
-//! (transport) and `BENCH_5.json` (metadata sharding) at the repo root so
-//! runs can be compared across commits.
+//! commit throughput, metadata-store contention, and the durable commit
+//! plane. Writes `BENCH_4.json` (transport), `BENCH_5.json` (metadata
+//! sharding) and `BENCH_7.json` (WAL group commit + recovery) at the repo
+//! root so runs can be compared across commits.
 //!
 //! The batched/unbatched pairs are measured in the same run so the ratio
 //! is meaningful on any machine:
@@ -18,11 +19,21 @@
 //! global-mutex [`InMemoryStore`] and the partitioned
 //! [`metadata::ShardedStore`] in the same run.
 //!
+//! The durable scenario runs the same 8-writer contention workload against
+//! [`metadata::ShardedStore::open_durable`] — every commit journaled to a
+//! per-shard group-commit WAL and fsynced before acknowledgement — and
+//! then measures recovery: reopen-with-replay over the full log, and
+//! reopen after a snapshot checkpoint. The WAL lives in `/dev/shm` when
+//! available (CI filesystems make fsync absurdly slow or silently async;
+//! see DESIGN.md §11), falling back to the system temp dir.
+//!
 //! `--smoke` shrinks every workload to a few iterations for CI; `--out` /
-//! `--out-contention` override the output paths; `--gate` exits nonzero if
-//! the batched mode fails to beat the unbatched mode, or the sharded store
-//! falls below the global store, measured in the same run (relative gates,
-//! so they are robust to machine speed).
+//! `--out-contention` / `--out-durable` override the output paths;
+//! `--gate` exits nonzero if the batched mode fails to beat the unbatched
+//! mode, the sharded store falls below the global store, or the durable
+//! sharded store falls below 60% of the non-durable sharded store,
+//! measured in the same run (relative gates, so they are robust to
+//! machine speed).
 
 use bench::{arg_value, has_flag, header};
 use metadata::{InMemoryStore, ItemMetadata, MetadataStore, ShardedStore};
@@ -323,12 +334,91 @@ fn contention_scenario(commits_per_writer: usize, latency: Duration) -> Contenti
     }
 }
 
+/// What the durable scenario measured.
+struct DurableNumbers {
+    /// Non-durable sharded commits/s, same run (the gate's denominator).
+    sharded: f64,
+    /// WAL-backed sharded commits/s, every commit fsynced before ack.
+    durable: f64,
+    /// WAL records replayed by the post-run reopen.
+    replayed: u64,
+    /// Reopen time replaying the full log (no snapshot).
+    replay_open: Duration,
+    /// Reopen time after a snapshot checkpoint truncated the logs.
+    checkpoint_open: Duration,
+}
+
+/// The contention workload against the durable store, plus recovery timing.
+///
+/// Both stores run with the [`TXN_LATENCY`] modeled back-end — the variant
+/// the PR 5 sharding gate measures — so the ratio answers the question the
+/// gate asks: how much of the sharded ACID-backed commit rate survives
+/// journaling? (Against the cpu-bound in-memory store the comparison is
+/// meaningless: any fsync at all loses to a pure memcpy.)
+///
+/// The WAL root prefers `/dev/shm`: this scenario compares lock/group-commit
+/// protocols, and a CI filesystem's fsync pathology (or lack of real
+/// durability) would swamp that signal.
+fn durable_scenario(commits_per_writer: usize) -> DurableNumbers {
+    let base = if std::path::Path::new("/dev/shm").is_dir() {
+        std::path::PathBuf::from("/dev/shm")
+    } else {
+        std::env::temp_dir()
+    };
+    let root = base.join(format!("perf-suite-durable-{}", std::process::id()));
+    std::fs::remove_dir_all(&root).ok();
+
+    let sharded: Arc<dyn MetadataStore> = Arc::new(ShardedStore::with_shards_and_latency(
+        CONTENTION_SHARDS,
+        TXN_LATENCY,
+    ));
+    let sharded_rate = contention_throughput(sharded, CONTENTION_WRITERS, commits_per_writer);
+
+    let open = || {
+        ShardedStore::open_durable(
+            &root,
+            CONTENTION_SHARDS,
+            TXN_LATENCY,
+            wal::LogConfig::named("perf"),
+        )
+        .expect("open durable store")
+    };
+    let (store, _) = open();
+    let store = Arc::new(store);
+    let durable_rate = contention_throughput(
+        store.clone() as Arc<dyn MetadataStore>,
+        CONTENTION_WRITERS,
+        commits_per_writer,
+    );
+
+    drop(store);
+    let start = Instant::now();
+    let (store, recovery) = open();
+    let replay_open = start.elapsed();
+    store.checkpoint().expect("checkpoint");
+    drop(store);
+    let start = Instant::now();
+    let (store, _) = open();
+    let checkpoint_open = start.elapsed();
+    drop(store);
+    std::fs::remove_dir_all(&root).ok();
+
+    DurableNumbers {
+        sharded: sharded_rate,
+        durable: durable_rate,
+        replayed: recovery.replayed,
+        replay_open,
+        checkpoint_open,
+    }
+}
+
 fn main() {
     let smoke = has_flag("--smoke");
     let gate = has_flag("--gate");
     let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_4.json".to_string());
     let contention_path =
         arg_value("--out-contention").unwrap_or_else(|| "BENCH_5.json".to_string());
+    let durable_path = arg_value("--out-durable").unwrap_or_else(|| "BENCH_7.json".to_string());
     let (messages, calls, commits, contention_commits) = if smoke {
         (2_000, 320, 50, 100)
     } else {
@@ -414,6 +504,24 @@ fn main() {
         txn_latency.speedup()
     );
 
+    println!(
+        "durable commit plane ({CONTENTION_WRITERS} writers x {contention_commits} commits, \
+         per-shard WAL group commit vs in-memory)..."
+    );
+    let durable = durable_scenario(contention_commits);
+    println!(
+        "  sharded {:.0} commits/s | durable {:.0} commits/s ({:.0}% retained)",
+        durable.sharded,
+        durable.durable,
+        durable.durable / durable.sharded * 100.0
+    );
+    println!(
+        "  recovery: {} records replayed in {:.1} ms; post-checkpoint open {:.1} ms",
+        durable.replayed,
+        durable.replay_open.as_secs_f64() * 1e3,
+        durable.checkpoint_open.as_secs_f64() * 1e3
+    );
+
     let json = format!(
         concat!(
             "{{\n",
@@ -485,6 +593,33 @@ fn main() {
     );
     std::fs::write(&contention_path, &contention_json).expect("write contention results");
     println!("contention results written to {contention_path}");
+
+    let durable_json = format!(
+        concat!(
+            "{{\n",
+            "  \"suite\": \"perf_suite.durable\",\n",
+            "  \"smoke\": {smoke},\n",
+            "  \"writers\": {writers}, \"commits_per_writer\": {cpw}, \"shards\": {shards},\n",
+            "  \"sharded_commits_per_sec\": {ds:.1},\n",
+            "  \"durable_commits_per_sec\": {dd:.1},\n",
+            "  \"durable_relative\": {rel:.3},\n",
+            "  \"recovery\": {{ \"replayed_records\": {replayed}, ",
+            "\"replay_open_s\": {ropen:.6}, \"post_checkpoint_open_s\": {copen:.6} }}\n",
+            "}}\n"
+        ),
+        smoke = smoke,
+        writers = CONTENTION_WRITERS,
+        cpw = contention_commits,
+        shards = CONTENTION_SHARDS,
+        ds = durable.sharded,
+        dd = durable.durable,
+        rel = durable.durable / durable.sharded,
+        replayed = durable.replayed,
+        ropen = durable.replay_open.as_secs_f64(),
+        copen = durable.checkpoint_open.as_secs_f64(),
+    );
+    std::fs::write(&durable_path, &durable_json).expect("write durable results");
+    println!("durable results written to {durable_path}");
     bench::obs_dump();
 
     if gate && txn_latency.sharded < txn_latency.global {
@@ -502,12 +637,21 @@ fn main() {
         );
         std::process::exit(1);
     }
+    if gate && durable.durable < 0.6 * durable.sharded {
+        eprintln!(
+            "GATE FAILED: durable sharded throughput {:.0} commits/s fell below 60% of \
+             the non-durable sharded store's {:.0} commits/s in the same run",
+            durable.durable, durable.sharded
+        );
+        std::process::exit(1);
+    }
     if gate {
         println!(
             "gate passed: batched {:.2}x unbatched broker throughput, sharded {:.2}x \
-             global contention throughput",
+             global contention throughput, durable {:.0}% of non-durable sharded",
             broker_batched / broker_unbatched,
-            txn_latency.speedup()
+            txn_latency.speedup(),
+            durable.durable / durable.sharded * 100.0
         );
     }
 }

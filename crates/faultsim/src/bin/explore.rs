@@ -14,12 +14,19 @@
 //! `--sharded` (optionally `--sharded=N` for N partitions, default 8) runs
 //! the sweep against [`metadata::ShardedStore`] instead of the global-mutex
 //! store; fingerprints are identical either way, so a divergence is a
-//! sharding bug.
+//! sharding bug. `--durable[=N]` does the same against the WAL-backed
+//! sharded store ([`metadata::ShardedStore::open_durable`]) in a per-run
+//! scratch directory — same fingerprints again, now with every commit
+//! journaled. `--kill-restart` switches to the kill-restart sweep
+//! ([`faultsim::explore_kills`]): seeded crash-replay of the durable store
+//! *and* durable broker, checking no acked commit is lost, nothing
+//! double-commits, and unacked publishes are redelivered.
 
-use faultsim::{explore, SimConfig, StoreSelection};
+use faultsim::{explore, explore_kills, KillConfig, SimConfig, StoreSelection};
 
 fn main() {
     let mut store = StoreSelection::Global;
+    let mut kill_restart = false;
     let mut positional: Vec<String> = Vec::new();
     for arg in std::env::args().skip(1) {
         if arg == "--sharded" {
@@ -32,12 +39,25 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+        } else if arg == "--durable" {
+            store = StoreSelection::Durable(8);
+        } else if let Some(n) = arg.strip_prefix("--durable=") {
+            match n.parse::<usize>() {
+                Ok(n) if n > 0 => store = StoreSelection::Durable(n),
+                _ => {
+                    eprintln!("--durable=N needs a positive shard count, got `{n}`");
+                    std::process::exit(2);
+                }
+            }
+        } else if arg == "--kill-restart" {
+            kill_restart = true;
         } else {
             positional.push(arg);
         }
     }
 
-    let usage = "usage: explore <start-seed> <count> [artifact-path] [--sharded[=N]]";
+    let usage =
+        "usage: explore <start-seed> <count> [artifact-path] [--sharded[=N]] [--durable[=N]] [--kill-restart]";
     let (Some(start), Some(count)) = (
         positional.first().and_then(|a| a.parse::<u64>().ok()),
         positional.get(1).and_then(|a| a.parse::<u64>().ok()),
@@ -46,6 +66,29 @@ fn main() {
         std::process::exit(2);
     };
     let artifact = positional.get(2);
+
+    if kill_restart {
+        let (passed, failure) = explore_kills(start, count, &KillConfig::default());
+        match failure {
+            None => {
+                println!(
+                    "{passed} kill-restart seed(s) explored from {start}: every invariant held"
+                );
+                return;
+            }
+            Some(report) => {
+                eprintln!("{}", report.transcript());
+                if let Some(path) = artifact {
+                    if let Err(e) = std::fs::write(path, report.transcript()) {
+                        eprintln!("could not write artifact {path}: {e}");
+                    } else {
+                        eprintln!("artifact written to {path}");
+                    }
+                }
+                std::process::exit(1);
+            }
+        }
+    }
 
     let config = SimConfig {
         store,

@@ -40,12 +40,14 @@
 
 mod explorer;
 mod history;
+pub mod kill;
 mod plan;
 mod rng;
 pub mod sim;
 
 pub use explorer::{explore, run_seed, run_seed_with, ExploreOutcome, SimFailure};
 pub use history::{Event, History, SubmitFate};
+pub use kill::{explore_kills, run_kill_restart, KillConfig, KillReport};
 pub use plan::{FaultPlan, FaultRates};
 pub use rng::SimRng;
 pub use sim::{SimConfig, SimReport, StoreSelection};

@@ -57,13 +57,35 @@ pub enum StoreSelection {
     Global,
     /// A [`ShardedStore`] with the given shard count.
     Sharded(usize),
+    /// A WAL-backed [`ShardedStore`] ([`ShardedStore::open_durable`]) with
+    /// the given shard count, rooted in a per-run scratch directory that is
+    /// removed when the run finishes. The directory name is derived from
+    /// the seed (never from scheduler draws), so durability costs no
+    /// randomness and the fingerprint-identity property extends to it.
+    Durable(usize),
 }
 
 impl StoreSelection {
-    fn build(self) -> Arc<dyn MetadataStore> {
+    fn build(self, seed: u64) -> (Arc<dyn MetadataStore>, Option<std::path::PathBuf>) {
         match self {
-            StoreSelection::Global => Arc::new(InMemoryStore::new()),
-            StoreSelection::Sharded(n) => Arc::new(ShardedStore::with_shards(n)),
+            StoreSelection::Global => (Arc::new(InMemoryStore::new()), None),
+            StoreSelection::Sharded(n) => (Arc::new(ShardedStore::with_shards(n)), None),
+            StoreSelection::Durable(n) => {
+                static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+                let unique = NEXT.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                let dir = std::env::temp_dir().join(format!(
+                    "faultsim-durable-{}-{seed}-{unique}",
+                    std::process::id()
+                ));
+                let mut cfg = wal::LogConfig::named("faultsim");
+                // Manual sync: flushes happen inline in ticket waits, so
+                // the run stays single-threaded and deterministic.
+                cfg.sync = wal::SyncPolicy::Manual;
+                let (store, _) =
+                    ShardedStore::open_durable(&dir, n, std::time::Duration::ZERO, cfg)
+                        .expect("open durable store in scratch dir");
+                (Arc::new(store), Some(dir))
+            }
         }
     }
 }
@@ -208,7 +230,7 @@ pub fn run(seed: u64, config: &SimConfig) -> SimReport {
     mq.set_interceptor(Some(plan.clone()));
 
     // Real metadata tier and SyncService, talking through the hooked broker.
-    let meta: Arc<dyn MetadataStore> = config.store.build();
+    let (meta, scratch_dir): (Arc<dyn MetadataStore>, _) = config.store.build(seed);
     let broker = Broker::over(
         Arc::new(mq.clone()) as Arc<dyn mqsim::Messaging>,
         BrokerConfig::default(),
@@ -488,6 +510,10 @@ pub fn run(seed: u64, config: &SimConfig) -> SimReport {
 
     violations.extend(history.check(&current_versions, &store_histories));
 
+    if let Some(dir) = scratch_dir {
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
     SimReport {
         seed,
         steps: step,
@@ -562,26 +588,39 @@ mod tests {
     }
 
     #[test]
+    fn durable_store_run_passes() {
+        let config = SimConfig {
+            store: StoreSelection::Durable(4),
+            ..SimConfig::default()
+        };
+        let report = run(1, &config);
+        assert!(report.passed(), "{}", report.transcript());
+    }
+
+    #[test]
     fn store_selection_does_not_change_the_run() {
         // The store consumes no scheduler randomness, so for any seed the
         // fingerprint (fault schedule + full client-visible history) must
-        // be identical whichever back-end commits the metadata.
+        // be identical whichever back-end commits the metadata — including
+        // the WAL-backed one, whose scratch path derives from the seed.
         for seed in [1, 7, 23] {
             let global = run(seed, &SimConfig::default());
-            let sharded = run(
-                seed,
-                &SimConfig {
-                    store: StoreSelection::Sharded(8),
-                    ..SimConfig::default()
-                },
-            );
-            assert!(global.passed(), "{}", global.transcript());
-            assert!(sharded.passed(), "{}", sharded.transcript());
-            assert_eq!(
-                global.fingerprint(),
-                sharded.fingerprint(),
-                "seed {seed}: sharded run diverged from global run"
-            );
+            for store in [StoreSelection::Sharded(8), StoreSelection::Durable(8)] {
+                let other = run(
+                    seed,
+                    &SimConfig {
+                        store,
+                        ..SimConfig::default()
+                    },
+                );
+                assert!(global.passed(), "{}", global.transcript());
+                assert!(other.passed(), "{}", other.transcript());
+                assert_eq!(
+                    global.fingerprint(),
+                    other.fingerprint(),
+                    "seed {seed}: {store:?} run diverged from global run"
+                );
+            }
         }
     }
 }

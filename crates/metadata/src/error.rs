@@ -25,6 +25,10 @@ pub enum MetadataError {
         /// The workspace it actually belongs to.
         belongs_to: String,
     },
+    /// The durable store could not persist the operation (WAL append or
+    /// fsync failed, or the log is down). The operation was **not**
+    /// acknowledged; the store refuses further writes until reopened.
+    Durability(String),
 }
 
 impl fmt::Display for MetadataError {
@@ -37,6 +41,7 @@ impl fmt::Display for MetadataError {
             MetadataError::WrongWorkspace { item, belongs_to } => {
                 write!(f, "item {item} belongs to workspace {belongs_to}")
             }
+            MetadataError::Durability(e) => write!(f, "durability failure: {e}"),
         }
     }
 }
@@ -58,6 +63,7 @@ mod tests {
                 item: 3,
                 belongs_to: "w".into(),
             },
+            MetadataError::Durability("disk on fire".into()),
         ] {
             assert!(!e.to_string().is_empty());
         }

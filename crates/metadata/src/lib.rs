@@ -37,12 +37,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod durable;
 mod error;
 mod model;
 mod shard;
 mod snapshot;
 mod store;
 
+pub use durable::DurableRecovery;
 pub use error::{MetadataError, MetadataResult};
 pub use model::{CommitOutcome, CommitResult, ItemMetadata, Workspace, WorkspaceId};
 pub use shard::ShardedStore;

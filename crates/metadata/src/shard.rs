@@ -32,20 +32,33 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// The partition index a workspace id routes to, as a free function so the
+/// durable-recovery path can route before any [`ShardedStore`] exists.
+/// FNV-1a over the id bytes: stable across runs (routing must be
+/// deterministic for the faultsim replay guarantees) and cheap.
+pub(crate) fn route_workspace(workspace: &str, shards: usize) -> usize {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in workspace.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (hash % shards.max(1) as u64) as usize
+}
+
 /// The directory shard: users, workspace records, id allocation. Every
 /// operation on it is a point read/write; it is never held across a commit
 /// transaction.
 #[derive(Debug, Default)]
-struct Directory {
-    users: BTreeSet<String>,
-    workspaces: BTreeMap<String, Workspace>,
-    next_workspace: u64,
+pub(crate) struct Directory {
+    pub(crate) users: BTreeSet<String>,
+    pub(crate) workspaces: BTreeMap<String, Workspace>,
+    pub(crate) next_workspace: u64,
 }
 
 /// One data partition: its own lock, its own item-id tables, its own
 /// `metadata.shard.*` instruments.
-struct Shard {
-    tables: Mutex<ItemTables>,
+pub(crate) struct Shard {
+    pub(crate) tables: Mutex<ItemTables>,
     commits: Arc<obs::Counter>,
     conflicts: Arc<obs::Counter>,
     lock_wait: Arc<obs::Histogram>,
@@ -53,8 +66,14 @@ struct Shard {
 
 impl Shard {
     fn new(index: usize) -> Self {
+        Self::with_tables(index, ItemTables::default())
+    }
+
+    /// Builds a partition pre-seeded with recovered tables (the durable
+    /// open path).
+    pub(crate) fn with_tables(index: usize, tables: ItemTables) -> Self {
         Shard {
-            tables: Mutex::new(ItemTables::default()),
+            tables: Mutex::new(tables),
             commits: obs::counter(&format!("metadata.shard.{index}.commits_total")),
             conflicts: obs::counter(&format!("metadata.shard.{index}.conflicts_total")),
             lock_wait: obs::histogram(&format!("metadata.shard.{index}.lock_wait_seconds")),
@@ -91,15 +110,20 @@ impl std::fmt::Debug for Shard {
 /// across shards.
 #[derive(Debug)]
 pub struct ShardedStore {
-    directory: Mutex<Directory>,
+    pub(crate) directory: Mutex<Directory>,
     /// item id -> owning workspace, for cross-shard pin checks and
     /// item-routed reads. Innermost lock.
-    item_home: Mutex<HashMap<u64, WorkspaceId>>,
-    shards: Vec<Shard>,
+    pub(crate) item_home: Mutex<HashMap<u64, WorkspaceId>>,
+    pub(crate) shards: Vec<Shard>,
     commit_latency: Duration,
     /// Keeps the `metadata.sharded` health check registered while the
     /// store is alive; dropping the store deregisters it.
     _health: obs::HealthGuard,
+    /// The durable commit plane ([`crate::durable`]); `None` for a purely
+    /// in-memory store.
+    pub(crate) wal: Option<Arc<crate::durable::WalPlane>>,
+    /// Keeps the `metadata.wal` health check registered for durable stores.
+    _wal_health: Option<obs::HealthGuard>,
 }
 
 impl Default for ShardedStore {
@@ -128,12 +152,34 @@ impl ShardedStore {
     /// each take `latency` under their partition lock (see the type docs).
     pub fn with_shards_and_latency(shards: usize, latency: Duration) -> Self {
         let n = shards.max(1);
+        Self::assemble(
+            Directory::default(),
+            HashMap::new(),
+            (0..n).map(Shard::new).collect(),
+            latency,
+            None,
+            None,
+        )
+    }
+
+    /// Assembles a store from pre-built state — the shared tail of the
+    /// in-memory and durable ([`ShardedStore::open_durable`]) constructors.
+    pub(crate) fn assemble(
+        directory: Directory,
+        item_home: HashMap<u64, WorkspaceId>,
+        shards: Vec<Shard>,
+        commit_latency: Duration,
+        wal: Option<Arc<crate::durable::WalPlane>>,
+        wal_health: Option<obs::HealthGuard>,
+    ) -> Self {
         ShardedStore {
-            directory: Mutex::new(Directory::default()),
-            item_home: Mutex::new(HashMap::new()),
-            shards: (0..n).map(Shard::new).collect(),
-            commit_latency: latency,
+            directory: Mutex::new(directory),
+            item_home: Mutex::new(item_home),
+            shards,
+            commit_latency,
             _health: obs::register_health("metadata.sharded", move || Ok(())),
+            wal,
+            _wal_health: wal_health,
         }
     }
 
@@ -144,14 +190,7 @@ impl ShardedStore {
 
     /// The partition index a workspace routes to.
     pub fn shard_of(&self, workspace: &WorkspaceId) -> usize {
-        // FNV-1a over the id bytes: stable across runs (routing must be
-        // deterministic for the faultsim replay guarantees) and cheap.
-        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-        for byte in workspace.0.bytes() {
-            hash ^= u64::from(byte);
-            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        (hash % self.shards.len() as u64) as usize
+        route_workspace(&workspace.0, self.shards.len())
     }
 
     fn shard(&self, workspace: &WorkspaceId) -> &Shard {
@@ -181,37 +220,49 @@ impl ShardedStore {
 
 impl MetadataStore for ShardedStore {
     fn create_user(&self, user: &str) -> MetadataResult<()> {
-        let mut dir = self.directory.lock();
-        if !dir.users.insert(user.to_string()) {
-            return Err(MetadataError::UserExists(user.to_string()));
-        }
-        Ok(())
+        // WAL records are appended while the directory lock is held (so
+        // the log order equals the apply order) but waited on after it is
+        // released (so the fsync never serializes unrelated operations).
+        let ticket = {
+            let mut dir = self.directory.lock();
+            if !dir.users.insert(user.to_string()) {
+                return Err(MetadataError::UserExists(user.to_string()));
+            }
+            crate::durable::append_dir(self, crate::durable::dir_user(user))?
+        };
+        crate::durable::wait(ticket)
     }
 
     fn create_workspace(&self, user: &str, name: &str) -> MetadataResult<WorkspaceId> {
-        let mut dir = self.directory.lock();
-        if !dir.users.contains(user) {
-            return Err(MetadataError::UnknownUser(user.to_string()));
-        }
-        dir.next_workspace += 1;
-        let id = WorkspaceId(format!("ws-{}", dir.next_workspace));
-        dir.workspaces.insert(
-            id.0.clone(),
-            Workspace {
-                id: id.clone(),
-                owner: user.to_string(),
-                name: name.to_string(),
-                members: Vec::new(),
-            },
-        );
-        // Register the workspace in its home shard while still holding the
-        // directory lock (order directory → shard), so a concurrent
-        // `workspaces_of` can never see a workspace its shard rejects.
-        self.shard(&id)
-            .tables
-            .lock()
-            .by_workspace
-            .insert(id.0.clone(), BTreeSet::new());
+        let (id, ticket) = {
+            let mut dir = self.directory.lock();
+            if !dir.users.contains(user) {
+                return Err(MetadataError::UnknownUser(user.to_string()));
+            }
+            dir.next_workspace += 1;
+            let id = WorkspaceId(format!("ws-{}", dir.next_workspace));
+            dir.workspaces.insert(
+                id.0.clone(),
+                Workspace {
+                    id: id.clone(),
+                    owner: user.to_string(),
+                    name: name.to_string(),
+                    members: Vec::new(),
+                },
+            );
+            // Register the workspace in its home shard while still holding
+            // the directory lock (order directory → shard), so a concurrent
+            // `workspaces_of` can never see a workspace its shard rejects.
+            self.shard(&id)
+                .tables
+                .lock()
+                .by_workspace
+                .insert(id.0.clone(), BTreeSet::new());
+            let ticket =
+                crate::durable::append_dir(self, crate::durable::dir_workspace(&id, user, name))?;
+            (id, ticket)
+        };
+        crate::durable::wait(ticket)?;
         Ok(id)
     }
 
@@ -229,18 +280,21 @@ impl MetadataStore for ShardedStore {
     }
 
     fn share_workspace(&self, workspace: &WorkspaceId, user: &str) -> MetadataResult<()> {
-        let mut dir = self.directory.lock();
-        if !dir.users.contains(user) {
-            return Err(MetadataError::UnknownUser(user.to_string()));
-        }
-        let ws = dir
-            .workspaces
-            .get_mut(&workspace.0)
-            .ok_or_else(|| MetadataError::UnknownWorkspace(workspace.0.clone()))?;
-        if ws.owner != user && !ws.members.iter().any(|m| m == user) {
-            ws.members.push(user.to_string());
-        }
-        Ok(())
+        let ticket = {
+            let mut dir = self.directory.lock();
+            if !dir.users.contains(user) {
+                return Err(MetadataError::UnknownUser(user.to_string()));
+            }
+            let ws = dir
+                .workspaces
+                .get_mut(&workspace.0)
+                .ok_or_else(|| MetadataError::UnknownWorkspace(workspace.0.clone()))?;
+            if ws.owner != user && !ws.members.iter().any(|m| m == user) {
+                ws.members.push(user.to_string());
+            }
+            crate::durable::append_dir(self, crate::durable::dir_share(workspace, user))?
+        };
+        crate::durable::wait(ticket)
     }
 
     fn get_workspace(&self, workspace: &WorkspaceId) -> MetadataResult<Workspace> {
@@ -257,7 +311,8 @@ impl MetadataStore for ShardedStore {
         workspace: &WorkspaceId,
         proposals: Vec<ItemMetadata>,
     ) -> MetadataResult<Vec<CommitOutcome>> {
-        let shard = self.shard(workspace);
+        let shard_index = self.shard_of(workspace);
+        let shard = &self.shards[shard_index];
         let lock_start = obs::now_ns();
         let mut tables = shard.lock_timed();
         let lock_end = obs::now_ns();
@@ -269,18 +324,36 @@ impl MetadataStore for ShardedStore {
         }
         let mut outcomes = Vec::with_capacity(proposals.len());
         let mut conflicts = 0u64;
+        let mut failure = None;
         for proposed in proposals {
             if !tables.items.contains_key(&proposed.item_id) {
                 // Not on this shard: globally new, or pinned elsewhere.
-                self.claim_item(proposed.item_id, workspace)?;
+                if let Err(e) = self.claim_item(proposed.item_id, workspace) {
+                    failure = Some(e);
+                    break;
+                }
             }
-            let outcome = tables.apply_proposal(workspace, proposed)?;
-            if !outcome.is_committed() {
-                conflicts += 1;
+            match tables.apply_proposal(workspace, proposed) {
+                Ok(outcome) => {
+                    if !outcome.is_committed() {
+                        conflicts += 1;
+                    }
+                    outcomes.push(outcome);
+                }
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
             }
-            outcomes.push(outcome);
         }
-        shard.commits.inc();
+        // Log whatever was applied — even when a later proposal failed the
+        // pin check — so the WAL always reflects the in-memory tables. The
+        // record is appended under the shard lock (log order = apply order)
+        // and waited on after release (fsync off the critical section).
+        let ticket = crate::durable::append_commit(self, shard_index, workspace, &outcomes)?;
+        if failure.is_none() {
+            shard.commits.inc();
+        }
         if conflicts > 0 {
             shard.conflicts.add(conflicts);
         }
@@ -291,7 +364,12 @@ impl MetadataStore for ShardedStore {
             obs::record_manual("meta.lock_wait", &parent, lock_start, lock_end);
             obs::record_manual("meta.txn", &parent, lock_end, txn_end);
         }
-        Ok(outcomes)
+        drop(tables);
+        crate::durable::wait(ticket)?;
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(outcomes),
+        }
     }
 
     fn current_items(&self, workspace: &WorkspaceId) -> MetadataResult<Vec<ItemMetadata>> {

@@ -7,9 +7,10 @@ use crate::error::MetadataResult;
 use crate::model::{ItemMetadata, Workspace, WorkspaceId};
 use crate::store::InMemoryStore;
 use content::ChunkId;
+use std::io::Write;
 use wire::{Codec, JsonCodec, Value, WireError, WireResult};
 
-fn item_to_value(item: &ItemMetadata) -> Value {
+pub(crate) fn item_to_value(item: &ItemMetadata) -> Value {
     Value::Map(vec![
         ("item".into(), Value::U64(item.item_id)),
         ("ws".into(), Value::Str(item.workspace.0.clone())),
@@ -30,7 +31,7 @@ fn item_to_value(item: &ItemMetadata) -> Value {
     ])
 }
 
-fn item_from_value(value: &Value) -> WireResult<ItemMetadata> {
+pub(crate) fn item_from_value(value: &Value) -> WireResult<ItemMetadata> {
     let chunks = value
         .field("chunks")?
         .as_list()?
@@ -55,48 +56,139 @@ fn item_from_value(value: &Value) -> WireResult<ItemMetadata> {
     })
 }
 
+/// Full serializable state of a metadata store — the common denominator of
+/// [`InMemoryStore`] and [`crate::ShardedStore`], so both produce and load
+/// the same `stacksync-metadata-v1` snapshot format.
+pub(crate) struct StoreParts {
+    pub(crate) users: Vec<String>,
+    pub(crate) workspaces: Vec<Workspace>,
+    /// Per-item version histories, oldest version first.
+    pub(crate) histories: Vec<Vec<ItemMetadata>>,
+}
+
+pub(crate) fn parts_to_value(parts: &StoreParts) -> Value {
+    Value::Map(vec![
+        ("format".into(), Value::from("stacksync-metadata-v1")),
+        (
+            "users".into(),
+            Value::List(parts.users.iter().cloned().map(Value::Str).collect()),
+        ),
+        (
+            "workspaces".into(),
+            Value::List(
+                parts
+                    .workspaces
+                    .iter()
+                    .map(|w| {
+                        Value::Map(vec![
+                            ("id".into(), Value::Str(w.id.0.clone())),
+                            ("owner".into(), Value::Str(w.owner.clone())),
+                            ("name".into(), Value::Str(w.name.clone())),
+                            (
+                                "members".into(),
+                                Value::List(w.members.iter().cloned().map(Value::Str).collect()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "items".into(),
+            Value::List(
+                parts
+                    .histories
+                    .iter()
+                    .map(|versions| Value::List(versions.iter().map(item_to_value).collect()))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+pub(crate) fn parts_from_value(value: &Value) -> WireResult<StoreParts> {
+    let format = value.field("format")?.as_str()?;
+    if format != "stacksync-metadata-v1" {
+        return Err(WireError::Invalid(format!(
+            "unsupported metadata snapshot format `{format}`"
+        )));
+    }
+    let users = value
+        .field("users")?
+        .as_list()?
+        .iter()
+        .map(|v| Ok(v.as_str()?.to_string()))
+        .collect::<WireResult<Vec<String>>>()?;
+    let workspaces = value
+        .field("workspaces")?
+        .as_list()?
+        .iter()
+        .map(|v| {
+            Ok(Workspace {
+                id: WorkspaceId(v.field("id")?.as_str()?.to_string()),
+                owner: v.field("owner")?.as_str()?.to_string(),
+                name: v.field("name")?.as_str()?.to_string(),
+                members: v
+                    .field("members")?
+                    .as_list()?
+                    .iter()
+                    .map(|m| Ok(m.as_str()?.to_string()))
+                    .collect::<WireResult<Vec<String>>>()?,
+            })
+        })
+        .collect::<WireResult<Vec<Workspace>>>()?;
+    let histories = value
+        .field("items")?
+        .as_list()?
+        .iter()
+        .map(|versions| {
+            versions
+                .as_list()?
+                .iter()
+                .map(item_from_value)
+                .collect::<WireResult<Vec<ItemMetadata>>>()
+        })
+        .collect::<WireResult<Vec<Vec<ItemMetadata>>>>()?;
+    Ok(StoreParts {
+        users,
+        workspaces,
+        histories,
+    })
+}
+
+/// Crash-safe file write: the bytes land in a temp file in the target's
+/// directory, are fsynced, and only then renamed over the destination — so
+/// at every instant the destination is either the complete old content or
+/// the complete new content, never a torn mix. (The rename is atomic on
+/// POSIX filesystems; the directory fsync afterwards is best-effort, which
+/// is all portability allows.)
+pub(crate) fn write_atomic(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = dir {
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
 impl InMemoryStore {
     /// Serializes the full store state (users, workspaces, every item
     /// version) into the wire data model.
     pub fn snapshot(&self) -> Value {
         let (users, workspaces, histories) = self.dump();
-        Value::Map(vec![
-            ("format".into(), Value::from("stacksync-metadata-v1")),
-            (
-                "users".into(),
-                Value::List(users.into_iter().map(Value::Str).collect()),
-            ),
-            (
-                "workspaces".into(),
-                Value::List(
-                    workspaces
-                        .iter()
-                        .map(|w| {
-                            Value::Map(vec![
-                                ("id".into(), Value::Str(w.id.0.clone())),
-                                ("owner".into(), Value::Str(w.owner.clone())),
-                                ("name".into(), Value::Str(w.name.clone())),
-                                (
-                                    "members".into(),
-                                    Value::List(
-                                        w.members.iter().cloned().map(Value::Str).collect(),
-                                    ),
-                                ),
-                            ])
-                        })
-                        .collect(),
-                ),
-            ),
-            (
-                "items".into(),
-                Value::List(
-                    histories
-                        .iter()
-                        .map(|versions| Value::List(versions.iter().map(item_to_value).collect()))
-                        .collect(),
-                ),
-            ),
-        ])
+        parts_to_value(&StoreParts {
+            users,
+            workspaces,
+            histories,
+        })
     }
 
     /// Reconstructs a store from a snapshot.
@@ -105,49 +197,12 @@ impl InMemoryStore {
     ///
     /// [`WireError`] when the value is not a v1 metadata snapshot.
     pub fn restore(value: &Value) -> WireResult<InMemoryStore> {
-        let format = value.field("format")?.as_str()?;
-        if format != "stacksync-metadata-v1" {
-            return Err(WireError::Invalid(format!(
-                "unsupported metadata snapshot format `{format}`"
-            )));
-        }
-        let users = value
-            .field("users")?
-            .as_list()?
-            .iter()
-            .map(|v| Ok(v.as_str()?.to_string()))
-            .collect::<WireResult<Vec<String>>>()?;
-        let workspaces = value
-            .field("workspaces")?
-            .as_list()?
-            .iter()
-            .map(|v| {
-                Ok(Workspace {
-                    id: WorkspaceId(v.field("id")?.as_str()?.to_string()),
-                    owner: v.field("owner")?.as_str()?.to_string(),
-                    name: v.field("name")?.as_str()?.to_string(),
-                    members: v
-                        .field("members")?
-                        .as_list()?
-                        .iter()
-                        .map(|m| Ok(m.as_str()?.to_string()))
-                        .collect::<WireResult<Vec<String>>>()?,
-                })
-            })
-            .collect::<WireResult<Vec<Workspace>>>()?;
-        let histories = value
-            .field("items")?
-            .as_list()?
-            .iter()
-            .map(|versions| {
-                versions
-                    .as_list()?
-                    .iter()
-                    .map(item_from_value)
-                    .collect::<WireResult<Vec<ItemMetadata>>>()
-            })
-            .collect::<WireResult<Vec<Vec<ItemMetadata>>>>()?;
-        Ok(InMemoryStore::from_dump(users, workspaces, histories))
+        let parts = parts_from_value(value)?;
+        Ok(InMemoryStore::from_dump(
+            parts.users,
+            parts.workspaces,
+            parts.histories,
+        ))
     }
 
     /// Serializes the snapshot as JSON bytes.
@@ -164,13 +219,15 @@ impl InMemoryStore {
         Self::restore(&JsonCodec.decode(bytes)?)
     }
 
-    /// Checkpoints the store to a file.
+    /// Checkpoints the store to a file, atomically: the snapshot is written
+    /// to a temp file, fsynced, and renamed into place, so a crash mid-write
+    /// can never corrupt an existing checkpoint.
     ///
     /// # Errors
     ///
     /// Filesystem errors.
     pub fn checkpoint(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
-        std::fs::write(path, self.snapshot_json())
+        write_atomic(path.as_ref(), &self.snapshot_json())
     }
 
     /// Loads a checkpoint from a file.
@@ -274,5 +331,66 @@ mod tests {
         let wrong = Value::Map(vec![("format".into(), Value::from("nope"))]);
         assert!(InMemoryStore::restore(&wrong).is_err());
         assert!(InMemoryStore::restore_json(b"garbage").is_err());
+    }
+
+    #[test]
+    fn corrupted_or_truncated_checkpoints_load_as_invalid_data() {
+        let (original, _ws) = populated();
+        let path = std::env::temp_dir().join(format!(
+            "stacksync-meta-damaged-{}.json",
+            std::process::id()
+        ));
+        original.checkpoint(&path).unwrap();
+        let intact = std::fs::read(&path).unwrap();
+
+        // Truncation at various depths: every prefix must be rejected as
+        // InvalidData, never panic or load a partial store.
+        for cut in [0, 1, intact.len() / 3, intact.len() - 1] {
+            std::fs::write(&path, &intact[..cut]).unwrap();
+            let err = InMemoryStore::load_checkpoint(&path).unwrap_err();
+            assert_eq!(
+                err.kind(),
+                std::io::ErrorKind::InvalidData,
+                "truncation to {cut} bytes"
+            );
+        }
+
+        // Structural corruption inside the document: break a separator (the
+        // snapshot's strings contain no commas, so every `,` is structural).
+        let mut corrupt = intact.clone();
+        let comma = corrupt
+            .iter()
+            .position(|&b| b == b',')
+            .expect("snapshot has structural commas");
+        corrupt[comma] = b';';
+        std::fs::write(&path, &corrupt).unwrap();
+        assert!(InMemoryStore::load_checkpoint(&path).is_err());
+
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkpoint_replaces_existing_file_atomically() {
+        // A second checkpoint over an existing file goes through the temp
+        // file + rename path; the destination must hold the complete new
+        // snapshot and the temp file must be gone.
+        let (original, ws) = populated();
+        let path = std::env::temp_dir().join(format!(
+            "stacksync-meta-rewrite-{}.json",
+            std::process::id()
+        ));
+        original.checkpoint(&path).unwrap();
+        let cur = original.get_current(1).unwrap();
+        original
+            .commit(&ws, vec![cur.next_version(vec![], 2, "dev9")])
+            .unwrap();
+        original.checkpoint(&path).unwrap();
+        assert!(
+            !path.with_extension("tmp").exists(),
+            "temp file must be renamed away"
+        );
+        let restored = InMemoryStore::load_checkpoint(&path).unwrap();
+        assert_eq!(restored.get_current(1).unwrap().version, 3);
+        std::fs::remove_file(&path).ok();
     }
 }

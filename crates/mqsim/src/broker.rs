@@ -6,11 +6,13 @@ use crate::consumer::Consumer;
 use crate::error::{MqError, MqResult};
 use crate::exchange::{Exchange, ExchangeKind};
 use crate::interceptor::{DeliveryInterceptor, InterceptorCell};
+use crate::journal::{Journal, RecoveredState};
 use crate::message::Message;
 use crate::queue::QueueCore;
 use crate::stats::QueueStats;
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -23,6 +25,11 @@ pub struct QueueOptions {
     pub auto_delete: bool,
     /// Window of the per-queue arrival-rate estimator.
     pub rate_window: Duration,
+    /// Journal publishes to this queue in the broker WAL so unacked
+    /// messages survive a process crash. Only effective on a broker opened
+    /// with [`MessageBroker::open_durable`]; ignored (plain in-memory
+    /// behaviour) elsewhere.
+    pub durable: bool,
 }
 
 impl Default for QueueOptions {
@@ -30,8 +37,32 @@ impl Default for QueueOptions {
         QueueOptions {
             auto_delete: false,
             rate_window: Duration::from_secs(60),
+            durable: false,
         }
     }
+}
+
+impl QueueOptions {
+    /// Default options with the `durable` flag set.
+    pub fn durable() -> Self {
+        QueueOptions {
+            durable: true,
+            ..QueueOptions::default()
+        }
+    }
+}
+
+/// What [`MessageBroker::open_durable`] reconstructed from the journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BrokerRecovery {
+    /// Journal records replayed.
+    pub replayed: u64,
+    /// Durable queues re-declared.
+    pub queues: usize,
+    /// Unacked messages re-enqueued (flagged redelivered).
+    pub requeued: usize,
+    /// Whether the journal tail was torn (partial final write dropped).
+    pub torn: bool,
 }
 
 #[derive(Debug, Default)]
@@ -45,6 +76,10 @@ struct BrokerInner {
     /// lifetime. Only populated by [`MessageBroker::new`] — the check needs
     /// a `Weak` to this struct, which `derive(Default)` cannot produce.
     health: std::sync::OnceLock<obs::HealthGuard>,
+    /// The durable-queue journal; only set by [`MessageBroker::open_durable`].
+    journal: std::sync::OnceLock<Arc<Journal>>,
+    /// Keeps the `mqsim.journal` health check registered on durable brokers.
+    journal_health: std::sync::OnceLock<obs::HealthGuard>,
 }
 
 /// An in-process message broker node.
@@ -74,6 +109,92 @@ impl MessageBroker {
         broker
     }
 
+    /// Opens (or creates) a durable broker whose journal lives at `dir`.
+    /// Queues declared with [`QueueOptions::durable`] journal every publish
+    /// before acknowledging it; recovery re-declares those queues and
+    /// re-enqueues every journaled publish without a journaled ack (flagged
+    /// redelivered — at-least-once across process death).
+    ///
+    /// `config` supplies the WAL tuning (sync policy, group-commit
+    /// interval/bytes, segment size).
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors, or `InvalidData` when a journal record fails to
+    /// decode.
+    pub fn open_durable(
+        dir: impl AsRef<Path>,
+        config: wal::LogConfig,
+    ) -> std::io::Result<(MessageBroker, BrokerRecovery)> {
+        let (log, rec) = wal::Log::open(dir.as_ref(), config)
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        let replayed = rec.records.len() as u64;
+        let torn = rec.torn.is_some();
+        let state: RecoveredState = crate::journal::replay(&rec.records)?;
+
+        let broker = MessageBroker::new();
+        let journal = Arc::new(Journal::new(log, state.next_jid));
+        let weak = Arc::downgrade(&journal);
+        let guard = obs::register_health("mqsim.journal", move || match weak.upgrade() {
+            Some(journal) => journal.status(),
+            None => Err("journal dropped".to_string()),
+        });
+        let _ = broker.inner.journal.set(journal);
+        let _ = broker.inner.journal_health.set(guard);
+
+        let queues = state.queues.len();
+        for (name, options) in &state.queues {
+            broker
+                .declare_queue_inner(name, options.clone(), false)
+                .map_err(|e| std::io::Error::other(e.to_string()))?;
+        }
+        let requeued = state.pending.len();
+        for (jid, queue, message) in state.pending {
+            // The declaration record always precedes the publish in the
+            // single FIFO journal, so the queue exists by construction.
+            if let Ok(core) = broker.queue(&queue) {
+                core.push_recovered(message, jid);
+            }
+        }
+        obs::flight_event!(
+            "mqsim",
+            "durable broker opened: {replayed} record(s) replayed, {requeued} message(s) requeued"
+        );
+        Ok((
+            broker,
+            BrokerRecovery {
+                replayed,
+                queues,
+                requeued,
+                torn,
+            },
+        ))
+    }
+
+    /// Whether this broker journals durable queues.
+    pub fn is_durable(&self) -> bool {
+        self.inner.journal.get().is_some()
+    }
+
+    /// Forces buffered journal records (acks are journaled fire-and-forget)
+    /// to disk. No-op on a non-durable broker.
+    pub fn journal_flush(&self) -> MqResult<()> {
+        match self.inner.journal.get() {
+            Some(journal) => journal.flush(),
+            None => Ok(()),
+        }
+    }
+
+    /// Fault-simulator hook: crashes the journal as if the process died,
+    /// keeping `surviving_pending_bytes` of the un-flushed buffer as a torn
+    /// tail. Durable publishes fail afterwards until the broker is reopened.
+    /// No-op on a non-durable broker.
+    pub fn journal_simulate_crash(&self, surviving_pending_bytes: usize) {
+        if let Some(journal) = self.inner.journal.get() {
+            journal.simulate_crash(surviving_pending_bytes);
+        }
+    }
+
     fn check_up(&self) -> MqResult<()> {
         if self.inner.down.load(Ordering::Acquire) {
             Err(MqError::BrokerDown)
@@ -91,12 +212,33 @@ impl MessageBroker {
     /// options, [`MqError::BrokerDown`] if the node was killed.
     pub fn declare_queue(&self, name: &str, options: QueueOptions) -> MqResult<()> {
         self.check_up()?;
+        self.declare_queue_inner(name, options, true)
+    }
+
+    /// Shared declaration body; `journal_write` is false on the recovery
+    /// path, where the declaration record already exists in the journal.
+    fn declare_queue_inner(
+        &self,
+        name: &str,
+        options: QueueOptions,
+        journal_write: bool,
+    ) -> MqResult<()> {
         let mut queues = self.inner.queues.write();
         if let Some(existing) = queues.get(name) {
-            if existing.auto_delete != options.auto_delete {
+            if existing.auto_delete != options.auto_delete || existing.durable != options.durable {
                 return Err(MqError::IncompatibleDeclaration(name.to_string()));
             }
             return Ok(());
+        }
+        let journal = if options.durable {
+            self.inner.journal.get().cloned()
+        } else {
+            None
+        };
+        if journal_write {
+            if let Some(journal) = &journal {
+                journal.record_decl(name, &options)?;
+            }
         }
         queues.insert(
             name.to_string(),
@@ -104,6 +246,8 @@ impl MessageBroker {
                 name,
                 options.auto_delete,
                 options.rate_window,
+                options.durable,
+                journal,
                 self.inner.interceptor.clone(),
             )),
         );
@@ -136,6 +280,12 @@ impl MessageBroker {
         let mut exchanges = self.inner.exchanges.write();
         for exchange in exchanges.values_mut() {
             exchange.unbind_queue_everywhere(name);
+        }
+        drop(exchanges);
+        if queue.durable {
+            if let Some(journal) = self.inner.journal.get() {
+                journal.record_delete(name)?;
+            }
         }
         Ok(())
     }

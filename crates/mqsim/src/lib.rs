@@ -48,12 +48,13 @@ mod consumer;
 mod error;
 mod exchange;
 mod interceptor;
+mod journal;
 mod message;
 mod queue;
 mod stats;
 
 pub use api::{AnyDelivery, MessageConsumer, Messaging};
-pub use broker::{BrokerCluster, MessageBroker, QueueOptions};
+pub use broker::{BrokerCluster, BrokerRecovery, MessageBroker, QueueOptions};
 pub use clock::{Clock, SystemClock, VirtualClock};
 pub use consumer::{Consumer, Delivery};
 pub use error::{MqError, MqResult};

@@ -3,6 +3,7 @@
 use crate::error::{MqError, MqResult};
 use crate::interceptor::InterceptorCell;
 use crate::interceptor::{DeliverFault, PublishFault};
+use crate::journal::Journal;
 use crate::message::{DeliveryTag, Message};
 use crate::stats::{QueueStats, RateEstimator};
 use parking_lot::{Condvar, Mutex};
@@ -58,6 +59,9 @@ struct ReadyEntry {
     redelivered: bool,
     /// Cluster-wide message id, used by `BrokerCluster` mirroring.
     cluster_id: Option<u64>,
+    /// Journal id of the publish record on a durable queue; carried so the
+    /// eventual ack (or purge) can cancel the record.
+    jid: Option<u64>,
 }
 
 /// An unacked (in-flight) entry, owned by a consumer.
@@ -66,6 +70,7 @@ struct InFlight {
     message: Message,
     consumer: ConsumerId,
     cluster_id: Option<u64>,
+    jid: Option<u64>,
 }
 
 #[derive(Debug, Default)]
@@ -91,6 +96,13 @@ pub(crate) struct QueueCore {
     next_consumer: AtomicU64,
     pub(crate) arrivals: RateEstimator,
     pub(crate) auto_delete: bool,
+    /// The `durable` flag the queue was declared with (for redeclaration
+    /// compatibility checks). The journal may still be `None` when the
+    /// broker itself has no journal.
+    pub(crate) durable: bool,
+    /// Broker journal, set only for durable queues on a durable broker:
+    /// publishes append (and wait) here, acks append fire-and-forget.
+    journal: Option<Arc<Journal>>,
     interceptor: InterceptorCell,
     obs: QueueObs,
 }
@@ -100,6 +112,8 @@ impl QueueCore {
         name: &str,
         auto_delete: bool,
         rate_window: Duration,
+        durable: bool,
+        journal: Option<Arc<Journal>>,
         interceptor: InterceptorCell,
     ) -> Self {
         QueueCore {
@@ -110,6 +124,8 @@ impl QueueCore {
             next_consumer: AtomicU64::new(1),
             arrivals: RateEstimator::new(rate_window),
             auto_delete,
+            durable,
+            journal,
             interceptor,
             obs: QueueObs::new(),
         }
@@ -137,14 +153,53 @@ impl QueueCore {
         if state.closed {
             return Err(MqError::Closed);
         }
-        let enqueued = self.apply_publish(&mut state, message, fault, cluster_id);
+        // Durable queues journal the publish under the queue lock (record
+        // order = enqueue order) and wait for the fsync after releasing it,
+        // so concurrent publishers coalesce into one group commit.
+        let (jid, ticket) = match &self.journal {
+            Some(journal) => {
+                let (jid, ticket) = journal.record_publish(&self.name, &message)?;
+                (Some(jid), Some(ticket))
+            }
+            None => (None, None),
+        };
+        let enqueued = self.apply_publish(&mut state, message, fault, cluster_id, jid);
         drop(state);
         self.obs.published.inc();
         self.arrivals.record();
         for _ in 0..enqueued {
             self.available.notify_one();
         }
-        Ok(())
+        match ticket {
+            Some(ticket) => ticket
+                .wait()
+                .map_err(|e| MqError::Durability(e.to_string())),
+            None => Ok(()),
+        }
+    }
+
+    /// Re-enqueues a message recovered from the journal, keeping its
+    /// original journal id (so a later ack cancels the original record)
+    /// and *not* journaling again. Conservatively flagged redelivered: the
+    /// journal does not record deliveries, so the message may have been
+    /// seen before the crash.
+    pub(crate) fn push_recovered(&self, mut message: Message, jid: u64) {
+        message.mark_enqueued();
+        let mut state = self.state.lock();
+        state.published += 1;
+        let tag = self.fresh_tag();
+        state.ready.push_back((
+            tag,
+            ReadyEntry {
+                message,
+                redelivered: true,
+                cluster_id: None,
+                jid: Some(jid),
+            },
+        ));
+        drop(state);
+        self.obs.published.inc();
+        self.available.notify_one();
     }
 
     /// Publishes a batch of messages under one lock acquisition.
@@ -180,8 +235,20 @@ impl QueueCore {
             return Err(MqError::Closed);
         }
         let mut enqueued = 0;
+        // One journal record per message, one durability wait for the whole
+        // batch: fsync covers a log prefix, so waiting on the last ticket
+        // covers every record appended before it.
+        let mut last_ticket = None;
         for (message, fault) in staged {
-            enqueued += self.apply_publish(&mut state, message, fault, cluster_id);
+            let jid = match &self.journal {
+                Some(journal) => {
+                    let (jid, ticket) = journal.record_publish(&self.name, &message)?;
+                    last_ticket = Some(ticket);
+                    Some(jid)
+                }
+                None => None,
+            };
+            enqueued += self.apply_publish(&mut state, message, fault, cluster_id, jid);
         }
         drop(state);
         self.obs.published.add(n);
@@ -192,7 +259,12 @@ impl QueueCore {
         } else if enqueued == 1 {
             self.available.notify_one();
         }
-        Ok(())
+        match last_ticket {
+            Some(ticket) => ticket
+                .wait()
+                .map_err(|e| MqError::Durability(e.to_string())),
+            None => Ok(()),
+        }
     }
 
     /// Applies one publish decision to the ready list; returns how many
@@ -204,12 +276,14 @@ impl QueueCore {
         message: Message,
         fault: PublishFault,
         cluster_id: Option<u64>,
+        jid: Option<u64>,
     ) -> usize {
         state.published += 1;
         let entry = |message| ReadyEntry {
             message,
             redelivered: false,
             cluster_id,
+            jid,
         };
         match fault {
             PublishFault::Deliver => {
@@ -288,6 +362,7 @@ impl QueueCore {
                     message: inflight.message,
                     redelivered: true,
                     cluster_id: inflight.cluster_id,
+                    jid: inflight.jid,
                 },
             ));
         }
@@ -313,6 +388,7 @@ impl QueueCore {
                 message: entry.message.clone(),
                 consumer,
                 cluster_id: entry.cluster_id,
+                jid: entry.jid,
             },
         );
         self.obs.delivered.inc();
@@ -455,7 +531,11 @@ impl QueueCore {
         match state.unacked.remove(&tag.0) {
             Some(f) => {
                 state.acked += 1;
+                drop(state);
                 self.obs.acked.inc();
+                if let (Some(journal), Some(jid)) = (&self.journal, f.jid) {
+                    journal.record_ack(jid);
+                }
                 Ok(f.cluster_id)
             }
             None => Err(MqError::UnknownDeliveryTag(tag.0)),
@@ -470,14 +550,23 @@ impl QueueCore {
         }
         let mut state = self.state.lock();
         let mut acked = 0u64;
+        let mut jids = Vec::new();
         for tag in tags {
-            if state.unacked.remove(&tag.0).is_some() {
+            if let Some(f) = state.unacked.remove(&tag.0) {
                 acked += 1;
+                if let Some(jid) = f.jid {
+                    jids.push(jid);
+                }
             }
         }
         state.acked += acked;
         drop(state);
         self.obs.acked.add(acked);
+        if let Some(journal) = &self.journal {
+            for jid in jids {
+                journal.record_ack(jid);
+            }
+        }
         acked as usize
     }
 
@@ -494,6 +583,7 @@ impl QueueCore {
                         message: f.message,
                         redelivered: true,
                         cluster_id: f.cluster_id,
+                        jid: f.jid,
                     },
                 ));
                 drop(state);
@@ -509,18 +599,43 @@ impl QueueCore {
     pub(crate) fn remove_cluster_id(&self, cluster_id: u64) -> bool {
         let mut state = self.state.lock();
         let before = state.ready.len();
-        state
-            .ready
-            .retain(|(_, e)| e.cluster_id != Some(cluster_id));
-        state.ready.len() != before
+        let mut dropped_jids = Vec::new();
+        state.ready.retain(|(_, e)| {
+            let matches = e.cluster_id == Some(cluster_id);
+            if matches {
+                if let Some(jid) = e.jid {
+                    dropped_jids.push(jid);
+                }
+            }
+            !matches
+        });
+        let removed = state.ready.len() != before;
+        drop(state);
+        self.journal_acks(dropped_jids);
+        removed
     }
 
-    /// Drops all ready messages; returns how many were purged.
+    /// Drops all ready messages; returns how many were purged. On a durable
+    /// queue the drops are journaled as acks so they stay purged across a
+    /// restart (in-flight deliveries survive the purge, as live).
     pub(crate) fn purge(&self) -> usize {
         let mut state = self.state.lock();
         let n = state.ready.len();
+        let dropped_jids: Vec<u64> = state.ready.iter().filter_map(|(_, e)| e.jid).collect();
         state.ready.clear();
+        drop(state);
+        self.journal_acks(dropped_jids);
         n
+    }
+
+    /// Journals ack records for messages removed without a consumer ack
+    /// (purge, mirror drop).
+    fn journal_acks(&self, jids: Vec<u64>) {
+        if let Some(journal) = &self.journal {
+            for jid in jids {
+                journal.record_ack(jid);
+            }
+        }
     }
 
     /// Closes the queue, waking all blocked consumers with `Closed`.
@@ -557,7 +672,14 @@ mod tests {
     use super::*;
 
     fn q() -> QueueCore {
-        QueueCore::new("q", false, Duration::from_secs(10), Default::default())
+        QueueCore::new(
+            "q",
+            false,
+            Duration::from_secs(10),
+            false,
+            None,
+            Default::default(),
+        )
     }
 
     #[test]

@@ -418,6 +418,7 @@ impl Request {
                         "rate_window_ms".into(),
                         Value::U64(opts.rate_window.as_millis() as u64),
                     ),
+                    ("durable".into(), Value::Bool(opts.durable)),
                 ],
             ),
             Request::DeleteQueue(name) => (
@@ -561,6 +562,8 @@ impl Request {
                 QueueOptions {
                     auto_delete: field_bool(v, "auto_delete")?,
                     rate_window: Duration::from_millis(field_u64(v, "rate_window_ms")?),
+                    // Absent on frames from peers predating durable queues.
+                    durable: field_bool(v, "durable").unwrap_or(false),
                 },
             ),
             "delete_queue" => Request::DeleteQueue(field_str(v, "name")?),
@@ -908,6 +911,7 @@ mod tests {
             QueueOptions {
                 auto_delete: true,
                 rate_window: Duration::from_millis(1500),
+                durable: true,
             },
         ));
         roundtrip(Request::DeclareExchange("x".into(), ExchangeKind::Fanout));

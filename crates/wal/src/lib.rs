@@ -1,0 +1,134 @@
+//! Segmented write-ahead log with group commit.
+//!
+//! This is the durability primitive behind the metadata plane's commit path
+//! and mqsim's durable queues. One [`Log`] owns a directory of segment files
+//! (`wal-<seq>.log`); every record is framed as
+//!
+//! ```text
+//! [len: u32 LE][seq: u64 LE][crc: u64 LE][payload; len bytes]
+//! ```
+//!
+//! where `crc` is FNV-1a over the little-endian `seq` bytes followed by the
+//! payload — the same hash family the repo already uses for shard routing and
+//! history fingerprints. Appends are buffered under the log lock and made
+//! durable by a dedicated group-commit flusher thread that coalesces every
+//! waiting appender into a single `write` + `fsync` (tunable interval / byte
+//! thresholds, [`LogConfig`]), so N committers pay one fsync, not N.
+//!
+//! Recovery ([`Log::open`]) replays segments in order and tolerates a torn
+//! tail: the scan stops at the first record whose length prefix or checksum
+//! does not verify, truncates the file back to the last valid frame, and
+//! resumes appending after it. Because `fsync` covers a prefix of the log,
+//! a crash can only lose a *suffix* of un-acknowledged records — anything a
+//! caller observed as durable (its [`Ticket::wait`] returned `Ok`) survives.
+//!
+//! Snapshot-based truncation is two calls: capture [`Log::mark`] while the
+//! caller's own state lock is held, persist the snapshot, then
+//! [`Log::truncate_through`] drops sealed segments wholly below the mark.
+//!
+//! Crash injection for the fault simulator: [`Log::simulate_crash`] models
+//! process death by flushing an arbitrary *prefix* of the pending buffer to
+//! disk (a torn partial write), discarding the rest, and failing every
+//! subsequent operation — exactly the state a `SIGKILL` between `write` and
+//! `fsync` leaves behind.
+
+#![warn(missing_docs)]
+
+mod log;
+mod record;
+
+pub use crate::log::{Log, Recovery, Ticket};
+pub use crate::record::MAX_RECORD_LEN;
+
+use std::fmt;
+use std::time::Duration;
+
+/// When appended records hit the disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// Group commit: a flusher thread coalesces pending appenders into one
+    /// `write` + `fsync`. Appenders block in [`Ticket::wait`] until their
+    /// record is covered by an fsync. The default.
+    Batched,
+    /// Every append performs its own `write` + `fsync` inline. Simple and
+    /// slow; useful as the baseline the group-commit numbers are judged by.
+    Immediate,
+    /// Write without ever calling `fsync` — durability is whatever the OS
+    /// page cache provides. For tests and throughput ceilings only.
+    Never,
+    /// No flusher thread: appends buffer, and the flush (write + fsync)
+    /// happens inline in [`Ticket::wait`] or [`Log::flush`]. Group commit
+    /// still works — one waiter flushes everything buffered so far — but
+    /// with no background thread the pending-buffer contents at any point
+    /// are a pure function of the call sequence, which is what the
+    /// deterministic fault simulator needs for reproducible crash windows.
+    Manual,
+}
+
+/// Tuning knobs for a [`Log`].
+#[derive(Debug, Clone)]
+pub struct LogConfig {
+    /// Short name used in flight-recorder events and error messages.
+    pub name: String,
+    /// Durability policy (see [`SyncPolicy`]).
+    pub sync: SyncPolicy,
+    /// How long the flusher waits after the first pending append for more
+    /// appenders to join the batch. Zero flushes as soon as the flusher
+    /// wakes; the fsync itself still batches whoever queued during it.
+    pub group_commit_interval: Duration,
+    /// Pending-buffer size that triggers an immediate flush regardless of
+    /// the interval.
+    pub group_commit_bytes: usize,
+    /// Active-segment size at which the segment is sealed and a new one
+    /// started. Sealed segments are the unit of truncation.
+    pub segment_bytes: u64,
+}
+
+impl Default for LogConfig {
+    fn default() -> Self {
+        LogConfig {
+            name: "wal".to_string(),
+            sync: SyncPolicy::Batched,
+            group_commit_interval: Duration::from_micros(100),
+            group_commit_bytes: 256 * 1024,
+            segment_bytes: 8 * 1024 * 1024,
+        }
+    }
+}
+
+impl LogConfig {
+    /// Config with the given flight-recorder name and defaults otherwise.
+    pub fn named(name: impl Into<String>) -> Self {
+        LogConfig {
+            name: name.into(),
+            ..LogConfig::default()
+        }
+    }
+}
+
+/// Errors surfaced by log operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WalError {
+    /// An I/O error occurred; the log refuses further appends (fail-stop).
+    Io(String),
+    /// [`Log::simulate_crash`] was invoked — the process is "dead".
+    Crashed,
+    /// The log was closed while the operation was in flight.
+    Closed,
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal i/o error: {e}"),
+            WalError::Crashed => write!(f, "wal crashed (simulated process death)"),
+            WalError::Closed => write!(f, "wal closed"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+/// Result alias for log operations.
+pub type WalResult<T> = Result<T, WalError>;
