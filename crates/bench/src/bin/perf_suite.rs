@@ -2,8 +2,9 @@
 //! latency in both the batched and unbatched protocol modes, plus sync
 //! commit throughput, metadata-store contention, and the durable commit
 //! plane. Writes `BENCH_4.json` (transport), `BENCH_5.json` (metadata
-//! sharding) and `BENCH_7.json` (WAL group commit + recovery) at the repo
-//! root so runs can be compared across commits.
+//! sharding), `BENCH_6.json` (connection scaling on the poll-based reactor)
+//! and `BENCH_7.json` (WAL group commit + recovery) at the repo root so
+//! runs can be compared across commits.
 //!
 //! The batched/unbatched pairs are measured in the same run so the ratio
 //! is meaningful on any machine:
@@ -27,13 +28,23 @@
 //! available (CI filesystems make fsync absurdly slow or silently async;
 //! see DESIGN.md §11), falling back to the system temp dir.
 //!
-//! `--smoke` shrinks every workload to a few iterations for CI; `--out` /
-//! `--out-contention` / `--out-durable` override the output paths;
-//! `--gate` exits nonzero if the batched mode fails to beat the unbatched
-//! mode, the sharded store falls below the global store, or the durable
-//! sharded store falls below 60% of the non-durable sharded store,
-//! measured in the same run (relative gates, so they are robust to
-//! machine speed).
+//! The connection-scaling scenario grows a fleet of mostly-idle
+//! [`NetBroker`] clients against one [`BrokerServer`] — 256, 2 000, then
+//! 10 000 live connections (the larger levels are skipped when the fd
+//! limit cannot be raised far enough) — while a small active subset keeps
+//! committing through the full sync stack. Per level it records sync
+//! commit latency percentiles, resident memory per connection, and whether
+//! the reactor actually sustained the fleet.
+//!
+//! `--smoke` shrinks every workload to a few iterations for CI (and caps
+//! the connection scenario at 2 000 connections); `--out` /
+//! `--out-contention` / `--out-conn` / `--out-durable` override the output
+//! paths; `--gate` exits nonzero if the batched mode fails to beat the
+//! unbatched mode, the sharded store falls below the global store, the
+//! durable sharded store falls below 60% of the non-durable sharded store,
+//! or the reactor fails to sustain an attempted connection level (or its
+//! commit p99 collapses relative to the smallest level), measured in the
+//! same run (relative gates, so they are robust to machine speed).
 
 use bench::{arg_value, has_flag, header};
 use metadata::{InMemoryStore, ItemMetadata, MetadataStore, ShardedStore};
@@ -412,17 +423,235 @@ fn durable_scenario(commits_per_writer: usize) -> DurableNumbers {
     }
 }
 
+/// Connection levels of the scaling scenario (total live connections:
+/// idle fleet + active committers).
+const CONN_LEVELS: [usize; 3] = [256, 2_000, 10_000];
+/// Levels attempted under `--smoke` (CI hardware and CI fd limits).
+const CONN_LEVELS_SMOKE: [usize; 2] = [256, 2_000];
+/// Clients of the fleet that actively commit while the rest idle.
+const ACTIVE_CLIENTS: usize = 32;
+/// Threads used to build the idle fleet.
+const FLEET_BUILDERS: usize = 8;
+/// Fds one live connection costs in this single-process benchmark: client
+/// stream + writer clone, plus server stream + reader and writer clones.
+const FDS_PER_CONN: u64 = 5;
+
+/// Resident set size in KiB, from `/proc/self/status` (0 if unreadable).
+fn rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .unwrap_or_default()
+        .lines()
+        .find_map(|line| {
+            line.strip_prefix("VmRSS:")
+                .and_then(|rest| rest.trim().strip_suffix("kB"))
+                .and_then(|n| n.trim().parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+struct ConnLevel {
+    conns: usize,
+    /// `false` when the fd limit could not be raised far enough to try.
+    attempted: bool,
+    /// Wall time to grow the idle fleet to this level.
+    grow_s: f64,
+    /// The server held `conns` live connections through the commit phase.
+    sustained: bool,
+    /// RSS growth per added connection while growing the fleet.
+    rss_kb_per_conn: f64,
+    /// Sync commit latency through the loaded reactor.
+    commit: Percentiles,
+}
+
+/// Grows an idle [`NetBroker`] fleet level by level against one reactor
+/// server while [`ACTIVE_CLIENTS`] desktop clients keep committing through
+/// the full sync stack; measures commit latency and memory per connection
+/// at every level.
+fn connection_scaling(levels: &[usize], commits_per_client: usize) -> Vec<ConnLevel> {
+    let mq = MessageBroker::new();
+    let server = BrokerServer::bind("127.0.0.1:0", mq.clone()).expect("bind server");
+    let addr = server.local_addr();
+    let service_broker = Broker::new(mq, BrokerConfig::default());
+    let meta: Arc<dyn MetadataStore> = Arc::new(InMemoryStore::new());
+    let service = SyncService::builder(&service_broker)
+        .store(meta.clone())
+        .build();
+    let _service_handle = service.bind(&service_broker).expect("bind service");
+    let store = SwiftStore::new(LatencyModel::instant());
+
+    // One ping per idle connection per second: a realistic keepalive load
+    // at 10k connections without drowning the loop in heartbeat traffic.
+    let fleet_config = NetConfig {
+        heartbeat: Duration::from_secs(1),
+        ..NetConfig::default()
+    };
+
+    let active: Vec<Arc<DesktopClient>> = (0..ACTIVE_CLIENTS)
+        .map(|i| {
+            let user = format!("u{i}");
+            let ws = provision_user(meta.as_ref(), &user, "ws").expect("provision");
+            let net = NetBroker::connect_with(addr, fleet_config.clone()).expect("dial active");
+            let broker = Broker::over(Arc::new(net), BrokerConfig::default());
+            Arc::new(
+                DesktopClient::connect(&broker, &store, ClientConfig::new(&user, "dev"), &ws)
+                    .expect("connect active client"),
+            )
+        })
+        .collect();
+
+    let mut idle: Vec<NetBroker> = Vec::new();
+    let mut results = Vec::new();
+    for &level in levels {
+        // Each level needs its fds up front; raise the soft limit toward
+        // the hard limit and skip the level honestly if that is not enough
+        // (CI containers often cap the hard limit).
+        let needed = level as u64 * FDS_PER_CONN + 1_024;
+        let available = libc::raise_nofile_limit(needed)
+            .or_else(|_| libc::nofile_limit().map(|(soft, _)| soft))
+            .unwrap_or(0);
+        if available < needed {
+            println!("  {level} conns: SKIPPED (fd limit {available} < {needed} needed)");
+            results.push(ConnLevel {
+                conns: level,
+                attempted: false,
+                grow_s: 0.0,
+                sustained: false,
+                rss_kb_per_conn: 0.0,
+                commit: Percentiles {
+                    p50: 0.0,
+                    p99: 0.0,
+                    mean: 0.0,
+                },
+            });
+            continue;
+        }
+
+        let target_idle = level.saturating_sub(ACTIVE_CLIENTS).max(idle.len());
+        let adding = target_idle - idle.len();
+        let rss_before = rss_kb();
+        let grow_started = Instant::now();
+        if adding > 0 {
+            let mut builders = Vec::new();
+            for b in 0..FLEET_BUILDERS {
+                let count = adding / FLEET_BUILDERS + usize::from(b < adding % FLEET_BUILDERS);
+                let config = fleet_config.clone();
+                builders.push(std::thread::spawn(move || {
+                    (0..count)
+                        .map(|_| NetBroker::connect_with(addr, config.clone()).expect("dial idle"))
+                        .collect::<Vec<_>>()
+                }));
+            }
+            for builder in builders {
+                idle.extend(builder.join().expect("fleet builder"));
+            }
+        }
+        let grow_s = grow_started.elapsed().as_secs_f64();
+        let rss_kb_per_conn = if adding > 0 {
+            (rss_kb().saturating_sub(rss_before)) as f64 / adding as f64
+        } else {
+            0.0
+        };
+
+        let expected = target_idle + ACTIVE_CLIENTS;
+        let sustained_before = wait_for(Duration::from_secs(30), || {
+            server.live_connections() >= expected
+        });
+
+        // Active subset commits through the loaded loop, paced like the
+        // RPC scenario so percentiles measure latency, not saturation.
+        let mut handles = Vec::new();
+        for (c, client) in active.iter().enumerate() {
+            let client = client.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut samples = Vec::with_capacity(commits_per_client);
+                let content = vec![0x5Au8; 4 * 1024];
+                let base = Instant::now();
+                for i in 0..commits_per_client {
+                    let due = base + CALL_PACING * i as u32;
+                    let now = Instant::now();
+                    if now < due {
+                        std::thread::sleep(due - now);
+                    }
+                    let start = Instant::now();
+                    client
+                        .write_file(&format!("l{level}-c{c}-{i}.dat"), content.clone())
+                        .expect("commit under load");
+                    samples.push(start.elapsed().as_secs_f64());
+                }
+                samples
+            }));
+        }
+        let mut samples = Vec::with_capacity(ACTIVE_CLIENTS * commits_per_client);
+        for handle in handles {
+            samples.extend(handle.join().expect("committer"));
+        }
+        let commit = percentiles(&mut samples);
+
+        // Still holding the whole fleet after the commit phase (brief
+        // grace for reconnect blips under CI contention).
+        let sustained = sustained_before
+            && wait_for(Duration::from_secs(10), || {
+                server.live_connections() >= expected
+            });
+
+        println!(
+            "  {level} conns: grew in {grow_s:.1}s | sustained: {sustained} | \
+             {rss_kb_per_conn:.0} KiB/conn | commit p50 {:.3} ms p99 {:.3} ms",
+            commit.p50 * 1e3,
+            commit.p99 * 1e3,
+        );
+        results.push(ConnLevel {
+            conns: level,
+            attempted: true,
+            grow_s,
+            sustained,
+            rss_kb_per_conn,
+            commit,
+        });
+    }
+    drop(active);
+    drop(idle);
+    server.shutdown();
+    // Let the shared client reactor finish unwinding the fleet's sources
+    // before the next scenario starts timing anything: thousands of
+    // connections tearing down in the background would skew its numbers.
+    wait_for(Duration::from_secs(10), || {
+        net::client_reactor_registrations() == 0
+    });
+    results
+}
+
+/// Polls `cond` until it holds or `timeout` elapses; returns whether it held.
+fn wait_for(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if cond() {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
 fn main() {
     let smoke = has_flag("--smoke");
     let gate = has_flag("--gate");
     let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_4.json".to_string());
     let contention_path =
         arg_value("--out-contention").unwrap_or_else(|| "BENCH_5.json".to_string());
+    let conn_path = arg_value("--out-conn").unwrap_or_else(|| "BENCH_6.json".to_string());
     let durable_path = arg_value("--out-durable").unwrap_or_else(|| "BENCH_7.json".to_string());
-    let (messages, calls, commits, contention_commits) = if smoke {
-        (2_000, 320, 50, 100)
+    let (messages, calls, commits, contention_commits, conn_commits) = if smoke {
+        (2_000, 320, 50, 100, 40)
     } else {
-        (50_000, 3_200, 500, 800)
+        (50_000, 3_200, 500, 800, 100)
+    };
+    let conn_levels: &[usize] = if smoke {
+        &CONN_LEVELS_SMOKE
+    } else {
+        &CONN_LEVELS
     };
 
     header("perf_suite: broker / RPC / commit performance");
@@ -503,6 +732,14 @@ fn main() {
         txn_latency.sharded,
         txn_latency.speedup()
     );
+
+    println!(
+        "connection scaling ({} levels up to {} conns, {ACTIVE_CLIENTS} active committers \
+         x {conn_commits} commits)...",
+        conn_levels.len(),
+        conn_levels.last().copied().unwrap_or(0),
+    );
+    let conn = connection_scaling(conn_levels, conn_commits);
 
     println!(
         "durable commit plane ({CONTENTION_WRITERS} writers x {contention_commits} commits, \
@@ -594,6 +831,45 @@ fn main() {
     std::fs::write(&contention_path, &contention_json).expect("write contention results");
     println!("contention results written to {contention_path}");
 
+    let mut conn_levels_json = String::new();
+    for (i, level) in conn.iter().enumerate() {
+        if i > 0 {
+            conn_levels_json.push_str(",\n");
+        }
+        conn_levels_json.push_str(&format!(
+            concat!(
+                "    {{ \"conns\": {conns}, \"attempted\": {attempted}, ",
+                "\"sustained\": {sustained}, \"grow_s\": {grow:.3}, ",
+                "\"rss_kb_per_conn\": {rss:.1}, \"commit_p50_s\": {p50:.9}, ",
+                "\"commit_p99_s\": {p99:.9}, \"commit_mean_s\": {mean:.9} }}"
+            ),
+            conns = level.conns,
+            attempted = level.attempted,
+            sustained = level.sustained,
+            grow = level.grow_s,
+            rss = level.rss_kb_per_conn,
+            p50 = level.commit.p50,
+            p99 = level.commit.p99,
+            mean = level.commit.mean,
+        ));
+    }
+    let conn_json = format!(
+        concat!(
+            "{{\n",
+            "  \"suite\": \"perf_suite.connections\",\n",
+            "  \"smoke\": {smoke},\n",
+            "  \"active_clients\": {active}, \"commits_per_client\": {cpc},\n",
+            "  \"levels\": [\n{levels}\n  ]\n",
+            "}}\n"
+        ),
+        smoke = smoke,
+        active = ACTIVE_CLIENTS,
+        cpc = conn_commits,
+        levels = conn_levels_json,
+    );
+    std::fs::write(&conn_path, &conn_json).expect("write connection results");
+    println!("connection results written to {conn_path}");
+
     let durable_json = format!(
         concat!(
             "{{\n",
@@ -636,6 +912,38 @@ fn main() {
              fell below unbatched {broker_unbatched:.0} msg/s in the same run"
         );
         std::process::exit(1);
+    }
+    if gate {
+        let attempted: Vec<&ConnLevel> = conn.iter().filter(|l| l.attempted).collect();
+        for level in &attempted {
+            if !level.sustained {
+                eprintln!(
+                    "GATE FAILED: the reactor did not sustain {} live connections",
+                    level.conns
+                );
+                std::process::exit(1);
+            }
+        }
+        // Relative latency gate: commit p99 at the largest sustained level
+        // must stay within 10x of the smallest level's (floored at 2 ms so
+        // scheduler noise on a fast baseline cannot fail the run). Catches
+        // an event loop that collapses under fd count, robustly to machine
+        // speed.
+        if let (Some(first), Some(last)) = (attempted.first(), attempted.last()) {
+            let allowance = 10.0 * first.commit.p99.max(0.002);
+            if last.conns > first.conns && last.commit.p99 > allowance {
+                eprintln!(
+                    "GATE FAILED: commit p99 {:.1} ms at {} conns exceeds {:.1} ms \
+                     (10x the {:.1} ms p99 at {} conns)",
+                    last.commit.p99 * 1e3,
+                    last.conns,
+                    allowance * 1e3,
+                    first.commit.p99 * 1e3,
+                    first.conns
+                );
+                std::process::exit(1);
+            }
+        }
     }
     if gate && durable.durable < 0.6 * durable.sharded {
         eprintln!(

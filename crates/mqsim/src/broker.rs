@@ -10,6 +10,7 @@ use crate::journal::{Journal, RecoveredState};
 use crate::message::Message;
 use crate::queue::QueueCore;
 use crate::stats::QueueStats;
+use crate::waker::{ReadyWaker, WakerCell};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::path::Path;
@@ -72,6 +73,9 @@ struct BrokerInner {
     down: AtomicBool,
     /// Fault-injection hook shared with every queue of this node.
     interceptor: InterceptorCell,
+    /// Ready-waker shared with every queue of this node (see
+    /// [`MessageBroker::set_ready_waker`]).
+    waker: WakerCell,
     /// Keeps the `mqsim.broker` health check registered for the node's
     /// lifetime. Only populated by [`MessageBroker::new`] — the check needs
     /// a `Weak` to this struct, which `derive(Default)` cannot produce.
@@ -249,6 +253,7 @@ impl MessageBroker {
                 options.durable,
                 journal,
                 self.inner.interceptor.clone(),
+                self.inner.waker.clone(),
             )),
         );
         Ok(())
@@ -259,6 +264,17 @@ impl MessageBroker {
     /// restores the un-hooked fast path.
     pub fn set_interceptor(&self, interceptor: Option<Arc<dyn DeliveryInterceptor>>) {
         self.inner.interceptor.set(interceptor);
+    }
+
+    /// Installs a ready-waker on this node: a cheap, non-blocking callback
+    /// invoked with the queue name whenever any queue gains deliverable
+    /// messages (publish, requeue, orphaned redelivery) or closes. It
+    /// applies to every queue, including queues declared before the call;
+    /// `None` restores the un-hooked fast path. One slot per node —
+    /// installing replaces the previous waker (the event-driven
+    /// `net::BrokerServer` owns it while it serves this node).
+    pub fn set_ready_waker(&self, waker: Option<ReadyWaker>) {
+        self.inner.waker.set(waker);
     }
 
     /// Whether the queue exists.

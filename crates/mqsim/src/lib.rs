@@ -52,6 +52,7 @@ mod journal;
 mod message;
 mod queue;
 mod stats;
+mod waker;
 
 pub use api::{AnyDelivery, MessageConsumer, Messaging};
 pub use broker::{BrokerCluster, BrokerRecovery, MessageBroker, QueueOptions};
@@ -62,3 +63,4 @@ pub use exchange::ExchangeKind;
 pub use interceptor::{DeliverFault, DeliveryInterceptor, PublishFault};
 pub use message::{DeliveryTag, Message, MessageProperties};
 pub use stats::{QueueStats, RateEstimator};
+pub use waker::ReadyWaker;

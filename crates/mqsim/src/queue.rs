@@ -6,6 +6,7 @@ use crate::interceptor::{DeliverFault, PublishFault};
 use crate::journal::Journal;
 use crate::message::{DeliveryTag, Message};
 use crate::stats::{QueueStats, RateEstimator};
+use crate::waker::WakerCell;
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -104,6 +105,9 @@ pub(crate) struct QueueCore {
     /// publishes append (and wait) here, acks append fire-and-forget.
     journal: Option<Arc<Journal>>,
     interceptor: InterceptorCell,
+    /// Broker-wide ready-waker, fired outside the state lock whenever the
+    /// ready list gains entries (see `crate::waker`).
+    waker: WakerCell,
     obs: QueueObs,
 }
 
@@ -115,6 +119,7 @@ impl QueueCore {
         durable: bool,
         journal: Option<Arc<Journal>>,
         interceptor: InterceptorCell,
+        waker: WakerCell,
     ) -> Self {
         QueueCore {
             name: name.to_string(),
@@ -127,6 +132,7 @@ impl QueueCore {
             durable,
             journal,
             interceptor,
+            waker,
             obs: QueueObs::new(),
         }
     }
@@ -170,6 +176,11 @@ impl QueueCore {
         for _ in 0..enqueued {
             self.available.notify_one();
         }
+        // Wake before the durability wait: the entry is already visible to
+        // consumers (fsync gates the publisher's ack, not deliverability).
+        if enqueued > 0 {
+            self.waker.wake(&self.name);
+        }
         match ticket {
             Some(ticket) => ticket
                 .wait()
@@ -200,6 +211,7 @@ impl QueueCore {
         drop(state);
         self.obs.published.inc();
         self.available.notify_one();
+        self.waker.wake(&self.name);
     }
 
     /// Publishes a batch of messages under one lock acquisition.
@@ -258,6 +270,9 @@ impl QueueCore {
             self.available.notify_all();
         } else if enqueued == 1 {
             self.available.notify_one();
+        }
+        if enqueued > 0 {
+            self.waker.wake(&self.name);
         }
         match last_ticket {
             Some(ticket) => ticket
@@ -367,8 +382,12 @@ impl QueueCore {
             ));
         }
         let empty = state.consumers.is_empty();
+        let requeued = state.ready.len();
         drop(state);
         self.available.notify_all();
+        if requeued > 0 {
+            self.waker.wake(&self.name);
+        }
         empty
     }
 
@@ -588,6 +607,7 @@ impl QueueCore {
                 ));
                 drop(state);
                 self.available.notify_one();
+                self.waker.wake(&self.name);
                 Ok(())
             }
             None => Err(MqError::UnknownDeliveryTag(tag.0)),
@@ -644,6 +664,9 @@ impl QueueCore {
         state.closed = true;
         drop(state);
         self.available.notify_all();
+        // Close is not a ready-gain, but waiters parked on this queue need
+        // to observe the transition and prune their registrations.
+        self.waker.wake(&self.name);
     }
 
     /// Number of ready messages.
@@ -678,6 +701,7 @@ mod tests {
             Duration::from_secs(10),
             false,
             None,
+            Default::default(),
             Default::default(),
         )
     }

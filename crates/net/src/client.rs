@@ -3,10 +3,16 @@
 //!
 //! ## Connection supervision
 //!
-//! A supervisor thread owns the connection. While healthy it sends a ping
-//! every [`NetConfig::heartbeat`]; when the socket dies (read error, ping
-//! timeout, reset) it reconnects with capped exponential backoff plus
-//! jitter, then replays every live subscription under its original
+//! All clients in a process share one event-driven runtime: a reactor loop
+//! (see [`crate::reactor`]) that multiplexes every client connection over
+//! nonblocking sockets, plus a small dialer pool that performs blocking
+//! connect + clock-handshake attempts off the loop. Each connection is a
+//! per-fd state machine registered with the reactor; its `tick()` is the
+//! heartbeat — a ping per quiet [`NetConfig::heartbeat`] interval, and a
+//! connection silent through four intervals is declared dead. When the
+//! socket dies (read error, ping timeout, reset) the client is handed back
+//! to the dialers, which reconnect with capped exponential backoff plus
+//! jitter, then replay every live subscription under its original
 //! subscription id. The server side requeued whatever was unacked when the
 //! old connection died, so redelivery after reconnect is automatic.
 //!
@@ -17,8 +23,9 @@
 //! of acked, because its server-side tag died with the old connection.
 
 use crate::frame::{encode_frame_into, read_frame, write_frame, FrameBuffer, Request, ServerFrame};
+use crate::reactor::{EventSource, Reactor, Ready, INTEREST_READ, INTEREST_WRITE};
 use crate::stats_from_value;
-use crate::tx::{OutBuf, TxObs, MAX_SPARE};
+use crate::tx::{write_some, OutBuf, TxObs, WriteState, MAX_SPARE};
 use mqsim::{
     AnyDelivery, Clock, ExchangeKind, Message, MessageConsumer, Messaging, MqError, MqResult,
     QueueOptions, QueueStats, SystemClock,
@@ -26,16 +33,27 @@ use mqsim::{
 use parking_lot::{Condvar, Mutex};
 use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, VecDeque};
-use std::io::Write;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::os::fd::{AsRawFd, RawFd};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, OnceLock};
 use std::time::{Duration, Instant};
 use wire::Value;
 
 /// Acks accumulated past this count are flushed as one `AckMany` frame even
 /// while deliveries are still buffered locally.
 const ACK_BATCH: usize = 32;
+
+/// Tick cadence of the shared client reactor: heartbeat resolution and the
+/// polling period of reconnect-backoff deadlines.
+const CLIENT_TICK: Duration = Duration::from_millis(10);
+
+/// Threads in the shared dialer pool (blocking connect + handshake).
+const DIALERS: usize = 4;
+
+/// Max complete `read_step` bursts one connection consumes per readiness
+/// event before yielding the loop (level-triggered poll re-fires).
+const CLIENT_READ_BURSTS: usize = 64;
 
 /// Tuning knobs of a [`NetBroker`].
 #[derive(Debug, Clone)]
@@ -80,10 +98,10 @@ impl Default for NetConfig {
 
 /// A remote [`Messaging`] provider speaking the frame protocol over TCP.
 ///
-/// Cheap to clone; clones share one connection and supervisor. Dropping the
-/// last clone closes the connection as if [`NetBroker::close`] were called:
-/// the supervisor and heartbeats stop, and consumers created from this
-/// broker wake with [`MqError::Closed`].
+/// Cheap to clone; clones share one connection and reconnect machinery.
+/// Dropping the last clone closes the connection as if [`NetBroker::close`]
+/// were called: heartbeats stop, the reactor registration is dropped, and
+/// consumers created from this broker wake with [`MqError::Closed`].
 #[derive(Clone)]
 pub struct NetBroker {
     inner: Arc<ClientInner>,
@@ -91,10 +109,10 @@ pub struct NetBroker {
 }
 
 /// Shuts the client down when the last [`NetBroker`] clone is dropped. The
-/// supervisor thread holds its own `Arc<ClientInner>`, so the inner
-/// refcount alone can never reach zero while the connection is alive — this
-/// guard, held only by broker handles, is what makes `drop` reach
-/// `shutdown`.
+/// shared runtime (reactor source, dialer queue, backoff list) holds its own
+/// `Arc<ClientInner>`s, so the inner refcount alone can never reach zero
+/// while the connection is alive — this guard, held only by broker handles,
+/// is what makes `drop` reach `shutdown`.
 struct CloseOnDrop {
     inner: Arc<ClientInner>,
     /// Deregistered when the last broker clone drops, together with the
@@ -112,12 +130,18 @@ struct ClientInner {
     addr: SocketAddr,
     config: NetConfig,
     /// Current writer half, `None` while disconnected.
-    writer: Mutex<Option<TcpStream>>,
+    writer: Mutex<Option<WriteState>>,
     /// Mirrors `writer.is_some()` without taking the writer lock. `send`
     /// gates on this — NOT on `connected`, which is only signalled *after*
-    /// the supervisor has replayed resubscribes (which themselves go
-    /// through `send`).
+    /// the dialer has replayed resubscribes (which themselves go through
+    /// `send`).
     link_up: AtomicBool,
+    /// The socket refused part of a drain (`WouldBlock`): the reactor adds
+    /// `POLLOUT` interest and retries on writability.
+    want_write: AtomicBool,
+    /// Consecutive failed dial attempts, reset on success; drives the
+    /// exponential backoff.
+    attempt: AtomicU32,
     /// Encoded frames waiting for the next coalesced write.
     out: Mutex<OutBuf>,
     /// Recycled drain buffer for `flush_out`.
@@ -198,6 +222,8 @@ impl NetBroker {
             config,
             writer: Mutex::new(None),
             link_up: AtomicBool::new(false),
+            want_write: AtomicBool::new(false),
+            attempt: AtomicU32::new(0),
             out: Mutex::new(OutBuf::default()),
             spare: Mutex::new(Vec::new()),
             generation: AtomicU64::new(0),
@@ -212,8 +238,9 @@ impl NetBroker {
             bytes_out: obs::counter("net.client.bytes_out"),
             tx: TxObs::new(),
         });
-        let supervisor_inner = inner.clone();
-        std::thread::spawn(move || supervisor_loop(&supervisor_inner));
+        // Hand the first dial to the shared runtime; every later reconnect
+        // is scheduled by the reactor when the registered source dies.
+        runtime()?.enqueue_dial(inner.clone());
         // Weak capture: the registry's reference to the closure must not
         // keep the client state alive past the last broker handle.
         let health_inner = Arc::downgrade(&inner);
@@ -271,9 +298,13 @@ impl ClientInner {
     /// with `ConnectionLost` so their callers retry.
     fn drop_connection(&self) {
         self.link_up.store(false, Ordering::Release);
-        let stream = self.writer.lock().take();
-        if let Some(s) = stream {
-            let _ = s.shutdown(std::net::Shutdown::Both);
+        self.want_write.store(false, Ordering::Release);
+        let writer = self.writer.lock().take();
+        if let Some(st) = writer {
+            // Shutting the socket down surfaces as EOF/`POLLHUP` on the
+            // reactor side, which removes the registered source — the one
+            // place reconnects are scheduled from.
+            let _ = st.stream.shutdown(std::net::Shutdown::Both);
         }
         // Discard frames queued for the dead connection — acks and pings
         // addressed to the old generation must not ride the next one.
@@ -293,7 +324,7 @@ impl ClientInner {
         }
     }
 
-    /// Blocks until the supervisor reports a live connection.
+    /// Blocks until the dialer reports a live connection.
     fn wait_connected(&self, deadline: Instant) -> MqResult<()> {
         let mut connected = self.connected.lock();
         while !*connected {
@@ -386,51 +417,91 @@ impl ClientInner {
         self.flush_out()
     }
 
-    /// Drains the out-buffer through the socket. Flat-combining: a caller
-    /// that finds the writer busy returns immediately — the holder re-checks
-    /// the buffer after releasing, so no enqueued frame is stranded.
+    /// Drains the out-buffer through the nonblocking socket. Flat-combining:
+    /// a caller that finds the writer busy returns immediately — the holder
+    /// re-checks the buffer after releasing, so no enqueued frame is
+    /// stranded. A partial write parks the remainder as writer residue and
+    /// arms `POLLOUT`; the reactor finishes it when the socket drains.
     fn flush_out(&self) -> bool {
         loop {
             let mut writer_guard = match self.writer.try_lock() {
                 Some(g) => g,
                 None => return true,
             };
-            loop {
+            let outcome = loop {
+                let Some(st) = writer_guard.as_mut() else {
+                    // Disconnected under our feet: the frames die with the
+                    // old connection (callers observe `false` and retry).
+                    break ClientFlush::NoConn;
+                };
+                if st.pos < st.residue.len() {
+                    match write_some(&mut st.stream, &st.residue[st.pos..]) {
+                        Ok(n) => {
+                            st.pos += n;
+                            if st.pos < st.residue.len() {
+                                // Set while still holding the writer: the
+                                // concurrent flush that completes this drain
+                                // is the one that clears the bit.
+                                self.want_write.store(true, Ordering::Release);
+                                break ClientFlush::Blocked;
+                            }
+                            let done = std::mem::take(&mut st.residue);
+                            st.pos = 0;
+                            recycle(&self.spare, done);
+                        }
+                        Err(_) => break ClientFlush::Failed,
+                    }
+                    continue;
+                }
                 let (drain, frames) = {
                     let mut out = self.out.lock();
                     if out.buf.is_empty() {
-                        break;
+                        break ClientFlush::Drained;
                     }
                     let mut drain = std::mem::take(&mut *self.spare.lock());
                     std::mem::swap(&mut drain, &mut out.buf);
                     (drain, std::mem::take(&mut out.frames))
                 };
-                let res = match writer_guard.as_mut() {
-                    Some(writer) => writer.write_all(&drain).and_then(|()| writer.flush()),
-                    // Disconnected under our feet: the frames die with the
-                    // old connection (callers observe `false` and retry).
-                    None => {
-                        recycle(&self.spare, drain);
-                        return false;
-                    }
-                };
                 self.bytes_out.add(drain.len() as u64);
                 self.tx.record_drain(drain.len(), frames);
-                recycle(&self.spare, drain);
-                if res.is_err() {
-                    drop(writer_guard);
+                st.residue = drain;
+                st.pos = 0;
+            };
+            drop(writer_guard);
+            match outcome {
+                ClientFlush::Failed => {
                     self.drop_connection();
                     return false;
                 }
-            }
-            drop(writer_guard);
-            // Lost-wakeup guard: a frame enqueued while we were releasing
-            // the writer saw `try_lock` fail and went home — re-check.
-            if self.out.lock().buf.is_empty() {
-                return true;
+                ClientFlush::NoConn => return false,
+                ClientFlush::Blocked => {
+                    // Interest is recomputed per poll pass; wake the loop so
+                    // it picks up `POLLOUT` now rather than next tick.
+                    if let Some(rt) = runtime_if_started() {
+                        rt.reactor.wake();
+                    }
+                    return true;
+                }
+                ClientFlush::Drained => {
+                    self.want_write.store(false, Ordering::Release);
+                    // Lost-wakeup guard: a frame enqueued while we were
+                    // releasing the writer saw `try_lock` fail and went
+                    // home — re-check.
+                    if self.out.lock().buf.is_empty() {
+                        return true;
+                    }
+                }
             }
         }
     }
+}
+
+/// Outcome of one `flush_out` drain attempt under the writer lock.
+enum ClientFlush {
+    Drained,
+    Blocked,
+    NoConn,
+    Failed,
 }
 
 /// Returns a cleared drain buffer to the spare slot unless it grew too big.
@@ -468,78 +539,392 @@ fn flush_acks(client: &ClientInner, sub: &SubInner) {
 }
 
 // ---------------------------------------------------------------------------
-// Supervisor: connect, read, heartbeat, reconnect
+// Shared client runtime: one reactor + a dialer pool for every client in
+// the process
 // ---------------------------------------------------------------------------
 
-fn supervisor_loop(inner: &Arc<ClientInner>) {
+/// A client parked in exponential backoff, re-dialed once its own clock
+/// reaches `deadline` (checked by the reactor's per-pass callback, so
+/// virtual-clock tests can step through the wait).
+struct WaitingDial {
+    client: Arc<ClientInner>,
+    deadline: Duration,
+}
+
+/// Process-wide client machinery, started lazily on the first
+/// [`NetBroker::connect`]: the reactor that multiplexes every client
+/// connection, the channel feeding the dialer pool, and the backoff parking
+/// lot.
+struct ClientRuntime {
+    reactor: Arc<Reactor>,
+    dial_tx: Mutex<mpsc::Sender<Arc<ClientInner>>>,
+    waiting: Arc<Mutex<Vec<WaitingDial>>>,
+}
+
+impl ClientRuntime {
+    fn enqueue_dial(&self, client: Arc<ClientInner>) {
+        // The receiver lives in the dialer threads for the process lifetime,
+        // so this cannot fail outside teardown.
+        let _ = self.dial_tx.lock().send(client);
+    }
+}
+
+static RUNTIME: OnceLock<Result<ClientRuntime, String>> = OnceLock::new();
+
+fn runtime() -> MqResult<&'static ClientRuntime> {
+    RUNTIME
+        .get_or_init(|| init_runtime().map_err(|e| e.to_string()))
+        .as_ref()
+        .map_err(|e| MqError::Transport(format!("client runtime unavailable: {e}")))
+}
+
+/// The runtime if it already started; `None` before the first connect (or if
+/// it failed to start). Used on paths that must not force initialization.
+fn runtime_if_started() -> Option<&'static ClientRuntime> {
+    RUNTIME.get().and_then(|r| r.as_ref().ok())
+}
+
+fn init_runtime() -> std::io::Result<ClientRuntime> {
+    let reactor = Reactor::start("net.client", CLIENT_TICK)?;
+    let (tx, rx) = mpsc::channel::<Arc<ClientInner>>();
+    let rx = Arc::new(Mutex::new(rx));
+    for i in 0..DIALERS {
+        let rx = rx.clone();
+        std::thread::Builder::new()
+            .name(format!("net.dialer{i}"))
+            .spawn(move || dialer_loop(&rx))?;
+    }
+    let waiting: Arc<Mutex<Vec<WaitingDial>>> = Arc::new(Mutex::new(Vec::new()));
+    // Per-pass callback: promote parked clients whose backoff expired back
+    // into the dial queue. Runs at least once per reactor tick.
+    let pass_waiting = waiting.clone();
+    let pass_tx = Mutex::new(tx.clone());
+    reactor.set_pass(Arc::new(move || {
+        let due: Vec<Arc<ClientInner>> = {
+            let mut waiting = pass_waiting.lock();
+            if waiting.is_empty() {
+                return;
+            }
+            let mut due = Vec::new();
+            waiting.retain(|entry| {
+                if entry.client.stop.load(Ordering::Acquire) {
+                    return false;
+                }
+                if entry.client.config.clock.now() >= entry.deadline {
+                    due.push(entry.client.clone());
+                    return false;
+                }
+                true
+            });
+            due
+        };
+        let tx = pass_tx.lock();
+        for client in due {
+            let _ = tx.send(client);
+        }
+    }));
+    Ok(ClientRuntime {
+        reactor,
+        dial_tx: Mutex::new(tx),
+        waiting,
+    })
+}
+
+/// Number of fds currently registered with the shared client reactor (zero
+/// before any client connected). Test/diagnostic surface for asserting that
+/// dead connections do not leak registrations.
+pub fn client_reactor_registrations() -> usize {
+    runtime_if_started().map_or(0, |rt| rt.reactor.registered())
+}
+
+fn dialer_loop(rx: &Mutex<mpsc::Receiver<Arc<ClientInner>>>) {
     let mut rng = rand::rngs::StdRng::from_entropy();
-    let mut attempt = 0u32;
-    let mut ever_connected = false;
-    while !inner.stop.load(Ordering::Acquire) {
-        let stream = match TcpStream::connect_timeout(&inner.addr, inner.config.connect_timeout) {
-            Ok(s) => s,
-            Err(_) => {
-                backoff(inner, &mut rng, &mut attempt);
-                continue;
-            }
+    loop {
+        // Hold the lock only while waiting for a job; dial outside it so the
+        // other dialers can pick up queued work concurrently.
+        let job = {
+            let guard = rx.lock();
+            guard.recv()
         };
-        let _ = stream.set_nodelay(true);
-        let Ok(reader) = stream.try_clone() else {
-            backoff(inner, &mut rng, &mut attempt);
-            continue;
-        };
-        // Clock handshake on the raw stream, before the writer is installed
-        // or the reader starts — the reply is the only traffic, so reading
-        // it inline here cannot race frame dispatch.
-        if !clock_handshake(inner, &stream) {
-            backoff(inner, &mut rng, &mut attempt);
-            continue;
+        match job {
+            Ok(client) => dial_one(&client, &mut rng),
+            Err(_) => return,
         }
-        attempt = 0;
-        if ever_connected {
-            inner.reconnects.inc();
-            obs::flight_event!("net", "reconnected to {}", inner.addr);
-        } else {
-            obs::flight_event!("net", "connected to {}", inner.addr);
-        }
-        ever_connected = true;
-        inner.generation.fetch_add(1, Ordering::AcqRel);
-        *inner.writer.lock() = Some(stream);
-        inner.link_up.store(true, Ordering::Release);
+    }
+}
 
-        // Replay live subscriptions under their original ids *before*
-        // signalling connected, so no caller observes a half-restored
-        // session. Replies to these resubscribes are matched by the reader
-        // below like any other.
-        let subs: Vec<Arc<SubInner>> = inner.subs.lock().values().cloned().collect();
-        let mut replay_ok = true;
-        for sub in subs {
-            let req = Request::Subscribe {
-                queue: sub.queue.clone(),
-                sub: sub.id,
-                credit: inner.config.credit,
+/// One dial attempt: connect + handshake + install, or park the client in
+/// the backoff list with capped exponential backoff plus full jitter.
+fn dial_one(client: &Arc<ClientInner>, rng: &mut rand::rngs::StdRng) {
+    if client.stop.load(Ordering::Acquire) {
+        return;
+    }
+    if try_connect(client) {
+        return;
+    }
+    if client.stop.load(Ordering::Acquire) {
+        return;
+    }
+    let attempt = client.attempt.fetch_add(1, Ordering::Relaxed);
+    let base = client
+        .config
+        .backoff_initial
+        .saturating_mul(1u32 << attempt.min(16))
+        .min(client.config.backoff_cap);
+    // Full jitter: retry uniformly in [base/2, base] on the client's own
+    // clock, so virtual-clock tests can step through the backoff.
+    let jittered = base.mul_f64(0.5 + 0.5 * rng.gen::<f64>());
+    let deadline = client.config.clock.now() + jittered;
+    if let Ok(rt) = runtime() {
+        rt.waiting.lock().push(WaitingDial {
+            client: client.clone(),
+            deadline,
+        });
+    }
+}
+
+/// Connects, handshakes, installs the writer, replays subscriptions, and
+/// registers the connection with the reactor. `false` on any failure (the
+/// caller schedules the backoff).
+fn try_connect(client: &Arc<ClientInner>) -> bool {
+    let Ok(stream) = TcpStream::connect_timeout(&client.addr, client.config.connect_timeout) else {
+        return false;
+    };
+    let _ = stream.set_nodelay(true);
+    // Clock handshake on the still-blocking stream, before the writer is
+    // installed or the source registered — the reply is the only traffic,
+    // so reading it inline here cannot race frame dispatch.
+    if !clock_handshake(client, &stream) {
+        return false;
+    }
+    let Ok(rt) = runtime() else {
+        return false;
+    };
+    let ever_connected = client.generation.load(Ordering::Acquire) > 0;
+    if ever_connected {
+        client.reconnects.inc();
+        obs::flight_event!("net", "reconnected to {}", client.addr);
+    } else {
+        obs::flight_event!("net", "connected to {}", client.addr);
+    }
+    client.attempt.store(0, Ordering::Relaxed);
+    let generation = client.generation.fetch_add(1, Ordering::AcqRel) + 1;
+    if stream.set_nonblocking(true).is_err() {
+        return false;
+    }
+    let Ok(writer) = stream.try_clone() else {
+        return false;
+    };
+    *client.writer.lock() = Some(WriteState::new(writer));
+    client.link_up.store(true, Ordering::Release);
+
+    // Replay live subscriptions under their original ids *before*
+    // signalling connected, so no caller observes a half-restored session.
+    // Replies to these resubscribes are matched by the reactor like any
+    // other.
+    let subs: Vec<Arc<SubInner>> = client.subs.lock().values().cloned().collect();
+    for sub in subs {
+        let req = Request::Subscribe {
+            queue: sub.queue.clone(),
+            sub: sub.id,
+            credit: client.config.credit,
+        };
+        let corr = client.next_corr.fetch_add(1, Ordering::Relaxed);
+        if !client.send(&req.to_frame(corr)) {
+            client.drop_connection();
+            return false;
+        }
+    }
+
+    let fd = stream.as_raw_fd();
+    let source = Arc::new(ClientSource {
+        client: client.clone(),
+        generation,
+        fd,
+        reader: Mutex::new(ClientReader {
+            stream,
+            frames: if client.config.batch {
+                FrameBuffer::with_readahead()
+            } else {
+                FrameBuffer::new()
+            },
+        }),
+        last_rx: Mutex::new(Instant::now()),
+        last_ping: Mutex::new(Instant::now()),
+        bytes_in: obs::counter("net.client.bytes_in"),
+    });
+    rt.reactor.register(source);
+    {
+        let mut connected = client.connected.lock();
+        *connected = true;
+        client.connected_cv.notify_all();
+    }
+    true
+}
+
+/// Tears the connection down and hands the client straight back to the
+/// dialers. Called only from source-removal paths on the reactor, so each
+/// dead connection schedules exactly one reconnect.
+fn disconnect_and_reschedule(client: &Arc<ClientInner>) {
+    client.drop_connection();
+    if client.stop.load(Ordering::Acquire) {
+        return;
+    }
+    obs::flight_event!("net", "connection to {} lost", client.addr);
+    if let Ok(rt) = runtime() {
+        rt.enqueue_dial(client.clone());
+    }
+}
+
+/// Read half of one client connection as a reactor state machine.
+struct ClientReader {
+    stream: TcpStream,
+    /// Keeps partial frames across `WouldBlock`, so a readiness event that
+    /// ends mid-frame never desynchronizes the stream. In batched mode it
+    /// also reads ahead of frame boundaries, so one syscall drains a whole
+    /// burst of coalesced replies and deliveries.
+    frames: FrameBuffer,
+}
+
+/// One live client connection registered with the shared reactor. Stamped
+/// with the generation it was created under; a source that outlives its
+/// generation (a newer connection took over) removes itself.
+struct ClientSource {
+    client: Arc<ClientInner>,
+    generation: u64,
+    /// Cached at registration so `fd()` never takes the reader lock.
+    fd: RawFd,
+    reader: Mutex<ClientReader>,
+    /// Last time any frame arrived; drives the dead-peer timeout.
+    last_rx: Mutex<Instant>,
+    /// Last time a ping was sent; rate-limits pings to one per heartbeat.
+    last_ping: Mutex<Instant>,
+    bytes_in: Arc<obs::Counter>,
+}
+
+impl ClientSource {
+    fn stale(&self) -> bool {
+        self.generation != self.client.generation.load(Ordering::Acquire)
+    }
+
+    /// Drains readable frames. `Err(())` means the connection died
+    /// (EOF, I/O error, or protocol violation) and must be torn down.
+    fn read_frames(&self) -> Result<(), ()> {
+        let mut guard = self.reader.lock();
+        let ClientReader { stream, frames } = &mut *guard;
+        let mut any = false;
+        'bursts: for _ in 0..CLIENT_READ_BURSTS {
+            let mut next = match frames.read_step(stream) {
+                Ok(Some(first)) => Some(first),
+                Ok(None) => break 'bursts, // caught up with the socket
+                Err(_) => return Err(()),
             };
-            let corr = inner.next_corr.fetch_add(1, Ordering::Relaxed);
-            if !inner.send(&req.to_frame(corr)) {
-                replay_ok = false;
-                break;
+            while let Some((frame, n)) = next.take() {
+                any = true;
+                self.bytes_in.add(n as u64);
+                self.dispatch(&frame)?;
+                next = match frames.take_buffered() {
+                    Ok(buffered) => buffered,
+                    Err(_) => return Err(()),
+                };
             }
         }
-        if !replay_ok {
-            backoff(inner, &mut rng, &mut attempt);
-            continue;
+        if any {
+            *self.last_rx.lock() = Instant::now();
         }
-        {
-            let mut connected = inner.connected.lock();
-            *connected = true;
-            inner.connected_cv.notify_all();
-        }
+        Ok(())
+    }
 
-        reader_loop(inner, reader);
-        inner.drop_connection();
-        if !inner.stop.load(Ordering::Acquire) {
-            obs::flight_event!("net", "connection to {} lost", inner.addr);
+    fn dispatch(&self, frame: &Value) -> Result<(), ()> {
+        match ServerFrame::from_value(frame) {
+            Ok(ServerFrame::Reply { corr, result }) => {
+                let slot = self.client.pending.lock().get(&corr).cloned();
+                if let Some(slot) = slot {
+                    *slot.state.lock() = SlotState::Done(result);
+                    slot.cv.notify_all();
+                }
+                // No slot: a fire-and-forget reply (resubscribe, ack, ping).
+                Ok(())
+            }
+            Ok(ServerFrame::Deliver {
+                sub,
+                tag,
+                redelivered,
+                message,
+            }) => {
+                let sub_inner = self.client.subs.lock().get(&sub).cloned();
+                if let Some(s) = sub_inner {
+                    s.buffer.lock().push_back(BufferedDelivery {
+                        generation: self.generation,
+                        tag,
+                        redelivered,
+                        message,
+                    });
+                    s.buffer_cv.notify_one();
+                }
+                Ok(())
+            }
+            Err(_) => Err(()), // protocol violation: reconnect
         }
+    }
+}
+
+impl EventSource for ClientSource {
+    fn fd(&self) -> RawFd {
+        self.fd
+    }
+
+    fn interest(&self) -> u8 {
+        let mut interest = INTEREST_READ;
+        if self.client.want_write.load(Ordering::Acquire) {
+            interest |= INTEREST_WRITE;
+        }
+        interest
+    }
+
+    fn ready(&self, readable: bool, writable: bool) -> Ready {
+        if self.client.stop.load(Ordering::Acquire) {
+            self.client.drop_connection();
+            return Ready::Remove;
+        }
+        if self.stale() {
+            return Ready::Remove; // a newer connection took over
+        }
+        if writable {
+            self.client.flush_out();
+        }
+        if readable && self.read_frames().is_err() {
+            disconnect_and_reschedule(&self.client);
+            return Ready::Remove;
+        }
+        Ready::Continue
+    }
+
+    fn tick(&self) -> Ready {
+        if self.client.stop.load(Ordering::Acquire) {
+            self.client.drop_connection();
+            return Ready::Remove;
+        }
+        if self.stale() {
+            return Ready::Remove;
+        }
+        let heartbeat = self.client.config.heartbeat;
+        let since = self.last_rx.lock().elapsed();
+        if since >= heartbeat * 4 {
+            // Peer silent through the whole grace window: dead. Matches the
+            // old reader's three-missed-heartbeats rule.
+            disconnect_and_reschedule(&self.client);
+            return Ready::Remove;
+        }
+        if since >= heartbeat && self.last_ping.lock().elapsed() >= heartbeat {
+            *self.last_ping.lock() = Instant::now();
+            let corr = self.client.next_corr.fetch_add(1, Ordering::Relaxed);
+            if !self.client.send(&Request::Ping.to_frame(corr)) {
+                disconnect_and_reschedule(&self.client);
+                return Ready::Remove;
+            }
+        }
+        Ready::Continue
     }
 }
 
@@ -582,97 +967,6 @@ fn clock_handshake(inner: &ClientInner, stream: &TcpStream) -> bool {
     obs::set_clock_skew_ns(skew);
     obs::gauge("net.client.clock_skew_ns").set(skew as f64);
     true
-}
-
-fn backoff(inner: &Arc<ClientInner>, rng: &mut rand::rngs::StdRng, attempt: &mut u32) {
-    let base = inner
-        .config
-        .backoff_initial
-        .saturating_mul(1u32 << (*attempt).min(16))
-        .min(inner.config.backoff_cap);
-    // Full jitter: sleep uniformly in [base/2, base].
-    let jittered = base.mul_f64(0.5 + 0.5 * rng.gen::<f64>());
-    *attempt = attempt.saturating_add(1);
-    // Wait on the configured clock, a tick at a time, so shutdown stays
-    // responsive and virtual-clock tests can step through the backoff.
-    let clock = &inner.config.clock;
-    let deadline = clock.now() + jittered;
-    while clock.now() < deadline && !inner.stop.load(Ordering::Acquire) {
-        if !clock.wait_tick(deadline) {
-            return;
-        }
-    }
-}
-
-/// Reads frames until the connection dies, dispatching replies to request
-/// slots and deliveries to subscription buffers. Doubles as the heartbeat
-/// emitter: with a read timeout of one heartbeat, each timeout tick sends a
-/// ping; a connection that misses three ticks without any traffic is
-/// declared dead.
-fn reader_loop(inner: &Arc<ClientInner>, mut reader: TcpStream) {
-    let bytes_in = obs::counter("net.client.bytes_in");
-    let _ = reader.set_read_timeout(Some(inner.config.heartbeat));
-    // A read timeout can fire mid-frame; FrameBuffer keeps the partial bytes
-    // so the heartbeat tick never desynchronizes the stream. In batched mode
-    // it also reads ahead of frame boundaries, so one syscall drains a whole
-    // burst of coalesced replies and deliveries.
-    let mut frames = if inner.config.batch {
-        FrameBuffer::with_readahead()
-    } else {
-        FrameBuffer::new()
-    };
-    let mut quiet_ticks = 0u32;
-    loop {
-        if inner.stop.load(Ordering::Acquire) {
-            return;
-        }
-        let (frame, n) = match frames.read_step(&mut reader) {
-            Ok(Some(ok)) => ok,
-            Ok(None) => {
-                quiet_ticks += 1;
-                if quiet_ticks > 3 {
-                    return; // peer silent through 3 heartbeats: dead
-                }
-                let corr = inner.next_corr.fetch_add(1, Ordering::Relaxed);
-                if !inner.send(&Request::Ping.to_frame(corr)) {
-                    return;
-                }
-                continue;
-            }
-            Err(_) => return,
-        };
-        quiet_ticks = 0;
-        bytes_in.add(n as u64);
-        match ServerFrame::from_value(&frame) {
-            Ok(ServerFrame::Reply { corr, result }) => {
-                let slot = inner.pending.lock().get(&corr).cloned();
-                if let Some(slot) = slot {
-                    *slot.state.lock() = SlotState::Done(result);
-                    slot.cv.notify_all();
-                }
-                // No slot: a fire-and-forget reply (resubscribe, ack, ping).
-            }
-            Ok(ServerFrame::Deliver {
-                sub,
-                tag,
-                redelivered,
-                message,
-            }) => {
-                let generation = inner.generation.load(Ordering::Acquire);
-                let sub_inner = inner.subs.lock().get(&sub).cloned();
-                if let Some(s) = sub_inner {
-                    s.buffer.lock().push_back(BufferedDelivery {
-                        generation,
-                        tag,
-                        redelivered,
-                        message,
-                    });
-                    s.buffer_cv.notify_one();
-                }
-            }
-            Err(_) => return, // protocol violation: reconnect
-        }
-    }
 }
 
 // ---------------------------------------------------------------------------

@@ -145,10 +145,19 @@ pub struct FrameBuffer {
     /// syscall can pull in many small frames; frames already buffered are
     /// then handed out by [`FrameBuffer::take_buffered`] with no I/O.
     greedy: bool,
+    /// Current greedy read size. Starts at [`READAHEAD_MIN`] so an idle
+    /// connection costs kilobytes, not [`READAHEAD`]; doubles toward
+    /// [`READAHEAD`] whenever a read fills the whole ask (a busy peer), so
+    /// hot connections still drain in large gulps. Matters when one process
+    /// holds thousands of mostly-idle connections.
+    readahead: usize,
 }
 
-/// Bytes pulled per read in greedy mode.
+/// Max bytes pulled per read in greedy mode.
 const READAHEAD: usize = 64 * 1024;
+
+/// Initial greedy read size, before traffic justifies growing it.
+const READAHEAD_MIN: usize = 4 * 1024;
 
 impl FrameBuffer {
     /// Creates an empty buffer that reads exactly one frame at a time.
@@ -164,6 +173,7 @@ impl FrameBuffer {
         FrameBuffer {
             partial: Vec::new(),
             greedy: true,
+            readahead: READAHEAD_MIN,
         }
     }
 
@@ -214,7 +224,7 @@ impl FrameBuffer {
             // take_buffered validated the length prefix, so the exact-mode
             // target below never asks for an oversized frame.
             let target = if self.greedy {
-                self.partial.len() + READAHEAD
+                self.partial.len() + self.readahead
             } else if self.partial.len() < 4 {
                 4
             } else {
@@ -233,7 +243,14 @@ impl FrameBuffer {
                     self.partial.truncate(have);
                     return Err(FrameError::Eof);
                 }
-                Ok(n) => self.partial.truncate(have + n),
+                Ok(n) => {
+                    self.partial.truncate(have + n);
+                    if self.greedy && n == target - have {
+                        // The peer filled the whole ask: read bigger next
+                        // time, up to the cap.
+                        self.readahead = (self.readahead * 2).min(READAHEAD);
+                    }
+                }
                 Err(e)
                     if e.kind() == std::io::ErrorKind::WouldBlock
                         || e.kind() == std::io::ErrorKind::TimedOut =>

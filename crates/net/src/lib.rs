@@ -32,10 +32,11 @@ pub mod frame;
 
 mod client;
 mod proxy;
+mod reactor;
 mod server;
 mod tx;
 
-pub use client::{NetBroker, NetConfig};
+pub use client::{client_reactor_registrations, NetBroker, NetConfig};
 pub use frame::{
     encode_frame_into, read_frame, stats_from_value, stats_to_value, write_frame, FrameBuffer,
     FrameError, Request, ServerFrame, MAX_FRAME,

@@ -1,48 +1,72 @@
 //! The broker server: exposes an in-process [`MessageBroker`] over TCP.
 //!
-//! One accept thread hands each connection to a reader thread. Requests are
-//! executed synchronously against the broker (every broker operation is
-//! non-blocking) and answered with a `reply` frame; subscriptions each get a
-//! pump thread that pulls deliveries from the broker and pushes `deliver`
-//! frames, gated by a per-subscription credit window. A subscription's
-//! pump only starts once the subscribe reply is on the wire, so deliver
-//! frames never precede the confirmation they belong to.
+//! The server is event-driven: a handful of reactor loops (see
+//! [`crate::reactor`]) multiplex every client connection over nonblocking
+//! sockets and `poll(2)`, so holding ten thousand idle connections costs
+//! ten thousand fds and some buffers — not twenty thousand parked threads.
+//! Each connection is a per-fd state machine: a [`FrameBuffer`] reassembles
+//! length-prefixed frames across `WouldBlock` boundaries on the read side,
+//! and a residue buffer carries partially-written coalesced batches on the
+//! write side (`POLLOUT` interest is raised only while a partial write is
+//! outstanding).
+//!
+//! Requests are executed synchronously against the broker on the loop
+//! thread (every broker operation is non-blocking) and answered with a
+//! `reply` frame. Deliveries are pushed by the same loops: a publish
+//! executed on a reader path offers the new messages to matching
+//! subscriptions immediately (coalescing same-connection deliveries into
+//! the very write that carries the publish reply), and a broker-side
+//! ready-waker ([`mqsim::MessageBroker::set_ready_waker`]) marks queues
+//! dirty so loop 0's per-pass sweep catches transitions that happen off
+//! the wire — in-process publishers, requeues, fanout. A periodic backstop
+//! sweep bounds the staleness of anything the direct paths miss.
 //!
 //! ## Backpressure
 //!
 //! A subscription starts with `credit` units; each `deliver` frame consumes
-//! one and each ack/requeue returns one. When credit reaches zero the pump
-//! parks, so a slow consumer leaves its messages *in the broker queue*
-//! (bounded server memory) instead of accumulating in socket buffers.
+//! one and each ack/requeue returns one. When credit reaches zero dispatch
+//! stops, so a slow consumer leaves its messages *in the broker queue*
+//! (bounded server memory) instead of accumulating in socket buffers. A
+//! slow *reader* (TCP window closed) parks only its own connection: the
+//! partial batch sits in that connection's residue buffer under `POLLOUT`
+//! interest while every other connection keeps flowing.
 //!
 //! ## Failure semantics
 //!
 //! Unacked deliveries are held in a per-subscription map. When a connection
 //! dies — network fault, client crash, [`BrokerServer::disconnect_all`] —
-//! dropping that map (and the underlying [`mqsim::Consumer`]) requeues every
-//! unacked message at the front of its queue, flagged redelivered. A client
-//! that reconnects and resubscribes therefore sees exactly the at-least-once
-//! behaviour of the in-process broker.
+//! the loop tears the connection down, dropping that map (and the
+//! underlying [`mqsim::Consumer`]), which requeues every unacked message at
+//! the front of its queue, flagged redelivered. A client that reconnects
+//! and resubscribes therefore sees exactly the at-least-once behaviour of
+//! the in-process broker.
 
 use crate::frame::{encode_frame_into, FrameBuffer, Request, ServerFrame};
+use crate::reactor::{EventSource, Reactor, Ready, INTEREST_READ, INTEREST_WRITE};
 use crate::stats_to_value;
-use crate::tx::{OutBuf, TxObs, MAX_SPARE};
+use crate::tx::{write_some, OutBuf, TxObs, WriteState, MAX_SPARE};
 use mqsim::{Delivery, MessageBroker, MqError, MqResult};
 use parking_lot::{Condvar, Mutex};
-use std::collections::HashMap;
-use std::io::Write;
+use std::collections::{HashMap, HashSet};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::{AsRawFd, RawFd};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use wire::Value;
 
-/// Poll interval of subscription pump loops; bounds shutdown latency.
-const PUMP_POLL: Duration = Duration::from_millis(20);
+/// Reactor tick cadence: upper bound on poll sleep, and the cadence of
+/// per-source `tick()` maintenance.
+const SERVER_TICK: Duration = Duration::from_millis(10);
 
-/// Fastest fallback-pump poll, used while the pump is actually delivering
-/// (direct dispatch missing); decays toward [`PUMP_POLL`] when idle.
-const PUMP_POLL_MIN: Duration = Duration::from_millis(2);
+/// The dispatch backstop sweep re-offers every queue to every subscription
+/// at least this often, catching anything the direct paths missed.
+const DISPATCH_BACKSTOP: Duration = Duration::from_millis(20);
+
+/// Max complete `read_step` bursts one connection may consume per readiness
+/// event before yielding the loop to its neighbours (level-triggered poll
+/// re-fires if the socket still has bytes).
+const READ_BURSTS: usize = 32;
 
 /// Flush the out-buffer mid-burst once this many frames have coalesced,
 /// bounding how long the first reply of a large burst waits on the rest.
@@ -51,11 +75,11 @@ const MAX_COALESCED_FRAMES: u64 = 32;
 /// Tuning knobs for a [`BrokerServer`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Whether subscription pumps push several pending deliveries per
-    /// wakeup (bounded by credit and `max_batch`). When `false`, every
-    /// delivery is pumped and written individually.
+    /// Whether dispatch pushes several pending deliveries per offer
+    /// (bounded by credit and `max_batch`). When `false`, every delivery
+    /// is dispatched and written individually.
     pub batch: bool,
-    /// Upper bound on deliveries pushed per pump wakeup when batching.
+    /// Upper bound on deliveries pushed per dispatch offer when batching.
     pub max_batch: usize,
 }
 
@@ -72,7 +96,6 @@ impl Default for ServerConfig {
 pub struct BrokerServer {
     addr: SocketAddr,
     shared: Arc<ServerShared>,
-    accept_thread: Option<std::thread::JoinHandle<()>>,
     /// Keeps the `net.server.*` health check registered for this server's
     /// lifetime; dropped (deregistered) with the server.
     _health: obs::HealthGuard,
@@ -86,39 +109,58 @@ struct ServerShared {
     stop: AtomicBool,
     conns: Mutex<Vec<Arc<ConnShared>>>,
     /// Dispatch registry: every live subscription across every connection,
-    /// indexed by queue name. The reader thread that executes a publish
+    /// grouped by queue name. The loop thread that executes a publish
     /// looks its queue up here and pushes the resulting deliveries straight
     /// into the subscriber connection's out-buffer — same-connection
     /// deliveries coalesce into the very write that carries the publish
-    /// reply, and cross-connection deliveries skip the pump-thread wakeup.
+    /// reply, and cross-connection deliveries flush immediately.
     /// Entries are weak so the registry never extends a subscription's
     /// lifetime (dropping `SubShared` is what requeues unacked messages).
-    dispatch: Mutex<Vec<DispatchEntry>>,
+    dispatch: Mutex<HashMap<String, Vec<DispatchSub>>>,
     /// Round-robin cursor over dispatch targets, so a competing-consumer
     /// pool shares a queue instead of the first-registered subscription
     /// with spare credit soaking up everything.
     dispatch_cursor: AtomicU64,
+    /// Connection id allocator.
+    next_conn: AtomicU64,
+    /// The reactor loops. Loop 0 additionally owns the listener and the
+    /// dispatch sweep; connections are assigned round-robin across all.
+    reactors: Vec<Arc<Reactor>>,
+    /// Queues flagged ready by the broker waker, awaiting the next sweep.
+    dirty: Mutex<HashSet<String>>,
+    /// Fast-path flag: set with `dirty`, consumed by loop 0's pass.
+    dispatch_pending: AtomicBool,
+    /// Last time the full backstop sweep ran.
+    last_backstop: Mutex<Instant>,
     deliveries: Arc<obs::Counter>,
     connections_gauge: Arc<obs::Gauge>,
 }
 
-struct DispatchEntry {
-    queue: String,
+struct DispatchSub {
     conn: Weak<ConnShared>,
     sub: Weak<SubShared>,
 }
 
-/// State shared between a connection's reader thread and its pump threads.
+/// An upgraded, still-live dispatch target.
+type LiveSub = (Arc<ConnShared>, Arc<SubShared>);
+
+/// State shared between a connection's event source and the dispatch paths.
 struct ConnShared {
     id: u64,
     stream: TcpStream,
-    writer: Mutex<TcpStream>,
+    writer: Mutex<WriteState>,
     /// Encoded frames waiting for the next coalesced write.
     out: Mutex<OutBuf>,
     /// Recycled drain buffer, so steady-state flushing never allocates.
     spare: Mutex<Vec<u8>>,
     subs: Mutex<HashMap<u64, Arc<SubShared>>>,
     dead: AtomicBool,
+    /// True while a partial write is parked in `residue`: the owning
+    /// reactor polls this fd for `POLLOUT` until the flush completes.
+    want_write: AtomicBool,
+    /// The reactor loop this connection is registered with (woken when
+    /// write interest changes).
+    reactor: Weak<Reactor>,
     bytes_out: Arc<obs::Counter>,
     tx: TxObs,
 }
@@ -187,6 +229,16 @@ impl SubShared {
     }
 }
 
+/// Outcome of one inner drain pass in [`ConnShared::flush_out`].
+enum Flush {
+    /// Out-buffer and residue fully on the wire.
+    Drained,
+    /// The kernel stopped taking bytes; residue parked, `POLLOUT` armed.
+    Blocked,
+    /// Socket error: the connection is dead.
+    Failed,
+}
+
 impl ConnShared {
     fn kill(&self) {
         if !self.dead.swap(true, Ordering::AcqRel) {
@@ -211,30 +263,13 @@ impl ConnShared {
         }
     }
 
-    /// Enqueues several frames and drains the send queue. Reply frames and
-    /// pump deliveries from concurrent threads coalesce: whoever holds the
-    /// writer drains everything that accumulated, one `write_all` + `flush`
-    /// per drained batch. Any error kills the connection.
-    fn send_many(&self, frames: &[Value]) {
-        {
-            let mut out = self.out.lock();
-            for frame in frames {
-                match encode_frame_into(frame, &mut out.buf) {
-                    Ok(_) => out.frames += 1,
-                    Err(_) => {
-                        drop(out);
-                        self.kill();
-                        return;
-                    }
-                }
-            }
-        }
-        self.flush_out();
-    }
-
-    /// Drains the out-buffer through the socket. Flat-combining: if another
-    /// thread holds the writer it will pick up our bytes, so contenders
-    /// return immediately instead of queueing on the writer lock.
+    /// Drains the out-buffer through the nonblocking socket. Flat-combining:
+    /// if another thread holds the writer it will pick up our bytes, so
+    /// contenders return immediately instead of queueing on the writer lock.
+    /// A partial write parks the remainder in `residue`, raises `POLLOUT`
+    /// interest and wakes the reactor; the loop finishes the flush when the
+    /// socket drains — other connections on the loop are never blocked by
+    /// this one's slow reader.
     fn flush_out(&self) {
         loop {
             let mut writer = match self.writer.try_lock() {
@@ -242,34 +277,70 @@ impl ConnShared {
                 // The holder drains everything enqueued before releasing.
                 None => return,
             };
-            loop {
-                let (mut drain, frames) = {
+            let outcome = loop {
+                let st = &mut *writer;
+                // Finish any parked residue before taking a new drain, so
+                // wire byte order matches enqueue order.
+                if st.pos < st.residue.len() {
+                    match write_some(&mut st.stream, &st.residue[st.pos..]) {
+                        Ok(n) => {
+                            st.pos += n;
+                            if st.pos < st.residue.len() {
+                                // Set the interest bit while still holding
+                                // the writer, so a concurrent flush that
+                                // completes the drain is the one that
+                                // clears it.
+                                self.want_write.store(true, Ordering::Release);
+                                break Flush::Blocked;
+                            }
+                            let mut done = std::mem::take(&mut st.residue);
+                            st.pos = 0;
+                            done.clear();
+                            if done.capacity() <= MAX_SPARE {
+                                *self.spare.lock() = done;
+                            }
+                        }
+                        Err(_) => break Flush::Failed,
+                    }
+                    continue;
+                }
+                let (drain, frames) = {
                     let mut out = self.out.lock();
                     if out.buf.is_empty() {
-                        break;
+                        break Flush::Drained;
                     }
                     let mut drain = std::mem::take(&mut *self.spare.lock());
                     std::mem::swap(&mut drain, &mut out.buf);
                     (drain, std::mem::take(&mut out.frames))
                 };
-                let res = writer.write_all(&drain).and_then(|()| writer.flush());
                 self.bytes_out.add(drain.len() as u64);
                 self.tx.record_drain(drain.len(), frames);
-                drain.clear();
-                if drain.capacity() <= MAX_SPARE {
-                    *self.spare.lock() = drain;
-                }
-                if res.is_err() {
-                    drop(writer);
+                st.residue = drain;
+                st.pos = 0;
+            };
+            drop(writer);
+            match outcome {
+                Flush::Failed => {
                     self.kill();
                     return;
                 }
-            }
-            drop(writer);
-            // Lost-wakeup guard: a frame enqueued while we were releasing
-            // the writer saw `try_lock` fail and went home — re-check.
-            if self.out.lock().buf.is_empty() {
-                return;
+                Flush::Blocked => {
+                    if let Some(reactor) = self.reactor.upgrade() {
+                        reactor.wake();
+                    }
+                    return;
+                }
+                Flush::Drained => {
+                    // A stale bit from an older blocked flush costs one
+                    // spurious `POLLOUT` pass; the next flush clears it.
+                    self.want_write.store(false, Ordering::Release);
+                    // Lost-wakeup guard: a frame enqueued while we were
+                    // releasing the writer saw `try_lock` fail and went
+                    // home — re-check.
+                    if self.out.lock().buf.is_empty() {
+                        return;
+                    }
+                }
             }
         }
     }
@@ -298,19 +369,52 @@ impl BrokerServer {
         config: ServerConfig,
     ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        // A few loops cover many thousands of connections; past that the
+        // broker itself is the bottleneck, not readiness dispatch.
+        let loops = std::thread::available_parallelism().map_or(1, |n| (n.get() / 2).clamp(1, 4));
+        let mut reactors = Vec::with_capacity(loops);
+        for i in 0..loops {
+            reactors.push(Reactor::start(&format!("net.server.loop{i}"), SERVER_TICK)?);
+        }
         let shared = Arc::new(ServerShared {
             broker,
             config,
             stop: AtomicBool::new(false),
             conns: Mutex::new(Vec::new()),
-            dispatch: Mutex::new(Vec::new()),
+            dispatch: Mutex::new(HashMap::new()),
             dispatch_cursor: AtomicU64::new(0),
+            next_conn: AtomicU64::new(0),
+            reactors,
+            dirty: Mutex::new(HashSet::new()),
+            dispatch_pending: AtomicBool::new(false),
+            last_backstop: Mutex::new(Instant::now()),
             deliveries: obs::counter("net.server.deliveries_total"),
             connections_gauge: obs::gauge("net.server.connections"),
         });
-        let accept_shared = shared.clone();
-        let accept_thread = std::thread::spawn(move || accept_loop(&listener, &accept_shared));
+        // Broker-side readiness feeds loop 0's dispatch sweep. Weak: the
+        // broker may outlive this server, and the waker must not keep the
+        // server state alive.
+        let waker_shared = Arc::downgrade(&shared);
+        shared
+            .broker
+            .set_ready_waker(Some(Arc::new(move |queue: &str| {
+                if let Some(s) = waker_shared.upgrade() {
+                    note_ready(&s, queue);
+                }
+            })));
+        let pass_shared = Arc::downgrade(&shared);
+        shared.reactors[0].set_pass(Arc::new(move || {
+            if let Some(s) = pass_shared.upgrade() {
+                drain_ready(&s);
+            }
+        }));
+        shared.reactors[0].register(Arc::new(ListenerSource {
+            listener,
+            shared: Arc::downgrade(&shared),
+            accepts: obs::counter("net.server.accepts_total"),
+        }));
         // The guard lives in BrokerServer (not ServerShared), so the
         // registry's strong reference to the closure cannot keep the server
         // state alive: dropping the server deregisters the check.
@@ -332,7 +436,6 @@ impl BrokerServer {
         Ok(BrokerServer {
             addr,
             shared,
-            accept_thread: Some(accept_thread),
             _health: health,
             admin,
         })
@@ -354,6 +457,25 @@ impl BrokerServer {
         &self.shared.broker
     }
 
+    /// Number of client connections currently tracked and not yet torn
+    /// down.
+    pub fn live_connections(&self) -> usize {
+        self.shared
+            .conns
+            .lock()
+            .iter()
+            .filter(|c| !c.dead.load(Ordering::Acquire))
+            .count()
+    }
+
+    /// Total event-source registrations across every reactor loop,
+    /// including the listener itself. The connection-churn test uses this
+    /// as its stuck-registration probe: after clients disconnect and the
+    /// loops settle, the count must return to its pre-churn baseline.
+    pub fn reactor_registrations(&self) -> usize {
+        self.shared.reactors.iter().map(|r| r.registered()).sum()
+    }
+
     /// Hard-closes every live client connection (the sockets are shut down
     /// mid-stream). Unacked deliveries are requeued; clients observe a
     /// connection reset and go through their reconnect path. The listener
@@ -366,19 +488,22 @@ impl BrokerServer {
         }
     }
 
-    /// Stops accepting, closes all connections, and joins the accept thread.
-    pub fn shutdown(mut self) {
+    /// Stops accepting, closes all connections, and joins the event loops.
+    pub fn shutdown(self) {
         self.stop_now();
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
-        }
     }
 
     fn stop_now(&self) {
         self.shared.stop.store(true, Ordering::Release);
-        // Unblock `accept` by dialling ourselves.
-        let _ = TcpStream::connect(self.addr);
+        self.shared.broker.set_ready_waker(None);
         self.disconnect_all();
+        for reactor in &self.shared.reactors {
+            reactor.shutdown();
+        }
+        // Loops are joined: dropping the connection list here releases the
+        // last `SubShared` references, requeueing all unacked deliveries.
+        self.shared.conns.lock().clear();
+        self.shared.connections_gauge.set(0.0);
     }
 }
 
@@ -396,142 +521,294 @@ impl std::fmt::Debug for BrokerServer {
     }
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
-    let mut next_conn = 0u64;
-    loop {
-        let stream = match listener.accept() {
-            Ok((s, _)) => s,
-            Err(_) => {
-                // A persistent accept error (e.g. EMFILE) must neither
-                // busy-spin this thread nor keep it alive past shutdown.
-                if shared.stop.load(Ordering::Acquire) {
-                    return;
-                }
-                std::thread::sleep(Duration::from_millis(10));
-                continue;
-            }
+/// The listening socket as an event source on loop 0: accepts until
+/// `WouldBlock` on every readiness event and hands each connection to a
+/// reactor round-robin.
+struct ListenerSource {
+    listener: TcpListener,
+    shared: Weak<ServerShared>,
+    accepts: Arc<obs::Counter>,
+}
+
+impl EventSource for ListenerSource {
+    fn fd(&self) -> RawFd {
+        self.listener.as_raw_fd()
+    }
+
+    fn interest(&self) -> u8 {
+        INTEREST_READ
+    }
+
+    fn ready(&self, _readable: bool, _writable: bool) -> Ready {
+        let Some(shared) = self.shared.upgrade() else {
+            return Ready::Remove;
         };
         if shared.stop.load(Ordering::Acquire) {
-            return;
+            return Ready::Remove;
         }
-        let _ = stream.set_nodelay(true);
-        next_conn += 1;
-        let writer = match stream.try_clone() {
-            Ok(w) => w,
-            Err(_) => continue,
-        };
-        let conn = Arc::new(ConnShared {
-            id: next_conn,
-            stream,
-            writer: Mutex::new(writer),
-            out: Mutex::new(OutBuf::default()),
-            spare: Mutex::new(Vec::new()),
-            subs: Mutex::new(HashMap::new()),
-            dead: AtomicBool::new(false),
-            bytes_out: obs::counter("net.server.bytes_out"),
-            tx: TxObs::new(),
-        });
-        {
-            let mut conns = shared.conns.lock();
-            conns.retain(|c| !c.dead.load(Ordering::Acquire));
-            conns.push(conn.clone());
-            shared.connections_gauge.set(conns.len() as f64);
-        }
-        obs::counter("net.server.accepts_total").inc();
-        let conn_shared = shared.clone();
-        std::thread::spawn(move || {
-            // Tear the connection down even if the reader panics: a
-            // zombie connection would strand its clients (requests
-            // unanswered, unacked deliveries never requeued) until
-            // their call timeouts fire.
-            struct Cleanup {
-                conn: Arc<ConnShared>,
-                shared: Arc<ServerShared>,
-            }
-            impl Drop for Cleanup {
-                fn drop(&mut self) {
-                    self.conn.kill();
-                    let mut conns = self.shared.conns.lock();
-                    conns.retain(|c| c.id != self.conn.id && !c.dead.load(Ordering::Acquire));
-                    self.shared.connections_gauge.set(conns.len() as f64);
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if shared.stop.load(Ordering::Acquire) {
+                        return Ready::Remove;
+                    }
+                    self.accepts.inc();
+                    accept_conn(&shared, stream);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(_) => {
+                    // A persistent accept error (e.g. EMFILE) must not
+                    // busy-spin the loop: level-triggered poll would
+                    // re-fire immediately, so pace the retries.
+                    std::thread::sleep(Duration::from_millis(10));
+                    break;
                 }
             }
-            let cleanup = Cleanup {
-                conn,
-                shared: conn_shared,
-            };
-            reader_loop(&cleanup.conn, &cleanup.shared);
-        });
+        }
+        Ready::Continue
     }
 }
 
-fn reader_loop(conn: &Arc<ConnShared>, shared: &Arc<ServerShared>) {
-    let bytes_in = obs::counter("net.server.bytes_in");
-    let frame_seconds = obs::histogram("net.server.frame_seconds");
-    let mut reader = match conn.stream.try_clone() {
-        Ok(r) => r,
-        Err(_) => return,
+/// Sets up one accepted connection and registers it with its reactor.
+fn accept_conn(shared: &Arc<ServerShared>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    if stream.set_nonblocking(true).is_err() {
+        return;
+    }
+    let (writer, reader) = match (stream.try_clone(), stream.try_clone()) {
+        (Ok(w), Ok(r)) => (w, r),
+        _ => return,
     };
+    let id = shared.next_conn.fetch_add(1, Ordering::Relaxed) + 1;
+    let reactor = &shared.reactors[id as usize % shared.reactors.len()];
+    let conn = Arc::new(ConnShared {
+        id,
+        stream,
+        writer: Mutex::new(WriteState::new(writer)),
+        out: Mutex::new(OutBuf::default()),
+        spare: Mutex::new(Vec::new()),
+        subs: Mutex::new(HashMap::new()),
+        dead: AtomicBool::new(false),
+        want_write: AtomicBool::new(false),
+        reactor: Arc::downgrade(reactor),
+        bytes_out: obs::counter("net.server.bytes_out"),
+        tx: TxObs::new(),
+    });
+    {
+        let mut conns = shared.conns.lock();
+        conns.retain(|c| !c.dead.load(Ordering::Acquire));
+        conns.push(conn.clone());
+        shared.connections_gauge.set(conns.len() as f64);
+    }
     // Batched mode reads ahead of frame boundaries: one syscall can pull in
     // a whole pipeline of requests, which are then all answered with one
     // coalesced write. Unbatched keeps the pre-batching one-frame-per-read,
     // one-write-per-reply protocol for A/B comparison.
-    let mut frames = if shared.config.batch {
+    let frames = if shared.config.batch {
         FrameBuffer::with_readahead()
     } else {
         FrameBuffer::new()
     };
-    loop {
-        if conn.dead.load(Ordering::Acquire) || shared.stop.load(Ordering::Acquire) {
-            return;
+    let source = Arc::new(ConnSource {
+        conn,
+        shared: Arc::downgrade(shared),
+        reader: Mutex::new(ReaderState {
+            stream: reader,
+            frames,
+        }),
+        bytes_in: obs::counter("net.server.bytes_in"),
+        frame_seconds: obs::histogram("net.server.frame_seconds"),
+    });
+    reactor.register(source);
+}
+
+/// Read-side state machine of one connection.
+struct ReaderState {
+    stream: TcpStream,
+    frames: FrameBuffer,
+}
+
+/// One client connection as an event source.
+struct ConnSource {
+    conn: Arc<ConnShared>,
+    shared: Weak<ServerShared>,
+    reader: Mutex<ReaderState>,
+    bytes_in: Arc<obs::Counter>,
+    frame_seconds: Arc<obs::Histogram>,
+}
+
+impl ConnSource {
+    /// Consumes up to [`READ_BURSTS`] frame bursts from the socket,
+    /// executing each request inline. Returns `false` when the connection
+    /// must be torn down (EOF, reset, protocol violation).
+    fn read_burst(&self, shared: &Arc<ServerShared>) -> bool {
+        let mut guard = self.reader.lock();
+        let ReaderState { stream, frames } = &mut *guard;
+        for _ in 0..READ_BURSTS {
+            let first = match frames.read_step(stream) {
+                Ok(Some(first)) => first,
+                Ok(None) => return true, // caught up with the socket
+                Err(_) => return false,  // EOF, reset, or garbage
+            };
+            // Handle this frame and everything the same read pulled in.
+            let mut next = Some(first);
+            while let Some((frame, n)) = next.take() {
+                self.bytes_in.add(n as u64);
+                let started = Instant::now();
+                let (corr, request) = match Request::from_frame(&frame) {
+                    Ok(ok) => ok,
+                    Err(_) => {
+                        self.conn.flush_out();
+                        return false; // protocol violation: hang up
+                    }
+                };
+                let mut after_reply = None;
+                let result = execute(&self.conn, shared, request, &mut after_reply);
+                self.conn
+                    .enqueue(&ServerFrame::Reply { corr, result }.to_value());
+                // A subscription's backlog is offered only once its reply
+                // frame is in the out-buffer. Byte *order* — not flush
+                // timing — is what guarantees the client never sees a
+                // delivery precede the subscribe confirmation, since
+                // deliver frames can only be enqueued after the reply.
+                if let Some(start) = after_reply.take() {
+                    start();
+                }
+                self.frame_seconds.record(started.elapsed());
+                // Cap the coalesced burst: under congestion a single greedy
+                // read can pull in hundreds of requests, and holding every
+                // reply until the burst finishes would trade median latency
+                // for syscall count. A bounded flush keeps the amortization
+                // (dozens of frames per write) without the head-of-burst
+                // replies waiting on the tail's execution.
+                if self.conn.out.lock().frames >= MAX_COALESCED_FRAMES {
+                    self.conn.flush_out();
+                }
+                next = match frames.take_buffered() {
+                    Ok(buffered) => buffered,
+                    Err(_) => {
+                        self.conn.flush_out();
+                        return false;
+                    }
+                };
+            }
+            self.conn.flush_out();
+            if self.conn.dead.load(Ordering::Acquire) || shared.stop.load(Ordering::Acquire) {
+                return false;
+            }
         }
-        let first = match frames.read_step(&mut reader) {
-            Ok(Some(ok)) => ok,
-            Ok(None) => continue,
-            Err(_) => return, // EOF, reset, or garbage: tear the connection down
+        true
+    }
+}
+
+impl EventSource for ConnSource {
+    fn fd(&self) -> RawFd {
+        self.conn.stream.as_raw_fd()
+    }
+
+    fn interest(&self) -> u8 {
+        let mut interest = INTEREST_READ;
+        if self.conn.want_write.load(Ordering::Acquire) {
+            interest |= INTEREST_WRITE;
+        }
+        interest
+    }
+
+    fn ready(&self, readable: bool, writable: bool) -> Ready {
+        let Some(shared) = self.shared.upgrade() else {
+            self.conn.kill();
+            return Ready::Remove;
         };
-        // Handle this frame and everything the same read pulled in.
-        let mut next = Some(first);
-        while let Some((frame, n)) = next.take() {
-            bytes_in.add(n as u64);
-            let started = std::time::Instant::now();
-            let (corr, request) = match Request::from_frame(&frame) {
-                Ok(ok) => ok,
-                Err(_) => {
-                    conn.flush_out();
-                    return; // protocol violation: hang up
-                }
-            };
-            let mut after_reply = None;
-            let result = execute(conn, shared, request, &mut after_reply);
-            conn.enqueue(&ServerFrame::Reply { corr, result }.to_value());
-            // A subscription's pump starts only once its reply frame is in
-            // the out-buffer. Byte *order* — not flush timing — is what
-            // guarantees the client never sees a delivery precede the
-            // subscribe confirmation, since pump frames can only be
-            // enqueued after the reply.
-            if let Some(start) = after_reply.take() {
-                start();
-            }
-            frame_seconds.record(started.elapsed());
-            // Cap the coalesced burst: under congestion a single greedy
-            // read can pull in hundreds of requests, and holding every
-            // reply until the burst finishes would trade median latency
-            // for syscall count. A bounded flush keeps the amortization
-            // (dozens of frames per write) without the head-of-burst
-            // replies waiting on the tail's execution.
-            if conn.out.lock().frames >= MAX_COALESCED_FRAMES {
-                conn.flush_out();
-            }
-            next = match frames.take_buffered() {
-                Ok(buffered) => buffered,
-                Err(_) => {
-                    conn.flush_out();
-                    return;
-                }
-            };
+        if self.conn.dead.load(Ordering::Acquire) || shared.stop.load(Ordering::Acquire) {
+            teardown_conn(&self.conn, &shared);
+            return Ready::Remove;
         }
-        conn.flush_out();
+        // Flush first: freeing the residue may be what lets the replies
+        // produced by the reads below go straight out.
+        if writable {
+            self.conn.flush_out();
+        }
+        if readable && !self.read_burst(&shared) {
+            teardown_conn(&self.conn, &shared);
+            return Ready::Remove;
+        }
+        if self.conn.dead.load(Ordering::Acquire) {
+            teardown_conn(&self.conn, &shared);
+            return Ready::Remove;
+        }
+        Ready::Continue
+    }
+
+    fn tick(&self) -> Ready {
+        // Backstop for kills that raced the event path (e.g.
+        // `disconnect_all` between passes).
+        if self.conn.dead.load(Ordering::Acquire) {
+            match self.shared.upgrade() {
+                Some(shared) => teardown_conn(&self.conn, &shared),
+                None => self.conn.kill(),
+            }
+            return Ready::Remove;
+        }
+        Ready::Continue
+    }
+}
+
+/// Tears one connection down: kills the socket, releases every
+/// subscription (requeueing unacked deliveries), and prunes the
+/// connection list. Idempotent.
+fn teardown_conn(conn: &Arc<ConnShared>, shared: &ServerShared) {
+    conn.kill();
+    let subs: Vec<Arc<SubShared>> = conn.subs.lock().drain().map(|(_, s)| s).collect();
+    for sub in &subs {
+        sub.shutdown();
+    }
+    // The registry only holds weak refs, so dropping these releases the
+    // broker consumers and requeues every unacked delivery promptly.
+    drop(subs);
+    let mut conns = shared.conns.lock();
+    conns.retain(|c| c.id != conn.id && !c.dead.load(Ordering::Acquire));
+    shared.connections_gauge.set(conns.len() as f64);
+}
+
+/// Broker ready-waker target: marks the queue dirty and wakes loop 0,
+/// whose next pass dispatches it. Called from whatever thread caused the
+/// readiness transition (possibly a loop thread itself).
+fn note_ready(shared: &ServerShared, queue: &str) {
+    shared.dirty.lock().insert(queue.to_string());
+    if !shared.dispatch_pending.swap(true, Ordering::AcqRel) {
+        if let Some(reactor) = shared.reactors.first() {
+            reactor.wake();
+        }
+    }
+}
+
+/// Loop 0's per-pass dispatch sweep: drains the dirty-queue set, and every
+/// [`DISPATCH_BACKSTOP`] re-offers *all* queues (catching credit refills
+/// and anything a direct path missed).
+fn drain_ready(shared: &ServerShared) {
+    if shared.stop.load(Ordering::Acquire) {
+        return;
+    }
+    if shared.dispatch_pending.swap(false, Ordering::AcqRel) {
+        let dirty: Vec<String> = {
+            let mut dirty = shared.dirty.lock();
+            dirty.drain().collect()
+        };
+        for queue in &dirty {
+            dispatch_ready(shared, Some(queue), None);
+        }
+    }
+    let run_backstop = {
+        let mut last = shared.last_backstop.lock();
+        if last.elapsed() >= DISPATCH_BACKSTOP {
+            *last = Instant::now();
+            true
+        } else {
+            false
+        }
+    };
+    if run_backstop {
+        dispatch_ready(shared, None, None);
     }
 }
 
@@ -595,30 +872,33 @@ fn execute(
             if let Some(p) = previous {
                 p.shutdown();
             }
-            shared.dispatch.lock().push(DispatchEntry {
-                queue,
-                conn: Arc::downgrade(conn),
-                sub: Arc::downgrade(&sub_shared),
-            });
-            let pump_conn = conn.clone();
-            let pump_shared = shared.clone();
+            shared
+                .dispatch
+                .lock()
+                .entry(queue)
+                .or_default()
+                .push(DispatchSub {
+                    conn: Arc::downgrade(conn),
+                    sub: Arc::downgrade(&sub_shared),
+                });
+            // Push any backlog right behind the subscribe reply; batched
+            // frames ride the same coalesced write, unbatched ones go out
+            // one write per delivery.
+            let ar_conn = conn.clone();
+            let ar_shared = shared.clone();
             *after_reply = Some(Box::new(move || {
-                {
-                    let thread_conn = pump_conn.clone();
-                    let thread_shared = pump_shared.clone();
-                    let thread_sub = sub_shared.clone();
-                    std::thread::spawn(move || {
-                        pump_loop(&thread_conn, &thread_sub, &thread_shared)
-                    });
-                }
-                // Push any backlog right behind the subscribe reply; it
-                // rides the same coalesced write.
-                if pump_shared.config.batch {
-                    let max_batch = pump_shared.config.max_batch.max(1);
+                if ar_shared.config.batch {
+                    let max_batch = ar_shared.config.max_batch.max(1);
                     if let Dispatch::Delivered { n, .. } =
-                        try_dispatch(&pump_conn, &sub_shared, max_batch)
+                        try_dispatch(&ar_conn, &sub_shared, max_batch)
                     {
-                        pump_shared.deliveries.add(n);
+                        ar_shared.deliveries.add(n);
+                    }
+                } else {
+                    while let Dispatch::Delivered { n, .. } = try_dispatch(&ar_conn, &sub_shared, 1)
+                    {
+                        ar_shared.deliveries.add(n);
+                        ar_conn.flush_out();
                     }
                 }
             }));
@@ -634,24 +914,24 @@ fn execute(
         // Resolving deliveries frees credit, which may unblock ready
         // messages for this very subscription: offer them right away so a
         // credit-capped consumer is refilled by its own ack round trip
-        // instead of waiting for the fallback pump.
+        // instead of waiting for the backstop sweep.
         Request::Ack(sub, tag) => {
             let res = with_sub(conn, sub, |s| s.resolve(tag, true));
-            if res.is_ok() && shared.config.batch {
+            if res.is_ok() {
                 *after_reply = Some(sub_dispatch_hook(conn, shared, sub));
             }
             res
         }
         Request::AckMany(sub, tags) => {
             let res = with_sub(conn, sub, |s| s.resolve_many(&tags));
-            if res.is_ok() && shared.config.batch {
+            if res.is_ok() {
                 *after_reply = Some(sub_dispatch_hook(conn, shared, sub));
             }
             res
         }
         Request::Requeue(sub, tag) => {
             let res = with_sub(conn, sub, |s| s.resolve(tag, false));
-            if res.is_ok() && shared.config.batch {
+            if res.is_ok() {
                 *after_reply = Some(sub_dispatch_hook(conn, shared, sub));
             }
             res
@@ -704,13 +984,13 @@ enum Dispatch {
 
 /// Opportunistically pushes ready broker messages for one subscription,
 /// encoding `deliver` frames into the owning connection's out-buffer. The
-/// caller owns the eventual flush, so a reader thread dispatching to its
+/// caller owns the eventual flush, so a loop thread dispatching to its
 /// own connection coalesces the deliveries into the write that carries its
 /// reply burst.
 ///
 /// The consumer mutex is held from the budget read to the credit decrement
 /// (two dispatchers cannot overdraw the window) and across the enqueue
-/// (per-subscription delivery order stays FIFO). `try_lock` keeps reader
+/// (per-subscription delivery order stays FIFO). `try_lock` keeps loop
 /// threads from ever parking here: whoever holds the consumer is already
 /// delivering the same messages.
 fn try_dispatch(conn: &ConnShared, s: &SubShared, max_batch: usize) -> Dispatch {
@@ -762,76 +1042,144 @@ fn try_dispatch(conn: &ConnShared, s: &SubShared, max_batch: usize) -> Dispatch 
 
 /// After-reply hook: push ready deliveries for every live subscription of
 /// `queue` (all queues when `None`, for exchange fanout) straight from the
-/// reader thread that executed the publish.
+/// loop thread that executed the publish.
 fn dispatch_hook(
     conn: &Arc<ConnShared>,
     shared: &Arc<ServerShared>,
     queue: Option<String>,
 ) -> AfterReply {
-    let conn = conn.clone();
+    let current = conn.id;
     let shared = shared.clone();
-    Box::new(move || dispatch_ready(&conn, &shared, queue.as_deref()))
+    Box::new(move || dispatch_ready(&shared, queue.as_deref(), Some(current)))
 }
 
 /// After-reply hook: push ready deliveries for one subscription on this
-/// connection (used after acks free credit). No flush — the frames ride
-/// the reader thread's burst flush.
+/// connection (used after acks free credit). Batched frames ride the loop
+/// thread's burst flush; unbatched mode writes one frame at a time.
 fn sub_dispatch_hook(conn: &Arc<ConnShared>, shared: &Arc<ServerShared>, sub: u64) -> AfterReply {
     let conn = conn.clone();
     let shared = shared.clone();
     Box::new(move || {
-        let target = conn.subs.lock().get(&sub).cloned();
-        if let Some(s) = target {
+        let Some(s) = conn.subs.lock().get(&sub).cloned() else {
+            return;
+        };
+        if shared.config.batch {
             if let Dispatch::Delivered { n, .. } =
                 try_dispatch(&conn, &s, shared.config.max_batch.max(1))
             {
                 shared.deliveries.add(n);
             }
+        } else {
+            while let Dispatch::Delivered { n, .. } = try_dispatch(&conn, &s, 1) {
+                shared.deliveries.add(n);
+                conn.flush_out();
+            }
         }
     })
 }
 
-/// Walks the dispatch registry (pruning dead entries) and offers ready
-/// deliveries to each matching subscription. Cross-connection deliveries
-/// are flushed here; same-connection frames are left in the out-buffer for
-/// the calling reader thread's burst flush.
-fn dispatch_ready(current: &ConnShared, shared: &ServerShared, queue: Option<&str>) {
-    let max_batch = shared.config.max_batch.max(1);
+/// Collects the live targets of one registry entry list. Returns the
+/// upgraded pairs plus whether any dead entry was seen (triggering a
+/// prune, so the common path stays a read-mostly scan).
+fn collect_live(entries: &[DispatchSub]) -> (Vec<LiveSub>, bool) {
+    let mut live = Vec::new();
     let mut saw_dead = false;
-    let targets: Vec<(Arc<ConnShared>, Arc<SubShared>)> = {
+    for e in entries {
+        match (e.conn.upgrade(), e.sub.upgrade()) {
+            (Some(c), Some(s)) => {
+                if c.dead.load(Ordering::Acquire) || s.stop.load(Ordering::Acquire) {
+                    saw_dead = true;
+                } else {
+                    live.push((c, s));
+                }
+            }
+            _ => saw_dead = true,
+        }
+    }
+    (live, saw_dead)
+}
+
+fn prune_entries(entries: &mut Vec<DispatchSub>) {
+    entries.retain(|e| match (e.conn.upgrade(), e.sub.upgrade()) {
+        (Some(c), Some(s)) => !c.dead.load(Ordering::Acquire) && !s.stop.load(Ordering::Acquire),
+        _ => false,
+    });
+}
+
+/// Offers ready deliveries to the subscriptions of `queue` (every queue
+/// when `None`). `current_id` is the connection whose loop thread is
+/// calling — its frames are left in the out-buffer for the caller's burst
+/// flush; every other connection is flushed here.
+fn dispatch_ready(shared: &ServerShared, queue: Option<&str>, current_id: Option<u64>) {
+    let groups: Vec<Vec<(Arc<ConnShared>, Arc<SubShared>)>> = {
         let mut registry = shared.dispatch.lock();
-        let mut live = Vec::new();
-        for e in registry.iter() {
-            match (e.conn.upgrade(), e.sub.upgrade()) {
-                (Some(c), Some(s)) => {
-                    if c.dead.load(Ordering::Acquire) || s.stop.load(Ordering::Acquire) {
-                        saw_dead = true;
-                    } else if queue.is_none_or(|q| e.queue == q) {
-                        live.push((c, s));
+        match queue {
+            Some(q) => {
+                let Some(entries) = registry.get_mut(q) else {
+                    return;
+                };
+                let (live, saw_dead) = collect_live(entries);
+                if saw_dead {
+                    prune_entries(entries);
+                    if entries.is_empty() {
+                        registry.remove(q);
                     }
                 }
-                _ => saw_dead = true,
+                if live.is_empty() {
+                    return;
+                }
+                vec![live]
+            }
+            None => {
+                let mut groups = Vec::new();
+                let mut emptied = Vec::new();
+                for (q, entries) in registry.iter_mut() {
+                    let (live, saw_dead) = collect_live(entries);
+                    if saw_dead {
+                        prune_entries(entries);
+                        if entries.is_empty() {
+                            emptied.push(q.clone());
+                        }
+                    }
+                    if !live.is_empty() {
+                        groups.push(live);
+                    }
+                }
+                for q in emptied {
+                    registry.remove(&q);
+                }
+                groups
             }
         }
-        // Prune only when this walk actually saw a dead entry; the common
-        // publish path stays a read-mostly scan.
-        if saw_dead {
-            registry.retain(|e| match (e.conn.upgrade(), e.sub.upgrade()) {
-                (Some(c), Some(s)) => {
-                    !c.dead.load(Ordering::Acquire) && !s.stop.load(Ordering::Acquire)
-                }
-                _ => false,
-            });
-        }
-        live
     };
+    for group in &groups {
+        dispatch_group(shared, group, current_id);
+    }
+}
+
+/// Dispatches one queue's competing-consumer group: rotate the starting
+/// point and cap how much any one subscription takes, so a pool of workers
+/// shares a queue instead of the first-registered consumer with spare
+/// credit soaking up everything.
+fn dispatch_group(
+    shared: &ServerShared,
+    targets: &[(Arc<ConnShared>, Arc<SubShared>)],
+    current_id: Option<u64>,
+) {
     if targets.is_empty() {
         return;
     }
-    // Competing consumers: rotate the starting point and cap how much any
-    // one subscription takes, so a pool of workers shares a queue instead
-    // of the first-registered consumer with spare credit soaking up
-    // everything.
+    if !shared.config.batch {
+        // Pre-batching shape: one delivery per dispatch, one write each.
+        for (conn, sub) in targets {
+            while let Dispatch::Delivered { n, .. } = try_dispatch(conn, sub, 1) {
+                shared.deliveries.add(n);
+                conn.flush_out();
+            }
+        }
+        return;
+    }
+    let max_batch = shared.config.max_batch.max(1);
     let per_sub = if targets.len() > 1 {
         (max_batch / targets.len()).max(1)
     } else {
@@ -842,7 +1190,7 @@ fn dispatch_ready(current: &ConnShared, shared: &ServerShared, queue: Option<&st
         let (conn, sub) = &targets[(start + i) % targets.len()];
         if let Dispatch::Delivered { n, drained } = try_dispatch(conn, sub, per_sub) {
             shared.deliveries.add(n);
-            if conn.id != current.id {
+            if current_id != Some(conn.id) {
                 conn.flush_out();
             }
             // The queue gave out before the budget did: the siblings have
@@ -850,99 +1198,6 @@ fn dispatch_ready(current: &ConnShared, shared: &ServerShared, queue: Option<&st
             if drained {
                 return;
             }
-        }
-    }
-}
-
-/// Fallback delivery loop, one per subscription: catches whatever direct
-/// dispatch missed — backlogs left over when a dispatch hit its batch cap,
-/// messages requeued by other consumers, and fanout into mirrored queues
-/// that no publish request names.
-///
-/// In batched mode this loop deliberately *sleeps* between polls instead of
-/// waiting on the queue condvar: direct dispatch already delivers on the
-/// publishing reader thread, and a condvar-parked pump would wake (one
-/// context switch each) on every publish just to find the message gone.
-/// Unbatched mode keeps the pre-batching shape — a blocking one-message
-/// receive and an individual write per delivery — for A/B comparison.
-///
-/// Exit drops this thread's `SubShared` reference; once the connection's
-/// sub map lets go too, the consumer and unacked map drop and every
-/// outstanding delivery is requeued.
-fn pump_loop(conn: &Arc<ConnShared>, sub_shared: &Arc<SubShared>, shared: &Arc<ServerShared>) {
-    let batch = shared.config.batch;
-    let max_batch = shared.config.max_batch.max(1);
-    let mut poll = PUMP_POLL_MIN;
-    loop {
-        if sub_shared.stop.load(Ordering::Acquire) || conn.dead.load(Ordering::Acquire) {
-            return;
-        }
-        // Park until there is credit to spend.
-        {
-            let mut credit = sub_shared.credit.lock();
-            while *credit == 0 {
-                let timed_out = sub_shared
-                    .credit_cv
-                    .wait_for(&mut credit, PUMP_POLL)
-                    .timed_out();
-                if sub_shared.stop.load(Ordering::Acquire) || conn.dead.load(Ordering::Acquire) {
-                    return;
-                }
-                if timed_out && *credit == 0 {
-                    continue;
-                }
-            }
-        }
-        if batch {
-            match try_dispatch(conn, sub_shared, max_batch) {
-                Dispatch::Delivered { n, .. } => {
-                    shared.deliveries.add(n);
-                    conn.flush_out();
-                    poll = PUMP_POLL_MIN;
-                }
-                // Adaptive backoff: a pump that is actually needed (direct
-                // dispatch keeps missing) polls fast; an idle fallback
-                // decays so dozens of sleeping pumps cost almost nothing.
-                Dispatch::Idle => {
-                    std::thread::sleep(poll);
-                    poll = (poll * 2).min(PUMP_POLL);
-                }
-                Dispatch::Closed => return,
-            }
-            continue;
-        }
-        let received = {
-            let consumer = sub_shared.consumer.lock();
-            consumer.recv_batch(PUMP_POLL, 1)
-        };
-        let batch_msgs = match received {
-            Ok(batch) => batch,
-            Err(MqError::RecvTimeout) => continue,
-            Err(_) => return, // queue deleted
-        };
-        let n = batch_msgs.len() as u64;
-        let mut frames = Vec::with_capacity(batch_msgs.len());
-        {
-            let mut unacked = sub_shared.unacked.lock();
-            for delivery in batch_msgs {
-                let tag = delivery.tag.value();
-                frames.push(
-                    ServerFrame::Deliver {
-                        sub: sub_shared.sub,
-                        tag,
-                        redelivered: delivery.redelivered,
-                        message: delivery.message.clone(),
-                    }
-                    .to_value(),
-                );
-                unacked.insert(tag, delivery);
-            }
-        }
-        *sub_shared.credit.lock() -= n;
-        shared.deliveries.add(n);
-        conn.send_many(&frames);
-        if conn.dead.load(Ordering::Acquire) {
-            return;
         }
     }
 }

@@ -46,3 +46,42 @@ pub(crate) struct OutBuf {
     pub(crate) buf: Vec<u8>,
     pub(crate) frames: u64,
 }
+
+/// Write-side state machine of one nonblocking connection: the socket plus
+/// whatever part of the last coalesced batch the kernel would not take.
+#[derive(Debug)]
+pub(crate) struct WriteState {
+    pub(crate) stream: std::net::TcpStream,
+    /// A drained batch that hit `WouldBlock` mid-write; retried on
+    /// `POLLOUT` (and on any later flush) before new drains are taken.
+    pub(crate) residue: Vec<u8>,
+    /// How much of `residue` is already on the wire.
+    pub(crate) pos: usize,
+}
+
+impl WriteState {
+    pub(crate) fn new(stream: std::net::TcpStream) -> Self {
+        WriteState {
+            stream,
+            residue: Vec::new(),
+            pos: 0,
+        }
+    }
+}
+
+/// Writes as much of `buf` as the socket will take. `Ok(n)` with
+/// `n < buf.len()` means `WouldBlock`; `Interrupted` is retried.
+pub(crate) fn write_some(stream: &mut std::net::TcpStream, buf: &[u8]) -> std::io::Result<usize> {
+    use std::io::Write;
+    let mut written = 0;
+    while written < buf.len() {
+        match stream.write(&buf[written..]) {
+            Ok(0) => return Err(std::io::ErrorKind::WriteZero.into()),
+            Ok(n) => written += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(written)
+}
