@@ -67,12 +67,26 @@ fn main() {
     // A steady trickle of real commits keeps every admin surface non-empty
     // while the scraper probes it. Every WAL-journaled commit feeds the
     // wal.fsync_seconds / wal.group_size metrics the smoke test greps.
+    // The write path runs the chunk→hash→compress ingest pipeline and the
+    // refcount dedup store, so `content.ingest.*` and `storage.dedup.*`
+    // stay live too; periodic delete + GC sweeps exercise orphan
+    // collection.
+    let gc_token = store
+        .authenticate("admin-smoke", "pw-admin-smoke")
+        .expect("authenticate");
     let deadline = Instant::now() + Duration::from_secs(duration);
     let mut i = 0u64;
     while Instant::now() < deadline {
-        client
-            .write_file(&format!("smoke-{}.dat", i % 8), vec![0xA5; 1024])
-            .expect("commit");
+        let path = format!("smoke-{}.dat", i % 8);
+        let mut payload = vec![0xA5; 1024];
+        payload.extend_from_slice(&i.to_be_bytes());
+        client.write_file(&path, payload).expect("commit");
+        if i % 10 == 9 {
+            client.delete_file(&path).expect("delete");
+            store
+                .gc_chunks(&gc_token, "admin-smoke", "admin-smoke-chunks")
+                .expect("gc sweep");
+        }
         i += 1;
         std::thread::sleep(Duration::from_millis(100));
     }

@@ -621,6 +621,270 @@ fn connection_scaling(levels: &[usize], commits_per_client: usize) -> Vec<ConnLe
     results
 }
 
+/// One measured point of the ingest scenario.
+struct IngestPoint {
+    size: usize,
+    workers: usize,
+    mbps: f64,
+}
+
+/// Results of the content-plane ingest scenario (BENCH_9).
+struct IngestResults {
+    /// Single-thread chunk + SHA-1 loop — the seed ingest path.
+    scalar: Vec<IngestPoint>,
+    /// FastHash staged pipeline at several worker counts.
+    pipeline: Vec<IngestPoint>,
+    /// One-shot SHA-1 over a 4 MB buffer, MB/s.
+    sha1_hash_mbps: f64,
+    /// One-shot FastHash over the same buffer, MB/s.
+    fasthash_mbps: f64,
+    /// Workload-trace dedup replay.
+    dedup: workload::DedupReport,
+}
+
+/// Worker counts measured for the pipeline.
+const INGEST_WORKERS: &[usize] = &[1, 2, 4];
+/// Buffer for the one-shot hash-algorithm comparison (a typical large
+/// chunk span).
+const HASH_PROBE_BYTES: usize = 4 * 1024 * 1024;
+
+/// Deterministic pseudo-random fill — content does not affect hash or
+/// chunk speed, but incompressible bytes keep any compression stage
+/// honest.
+fn ingest_payload(size: usize) -> bytes::Bytes {
+    let mut data = vec![0u8; size];
+    let mut x = 0x243f_6a88_85a3_08d3u64;
+    for b in data.iter_mut() {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *b = x as u8;
+    }
+    bytes::Bytes::from(data)
+}
+
+fn best_mbps(size: usize, reps: usize, mut run: impl FnMut() -> Duration) -> f64 {
+    let mut best = f64::MAX;
+    for _ in 0..reps {
+        best = best.min(run().as_secs_f64());
+    }
+    size as f64 / best / 1e6
+}
+
+/// Measures ingest throughput: the scalar chunk+SHA-1 loop (the paper's
+/// client, single thread) against the staged FastHash pipeline at
+/// [`INGEST_WORKERS`], over files of `sizes`; plus a one-shot hash
+/// algorithm comparison and a workload dedup replay.
+fn ingest_scenario(sizes: &[usize], reps: usize, smoke: bool) -> IngestResults {
+    use content::chunker::{Chunker, FixedChunker};
+    use content::pipeline::{IngestPipeline, PipelineConfig};
+    use content::{ChunkId, Fingerprint};
+
+    let chunk_size = content::DEFAULT_CHUNK_SIZE;
+    let mut scalar = Vec::new();
+    let mut pipeline = Vec::new();
+
+    for &size in sizes {
+        let data = ingest_payload(size);
+        let chunker = FixedChunker::new(chunk_size);
+        let mbps = best_mbps(size, reps, || {
+            let start = Instant::now();
+            let spans = chunker.chunk(&data);
+            let ids: Vec<ChunkId> = spans
+                .iter()
+                .map(|s| ChunkId::of(&data[s.range()]))
+                .collect();
+            assert!(!ids.is_empty());
+            start.elapsed()
+        });
+        println!("  scalar sha1      {:>9} B: {mbps:>8.1} MB/s", size);
+        scalar.push(IngestPoint {
+            size,
+            workers: 1,
+            mbps,
+        });
+
+        for &workers in INGEST_WORKERS {
+            let pipe = IngestPipeline::new(
+                std::sync::Arc::new(FixedChunker::new(chunk_size)),
+                PipelineConfig {
+                    workers,
+                    fingerprint: Fingerprint::FastHash,
+                    compression: None,
+                },
+            );
+            let mbps = best_mbps(size, reps, || {
+                let report = pipe.ingest(data.clone());
+                assert_eq!(report.logical_bytes, size as u64);
+                report.elapsed
+            });
+            println!("  pipeline w={workers}     {:>9} B: {mbps:>8.1} MB/s", size);
+            pipeline.push(IngestPoint {
+                size,
+                workers,
+                mbps,
+            });
+        }
+    }
+
+    let probe = ingest_payload(HASH_PROBE_BYTES);
+    let sha1_hash_mbps = best_mbps(HASH_PROBE_BYTES, reps.max(3), || {
+        let start = Instant::now();
+        std::hint::black_box(content::sha1::sha1(&probe));
+        start.elapsed()
+    });
+    let fasthash_mbps = best_mbps(HASH_PROBE_BYTES, reps.max(3), || {
+        let start = Instant::now();
+        std::hint::black_box(content::fasthash::hash(&probe));
+        start.elapsed()
+    });
+    println!(
+        "  hash 4MB one-shot: sha1 {sha1_hash_mbps:.1} MB/s | fasthash {fasthash_mbps:.1} MB/s \
+         ({:.2}x)",
+        fasthash_mbps / sha1_hash_mbps
+    );
+
+    // Dedup replay: the generated trace through chunk/hash/compress and
+    // the refcount tracker.
+    let (gen_config, replay_config) = if smoke {
+        (
+            workload::GeneratorConfig::test_scale(),
+            workload::ReplayConfig {
+                chunk_size: 1024,
+                ..workload::ReplayConfig::default()
+            },
+        )
+    } else {
+        (
+            workload::GeneratorConfig::default(),
+            workload::ReplayConfig::default(),
+        )
+    };
+    let trace = workload::Trace::generate(&gen_config);
+    let dedup = workload::dedup::replay(&trace, &replay_config);
+    println!("  {}", dedup.render());
+
+    IngestResults {
+        scalar,
+        pipeline,
+        sha1_hash_mbps,
+        fasthash_mbps,
+        dedup,
+    }
+}
+
+/// Runs the ingest scenario, writes `BENCH_9.json`, and enforces the
+/// relative gates: FastHash ≥ 3x SHA-1 one-shot, the pipeline at the
+/// highest worker count ≥ 2x the scalar loop on the largest file, and a
+/// dedup ratio above 1.0.
+fn run_ingest(smoke: bool, gate: bool, out_path: &str) {
+    let sizes: &[usize] = if smoke {
+        &[64 * 1024, 1024 * 1024, 4 * 1024 * 1024]
+    } else {
+        &[64 * 1024, 1024 * 1024, 16 * 1024 * 1024, 64 * 1024 * 1024]
+    };
+    let reps = if smoke { 2 } else { 3 };
+    println!(
+        "content-plane ingest ({} file sizes up to {} MB, pipeline workers {INGEST_WORKERS:?})...",
+        sizes.len(),
+        sizes.last().unwrap() / (1024 * 1024)
+    );
+    let r = ingest_scenario(sizes, reps, smoke);
+
+    let fmt_points = |points: &[IngestPoint]| {
+        points
+            .iter()
+            .map(|p| {
+                format!(
+                    "    {{ \"size\": {}, \"workers\": {}, \"mbps\": {:.1} }}",
+                    p.size, p.workers, p.mbps
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n")
+    };
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"suite\": \"perf_suite.ingest\",\n",
+            "  \"smoke\": {smoke},\n",
+            "  \"chunk_size\": {chunk},\n",
+            "  \"hash_one_shot\": {{ \"bytes\": {probe}, \"sha1_mbps\": {sm:.1}, ",
+            "\"fasthash_mbps\": {fm:.1}, \"speedup\": {sp:.3} }},\n",
+            "  \"scalar_sha1\": [\n{scalar}\n  ],\n",
+            "  \"pipeline_fasthash\": [\n{pipeline}\n  ],\n",
+            "  \"dedup\": {{ \"ops\": {ops}, \"logical_bytes\": {lb}, \"stored_bytes\": {sb}, ",
+            "\"ratio\": {ratio:.3}, \"chunk_writes\": {cw}, \"dedup_hits\": {dh}, ",
+            "\"gc_reclaimed_bytes\": {gc} }}\n",
+            "}}\n"
+        ),
+        smoke = smoke,
+        chunk = content::DEFAULT_CHUNK_SIZE,
+        probe = HASH_PROBE_BYTES,
+        sm = r.sha1_hash_mbps,
+        fm = r.fasthash_mbps,
+        sp = r.fasthash_mbps / r.sha1_hash_mbps,
+        scalar = fmt_points(&r.scalar),
+        pipeline = fmt_points(&r.pipeline),
+        ops = r.dedup.ops,
+        lb = r.dedup.logical_bytes_written,
+        sb = r.dedup.bytes_stored,
+        ratio = r.dedup.ratio(),
+        cw = r.dedup.chunk_writes,
+        dh = r.dedup.dedup_hits,
+        gc = r.dedup.gc_reclaimed_bytes,
+    );
+    std::fs::write(out_path, &json).expect("write ingest results");
+    println!("ingest results written to {out_path}");
+
+    if !gate {
+        return;
+    }
+    let hash_speedup = r.fasthash_mbps / r.sha1_hash_mbps;
+    if hash_speedup < 3.0 {
+        eprintln!(
+            "GATE FAILED: fasthash one-shot {:.0} MB/s is only {hash_speedup:.2}x SHA-1's \
+             {:.0} MB/s (need 3x) in the same run",
+            r.fasthash_mbps, r.sha1_hash_mbps
+        );
+        std::process::exit(1);
+    }
+    let largest = *sizes.last().unwrap();
+    let scalar_large = r
+        .scalar
+        .iter()
+        .find(|p| p.size == largest)
+        .map(|p| p.mbps)
+        .unwrap_or(f64::MAX);
+    let pipeline_large = r
+        .pipeline
+        .iter()
+        .filter(|p| p.size == largest)
+        .map(|p| p.mbps)
+        .fold(0.0f64, f64::max);
+    if pipeline_large < 2.0 * scalar_large {
+        eprintln!(
+            "GATE FAILED: pipeline ingest {pipeline_large:.0} MB/s is under 2x the scalar \
+             SHA-1 loop's {scalar_large:.0} MB/s on {largest} B files in the same run"
+        );
+        std::process::exit(1);
+    }
+    if r.dedup.ratio() <= 1.0 {
+        eprintln!(
+            "GATE FAILED: workload dedup ratio {:.3} did not beat 1.0",
+            r.dedup.ratio()
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "ingest gate passed: fasthash {hash_speedup:.2}x sha1, pipeline {:.2}x scalar on \
+         {} MB files, dedup ratio {:.2}x",
+        pipeline_large / scalar_large,
+        largest / (1024 * 1024),
+        r.dedup.ratio()
+    );
+}
+
 /// Polls `cond` until it holds or `timeout` elapses; returns whether it held.
 fn wait_for(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
     let deadline = Instant::now() + timeout;
@@ -643,6 +907,7 @@ fn main() {
         arg_value("--out-contention").unwrap_or_else(|| "BENCH_5.json".to_string());
     let conn_path = arg_value("--out-conn").unwrap_or_else(|| "BENCH_6.json".to_string());
     let durable_path = arg_value("--out-durable").unwrap_or_else(|| "BENCH_7.json".to_string());
+    let ingest_path = arg_value("--out-ingest").unwrap_or_else(|| "BENCH_9.json".to_string());
     let (messages, calls, commits, contention_commits, conn_commits) = if smoke {
         (2_000, 320, 50, 100, 40)
     } else {
@@ -664,6 +929,15 @@ fn main() {
         println!("admin endpoint on http://{}", admin.local_addr());
         admin
     });
+
+    // `--ingest-only` runs just the content-plane scenario (the CI
+    // ingest-bench job); the full suite also runs it, after the
+    // transport/commit scenarios.
+    if has_flag("--ingest-only") {
+        run_ingest(smoke, gate, &ingest_path);
+        bench::obs_dump();
+        return;
+    }
 
     println!("broker throughput, unbatched ({messages} msgs of 1 KiB)...");
     let broker_unbatched = broker_throughput(messages, 1);
@@ -896,6 +1170,8 @@ fn main() {
     );
     std::fs::write(&durable_path, &durable_json).expect("write durable results");
     println!("durable results written to {durable_path}");
+
+    run_ingest(smoke, gate, &ingest_path);
     bench::obs_dump();
 
     if gate && txn_latency.sharded < txn_latency.global {

@@ -38,6 +38,16 @@ pub trait Chunker {
 
     /// Strategy name for diagnostics.
     fn name(&self) -> &'static str;
+
+    /// Splits a [`bytes::Bytes`] buffer into zero-copy chunk windows:
+    /// each returned buffer shares the input's allocation (slice in,
+    /// `Bytes` out — the pipeline's contract).
+    fn chunk_bytes(&self, data: &bytes::Bytes) -> Vec<bytes::Bytes> {
+        self.chunk(data)
+            .iter()
+            .map(|s| data.slice(s.range()))
+            .collect()
+    }
 }
 
 /// Static chunking with a fixed size — StackSync's default (512 KB).
@@ -91,6 +101,19 @@ impl Chunker for FixedChunker {
 /// A boundary is declared when the low `mask_bits` of the rolling hash are
 /// all ones, giving an expected chunk size of `2^mask_bits` bytes, clamped
 /// to `[min, max]`.
+///
+/// ## Clamp-edge invariant
+///
+/// Boundaries are a pure function of content. The implementation
+/// re-warms its window after every cut — including a forced max-size
+/// clamp cut — but because the Buzhash value depends only on the bytes
+/// currently in the window (see `rolling`), the warmed hash at any
+/// position is bit-identical to what an uninterrupted scan would hold
+/// there. So a forced cut can never shift later boundaries: streams
+/// that differ only in prefix realign to the same cut positions once
+/// past the clamp region. `cdc_forced_max_cut_does_not_shift_later_boundaries`
+/// and the pinned `cdc_known_trace_boundaries_pinned` trace are the
+/// regression proof.
 #[derive(Debug, Clone)]
 pub struct ContentDefinedChunker {
     min: usize,
@@ -317,6 +340,116 @@ mod tests {
             ids_a.len()
         );
     }
+
+    /// Finds a filler byte whose constant-run Buzhash value never
+    /// matches the chunker's mask, so a long run of it admits no
+    /// content-defined boundary and forces max-size clamp cuts.
+    fn mask_avoiding_byte(c: &ContentDefinedChunker) -> u8 {
+        (0u8..=255)
+            .find(|&b| {
+                let mut h = Buzhash::new(c.window);
+                for _ in 0..c.window {
+                    h.push(b);
+                }
+                h.value() & c.mask != c.mask
+            })
+            .expect("some byte must avoid the mask")
+    }
+
+    /// Boundary offsets (chunk end positions) strictly inside the tail,
+    /// expressed relative to the tail start.
+    fn tail_boundaries(spans: &[ChunkSpan], tail_start: usize) -> Vec<usize> {
+        spans
+            .iter()
+            .map(|s| s.offset + s.len)
+            .filter(|&end| end > tail_start)
+            .map(|end| end - tail_start)
+            .collect()
+    }
+
+    #[test]
+    fn cdc_forced_max_cut_does_not_shift_later_boundaries() {
+        // Regression for the min/max clamp edge: a run with no mask
+        // match forces max-size clamp cuts, and the chunker re-warms its
+        // rolling window after every cut. If that reset perturbed the
+        // hash sequence, boundaries after the run would depend on where
+        // the forced cuts happened to land — i.e. on the prefix length —
+        // and dedup of a shared suffix would fail. Boundaries must be a
+        // function of content alone: streams differing only in prefix
+        // length must realign to identical tail cut positions.
+        let chunker = ContentDefinedChunker::test_scale();
+        let filler = mask_avoiding_byte(&chunker);
+        let run_len = 3 * chunker.max + 123; // > max: forces clamp cuts
+        let tail = random_bytes(100_000, 0xF00D);
+
+        let mut reference: Option<Vec<usize>> = None;
+        for prefix_len in [0usize, 1, chunker.min, chunker.max - 1, 7777] {
+            let mut data = random_bytes(prefix_len, prefix_len as u64);
+            data.extend(std::iter::repeat_n(filler, run_len));
+            let run_end = data.len();
+            data.extend_from_slice(&tail);
+
+            let spans = chunker.chunk(&data);
+            assert!(is_exact_partition(&spans, data.len()));
+            // The run really does force clamp cuts: every span fully
+            // inside it must be max-sized.
+            let forced: Vec<&ChunkSpan> = spans
+                .iter()
+                .filter(|s| s.offset >= prefix_len && s.offset + s.len <= run_end)
+                .collect();
+            assert!(
+                forced.iter().filter(|s| s.len == chunker.max).count() >= 2,
+                "prefix {prefix_len}: expected forced max-size cuts in the run"
+            );
+
+            // Skip the resynchronization region (one max+min of tail):
+            // boundaries beyond it must be identical across all prefixes.
+            let resync = chunker.max + chunker.min;
+            let stable: Vec<usize> = tail_boundaries(&spans, run_end)
+                .into_iter()
+                .filter(|&b| b > resync)
+                .collect();
+            assert!(
+                stable.len() > 5,
+                "prefix {prefix_len}: too few stable tail boundaries"
+            );
+            match &reference {
+                None => reference = Some(stable),
+                Some(expect) => assert_eq!(
+                    &stable, expect,
+                    "prefix {prefix_len}: tail boundaries shifted after forced cuts"
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn cdc_known_trace_boundaries_pinned() {
+        // A known input trace with its exact boundary sequence pinned,
+        // covering every clamp class: content-defined cuts, a forced
+        // max-size cut (mask-avoiding run), and the final short chunk.
+        // Any change to warm-up or clamp handling shows up here as an
+        // exact diff, not a statistical drift.
+        let chunker = ContentDefinedChunker::test_scale();
+        let filler = mask_avoiding_byte(&chunker);
+        let mut data = random_bytes(40_000, 0xC0FFEE);
+        data.extend(std::iter::repeat_n(filler, 20_000));
+        data.extend_from_slice(&random_bytes(30_000, 0xBEEF));
+
+        let lens: Vec<usize> = chunker.chunk(&data).iter().map(|s| s.len).collect();
+        assert!(is_exact_partition(&chunker.chunk(&data), data.len()));
+        assert_eq!(
+            lens, PINNED_TRACE_LENS,
+            "pinned CDC trace diverged (filler byte {filler})"
+        );
+    }
+
+    /// The exact chunk lengths of `cdc_known_trace_boundaries_pinned`'s
+    /// input under `ContentDefinedChunker::test_scale()`. The `16384`
+    /// entry is the forced max-size clamp cut inside the filler run.
+    const PINNED_TRACE_LENS: &[usize] = &[
+        5055, 1178, 5602, 2714, 3244, 6535, 5198, 8448, 16384, 8109, 2791, 13561, 3689, 7492,
+    ];
 
     proptest! {
         #[test]

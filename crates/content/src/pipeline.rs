@@ -1,0 +1,544 @@
+//! `pipeline` — staged, multi-core ingest: chunk → hash → (compress).
+//!
+//! The single upload path every file crosses (paper §4.1) as a worker
+//! pipeline instead of a scalar loop:
+//!
+//! 1. **Chunk** — the configured [`Chunker`] scans the input once and
+//!    produces chunk spans. This stage is sequential by nature (CDC
+//!    boundaries depend on the preceding bytes) but runs at memory
+//!    speed — a Buzhash roll per byte — so it is never the bottleneck.
+//! 2. **Hash + compress** — every span becomes an independent task;
+//!    the calling thread and the pool workers drain a shared index
+//!    counter, fingerprint each chunk, and optionally compress it.
+//!    When a file yields fewer spans than workers (one big file), the
+//!    FastHash tree splits *within* the chunk across the idle cores.
+//! 3. **Re-sequence** — results land in a slot table indexed by span
+//!    order, so the report lists chunks in input order no matter how
+//!    the workers interleave.
+//!
+//! The input is [`Bytes`] end to end: each task takes a zero-copy
+//! `data.slice(span)` window, and with compression disabled that same
+//! window *is* the stored payload — no byte is copied between the
+//! caller's buffer and the store.
+//!
+//! Backpressure is structural: `ingest` is synchronous and dispatches
+//! only its own spans, so a caller can never enqueue more than one
+//! file of work, and the pool is shared across calls without fairness
+//! machinery (slots are claimed one span at a time).
+
+use crate::chunker::{ChunkSpan, Chunker};
+use crate::compress::Algorithm;
+use crate::{ChunkId, Fingerprint};
+use bytes::Bytes;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// One chunk out of the pipeline, in input order.
+#[derive(Debug, Clone)]
+pub struct IngestedChunk {
+    /// Byte offset of the chunk within the input.
+    pub offset: usize,
+    /// Uncompressed chunk length.
+    pub len: usize,
+    /// Content fingerprint of the uncompressed chunk.
+    pub id: ChunkId,
+    /// The bytes to store: a zero-copy window of the input, or the
+    /// compressed form when a compression stage is configured.
+    pub payload: Bytes,
+    /// Whether `payload` is compressed ([`Algorithm`] self-identifying
+    /// framing).
+    pub compressed: bool,
+}
+
+/// The result of one [`IngestPipeline::ingest`] call.
+#[derive(Debug)]
+pub struct IngestReport {
+    /// Chunks in input order.
+    pub chunks: Vec<IngestedChunk>,
+    /// Total input bytes.
+    pub logical_bytes: u64,
+    /// Total payload bytes (equals `logical_bytes` when not compressing).
+    pub payload_bytes: u64,
+    /// Wall-clock time of the whole ingest.
+    pub elapsed: Duration,
+}
+
+impl IngestReport {
+    /// Ingest throughput in bytes per second.
+    pub fn bytes_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.logical_bytes as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Pipeline configuration.
+#[derive(Clone)]
+pub struct PipelineConfig {
+    /// Worker threads (including the calling thread); `0` and `1` both
+    /// mean fully inline, no pool.
+    pub workers: usize,
+    /// Fingerprint algorithm for chunk ids.
+    pub fingerprint: Fingerprint,
+    /// Optional compression stage; `None` keeps payloads as zero-copy
+    /// input windows.
+    pub compression: Option<Algorithm>,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            workers: 1,
+            fingerprint: Fingerprint::default(),
+            compression: Some(Algorithm::default()),
+        }
+    }
+}
+
+/// The staged ingest pipeline. Construction spawns the worker pool
+/// (for `workers > 1`); dropping shuts it down and joins the threads.
+pub struct IngestPipeline {
+    chunker: Arc<dyn Chunker + Send + Sync>,
+    config: PipelineConfig,
+    pool: Option<Pool>,
+    metrics: Metrics,
+}
+
+struct Metrics {
+    bytes_total: Arc<obs::Counter>,
+    payload_bytes_total: Arc<obs::Counter>,
+    chunks_total: Arc<obs::Counter>,
+    files_total: Arc<obs::Counter>,
+    ingest_seconds: Arc<obs::Histogram>,
+    hash_seconds: Arc<obs::Histogram>,
+    compress_seconds: Arc<obs::Histogram>,
+    chunk_seconds: Arc<obs::Histogram>,
+}
+
+impl Metrics {
+    fn new() -> Self {
+        Metrics {
+            bytes_total: obs::counter("content.ingest.bytes_total"),
+            payload_bytes_total: obs::counter("content.ingest.payload_bytes_total"),
+            chunks_total: obs::counter("content.ingest.chunks_total"),
+            files_total: obs::counter("content.ingest.files_total"),
+            ingest_seconds: obs::histogram("content.ingest.seconds"),
+            hash_seconds: obs::histogram("content.ingest.hash_seconds"),
+            compress_seconds: obs::histogram("content.ingest.compress_seconds"),
+            chunk_seconds: obs::histogram("content.ingest.chunk_seconds"),
+        }
+    }
+}
+
+impl IngestPipeline {
+    /// Creates a pipeline over the given chunker.
+    pub fn new(chunker: Arc<dyn Chunker + Send + Sync>, config: PipelineConfig) -> Self {
+        let pool = if config.workers > 1 {
+            // The calling thread participates, so spawn one fewer.
+            Some(Pool::spawn(config.workers - 1))
+        } else {
+            None
+        };
+        obs::gauge("content.ingest.workers").set(config.workers.max(1) as f64);
+        IngestPipeline {
+            chunker,
+            config,
+            pool,
+            metrics: Metrics::new(),
+        }
+    }
+
+    /// Convenience constructor: paper-default 512 KB fixed chunking.
+    pub fn with_default_chunker(config: PipelineConfig) -> Self {
+        IngestPipeline::new(Arc::new(crate::chunker::FixedChunker::default()), config)
+    }
+
+    /// The configured worker count (≥ 1).
+    pub fn workers(&self) -> usize {
+        self.config.workers.max(1)
+    }
+
+    /// The configured fingerprint algorithm.
+    pub fn fingerprint(&self) -> Fingerprint {
+        self.config.fingerprint
+    }
+
+    /// Runs the full pipeline over one input buffer.
+    pub fn ingest(&self, data: Bytes) -> IngestReport {
+        let started = Instant::now();
+        let chunk_started = Instant::now();
+        let spans = self.chunker.chunk(&data);
+        self.metrics.chunk_seconds.record(chunk_started.elapsed());
+
+        let n = spans.len();
+        let chunks = if n == 0 {
+            Vec::new()
+        } else {
+            // Hash an oversized single span across the pool via the tree
+            // hash instead of leaving the other workers idle.
+            let hash_workers = if n < self.workers() {
+                self.workers() / n.max(1)
+            } else {
+                1
+            };
+            let state = Arc::new(CallState {
+                data: data.clone(),
+                spans,
+                fingerprint: self.config.fingerprint,
+                compression: self.config.compression,
+                hash_workers,
+                next: AtomicUsize::new(0),
+                pending: AtomicUsize::new(n),
+                results: Mutex::new((0..n).map(|_| None).collect()),
+                done: Mutex::new(false),
+                done_cv: Condvar::new(),
+                hash_seconds: Arc::clone(&self.metrics.hash_seconds),
+                compress_seconds: Arc::clone(&self.metrics.compress_seconds),
+            });
+            if let Some(pool) = &self.pool {
+                let helpers = pool.size().min(n.saturating_sub(1));
+                for _ in 0..helpers {
+                    let st = Arc::clone(&state);
+                    pool.submit(Box::new(move || st.drain()));
+                }
+            }
+            state.drain();
+            state.wait_done();
+            let mut slots = state.results.lock().expect("ingest results poisoned");
+            slots
+                .drain(..)
+                .map(|c| c.expect("ingest slot incomplete"))
+                .collect()
+        };
+
+        let logical_bytes = data.len() as u64;
+        let payload_bytes: u64 = chunks.iter().map(|c| c.payload.len() as u64).sum();
+        let elapsed = started.elapsed();
+        self.metrics.bytes_total.add(logical_bytes);
+        self.metrics.payload_bytes_total.add(payload_bytes);
+        self.metrics.chunks_total.add(chunks.len() as u64);
+        self.metrics.files_total.inc();
+        self.metrics.ingest_seconds.record(elapsed);
+        IngestReport {
+            chunks,
+            logical_bytes,
+            payload_bytes,
+            elapsed,
+        }
+    }
+}
+
+/// Shared state of one `ingest` call, drained cooperatively by the
+/// calling thread and the pool workers.
+struct CallState {
+    data: Bytes,
+    spans: Vec<ChunkSpan>,
+    fingerprint: Fingerprint,
+    compression: Option<Algorithm>,
+    hash_workers: usize,
+    next: AtomicUsize,
+    pending: AtomicUsize,
+    results: Mutex<Vec<Option<IngestedChunk>>>,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+    hash_seconds: Arc<obs::Histogram>,
+    compress_seconds: Arc<obs::Histogram>,
+}
+
+impl CallState {
+    fn drain(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.spans.len() {
+                return;
+            }
+            let chunk = self.process(self.spans[i]);
+            {
+                let mut slots = self.results.lock().expect("ingest results poisoned");
+                slots[i] = Some(chunk);
+            }
+            if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let mut done = self.done.lock().expect("ingest done flag poisoned");
+                *done = true;
+                self.done_cv.notify_all();
+            }
+        }
+    }
+
+    fn process(&self, span: ChunkSpan) -> IngestedChunk {
+        let window = self.data.slice(span.range());
+        let hash_started = Instant::now();
+        let id = self.fingerprint.of_parallel(&window, self.hash_workers);
+        self.hash_seconds.record(hash_started.elapsed());
+        let (payload, compressed) = match self.compression {
+            None => (window, false),
+            Some(alg) => {
+                let compress_started = Instant::now();
+                let packed = alg.compress(&window);
+                self.compress_seconds.record(compress_started.elapsed());
+                (packed, true)
+            }
+        };
+        IngestedChunk {
+            offset: span.offset,
+            len: span.len,
+            id,
+            payload,
+            compressed,
+        }
+    }
+
+    fn wait_done(&self) {
+        let mut done = self.done.lock().expect("ingest done flag poisoned");
+        while !*done {
+            done = self.done_cv.wait(done).expect("ingest done flag poisoned");
+        }
+    }
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A minimal persistent worker pool: a locked deque plus a condvar.
+struct Pool {
+    shared: Arc<PoolShared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+struct PoolShared {
+    queue: Mutex<PoolQueue>,
+    work_cv: Condvar,
+}
+
+struct PoolQueue {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+impl Pool {
+    fn spawn(size: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(PoolQueue {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+        });
+        let threads = (0..size)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("ingest-{i}"))
+                    .spawn(move || loop {
+                        let job = {
+                            let mut q = shared.queue.lock().expect("ingest pool poisoned");
+                            loop {
+                                if let Some(job) = q.jobs.pop_front() {
+                                    break job;
+                                }
+                                if q.shutdown {
+                                    return;
+                                }
+                                q = shared.work_cv.wait(q).expect("ingest pool poisoned");
+                            }
+                        };
+                        job();
+                    })
+                    .expect("spawn ingest worker")
+            })
+            .collect();
+        Pool { shared, threads }
+    }
+
+    fn size(&self) -> usize {
+        self.threads.len()
+    }
+
+    fn submit(&self, job: Job) {
+        let mut q = self.shared.queue.lock().expect("ingest pool poisoned");
+        q.jobs.push_back(job);
+        drop(q);
+        self.shared.work_cv.notify_one();
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().expect("ingest pool poisoned");
+            q.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunker::{ContentDefinedChunker, FixedChunker};
+    use proptest::prelude::*;
+
+    fn random_bytes(len: usize, seed: u64) -> Vec<u8> {
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(7);
+        (0..len)
+            .map(|_| {
+                state ^= state >> 12;
+                state ^= state << 25;
+                state ^= state >> 27;
+                (state.wrapping_mul(0x2545F4914F6CDD1D) >> 56) as u8
+            })
+            .collect()
+    }
+
+    fn pipeline(workers: usize, compression: Option<Algorithm>) -> IngestPipeline {
+        IngestPipeline::new(
+            Arc::new(FixedChunker::new(4096)),
+            PipelineConfig {
+                workers,
+                fingerprint: Fingerprint::FastHash,
+                compression,
+            },
+        )
+    }
+
+    #[test]
+    fn empty_input_yields_no_chunks() {
+        let report = pipeline(2, None).ingest(Bytes::new());
+        assert!(report.chunks.is_empty());
+        assert_eq!(report.logical_bytes, 0);
+    }
+
+    #[test]
+    fn chunks_come_back_in_input_order() {
+        let data = Bytes::from(random_bytes(100_000, 1));
+        for workers in [1, 2, 4] {
+            let report = pipeline(workers, None).ingest(data.clone());
+            let mut expected_offset = 0;
+            for c in &report.chunks {
+                assert_eq!(c.offset, expected_offset, "workers={workers}");
+                expected_offset += c.len;
+            }
+            assert_eq!(expected_offset, data.len());
+        }
+    }
+
+    #[test]
+    fn parallel_matches_inline_results() {
+        let data = Bytes::from(random_bytes(300_000, 2));
+        let inline = pipeline(1, Some(Algorithm::Lzss)).ingest(data.clone());
+        let parallel = pipeline(4, Some(Algorithm::Lzss)).ingest(data.clone());
+        assert_eq!(inline.chunks.len(), parallel.chunks.len());
+        for (a, b) in inline.chunks.iter().zip(parallel.chunks.iter()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.payload, b.payload);
+            assert_eq!((a.offset, a.len), (b.offset, b.len));
+        }
+        assert_eq!(inline.payload_bytes, parallel.payload_bytes);
+    }
+
+    #[test]
+    fn uncompressed_payload_is_zero_copy_window() {
+        let data = Bytes::from(random_bytes(20_000, 3));
+        let report = pipeline(2, None).ingest(data.clone());
+        assert_eq!(report.payload_bytes, report.logical_bytes);
+        for c in &report.chunks {
+            assert!(!c.compressed);
+            assert_eq!(c.payload, data.slice(c.offset..c.offset + c.len));
+        }
+    }
+
+    #[test]
+    fn compressed_payloads_roundtrip() {
+        // Compressible content: payloads shrink and decompress back.
+        let data = Bytes::from(b"stacksync ".repeat(5_000));
+        let report = pipeline(3, Some(Algorithm::Lzss)).ingest(data.clone());
+        assert!(report.payload_bytes < report.logical_bytes);
+        let mut rebuilt = Vec::new();
+        for c in &report.chunks {
+            assert!(c.compressed);
+            rebuilt.extend_from_slice(&Algorithm::decompress(&c.payload).unwrap());
+        }
+        assert_eq!(rebuilt, data.to_vec());
+    }
+
+    #[test]
+    fn ids_match_fingerprint_of_content() {
+        let data = Bytes::from(random_bytes(50_000, 4));
+        for fp in [Fingerprint::Sha1, Fingerprint::FastHash] {
+            let p = IngestPipeline::new(
+                Arc::new(ContentDefinedChunker::test_scale()),
+                PipelineConfig {
+                    workers: 2,
+                    fingerprint: fp,
+                    compression: None,
+                },
+            );
+            let report = p.ingest(data.clone());
+            assert!(report.chunks.len() > 1);
+            for c in &report.chunks {
+                assert_eq!(c.id, fp.of(&data.slice(c.offset..c.offset + c.len)));
+            }
+        }
+    }
+
+    #[test]
+    fn single_giant_span_uses_tree_parallelism() {
+        // One span larger than the parallel threshold with 4 workers:
+        // result must equal the scalar hash (tree split correctness).
+        let data = Bytes::from(random_bytes(1 << 20, 5));
+        let p = IngestPipeline::new(
+            Arc::new(FixedChunker::new(1 << 20)),
+            PipelineConfig {
+                workers: 4,
+                fingerprint: Fingerprint::FastHash,
+                compression: None,
+            },
+        );
+        let report = p.ingest(data.clone());
+        assert_eq!(report.chunks.len(), 1);
+        assert_eq!(report.chunks[0].id, Fingerprint::FastHash.of(&data));
+    }
+
+    #[test]
+    fn pool_survives_many_small_ingests() {
+        let p = pipeline(4, None);
+        for seed in 0..50u64 {
+            let data = Bytes::from(random_bytes(10_000 + seed as usize, seed));
+            let report = p.ingest(data);
+            assert_eq!(report.chunks.len(), 3);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_pipeline_partitions_and_orders(
+            len in 0usize..60_000,
+            seed in any::<u64>(),
+            workers in 1usize..5,
+        ) {
+            let data = Bytes::from(random_bytes(len, seed));
+            let p = IngestPipeline::new(
+                Arc::new(ContentDefinedChunker::test_scale()),
+                PipelineConfig { workers, fingerprint: Fingerprint::FastHash, compression: None },
+            );
+            let report = p.ingest(data.clone());
+            let spans: Vec<crate::chunker::ChunkSpan> = report
+                .chunks
+                .iter()
+                .map(|c| crate::chunker::ChunkSpan { offset: c.offset, len: c.len })
+                .collect();
+            prop_assert!(crate::chunker::is_exact_partition(&spans, len));
+            for c in &report.chunks {
+                prop_assert_eq!(c.payload.len(), c.len);
+            }
+        }
+    }
+}

@@ -11,7 +11,11 @@
 //!   bandwidth) so experiments reproduce transfer-time effects — this is
 //!   the substitution for the paper's physical storage nodes;
 //! * [`TrafficStats`] byte/op accounting, which the Fig. 7 overhead
-//!   benchmarks read.
+//!   benchmarks read;
+//! * chunk-refcount deduplication ([`dedup`]): per-container reference
+//!   counts let overwrites and deletes reclaim space safely — see
+//!   [`SwiftStore::put_chunks`], [`SwiftStore::release_file`] and
+//!   [`SwiftStore::gc_chunks`].
 //!
 //! ## Example
 //!
@@ -30,11 +34,13 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod dedup;
 mod latency;
 mod store;
 mod traffic;
 
 pub use backend::{DiskBackend, MemoryBackend, ObjectBackend};
+pub use dedup::{ChunkMeta, DedupChunk, DedupStats, GcReport, PutChunksReceipt, RefcountTracker};
 pub use latency::LatencyModel;
 pub use store::{StorageError, StorageResult, SwiftStore, Token};
 pub use traffic::TrafficStats;

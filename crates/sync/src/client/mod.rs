@@ -16,14 +16,15 @@ use crate::workspace_notification_oid;
 use bytes::Bytes;
 use content::chunker::{Chunker, ContentDefinedChunker, FixedChunker};
 use content::compress::Algorithm;
-use content::{sha1, ChunkId};
+use content::pipeline::{IngestPipeline, PipelineConfig};
+use content::{sha1, ChunkId, Fingerprint};
 use metadata::{ItemMetadata, Workspace, WorkspaceId};
 use objectmq::{Broker, Proxy, RemoteObject, ServerHandle};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use storage::{SwiftStore, Token};
+use storage::{DedupChunk, SwiftStore, Token};
 use wire::Value;
 
 /// Chunking strategy — one of the extension hooks the paper calls out
@@ -50,15 +51,15 @@ pub enum ChunkingStrategy {
 }
 
 impl ChunkingStrategy {
-    fn build(&self) -> Box<dyn Chunker> {
+    fn build(&self) -> Arc<dyn Chunker + Send + Sync> {
         match self {
-            ChunkingStrategy::Fixed { size } => Box::new(FixedChunker::new(*size)),
+            ChunkingStrategy::Fixed { size } => Arc::new(FixedChunker::new(*size)),
             ChunkingStrategy::ContentDefined {
                 min,
                 max,
                 mask_bits,
                 window,
-            } => Box::new(ContentDefinedChunker::new(*min, *max, *mask_bits, *window)),
+            } => Arc::new(ContentDefinedChunker::new(*min, *max, *mask_bits, *window)),
         }
     }
 }
@@ -74,6 +75,13 @@ pub struct ClientConfig {
     pub chunking: ChunkingStrategy,
     /// Compression applied to chunks before upload.
     pub compression: Algorithm,
+    /// Fingerprint algorithm deriving chunk ids (default: the paper's
+    /// SHA-1). All devices of a workspace must agree — chunk objects are
+    /// addressed by fingerprint hex.
+    pub fingerprint: Fingerprint,
+    /// Worker threads in the ingest pipeline (default 1: the indexer
+    /// runs inline, matching the paper's single-threaded client).
+    pub ingest_workers: usize,
     /// `@SyncMethod` timeout (paper Fig. 6: 1500 ms).
     pub call_timeout: Duration,
     /// `@SyncMethod` retries (paper Fig. 6: 5).
@@ -90,6 +98,8 @@ impl ClientConfig {
                 size: content::DEFAULT_CHUNK_SIZE,
             },
             compression: Algorithm::Lzss,
+            fingerprint: Fingerprint::Sha1,
+            ingest_workers: 1,
             call_timeout: Duration::from_millis(1500),
             call_retries: 5,
         }
@@ -117,6 +127,20 @@ impl ClientConfig {
     /// Overrides the compression algorithm.
     pub fn with_compression(mut self, algorithm: Algorithm) -> Self {
         self.compression = algorithm;
+        self
+    }
+
+    /// Overrides the fingerprint algorithm (must match across all
+    /// devices of a workspace).
+    pub fn with_fingerprint(mut self, fingerprint: Fingerprint) -> Self {
+        self.fingerprint = fingerprint;
+        self
+    }
+
+    /// Runs the ingest pipeline with `workers` threads (clamped to at
+    /// least 1).
+    pub fn with_ingest_workers(mut self, workers: usize) -> Self {
+        self.ingest_workers = workers.max(1);
         self
     }
 }
@@ -201,6 +225,9 @@ struct ClientShared {
     db: Mutex<LocalDb>,
     stats: ClientStats,
     proxy: Proxy,
+    /// Chunk→hash→compress ingest pipeline (the Indexer of §4.1, staged
+    /// across `ClientConfig::ingest_workers` threads).
+    pipeline: IngestPipeline,
 }
 
 /// A StackSync desktop client bound to one workspace.
@@ -311,6 +338,15 @@ impl DesktopClient {
             store.ensure_container(&token, &container)?;
         }
 
+        let pipeline = IngestPipeline::new(
+            config.chunking.build(),
+            PipelineConfig {
+                workers: config.ingest_workers,
+                fingerprint: config.fingerprint,
+                compression: Some(config.compression),
+            },
+        );
+
         let shared = Arc::new(ClientShared {
             workspace: workspace.clone(),
             store: store.clone(),
@@ -321,6 +357,7 @@ impl DesktopClient {
             db: Mutex::new(LocalDb::new()),
             stats: ClientStats::default(),
             proxy,
+            pipeline,
             config,
         });
 
@@ -380,7 +417,7 @@ impl DesktopClient {
     /// and reported later via notification.
     pub fn write_file(&self, path: &str, contents: Vec<u8>) -> SyncResult<()> {
         self.shared.fs.lock().write(path, contents.clone());
-        index_and_commit(&self.shared, path, &contents)
+        index_and_commit(&self.shared, path, Bytes::from(contents))
     }
 
     /// Deletes a file from the workspace and synchronizes the deletion.
@@ -417,6 +454,14 @@ impl DesktopClient {
                 modified_by: self.shared.config.device.clone(),
             }
         };
+        // Release the item's chunk references: chunks no other file
+        // holds become orphans, reclaimed by the store's next GC sweep.
+        self.shared.store.release_file(
+            &self.shared.token,
+            &self.shared.container_owner,
+            &self.shared.container,
+            &dedup_file_key(&self.shared.workspace, path),
+        )?;
         send_commit(&self.shared, vec![proposal])
     }
 
@@ -511,47 +556,55 @@ fn chunk_hex(id: &ChunkId) -> String {
     id.to_string()
 }
 
-/// Chunks, dedups, uploads and commits one path (the Indexer of §4.1).
-fn index_and_commit(shared: &Arc<ClientShared>, path: &str, contents: &[u8]) -> SyncResult<()> {
-    let chunker = shared.config.chunking.build();
-    let spans = chunker.chunk(contents);
-    let ids: Vec<ChunkId> = spans
-        .iter()
-        .map(|s| ChunkId::of(&contents[s.range()]))
-        .collect();
+/// The refcount key of a path in the chunk store: the item identity (the
+/// same 8-byte digest that names the item in commits), so every device
+/// of a workspace releases/overwrites the same reference.
+fn dedup_file_key(workspace: &WorkspaceId, path: &str) -> String {
+    format!("item-{:016x}", stable_item_id(workspace, path))
+}
 
-    // Upload only unknown chunks (per-user dedup).
-    for (span, id) in spans.iter().zip(&ids) {
-        let already_known = shared.db.lock().chunk_known(id);
-        if already_known {
-            shared
-                .stats
-                .inner
-                .chunks_deduplicated
-                .fetch_add(1, Ordering::Relaxed);
-            continue;
-        }
-        let compressed = shared.config.compression.compress(&contents[span.range()]);
-        let len = compressed.len() as u64;
-        shared.store.put_in(
-            &shared.token,
-            &shared.container_owner,
-            &shared.container,
-            &chunk_hex(id),
-            Bytes::from(compressed),
-        )?;
-        shared.db.lock().mark_chunks_known([*id]);
-        shared
-            .stats
-            .inner
-            .chunks_uploaded
-            .fetch_add(1, Ordering::Relaxed);
-        shared
-            .stats
-            .inner
-            .chunk_bytes_uploaded
-            .fetch_add(len, Ordering::Relaxed);
-    }
+/// Chunks, hashes, compresses, dedups, uploads and commits one path (the
+/// Indexer of §4.1, run through the staged ingest pipeline).
+fn index_and_commit(shared: &Arc<ClientShared>, path: &str, contents: Bytes) -> SyncResult<()> {
+    let size = contents.len() as u64;
+    let report = shared.pipeline.ingest(contents);
+    let ids: Vec<ChunkId> = report.chunks.iter().map(|c| c.id).collect();
+
+    // Ship the chunk list through the refcount store: already-live
+    // chunks are skipped server-side (per-user dedup), and overwriting
+    // this item releases its previous version's references.
+    let chunks: Vec<DedupChunk> = report
+        .chunks
+        .iter()
+        .map(|c| DedupChunk {
+            name: chunk_hex(&c.id),
+            payload: c.payload.clone(),
+            logical_len: c.len as u64,
+        })
+        .collect();
+    let receipt = shared.store.put_chunks(
+        &shared.token,
+        &shared.container_owner,
+        &shared.container,
+        &dedup_file_key(&shared.workspace, path),
+        &chunks,
+    )?;
+    shared.db.lock().mark_chunks_known(ids.iter().copied());
+    shared
+        .stats
+        .inner
+        .chunks_uploaded
+        .fetch_add(receipt.uploaded, Ordering::Relaxed);
+    shared
+        .stats
+        .inner
+        .chunk_bytes_uploaded
+        .fetch_add(receipt.bytes_written, Ordering::Relaxed);
+    shared
+        .stats
+        .inner
+        .chunks_deduplicated
+        .fetch_add(receipt.dedup_hits + receipt.revived, Ordering::Relaxed);
 
     // Build the version proposal and update the local db optimistically so
     // consecutive local edits chain version numbers.
@@ -567,7 +620,7 @@ fn index_and_commit(shared: &Arc<ClientShared>, path: &str, contents: &[u8]) -> 
                 item_id,
                 version,
                 chunks: ids.clone(),
-                size: contents.len() as u64,
+                size,
                 deleted: false,
             },
         );
@@ -577,7 +630,7 @@ fn index_and_commit(shared: &Arc<ClientShared>, path: &str, contents: &[u8]) -> 
             path: path.to_string(),
             version,
             chunks: ids,
-            size: contents.len() as u64,
+            size,
             is_deleted: false,
             modified_by: shared.config.device.clone(),
         }
@@ -615,7 +668,7 @@ fn fetch_item_content(shared: &Arc<ClientShared>, item: &ItemMetadata) -> SyncRe
         )?;
         let plain = Algorithm::decompress(&raw)
             .map_err(|e| SyncError::Corrupt(format!("chunk {id}: {e}")))?;
-        if ChunkId::of(&plain) != *id {
+        if shared.config.fingerprint.of(&plain) != *id {
             return Err(SyncError::Corrupt(format!(
                 "chunk {id} failed fingerprint verification"
             )));
@@ -712,7 +765,7 @@ fn apply_notification(
                 shared.fs.lock().write(&copy_path, bytes.clone());
                 // The conflict copy is a brand-new file that must itself be
                 // synchronized to every device.
-                index_and_commit(shared, &copy_path, &bytes)?;
+                index_and_commit(shared, &copy_path, Bytes::from(bytes))?;
             }
         }
         // Conflicts lost by *other* devices need no local action: the

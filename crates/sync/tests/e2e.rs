@@ -496,3 +496,78 @@ fn rename_costs_metadata_only_and_propagates() {
     // Renaming a missing file errors.
     assert!(a.rename_file("ghost.bin", "x.bin").is_err());
 }
+
+#[test]
+fn fasthash_pipeline_full_sync_roundtrip() {
+    // Two devices running the parallel ingest pipeline with the FastHash
+    // fingerprint and content-defined chunking: content must round-trip
+    // bit-exactly, and chunk verification must pass on download.
+    let s = stack();
+    let ws = provision_user(s.meta.as_ref(), "alice", "Docs").unwrap();
+    let cfg = |device: &str| {
+        ClientConfig::new("alice", device)
+            .with_cdc(1024, 8192, 11, 48)
+            .with_fingerprint(content::Fingerprint::FastHash)
+            .with_ingest_workers(2)
+    };
+    let a = DesktopClient::connect(&s.broker, &s.store, cfg("laptop"), &ws).unwrap();
+    let b = DesktopClient::connect(&s.broker, &s.store, cfg("phone"), &ws).unwrap();
+
+    // Structured + noisy payload spanning many CDC chunks.
+    let mut payload = Vec::with_capacity(60_000);
+    let mut x = 0x1d872b41u32;
+    for i in 0..60_000u32 {
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        payload.push(if i % 3 == 0 { (i % 251) as u8 } else { x as u8 });
+    }
+    a.write_file("mixed.bin", payload.clone()).unwrap();
+    assert!(b.wait_for_content("mixed.bin", &payload, T));
+
+    // An update flows back the other way.
+    let mut v2 = payload.clone();
+    v2.extend_from_slice(b"appended tail");
+    b.write_file("mixed.bin", v2.clone()).unwrap();
+    assert!(a.wait_for_content("mixed.bin", &v2, T));
+    // The unchanged prefix dedups: CDC + refcount store mean the second
+    // version re-uploads only the tail chunk(s).
+    assert!(b.stats().chunks_deduplicated() > 0);
+}
+
+#[test]
+fn delete_releases_chunks_for_gc() {
+    let s = stack();
+    let ws = provision_user(s.meta.as_ref(), "alice", "Docs").unwrap();
+    let a =
+        DesktopClient::connect(&s.broker, &s.store, small_config("alice", "laptop"), &ws).unwrap();
+
+    // "unique" has exclusive chunks; "shared"'s chunk is also held by
+    // "keeper" under a different path.
+    let shared_payload = vec![3u8; 4096];
+    a.write_file("shared.bin", shared_payload.clone()).unwrap();
+    a.write_file("keeper.bin", shared_payload.clone()).unwrap();
+    let mut unique_payload = vec![4u8; 4096];
+    unique_payload.extend_from_slice(&[5u8; 4096]); // two distinct chunks
+    a.write_file("unique.bin", unique_payload).unwrap();
+    let token = s.store.authenticate("alice", "pw-alice").unwrap();
+    let container = "alice-chunks";
+    let live_before = s.store.dedup_stats(&token, "alice", container).unwrap();
+    assert_eq!(live_before.live_chunks, 3); // 1 shared + 2 unique
+    assert_eq!(live_before.orphan_chunks, 0);
+
+    a.delete_file("unique.bin").unwrap();
+    a.delete_file("shared.bin").unwrap();
+    let stats = s.store.dedup_stats(&token, "alice", container).unwrap();
+    // unique.bin's two chunks orphaned; the shared chunk survives via
+    // keeper.bin.
+    assert_eq!(stats.orphan_chunks, 2);
+    assert_eq!(stats.live_chunks, 1);
+
+    let gc = s.store.gc_chunks(&token, "alice", container).unwrap();
+    assert_eq!(gc.collected, 2);
+    // keeper.bin still materializes for a fresh device after the sweep.
+    let late =
+        DesktopClient::connect(&s.broker, &s.store, small_config("alice", "tablet"), &ws).unwrap();
+    assert_eq!(late.read_file("keeper.bin").unwrap(), shared_payload);
+}

@@ -25,6 +25,7 @@
 
 pub mod changes;
 pub mod content_gen;
+pub mod dedup;
 pub mod generator;
 pub mod markov;
 pub mod sizes;
@@ -32,6 +33,7 @@ pub mod trace_io;
 pub mod ub1;
 
 pub use changes::ChangePattern;
+pub use dedup::{DedupReport, ReplayConfig};
 pub use generator::{GeneratorConfig, Trace, TraceOp, TraceStats};
 pub use markov::{FileState, MarkovModel};
 pub use sizes::FileSizeDist;

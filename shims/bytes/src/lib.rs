@@ -8,50 +8,67 @@ use std::hash::{Hash, Hasher};
 use std::ops::Deref;
 use std::sync::Arc;
 
-/// An immutable, reference-counted byte buffer. Cloning is O(1).
+/// An immutable, reference-counted byte buffer. Cloning is O(1), and
+/// [`Bytes::slice`] is zero-copy: the sub-buffer shares the parent's
+/// allocation and only narrows the visible window.
 #[derive(Clone)]
 pub struct Bytes {
     inner: Arc<[u8]>,
+    start: usize,
+    end: usize,
 }
 
 impl Bytes {
+    fn from_arc(inner: Arc<[u8]>) -> Self {
+        let end = inner.len();
+        Bytes {
+            inner,
+            start: 0,
+            end,
+        }
+    }
+
     /// Creates an empty buffer.
     pub fn new() -> Self {
-        Bytes {
-            inner: Arc::from(&[][..]),
-        }
+        Bytes::from_arc(Arc::from(&[][..]))
     }
 
     /// Wraps a static byte slice (copied into shared storage).
     pub fn from_static(bytes: &'static [u8]) -> Self {
-        Bytes {
-            inner: Arc::from(bytes),
-        }
+        Bytes::from_arc(Arc::from(bytes))
     }
 
     /// Copies a slice into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes {
-            inner: Arc::from(data),
-        }
+        Bytes::from_arc(Arc::from(data))
     }
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.inner.len()
+        self.end - self.start
     }
 
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.inner.is_empty()
+        self.start == self.end
     }
 
     /// Copies the contents into a fresh `Vec<u8>`.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.inner.to_vec()
+        self.as_slice().to_vec()
     }
 
-    /// Returns a new `Bytes` holding the given subrange.
+    fn as_slice(&self) -> &[u8] {
+        &self.inner[self.start..self.end]
+    }
+
+    /// Returns a new `Bytes` holding the given subrange without copying:
+    /// the result shares this buffer's allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or inverted, matching slice
+    /// indexing semantics.
     pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Self {
         use std::ops::Bound;
         let start = match range.start_bound() {
@@ -64,8 +81,15 @@ impl Bytes {
             Bound::Excluded(&n) => n,
             Bound::Unbounded => self.len(),
         };
+        assert!(
+            start <= end && end <= self.len(),
+            "range {start}..{end} out of bounds for Bytes of length {}",
+            self.len()
+        );
         Bytes {
-            inner: Arc::from(&self.inner[start..end]),
+            inner: Arc::clone(&self.inner),
+            start: self.start + start,
+            end: self.start + end,
         }
     }
 }
@@ -79,26 +103,26 @@ impl Default for Bytes {
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.inner
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.inner
+        self.as_slice()
     }
 }
 
 impl Borrow<[u8]> for Bytes {
     fn borrow(&self) -> &[u8] {
-        &self.inner
+        self.as_slice()
     }
 }
 
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "b\"")?;
-        for &b in self.inner.iter().take(32) {
+        for &b in self.as_slice().iter().take(32) {
             for c in std::ascii::escape_default(b) {
                 write!(f, "{}", c as char)?;
             }
@@ -112,7 +136,7 @@ impl fmt::Debug for Bytes {
 
 impl PartialEq for Bytes {
     fn eq(&self, other: &Self) -> bool {
-        self.inner[..] == other.inner[..]
+        self.as_slice() == other.as_slice()
     }
 }
 
@@ -126,59 +150,55 @@ impl PartialOrd for Bytes {
 
 impl Ord for Bytes {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.inner[..].cmp(&other.inner[..])
+        self.as_slice().cmp(other.as_slice())
     }
 }
 
 impl Hash for Bytes {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        self.inner[..].hash(state);
+        self.as_slice().hash(state);
     }
 }
 
 impl PartialEq<[u8]> for Bytes {
     fn eq(&self, other: &[u8]) -> bool {
-        self.inner[..] == *other
+        self.as_slice() == other
     }
 }
 
 impl PartialEq<&[u8]> for Bytes {
     fn eq(&self, other: &&[u8]) -> bool {
-        self.inner[..] == **other
+        self.as_slice() == *other
     }
 }
 
 impl PartialEq<Vec<u8>> for Bytes {
     fn eq(&self, other: &Vec<u8>) -> bool {
-        self.inner[..] == other[..]
+        self.as_slice() == other.as_slice()
     }
 }
 
 impl<const N: usize> PartialEq<[u8; N]> for Bytes {
     fn eq(&self, other: &[u8; N]) -> bool {
-        self.inner[..] == other[..]
+        self.as_slice() == other.as_slice()
     }
 }
 
 impl<const N: usize> PartialEq<&[u8; N]> for Bytes {
     fn eq(&self, other: &&[u8; N]) -> bool {
-        self.inner[..] == other[..]
+        self.as_slice() == other.as_slice()
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes {
-            inner: Arc::from(v.into_boxed_slice()),
-        }
+        Bytes::from_arc(Arc::from(v.into_boxed_slice()))
     }
 }
 
 impl From<Box<[u8]>> for Bytes {
     fn from(v: Box<[u8]>) -> Self {
-        Bytes {
-            inner: Arc::from(v),
-        }
+        Bytes::from_arc(Arc::from(v))
     }
 }
 
@@ -216,7 +236,7 @@ impl<'a> IntoIterator for &'a Bytes {
     type Item = &'a u8;
     type IntoIter = std::slice::Iter<'a, u8>;
     fn into_iter(self) -> Self::IntoIter {
-        self.inner.iter()
+        self.as_slice().iter()
     }
 }
 
@@ -246,6 +266,23 @@ mod tests {
         let b = Bytes::from_static(b"hello world");
         assert_eq!(b.slice(0..5), *b"hello");
         assert_eq!(b.slice(6..), *b"world");
+    }
+
+    #[test]
+    fn slice_is_zero_copy_and_nests() {
+        let b = Bytes::from(vec![7u8; 4096]);
+        let s = b.slice(1024..3072);
+        assert!(Arc::ptr_eq(&b.inner, &s.inner), "slice must share the Arc");
+        assert_eq!(s.len(), 2048);
+        let t = s.slice(512..1024);
+        assert!(Arc::ptr_eq(&b.inner, &t.inner));
+        assert_eq!(t, b.slice(1536..2048));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        Bytes::from(vec![0u8; 8]).slice(4..16);
     }
 
     #[test]
