@@ -55,6 +55,45 @@ fn main() {
     println!("broker server on {}", server.local_addr());
     println!("ADMIN http://{}", admin.local_addr());
 
+    // A miniature live UB1 replay (own broker + TCP fleet + autoscaled
+    // pool) runs alongside so the `elastic.live.*` metric family is
+    // populated while the scraper probes /metrics.
+    let live = std::thread::spawn(|| {
+        let config = elastic::LiveConfig {
+            clients: 16,
+            probe_clients: 2,
+            probe_interval: Duration::from_millis(20),
+            ub1: workload::Ub1Config {
+                peak_per_min: 8.0,
+                ..workload::Ub1Config::default()
+            },
+            // One late-morning hour compressed into 15 wall seconds.
+            start_minute: 11 * 60,
+            duration_minutes: 60,
+            compression: 240.0,
+            service_delay: Duration::from_millis(5),
+            model: objectmq::provision::GgOneModel {
+                target_response: 0.100,
+                mean_service: 0.005,
+                var_interarrival: 0.01,
+                var_service: 0.0001,
+            },
+            drivers: 2,
+            drain_timeout: Duration::from_secs(20),
+            ..elastic::LiveConfig::default()
+        };
+        match elastic::run_live(&config) {
+            Ok(report) => println!(
+                "live replay: {} commits, pool {}..{}, {} violations",
+                report.offered,
+                report.trough_live,
+                report.peak_live,
+                report.history_violations.len()
+            ),
+            Err(e) => eprintln!("live replay skipped: {e}"),
+        }
+    });
+
     let store = SwiftStore::new(LatencyModel::instant());
     let client = DesktopClient::connect(
         &broker,
@@ -91,6 +130,7 @@ fn main() {
         std::thread::sleep(Duration::from_millis(100));
     }
     println!("adminhost done: {i} commits served for {duration}s");
+    let _ = live.join();
     server.shutdown();
     drop(client);
     drop(service);

@@ -1,0 +1,286 @@
+//! Fig. 8, live (BENCH_8): replays day 8 of the Ubuntu One trace against
+//! real `SyncService` instances over TCP — thousands of `NetBroker`
+//! clients multiplexed on the poll reactor, paced by the compressed
+//! [`workload::ArrivalSchedule`], with the predictive+reactive
+//! `AutoScaler` resizing the pool through the real Supervisor. A second
+//! panel reruns the peak hours under a crash loop (the live Fig. 8(f)).
+//!
+//! Flags: `--smoke` shrinks the fleet/day for CI; `--gate` fails the run
+//! when the pool does not follow the load or tail latency is unbounded;
+//! `--clients N` overrides the fleet size; `--out` overrides the output
+//! path (default `BENCH_8.json`); `--obs-dump <path>` dumps metrics.
+
+use bench::{arg_value, bar, has_flag, header};
+use elastic::live::{run_live, LiveConfig, LiveReport};
+use std::fmt::Write as _;
+use std::time::Duration;
+use workload::Ub1Config;
+
+fn day_config(smoke: bool, clients: usize) -> LiveConfig {
+    if smoke {
+        LiveConfig {
+            clients,
+            ub1: Ub1Config {
+                peak_per_min: 5.0,
+                ..Ub1Config::default()
+            },
+            // A full day in 30 wall seconds: wall peak ≈ 240 req/s.
+            compression: 2880.0,
+            drivers: 8,
+            seed: 0xF18,
+            ..LiveConfig::default()
+        }
+    } else {
+        LiveConfig {
+            clients,
+            probe_clients: 8,
+            ub1: Ub1Config {
+                peak_per_min: 25.0,
+                ..Ub1Config::default()
+            },
+            // A full day in 60 wall seconds: wall peak ≈ 600 req/s.
+            compression: 1440.0,
+            drivers: 8,
+            seed: 0xF18,
+            drain_timeout: Duration::from_secs(120),
+            ..LiveConfig::default()
+        }
+    }
+}
+
+fn crash_config(smoke: bool) -> LiveConfig {
+    let base = day_config(smoke, if smoke { 96 } else { 400 });
+    LiveConfig {
+        // Peak hours only (10:00–16:00), slowed to give the crash loop
+        // time to bite: one instance killed every 3 s of wall time.
+        start_minute: 10 * 60,
+        duration_minutes: 6 * 60,
+        compression: if smoke { 1440.0 } else { 720.0 },
+        crash_period: Some(Duration::from_secs(3)),
+        probe_clients: if smoke { 4 } else { 8 },
+        ..base
+    }
+}
+
+fn print_report(report: &LiveReport) {
+    println!(
+        "\n{} clients | offered {} | accepted {} | processed {} | wall {:.1}s",
+        report.clients, report.offered, report.accepted, report.committed, report.wall_secs
+    );
+    println!(
+        "pool: trough {} .. peak {} over {} slots | {} scaling decisions | drained: {}",
+        report.trough_live,
+        report.peak_live,
+        report.slots.len(),
+        report.decisions,
+        report.drained
+    );
+    println!("\n slot  t(min)  offered  target  live  pool               p50ms   p99ms");
+    for s in &report.slots {
+        println!(
+            "{:5} {:7} {:8} {:7} {:5}  {:<18} {:7.1} {:7.1}",
+            s.slot,
+            s.trace_minute,
+            s.offered,
+            s.target,
+            s.live,
+            bar(s.live as f64, report.peak_live.max(1) as f64, 18),
+            s.p50_ms,
+            s.p99_ms
+        );
+    }
+    if !report.history_violations.is_empty() {
+        println!(
+            "\nHISTORY VIOLATIONS ({}):",
+            report.history_violations.len()
+        );
+        for v in report.history_violations.iter().take(10) {
+            println!("  {v}");
+        }
+    }
+}
+
+fn slots_json(report: &LiveReport) -> String {
+    let mut out = String::from("[\n");
+    for (i, s) in report.slots.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{ \"slot\": {}, \"trace_minute\": {}, \"offered\": {}, \"committed\": {}, \
+             \"target\": {}, \"live\": {}, \"probes\": {}, \"p50_ms\": {:.2}, \"p99_ms\": {:.2} }}{}",
+            s.slot,
+            s.trace_minute,
+            s.offered,
+            s.committed,
+            s.target,
+            s.live,
+            s.probes,
+            s.p50_ms,
+            s.p99_ms,
+            if i + 1 < report.slots.len() { ",\n" } else { "\n" }
+        );
+    }
+    out.push_str("  ]");
+    out
+}
+
+fn panel_json(report: &LiveReport) -> String {
+    format!(
+        "{{ \"clients\": {}, \"offered\": {}, \"accepted\": {}, \"committed\": {}, \
+         \"crashes\": {}, \"peak_live\": {}, \"trough_live\": {}, \"decisions\": {}, \
+         \"drained\": {}, \"history_events\": {}, \"history_violations\": {}, \
+         \"median_p50_ms\": {:.2}, \"max_p99_ms\": {:.2}, \"wall_secs\": {:.2} }}",
+        report.clients,
+        report.offered,
+        report.accepted,
+        report.committed,
+        report.crashes,
+        report.peak_live,
+        report.trough_live,
+        report.decisions,
+        report.drained,
+        report.history_events,
+        report.history_violations.len(),
+        report.median_p50_ms(),
+        report.max_p99_ms(),
+        report.wall_secs
+    )
+}
+
+/// Relative latency gate: the worst slot p99 must stay within a multiple
+/// of the run's median p50, with an absolute floor so sub-millisecond
+/// medians on fast machines cannot flake it.
+fn p99_bounded(report: &LiveReport) -> bool {
+    let ceiling = (10.0 * report.median_p50_ms()).max(250.0);
+    report.max_p99_ms() <= ceiling
+}
+
+fn gate(day: &LiveReport, crashy: &LiveReport) -> Vec<String> {
+    let mut failures = Vec::new();
+    if day.peak_live <= day.trough_live {
+        failures.push(format!(
+            "pool did not follow the diurnal load (peak {} <= trough {})",
+            day.peak_live, day.trough_live
+        ));
+    }
+    if !p99_bounded(day) {
+        failures.push(format!(
+            "slot p99 unbounded: max {:.1} ms vs median p50 {:.1} ms",
+            day.max_p99_ms(),
+            day.median_p50_ms()
+        ));
+    }
+    for (label, report) in [("day", day), ("crash", crashy)] {
+        if !report.drained {
+            failures.push(format!("{label}: queue failed to drain"));
+        }
+        if !report.history_violations.is_empty() {
+            failures.push(format!(
+                "{label}: {} history violations, e.g. {}",
+                report.history_violations.len(),
+                report.history_violations[0]
+            ));
+        }
+        if report.decisions == 0 {
+            failures.push(format!("{label}: controller never made a decision"));
+        }
+    }
+    if crashy.crashes == 0 {
+        failures.push("crash panel injected no crashes".to_string());
+    }
+    failures
+}
+
+fn main() {
+    let smoke = has_flag("--smoke");
+    let gated = has_flag("--gate");
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_8.json".to_string());
+    let clients = arg_value("--clients")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 320 } else { 2400 });
+
+    header("Fig 8 live: UB1 day-8 replay over TCP with autoscaling");
+    let config = day_config(smoke, clients);
+    println!(
+        "{} clients over {} driver threads | day compressed {:.0}x ({:.0}s) | peak ≈ {:.0} req/s wall",
+        config.clients,
+        config.drivers,
+        config.compression,
+        config.duration_minutes as f64 * 60.0 / config.compression,
+        config.ub1.peak_per_min * config.compression / 60.0
+    );
+    let day = match run_live(&config) {
+        Ok(report) => report,
+        Err(e) if e.contains("fd limit") => {
+            println!("SKIPPED: {e}");
+            bench::obs_dump();
+            return;
+        }
+        Err(e) => {
+            eprintln!("fig8live failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    print_report(&day);
+
+    header("Fig 8(f) live: peak hours under a 3-second crash loop");
+    let crashy = match run_live(&crash_config(smoke)) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("crash panel failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "{} crashes | offered {} | processed {} | p50 {:.1} ms, worst p99 {:.1} ms | violations {}",
+        crashy.crashes,
+        crashy.offered,
+        crashy.committed,
+        crashy.median_p50_ms(),
+        crashy.max_p99_ms(),
+        crashy.history_violations.len()
+    );
+
+    let json = format!(
+        "{{\n  \"suite\": \"fig8live\",\n  \"smoke\": {},\n  \"clients\": {},\n  \
+         \"compression\": {:.1},\n  \"wall_secs\": {:.2},\n  \"offered\": {},\n  \
+         \"accepted\": {},\n  \"committed\": {},\n  \"decisions\": {},\n  \
+         \"peak_live\": {},\n  \"trough_live\": {},\n  \"drained\": {},\n  \
+         \"history_events\": {},\n  \"history_violations\": {},\n  \
+         \"median_p50_ms\": {:.2},\n  \"max_p99_ms\": {:.2},\n  \"slots\": {},\n  \
+         \"crash_panel\": {}\n}}\n",
+        smoke,
+        day.clients,
+        config.compression,
+        day.wall_secs,
+        day.offered,
+        day.accepted,
+        day.committed,
+        day.decisions,
+        day.peak_live,
+        day.trough_live,
+        day.drained,
+        day.history_events,
+        day.history_violations.len(),
+        day.median_p50_ms(),
+        day.max_p99_ms(),
+        slots_json(&day),
+        panel_json(&crashy)
+    );
+    match std::fs::write(&out_path, json) {
+        Ok(()) => println!("\nresults written to {out_path}"),
+        Err(e) => eprintln!("failed to write {out_path}: {e}"),
+    }
+
+    if gated {
+        let failures = gate(&day, &crashy);
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("GATE FAILED: {f}");
+            }
+            bench::obs_dump();
+            std::process::exit(1);
+        }
+        println!("gates passed: pool follows load, p99 bounded, histories clean");
+    }
+    bench::obs_dump();
+}

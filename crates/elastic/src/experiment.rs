@@ -3,7 +3,7 @@
 use crate::sim::{poisson_arrivals, Completion, PoolSim, PoolSimConfig, ServiceTimeDist};
 use crate::stats::BoxplotStats;
 use objectmq::provision::{
-    AutoScaler, GgOneModel, PredictiveProvisioner, ReactiveProvisioner, ScalingPolicy,
+    AutoScaler, GgOneModel, PredictiveProvisioner, Provisioner, ReactiveProvisioner, ScalingPolicy,
 };
 use std::time::Duration;
 use workload::{Ub1Config, Ub1Trace};
@@ -135,7 +135,16 @@ pub fn run_day8(config: &Day8Config) -> SimSummary {
         PredictiveProvisioner::new(model.clone(), config.predictive_period, config.percentile);
     predictive.observe_series(&trace.slot_rates(0..7, slot_minutes));
     let reactive = ReactiveProvisioner::paper_defaults(model.clone());
-    let mut scaler = AutoScaler::new(predictive, reactive, config.policy);
+
+    // The slot mapping positions the run within the trace day (and, for
+    // Fig. 8(c)–(e), shifts the predictor onto the wrong slot); the cadence
+    // periods live inside the scaler so the control loop below is just
+    // "hand over an observation".
+    let shift_secs = config.mispredict_shift_hours.unwrap_or(0.0) * 3600.0;
+    let wall_offset = config.start_minute as f64 * 60.0;
+    let mut scaler = AutoScaler::new(predictive, reactive, config.policy)
+        .with_periods(config.predictive_period, config.reactive_period)
+        .with_slot_mapping(1.0, wall_offset + shift_secs);
 
     // Day-8 arrival process over the experiment window.
     let day8 = trace.day(7);
@@ -150,11 +159,8 @@ pub fn run_day8(config: &Day8Config) -> SimSummary {
 
     // Initial pool: what the predictor wants for the starting slot (with
     // the misprediction shift applied, the wrong slot).
-    let shift_secs = config.mispredict_shift_hours.unwrap_or(0.0) * 3600.0;
-    let wall_offset = config.start_minute as f64 * 60.0;
-    let slot_time = |now: f64| Duration::from_secs_f64((now + wall_offset + shift_secs).max(0.0));
     let initial = scaler
-        .predictive_tick(slot_time(0.0))
+        .predictive_tick(Duration::ZERO)
         .unwrap_or(scaler.target());
 
     // Per-minute aggregation.
@@ -178,51 +184,37 @@ pub fn run_day8(config: &Day8Config) -> SimSummary {
         seed: config.seed ^ 0xA5A5,
     });
 
-    let reactive_every = config.reactive_period.as_secs_f64();
-    let predictive_every = config.predictive_period.as_secs_f64();
-    let mut last_arrivals_total = 0u64;
-    let mut last_reactive = 0.0f64;
-    let mut last_predictive = 0.0f64;
+    let mut last_predicted = scaler.predictive().last_prediction().unwrap_or(0.0);
     let mut completions: Vec<Completion> = Vec::with_capacity(arrivals.len());
 
+    // The whole dual-timescale wiring — σ²_a refresh with η² scaling,
+    // predictive slot provisioning, reactive correction — now lives behind
+    // `Provisioner::propose`; this loop only ferries observations in and
+    // decisions out, exactly like the live `ElasticController`.
+    let provisioner: &mut dyn Provisioner = &mut scaler;
     sim.run(
         &arrivals,
         end_time,
         initial,
         60.0, // bookkeeping tick every simulated minute
         |ctx| {
-            let now = ctx.now();
-            // Predictive re-provisioning every 15 minutes, preceded by
-            // the paper's online σ²_a refresh from queue observations.
-            if now - last_predictive >= predictive_every - 1e-6 {
-                last_predictive = now;
-                if let Some(var) = ctx.interarrival_variance() {
-                    // The queue-side measurement sees the *aggregate*
-                    // stream; eq. (1) wants the per-server interarrival
-                    // variance. Splitting a renewal stream over eta servers
-                    // scales gaps by eta and variance by eta^2.
-                    let eta = ctx.live().max(1) as f64;
-                    scaler.observe_interarrival_variance(var * eta * eta);
+            let observation = ctx.observation();
+            if let Some(decision) = provisioner.propose(&observation) {
+                if decision.reset_variance_window {
                     ctx.reset_interarrival_stats();
                 }
-                if let Some(n) = scaler.predictive_tick(slot_time(now)) {
-                    ctx.set_target(n);
+                if decision.changed {
+                    ctx.set_target(decision.target);
                 }
-            }
-            // Reactive correction every 5 minutes.
-            if now - last_reactive >= reactive_every - 1e-6 {
-                let observed =
-                    (ctx.total_arrivals() - last_arrivals_total) as f64 / (now - last_reactive);
-                last_reactive = now;
-                last_arrivals_total = ctx.total_arrivals();
-                if let Some(n) = scaler.reactive_tick(observed) {
-                    ctx.set_target(n);
+                if let Some(rate) = decision.predicted_rate {
+                    last_predicted = rate;
                 }
             }
             // Record the pool size and live prediction for this minute.
+            let now = ctx.now();
             let minute = ((now / 60.0) as usize).saturating_sub(1).min(minutes - 1);
             aggs[minute].instances = ctx.live().max(ctx.target());
-            aggs[minute].predicted = scaler.predictive().last_prediction().unwrap_or(0.0) * 60.0;
+            aggs[minute].predicted = last_predicted * 60.0;
         },
         &[],
         |c| completions.push(c),
@@ -502,6 +494,120 @@ mod tests {
             "without the reactive corrector things must stay bad: {:.4} vs {:.4}",
             fooled_pred_only.sla_violation_fraction,
             fooled_both.sla_violation_fraction
+        );
+    }
+
+    /// The API-redesign invariant: driving the pool through
+    /// `Provisioner::propose` must make byte-identical decisions to the
+    /// pre-redesign hand-wired loop (manual cadence bookkeeping, manual
+    /// σ²_a η²-scaling, manual `predictive_tick`/`reactive_tick` calls,
+    /// per-sub-decision `set_target`). Zero per-slot divergence allowed.
+    #[test]
+    fn trait_path_decisions_identical_to_legacy_wiring() {
+        let config = Day8Config {
+            ub1: Ub1Config {
+                peak_per_min: 3000.0,
+                ..Ub1Config::default()
+            },
+            start_minute: 6 * 60,
+            duration_minutes: 6 * 60,
+            ..Day8Config::default()
+        };
+        let new = run_day8(&config);
+
+        // ---- Legacy wiring, reproduced verbatim from the old run_day8 ----
+        let trace = Ub1Trace::synthesize(&config.ub1, 8);
+        let slot_minutes = (config.predictive_period.as_secs() / 60) as usize;
+        let model = GgOneModel {
+            target_response: config.sla,
+            mean_service: ServiceTimeDist::paper().mean,
+            var_interarrival: ServiceTimeDist::paper().variance(),
+            var_service: ServiceTimeDist::paper().variance(),
+        };
+        let mut predictive =
+            PredictiveProvisioner::new(model.clone(), config.predictive_period, config.percentile);
+        predictive.observe_series(&trace.slot_rates(0..7, slot_minutes));
+        let reactive = ReactiveProvisioner::paper_defaults(model);
+        let mut scaler = AutoScaler::new(predictive, reactive, config.policy);
+
+        let window: Vec<f64> = trace
+            .day(7)
+            .iter()
+            .skip(config.start_minute)
+            .take(config.duration_minutes)
+            .cloned()
+            .collect();
+        let arrivals = poisson_arrivals(&window, config.seed);
+        let end_time = window.len() as f64 * 60.0;
+        let wall_offset = config.start_minute as f64 * 60.0;
+        let slot_time = |now: f64| Duration::from_secs_f64((now + wall_offset).max(0.0));
+        let initial = scaler
+            .predictive_tick(slot_time(0.0))
+            .unwrap_or(scaler.target());
+        let minutes = window.len();
+        let mut instances = vec![initial; minutes];
+        let mut predicted =
+            vec![scaler.predictive().last_prediction().unwrap_or(0.0) * 60.0; minutes];
+
+        let mut sim = PoolSim::new(PoolSimConfig {
+            service: ServiceTimeDist::paper(),
+            spawn_delay: 1.0,
+            seed: config.seed ^ 0xA5A5,
+        });
+        let reactive_every = config.reactive_period.as_secs_f64();
+        let predictive_every = config.predictive_period.as_secs_f64();
+        let mut last_arrivals_total = 0u64;
+        let mut last_reactive = 0.0f64;
+        let mut last_predictive = 0.0f64;
+        sim.run(
+            &arrivals,
+            end_time,
+            initial,
+            60.0,
+            |ctx| {
+                let now = ctx.now();
+                if now - last_predictive >= predictive_every - 1e-6 {
+                    last_predictive = now;
+                    if let Some(var) = ctx.interarrival_variance() {
+                        let eta = ctx.live().max(1) as f64;
+                        scaler.observe_interarrival_variance(var * eta * eta);
+                        ctx.reset_interarrival_stats();
+                    }
+                    if let Some(n) = scaler.predictive_tick(slot_time(now)) {
+                        ctx.set_target(n);
+                    }
+                }
+                if now - last_reactive >= reactive_every - 1e-6 {
+                    let observed =
+                        (ctx.total_arrivals() - last_arrivals_total) as f64 / (now - last_reactive);
+                    last_reactive = now;
+                    last_arrivals_total = ctx.total_arrivals();
+                    if let Some(n) = scaler.reactive_tick(observed) {
+                        ctx.set_target(n);
+                    }
+                }
+                let minute = ((now / 60.0) as usize).saturating_sub(1).min(minutes - 1);
+                instances[minute] = ctx.live().max(ctx.target());
+                predicted[minute] = scaler.predictive().last_prediction().unwrap_or(0.0) * 60.0;
+            },
+            &[],
+            |_| {},
+        );
+
+        let new_instances: Vec<usize> = new.points.iter().map(|p| p.instances).collect();
+        assert_eq!(
+            new_instances, instances,
+            "per-minute pool sizes must not diverge between the legacy \
+             wiring and the Provisioner trait path"
+        );
+        let new_predicted: Vec<f64> = new.points.iter().map(|p| p.predicted).collect();
+        assert_eq!(
+            new_predicted, predicted,
+            "per-minute λ_pred must not diverge either"
+        );
+        assert!(
+            *new_instances.iter().max().unwrap() > *new_instances.iter().min().unwrap(),
+            "the run must actually scale, or the identity check is vacuous"
         );
     }
 

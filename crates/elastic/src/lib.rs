@@ -15,6 +15,9 @@
 //!   (8f).
 //! * [`stats`] — percentile and boxplot summaries used by the bench
 //!   binaries.
+//! * [`live`] — the *real-time* counterpart: the same UB1 schedule and the
+//!   same provisioning policies replayed over TCP against live
+//!   `SyncService` instances (see [`live::run_live`]).
 //!
 //! The provisioning policies themselves live in `objectmq::provision` and
 //! are *shared* with the live middleware — the simulator exercises the
@@ -24,11 +27,13 @@
 #![warn(missing_docs)]
 
 pub mod experiment;
+pub mod live;
 pub mod sim;
 pub mod stats;
 
 pub use experiment::{
     run_day8, run_fault_tolerance, Day8Config, FaultConfig, MinutePoint, SimSummary,
 };
+pub use live::{run_live, LiveConfig, LiveReport, SlotReport};
 pub use sim::{PoolSim, PoolSimConfig, ServiceTimeDist};
 pub use stats::{percentile, BoxplotStats};

@@ -187,6 +187,21 @@ impl ControlCtx<'_> {
         self.interarrival.variance()
     }
 
+    /// This tick's state as a policy [`Observation`] — the simulator-side
+    /// counterpart of the live controller's queue statistics, so the same
+    /// `Provisioner` trait objects drive both pools.
+    pub fn observation(&self) -> objectmq::provision::Observation {
+        objectmq::provision::Observation {
+            now: std::time::Duration::from_secs_f64(self.now()),
+            total_arrivals: self.total_arrivals(),
+            arrival_rate: None,
+            queue_depth: self.queue_len(),
+            live: self.live(),
+            target: self.target(),
+            interarrival_variance: self.interarrival_variance(),
+        }
+    }
+
     /// Starts a fresh σ²_a measurement window.
     pub fn reset_interarrival_stats(&mut self) {
         self.interarrival.reset();

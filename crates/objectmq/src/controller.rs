@@ -12,7 +12,7 @@
 use crate::broker::Broker;
 use crate::error::{OmqError, OmqResult};
 use crate::oid::Oid;
-use crate::provision::AutoScaler;
+use crate::provision::{Observation, Provisioner};
 use crate::supervisor::Supervisor;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -25,26 +25,28 @@ use std::time::{Duration, Instant};
 pub struct ControllerConfig {
     /// The service oid whose global request queue is observed.
     pub oid: Oid,
-    /// Reactive period (paper: 5 minutes; tests compress it).
-    pub reactive_period: Duration,
-    /// Predictive period (paper: 15 minutes). The slot clock starts when
-    /// the controller starts.
-    pub predictive_period: Duration,
+    /// How often the provisioner is offered a fresh [`Observation`].
+    /// Policies run their own cadence off the observation clock (the
+    /// [`crate::provision::AutoScaler`] fires its predictive/reactive
+    /// periods internally), so the tick just bounds decision latency.
+    pub tick: Duration,
 }
 
 impl ControllerConfig {
-    /// Paper cadence for a service oid.
+    /// Default 50 ms observation tick for a service oid. The paper's
+    /// 15-minute/5-minute cadence lives in the policy
+    /// ([`crate::provision::AutoScaler::with_periods`]), not here.
     pub fn paper(oid: impl Into<Oid>) -> Self {
         ControllerConfig {
             oid: oid.into(),
-            reactive_period: Duration::from_secs(300),
-            predictive_period: Duration::from_secs(900),
+            tick: Duration::from_millis(50),
         }
     }
 }
 
-/// Drives an [`AutoScaler`] from live queue observations and enforces its
-/// targets through a [`Supervisor`].
+/// Drives any [`Provisioner`] from live queue observations and enforces its
+/// decisions through a [`Supervisor`] — the same policy objects the
+/// `elastic` crate runs against its simulated pool.
 pub struct ElasticController {
     stop: Arc<AtomicBool>,
     thread: Option<JoinHandle<()>>,
@@ -70,7 +72,7 @@ impl ElasticController {
     pub fn start(
         broker: Broker,
         supervisor: Supervisor,
-        mut scaler: AutoScaler,
+        mut provisioner: impl Provisioner + 'static,
         config: ControllerConfig,
     ) -> OmqResult<Self> {
         if !broker.object_exists(&config.oid) {
@@ -85,12 +87,6 @@ impl ElasticController {
         let t_decisions = decisions.clone();
         let thread = std::thread::spawn(move || {
             let started = Instant::now();
-            let mut last_reactive = Instant::now();
-            let mut last_predictive = Instant::now();
-            let tick = config
-                .reactive_period
-                .min(config.predictive_period)
-                .min(Duration::from_millis(50));
             // The gauges the paper's "fine-grained metrics" argument is
             // about: the observed queue arrival rate λ_obs and the pool
             // size the policies currently demand.
@@ -102,35 +98,44 @@ impl ElasticController {
                     supervisor.stop();
                     return;
                 }
-                let mut proposed: Option<usize> = None;
-                if last_predictive.elapsed() >= config.predictive_period {
-                    last_predictive = Instant::now();
-                    if let Some(n) = scaler.predictive_tick(started.elapsed()) {
-                        proposed = Some(n);
+                let stats = broker
+                    .messaging()
+                    .queue_stats(config.oid.as_str())
+                    .unwrap_or_default();
+                let rate = broker
+                    .messaging()
+                    .queue_arrival_rate(config.oid.as_str())
+                    .ok();
+                if let Some(observed) = rate {
+                    lambda_gauge.set(observed);
+                }
+                let observation = Observation {
+                    now: started.elapsed(),
+                    total_arrivals: stats.published,
+                    arrival_rate: rate,
+                    queue_depth: stats.depth,
+                    live: supervisor.observed().live,
+                    target: supervisor.target(),
+                    interarrival_variance: None,
+                };
+                if let Some(decision) = provisioner.propose(&observation) {
+                    if decision.changed {
+                        let n = decision.target;
+                        supervisor.set_target(n);
+                        t_target.store(n, Ordering::Release);
+                        target_gauge.set(n as f64);
+                        obs::log(
+                            obs::Level::Info,
+                            "elastic.controller",
+                            &format!(
+                                "pool target for `{}` set to {n} ({})",
+                                config.oid, decision.policy
+                            ),
+                        );
+                        t_decisions.lock().push((started.elapsed(), n));
                     }
                 }
-                if last_reactive.elapsed() >= config.reactive_period {
-                    last_reactive = Instant::now();
-                    if let Ok(observed) = broker.messaging().queue_arrival_rate(config.oid.as_str())
-                    {
-                        lambda_gauge.set(observed);
-                        if let Some(n) = scaler.reactive_tick(observed) {
-                            proposed = Some(n);
-                        }
-                    }
-                }
-                if let Some(n) = proposed {
-                    supervisor.set_target(n);
-                    t_target.store(n, Ordering::Release);
-                    target_gauge.set(n as f64);
-                    obs::log(
-                        obs::Level::Info,
-                        "elastic.controller",
-                        &format!("pool target for `{}` set to {n}", config.oid),
-                    );
-                    t_decisions.lock().push((started.elapsed(), n));
-                }
-                std::thread::sleep(tick);
+                std::thread::sleep(config.tick);
             }
         });
 
@@ -170,7 +175,9 @@ impl Drop for ElasticController {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::provision::{GgOneModel, PredictiveProvisioner, ReactiveProvisioner, ScalingPolicy};
+    use crate::provision::{
+        AutoScaler, GgOneModel, PredictiveProvisioner, ReactiveProvisioner, ScalingPolicy,
+    };
     use crate::supervisor::{RemoteBroker, SupervisorConfig};
     use crate::RemoteObject;
     use wire::Value;
@@ -236,7 +243,8 @@ mod tests {
         };
         let predictive = PredictiveProvisioner::new(model.clone(), Duration::from_secs(900), 0.95);
         let reactive = ReactiveProvisioner::paper_defaults(model);
-        let scaler = AutoScaler::new(predictive, reactive, ScalingPolicy::Reactive);
+        let scaler = AutoScaler::new(predictive, reactive, ScalingPolicy::Reactive)
+            .with_periods(Duration::from_secs(900), Duration::from_millis(200));
 
         let controller = ElasticController::start(
             broker.clone(),
@@ -244,8 +252,7 @@ mod tests {
             scaler,
             ControllerConfig {
                 oid: "svc".into(),
-                reactive_period: Duration::from_millis(200),
-                predictive_period: Duration::from_secs(900),
+                tick: Duration::from_millis(50),
             },
         )
         .unwrap();

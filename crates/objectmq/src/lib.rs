@@ -82,7 +82,7 @@ pub use oid::Oid;
 pub use proxy::Proxy;
 pub use rpc::{Request, Response};
 pub use server::{RemoteObject, ServerHandle};
-pub use supervisor::{RemoteBroker, Supervisor, SupervisorConfig};
+pub use supervisor::{PoolObservation, RemoteBroker, Supervisor, SupervisorConfig};
 
 // Re-exported for the `remote_interface!` macro expansion.
 pub use wire;

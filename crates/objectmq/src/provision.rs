@@ -11,7 +11,6 @@
 //! [`crate::Supervisor`] and the virtual-time simulator in the `elastic`
 //! crate.
 
-use crate::info::PoolInfo;
 use std::time::Duration;
 
 /// G/G/1 capacity model for one synchronization server (paper eq. 1–2).
@@ -82,13 +81,87 @@ impl GgOneModel {
     }
 }
 
+/// One observation of whatever is driving the pool — the shared input type
+/// of every [`Provisioner`], deliberately source-agnostic so the simulated
+/// `ControlCtx` counters, the live broker queue statistics, and tests all
+/// produce the same shape.
+///
+/// Counters are cumulative; rate-style policies derive windows from deltas
+/// between successive observations (or use `arrival_rate` when the source
+/// already maintains a windowed estimator).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observation {
+    /// Offset from experiment/controller start. For sources replaying a
+    /// trace under time compression this is *wall* time; slot mapping back
+    /// to trace time is the policy's job (see
+    /// [`AutoScaler::with_slot_mapping`]).
+    pub now: Duration,
+    /// Total requests ever observed arriving (monotonic).
+    pub total_arrivals: u64,
+    /// Arrival rate (req/s) from a windowed estimator, when the source has
+    /// one (the live broker does); `None` makes policies derive rates from
+    /// `total_arrivals` deltas (the simulator path).
+    pub arrival_rate: Option<f64>,
+    /// Requests queued and not yet dispatched.
+    pub queue_depth: usize,
+    /// Server instances currently alive.
+    pub live: usize,
+    /// Target pool size currently being enforced.
+    pub target: usize,
+    /// Sample variance of request interarrival times (seconds²) measured on
+    /// the *aggregate* arrival stream since the last window reset, if the
+    /// source measures it and has ≥ 2 samples.
+    pub interarrival_variance: Option<f64>,
+}
+
+impl Observation {
+    /// A zeroed observation at `now` — convenience for tests and for
+    /// sources that only track a subset of the fields.
+    pub fn at(now: Duration) -> Self {
+        Observation {
+            now,
+            total_arrivals: 0,
+            arrival_rate: None,
+            queue_depth: 0,
+            live: 0,
+            target: 0,
+            interarrival_variance: None,
+        }
+    }
+}
+
+/// What a [`Provisioner`] decided on one observation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decision {
+    /// The pool size the policy wants enforced from now on.
+    pub target: usize,
+    /// Whether `target` differs from the observation's current target —
+    /// callers only need to push the decision downstream when this is set.
+    pub changed: bool,
+    /// Which sub-policy produced the decision (for logs/metrics).
+    pub policy: &'static str,
+    /// The predicted arrival rate `λ_pred` (req/s) in effect after this
+    /// decision, if the policy keeps one.
+    pub predicted_rate: Option<f64>,
+    /// Set when the policy consumed the interarrival-variance measurement;
+    /// the observation source should reset its variance window so the next
+    /// measurement covers a fresh interval.
+    pub reset_variance_window: bool,
+}
+
 /// The extensible hook of the provisioning framework (paper Fig. 3): a
 /// policy proposes how many server objects are needed; the Supervisor
 /// enforces the proposal.
+///
+/// This single trait drives every control loop in the tree — the
+/// virtual-time `PoolSim` in `crates/elastic`, `ElasticController` over a
+/// live broker, and the live UB1 replay harness — so policy behaviour is
+/// byte-identical across simulation and production paths.
 pub trait Provisioner: Send {
-    /// Proposes a pool size given the current introspection snapshot, or
-    /// `None` when the policy has no opinion this tick.
-    fn propose(&mut self, info: &PoolInfo) -> Option<usize>;
+    /// Consumes one observation; returns a [`Decision`] when the policy has
+    /// an opinion this tick (the decision may still be `changed: false`),
+    /// or `None` when it has nothing to say (e.g. between cadence periods).
+    fn propose(&mut self, obs: &Observation) -> Option<Decision>;
 
     /// Policy name for logs.
     fn name(&self) -> &'static str {
@@ -212,9 +285,16 @@ impl PredictiveProvisioner {
 }
 
 impl Provisioner for PredictiveProvisioner {
-    fn propose(&mut self, _info: &PoolInfo) -> Option<usize> {
-        let slot = self.last_slot?;
-        self.provision_for_slot(slot)
+    fn propose(&mut self, obs: &Observation) -> Option<Decision> {
+        let slot = self.slot_of(obs.now);
+        let target = self.provision_for_slot(slot)?;
+        Some(Decision {
+            target,
+            changed: target != obs.target,
+            policy: "predictive",
+            predicted_rate: self.last_prediction,
+            reset_variance_window: false,
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -276,9 +356,19 @@ impl ReactiveProvisioner {
 }
 
 impl Provisioner for ReactiveProvisioner {
-    fn propose(&mut self, info: &PoolInfo) -> Option<usize> {
-        // Standalone reactive policy: no prediction to compare against.
-        Some(self.model.required_instances(info.arrival_rate))
+    fn propose(&mut self, obs: &Observation) -> Option<Decision> {
+        // Standalone reactive policy: no prediction to compare against, so
+        // it acts on the observed rate alone (and stays silent when the
+        // source has no windowed estimator).
+        let observed = obs.arrival_rate?;
+        let target = self.model.required_instances(observed);
+        Some(Decision {
+            target,
+            changed: target != obs.target,
+            policy: "reactive",
+            predicted_rate: None,
+            reset_variance_window: false,
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -315,19 +405,43 @@ impl std::str::FromStr for ScalingPolicy {
 
 /// Combines the predictive and reactive policies on their two timescales.
 ///
-/// Call [`AutoScaler::predictive_tick`] every predictive period (paper: 15
-/// minutes) and [`AutoScaler::reactive_tick`] every reactive period (5
-/// minutes); each returns the new target pool size when action is needed.
+/// As a [`Provisioner`], the scaler runs its own dual cadence off the
+/// observation clock: feed it [`Observation`]s as often as you like (the
+/// simulator does so once per simulated minute, the live controller every
+/// few tens of milliseconds) and it fires the predictive step every
+/// `predictive_period` and the reactive step every `reactive_period`
+/// (paper: 15 and 5 minutes), returning a [`Decision`] whenever either
+/// cadence elapsed. The lower-level [`AutoScaler::predictive_tick`] /
+/// [`AutoScaler::reactive_tick`] steps remain public for priming the
+/// initial pool and for tests.
 #[derive(Debug, Clone)]
 pub struct AutoScaler {
     predictive: PredictiveProvisioner,
     reactive: ReactiveProvisioner,
     policy: ScalingPolicy,
     target: usize,
+    /// Predictive cadence, seconds of observation time.
+    predictive_period: f64,
+    /// Reactive cadence, seconds of observation time.
+    reactive_period: f64,
+    /// Observation timestamp of the last predictive firing.
+    last_predictive: f64,
+    /// Observation timestamp of the last reactive firing.
+    last_reactive: f64,
+    /// `total_arrivals` at the last reactive firing.
+    last_arrivals: u64,
+    /// Observation→trace time mapping for slot lookup: trace seconds per
+    /// observation second (compression factor).
+    slot_scale: f64,
+    /// Trace-time offset (seconds) added after scaling — where in the
+    /// trace day the experiment starts.
+    slot_offset: f64,
 }
 
 impl AutoScaler {
-    /// Builds an auto-scaler; `target` starts at 1 instance.
+    /// Builds an auto-scaler; `target` starts at 1 instance, cadence at the
+    /// paper's 15-minute predictive / 5-minute reactive periods, and slot
+    /// mapping at identity.
     pub fn new(
         predictive: PredictiveProvisioner,
         reactive: ReactiveProvisioner,
@@ -338,7 +452,57 @@ impl AutoScaler {
             reactive,
             policy,
             target: 1,
+            predictive_period: 900.0,
+            reactive_period: 300.0,
+            last_predictive: 0.0,
+            last_reactive: 0.0,
+            last_arrivals: 0,
+            slot_scale: 1.0,
+            slot_offset: 0.0,
         }
+    }
+
+    /// Sets the two cadence periods (in observation time). A compressed
+    /// trace replay divides the paper's 900 s / 300 s by its compression
+    /// factor so the policies fire at the same *trace* times as in
+    /// simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either period is zero.
+    pub fn with_periods(mut self, predictive: Duration, reactive: Duration) -> Self {
+        assert!(
+            !predictive.is_zero() && !reactive.is_zero(),
+            "cadence periods must be positive"
+        );
+        self.predictive_period = predictive.as_secs_f64();
+        self.reactive_period = reactive.as_secs_f64();
+        self
+    }
+
+    /// Sets the observation→trace time mapping used for predictive slot
+    /// lookup: `trace_time = now * scale + offset_secs`. `scale` is the
+    /// time-compression factor (trace seconds per observation second,
+    /// 1.0 = real time); `offset_secs` positions the experiment start
+    /// within the trace day (and is also how the misprediction experiment
+    /// shifts the predictor off its slot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not finite and positive.
+    pub fn with_slot_mapping(mut self, scale: f64, offset_secs: f64) -> Self {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "slot scale must be positive"
+        );
+        self.slot_scale = scale;
+        self.slot_offset = offset_secs;
+        self
+    }
+
+    /// Maps an observation timestamp to trace time for slot lookup.
+    fn trace_time(&self, now: Duration) -> Duration {
+        Duration::from_secs_f64((now.as_secs_f64() * self.slot_scale + self.slot_offset).max(0.0))
     }
 
     /// Current target pool size.
@@ -370,12 +534,13 @@ impl AutoScaler {
     }
 
     /// Runs the predictive step for the slot containing `now` (offset from
-    /// experiment start). Returns the new target if it changed.
+    /// experiment start, mapped through the configured slot mapping).
+    /// Returns the new target if it changed.
     pub fn predictive_tick(&mut self, now: Duration) -> Option<usize> {
         if self.policy == ScalingPolicy::Reactive {
             return None;
         }
-        let slot = self.predictive.slot_of(now);
+        let slot = self.predictive.slot_of(self.trace_time(now));
         let proposed = self.predictive.provision_for_slot(slot)?;
         if proposed != self.target {
             self.target = proposed;
@@ -401,6 +566,78 @@ impl AutoScaler {
             Some(proposed)
         } else {
             None
+        }
+    }
+}
+
+impl Provisioner for AutoScaler {
+    /// The dual-timescale control step, shared verbatim by the simulated
+    /// and live pools. Each cadence that elapsed runs its policy step:
+    ///
+    /// * predictive (every `predictive_period`): feeds the measured
+    ///   aggregate interarrival variance into the capacity models — scaled
+    ///   by η² because the queue-side measurement sees the merge of η
+    ///   per-server streams — then provisions for the current trace slot;
+    /// * reactive (every `reactive_period`): compares the arrival rate
+    ///   observed over the elapsed window against λ_pred and corrects.
+    ///
+    /// Returns a [`Decision`] whenever at least one cadence fired (even
+    /// with an unchanged target, so the caller can reset its variance
+    /// window), `None` between firings.
+    fn propose(&mut self, obs: &Observation) -> Option<Decision> {
+        let now = obs.now.as_secs_f64();
+        let entry_target = self.target;
+        let mut fired = false;
+        let mut policy = "hold";
+        let mut reset_variance_window = false;
+
+        if now - self.last_predictive >= self.predictive_period - 1e-6 {
+            self.last_predictive = now;
+            fired = true;
+            if let Some(var) = obs.interarrival_variance {
+                // The queue-side estimator measures the aggregate stream;
+                // splitting arrivals across η servers multiplies the
+                // per-server interarrival variance by η².
+                let eta = obs.live.max(1) as f64;
+                self.observe_interarrival_variance(var * eta * eta);
+                reset_variance_window = true;
+            }
+            if self.predictive_tick(obs.now).is_some() {
+                policy = "predictive";
+            }
+        }
+
+        if now - self.last_reactive >= self.reactive_period - 1e-6 {
+            let elapsed = now - self.last_reactive;
+            let observed = match obs.arrival_rate {
+                Some(rate) => rate,
+                None => obs.total_arrivals.saturating_sub(self.last_arrivals) as f64 / elapsed,
+            };
+            self.last_reactive = now;
+            self.last_arrivals = obs.total_arrivals;
+            fired = true;
+            if self.reactive_tick(observed).is_some() {
+                policy = "reactive";
+            }
+        }
+
+        if !fired {
+            return None;
+        }
+        Some(Decision {
+            target: self.target,
+            changed: self.target != entry_target,
+            policy,
+            predicted_rate: self.predictive.last_prediction(),
+            reset_variance_window,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        match self.policy {
+            ScalingPolicy::Predictive => "predictive",
+            ScalingPolicy::Reactive => "reactive",
+            ScalingPolicy::Both => "predictive+reactive",
         }
     }
 }
@@ -572,23 +809,147 @@ mod tests {
         let mut policies: Vec<Box<dyn Provisioner>> = vec![
             Box::new(ReactiveProvisioner::paper_defaults(model.clone())),
             Box::new(PredictiveProvisioner::new(
-                model,
+                model.clone(),
                 Duration::from_secs(900),
                 0.95,
             )),
         ];
-        let info = PoolInfo {
-            oid: "svc".into(),
-            instances: 1,
-            busy_instances: 0,
+        let obs = Observation {
+            arrival_rate: Some(50.0),
             queue_depth: 10,
-            arrival_rate: 50.0,
-            mean_service_time: Duration::from_millis(50),
-            service_time_variance: 0.04,
+            live: 1,
+            target: 1,
+            ..Observation::at(Duration::ZERO)
         };
         assert_eq!(policies[0].name(), "reactive");
-        assert!(policies[0].propose(&info).is_some());
+        let d = policies[0].propose(&obs).expect("reactive always acts");
+        assert_eq!(d.target, model.required_instances(50.0));
+        assert!(d.changed);
         assert_eq!(policies[1].name(), "predictive");
-        assert_eq!(policies[1].propose(&info), None, "no history, no slot");
+        assert_eq!(policies[1].propose(&obs), None, "no history for the slot");
+    }
+
+    /// The `AutoScaler` as a `Provisioner` must reproduce, decision for
+    /// decision, what hand-calling `predictive_tick`/`reactive_tick` on the
+    /// paper cadence produces.
+    #[test]
+    fn autoscaler_propose_matches_manual_ticks() {
+        let model = GgOneModel::paper_defaults();
+        let build = || {
+            let mut predictive =
+                PredictiveProvisioner::new(model.clone(), Duration::from_secs(900), 0.95);
+            // Quiet first slot, busy second slot.
+            predictive.observe(0, 5.0);
+            predictive.observe(1, 120.0);
+            let reactive = ReactiveProvisioner::paper_defaults(model.clone());
+            AutoScaler::new(predictive, reactive, ScalingPolicy::Both)
+        };
+
+        // Manual wiring: predictive every 900 s, reactive every 300 s,
+        // observed rate fixed at 40 req/s.
+        let mut manual = build();
+        let mut manual_targets = Vec::new();
+        let mut last_pred = 0.0_f64;
+        let mut last_react = 0.0_f64;
+        for step in 1..=30 {
+            let now = step as f64 * 60.0;
+            if now - last_pred >= 900.0 - 1e-6 {
+                last_pred = now;
+                manual.predictive_tick(Duration::from_secs_f64(now));
+            }
+            if now - last_react >= 300.0 - 1e-6 {
+                last_react = now;
+                manual.reactive_tick(40.0);
+            }
+            manual_targets.push(manual.target());
+        }
+
+        // Trait path: one observation per simulated minute; arrivals run at
+        // 40 req/s so the delta-derived rate matches.
+        let mut auto = build();
+        let mut auto_targets = Vec::new();
+        for step in 1..=30 {
+            let now = step as f64 * 60.0;
+            let obs = Observation {
+                total_arrivals: (now * 40.0) as u64,
+                live: auto.target(),
+                target: auto.target(),
+                ..Observation::at(Duration::from_secs_f64(now))
+            };
+            let _ = auto.propose(&obs);
+            auto_targets.push(auto.target());
+        }
+
+        assert_eq!(manual_targets, auto_targets);
+        assert!(
+            auto_targets.last().copied().unwrap() > 1,
+            "40 req/s must provision more than one instance"
+        );
+    }
+
+    #[test]
+    fn autoscaler_propose_is_silent_between_cadences() {
+        let model = GgOneModel::paper_defaults();
+        let predictive = PredictiveProvisioner::new(model.clone(), Duration::from_secs(900), 0.95);
+        let reactive = ReactiveProvisioner::paper_defaults(model);
+        let mut scaler = AutoScaler::new(predictive, reactive, ScalingPolicy::Both)
+            .with_periods(Duration::from_secs(900), Duration::from_secs(300));
+        assert_eq!(
+            scaler.propose(&Observation::at(Duration::from_secs(60))),
+            None,
+            "neither cadence elapsed at t=60"
+        );
+        let d = scaler
+            .propose(&Observation::at(Duration::from_secs(300)))
+            .expect("reactive cadence elapsed");
+        assert!(!d.changed, "zero arrivals keep the pool at 1");
+        assert_eq!(d.target, 1);
+    }
+
+    #[test]
+    fn autoscaler_variance_consumption_requests_window_reset() {
+        let model = GgOneModel::paper_defaults();
+        let mut predictive =
+            PredictiveProvisioner::new(model.clone(), Duration::from_secs(900), 0.95);
+        predictive.observe(1, 10.0);
+        let reactive = ReactiveProvisioner::paper_defaults(model);
+        let mut scaler = AutoScaler::new(predictive, reactive, ScalingPolicy::Both);
+        let obs = Observation {
+            live: 4,
+            target: 1,
+            interarrival_variance: Some(0.01),
+            ..Observation::at(Duration::from_secs(900))
+        };
+        let d = scaler.propose(&obs).expect("predictive cadence elapsed");
+        assert!(
+            d.reset_variance_window,
+            "variance consumed at the 15-min tick"
+        );
+        // η = 4 live servers → the aggregate measurement is scaled by 16.
+        let got = scaler.predictive().model().var_interarrival;
+        assert!(close(got, 0.01 * 16.0), "η² scaling, got {got}");
+    }
+
+    #[test]
+    fn autoscaler_slot_mapping_compresses_time() {
+        let model = GgOneModel::paper_defaults();
+        let mut predictive =
+            PredictiveProvisioner::new(model.clone(), Duration::from_secs(900), 0.95);
+        // Slot 0 quiet, slot 2 (trace seconds 1800..2700) busy.
+        predictive.observe(0, 1.0);
+        predictive.observe(2, 200.0);
+        let reactive = ReactiveProvisioner::paper_defaults(model.clone());
+        // Compression 60: one wall second is a trace minute, and the
+        // predictive cadence compresses with it (900/60 = 15 s wall).
+        let mut scaler = AutoScaler::new(predictive, reactive, ScalingPolicy::Predictive)
+            .with_periods(Duration::from_secs(15), Duration::from_secs(5))
+            .with_slot_mapping(60.0, 0.0);
+        // Wall t=30 s → trace t=1800 s → slot 2.
+        let d = scaler
+            .propose(&Observation::at(Duration::from_secs(30)))
+            .expect("predictive cadence elapsed");
+        assert!(d.changed);
+        assert_eq!(d.target, model.required_instances(200.0));
+        assert_eq!(d.policy, "predictive");
     }
 }

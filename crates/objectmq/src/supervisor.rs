@@ -10,9 +10,9 @@ use crate::error::{OmqError, OmqResult};
 use crate::oid::Oid;
 use crate::server::{RemoteObject, ServerHandle};
 use mqsim::{Clock, ExchangeKind, Message, Messaging, QueueOptions, SystemClock};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -268,6 +268,28 @@ impl Default for SupervisorConfig {
     }
 }
 
+/// One enforcement round's view of the live pool, published by the
+/// supervisor loop so harnesses and tests can await convergence instead of
+/// sleep-polling the remote brokers themselves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolObservation {
+    /// Live instances counted across all remote brokers, *before* this
+    /// round's enforcement actions.
+    pub live: usize,
+    /// Monotonic round counter; increments once per enforcement round.
+    pub generation: u64,
+}
+
+/// Shared live-pool state between the supervisor loop and its observers.
+struct ObservedPool {
+    state: Mutex<PoolObservation>,
+    changed: Condvar,
+    /// Generation after which a [`Supervisor::set_target`] change is
+    /// guaranteed to have been seen by the loop (a round in flight when the
+    /// target changed may still act on the old value).
+    settle_after: AtomicU64,
+}
+
 /// The master entity enforcing provisioning policies (paper Fig. 3).
 ///
 /// Every `check_interval` it queries the remote brokers with a multi-call,
@@ -277,6 +299,7 @@ impl Default for SupervisorConfig {
 pub struct Supervisor {
     stop: Arc<AtomicBool>,
     target: Arc<AtomicUsize>,
+    observed: Arc<ObservedPool>,
     thread: Option<JoinHandle<()>>,
 }
 
@@ -304,14 +327,24 @@ impl Supervisor {
             .declare_exchange(HEARTBEAT_EXCHANGE, ExchangeKind::Fanout)?;
         let stop = Arc::new(AtomicBool::new(false));
         let target = Arc::new(AtomicUsize::new(1));
+        let observed = Arc::new(ObservedPool {
+            state: Mutex::new(PoolObservation {
+                live: 0,
+                generation: 0,
+            }),
+            changed: Condvar::new(),
+            settle_after: AtomicU64::new(2),
+        });
         let thread_stop = stop.clone();
         let thread_target = target.clone();
+        let thread_observed = observed.clone();
         let thread = std::thread::spawn(move || {
-            supervise_loop(broker, config, thread_stop, thread_target);
+            supervise_loop(broker, config, thread_stop, thread_target, thread_observed);
         });
         Ok(Supervisor {
             stop,
             target,
+            observed,
             thread: Some(thread),
         })
     }
@@ -323,11 +356,59 @@ impl Supervisor {
         if previous != n {
             obs::flight_event!("supervisor", "target {previous} -> {n}");
         }
+        // A round already in flight may have read the old target before the
+        // swap; only rounds started after this point are guaranteed to act
+        // on the new value, hence current generation + 2.
+        let gen = self.observed.state.lock().generation;
+        self.observed.settle_after.store(gen + 2, Ordering::Release);
     }
 
     /// The current desired pool size.
     pub fn target(&self) -> usize {
         self.target.load(Ordering::Acquire)
+    }
+
+    /// The live pool as of the most recent enforcement round.
+    pub fn observed(&self) -> PoolObservation {
+        *self.observed.state.lock()
+    }
+
+    /// Whether the live pool has converged on the current target: at least
+    /// one full enforcement round has completed since the last
+    /// [`Supervisor::set_target`], and that round counted exactly `target`
+    /// live instances.
+    pub fn targets_met(&self) -> bool {
+        let obs = *self.observed.state.lock();
+        obs.generation >= self.observed.settle_after.load(Ordering::Acquire)
+            && obs.live == self.target()
+    }
+
+    /// Blocks until [`Supervisor::targets_met`] or the timeout elapses;
+    /// returns whether convergence was reached. Replaces sleep-polling in
+    /// harnesses and tests: the supervisor loop signals after every round.
+    pub fn wait_targets_met(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.observed.state.lock();
+        loop {
+            let settled = state.generation >= self.observed.settle_after.load(Ordering::Acquire)
+                && state.live == self.target();
+            if settled {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            if self
+                .observed
+                .changed
+                .wait_until(&mut state, deadline)
+                .timed_out()
+            {
+                return state.generation >= self.observed.settle_after.load(Ordering::Acquire)
+                    && state.live == self.target();
+            }
+        }
     }
 
     /// Graceful stop.
@@ -360,6 +441,7 @@ fn supervise_loop(
     config: SupervisorConfig,
     stop: Arc<AtomicBool>,
     target: Arc<AtomicUsize>,
+    observed: Arc<ObservedPool>,
 ) {
     let proxy = match broker.lookup(RBROKER_OID) {
         Ok(p) => p,
@@ -391,6 +473,15 @@ fn supervise_loop(
                 .sum::<u64>() as usize,
             Err(_) => 0,
         };
+
+        // Publish this round's pre-enforcement census so observers can
+        // await convergence (live == target with the target already seen).
+        {
+            let mut state = observed.state.lock();
+            state.live = live;
+            state.generation += 1;
+            observed.changed.notify_all();
+        }
 
         if live < desired {
             for _ in 0..(desired - live) {
@@ -673,6 +764,43 @@ mod tests {
             wait_until(Duration::from_secs(5), || rb.local_count("svc") == 1),
             "supervisor must shrink to 1, got {}",
             rb.local_count("svc")
+        );
+        supervisor.stop();
+        rb.stop();
+    }
+
+    #[test]
+    fn wait_targets_met_observes_convergence() {
+        let broker = Broker::in_process();
+        let rb = RemoteBroker::start(broker.clone(), 1).unwrap();
+        rb.register_factory("svc", counting_factory(Arc::new(AtomicU64::new(0))));
+        let supervisor = Supervisor::start(broker.clone(), fast_config("svc")).unwrap();
+
+        supervisor.set_target(3);
+        assert!(
+            supervisor.wait_targets_met(Duration::from_secs(5)),
+            "pool must converge on 3 (observed {:?})",
+            supervisor.observed()
+        );
+        // Convergence means the enforcement loop itself counted 3 live —
+        // not merely that the local broker spawned them.
+        let obs = supervisor.observed();
+        assert_eq!(obs.live, 3);
+        assert_eq!(rb.local_count("svc"), 3);
+        assert!(supervisor.targets_met());
+
+        // Shrinking re-arms the settle generation: convergence must be
+        // re-proven, then observed again.
+        supervisor.set_target(1);
+        assert!(
+            supervisor.wait_targets_met(Duration::from_secs(5)),
+            "pool must converge back down to 1 (observed {:?})",
+            supervisor.observed()
+        );
+        assert_eq!(supervisor.observed().live, 1);
+        assert!(
+            supervisor.observed().generation > obs.generation,
+            "generation must advance with enforcement rounds"
         );
         supervisor.stop();
         rb.stop();

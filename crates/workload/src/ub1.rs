@@ -16,6 +16,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::time::Duration;
 
 /// Synthesizer parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,7 +58,8 @@ pub struct Ub1Trace {
     pub per_minute: Vec<f64>,
 }
 
-const MINUTES_PER_DAY: usize = 24 * 60;
+/// Minutes in one trace day (the unit of [`ArrivalSchedule::day`]).
+pub const MINUTES_PER_DAY: usize = 24 * 60;
 
 impl Ub1Trace {
     /// Synthesizes `days` days of arrivals.
@@ -131,25 +133,230 @@ impl Ub1Trace {
         &self.per_minute[day * MINUTES_PER_DAY..(day + 1) * MINUTES_PER_DAY]
     }
 
+    /// The whole trace as an [`ArrivalSchedule`]: 1-minute slots, real
+    /// time. Narrow and reshape with the builder methods —
+    /// `trace.schedule().day(7).slots_of(15).compress(1440.0)` is "day 8
+    /// in 15-minute slots, the day compressed to 60 wall seconds".
+    pub fn schedule(&self) -> ArrivalSchedule<'_> {
+        ArrivalSchedule {
+            trace: self,
+            start_minute: 0,
+            minutes: self.per_minute.len(),
+            slot_minutes: 1,
+            compression: 1.0,
+        }
+    }
+
     /// Aggregates a day into mean rates (req/s) per slot of `slot_minutes`
     /// — the feed for the 15-minute predictive provisioner.
+    ///
+    /// Thin forwarder kept for the fig8* harness binaries; prefer
+    /// [`Ub1Trace::schedule`] with [`ArrivalSchedule::slots_of`].
     pub fn day_slot_rates(&self, day: usize, slot_minutes: usize) -> Vec<f64> {
-        self.day(day)
-            .chunks(slot_minutes)
-            .map(|slot| slot.iter().sum::<f64>() / (slot.len() as f64 * 60.0))
-            .collect()
+        self.schedule().day(day).slots_of(slot_minutes).rates()
     }
 
     /// Concatenated slot rates (req/s) for a day range — e.g. days 0..7 as
     /// the predictor's training history.
+    ///
+    /// Thin forwarder; prefer [`Ub1Trace::schedule`] per day.
     pub fn slot_rates(&self, days: std::ops::Range<usize>, slot_minutes: usize) -> Vec<f64> {
         days.flat_map(|d| self.day_slot_rates(d, slot_minutes))
             .collect()
     }
 
     /// Peak arrivals per minute over a day.
+    ///
+    /// Thin forwarder; prefer [`ArrivalSchedule::peak_per_minute`].
     pub fn day_peak(&self, day: usize) -> f64 {
-        self.day(day).iter().cloned().fold(0.0, f64::max)
+        self.schedule().day(day).peak_per_minute()
+    }
+}
+
+/// A borrowed window of a [`Ub1Trace`] viewed as a schedule of arrival
+/// slots, optionally compressed in time — the single accessor the
+/// simulator, the fig8 harnesses, and the live TCP replay all build on.
+///
+/// The schedule is a cheap `Copy` view; builder methods narrow it (a day, a
+/// minute window), reshape it (slot width), or compress it (trace seconds
+/// per wall second). Compression scales *rates up* as it scales durations
+/// down: replaying a day in 60 wall seconds multiplies every arrival rate
+/// by 1,440, which is exactly the stress the live harness wants.
+#[derive(Debug, Clone, Copy)]
+pub struct ArrivalSchedule<'a> {
+    trace: &'a Ub1Trace,
+    start_minute: usize,
+    minutes: usize,
+    slot_minutes: usize,
+    compression: f64,
+}
+
+/// One slot yielded by [`ArrivalSchedule::iter`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalSlot {
+    /// Slot index within the schedule window.
+    pub index: usize,
+    /// Absolute trace minute at which the slot starts.
+    pub trace_minute: usize,
+    /// Wall-clock offset of the slot start from the window start
+    /// (compressed time).
+    pub start: Duration,
+    /// Wall-clock length of the slot (compressed time).
+    pub duration: Duration,
+    /// Mean arrival rate over the slot in wall req/s — the trace rate
+    /// multiplied by the compression factor.
+    pub rate: f64,
+    /// Mean arrival rate over the slot in trace req/s (uncompressed).
+    pub trace_rate: f64,
+}
+
+impl<'a> ArrivalSchedule<'a> {
+    /// Narrows the schedule to one day of the trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the day is out of range of the current window.
+    pub fn day(self, day: usize) -> Self {
+        self.window(day * MINUTES_PER_DAY, MINUTES_PER_DAY)
+    }
+
+    /// Narrows the schedule to `minutes` minutes starting `offset_minutes`
+    /// into the current window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window exceeds the current bounds.
+    pub fn window(self, offset_minutes: usize, minutes: usize) -> Self {
+        assert!(
+            offset_minutes + minutes <= self.minutes,
+            "window {offset_minutes}+{minutes} exceeds schedule of {} minutes",
+            self.minutes
+        );
+        ArrivalSchedule {
+            start_minute: self.start_minute + offset_minutes,
+            minutes,
+            ..self
+        }
+    }
+
+    /// Sets the slot width (paper: 15 minutes for the predictor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `minutes` is zero.
+    pub fn slots_of(self, minutes: usize) -> Self {
+        assert!(minutes > 0, "slot width must be positive");
+        ArrivalSchedule {
+            slot_minutes: minutes,
+            ..self
+        }
+    }
+
+    /// Sets the time-compression factor: trace seconds per wall second
+    /// (1440.0 replays a day in one minute). Rates scale up by the same
+    /// factor; see [`ArrivalSlot::rate`] vs [`ArrivalSlot::trace_rate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the factor is not finite and positive.
+    pub fn compress(self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "compression must be positive"
+        );
+        ArrivalSchedule {
+            compression: factor,
+            ..self
+        }
+    }
+
+    /// Absolute trace minute where the window starts.
+    pub fn start_minute(&self) -> usize {
+        self.start_minute
+    }
+
+    /// Window length in trace minutes.
+    pub fn minutes(&self) -> usize {
+        self.minutes
+    }
+
+    /// The compression factor (trace seconds per wall second).
+    pub fn compression(&self) -> f64 {
+        self.compression
+    }
+
+    /// Wall-clock length of the whole window under compression.
+    pub fn duration(&self) -> Duration {
+        Duration::from_secs_f64(self.minutes as f64 * 60.0 / self.compression)
+    }
+
+    /// Iterates the slots of the window in order. A ragged final slot
+    /// (window not divisible by the slot width) is yielded at its true,
+    /// shorter length.
+    pub fn iter(&self) -> impl Iterator<Item = ArrivalSlot> + 'a {
+        let window = &self.trace.per_minute[self.start_minute..self.start_minute + self.minutes];
+        let start_minute = self.start_minute;
+        let slot_minutes = self.slot_minutes;
+        let compression = self.compression;
+        window
+            .chunks(slot_minutes)
+            .enumerate()
+            .map(move |(index, slot)| {
+                let trace_rate = slot.iter().sum::<f64>() / (slot.len() as f64 * 60.0);
+                ArrivalSlot {
+                    index,
+                    trace_minute: start_minute + index * slot_minutes,
+                    start: Duration::from_secs_f64(
+                        (index * slot_minutes) as f64 * 60.0 / compression,
+                    ),
+                    duration: Duration::from_secs_f64(slot.len() as f64 * 60.0 / compression),
+                    rate: trace_rate * compression,
+                    trace_rate,
+                }
+            })
+    }
+
+    /// Mean trace rates (req/s) per slot — byte-identical aggregation to
+    /// the old `day_slot_rates`, which now forwards here.
+    pub fn rates(&self) -> Vec<f64> {
+        self.iter().map(|s| s.trace_rate).collect()
+    }
+
+    /// Peak arrivals per trace minute over the window (uncompressed).
+    pub fn peak_per_minute(&self) -> f64 {
+        self.trace.per_minute[self.start_minute..self.start_minute + self.minutes]
+            .iter()
+            .cloned()
+            .fold(0.0, f64::max)
+    }
+
+    /// Samples Poisson arrival offsets (wall seconds from the window
+    /// start) across the window: minute `m` of the trace contributes
+    /// exponential inter-arrival gaps at its per-second rate, and the
+    /// resulting trace-time offsets are divided by the compression factor.
+    /// At compression 1.0 this is bit-identical to the simulator's
+    /// generator over the same window and seed.
+    pub fn poisson_arrivals(&self, seed: u64) -> Vec<f64> {
+        let window = &self.trace.per_minute[self.start_minute..self.start_minute + self.minutes];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut arrivals = Vec::new();
+        for (minute, &rate) in window.iter().enumerate() {
+            if rate <= 0.0 {
+                continue;
+            }
+            let per_sec = rate / 60.0;
+            let start = minute as f64 * 60.0;
+            let mut t = start;
+            loop {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                t += -u.ln() / per_sec;
+                if t >= start + 60.0 {
+                    break;
+                }
+                arrivals.push(t / self.compression);
+            }
+        }
+        arrivals
     }
 }
 
@@ -247,5 +454,78 @@ mod tests {
     fn rates_are_nonnegative() {
         let t = trace();
         assert!(t.per_minute.iter().all(|&r| r >= 0.0));
+    }
+
+    #[test]
+    fn schedule_rates_match_legacy_accessors() {
+        let t = trace();
+        assert_eq!(t.schedule().day(0).slots_of(15).rates(), {
+            // The forwarder itself goes through the schedule, so recompute
+            // the legacy aggregation by hand.
+            t.day(0)
+                .chunks(15)
+                .map(|slot| slot.iter().sum::<f64>() / (slot.len() as f64 * 60.0))
+                .collect::<Vec<f64>>()
+        });
+        assert_eq!(t.schedule().day(7).peak_per_minute(), t.day_peak(7));
+    }
+
+    #[test]
+    fn schedule_slots_carry_compressed_time_and_rate() {
+        let t = trace();
+        // Day 8 compressed 1440:1 — a day in 60 wall seconds.
+        let sched = t.schedule().day(7).slots_of(15).compress(1440.0);
+        let slots: Vec<ArrivalSlot> = sched.iter().collect();
+        assert_eq!(slots.len(), 96);
+        assert_eq!(sched.duration(), Duration::from_secs(60));
+        let s0 = &slots[0];
+        assert_eq!(s0.trace_minute, 7 * 24 * 60);
+        assert_eq!(s0.start, Duration::ZERO);
+        // 15 trace minutes / 1440 = 0.625 wall seconds per slot.
+        assert!((s0.duration.as_secs_f64() - 0.625).abs() < 1e-9);
+        assert!((s0.rate - s0.trace_rate * 1440.0).abs() < 1e-6);
+        let s1 = &slots[1];
+        assert!((s1.start.as_secs_f64() - 0.625).abs() < 1e-9);
+        // Uncompressed slot rates agree with the legacy accessor.
+        let legacy = t.day_slot_rates(7, 15);
+        for (s, r) in slots.iter().zip(&legacy) {
+            assert!((s.trace_rate - r).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn schedule_window_composes_with_day() {
+        let t = trace();
+        let sched = t.schedule().day(7).window(600, 120);
+        assert_eq!(sched.start_minute(), 7 * 24 * 60 + 600);
+        assert_eq!(sched.minutes(), 120);
+        assert_eq!(sched.iter().count(), 120, "1-minute slots by default");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds schedule")]
+    fn schedule_window_bounds_checked() {
+        let t = trace();
+        let _ = t.schedule().day(7).window(1400, 120);
+    }
+
+    #[test]
+    fn schedule_poisson_arrivals_compress_consistently() {
+        let t = trace();
+        let real = t.schedule().day(7).window(720, 30).poisson_arrivals(99);
+        let fast = t
+            .schedule()
+            .day(7)
+            .window(720, 30)
+            .compress(60.0)
+            .poisson_arrivals(99);
+        assert_eq!(real.len(), fast.len(), "compression keeps every arrival");
+        assert!(real.windows(2).all(|w| w[0] <= w[1]), "sorted offsets");
+        for (a, b) in real.iter().zip(&fast) {
+            assert!((a / 60.0 - b).abs() < 1e-9, "offsets scale by 1/60");
+        }
+        // ~30 minutes around midday: tens of thousands of arrivals.
+        assert!(real.len() > 10_000, "got {}", real.len());
+        assert!(real.iter().all(|&a| (0.0..30.0 * 60.0).contains(&a)));
     }
 }

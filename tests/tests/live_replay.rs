@@ -1,0 +1,87 @@
+//! Live UB1 trace replay (scaled down): a two-minute compressed day
+//! driven by `elastic::live::run_live` — hundreds of real TCP clients,
+//! synchronous commits building per-client version chains, the
+//! predictive+reactive AutoScaler resizing the pool through the real
+//! Supervisor, and a crash loop killing instances along the way. The
+//! faultsim history checker proves the day lost nothing.
+
+use elastic::live::{run_live, LiveConfig};
+use objectmq::provision::GgOneModel;
+use std::time::Duration;
+use workload::Ub1Config;
+
+#[test]
+fn compressed_day_scales_pool_and_loses_nothing() {
+    let config = LiveConfig {
+        clients: 200,
+        probe_clients: 4,
+        probe_interval: Duration::from_millis(20),
+        ub1: Ub1Config {
+            peak_per_min: 4.0,
+            ..Ub1Config::default()
+        },
+        // The whole day in two wall minutes: wall peak ≈ 48 req/s.
+        compression: 720.0,
+        service_delay: Duration::from_millis(10),
+        // Capacity ≈ 8.7 req/s per instance, so the diurnal swing moves
+        // the pool by several instances.
+        model: GgOneModel {
+            target_response: 0.200,
+            mean_service: 0.010,
+            var_interarrival: 0.04,
+            var_service: 0.0004,
+        },
+        drivers: 8,
+        // Closed-loop commits: every client serializes versions 1..k of
+        // its single item, so the store must end with gap-free chains.
+        sync_commits: true,
+        // And an instance dies every 10 s while the day runs.
+        crash_period: Some(Duration::from_secs(10)),
+        seed: 0x11FE,
+        drain_timeout: Duration::from_secs(60),
+        ..LiveConfig::default()
+    };
+
+    let report = run_live(&config).expect("live replay must complete");
+
+    assert!(
+        report.offered > 500,
+        "the day must offer real load, got {}",
+        report.offered
+    );
+    assert!(report.drained, "service queue must drain after the day");
+    assert!(
+        report.crashes >= 3,
+        "the crash loop must actually bite, got {}",
+        report.crashes
+    );
+    assert!(
+        report.history_violations.is_empty(),
+        "no lost commits, no gaps, no double commits despite {} crashes: {:?}",
+        report.crashes,
+        report.history_violations
+    );
+    assert!(
+        report.committed >= report.accepted,
+        "every accepted commit must be processed ({} < {})",
+        report.committed,
+        report.accepted
+    );
+
+    // Elasticity: the pool must follow the diurnal shape — grow by at
+    // least 2 instances into the midday peak and come back down after.
+    assert!(
+        report.peak_live >= report.trough_live + 2,
+        "pool must scale up ≥2 at peak (trough {}, peak {})",
+        report.trough_live,
+        report.peak_live
+    );
+    let last = report.slots.last().expect("slots recorded");
+    assert!(
+        last.live < report.peak_live,
+        "pool must scale back down after the peak (last slot {}, peak {})",
+        last.live,
+        report.peak_live
+    );
+    assert!(report.decisions >= 2, "both cadences must fire over a day");
+}
